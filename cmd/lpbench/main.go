@@ -1,0 +1,67 @@
+// Command lpbench regenerates the tables and figures of "Lazy
+// Persistency: A High-Performing and Write-Efficient Software
+// Persistency Technique" (ISCA 2018) on the simulated machine.
+//
+// Usage:
+//
+//	lpbench -list                 # show available experiments
+//	lpbench -exp fig10            # run one experiment
+//	lpbench -exp all              # run everything (several minutes)
+//	lpbench -exp fig12 -quick     # smaller inputs, faster
+//	lpbench -exp fig10 -threads 4 # override the worker-thread count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lazyp/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "shrink problem sizes for a fast pass")
+		threads = flag.Int("threads", 0, "override worker-thread count (default 8)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := harness.Options{Quick: *quick, Threads: *threads}
+	run := func(e harness.Experiment) {
+		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n", e.Paper)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "lpbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lpbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,60 @@
+// Command lpcheck reproduces the paper's §III-D error-detection study at
+// configurable scale: random LP regions are corrupted the way a crash
+// corrupts them (a subset of stores reverting to stale values) and each
+// checksum code's missed-detection rate is estimated. The paper reports
+// < 2×10⁻⁹ for the modular checksum and Adler-32; run enough trials and
+// the 95% upper bound here approaches that regime.
+//
+// Usage:
+//
+//	lpcheck                       # 2M trials per code
+//	lpcheck -trials 100000000     # tighter bound, minutes of CPU
+//	lpcheck -region 2048          # larger LP regions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"lazyp/internal/checksum"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 2_000_000, "error injections per code")
+		region = flag.Int("region", 64, "values per LP region")
+		seed   = flag.Int64("seed", 42, "RNG seed (results are deterministic per seed)")
+	)
+	flag.Parse()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "code\ttrials\tmissed\tmiss-rate 95% upper bound\ttime")
+	for _, k := range checksum.Kinds() {
+		start := time.Now()
+		r := checksum.MeasureAccuracy(k, *region, *trials, *seed)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2e\t%.1fs\n",
+			k, r.Trials, r.Missed, r.MissRateUpperBound(), time.Since(start).Seconds())
+	}
+	tw.Flush()
+
+	// The structural weakness of parity (paper: "worse detection
+	// accuracy"): two lost stores whose stale values differ by the same
+	// XOR pattern cancel.
+	data, corrupted := checksum.ParityBlindSpot(*region, *seed)
+	fmt.Println()
+	fmt.Println("constructed two-store corruption (cancelling XOR pattern):")
+	for _, k := range checksum.Kinds() {
+		missed := checksum.SumWords(k, data) == checksum.SumWords(k, corrupted)
+		verdict := "detected"
+		if missed {
+			verdict = "MISSED"
+		}
+		fmt.Printf("  %-15s %s\n", k, verdict)
+	}
+	fmt.Println("\npaper: modular and Adler-32 missed-detection probability < 2e-9;")
+	fmt.Println("errors here shrink over time (data eventually evicts to NVMM), unlike")
+	fmt.Println("classic soft errors — §III-D.")
+}

@@ -1,0 +1,3 @@
+module lazyp
+
+go 1.22

@@ -1,0 +1,159 @@
+// Package checksum implements the software error-detection codes that
+// Lazy Persistency uses to detect persistency failures (§III-D of the
+// paper): Parity (XOR), Modular (summation), Adler-32, and the parallel
+// combination Modular∥Parity evaluated in Figure 15(b).
+//
+// A checksum summarizes every value stored by an LP region; after a
+// crash, recovery recomputes it from the data that survived in NVMM and
+// compares it with the stored value. All codes here are incremental:
+// kernels fold one 64-bit word per store into a running state.
+package checksum
+
+import "fmt"
+
+// Kind selects an error-detection code.
+type Kind uint8
+
+const (
+	// Modular sums all words modulo 2^32 (the paper's default: lowest
+	// overhead among the accurate codes).
+	Modular Kind = iota
+	// Parity XORs all words together (cheapest, weakest detection).
+	Parity
+	// Adler32 is the zlib checksum (accurate but costlier).
+	Adler32
+	// Dual applies Modular and Parity in parallel for a lower
+	// false-negative rate at a higher compute cost.
+	Dual
+)
+
+// String returns the paper's name for the code.
+func (k Kind) String() string {
+	switch k {
+	case Modular:
+		return "modular"
+	case Parity:
+		return "parity"
+	case Adler32:
+		return "adler32"
+	case Dual:
+		return "modular+parity"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Kinds lists all supported codes in the order of Figure 15(b).
+func Kinds() []Kind { return []Kind{Modular, Parity, Adler32, Dual} }
+
+// Invalid is the sentinel stored in never-written checksum slots
+// (paper §IV: initialize checksums to a value real data cannot take).
+// Sum never returns it.
+const Invalid = ^uint64(0)
+
+const adlerMod = 65521
+
+// State is the running checksum of one LP region. Modular and Parity
+// accumulate full 64-bit words — one add or xor per store, the cheapest
+// possible fold — and reduce to the paper's 32-bit checksum only at
+// region end (Fold32).
+type State struct {
+	kind Kind
+	x    uint64 // modular 64-bit running sum / parity xor / adler "a"
+	y    uint64 // Dual's parity xor / adler "b"
+}
+
+// New returns a fresh running checksum of the given kind.
+func New(kind Kind) State {
+	s := State{kind: kind}
+	switch kind {
+	case Modular, Parity, Adler32, Dual:
+	default:
+		panic(fmt.Sprintf("checksum: unknown kind %d", uint8(kind)))
+	}
+	s.Reset()
+	return s
+}
+
+// Kind returns the code this state computes.
+func (s *State) Kind() Kind { return s.kind }
+
+// Reset clears the running state (ResetCheckSum in the paper's Figure 8).
+func (s *State) Reset() {
+	s.x, s.y = 0, 0
+	if s.kind == Adler32 {
+		s.x = 1 // standard Adler-32 initialization
+	}
+}
+
+// Add folds one 64-bit word into the checksum (UpdateCheckSum in the
+// paper's Figure 8; kernels pass math.Float64bits of stored values).
+func (s *State) Add(w uint64) {
+	switch s.kind {
+	case Modular:
+		s.x += w
+	case Parity:
+		s.x ^= w
+	case Adler32:
+		a, b := uint32(s.x), uint32(s.y)
+		for i := 0; i < 8; i++ {
+			a = (a + uint32(w>>(8*i))&0xff) % adlerMod
+			b = (b + a) % adlerMod
+		}
+		s.x, s.y = uint64(a), uint64(b)
+	case Dual:
+		s.x += w
+		s.y ^= w
+	}
+}
+
+// Fold32 reduces a 64-bit accumulation to the paper's 32-bit checksum.
+func Fold32(v uint64) uint32 { return uint32(v) + uint32(v>>32) }
+
+// Sum finalizes the checksum as a 64-bit word suitable for a table slot.
+// It never returns Invalid.
+func (s *State) Sum() uint64 {
+	var v uint64
+	switch s.kind {
+	case Modular:
+		v = uint64(Fold32(s.x))
+	case Parity:
+		v = uint64(uint32(s.x) ^ uint32(s.x>>32))
+	case Adler32:
+		v = s.y<<16 | s.x
+	case Dual:
+		v = uint64(uint32(s.y)^uint32(s.y>>32))<<32 | uint64(Fold32(s.x))
+	}
+	if v == Invalid {
+		v-- // keep the sentinel unambiguous
+	}
+	return v
+}
+
+// CostPerAdd is the number of ALU instructions one Add charges to the
+// simulator's timing model, reflecting the relative expense measured in
+// the paper (§III-D: Adler-32 is "significantly more expensive" than the
+// modular checksum; Figure 15(b)). Modular and Parity fold a word with a
+// single add/xor on an independent dependency chain.
+func (k Kind) CostPerAdd() int {
+	switch k {
+	case Modular, Parity:
+		return 1
+	case Adler32:
+		return 8 // byte-serial with modulo reductions
+	case Dual:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// SumWords is a convenience that checksums an entire slice at once, as
+// recovery does when revalidating a region.
+func SumWords(kind Kind, words []uint64) uint64 {
+	s := New(kind)
+	for _, w := range words {
+		s.Add(w)
+	}
+	return s.Sum()
+}

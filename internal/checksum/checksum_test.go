@@ -1,0 +1,168 @@
+package checksum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindNames(t *testing.T) {
+	want := map[Kind]string{
+		Modular: "modular", Parity: "parity", Adler32: "adler32", Dual: "modular+parity",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if len(Kinds()) != 4 {
+		t.Fatalf("Kinds() has %d entries", len(Kinds()))
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bogus kind should panic")
+		}
+	}()
+	New(Kind(99))
+}
+
+func TestDetectsSingleCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range Kinds() {
+		data := make([]uint64, 100)
+		for i := range data {
+			data[i] = rng.Uint64()
+		}
+		want := SumWords(k, data)
+		for trial := 0; trial < 100; trial++ {
+			i := rng.Intn(len(data))
+			old := data[i]
+			data[i] ^= 1 << uint(rng.Intn(64))
+			if SumWords(k, data) == want {
+				t.Errorf("%v missed a single bit flip", k)
+			}
+			data[i] = old
+		}
+		if SumWords(k, data) != want {
+			t.Errorf("%v is not deterministic", k)
+		}
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	f := func(words []uint64) bool {
+		for _, k := range Kinds() {
+			s := New(k)
+			for _, w := range words {
+				s.Add(w)
+			}
+			if s.Sum() != SumWords(k, words) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	for _, k := range Kinds() {
+		s := New(k)
+		empty := s.Sum()
+		s.Add(123456)
+		s.Reset()
+		if s.Sum() != empty {
+			t.Errorf("%v: Reset did not restore the initial state", k)
+		}
+	}
+}
+
+func TestSumNeverInvalid(t *testing.T) {
+	f := func(words []uint64) bool {
+		for _, k := range Kinds() {
+			if SumWords(k, words) == Invalid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModularParityOrderInsensitive(t *testing.T) {
+	// Modular and Parity commute — recovery may refold in any order.
+	f := func(words []uint64, seed int64) bool {
+		if len(words) < 2 {
+			return true
+		}
+		shuffled := append([]uint64(nil), words...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return SumWords(Modular, words) == SumWords(Modular, shuffled) &&
+			SumWords(Parity, words) == SumWords(Parity, shuffled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdlerOrderSensitive(t *testing.T) {
+	a := []uint64{1, 2}
+	b := []uint64{2, 1}
+	if SumWords(Adler32, a) == SumWords(Adler32, b) {
+		t.Fatal("Adler-32 should be order sensitive")
+	}
+}
+
+func TestParityBlindSpot(t *testing.T) {
+	data, corrupted := ParityBlindSpot(32, 99)
+	if SumWords(Parity, data) != SumWords(Parity, corrupted) {
+		t.Fatal("constructed corruption should be invisible to parity")
+	}
+	if SumWords(Modular, data) == SumWords(Modular, corrupted) {
+		t.Fatal("modular checksum should catch the parity blind spot")
+	}
+	if SumWords(Dual, data) == SumWords(Dual, corrupted) {
+		t.Fatal("dual checksum should catch the parity blind spot")
+	}
+}
+
+func TestMeasureAccuracy(t *testing.T) {
+	for _, k := range Kinds() {
+		r := MeasureAccuracy(k, 32, 20000, 7)
+		if r.Missed != 0 {
+			t.Errorf("%v missed %d of %d injected errors", k, r.Missed, r.Trials)
+		}
+		if r.MissRateUpperBound() <= 0 {
+			t.Errorf("%v: bogus upper bound", k)
+		}
+	}
+}
+
+func TestAccuracyDeterministic(t *testing.T) {
+	a := MeasureAccuracy(Modular, 16, 1000, 42)
+	b := MeasureAccuracy(Modular, 16, 1000, 42)
+	if a != b {
+		t.Fatal("MeasureAccuracy is not deterministic for a fixed seed")
+	}
+}
+
+func TestFold32(t *testing.T) {
+	if Fold32(0x100000002) != 3 {
+		t.Fatalf("Fold32 = %d", Fold32(0x100000002))
+	}
+}
+
+func TestCostPerAddOrdering(t *testing.T) {
+	if !(Modular.CostPerAdd() <= Dual.CostPerAdd() && Dual.CostPerAdd() < Adler32.CostPerAdd()) {
+		t.Fatal("cost model ordering violated: modular <= dual < adler32")
+	}
+}

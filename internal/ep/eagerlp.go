@@ -1,0 +1,75 @@
+package ep
+
+import (
+	"lazyp/internal/checksum"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// EagerLP is the strategy Lazy Persistency recovery re-executes regions
+// under (§III-E: "we choose Eager Persistency for the recovery code, to
+// ensure forward progress"): region data is flushed and fenced at region
+// end like EagerRecompute, *and* the region's checksum is folded and
+// committed eagerly so that the checksum table stays consistent for any
+// subsequent failure.
+type EagerLP struct {
+	Table *lp.Table
+	thr   []*eagerLPTS
+}
+
+// NewEagerLP builds the recovery strategy over the workload's checksum
+// table and code.
+func NewEagerLP(table *lp.Table, kind checksum.Kind, nthreads int) *EagerLP {
+	s := &EagerLP{Table: table}
+	s.thr = make([]*eagerLPTS, nthreads)
+	for i := range s.thr {
+		s.thr[i] = &eagerLPTS{
+			parent: s,
+			state:  checksum.New(kind),
+			cost:   kind.CostPerAdd(),
+			lines:  NewLineSet(),
+		}
+	}
+	return s
+}
+
+// Name implements lp.Strategy.
+func (s *EagerLP) Name() string { return "eager-lp" }
+
+// Thread implements lp.Strategy.
+func (s *EagerLP) Thread(tid int) lp.ThreadStrategy { return s.thr[tid] }
+
+type eagerLPTS struct {
+	parent *EagerLP
+	state  checksum.State
+	cost   int
+	key    int
+	lines  *LineSet
+}
+
+func (t *eagerLPTS) Begin(c pmem.Ctx, key int) {
+	t.key = key
+	t.state.Reset()
+	t.lines.Reset()
+	c.Compute(1)
+}
+
+func (t *eagerLPTS) Store64(c pmem.Ctx, a memsim.Addr, v uint64) {
+	c.Store64(a, v)
+	t.state.Add(v)
+	t.lines.Add(a)
+	c.Compute(t.cost + 1)
+}
+
+func (t *eagerLPTS) StoreF(c pmem.Ctx, a memsim.Addr, v float64) {
+	t.Store64(c, a, pmem.Float64Bits(v))
+}
+
+func (t *eagerLPTS) End(c pmem.Ctx) {
+	for _, la := range t.lines.Lines() {
+		c.Flush(la)
+	}
+	c.Fence()
+	t.parent.Table.StoreSumEager(c, t.key, t.state.Sum())
+}

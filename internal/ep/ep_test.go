@@ -1,0 +1,236 @@
+package ep
+
+import (
+	"testing"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+	"lazyp/internal/sim"
+)
+
+func TestLineSetDedup(t *testing.T) {
+	s := NewLineSet()
+	if !s.Add(100) {
+		t.Fatal("first add should be new")
+	}
+	if s.Add(101) { // same line as 100
+		t.Fatal("same-line add should dedup")
+	}
+	if !s.Add(200) {
+		t.Fatal("new line rejected")
+	}
+	if len(s.Lines()) != 2 {
+		t.Fatalf("lines = %v", s.Lines())
+	}
+	s.Reset()
+	if len(s.Lines()) != 0 || !s.Add(100) {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestMarkersAreLineSpaced(t *testing.T) {
+	m := memsim.NewMemory(1 << 16)
+	mk := NewMarkers(m, "m", 4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if memsim.LineOf(mk.Addr(i)) == memsim.LineOf(mk.Addr(j)) {
+				t.Fatalf("markers %d and %d share a cache line", i, j)
+			}
+		}
+	}
+	c := &pmem.Native{Mem: m}
+	if mk.Load(c, 2) != MarkerNone {
+		t.Fatal("marker not durably initialized to MarkerNone")
+	}
+}
+
+func TestRecomputePersistsRegionAndMarker(t *testing.T) {
+	mem := memsim.NewMemory(1 << 20)
+	arr := pmem.AllocF64(mem, "arr", 64)
+	rec := NewRecompute(mem, "w", 1)
+	eng := sim.New(sim.DefaultConfig(1), mem)
+	eng.Run(func(th *sim.Thread) {
+		ts := rec.Thread(0)
+		ts.Begin(th, 7)
+		for i := 0; i < 64; i++ {
+			ts.StoreF(th, arr.Addr(i), float64(i))
+		}
+		ts.End(th)
+	})
+	// After End (flush-all + fence + marker), everything must be
+	// durable: crash and check.
+	mem.Crash()
+	c := &pmem.Native{Mem: mem}
+	for i := 0; i < 64; i++ {
+		if arr.Load(c, i) != float64(i) {
+			t.Fatalf("element %d not durable after EagerRecompute region end", i)
+		}
+	}
+	if got := rec.Markers.Load(c, 0); got != 7 {
+		t.Fatalf("marker = %d, want 7", got)
+	}
+}
+
+func TestWALCommitAndStatus(t *testing.T) {
+	mem := memsim.NewMemory(1 << 20)
+	arr := pmem.AllocU64(mem, "arr", 16)
+	w := NewWAL(mem, "w", 1, 16)
+	if w.Name() != "wal" {
+		t.Fatal("name")
+	}
+	eng := sim.New(sim.DefaultConfig(1), mem)
+	eng.Run(func(th *sim.Thread) {
+		ts := w.Thread(0)
+		ts.Begin(th, 3)
+		for i := 0; i < 8; i++ {
+			ts.Store64(th, arr.Addr(i), uint64(1000+i))
+		}
+		ts.End(th)
+	})
+	mem.Crash()
+	c := &pmem.Native{Mem: mem}
+	for i := 0; i < 8; i++ {
+		if arr.Load(c, i) != uint64(1000+i) {
+			t.Fatalf("WAL-committed value %d lost", i)
+		}
+	}
+	key, inTx, ok := WALStatus(w.Status.Load(c, 0))
+	if !ok || inTx || key != 3 {
+		t.Fatalf("status = (%d,%v,%v), want committed key 3", key, inTx, ok)
+	}
+}
+
+func TestWALRollbackRestoresOldValues(t *testing.T) {
+	mem := memsim.NewMemory(1 << 20)
+	arr := pmem.AllocU64(mem, "arr", 16)
+	arr.Fill(mem, 5) // durable old values
+	w := NewWAL(mem, "w", 1, 16)
+
+	// Simulate a crash between "logStatus=1 durable" and data persist:
+	// run the transaction but crash mid-flight. To hit the window
+	// deterministically we drive the phases manually: create the log
+	// and status durably, apply the stores only architecturally.
+	c := &pmem.Native{Mem: mem}
+	log := w.Log(0)
+	for i := 0; i < 4; i++ {
+		log.Store(c, 2*i, uint64(arr.Addr(i)))
+		log.Store(c, 2*i+1, 5) // old value
+	}
+	w.LogCount(0).Store(c, 0, 4)
+	mem.Persist(log.Addr(0), 8*8)
+	mem.Persist(w.LogCount(0).Addr(0), 8)
+	mem.Store64(w.Status.Addr(0), 7<<1|1) // inTx, key 7
+	mem.Persist(w.Status.Addr(0), 8)
+	// Partially-persisted new data:
+	mem.Store64(arr.Addr(0), 999)
+	mem.Persist(arr.Addr(0), 8)
+	mem.Crash()
+
+	key, inTx, ok := w.WALRecover(c, 0)
+	if !ok || !inTx || key != 7 {
+		t.Fatalf("WALRecover = (%d,%v,%v)", key, inTx, ok)
+	}
+	for i := 0; i < 4; i++ {
+		if arr.Load(c, i) != 5 {
+			t.Fatalf("rollback did not restore element %d", i)
+		}
+	}
+	// Rollback is idempotent.
+	if k2, in2, ok2 := w.WALRecover(c, 0); k2 != 7 || !in2 || !ok2 {
+		t.Fatal("second rollback differs")
+	}
+}
+
+func TestWALRecoverNoHistory(t *testing.T) {
+	mem := memsim.NewMemory(1 << 20)
+	w := NewWAL(mem, "w", 2, 4)
+	c := &pmem.Native{Mem: mem}
+	if _, _, ok := w.WALRecover(c, 1); ok {
+		t.Fatal("fresh WAL should report no transaction history")
+	}
+}
+
+func TestWALOverflowPanics(t *testing.T) {
+	mem := memsim.NewMemory(1 << 20)
+	arr := pmem.AllocU64(mem, "arr", 16)
+	w := NewWAL(mem, "w", 1, 2)
+	c := &pmem.Native{Mem: mem}
+	ts := w.Thread(0)
+	ts.Begin(c, 0)
+	ts.Store64(c, arr.Addr(0), 1)
+	ts.Store64(c, arr.Addr(1), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exceeding maxStores should panic")
+		}
+	}()
+	ts.Store64(c, arr.Addr(2), 3)
+}
+
+func TestEagerLPCommitsDurableChecksum(t *testing.T) {
+	mem := memsim.NewMemory(1 << 20)
+	tb := lp.NewTable(mem, "t", 4)
+	arr := pmem.AllocF64(mem, "arr", 8)
+	s := NewEagerLP(tb, checksum.Modular, 1)
+	eng := sim.New(sim.DefaultConfig(1), mem)
+	eng.Run(func(th *sim.Thread) {
+		ts := s.Thread(0)
+		ts.Begin(th, 2)
+		for i := 0; i < 8; i++ {
+			ts.StoreF(th, arr.Addr(i), float64(i)+0.5)
+		}
+		ts.End(th)
+	})
+	mem.Crash()
+	c := &pmem.Native{Mem: mem}
+	// Data and checksum both durable, and consistent with each other.
+	words := make([]uint64, 8)
+	for i := 0; i < 8; i++ {
+		words[i] = c.Load64(arr.Addr(i))
+		if arr.Load(c, i) != float64(i)+0.5 {
+			t.Fatalf("EagerLP data %d not durable", i)
+		}
+	}
+	if !tb.Matches(c, 2, checksum.SumWords(checksum.Modular, words)) {
+		t.Fatal("EagerLP checksum not durable or inconsistent")
+	}
+}
+
+func TestPersistRange(t *testing.T) {
+	mem := memsim.NewMemory(1 << 20)
+	arr := pmem.AllocF64(mem, "arr", 32) // 256 bytes = 4 lines
+	eng := sim.New(sim.DefaultConfig(1), mem)
+	eng.Run(func(th *sim.Thread) {
+		for i := 0; i < 32; i++ {
+			arr.Store(th, i, 1.0)
+		}
+		PersistRange(th, arr.Addr(0), 32*8)
+		th.Fence()
+	})
+	mem.Crash()
+	c := &pmem.Native{Mem: mem}
+	for i := 0; i < 32; i++ {
+		if arr.Load(c, i) != 1.0 {
+			t.Fatalf("PersistRange missed element %d", i)
+		}
+	}
+	_, _, flush, _ := mem.NVMMWrites()
+	if flush != 4 {
+		t.Fatalf("flush writes = %d, want 4 (one per line)", flush)
+	}
+}
+
+func TestPersistValue(t *testing.T) {
+	mem := memsim.NewMemory(1 << 20)
+	a := mem.Alloc("x", 64)
+	eng := sim.New(sim.DefaultConfig(1), mem)
+	eng.Run(func(th *sim.Thread) {
+		PersistValue(th, a, 4242)
+	})
+	mem.Crash()
+	if mem.Load64(a) != 4242 {
+		t.Fatal("PersistValue not durable")
+	}
+}

@@ -1,0 +1,552 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/memsim"
+	"lazyp/internal/sim"
+	"lazyp/internal/workloads/native"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string // e.g. "fig10"
+	Title string
+	Paper string // what the paper reports, for side-by-side reading
+	Run   func(w io.Writer, opt Options) error
+}
+
+// Options tune experiment execution.
+type Options struct {
+	// Quick shrinks problem sizes for smoke runs.
+	Quick bool
+	// Threads overrides the default worker-thread count when > 0.
+	Threads int
+}
+
+func (o Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return 8
+}
+
+// tmmSpec returns the default Figure-10 TMM configuration: 256² inputs
+// with a 2-kk-block simulation window (the paper simulates two kk
+// iterations of 1024² inputs, §V-C).
+func tmmSpec(o Options, v Variant) Spec {
+	n := 256
+	if o.Quick {
+		n = 128
+	}
+	return Spec{Workload: "tmm", Variant: v, N: n, Tile: 16, Threads: o.threads(), WindowOuter: 2}
+}
+
+// benchSpec returns the default configuration for any benchmark, with
+// the paper's per-benchmark simulation windows (§V-C): TMM two kk
+// blocks, Cholesky to completion, 2D-conv and Gauss a few outer
+// iterations, FFT a few stages.
+func benchSpec(o Options, workload string, v Variant) Spec {
+	s := Spec{Workload: workload, Variant: v, Threads: o.threads()}
+	switch workload {
+	case "tmm":
+		s.Tile = 16
+		s.WindowOuter = 2
+	case "conv2d":
+		s.WindowOuter = 3
+	case "gauss":
+		s.WindowOuter = 4
+	case "fft":
+		s.WindowOuter = 2
+	}
+	if o.Quick {
+		switch workload {
+		case "tmm", "cholesky", "gauss", "conv2d":
+			s.N = 128
+		case "fft":
+			s.N = 4096
+		}
+	}
+	return s
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func uratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func execAndCheck(spec Spec) (Result, error) {
+	ses := NewSession(spec)
+	res := ses.Execute()
+	if res.Crashed {
+		return res, fmt.Errorf("harness: unexpected crash in %s/%s", spec.Workload, spec.Variant)
+	}
+	return res, nil
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// Experiments returns the registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "fig10",
+			Title: "Figure 10: execution time and NVMM writes, TMM base/LP/EP/WAL",
+			Paper: "base 1.00/1.00, LP 1.002/1.003, EP 1.12/1.36, WAL 5.97/3.83",
+			Run:   expFig10,
+		},
+		{
+			ID:    "tab6",
+			Title: "Table VI: structural hazards and L2 miss rate, TMM base/EP/LP",
+			Paper: "EP: MSHR 1.84x, FUI 21.57x, FUR 22.4x, FUW 31109, L2MR 0.05; LP: 0.95x/1.11x/1.2x/2/0.02",
+			Run:   expTab6,
+		},
+		{
+			ID:    "maxvdur",
+			Title: "§VI: maximum volatility duration (maxvdur), TMM EP/LP vs base",
+			Paper: "EP maxvdur = 20% of base; LP = 101% of base",
+			Run:   expMaxVdur,
+		},
+		{
+			ID:    "fig11",
+			Title: "Figure 11: extra NVMM writes vs time between periodic flushes (hardware cleanup)",
+			Paper: "0.08% period -> +32% writes (< EP's +36%); 33% period -> < +2%",
+			Run:   expFig11,
+		},
+		{
+			ID:    "fig12",
+			Title: "Figure 12: normalized execution time, all benchmarks, LP vs EagerRecompute",
+			Paper: "LP +0.1%..+3.5% (avg +1.1%); EP +4.4%..+17.9% (avg +9%)",
+			Run:   expFig12,
+		},
+		{
+			ID:    "fig13",
+			Title: "Figure 13: normalized write amplification, all benchmarks, LP vs EagerRecompute",
+			Paper: "LP +0.1%..+4.4% (avg +3%); EP +0.2%..+55% (avg +20.6%)",
+			Run:   expFig13,
+		},
+		{
+			ID:    "tab7",
+			Title: "Table VII: LP execution-time overhead on a real machine (native, wall clock)",
+			Paper: "TMM 0.8%, Cholesky 1.1%, 2D-conv 0.9%, Gauss 2.1%, FFT 1.1% (gmean 1.1%)",
+			Run:   expTab7,
+		},
+		{
+			ID:    "fig14a",
+			Title: "Figure 14(a): sensitivity to NVMM latency, TMM LP vs EP",
+			Paper: "EP overhead grows with latency; LP overhead shrinks",
+			Run:   expFig14a,
+		},
+		{
+			ID:    "fig14b",
+			Title: "Figure 14(b): thread scaling 1-16, TMM base vs LP",
+			Paper: "LP scales like base",
+			Run:   expFig14b,
+		},
+		{
+			ID:    "fig15a",
+			Title: "Figure 15(a): sensitivity to L2 size, TMM LP overhead and L2 miss ratio",
+			Paper: "256KB: +6.5% (L2MR>4%); 512KB: +0.2% (2%); 1MB: +0.1% (1.5%) [paper scale]",
+			Run:   expFig15a,
+		},
+		{
+			ID:    "fig15b",
+			Title: "Figure 15(b): error-detection code sensitivity, TMM",
+			Paper: "modular +0.2%, parity +0.1%, adler32 ~+1%, modular+parity +3.4% (EP +12%)",
+			Run:   expFig15b,
+		},
+		{
+			ID:    "accuracy",
+			Title: "§III-D: checksum missed-detection probability (error injection)",
+			Paper: "modular and Adler-32 miss < 2e-9 of injected errors",
+			Run:   expAccuracy,
+		},
+		{
+			ID:    "crash",
+			Title: "Figure 1/9 semantics: crash injection sweep + recovery correctness",
+			Paper: "recovered output equals failure-free output at every crash point",
+			Run:   expCrash,
+		},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func expFig10(w io.Writer, o Options) error {
+	var base Result
+	tw := newTab(w)
+	fmt.Fprintln(tw, "scheme\texec time\tnum writes\tpaper exec\tpaper writes")
+	paperExec := map[Variant]string{VariantBase: "1.00", VariantLP: "1.002", VariantEP: "1.12", VariantWAL: "5.97"}
+	paperWr := map[Variant]string{VariantBase: "1.00", VariantLP: "1.003", VariantEP: "1.36", VariantWAL: "3.83"}
+	for _, v := range []Variant{VariantBase, VariantLP, VariantEP, VariantWAL} {
+		res, err := execAndCheck(tmmSpec(o, v))
+		if err != nil {
+			return err
+		}
+		if v == VariantBase {
+			base = res
+		}
+		fmt.Fprintf(tw, "%s (tmm)\t%.3f\t%.3f\t%s\t%s\n",
+			v, ratio(res.Cycles, base.Cycles), uratio(res.Writes, base.Writes),
+			paperExec[v], paperWr[v])
+	}
+	return tw.Flush()
+}
+
+func expTab6(w io.Writer, o Options) error {
+	results := map[Variant]Result{}
+	for _, v := range []Variant{VariantBase, VariantEP, VariantLP} {
+		res, err := execAndCheck(tmmSpec(o, v))
+		if err != nil {
+			return err
+		}
+		results[v] = res
+	}
+	b := results[VariantBase]
+	tw := newTab(w)
+	// Our timing model's native structural-hazard counters. FUW maps
+	// directly (a store or flush found the store/flush queue full); the
+	// paper's FUI/FUR (functional-unit and load-queue pressure) have no
+	// exact analogue here, so the queue-pressure story is carried by
+	// FUW, fence stalls, and total stall cycles. EXPERIMENTS.md
+	// discusses the mapping.
+	fmt.Fprintln(tw, "scheme\tMSHR(x)\tFUW(raw)\tfences(raw)\tstall cyc(x)\tL2MR")
+	for _, v := range []Variant{VariantBase, VariantEP, VariantLP} {
+		r := results[v]
+		fuw := r.Haz.WriteQFull + r.Haz.StoreQFull
+		fmt.Fprintf(tw, "%s (tmm)\t%.2f\t%d\t%d\t%.2f\t%.3f\n",
+			v,
+			uratio(r.Haz.MSHRFull, b.Haz.MSHRFull),
+			fuw,
+			r.Haz.FenceStalls,
+			ratio(r.Haz.StallCycles, b.Haz.StallCycles),
+			r.Cache.L2MissRate())
+	}
+	fmt.Fprintln(tw, "paper EP\tMSHR 1.84x, FUI 21.57x, FUR 22.4x, FUW 31109 raw, L2MR 0.05")
+	fmt.Fprintln(tw, "paper LP\tMSHR 0.95x, FUI 1.11x, FUR 1.2x, FUW 2 raw, L2MR 0.02")
+	return tw.Flush()
+}
+
+func expMaxVdur(w io.Writer, o Options) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "scheme\tmaxvdur(cycles)\tvs base\tpaper")
+	var base int64
+	paper := map[Variant]string{VariantBase: "100%", VariantEP: "20%", VariantLP: "101%"}
+	for _, v := range []Variant{VariantBase, VariantEP, VariantLP} {
+		res, err := execAndCheck(tmmSpec(o, v))
+		if err != nil {
+			return err
+		}
+		if v == VariantBase {
+			base = res.Cache.MaxVdur
+		}
+		fmt.Fprintf(tw, "%s (tmm)\t%d\t%.0f%%\t%s\n", v, res.Cache.MaxVdur,
+			100*ratio(res.Cache.MaxVdur, base), paper[v])
+	}
+	return tw.Flush()
+}
+
+func expFig11(w io.Writer, o Options) error {
+	baseRes, err := execAndCheck(tmmSpec(o, VariantBase))
+	if err != nil {
+		return err
+	}
+	epRes, err := execAndCheck(tmmSpec(o, VariantEP))
+	if err != nil {
+		return err
+	}
+	fracs := []float64{0.0008, 0.0033, 0.01, 0.033, 0.10, 0.33}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "flush period (% of exec)\tLP extra writes vs base\tEP reference")
+	epOver := 100 * (uratio(epRes.Writes, baseRes.Writes) - 1)
+	for _, f := range fracs {
+		spec := tmmSpec(o, VariantLP)
+		spec.Sim.CleanPeriod = int64(f * float64(baseRes.Cycles))
+		if spec.Sim.CleanPeriod < 1 {
+			spec.Sim.CleanPeriod = 1
+		}
+		res, err := execAndCheck(spec)
+		if err != nil {
+			return err
+		}
+		over := 100 * (uratio(res.Writes, baseRes.Writes) - 1)
+		fmt.Fprintf(tw, "%.2f%%\t+%.1f%%\t+%.1f%%\n", 100*f, over, epOver)
+	}
+	fmt.Fprintln(tw, "paper\t0.08% -> +32%, 33% -> <+2%\t+36%")
+	return tw.Flush()
+}
+
+// benchNames lists the Figure 12/13 benchmarks in paper order.
+var benchNames = []string{"tmm", "cholesky", "conv2d", "gauss", "fft"}
+
+func expOverheads(w io.Writer, o Options, metric func(Result) float64, label string) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "benchmark\tLP %s\tEP %s\n", label, label)
+	geoLP, geoEP, cnt := 1.0, 1.0, 0
+	for _, name := range benchNames {
+		base, err := execAndCheck(benchSpec(o, name, VariantBase))
+		if err != nil {
+			return err
+		}
+		lpR, err := execAndCheck(benchSpec(o, name, VariantLP))
+		if err != nil {
+			return err
+		}
+		epR, err := execAndCheck(benchSpec(o, name, VariantEP))
+		if err != nil {
+			return err
+		}
+		l := metric(lpR) / metric(base)
+		e := metric(epR) / metric(base)
+		geoLP *= l
+		geoEP *= e
+		cnt++
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\n", name, l, e)
+	}
+	fmt.Fprintf(tw, "gmean\t%.3f\t%.3f\n", math.Pow(geoLP, 1/float64(cnt)), math.Pow(geoEP, 1/float64(cnt)))
+	return tw.Flush()
+}
+
+func expFig12(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "normalized execution time (paper: LP avg 1.011, EP avg 1.09)")
+	return expOverheads(w, o, func(r Result) float64 { return float64(r.Cycles) }, "exec")
+}
+
+func expFig13(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "normalized NVMM writes (paper: LP avg 1.03, EP avg 1.206)")
+	return expOverheads(w, o, func(r Result) float64 { return float64(r.Writes) }, "writes")
+}
+
+func expTab7(w io.Writer, o Options) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "benchmark\tLP native overhead\tpaper")
+	paper := map[string]string{"tmm": "0.8%", "cholesky": "1.1%", "conv2d": "0.9%", "gauss": "2.1%", "fft": "1.1%"}
+	reps := 3
+	sizes := map[string]int{}
+	if o.Quick {
+		reps = 1
+		sizes = map[string]int{"tmm": 128, "cholesky": 192, "conv2d": 192, "gauss": 256, "fft": 1 << 13}
+	}
+	geo, cnt := 1.0, 0
+	for _, name := range benchNames {
+		over, err := native.Overhead(name, sizes[name], reps)
+		if err != nil {
+			return err
+		}
+		geo *= 1 + over
+		cnt++
+		fmt.Fprintf(tw, "%s\t%+.1f%%\t%s\n", name, 100*over, paper[name])
+	}
+	fmt.Fprintf(tw, "gmean\t%+.1f%%\t1.1%%\n", 100*(math.Pow(geo, 1/float64(cnt))-1))
+	return tw.Flush()
+}
+
+func expFig14a(w io.Writer, o Options) error {
+	pairs := [][2]int64{{60, 150}, {100, 225}, {150, 300}}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "NVMM (read,write) ns\tLP overhead\tEP overhead")
+	for _, p := range pairs {
+		mk := func(v Variant) Spec {
+			s := tmmSpec(o, v)
+			s.Sim.MemReadLat = p[0] * sim.CyclesPerNs
+			s.Sim.MemWriteLat = p[1] * sim.CyclesPerNs
+			return s
+		}
+		base, err := execAndCheck(mk(VariantBase))
+		if err != nil {
+			return err
+		}
+		lpR, err := execAndCheck(mk(VariantLP))
+		if err != nil {
+			return err
+		}
+		epR, err := execAndCheck(mk(VariantEP))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "(%d,%d)\t%+.1f%%\t%+.1f%%\n", p[0], p[1],
+			100*(ratio(lpR.Cycles, base.Cycles)-1), 100*(ratio(epR.Cycles, base.Cycles)-1))
+	}
+	fmt.Fprintln(tw, "paper\tshrinks with latency\tgrows with latency")
+	return tw.Flush()
+}
+
+func expFig14b(w io.Writer, o Options) error {
+	counts := []int{1, 2, 4, 8, 16}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "threads\tbase speedup\tLP speedup\tLP overhead")
+	var base1 int64
+	for _, th := range counts {
+		ob := o
+		ob.Threads = th
+		base, err := execAndCheck(tmmSpec(ob, VariantBase))
+		if err != nil {
+			return err
+		}
+		lpR, err := execAndCheck(tmmSpec(ob, VariantLP))
+		if err != nil {
+			return err
+		}
+		if th == 1 {
+			base1 = base.Cycles
+		}
+		fmt.Fprintf(tw, "%d\t%.2fx\t%.2fx\t%+.1f%%\n", th,
+			ratio(base1, base.Cycles), ratio(base1, lpR.Cycles),
+			100*(ratio(lpR.Cycles, base.Cycles)-1))
+	}
+	fmt.Fprintln(tw, "paper\tLP scales like base (1-16 threads)")
+	return tw.Flush()
+}
+
+func expFig15a(w io.Writer, o Options) error {
+	// Paper sweeps 256KB/512KB/1MB for 1024^2 inputs; we preserve the
+	// ratio around our scaled default (DESIGN.md §4). Full runs so the
+	// entire checksum table (≈1% of the matrices, §III-D) cycles
+	// through the cache as it does at paper scale.
+	sizes := []int{64 << 10, 128 << 10, 256 << 10}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "L2 size\tLP overhead\tbase L2MR\tLP L2MR")
+	for _, sz := range sizes {
+		mk := func(v Variant) Spec {
+			s := tmmSpec(o, v)
+			s.WindowOuter = 0
+			h := memsim.DefaultConfig(s.Threads)
+			h.L2Size = sz
+			s.Sim.Hier = h
+			return s
+		}
+		base, err := execAndCheck(mk(VariantBase))
+		if err != nil {
+			return err
+		}
+		lpR, err := execAndCheck(mk(VariantLP))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%dKB\t%+.1f%%\t%.3f\t%.3f\n", sz>>10,
+			100*(ratio(lpR.Cycles, base.Cycles)-1),
+			base.Cache.L2MissRate(), lpR.Cache.L2MissRate())
+	}
+	fmt.Fprintln(tw, "paper (scaled)\t+6.5% / +0.2% / +0.1%\t\t>4% / 2% / 1.5%")
+	return tw.Flush()
+}
+
+func expFig15b(w io.Writer, o Options) error {
+	base, err := execAndCheck(tmmSpec(o, VariantBase))
+	if err != nil {
+		return err
+	}
+	epR, err := execAndCheck(tmmSpec(o, VariantEP))
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "code\tLP overhead\tpaper")
+	paper := map[checksum.Kind]string{
+		checksum.Modular: "+0.2%", checksum.Parity: "+0.1%",
+		checksum.Adler32: "~+1%", checksum.Dual: "+3.4%",
+	}
+	for _, k := range checksum.Kinds() {
+		spec := tmmSpec(o, VariantLP)
+		spec.Kind = k
+		res, err := execAndCheck(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%+.1f%%\t%s\n", k, 100*(ratio(res.Cycles, base.Cycles)-1), paper[k])
+	}
+	fmt.Fprintf(tw, "EP reference\t%+.1f%%\t+12%%\n", 100*(ratio(epR.Cycles, base.Cycles)-1))
+	return tw.Flush()
+}
+
+func expAccuracy(w io.Writer, o Options) error {
+	trials := 2_000_000
+	if o.Quick {
+		trials = 100_000
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "code\ttrials\tmissed\tmiss rate (95% upper bound)")
+	for _, k := range checksum.Kinds() {
+		r := checksum.MeasureAccuracy(k, 64, trials, 42)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t< %.2e\n", k, r.Trials, r.Missed, r.MissRateUpperBound())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	data, corrupted := checksum.ParityBlindSpot(64, 7)
+	pOK := checksum.SumWords(checksum.Parity, data) == checksum.SumWords(checksum.Parity, corrupted)
+	mOK := checksum.SumWords(checksum.Modular, data) == checksum.SumWords(checksum.Modular, corrupted)
+	fmt.Fprintf(w, "parity blind spot (two cancelling lost stores): parity missed=%v, modular missed=%v\n", pOK, mOK)
+	fmt.Fprintln(w, "paper: modular and Adler-32 missed-detection probability < 2e-9")
+	return nil
+}
+
+func expCrash(w io.Writer, o Options) error {
+	spec := tmmSpec(o, VariantLP)
+	spec.WindowOuter = 0 // crash-recovery correctness needs complete runs
+	// Full runs; several tiles per thread so that, as at paper scale,
+	// most tiles are at rest (fully persisted at a consistent level)
+	// while a thread works on one of them — otherwise no region can
+	// ever verify and recovery is always a full recompute.
+	spec.N = 128
+	spec.Threads = 4
+	clean := NewSession(spec)
+	cleanRes := clean.Execute()
+	if err := clean.Verify(); err != nil {
+		return fmt.Errorf("failure-free run invalid: %w", err)
+	}
+	points := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "crash point\trecovery cycles (LP)\twith periodic flush\toutput")
+	for _, f := range points {
+		recCyc := make([]int64, 2)
+		for mode := 0; mode < 2; mode++ {
+			s := spec
+			s.Sim.CrashCycle = int64(f * float64(cleanRes.Cycles))
+			if mode == 1 {
+				// §VI-A: periodic cleanup (2% of exec) bounds the
+				// recovery work by persisting old dirty lines — and
+				// old checksums — in the background.
+				s.Sim.CleanPeriod = cleanRes.Cycles / 50
+			}
+			ses := NewSession(s)
+			r := ses.Execute()
+			if !r.Crashed {
+				return fmt.Errorf("expected crash at %.0f%%", 100*f)
+			}
+			ses.Crash()
+			rr := ses.Recover(sim.Config{})
+			recCyc[mode] = rr.RecoverCyc
+			if err := ses.Verify(); err != nil {
+				fmt.Fprintf(tw, "%.0f%%\t%d\t%d\tMISMATCH: %v\n", 100*f, recCyc[0], recCyc[1], err)
+				return tw.Flush()
+			}
+		}
+		fmt.Fprintf(tw, "%.0f%%\t%d\t%d\tbit-identical to failure-free\n", 100*f, recCyc[0], recCyc[1])
+	}
+	fmt.Fprintln(tw, "note\twithout periodic flushing the hot checksum table may never leave the cache, so recovery conservatively recomputes (the unbounded-recovery problem §VI-A solves)")
+	return tw.Flush()
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsQuick runs every registered experiment end to end in
+// quick mode: each must complete without error and produce a table.
+func TestExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	opt := Options{Quick: true, Threads: 4}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, opt); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if strings.Contains(out, "MISMATCH") {
+				t.Fatalf("%s reported a mismatch:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig10"); !ok {
+		t.Fatal("fig10 not registered")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e.ID)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if len(ids) < 13 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+}
+
+// TestNativeRunInterfaceKernels exercises the interface-based native
+// path (used for cross-checking kernels without simulation).
+func TestNativeRunInterfaceKernels(t *testing.T) {
+	for _, wl := range []string{"tmm", "conv2d"} {
+		spec := smokeSpec(wl, VariantLP)
+		if _, err := NativeRun(spec); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package harness builds and executes complete experiment sessions —
+// workload + persistence strategy + simulated machine — and regenerates
+// every table and figure of the paper's evaluation (§V–§VI). See
+// DESIGN.md §6 for the experiment index.
+package harness
+
+import (
+	"fmt"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+	"lazyp/internal/sim"
+	"lazyp/internal/workloads"
+)
+
+// Variant names a persistence discipline (Table IV).
+type Variant string
+
+// The four variants of the paper's Figure 10.
+const (
+	VariantBase Variant = "base"
+	VariantLP   Variant = "lp"
+	VariantEP   Variant = "ep"
+	VariantWAL  Variant = "wal"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	Workload string // "tmm", "cholesky", "conv2d", "gauss", "fft"
+	Variant  Variant
+
+	N       int // problem size (matrix dim / FFT points)
+	Tile    int // TMM tile size / conv2d block rows (0 = default)
+	Threads int
+	Kind    checksum.Kind
+	Gran    workloads.Granularity // TMM only
+
+	// WindowOuter, when positive, simulates only the first that many
+	// outer-loop units (the paper's fixed-work windows, §V-C). Windowed
+	// runs produce partial outputs; Verify applies to full runs only.
+	WindowOuter int
+
+	// ElementTx makes the TMM WAL variant use one durable transaction
+	// per output element (the literal Figure 2 structure) instead of
+	// one per ii region — kept as an ablation.
+	ElementTx bool
+
+	// EmbeddedTable switches TMM to the embedded checksum organization
+	// of Figure 7(a) (ablation; the paper rejects it for the standalone
+	// table).
+	EmbeddedTable bool
+
+	Sim sim.Config // zero fields take defaults; Threads is overridden
+
+	// EagerChecksum switches the LP variant to eager checksum writes
+	// (ablation).
+	EagerChecksum bool
+}
+
+// Result captures the metrics of one run, in the units the paper
+// reports.
+type Result struct {
+	Cycles     int64
+	Writes     uint64 // NVMM line writes: evictions + flushes (+ cleanup)
+	EvictW     uint64
+	FlushW     uint64
+	CleanW     uint64
+	Reads      uint64
+	Crashed    bool
+	Haz        sim.Hazards
+	Ops        sim.OpCounts
+	Cache      memsim.Stats
+	RecoverCyc int64 // cycles spent in recovery, when recovery ran
+}
+
+// Session owns the memory image and the pieces of one run so that crash
+// and recovery flows can be driven step by step.
+type Session struct {
+	Spec  Spec
+	Mem   *memsim.Memory
+	Work  workloads.Workload
+	Strat lp.Strategy
+	Eng   *sim.Engine
+
+	wal *ep.WAL
+	rec *ep.Recompute
+}
+
+// defaultSizes fills workload-specific defaults.
+func (s *Spec) defaults() {
+	if s.Threads == 0 {
+		s.Threads = 8
+	}
+	if s.N == 0 {
+		switch s.Workload {
+		case "tmm", "cholesky", "conv2d", "gauss":
+			s.N = 256
+		case "fft":
+			s.N = 16384
+		}
+	}
+	if s.Tile == 0 {
+		switch s.Workload {
+		case "tmm":
+			s.Tile = 16
+		case "conv2d":
+			s.Tile = 8 // block rows
+		}
+	}
+}
+
+// capacityFor sizes the simulated memory for the workload plus logs,
+// tables, and slack.
+func capacityFor(s Spec) int {
+	var data int
+	switch s.Workload {
+	case "tmm", "cholesky", "gauss":
+		data = 3 * s.N * s.N * 8
+	case "conv2d":
+		data = 3*s.N*s.N*8 + 1024
+	case "fft":
+		data = 6 * s.N * 8
+	default:
+		panic(fmt.Sprintf("harness: unknown workload %q", s.Workload))
+	}
+	return 2*data + (8 << 20)
+}
+
+// NewSession allocates the memory image, workload, and strategy for
+// spec. NVMM traffic counters are reset after setup, so Execute measures
+// only the kernel, mirroring the paper's methodology.
+func NewSession(spec Spec) *Session {
+	spec.defaults()
+	mem := memsim.NewMemory(capacityFor(spec))
+
+	var w workloads.Workload
+	switch spec.Workload {
+	case "tmm":
+		if spec.EmbeddedTable {
+			w = workloads.NewTMMEmbedded(mem, spec.N, spec.Tile, spec.Threads, spec.Kind)
+		} else {
+			w = workloads.NewTMMGran(mem, spec.N, spec.Tile, spec.Threads, spec.Kind, spec.Gran)
+		}
+	case "cholesky":
+		w = workloads.NewCholesky(mem, spec.N, spec.Threads, spec.Kind)
+	case "conv2d":
+		w = workloads.NewConv2D(mem, spec.N, spec.Tile, spec.Threads, spec.Kind)
+	case "gauss":
+		w = workloads.NewGauss(mem, spec.N, spec.Threads, spec.Kind)
+	case "fft":
+		w = workloads.NewFFT(mem, spec.N, spec.Threads, spec.Kind)
+	default:
+		panic(fmt.Sprintf("harness: unknown workload %q", spec.Workload))
+	}
+
+	ses := &Session{Spec: spec, Mem: mem, Work: w}
+	switch spec.Variant {
+	case VariantBase:
+		ses.Strat = lp.Base{}
+	case VariantLP:
+		l := lp.NewLP(w.Table(), spec.Kind, spec.Threads)
+		l.EagerChecksum = spec.EagerChecksum
+		ses.Strat = l
+	case VariantEP:
+		ses.rec = ep.NewRecompute(mem, spec.Workload+".ep", spec.Threads)
+		ses.Strat = ses.rec
+	case VariantWAL:
+		if tmm, ok := w.(*workloads.TMM); ok && spec.ElementTx {
+			// Ablation: the paper's Figure 2 structure taken literally —
+			// one durable transaction per output element.
+			tmm.ElementTx = true
+		}
+		ses.wal = ep.NewWAL(mem, spec.Workload+".wal", spec.Threads, maxRegionStores(spec))
+		ses.Strat = ses.wal
+	default:
+		panic(fmt.Sprintf("harness: unknown variant %q", spec.Variant))
+	}
+
+	cfg := spec.Sim
+	cfg.Threads = spec.Threads
+	if cfg.Hier == (memsim.Config{}) {
+		cfg.Hier = memsim.DefaultConfig(spec.Threads)
+	}
+	ses.Eng = sim.New(cfg, mem)
+	mem.ResetCounters()
+	return ses
+}
+
+// maxRegionStores bounds one region's stores (WAL log capacity).
+func maxRegionStores(s Spec) int {
+	switch s.Workload {
+	case "tmm":
+		if s.ElementTx {
+			return 2
+		}
+		return s.Tile * s.N
+	case "cholesky":
+		return s.N/s.Threads + 2
+	case "conv2d":
+		return s.Tile * s.N
+	case "gauss":
+		return (s.N/s.Threads + 1) * s.N
+	case "fft":
+		return 2*s.N/s.Threads + 4
+	default:
+		return s.N
+	}
+}
+
+// Execute runs the workload to completion (or to the configured crash)
+// and returns the measured metrics.
+func (s *Session) Execute() Result {
+	eng := s.Eng
+	b := eng.NewBarrier()
+	crashed := eng.Run(func(t *sim.Thread) {
+		env := workloads.Env{
+			C:       t,
+			Tid:     t.ThreadID(),
+			Threads: s.Spec.Threads,
+			Barrier: func() { t.BarrierWait(b) },
+		}
+		s.Work.RunWindow(env, s.Strat.Thread(t.ThreadID()), s.Spec.WindowOuter)
+	})
+	return s.result(eng, crashed, 0)
+}
+
+func (s *Session) result(eng *sim.Engine, crashed bool, recoverCyc int64) Result {
+	total, evict, flush, clean := s.Mem.NVMMWrites()
+	return Result{
+		Cycles:     eng.ExecCycles(),
+		Writes:     total,
+		EvictW:     evict,
+		FlushW:     flush,
+		CleanW:     clean,
+		Reads:      s.Mem.NVMMReads(),
+		Crashed:    crashed,
+		Haz:        eng.Hazards(),
+		Ops:        eng.Ops(),
+		Cache:      eng.Hier.Stats(),
+		RecoverCyc: recoverCyc,
+	}
+}
+
+// Crash applies the failure to the memory image (cache contents lost).
+// Call after Execute reported a crash.
+func (s *Session) Crash() { s.Mem.Crash() }
+
+// Recover runs the variant's recovery single-threaded on a fresh
+// machine over the crashed memory image and returns its metrics. A
+// crash may be injected into recovery itself via recoverCfg.CrashCycle.
+func (s *Session) Recover(recoverCfg sim.Config) Result {
+	recoverCfg.Threads = 1
+	if recoverCfg.Hier == (memsim.Config{}) {
+		recoverCfg.Hier = memsim.DefaultConfig(1)
+	}
+	eng := sim.New(recoverCfg, s.Mem)
+	s.Eng = eng // subsequent DrainCaches/inspection target the recovery machine
+	crashed := eng.Run(func(t *sim.Thread) {
+		s.recoverBody(t)
+	})
+	return s.result(eng, crashed, eng.ExecCycles())
+}
+
+func (s *Session) recoverBody(c pmem.Ctx) {
+	switch s.Spec.Variant {
+	case VariantLP:
+		s.Work.RecoverLP(c)
+	case VariantEP:
+		tmm, ok := s.Work.(*workloads.TMM)
+		if !ok {
+			panic("harness: EP recovery is implemented for TMM")
+		}
+		tmm.RecoverEP(c, s.rec)
+	case VariantWAL:
+		tmm, ok := s.Work.(*workloads.TMM)
+		if !ok {
+			panic("harness: WAL recovery is implemented for TMM")
+		}
+		tmm.RecoverWAL(c, s.wal)
+	default:
+		panic(fmt.Sprintf("harness: no recovery for variant %q", s.Spec.Variant))
+	}
+}
+
+// DrainCaches writes every dirty line back to NVMM without counting the
+// traffic (end-of-test durability, not part of the measured window).
+func (s *Session) DrainCaches() {
+	s.Eng.Hier.DrainDirty(s.Eng.ExecCycles(), false)
+}
+
+// Verify checks the architectural output against the workload's
+// independent reference.
+func (s *Session) Verify() error { return s.Work.Verify(s.Mem) }

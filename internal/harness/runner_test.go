@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"testing"
+
+	"lazyp/internal/sim"
+)
+
+// smokeSpec returns a small, fast configuration for workload/variant.
+func smokeSpec(workload string, v Variant) Spec {
+	s := Spec{Workload: workload, Variant: v, Threads: 4}
+	switch workload {
+	case "tmm", "cholesky":
+		s.N = 64
+	case "conv2d", "gauss":
+		s.N = 64
+	case "fft":
+		s.N = 1024
+	}
+	if workload == "tmm" {
+		s.Tile = 16
+	}
+	if workload == "conv2d" {
+		s.Tile = 4
+	}
+	return s
+}
+
+func TestSmokeAllWorkloadsAllVariants(t *testing.T) {
+	for _, w := range []string{"tmm", "cholesky", "conv2d", "gauss", "fft"} {
+		for _, v := range []Variant{VariantBase, VariantLP, VariantEP, VariantWAL} {
+			w, v := w, v
+			t.Run(w+"/"+string(v), func(t *testing.T) {
+				ses := NewSession(smokeSpec(w, v))
+				res := ses.Execute()
+				if res.Crashed {
+					t.Fatal("unexpected crash")
+				}
+				if res.Cycles <= 0 {
+					t.Fatal("no cycles simulated")
+				}
+				if err := ses.Verify(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestSmokeCrashRecoverLP(t *testing.T) {
+	spec := smokeSpec("tmm", VariantLP)
+	// First, find out how long a clean run takes.
+	clean := NewSession(spec)
+	res := clean.Execute()
+	if err := clean.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec.Sim.CrashCycle = res.Cycles / 2
+	ses := NewSession(spec)
+	r := ses.Execute()
+	if !r.Crashed {
+		t.Fatal("expected a crash")
+	}
+	ses.Crash()
+	rr := ses.Recover(sim.Config{})
+	if rr.Crashed {
+		t.Fatal("recovery should not crash")
+	}
+	if err := ses.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+func testCtx() (*pmem.Native, *memsim.Memory) {
+	m := memsim.NewMemory(1 << 20)
+	return &pmem.Native{Mem: m}, m
+}
+
+func TestTableStartsInvalid(t *testing.T) {
+	c, m := testCtx()
+	tb := NewTable(m, "t", 16)
+	if tb.Slots() != 16 {
+		t.Fatalf("slots = %d", tb.Slots())
+	}
+	for i := 0; i < 16; i++ {
+		if tb.Written(c, i) {
+			t.Fatalf("slot %d written before any commit", i)
+		}
+		if tb.Matches(c, i, 0) {
+			t.Fatal("never-written slot must not match anything")
+		}
+	}
+	// Durably invalid, too: a crash right after setup must still show
+	// Invalid (not zero).
+	m.Crash()
+	if tb.Written(c, 0) {
+		t.Fatal("Invalid initialization was not durable")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	c, m := testCtx()
+	tb := NewTable(m, "t", 4)
+	tb.StoreSum(c, 2, 12345)
+	if !tb.Written(c, 2) || tb.LoadSum(c, 2) != 12345 {
+		t.Fatal("StoreSum/LoadSum broken")
+	}
+	if !tb.Matches(c, 2, 12345) || tb.Matches(c, 2, 12346) {
+		t.Fatal("Matches broken")
+	}
+	tb.Invalidate(c, 2)
+	if tb.Written(c, 2) {
+		t.Fatal("Invalidate did not clear the slot")
+	}
+}
+
+func TestLPStrategyFoldsStores(t *testing.T) {
+	c, m := testCtx()
+	tb := NewTable(m, "t", 8)
+	s := NewLP(tb, checksum.Modular, 2)
+	if s.Name() != "lp" {
+		t.Fatal("name")
+	}
+	arr := pmem.AllocF64(m, "arr", 8)
+
+	vals := []float64{1.5, -2.25, 3.75}
+	ts := s.Thread(1)
+	ts.Begin(c, 5)
+	for i, v := range vals {
+		ts.StoreF(c, arr.Addr(i), v)
+	}
+	ts.End(c)
+
+	// The committed checksum must equal the independent batch checksum
+	// of the stored bit patterns.
+	words := make([]uint64, len(vals))
+	for i, v := range vals {
+		words[i] = math.Float64bits(v)
+	}
+	want := checksum.SumWords(checksum.Modular, words)
+	if !tb.Matches(c, 5, want) {
+		t.Fatalf("committed checksum %#x, want %#x", tb.LoadSum(c, 5), want)
+	}
+	// And the data went through.
+	for i, v := range vals {
+		if arr.Load(c, i) != v {
+			t.Fatalf("store %d lost", i)
+		}
+	}
+}
+
+func TestLPRegionsAreIndependentPerThread(t *testing.T) {
+	c, m := testCtx()
+	tb := NewTable(m, "t", 4)
+	s := NewLP(tb, checksum.Modular, 2)
+	arr := pmem.AllocF64(m, "arr", 8)
+
+	t0, t1 := s.Thread(0), s.Thread(1)
+	t0.Begin(c, 0)
+	t1.Begin(c, 1)
+	t0.StoreF(c, arr.Addr(0), 1)
+	t1.StoreF(c, arr.Addr(1), 2)
+	t0.End(c)
+	t1.End(c)
+	if tb.LoadSum(c, 0) == tb.LoadSum(c, 1) {
+		t.Fatal("interleaved threads polluted each other's checksums")
+	}
+	if !tb.Matches(c, 0, checksum.SumWords(checksum.Modular, []uint64{math.Float64bits(1)})) {
+		t.Fatal("thread 0's region checksum wrong after interleaving")
+	}
+}
+
+func TestBaseStrategyIsTransparent(t *testing.T) {
+	c, m := testCtx()
+	arr := pmem.AllocF64(m, "arr", 4)
+	ts := Base{}.Thread(0)
+	ts.Begin(c, 0)
+	ts.StoreF(c, arr.Addr(0), 9.5)
+	ts.Store64(c, arr.Addr(1), 77)
+	ts.End(c)
+	if arr.Load(c, 0) != 9.5 || c.Load64(arr.Addr(1)) != 77 {
+		t.Fatal("base strategy altered stores")
+	}
+}
+
+func TestSumLoadsMatchesRegion(t *testing.T) {
+	// Property: for any stored values, SumLoads over their addresses
+	// reproduces the region checksum (detection must agree with
+	// normal execution).
+	f := func(raw []uint64) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		c, m := testCtx()
+		tb := NewTable(m, "t", 1)
+		arr := pmem.AllocU64(m, "arr", len(raw))
+		s := NewLP(tb, checksum.Modular, 1)
+		ts := s.Thread(0)
+		ts.Begin(c, 0)
+		addrs := make([]memsim.Addr, len(raw))
+		for i, w := range raw {
+			addrs[i] = arr.Addr(i)
+			ts.Store64(c, addrs[i], w)
+		}
+		ts.End(c)
+		v := Verifier{Table: tb, Kind: checksum.Modular}
+		return v.VerifyAddrs(c, 0, addrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionSummer(t *testing.T) {
+	c, _ := testCtx()
+	rs := NewRegionSummer(checksum.Parity)
+	rs.Add(c, 5)
+	rs.Add(c, 5)
+	sum := rs.Sum()
+	if sum != checksum.SumWords(checksum.Parity, []uint64{5, 5}) {
+		t.Fatal("RegionSummer disagrees with batch checksum")
+	}
+	rs.Reset()
+	if rs.Sum() != checksum.SumWords(checksum.Parity, nil) {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestEagerChecksumVariantStillCorrect(t *testing.T) {
+	c, m := testCtx()
+	tb := NewTable(m, "t", 2)
+	s := NewLP(tb, checksum.Modular, 1)
+	s.EagerChecksum = true
+	arr := pmem.AllocF64(m, "arr", 2)
+	ts := s.Thread(0)
+	ts.Begin(c, 1)
+	ts.StoreF(c, arr.Addr(0), 4.5)
+	ts.End(c)
+	if !tb.Matches(c, 1, checksum.SumWords(checksum.Modular, []uint64{math.Float64bits(4.5)})) {
+		t.Fatal("eager-checksum variant computed a different checksum")
+	}
+}

@@ -1,0 +1,61 @@
+package lp
+
+import (
+	"lazyp/internal/checksum"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// Verifier bundles a table with the checksum code used to fill it and
+// provides the detection half of recovery (Figure 5(c)): recompute a
+// region's checksum from surviving data and compare with the stored one.
+type Verifier struct {
+	Table *Table
+	Kind  checksum.Kind
+}
+
+// SumLoads recomputes a checksum by reading the given addresses through
+// ctx in order. Recovery must feed values in the same order normal
+// execution folded them (checksum codes other than Modular/Parity are
+// order-sensitive).
+func SumLoads(c pmem.Ctx, kind checksum.Kind, addrs []memsim.Addr) uint64 {
+	s := checksum.New(kind)
+	cost := kind.CostPerAdd()
+	for _, a := range addrs {
+		s.Add(c.Load64(a))
+		c.Compute(cost)
+	}
+	return s.Sum()
+}
+
+// VerifyAddrs reports whether region key's stored checksum matches the
+// data now at addrs (IsMatchingChecksum in the paper's Figure 9).
+func (v Verifier) VerifyAddrs(c pmem.Ctx, key int, addrs []memsim.Addr) bool {
+	return v.Table.Matches(c, key, SumLoads(c, v.Kind, addrs))
+}
+
+// RegionSummer incrementally recomputes one region's checksum during
+// recovery when the values are produced by recomputation rather than
+// read back (used by repair code that re-executes a region eagerly and
+// re-commits its checksum).
+type RegionSummer struct {
+	state checksum.State
+	cost  int
+}
+
+// NewRegionSummer returns a fresh summer for the given code.
+func NewRegionSummer(kind checksum.Kind) *RegionSummer {
+	return &RegionSummer{state: checksum.New(kind), cost: kind.CostPerAdd()}
+}
+
+// Reset clears the running checksum.
+func (r *RegionSummer) Reset() { r.state.Reset() }
+
+// Add folds a recomputed value, charging the timing model.
+func (r *RegionSummer) Add(c pmem.Ctx, w uint64) {
+	r.state.Add(w)
+	c.Compute(r.cost)
+}
+
+// Sum finalizes the recomputed checksum.
+func (r *RegionSummer) Sum() uint64 { return r.state.Sum() }

@@ -1,0 +1,193 @@
+package lp
+
+import (
+	"fmt"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// RegionSet is a declarative recovery driver for workloads whose LP
+// regions are *idempotent* — §III-E: "If the regions coincide with LP
+// regions, the recovery code can be trivially constructed since it is
+// identical to the region code itself." A program registers each
+// region's output addresses and its recompute function once; RegionSet
+// then provides both halves of Lazy Persistency mechanically:
+//
+//   - normal execution: Execute runs the region body under the LP
+//     strategy (checksum folding + lazy table commit);
+//   - recovery: Recover revalidates every region against its stored
+//     checksum in registration (dependence) order and re-executes the
+//     ones that do not verify, with Eager Persistency.
+//
+// Regions must be registered in an order that respects data
+// dependences (a region may read only pristine inputs and outputs of
+// earlier-registered regions); within that order, idempotence makes
+// re-execution always safe. Non-idempotent kernels (TMM's accumulation,
+// Gauss's in-place elimination) need bespoke recovery and cannot use
+// RegionSet — see internal/workloads for those patterns.
+type RegionSet struct {
+	table *Table
+	kind  checksum.Kind
+	defs  []regionDef
+}
+
+type regionDef struct {
+	name string
+	// outputs lists every address the region stores, in store order.
+	outputs func() []memsim.Addr
+	// body recomputes the region's outputs through ts.
+	body func(c pmem.Ctx, ts ThreadStrategy)
+}
+
+// NewRegionSet creates an empty set that will allocate a table sized to
+// the registered regions on Seal.
+func NewRegionSet(kind checksum.Kind) *RegionSet {
+	return &RegionSet{kind: kind}
+}
+
+// Add registers a region and returns its key. outputs must enumerate
+// the region's stored addresses in the exact order body stores them.
+func (rs *RegionSet) Add(name string, outputs func() []memsim.Addr, body func(c pmem.Ctx, ts ThreadStrategy)) int {
+	if rs.table != nil {
+		panic("lp: RegionSet.Add after Seal")
+	}
+	rs.defs = append(rs.defs, regionDef{name: name, outputs: outputs, body: body})
+	return len(rs.defs) - 1
+}
+
+// Seal allocates the persistent checksum table (one slot per region) on
+// m. Call once, after every Add and before any Execute or Recover.
+func (rs *RegionSet) Seal(m *memsim.Memory, name string) {
+	if rs.table != nil {
+		panic("lp: RegionSet sealed twice")
+	}
+	if len(rs.defs) == 0 {
+		panic("lp: RegionSet has no regions")
+	}
+	rs.table = NewTable(m, name, len(rs.defs))
+}
+
+// Table exposes the sealed checksum table.
+func (rs *RegionSet) Table() *Table {
+	rs.mustSealed()
+	return rs.table
+}
+
+// Len returns the number of registered regions.
+func (rs *RegionSet) Len() int { return len(rs.defs) }
+
+// Name returns the registered name of region key.
+func (rs *RegionSet) Name(key int) string { return rs.defs[key].name }
+
+func (rs *RegionSet) mustSealed() {
+	if rs.table == nil {
+		panic("lp: RegionSet used before Seal")
+	}
+}
+
+// Execute runs region key under ts (normal lazy execution when ts is an
+// LP thread strategy).
+func (rs *RegionSet) Execute(c pmem.Ctx, ts ThreadStrategy, key int) {
+	rs.mustSealed()
+	d := rs.defs[key]
+	ts.Begin(c, key)
+	d.body(c, ts)
+	ts.End(c)
+}
+
+// ExecuteAll runs every region in order under ts — a convenience for
+// single-threaded programs; parallel programs partition keys themselves.
+func (rs *RegionSet) ExecuteAll(c pmem.Ctx, ts ThreadStrategy) {
+	for key := range rs.defs {
+		rs.Execute(c, ts, key)
+	}
+}
+
+// Verify recomputes region key's checksum from memory and compares it
+// with the stored one.
+func (rs *RegionSet) Verify(c pmem.Ctx, key int) bool {
+	rs.mustSealed()
+	return rs.table.Matches(c, key, SumLoads(c, rs.kind, rs.defs[key].outputs()))
+}
+
+// RecoverReport summarizes one Recover pass.
+type RecoverReport struct {
+	Verified   int // regions whose checksum matched surviving data
+	Recomputed int // regions re-executed eagerly
+}
+
+func (r RecoverReport) String() string {
+	return fmt.Sprintf("%d regions verified, %d recomputed", r.Verified, r.Recomputed)
+}
+
+// Recover walks every region in registration order after a crash:
+// regions that verify are kept; the rest are re-executed under an
+// eager strategy (data flushed and fenced, checksum committed eagerly)
+// so that a second failure during recovery loses nothing (§III-E).
+func (rs *RegionSet) Recover(c pmem.Ctx) RecoverReport {
+	rs.mustSealed()
+	var rep RecoverReport
+	eager := &eagerRegionTS{
+		state: checksum.New(rs.kind),
+		cost:  rs.kind.CostPerAdd(),
+		table: rs.table,
+	}
+	for key := range rs.defs {
+		if rs.Verify(c, key) {
+			rep.Verified++
+			continue
+		}
+		rep.Recomputed++
+		rs.Execute(c, eager, key)
+	}
+	return rep
+}
+
+// eagerRegionTS is a self-contained eager thread strategy (equivalent
+// to ep.EagerLP, duplicated minimally here to keep lp free of an import
+// cycle with ep): stores are tracked per line and flushed at region
+// end; the checksum commits eagerly.
+type eagerRegionTS struct {
+	state checksum.State
+	cost  int
+	key   int
+	table *Table
+	lines []memsim.Addr
+	seen  map[memsim.Addr]struct{}
+}
+
+func (t *eagerRegionTS) Begin(c pmem.Ctx, key int) {
+	t.key = key
+	t.state.Reset()
+	t.lines = t.lines[:0]
+	if t.seen == nil {
+		t.seen = make(map[memsim.Addr]struct{}, 64)
+	}
+	clear(t.seen)
+	c.Compute(1)
+}
+
+func (t *eagerRegionTS) Store64(c pmem.Ctx, a memsim.Addr, v uint64) {
+	c.Store64(a, v)
+	t.state.Add(v)
+	c.Compute(t.cost + 1)
+	la := memsim.LineOf(a)
+	if _, ok := t.seen[la]; !ok {
+		t.seen[la] = struct{}{}
+		t.lines = append(t.lines, la)
+	}
+}
+
+func (t *eagerRegionTS) StoreF(c pmem.Ctx, a memsim.Addr, v float64) {
+	t.Store64(c, a, mathFloat64bits(v))
+}
+
+func (t *eagerRegionTS) End(c pmem.Ctx) {
+	for _, la := range t.lines {
+		c.Flush(la)
+	}
+	c.Fence()
+	t.table.StoreSumEager(c, t.key, t.state.Sum())
+}

@@ -1,0 +1,112 @@
+package memsim
+
+import "fmt"
+
+// lineState is the coherence/validity state of a cached line.
+type lineState uint8
+
+const (
+	stateInvalid  lineState = iota
+	stateShared             // valid, clean with respect to the level below
+	stateModified           // valid, dirty with respect to the level below
+)
+
+// cacheLine is the metadata for one line frame. The data itself lives in
+// Memory's architectural backing array.
+type cacheLine struct {
+	lineAddr Addr // line-aligned address; meaningful when state != invalid
+	state    lineState
+	lru      uint64 // larger = more recently used
+
+	// L2 (directory) fields; unused in L1 frames.
+	sharers    uint32 // bitmask of cores with an L1 copy
+	dirtyOwner int8   // core holding the line Modified in its L1, or -1
+	dirtySince int64  // cycle the line last became dirty anywhere in the hierarchy
+}
+
+// cache is a set-associative cache with true-LRU replacement. It stores
+// metadata only; see the package comment.
+type cache struct {
+	sets    int
+	ways    int
+	setMask Addr
+	lines   []cacheLine // sets*ways, frames of set s at [s*ways, (s+1)*ways)
+	tick    uint64
+}
+
+// newCache builds a cache of the given total size in bytes and
+// associativity. Size must be a multiple of ways*LineSize and the
+// resulting set count must be a power of two.
+func newCache(size, ways int) *cache {
+	if size <= 0 || ways <= 0 || size%(ways*LineSize) != 0 {
+		panic(fmt.Sprintf("memsim: bad cache geometry size=%d ways=%d", size, ways))
+	}
+	sets := size / (ways * LineSize)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("memsim: cache set count %d is not a power of two (size=%d ways=%d)", sets, size, ways))
+	}
+	c := &cache{sets: sets, ways: ways, setMask: Addr(sets - 1)}
+	c.lines = make([]cacheLine, sets*ways)
+	for i := range c.lines {
+		c.lines[i].dirtyOwner = -1
+	}
+	return c
+}
+
+// setOf returns the index of the set holding line address la.
+func (c *cache) setOf(la Addr) int {
+	return int((la >> LineShift) & c.setMask)
+}
+
+// lookup returns the frame holding line la, or nil on miss.
+func (c *cache) lookup(la Addr) *cacheLine {
+	base := c.setOf(la) * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.state != stateInvalid && l.lineAddr == la {
+			return l
+		}
+	}
+	return nil
+}
+
+// touch marks l as most recently used.
+func (c *cache) touch(l *cacheLine) {
+	c.tick++
+	l.lru = c.tick
+}
+
+// victim returns the frame to fill for line la: an invalid frame if one
+// exists, otherwise the least recently used frame of the set. The caller
+// must evict a valid victim before reusing the frame.
+func (c *cache) victim(la Addr) *cacheLine {
+	base := c.setOf(la) * c.ways
+	var lruLine *cacheLine
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.state == stateInvalid {
+			return l
+		}
+		if lruLine == nil || l.lru < lruLine.lru {
+			lruLine = l
+		}
+	}
+	return lruLine
+}
+
+// reset invalidates every frame (used after a crash).
+func (c *cache) reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{dirtyOwner: -1}
+	}
+	c.tick = 0
+}
+
+// forEachValid calls fn for every valid frame.
+func (c *cache) forEachValid(fn func(*cacheLine)) {
+	for i := range c.lines {
+		if c.lines[i].state != stateInvalid {
+			fn(&c.lines[i])
+		}
+	}
+}

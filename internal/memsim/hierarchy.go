@@ -1,0 +1,483 @@
+package memsim
+
+import "fmt"
+
+// Config describes the cache hierarchy geometry. The defaults follow the
+// paper's gem5 configuration (Table II) scaled down proportionally to our
+// smaller inputs; see DESIGN.md §4.
+type Config struct {
+	Cores  int
+	L1Size int // bytes, per core
+	L1Ways int
+	L2Size int // bytes, shared, inclusive
+	L2Ways int
+
+	// PrefetchStreams and PrefetchDegree configure the per-core stride
+	// prefetcher: up to PrefetchStreams concurrent unit-stride streams
+	// are tracked per core; a stream hit prefetches the next
+	// PrefetchDegree lines into the L2. Zero disables prefetching.
+	PrefetchStreams int
+	PrefetchDegree  int
+}
+
+// DefaultConfig returns the scaled default hierarchy: 32 KB 8-way L1s
+// and a 256 KB 8-way shared L2 (the paper uses 64 KB L1 / 512 KB L2 for
+// 1024×1024 inputs; we halve the caches and quarter the matrices,
+// keeping the working set comfortably larger than the L2 so natural
+// evictions — the mechanism Lazy Persistency rides on — stay exercised).
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:  cores,
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 256 << 10, L2Ways: 8,
+		PrefetchStreams: 8, PrefetchDegree: 4,
+	}
+}
+
+// AccessKind reports where an access was satisfied; the timing model in
+// internal/sim converts it to latency.
+type AccessKind uint8
+
+const (
+	// AccessL1 hit in the core's private L1.
+	AccessL1 AccessKind = iota
+	// AccessL2 missed L1 and hit the shared L2 (includes hits that
+	// required an intervention from another core's L1).
+	AccessL2
+	// AccessMem missed both levels and filled from NVMM.
+	AccessMem
+)
+
+// Stats aggregates hierarchy events. Writes to NVMM are counted on Memory
+// (split by cause); everything here is cache-side.
+type Stats struct {
+	L1Hits        uint64
+	L2Accesses    uint64
+	L2Hits        uint64
+	L2Misses      uint64
+	Interventions uint64 // L1-to-L1 dirty transfers through the directory
+	Invalidations uint64 // L1 lines invalidated by coherence or inclusion
+	Upgrades      uint64 // S→M upgrades that consulted the directory
+
+	// Volatility duration (§VI): cycles between a line becoming dirty in
+	// the hierarchy and its content reaching NVMM.
+	MaxVdur int64
+	SumVdur int64
+	NumVdur int64
+
+	// Prefetches counts lines the stride prefetcher brought into L2.
+	Prefetches uint64
+}
+
+// L2MissRate returns L2 misses / L2 accesses (0 when idle).
+func (s *Stats) L2MissRate() float64 {
+	if s.L2Accesses == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(s.L2Accesses)
+}
+
+// Hierarchy is the multi-core cache hierarchy: one private L1 per core
+// and one shared, inclusive L2 with an in-cache directory (a simplified
+// MESI: lines are Invalid, Shared, or Modified; the directory tracks the
+// sharer set and the single Modified owner).
+type Hierarchy struct {
+	cfg     Config
+	mem     *Memory
+	l1      []*cache
+	l2      *cache
+	streams [][]Addr // per-core stream heads (line addresses)
+	nextRep []int    // per-core round-robin stream replacement cursor
+	st      Stats
+}
+
+// NewHierarchy builds the hierarchy over mem.
+func NewHierarchy(cfg Config, mem *Memory) *Hierarchy {
+	if cfg.Cores <= 0 || cfg.Cores > 32 {
+		panic(fmt.Sprintf("memsim: core count %d out of range [1,32]", cfg.Cores))
+	}
+	h := &Hierarchy{cfg: cfg, mem: mem, l2: newCache(cfg.L2Size, cfg.L2Ways)}
+	h.l1 = make([]*cache, cfg.Cores)
+	h.streams = make([][]Addr, cfg.Cores)
+	h.nextRep = make([]int, cfg.Cores)
+	for i := range h.l1 {
+		h.l1[i] = newCache(cfg.L1Size, cfg.L1Ways)
+		if cfg.PrefetchStreams > 0 {
+			h.streams[i] = make([]Addr, cfg.PrefetchStreams)
+		}
+	}
+	return h
+}
+
+// prefetch runs the per-core unit-stride stream detector on an L1 miss
+// to line la and prefetches ahead into the L2. Prefetch fills are clean,
+// charged as NVMM reads, and may evict like demand fills; no latency is
+// charged to the requesting core (the stream runs ahead of demand).
+func (h *Hierarchy) prefetch(core int, la Addr, now int64) {
+	tbl := h.streams[core]
+	if len(tbl) == 0 {
+		return
+	}
+	for i, head := range tbl {
+		if head != 0 && la == head+LineSize {
+			tbl[i] = la
+			for d := 1; d <= h.cfg.PrefetchDegree; d++ {
+				pa := la + Addr(d*LineSize)
+				if int(pa)+LineSize > h.mem.Size() {
+					break
+				}
+				if h.l2.lookup(pa) != nil {
+					continue
+				}
+				h.mem.FetchLine(pa)
+				h.st.Prefetches++
+				h.fillL2(pa, now)
+			}
+			return
+		}
+	}
+	// New stream head.
+	tbl[h.nextRep[core]] = la
+	h.nextRep[core] = (h.nextRep[core] + 1) % len(tbl)
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (h *Hierarchy) Stats() Stats { return h.st }
+
+// ResetStats zeroes the statistics (e.g. after warm-up).
+func (h *Hierarchy) ResetStats() { h.st = Stats{} }
+
+// Reset invalidates all caches without writing anything back — the state
+// of the machine immediately after a crash and restart.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.l1 {
+		c.reset()
+	}
+	h.l2.reset()
+}
+
+// Access simulates core performing a load (write=false) or store
+// (write=true) to address a at the given cycle, and returns where the
+// access hit. Stores follow write-back/write-allocate: the line is
+// brought into the core's L1 in Modified state; dirty data reaches NVMM
+// only via eviction, flush, or cleanup.
+func (h *Hierarchy) Access(core int, a Addr, write bool, now int64) AccessKind {
+	la := LineOf(a)
+	l1 := h.l1[core]
+
+	if l := l1.lookup(la); l != nil {
+		l1.touch(l)
+		h.st.L1Hits++
+		if write && l.state != stateModified {
+			h.upgrade(core, la, l, now)
+		}
+		return AccessL1
+	}
+
+	// L1 miss → consult the shared L2 / directory.
+	h.st.L2Accesses++
+	l2l := h.l2.lookup(la)
+	kind := AccessL2
+	if l2l == nil {
+		kind = AccessMem
+		h.st.L2Misses++
+		h.mem.FetchLine(la)
+		l2l = h.fillL2(la, now)
+	} else {
+		h.st.L2Hits++
+		h.l2.touch(l2l)
+	}
+
+	// Coherence actions on the existing copies.
+	if own := l2l.dirtyOwner; own >= 0 && int(own) != core {
+		// Another core holds the line Modified: a cache-to-cache
+		// transfer (intervention). The line's dirtiness moves to the
+		// L2 level; dirtySince is preserved.
+		h.st.Interventions++
+		ol := h.l1[own].lookup(la)
+		if ol == nil {
+			panic("memsim: directory says Modified but owner L1 has no copy")
+		}
+		if write {
+			ol.state = stateInvalid
+			h.st.Invalidations++
+			l2l.sharers &^= 1 << uint(own)
+		} else {
+			ol.state = stateShared // downgraded; dirty data now tracked at L2
+		}
+		l2l.state = stateModified
+		l2l.dirtyOwner = -1
+	}
+	if write {
+		// Invalidate all other sharers and take exclusive ownership.
+		h.invalidateSharers(la, l2l, core)
+		if l2l.state != stateModified && l2l.dirtyOwner < 0 {
+			l2l.dirtySince = now
+		}
+		l2l.dirtyOwner = int8(core)
+	}
+	l2l.sharers |= 1 << uint(core)
+
+	// Train the prefetcher and run ahead of the stream. This happens
+	// after the demand line is resolved so prefetch fills cannot
+	// invalidate the frame being accessed.
+	h.prefetch(core, la, now)
+
+	// Install in the requesting L1.
+	h.installL1(core, la, write, now)
+	return kind
+}
+
+// upgrade handles a store hitting a Shared line in the core's L1: the
+// directory invalidates every other sharer and records the new owner.
+func (h *Hierarchy) upgrade(core int, la Addr, l *cacheLine, now int64) {
+	l2l := h.l2.lookup(la)
+	if l2l == nil {
+		panic("memsim: inclusion violation — L1 line missing from L2")
+	}
+	h.st.Upgrades++
+	h.invalidateSharers(la, l2l, core)
+	if l2l.state != stateModified && l2l.dirtyOwner < 0 {
+		l2l.dirtySince = now
+	}
+	l2l.dirtyOwner = int8(core)
+	l.state = stateModified
+}
+
+// invalidateSharers removes every L1 copy of la except keep's.
+func (h *Hierarchy) invalidateSharers(la Addr, l2l *cacheLine, keep int) {
+	mask := l2l.sharers &^ (1 << uint(keep))
+	for mask != 0 {
+		for c := 0; c < h.cfg.Cores; c++ {
+			if mask&(1<<uint(c)) == 0 {
+				continue
+			}
+			if ol := h.l1[c].lookup(la); ol != nil {
+				if ol.state == stateModified {
+					// Merge dirtiness into L2 before dropping.
+					l2l.state = stateModified
+				}
+				ol.state = stateInvalid
+				h.st.Invalidations++
+			}
+		}
+		mask = 0
+	}
+	l2l.sharers &= 1 << uint(keep)
+	if l2l.dirtyOwner != int8(keep) {
+		l2l.dirtyOwner = -1
+	}
+}
+
+// installL1 places la into core's L1, evicting the LRU victim if needed.
+func (h *Hierarchy) installL1(core int, la Addr, write bool, now int64) {
+	l1 := h.l1[core]
+	v := l1.victim(la)
+	if v.state != stateInvalid {
+		h.evictL1(core, v)
+	}
+	v.lineAddr = la
+	v.state = stateShared
+	if write {
+		v.state = stateModified
+	}
+	l1.touch(v)
+}
+
+// evictL1 silently drops a clean L1 line or merges a dirty one into L2.
+func (h *Hierarchy) evictL1(core int, v *cacheLine) {
+	l2l := h.l2.lookup(v.lineAddr)
+	if l2l == nil {
+		panic("memsim: inclusion violation — evicting L1 line missing from L2")
+	}
+	if v.state == stateModified {
+		l2l.state = stateModified
+	}
+	if l2l.dirtyOwner == int8(core) {
+		l2l.dirtyOwner = -1
+	}
+	l2l.sharers &^= 1 << uint(core)
+	v.state = stateInvalid
+}
+
+// fillL2 allocates an L2 frame for la, evicting (and if dirty, writing
+// back) the victim, honoring inclusion by recalling all L1 copies.
+func (h *Hierarchy) fillL2(la Addr, now int64) *cacheLine {
+	v := h.l2.victim(la)
+	if v.state != stateInvalid {
+		h.evictL2(v, now)
+	}
+	*v = cacheLine{lineAddr: la, state: stateShared, dirtyOwner: -1}
+	h.l2.touch(v)
+	return v
+}
+
+// evictL2 removes a line from the whole hierarchy (inclusive), writing it
+// back to NVMM if it is dirty anywhere. This is the "natural eviction"
+// that Lazy Persistency rides on.
+func (h *Hierarchy) evictL2(v *cacheLine, now int64) {
+	dirty := v.state == stateModified
+	for mask, c := v.sharers, 0; mask != 0; c++ {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(c)
+		if ol := h.l1[c].lookup(v.lineAddr); ol != nil {
+			if ol.state == stateModified {
+				dirty = true
+			}
+			ol.state = stateInvalid
+			h.st.Invalidations++
+		}
+	}
+	if dirty {
+		h.mem.WriteBackLine(v.lineAddr, CauseEvict)
+		h.recordVdur(now - v.dirtySince)
+	}
+	v.state = stateInvalid
+	v.sharers = 0
+	v.dirtyOwner = -1
+}
+
+// Flush simulates clflushopt: the line is invalidated from every cache
+// and, if dirty anywhere, written back to NVMM. It returns true when a
+// write-back happened (the flush had to move data). Flushing an uncached
+// or clean line performs no NVMM write.
+func (h *Hierarchy) Flush(core int, a Addr, now int64) bool {
+	la := LineOf(a)
+	l2l := h.l2.lookup(la)
+	if l2l == nil {
+		// Not cached at any level (inclusive hierarchy) — nothing to do.
+		return false
+	}
+	dirty := l2l.state == stateModified
+	for mask, c := l2l.sharers, 0; mask != 0; c++ {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(c)
+		if ol := h.l1[c].lookup(la); ol != nil {
+			if ol.state == stateModified {
+				dirty = true
+			}
+			ol.state = stateInvalid
+			h.st.Invalidations++
+		}
+	}
+	if dirty {
+		h.mem.WriteBackLine(la, CauseFlush)
+		h.recordVdur(now - l2l.dirtySince)
+	}
+	l2l.state = stateInvalid
+	l2l.sharers = 0
+	l2l.dirtyOwner = -1
+	return dirty
+}
+
+// CleanAll is the periodic hardware cleanup of §III-E.1 applied to the
+// whole hierarchy at once: every dirty line is written back to NVMM but
+// *not* evicted (clwb-like). Lines stay valid and resident; their dirty
+// state clears. It returns the number of lines written.
+func (h *Hierarchy) CleanAll(now int64) int {
+	return h.CleanOlder(now, 0)
+}
+
+// CleanOlder is the spaced form of the periodic cleanup the paper
+// describes ("the hardware cache cleanup logic can space out write backs
+// to avoid bursty writeback traffic"): only lines that have been dirty
+// for at least age cycles are written back. With age equal to the
+// configured flush period, a line is persisted roughly one period after
+// it was written — bounding recovery work — while lines still in active
+// use are left alone. The paper argues the background write-backs are
+// off the critical path, so no latency is charged.
+func (h *Hierarchy) CleanOlder(now, age int64) int {
+	n := 0
+	h.l2.forEachValid(func(l2l *cacheLine) {
+		dirty := l2l.state == stateModified
+		own := l2l.dirtyOwner
+		if own >= 0 {
+			if ol := h.l1[own].lookup(l2l.lineAddr); ol != nil && ol.state == stateModified {
+				dirty = true
+			}
+		}
+		if !dirty || now-l2l.dirtySince < age {
+			return
+		}
+		if own >= 0 {
+			if ol := h.l1[own].lookup(l2l.lineAddr); ol != nil && ol.state == stateModified {
+				ol.state = stateShared // keep resident, now clean
+			}
+			l2l.dirtyOwner = -1
+		}
+		h.mem.WriteBackLine(l2l.lineAddr, CauseClean)
+		h.recordVdur(now - l2l.dirtySince)
+		l2l.state = stateShared
+		n++
+	})
+	return n
+}
+
+// DrainDirty writes back every dirty line (eviction-cause accounting) and
+// leaves the caches clean. Used at the end of an un-crashed run when an
+// experiment needs the final durable image (e.g. to verify outputs), and
+// by tests. Unlike CleanAll it counts as natural eviction traffic only
+// when countWrites is true.
+func (h *Hierarchy) DrainDirty(now int64, countWrites bool) int {
+	n := 0
+	h.l2.forEachValid(func(l2l *cacheLine) {
+		dirty := l2l.state == stateModified
+		if own := l2l.dirtyOwner; own >= 0 {
+			if ol := h.l1[own].lookup(l2l.lineAddr); ol != nil && ol.state == stateModified {
+				dirty = true
+				ol.state = stateShared
+			}
+			l2l.dirtyOwner = -1
+		}
+		if dirty {
+			if countWrites {
+				h.mem.WriteBackLine(l2l.lineAddr, CauseEvict)
+				h.recordVdur(now - l2l.dirtySince)
+			} else {
+				la := l2l.lineAddr
+				copy(h.mem.durable[la:la+LineSize], h.mem.backing[la:la+LineSize])
+			}
+			l2l.state = stateShared
+			n++
+		}
+	})
+	return n
+}
+
+// DirtyLines returns how many lines are currently dirty in the hierarchy.
+func (h *Hierarchy) DirtyLines() int {
+	n := 0
+	h.l2.forEachValid(func(l2l *cacheLine) {
+		if l2l.state == stateModified {
+			n++
+			return
+		}
+		if own := l2l.dirtyOwner; own >= 0 {
+			if ol := h.l1[own].lookup(l2l.lineAddr); ol != nil && ol.state == stateModified {
+				n++
+			}
+		}
+	})
+	return n
+}
+
+// Cached reports whether the line containing a is resident anywhere.
+func (h *Hierarchy) Cached(a Addr) bool { return h.l2.lookup(LineOf(a)) != nil }
+
+func (h *Hierarchy) recordVdur(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	if d > h.st.MaxVdur {
+		h.st.MaxVdur = d
+	}
+	h.st.SumVdur += d
+	h.st.NumVdur++
+}

@@ -1,0 +1,279 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// testHier builds a small hierarchy with prefetching disabled so tests
+// can reason about exact line residency.
+func testHier(cores int) (*Hierarchy, *Memory) {
+	m := NewMemory(1 << 20)
+	cfg := Config{Cores: cores, L1Size: 1 << 10, L1Ways: 2, L2Size: 4 << 10, L2Ways: 4}
+	return NewHierarchy(cfg, m), m
+}
+
+func TestAccessLevels(t *testing.T) {
+	h, m := testHier(1)
+	a := m.Alloc("x", 64)
+	if k := h.Access(0, a, false, 0); k != AccessMem {
+		t.Fatalf("first access kind = %v, want AccessMem", k)
+	}
+	if k := h.Access(0, a, false, 1); k != AccessL1 {
+		t.Fatalf("second access kind = %v, want AccessL1", k)
+	}
+	if m.NVMMReads() != 1 {
+		t.Fatalf("NVMM reads = %d, want 1", m.NVMMReads())
+	}
+}
+
+func TestL1EvictionLeavesL2Copy(t *testing.T) {
+	h, m := testHier(1)
+	// L1: 1KB 2-way = 8 sets; lines 8 sets apart collide.
+	base := m.Alloc("x", 64*64)
+	conflict := []Addr{base, base + 8*64, base + 16*64}
+	for _, a := range conflict {
+		h.Access(0, a, false, 0)
+	}
+	// base was evicted from its 2-way L1 set but must still be in L2.
+	if k := h.Access(0, conflict[0], false, 1); k != AccessL2 {
+		t.Fatalf("kind after L1 conflict eviction = %v, want AccessL2", k)
+	}
+}
+
+func TestDirtyEvictionWritesNVMM(t *testing.T) {
+	h, m := testHier(1)
+	// L2: 4KB 4-way = 16 sets; lines 16*64 bytes apart share a set.
+	base := m.Alloc("x", 64*64*8)
+	h.Access(0, base, true, 0)
+	m.Store64(base, 99)
+	// Walk enough conflicting lines to force base out of L2.
+	for i := 1; i <= 4; i++ {
+		h.Access(0, base+Addr(i*16*64), false, int64(i))
+	}
+	if h.Cached(base) {
+		t.Fatal("victim line still resident")
+	}
+	if got := m.DurableLoad64(base); got != 99 {
+		t.Fatalf("dirty eviction did not write back: durable=%d", got)
+	}
+	_, evict, _, _ := m.NVMMWrites()
+	if evict != 1 {
+		t.Fatalf("evict writes = %d, want 1", evict)
+	}
+}
+
+func TestFlushDirtyAndClean(t *testing.T) {
+	h, m := testHier(1)
+	a := m.Alloc("x", 128)
+	h.Access(0, a, true, 0)
+	m.Store64(a, 5)
+	if !h.Flush(0, a, 1) {
+		t.Fatal("flush of dirty line should report a write-back")
+	}
+	if m.DurableLoad64(a) != 5 {
+		t.Fatal("flush did not persist the line")
+	}
+	if h.Cached(a) {
+		t.Fatal("clflushopt must invalidate the line")
+	}
+	// Clean line: no write.
+	h.Access(0, a+64, false, 2)
+	if h.Flush(0, a+64, 3) {
+		t.Fatal("flush of clean line must not write")
+	}
+	// Absent line: no-op.
+	if h.Flush(0, a, 4) {
+		t.Fatal("flush of uncached line must not write")
+	}
+	_, _, flush, _ := m.NVMMWrites()
+	if flush != 1 {
+		t.Fatalf("flush writes = %d, want 1", flush)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	h, m := testHier(2)
+	a := m.Alloc("x", 64)
+	h.Access(0, a, false, 0)
+	h.Access(1, a, false, 0)
+	// Core 1 writes: core 0's copy must be invalidated.
+	h.Access(1, a, true, 1)
+	if k := h.Access(0, a, false, 2); k != AccessL2 {
+		t.Fatalf("reader after invalidation: kind=%v, want AccessL2", k)
+	}
+	if h.Stats().Invalidations == 0 {
+		t.Fatal("no invalidations recorded")
+	}
+}
+
+func TestInterventionOnDirtyRemoteLine(t *testing.T) {
+	h, m := testHier(2)
+	a := m.Alloc("x", 64)
+	h.Access(0, a, true, 0) // core 0 holds Modified
+	m.Store64(a, 11)
+	if k := h.Access(1, a, false, 1); k != AccessL2 {
+		t.Fatalf("remote dirty read kind = %v, want AccessL2", k)
+	}
+	if h.Stats().Interventions != 1 {
+		t.Fatalf("interventions = %d, want 1", h.Stats().Interventions)
+	}
+	// The dirtiness must survive at the L2 level: evict and check.
+	if n := h.DrainDirty(2, true); n != 1 {
+		t.Fatalf("drain found %d dirty lines, want 1", n)
+	}
+	if m.DurableLoad64(a) != 11 {
+		t.Fatal("intervention lost dirty data")
+	}
+}
+
+func TestUpgradeSharedToModified(t *testing.T) {
+	h, m := testHier(2)
+	a := m.Alloc("x", 64)
+	h.Access(0, a, false, 0)
+	h.Access(1, a, false, 0)
+	// Core 0 writes its Shared copy: needs an upgrade.
+	if k := h.Access(0, a, true, 1); k != AccessL1 {
+		t.Fatalf("upgrade should be an L1 hit, got %v", k)
+	}
+	if h.Stats().Upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", h.Stats().Upgrades)
+	}
+	if h.DirtyLines() != 1 {
+		t.Fatalf("dirty lines = %d, want 1", h.DirtyLines())
+	}
+}
+
+func TestInclusionL2EvictRecallsL1(t *testing.T) {
+	h, m := testHier(1)
+	base := m.Alloc("x", 64*64*8)
+	h.Access(0, base, true, 0)
+	m.Store64(base, 123)
+	for i := 1; i <= 4; i++ {
+		h.Access(0, base+Addr(i*16*64), false, int64(i))
+	}
+	// base evicted from L2 → also gone from L1 (inclusion), data durable.
+	if k := h.Access(0, base, false, 10); k != AccessMem {
+		t.Fatalf("post-inclusion-eviction access = %v, want AccessMem", k)
+	}
+	if m.DurableLoad64(base) != 123 {
+		t.Fatal("L1 dirty data lost by inclusive eviction")
+	}
+}
+
+func TestCleanAllKeepsLinesResident(t *testing.T) {
+	h, m := testHier(1)
+	a := m.Alloc("x", 64)
+	h.Access(0, a, true, 0)
+	m.Store64(a, 77)
+	if n := h.CleanAll(100); n != 1 {
+		t.Fatalf("CleanAll wrote %d lines, want 1", n)
+	}
+	if m.DurableLoad64(a) != 77 {
+		t.Fatal("CleanAll did not persist")
+	}
+	if !h.Cached(a) {
+		t.Fatal("CleanAll must not evict")
+	}
+	if k := h.Access(0, a, false, 101); k != AccessL1 {
+		t.Fatalf("post-clean access = %v, want AccessL1", k)
+	}
+	if h.DirtyLines() != 0 {
+		t.Fatal("CleanAll left dirty lines")
+	}
+	// Cleaning twice must not double-write.
+	if n := h.CleanAll(200); n != 0 {
+		t.Fatalf("second CleanAll wrote %d lines, want 0", n)
+	}
+}
+
+func TestVolatilityDuration(t *testing.T) {
+	h, m := testHier(1)
+	a := m.Alloc("x", 64)
+	h.Access(0, a, true, 1000)
+	m.Store64(a, 1)
+	h.Flush(0, a, 4000)
+	st := h.Stats()
+	if st.MaxVdur != 3000 {
+		t.Fatalf("MaxVdur = %d, want 3000", st.MaxVdur)
+	}
+	if st.NumVdur != 1 || st.SumVdur != 3000 {
+		t.Fatalf("vdur stats = %d/%d", st.NumVdur, st.SumVdur)
+	}
+}
+
+func TestResetClearsCaches(t *testing.T) {
+	h, m := testHier(1)
+	a := m.Alloc("x", 64)
+	h.Access(0, a, true, 0)
+	h.Reset()
+	if h.Cached(a) {
+		t.Fatal("Reset left lines resident")
+	}
+	if h.DirtyLines() != 0 {
+		t.Fatal("Reset left dirty lines")
+	}
+}
+
+func TestPrefetcherStreams(t *testing.T) {
+	m := NewMemory(1 << 20)
+	cfg := Config{Cores: 1, L1Size: 1 << 10, L1Ways: 2, L2Size: 8 << 10, L2Ways: 4,
+		PrefetchStreams: 4, PrefetchDegree: 2}
+	h := NewHierarchy(cfg, m)
+	base := m.Alloc("x", 64*64)
+	h.Access(0, base, false, 0)    // trains head
+	h.Access(0, base+64, false, 1) // stream detected: prefetch +2,+3
+	if h.Stats().Prefetches == 0 {
+		t.Fatal("no prefetches issued for a unit-stride stream")
+	}
+	if k := h.Access(0, base+2*64, false, 2); k != AccessL2 {
+		t.Fatalf("prefetched line access = %v, want AccessL2", k)
+	}
+}
+
+// Property: after an arbitrary mix of reads, writes, flushes, and
+// cleanups from multiple cores, every line that is not dirty in the
+// hierarchy has identical architectural and durable contents, and a
+// crash therefore preserves exactly the written-back values.
+func TestHierarchyDurabilityInvariantProperty(t *testing.T) {
+	type op struct {
+		Core uint8
+		Line uint8
+		Val  uint64
+		Kind uint8 // 0 read, 1 write, 2 flush, 3 clean-all
+	}
+	f := func(ops []op) bool {
+		h, m := testHier(2)
+		base := m.Alloc("arr", 32*LineSize)
+		now := int64(0)
+		for _, o := range ops {
+			now++
+			a := base + Addr(int(o.Line)%32)*LineSize
+			core := int(o.Core) % 2
+			switch o.Kind % 4 {
+			case 0:
+				h.Access(core, a, false, now)
+			case 1:
+				h.Access(core, a, true, now)
+				m.Store64(a, o.Val)
+			case 2:
+				h.Flush(core, a, now)
+			case 3:
+				h.CleanAll(now)
+			}
+		}
+		// Every non-dirty line must already be durable.
+		dirty := h.DirtyLines()
+		persisted := 0
+		for i := 0; i < 32; i++ {
+			a := base + Addr(i)*LineSize
+			if m.Load64(a) == m.DurableLoad64(a) {
+				persisted++
+			}
+		}
+		return 32-persisted <= dirty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

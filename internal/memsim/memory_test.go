@@ -1,0 +1,174 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	m := NewMemory(1 << 20)
+	a := m.Alloc("a", 10)
+	b := m.Alloc("b", 64)
+	c := m.Alloc("c", 65)
+	d := m.Alloc("d", 1)
+	for _, addr := range []Addr{a, b, c, d} {
+		if addr%LineSize != 0 {
+			t.Fatalf("allocation %#x not line aligned", addr)
+		}
+		if addr == 0 {
+			t.Fatal("allocator handed out address 0")
+		}
+	}
+	if b != a+64 {
+		t.Fatalf("10-byte allocation should consume one line: a=%#x b=%#x", a, b)
+	}
+	if d != c+128 {
+		t.Fatalf("65-byte allocation should consume two lines: c=%#x d=%#x", c, d)
+	}
+	if got := len(m.Allocations()); got != 4 {
+		t.Fatalf("allocation table has %d entries, want 4", got)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := NewMemory(256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-memory")
+		}
+	}()
+	m.Alloc("too-big", 1<<20)
+}
+
+func TestAllocBadSizePanics(t *testing.T) {
+	m := NewMemory(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive size")
+		}
+	}()
+	m.Alloc("zero", 0)
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := NewMemory(1 << 16)
+	a := m.Alloc("x", 64)
+	m.Store64(a, 0xdeadbeefcafef00d)
+	if got := m.Load64(a); got != 0xdeadbeefcafef00d {
+		t.Fatalf("Load64 = %#x", got)
+	}
+	m.StoreFloat64(a+8, 3.25)
+	if got := m.LoadFloat64(a + 8); got != 3.25 {
+		t.Fatalf("LoadFloat64 = %v", got)
+	}
+}
+
+func TestDurabilityIsExplicit(t *testing.T) {
+	m := NewMemory(1 << 16)
+	a := m.Alloc("x", 64)
+	m.Store64(a, 42)
+	if got := m.DurableLoad64(a); got != 0 {
+		t.Fatalf("store reached NVMM without write-back: durable=%d", got)
+	}
+	m.WriteBackLine(a, CauseEvict)
+	if got := m.DurableLoad64(a); got != 42 {
+		t.Fatalf("durable after write-back = %d, want 42", got)
+	}
+	total, evict, flush, clean := m.NVMMWrites()
+	if total != 1 || evict != 1 || flush != 0 || clean != 0 {
+		t.Fatalf("write accounting = %d/%d/%d/%d", total, evict, flush, clean)
+	}
+}
+
+func TestCrashDiscardsUnpersistedStores(t *testing.T) {
+	m := NewMemory(1 << 16)
+	a := m.Alloc("x", 128)
+	m.Store64(a, 1)
+	m.WriteBackLine(a, CauseFlush)
+	m.Store64(a, 2)    // newer value, not written back
+	m.Store64(a+64, 3) // different line, never written back
+	m.Crash()
+	if got := m.Load64(a); got != 1 {
+		t.Fatalf("after crash, line with write-back should hold 1, got %d", got)
+	}
+	if got := m.Load64(a + 64); got != 0 {
+		t.Fatalf("after crash, never-persisted line should be zero, got %d", got)
+	}
+}
+
+func TestPersistInitializesDurable(t *testing.T) {
+	m := NewMemory(1 << 16)
+	a := m.Alloc("x", 64)
+	m.Store64(a, 7)
+	m.Persist(a, 64)
+	before, _, _, _ := m.NVMMWrites()
+	if before != 0 {
+		t.Fatal("Persist must not count NVMM traffic")
+	}
+	m.Crash()
+	if got := m.Load64(a); got != 7 {
+		t.Fatalf("Persist did not reach durable image: %d", got)
+	}
+}
+
+func TestWriteBackCauseSplit(t *testing.T) {
+	m := NewMemory(1 << 16)
+	a := m.Alloc("x", 64*3)
+	m.WriteBackLine(a, CauseEvict)
+	m.WriteBackLine(a+64, CauseFlush)
+	m.WriteBackLine(a+128, CauseClean)
+	total, evict, flush, clean := m.NVMMWrites()
+	if total != 3 || evict != 1 || flush != 1 || clean != 1 {
+		t.Fatalf("cause split = %d/%d/%d/%d", total, evict, flush, clean)
+	}
+	m.ResetCounters()
+	total, _, _, _ = m.NVMMWrites()
+	if total != 0 || m.NVMMReads() != 0 {
+		t.Fatal("ResetCounters did not zero counters")
+	}
+}
+
+func TestLineOfProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		la := LineOf(Addr(a))
+		return la%LineSize == 0 && la <= Addr(a) && Addr(a)-la < LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a word's durable value is always the value it had at its most
+// recent write-back (or its initial value), regardless of the
+// architectural churn in between.
+func TestDurableTracksLastWriteBackProperty(t *testing.T) {
+	type op struct {
+		Line  uint8
+		Val   uint64
+		Flush bool
+	}
+	f := func(ops []op) bool {
+		m := NewMemory(1 << 12)
+		base := m.Alloc("arr", 16*LineSize)
+		shadow := make(map[Addr]uint64) // expected durable values
+		for _, o := range ops {
+			a := base + Addr(int(o.Line)%16)*LineSize
+			m.Store64(a, o.Val)
+			if o.Flush {
+				m.WriteBackLine(a, CauseFlush)
+				shadow[a] = o.Val
+			}
+		}
+		m.Crash()
+		for i := 0; i < 16; i++ {
+			a := base + Addr(i)*LineSize
+			if m.Load64(a) != shadow[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+// Package memsim models the volatile/persistent memory hierarchy that
+// Lazy Persistency (Alshboul, Tuck, Solihin — ISCA 2018) relies on: a
+// byte-addressable non-volatile main memory (NVMM) behind a hierarchy of
+// write-back caches (a private L1 per core and a shared, inclusive L2).
+//
+// The model is *functional + accounting*: the current architectural value
+// of every byte lives in one flat backing array, the durable (NVMM) value
+// lives in a second array, and the caches track only metadata (valid,
+// dirty, sharers, LRU). A cache line's content reaches the durable array
+// only when the hierarchy writes the line back — by natural eviction, by
+// an explicit cache-line flush (clflushopt), or by the periodic hardware
+// cleanup of §III-E.1 of the paper. A crash discards all cache metadata
+// and resets the architectural state to the durable state, which is
+// exactly the paper's failure model: a store survives a failure iff its
+// block left the cache hierarchy before the failure.
+//
+// The package is single-threaded by design: the simulation engine in
+// internal/sim guarantees that exactly one simulated thread executes at a
+// time, so the hierarchy needs no locks and stays deterministic.
+package memsim
+
+// Addr is a byte address in the simulated flat physical address space.
+type Addr uint64
+
+const (
+	// LineShift is log2 of the cache line size.
+	LineShift = 6
+	// LineSize is the cache line size in bytes. Both the paper's gem5
+	// configuration and our model use 64-byte lines.
+	LineSize = 1 << LineShift
+	// LineMask extracts the offset within a line.
+	LineMask = LineSize - 1
+)
+
+// LineOf returns the address of the cache line containing a.
+func LineOf(a Addr) Addr { return a &^ Addr(LineMask) }

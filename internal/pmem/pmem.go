@@ -1,0 +1,78 @@
+// Package pmem provides typed views (words, float64 vectors, matrices)
+// over the simulated persistent address space, plus the Ctx execution
+// interface that workload kernels are written against.
+//
+// A kernel parameterized by Ctx runs in two modes:
+//
+//   - simulated: Ctx is a *sim.Thread — every access goes through the
+//     cache hierarchy and the timing model;
+//   - native: Ctx is a *Native — accesses touch the backing array
+//     directly with no simulation, for golden-output computation and for
+//     the paper's real-machine experiment (Table VII) where only
+//     wall-clock time matters.
+package pmem
+
+import (
+	"math"
+
+	"lazyp/internal/memsim"
+)
+
+// Ctx is the execution context a simulated (or native) thread exposes to
+// workload kernels: data access, Eager Persistency primitives, and
+// compute-cost accounting. *sim.Thread implements it.
+type Ctx interface {
+	// Load64 / Store64 access one 8-byte word.
+	Load64(a memsim.Addr) uint64
+	Store64(a memsim.Addr, v uint64)
+	// LoadF / StoreF are float64 views of the same words.
+	LoadF(a memsim.Addr) float64
+	StoreF(a memsim.Addr, v float64)
+	// Flush issues clflushopt for the line containing a.
+	Flush(a memsim.Addr)
+	// Fence issues sfence (orders and awaits durability of prior
+	// stores and flushes by this thread).
+	Fence()
+	// Compute charges n ALU instructions to the timing model.
+	Compute(n int)
+	// ThreadID identifies the calling thread.
+	ThreadID() int
+}
+
+// Float64Bits converts a float64 to its raw word (math.Float64bits).
+func Float64Bits(v float64) uint64 { return math.Float64bits(v) }
+
+// Float64From converts a raw word back to float64.
+func Float64From(w uint64) float64 { return math.Float64frombits(w) }
+
+// Native is a Ctx that accesses memory directly with zero simulation.
+// Flush and Fence are no-ops — matching the paper's real-machine runs,
+// which execute on a DRAM system and measure execution time only.
+type Native struct {
+	Mem *memsim.Memory
+	ID  int
+}
+
+// Load64 implements Ctx.
+func (n *Native) Load64(a memsim.Addr) uint64 { return n.Mem.Load64(a) }
+
+// Store64 implements Ctx.
+func (n *Native) Store64(a memsim.Addr, v uint64) { n.Mem.Store64(a, v) }
+
+// LoadF implements Ctx.
+func (n *Native) LoadF(a memsim.Addr) float64 { return math.Float64frombits(n.Mem.Load64(a)) }
+
+// StoreF implements Ctx.
+func (n *Native) StoreF(a memsim.Addr, v float64) { n.Mem.Store64(a, math.Float64bits(v)) }
+
+// Flush implements Ctx (no-op natively).
+func (n *Native) Flush(memsim.Addr) {}
+
+// Fence implements Ctx (no-op natively).
+func (n *Native) Fence() {}
+
+// Compute implements Ctx (no-op natively).
+func (n *Native) Compute(int) {}
+
+// ThreadID implements Ctx.
+func (n *Native) ThreadID() int { return n.ID }

@@ -1,0 +1,94 @@
+package pmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lazyp/internal/memsim"
+)
+
+func TestF64Vector(t *testing.T) {
+	m := memsim.NewMemory(1 << 16)
+	v := AllocF64(m, "v", 10)
+	c := &Native{Mem: m}
+	v.Fill(m, func(i int) float64 { return float64(i) * 1.5 })
+	for i := 0; i < 10; i++ {
+		if v.Load(c, i) != float64(i)*1.5 {
+			t.Fatalf("element %d wrong", i)
+		}
+	}
+	v.Store(c, 3, -7)
+	snap := v.Snapshot(m)
+	if snap[3] != -7 || len(snap) != 10 {
+		t.Fatal("Store/Snapshot broken")
+	}
+	// Fill persisted durably.
+	m.Crash()
+	if v.Load(c, 4) != 6 {
+		t.Fatal("Fill was not durable")
+	}
+}
+
+func TestMatrixAddressing(t *testing.T) {
+	m := memsim.NewMemory(1 << 20)
+	mx := AllocMatrix(m, "m", 16)
+	if mx.Addr(0, 0)%memsim.LineSize != 0 {
+		t.Fatal("matrix base not line aligned")
+	}
+	if mx.Addr(2, 3) != mx.Base+memsim.Addr((2*16+3)*8) {
+		t.Fatal("row-major addressing broken")
+	}
+	c := &Native{Mem: m}
+	mx.Fill(m, func(i, j int) float64 { return float64(i*100 + j) })
+	if mx.Load(c, 5, 7) != 507 {
+		t.Fatal("Fill/Load mismatch")
+	}
+	mx.Store(c, 5, 7, 1.25)
+	if mx.Snapshot(m)[5*16+7] != 1.25 {
+		t.Fatal("Snapshot mismatch")
+	}
+}
+
+func TestU64OutOfRangePanics(t *testing.T) {
+	m := memsim.NewMemory(1 << 16)
+	v := AllocU64(m, "v", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index should panic")
+		}
+	}()
+	v.Addr(4)
+}
+
+func TestNativeCtxBasics(t *testing.T) {
+	m := memsim.NewMemory(1 << 16)
+	a := m.Alloc("x", 64)
+	c := &Native{Mem: m, ID: 3}
+	if c.ThreadID() != 3 {
+		t.Fatal("ThreadID")
+	}
+	c.Store64(a, 42)
+	if c.Load64(a) != 42 {
+		t.Fatal("Load64")
+	}
+	c.StoreF(a+8, 1.5)
+	if c.LoadF(a+8) != 1.5 {
+		t.Fatal("LoadF")
+	}
+	// Native Flush/Fence/Compute are no-ops and must not write NVMM.
+	c.Flush(a)
+	c.Fence()
+	c.Compute(100)
+	if w, _, _, _ := m.NVMMWrites(); w != 0 {
+		t.Fatal("native ctx produced NVMM traffic")
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		return v != v /* NaN payloads may differ */ || Float64From(Float64Bits(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim drives simulated threads over the memsim memory hierarchy
+// with a deterministic timing model.
+//
+// Each simulated thread runs as a goroutine, but a conservative
+// min-clock scheduler admits exactly one thread at a time and always the
+// one with the smallest local cycle clock, granted a bounded quantum.
+// Scheduling decisions depend only on the thread clocks, so simulations
+// are bit-reproducible for a fixed configuration — including parallel
+// runs and crash injection.
+//
+// The timing model is a bounded out-of-order core approximation
+// (documented in DESIGN.md §3): instructions issue at a fixed width;
+// load misses overlap through a limited set of MSHRs but may not run
+// ahead of the reorder-buffer window; stores retire through a store
+// buffer; clflushopt occupies a memory-controller write queue (ADR: a
+// flush is durable when it reaches the controller); sfence waits for all
+// of the thread's outstanding stores and flushes. Structural-hazard
+// counters (MSHR full, post-stall issue bursts, ROB stalls, write-queue
+// full) approximate the gem5 counters in the paper's Table VI.
+package sim
+
+import "lazyp/internal/memsim"
+
+// Config parameterizes one simulation. The defaults (DefaultConfig)
+// follow the paper's Table II, scaled per DESIGN.md §4.
+type Config struct {
+	// Threads is the number of simulated worker threads; each runs on
+	// its own core with a private L1.
+	Threads int
+
+	// Hierarchy geometry. If zero-valued, memsim.DefaultConfig(Threads)
+	// is used.
+	Hier memsim.Config
+
+	// Core model.
+	IssueWidth int // instructions per cycle (paper: 4-wide)
+	ROBWindow  int // instructions a load miss may be outlived by (paper: 196)
+	MSHRs      int // outstanding misses per core
+	StoreQ     int // store-buffer entries (paper LSQ: 48)
+	WriteQ     int // MC write-queue entries shared by flushes (paper: 64)
+
+	// Latencies in CPU cycles at 2 GHz.
+	L1HitLat    int64 // paper: 2
+	L2HitLat    int64 // paper: 11
+	MemReadLat  int64 // paper: 150 ns = 300 cycles (default)
+	MemWriteLat int64 // paper: 300 ns = 600 cycles (default)
+
+	// ADR write-path model. A clflushopt'd dirty line is durable once
+	// it reaches the memory controller's write queue (the ADR domain),
+	// after the cache probe plus MCFlushLat cycles. The controller
+	// drains flushes to NVMM at one line per MemWriteLat/FlushBanks
+	// cycles per thread; back-to-back flushes from one thread serialize
+	// at that service rate, which is what sfence-heavy code ends up
+	// waiting on.
+	MCFlushLat int64 // default 30
+	FlushBanks int   // default 16
+
+	// Quantum is the scheduling window in cycles: a thread may run at
+	// most this far past the second-smallest thread clock before
+	// yielding. Smaller values interleave more finely.
+	Quantum int64
+
+	// CleanPeriod, when positive, enables the periodic hardware cleanup
+	// of §III-E.1: every CleanPeriod cycles all dirty lines are written
+	// back (not evicted), bounding recovery time.
+	CleanPeriod int64
+
+	// CrashCycle, when positive, injects a failure: all threads halt
+	// once their clocks pass this cycle and the caches' contents are
+	// lost. Engine.Run reports the crash; the caller then calls
+	// Memory.Crash and runs recovery on a fresh engine.
+	CrashCycle int64
+}
+
+// CyclesPerNs converts nanoseconds to cycles at the paper's 2 GHz clock.
+const CyclesPerNs = 2
+
+// DefaultConfig returns the scaled default configuration with the given
+// number of worker threads.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:     threads,
+		Hier:        memsim.DefaultConfig(threads),
+		IssueWidth:  4,
+		ROBWindow:   196,
+		MSHRs:       8,
+		StoreQ:      48,
+		WriteQ:      64,
+		L1HitLat:    2,
+		L2HitLat:    11,
+		MemReadLat:  150 * CyclesPerNs,
+		MemWriteLat: 300 * CyclesPerNs,
+		MCFlushLat:  30,
+		FlushBanks:  12,
+		Quantum:     500,
+	}
+}
+
+// withDefaults fills in any zero fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(max(c.Threads, 1))
+	if c.Threads == 0 {
+		c.Threads = d.Threads
+	}
+	if c.Hier == (memsim.Config{}) {
+		c.Hier = memsim.DefaultConfig(c.Threads)
+	}
+	if c.Hier.Cores < c.Threads {
+		c.Hier.Cores = c.Threads
+	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = d.IssueWidth
+	}
+	if c.ROBWindow == 0 {
+		c.ROBWindow = d.ROBWindow
+	}
+	if c.MSHRs == 0 {
+		c.MSHRs = d.MSHRs
+	}
+	if c.StoreQ == 0 {
+		c.StoreQ = d.StoreQ
+	}
+	if c.WriteQ == 0 {
+		c.WriteQ = d.WriteQ
+	}
+	if c.L1HitLat == 0 {
+		c.L1HitLat = d.L1HitLat
+	}
+	if c.L2HitLat == 0 {
+		c.L2HitLat = d.L2HitLat
+	}
+	if c.MemReadLat == 0 {
+		c.MemReadLat = d.MemReadLat
+	}
+	if c.MemWriteLat == 0 {
+		c.MemWriteLat = d.MemWriteLat
+	}
+	if c.MCFlushLat == 0 {
+		c.MCFlushLat = d.MCFlushLat
+	}
+	if c.FlushBanks == 0 {
+		c.FlushBanks = d.FlushBanks
+	}
+	if c.Quantum == 0 {
+		c.Quantum = d.Quantum
+	}
+	return c
+}

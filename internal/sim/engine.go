@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"lazyp/internal/memsim"
+)
+
+// errCrashed is the sentinel delivered to threads when a crash is
+// injected; the worker wrapper recovers it.
+var errCrashed = errors.New("sim: crash injected")
+
+// abortGrant, sent on a thread's grant channel, makes the blocked thread
+// panic with errCrashed instead of resuming.
+const abortGrant = int64(-1)
+
+// Engine owns one simulation session: the memory hierarchy plus the set
+// of simulated threads. A session may call Run several times (e.g.
+// warm-up then measurement, or recovery then resumed execution) — cache
+// state and clocks persist across calls; statistics windows are managed
+// with Memory.ResetCounters and Hierarchy.ResetStats.
+type Engine struct {
+	cfg  Config
+	Mem  *memsim.Memory
+	Hier *memsim.Hierarchy
+
+	startCycle int64
+	crashed    bool
+
+	yield   chan yieldMsg
+	grants  []chan int64
+	blocked []bool
+	threads []*Thread
+
+	// mcLast is the shared memory controller's drain pointer: the cycle
+	// at which the most recently accepted NVMM line write finishes
+	// draining. Every write — natural eviction, flush, or cleanup —
+	// occupies the controller for writeService cycles; flush-heavy
+	// threads observe the backlog through their store-queue entries.
+	mcLast int64
+
+	haz Hazards
+	ops OpCounts
+}
+
+// New builds a session over mem with the given configuration.
+func New(cfg Config, mem *memsim.Memory) *Engine {
+	cfg = cfg.withDefaults()
+	if cfg.Threads < 1 || cfg.Threads > 32 {
+		panic(fmt.Sprintf("sim: thread count %d out of range [1,32]", cfg.Threads))
+	}
+	return &Engine{
+		cfg:  cfg,
+		Mem:  mem,
+		Hier: memsim.NewHierarchy(cfg.Hier, mem),
+	}
+}
+
+// Config returns the session configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Crashed reports whether a crash was injected during a Run.
+func (e *Engine) Crashed() bool { return e.crashed }
+
+// ExecCycles returns the cycles consumed by Runs so far (max thread
+// clock, i.e. parallel makespan).
+func (e *Engine) ExecCycles() int64 { return e.startCycle }
+
+// Hazards returns hazard counters summed over all threads and Runs.
+func (e *Engine) Hazards() Hazards { return e.haz }
+
+// Ops returns dynamic operation counts summed over all threads and Runs.
+func (e *Engine) Ops() OpCounts { return e.ops }
+
+// yieldMsg is the message a worker sends back to the scheduler.
+type yieldMsg struct {
+	id      int
+	done    bool        // body returned (or crashed)
+	blocked bool        // parked at a barrier: not schedulable until released
+	err     interface{} // non-nil: errCrashed or a propagated panic value
+}
+
+// Run executes body on every thread (body receives the Thread) and
+// blocks until all threads complete or a crash is injected. It returns
+// true when the session crashed; the caller must then call Mem.Crash()
+// and Hier.Reset() — or simply start a fresh engine after Mem.Crash() —
+// before inspecting durable state.
+func (e *Engine) Run(body func(t *Thread)) (crashed bool) {
+	if e.crashed {
+		panic("sim: Run after crash — start a new engine on the crashed memory")
+	}
+	n := e.cfg.Threads
+	threads := make([]*Thread, n)
+	grants := make([]chan int64, n)
+	yield := make(chan yieldMsg)
+	e.grants = grants
+	e.yield = yield
+
+	for i := 0; i < n; i++ {
+		t := &Thread{id: i, eng: e, now: e.startCycle}
+		t.mshr.init(e.cfg.MSHRs)
+		t.storeq.init(e.cfg.StoreQ)
+		threads[i] = t
+		grants[i] = make(chan int64)
+	}
+
+	for i := 0; i < n; i++ {
+		t := threads[i]
+		g := grants[i]
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					yield <- yieldMsg{id: t.id, done: true, err: r}
+				}
+			}()
+			t.grantUntil = t.waitGrant(g)
+			body(t)
+			t.finish()
+			yield <- yieldMsg{id: t.id, done: true}
+		}()
+	}
+
+	// Scheduler state.
+	alive := n
+	parked := make([]bool, n) // waiting for a grant
+	for i := range parked {
+		parked[i] = true
+	}
+	dead := make([]bool, n)
+	e.blocked = make([]bool, n)
+	e.threads = threads
+	// Periodic cleanup runs as a spaced background sweep: every
+	// period/8 cycles, lines dirty for longer than the period are
+	// written back (non-bursty, per the paper's §III-E.1).
+	nextClean, cleanTick := int64(0), int64(0)
+	if e.cfg.CleanPeriod > 0 {
+		cleanTick = e.cfg.CleanPeriod / 8
+		if cleanTick < 1 {
+			cleanTick = 1
+		}
+		nextClean = e.startCycle + cleanTick
+	}
+	var propagate interface{}
+
+	for alive > 0 {
+		// Pick the schedulable (parked, not barrier-blocked) thread
+		// with the smallest clock.
+		next, second := -1, int64(1<<62)
+		runnable := 0
+		for i := 0; i < n; i++ {
+			if dead[i] || !parked[i] || e.blocked[i] {
+				continue
+			}
+			runnable++
+			if next == -1 || threads[i].now < threads[next].now {
+				if next != -1 && threads[next].now < second {
+					second = threads[next].now
+				}
+				next = i
+			} else if threads[i].now < second {
+				second = threads[i].now
+			}
+		}
+		if next == -1 {
+			panic("sim: scheduler deadlock — every live thread is blocked at a barrier")
+		}
+		_ = runnable
+		t := threads[next]
+
+		// Periodic cleanup fires when the globally-minimal clock
+		// crosses the boundary (all threads have passed it).
+		for nextClean > 0 && t.now >= nextClean {
+			e.Hier.CleanOlder(nextClean, e.cfg.CleanPeriod)
+			nextClean += cleanTick
+		}
+
+		// Crash: once the slowest thread passes the crash cycle, abort
+		// everyone.
+		if e.cfg.CrashCycle > 0 && t.now >= e.cfg.CrashCycle {
+			for i := 0; i < n; i++ {
+				if dead[i] || !parked[i] {
+					continue
+				}
+				grants[i] <- abortGrant
+				msg := <-yield
+				e.collect(threads[msg.id])
+				dead[msg.id] = true
+				alive--
+				if msg.err != nil && msg.err != errCrashed {
+					propagate = msg.err
+				}
+			}
+			e.crashed = true
+			break
+		}
+
+		until := second + e.cfg.Quantum
+		if second == int64(1<<62) { // only one runnable thread left
+			until = t.now + 4*e.cfg.Quantum
+		}
+		if until <= t.now {
+			until = t.now + 1
+		}
+		if nextClean > 0 && until > nextClean {
+			until = nextClean
+			if until <= t.now {
+				until = t.now + 1
+			}
+		}
+		if e.cfg.CrashCycle > 0 && until > e.cfg.CrashCycle {
+			until = e.cfg.CrashCycle
+			if until <= t.now {
+				until = t.now + 1
+			}
+		}
+
+		parked[next] = false
+		grants[next] <- until
+		msg := <-yield
+		parked[msg.id] = true
+		if msg.blocked {
+			e.blocked[msg.id] = true
+		}
+		if msg.done {
+			e.collect(threads[msg.id])
+			dead[msg.id] = true
+			parked[msg.id] = false
+			alive--
+			if msg.err != nil && msg.err != errCrashed {
+				propagate = msg.err
+				// A real panic in one thread: abort the others so the
+				// panic surfaces instead of a barrier deadlock.
+				for i := 0; i < n; i++ {
+					if dead[i] || !parked[i] {
+						continue
+					}
+					grants[i] <- abortGrant
+					m := <-yield
+					e.collect(threads[m.id])
+					dead[m.id] = true
+					alive--
+				}
+				break
+			}
+			if msg.err == errCrashed {
+				e.crashed = true
+			}
+		}
+	}
+
+	if propagate != nil {
+		panic(propagate)
+	}
+
+	// Advance the session clock to the makespan.
+	for _, t := range threads {
+		if t.now > e.startCycle {
+			e.startCycle = t.now
+		}
+	}
+	return e.crashed
+}
+
+// writeService is the shared MC drain time per NVMM line write.
+func (e *Engine) writeService() int64 {
+	svc := e.cfg.MemWriteLat / int64(e.cfg.FlushBanks)
+	if svc < 1 {
+		svc = 1
+	}
+	return svc
+}
+
+// mcAccept queues one line write at the shared controller at cycle now
+// and returns its drain-completion cycle.
+func (e *Engine) mcAccept(now int64) int64 {
+	start := e.mcLast
+	if now > start {
+		start = now
+	}
+	e.mcLast = start + e.writeService()
+	return e.mcLast
+}
+
+// collect folds a finished thread's counters into the session totals.
+func (e *Engine) collect(t *Thread) {
+	e.haz.add(t.haz)
+	e.ops.add(t.ops)
+}
+
+// waitGrant blocks until the scheduler grants a new window.
+func (t *Thread) waitGrant(g chan int64) int64 {
+	v := <-g
+	if v == abortGrant {
+		panic(errCrashed)
+	}
+	return v
+}
+
+// checkYield returns control to the scheduler when the thread exhausted
+// its window. Every public Thread operation calls it.
+func (t *Thread) checkYield() {
+	if t.now < t.grantUntil {
+		return
+	}
+	t.eng.yieldAndWait(t)
+}
+
+// yieldAndWait parks the thread until the scheduler grants a new window.
+func (e *Engine) yieldAndWait(t *Thread) {
+	e.yield <- yieldMsg{id: t.id}
+	t.grantUntil = t.waitGrant(e.grants[t.id])
+}

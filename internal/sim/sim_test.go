@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+
+	"lazyp/internal/memsim"
+)
+
+func testEngine(threads int) (*Engine, memsim.Addr) {
+	mem := memsim.NewMemory(1 << 22)
+	base := mem.Alloc("data", 1<<20)
+	cfg := DefaultConfig(threads)
+	cfg.Hier = memsim.Config{Cores: threads, L1Size: 4 << 10, L1Ways: 4, L2Size: 32 << 10, L2Ways: 8}
+	return New(cfg, mem), base
+}
+
+func TestSingleThreadClockAdvances(t *testing.T) {
+	e, base := testEngine(1)
+	e.Run(func(th *Thread) {
+		start := th.Now()
+		th.Compute(100)
+		if th.Now() <= start {
+			t.Error("Compute did not advance the clock")
+		}
+		th.Load64(base)
+	})
+	// The final clock covers the in-flight NVMM miss (thread drain).
+	if e.ExecCycles() < DefaultConfig(1).MemReadLat {
+		t.Fatalf("final clock %d does not cover the outstanding miss", e.ExecCycles())
+	}
+	if e.Ops().Instrs != 101 {
+		t.Fatalf("instrs = %d, want 101", e.Ops().Instrs)
+	}
+}
+
+func TestIssueWidth(t *testing.T) {
+	e, _ := testEngine(1)
+	e.Run(func(th *Thread) {
+		th.Compute(400)
+	})
+	// 400 instructions at width 4 = 100 cycles.
+	if got := e.ExecCycles(); got != 100 {
+		t.Fatalf("400 ops took %d cycles, want 100", got)
+	}
+}
+
+func TestStoreVisibleImmediately(t *testing.T) {
+	e, base := testEngine(1)
+	e.Run(func(th *Thread) {
+		th.Store64(base, 777)
+		if th.Load64(base) != 777 {
+			t.Error("store not visible to subsequent load")
+		}
+		th.StoreF(base+8, 2.5)
+		if th.LoadF(base+8) != 2.5 {
+			t.Error("float store not visible")
+		}
+	})
+}
+
+func TestFenceWaitsForFlush(t *testing.T) {
+	e, base := testEngine(1)
+	var beforeFence, afterFence int64
+	e.Run(func(th *Thread) {
+		th.Store64(base, 1)
+		th.Flush(base)
+		beforeFence = th.Now()
+		th.Fence()
+		afterFence = th.Now()
+	})
+	if afterFence <= beforeFence {
+		t.Fatalf("fence after dirty flush should stall: before=%d after=%d", beforeFence, afterFence)
+	}
+	if e.Mem.DurableLoad64(base) != 1 {
+		t.Fatal("flush did not persist")
+	}
+	if e.Hazards().FenceStalls != 1 {
+		t.Fatalf("fence stalls = %d, want 1", e.Hazards().FenceStalls)
+	}
+}
+
+func TestFlushCleanLineCheap(t *testing.T) {
+	e, base := testEngine(1)
+	e.Run(func(th *Thread) {
+		th.Load64(base) // clean line
+		th.Flush(base)
+		before := th.Now()
+		th.Fence()
+		if th.Now()-before > 2 {
+			t.Errorf("fence after clean flush stalled %d cycles", th.Now()-before)
+		}
+	})
+	if w, _, _, _ := e.Mem.NVMMWrites(); w != 0 {
+		t.Fatal("clean flush wrote NVMM")
+	}
+}
+
+func TestMemLatencyExposedThroughROB(t *testing.T) {
+	mkRun := func(readLat int64) int64 {
+		mem := memsim.NewMemory(1 << 22)
+		base := mem.Alloc("d", 1<<20)
+		cfg := DefaultConfig(1)
+		cfg.MemReadLat = readLat
+		// Strided loads: each a fresh miss, no prefetchable stream.
+		cfg.Hier = memsim.Config{Cores: 1, L1Size: 4 << 10, L1Ways: 4, L2Size: 32 << 10, L2Ways: 8}
+		e := New(cfg, mem)
+		e.Run(func(th *Thread) {
+			for i := 0; i < 64; i++ {
+				th.Load64(base + memsim.Addr(i*4096))
+				th.Compute(300) // long dependent work ages the miss out
+			}
+		})
+		return e.ExecCycles()
+	}
+	slow, fast := mkRun(600), mkRun(60)
+	if slow <= fast {
+		t.Fatalf("NVMM latency not reflected: slow=%d fast=%d", slow, fast)
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	e, base := testEngine(1)
+	e.Run(func(th *Thread) {
+		// Burst of strided misses with no compute between them.
+		for i := 0; i < 64; i++ {
+			th.Load64(base + memsim.Addr(i*4096))
+		}
+	})
+	if e.Hazards().MSHRFull == 0 {
+		t.Fatal("a miss burst should exhaust the MSHRs")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (int64, uint64) {
+		mem := memsim.NewMemory(1 << 22)
+		base := mem.Alloc("d", 1<<20)
+		cfg := DefaultConfig(4)
+		e := New(cfg, mem)
+		e.Run(func(th *Thread) {
+			off := memsim.Addr(th.ThreadID() * 128 * 1024)
+			for i := 0; i < 5000; i++ {
+				a := base + off + memsim.Addr((i*104729)%(96*1024))
+				if i%3 == 0 {
+					th.Store64(a, uint64(i))
+				} else {
+					th.Load64(a)
+				}
+				th.Compute(2)
+			}
+		})
+		w, _, _, _ := e.Mem.NVMMWrites()
+		return e.ExecCycles(), w
+	}
+	c1, w1 := run()
+	c2, w2 := run()
+	if c1 != c2 || w1 != w2 {
+		t.Fatalf("simulation not deterministic: (%d,%d) vs (%d,%d)", c1, w1, c2, w2)
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	run := func(threads int) int64 {
+		mem := memsim.NewMemory(1 << 22)
+		base := mem.Alloc("d", 1<<20)
+		e := New(DefaultConfig(threads), mem)
+		e.Run(func(th *Thread) {
+			// Purely local compute + private data.
+			off := memsim.Addr(th.ThreadID() * 4096)
+			for i := 0; i < 20000/threads; i++ {
+				th.Compute(40)
+				th.Load64(base + off)
+			}
+		})
+		return e.ExecCycles()
+	}
+	t1, t4 := run(1), run(4)
+	if float64(t1)/float64(t4) < 3.0 {
+		t.Fatalf("embarrassingly parallel work sped up only %0.2fx on 4 threads", float64(t1)/float64(t4))
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	e := New(DefaultConfig(4), mem)
+	b := e.NewBarrier()
+	releases := make([]int64, 4)
+	e.Run(func(th *Thread) {
+		// Imbalanced work before the barrier.
+		th.Compute(1000 * (th.ThreadID() + 1))
+		th.BarrierWait(b)
+		releases[th.ThreadID()] = th.Now()
+	})
+	for i := 1; i < 4; i++ {
+		if releases[i] != releases[0] {
+			t.Fatalf("threads released at different cycles: %v", releases)
+		}
+	}
+	// The slowest thread computed 4000 ops = 1000 cycles.
+	if releases[0] < 1000 {
+		t.Fatalf("barrier released before the slowest arrival: %d", releases[0])
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	e := New(DefaultConfig(3), mem)
+	b := e.NewBarrier()
+	e.Run(func(th *Thread) {
+		for phase := 0; phase < 5; phase++ {
+			th.Compute(100 * (th.ThreadID() + 1))
+			th.BarrierWait(b)
+		}
+	})
+	// Completing without deadlock is the assertion.
+}
+
+func TestCrashInjection(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	base := mem.Alloc("d", 1<<20)
+	cfg := DefaultConfig(2)
+	cfg.CrashCycle = 1000
+	e := New(cfg, mem)
+	crashed := e.Run(func(th *Thread) {
+		for i := 0; ; i++ {
+			th.Store64(base+memsim.Addr(th.ThreadID()*65536+i%1024*64), uint64(i))
+			th.Compute(10)
+		}
+	})
+	if !crashed || !e.Crashed() {
+		t.Fatal("crash was not injected")
+	}
+	if e.ExecCycles() < 1000 {
+		t.Fatalf("crash before the configured cycle: %d", e.ExecCycles())
+	}
+}
+
+func TestCrashAtBarrier(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	cfg := DefaultConfig(2)
+	cfg.CrashCycle = 500
+	e := New(cfg, mem)
+	b := e.NewBarrier()
+	crashed := e.Run(func(th *Thread) {
+		if th.ThreadID() == 0 {
+			th.BarrierWait(b) // waits forever: thread 1 spins past the crash
+			return
+		}
+		for {
+			th.Compute(100)
+		}
+	})
+	if !crashed {
+		t.Fatal("expected crash to release the barrier-blocked thread")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	e := New(DefaultConfig(2), mem)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+	}()
+	e.Run(func(th *Thread) {
+		if th.ThreadID() == 1 {
+			th.Compute(100)
+			panic("boom")
+		}
+		for i := 0; i < 10; i++ {
+			th.Compute(1000)
+		}
+	})
+}
+
+func TestPeriodicCleanBoundsDirtyAge(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	base := mem.Alloc("d", 1<<20)
+	cfg := DefaultConfig(1)
+	cfg.CleanPeriod = 2000
+	e := New(cfg, mem)
+	e.Run(func(th *Thread) {
+		th.Store64(base, 42)
+		for i := 0; i < 3000; i++ {
+			th.Compute(10) // ~7500 cycles: several clean ticks pass
+		}
+	})
+	if mem.DurableLoad64(base) != 42 {
+		t.Fatal("periodic cleanup did not persist an old dirty line")
+	}
+	_, _, _, clean := mem.NVMMWrites()
+	if clean == 0 {
+		t.Fatal("no cleanup writes recorded")
+	}
+}
+
+func TestEngineRunAfterCrashPanics(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	cfg := DefaultConfig(1)
+	cfg.CrashCycle = 10
+	e := New(cfg, mem)
+	e.Run(func(th *Thread) {
+		for {
+			th.Compute(100)
+		}
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after crash should panic")
+		}
+	}()
+	e.Run(func(*Thread) {})
+}
+
+func TestStoreQueueBackpressure(t *testing.T) {
+	mem := memsim.NewMemory(1 << 23)
+	base := mem.Alloc("d", 1<<22)
+	cfg := DefaultConfig(1)
+	cfg.Hier = memsim.Config{Cores: 1, L1Size: 4 << 10, L1Ways: 4, L2Size: 32 << 10, L2Ways: 8}
+	e := New(cfg, mem)
+	e.Run(func(th *Thread) {
+		// Flood with dirty flushes: their drain-limited completions
+		// clog the store queue.
+		for i := 0; i < 4096; i++ {
+			a := base + memsim.Addr(i*64)
+			th.Store64(a, 1)
+			th.Flush(a)
+		}
+	})
+	h := e.Hazards()
+	if h.WriteQFull+h.StoreQFull == 0 {
+		t.Fatal("flush flood did not backpressure the store queue")
+	}
+}

@@ -1,0 +1,238 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// Cholesky factors a symmetric positive-definite matrix A into L·Lᵀ
+// with an out-of-place column-oriented (Cholesky–Crout) algorithm: A is
+// read-only, L is write-once. Column j first computes the diagonal
+//
+//	L[j][j] = sqrt(A[j][j] − Σ_{k<j} L[j][k]²)
+//
+// on the thread owning row j, then all threads fill their rows i > j:
+//
+//	L[i][j] = (A[i][j] − Σ_{k<j} L[i][k]·L[j][k]) / L[j][j]
+//
+// with barriers between the phases. LP regions are (column, role): one
+// single-store region for each diagonal and one region per (column,
+// thread) for the rows. Because L is write-once, every region is
+// idempotent given the columns before it, so recovery is a forward
+// verify-or-recompute sweep (DESIGN.md §5).
+type Cholesky struct {
+	N   int
+	Thr int
+
+	A, L pmem.Matrix
+	tab  *lp.Table
+	kind checksum.Kind
+}
+
+// NewCholesky allocates A (symmetric, diagonally dominant — hence SPD)
+// and the zeroed output L, both durably initialized.
+func NewCholesky(m *memsim.Memory, n, threads int, kind checksum.Kind) *Cholesky {
+	w := &Cholesky{N: n, Thr: threads, kind: kind}
+	w.A = pmem.AllocMatrix(m, "chol.a", n)
+	w.L = pmem.AllocMatrix(m, "chol.l", n)
+	w.A.Fill(m, func(i, j int) float64 {
+		if i == j {
+			return float64(n)
+		}
+		lo, hi := i, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return fillValue(3, lo, hi) // symmetric off-diagonal in (-1,1)
+	})
+	w.L.Fill(m, func(i, j int) float64 { return 0 })
+	w.tab = lp.NewTable(m, "chol.cksums", w.Regions())
+	return w
+}
+
+// Name implements Workload.
+func (w *Cholesky) Name() string { return "cholesky" }
+
+// Table implements Workload.
+func (w *Cholesky) Table() *lp.Table { return w.tab }
+
+// Regions implements Workload: n diagonal regions + n*P row regions.
+func (w *Cholesky) Regions() int { return w.N + w.N*w.Thr }
+
+func (w *Cholesky) diagSlot(j int) int        { return j }
+func (w *Cholesky) rowSlot(j, tid int) int    { return w.N + j*w.Thr + tid }
+func (w *Cholesky) diagOwner(j int) (tid int) { return j % w.Thr }
+func (w *Cholesky) colRange(j int) (int, int) { return j + 1, w.N }
+
+// diagBody computes and stores L[j][j] inside an open region.
+func (w *Cholesky) diagBody(c pmem.Ctx, ts lp.ThreadStrategy, j int) {
+	sum := w.A.Load(c, j, j)
+	for k := 0; k < j; k++ {
+		v := w.L.Load(c, j, k)
+		sum -= v * v
+		c.Compute(2)
+	}
+	c.Compute(8) // sqrt
+	ts.StoreF(c, w.L.Addr(j, j), math.Sqrt(sum))
+}
+
+// rowsBody fills thread tid's rows of column j inside an open region.
+func (w *Cholesky) rowsBody(c pmem.Ctx, ts lp.ThreadStrategy, j, tid int) {
+	ljj := w.L.Load(c, j, j)
+	lo, hi := w.colRange(j)
+	for i := lo; i < hi; i++ {
+		if i%w.Thr != tid {
+			continue
+		}
+		sum := w.A.Load(c, i, j)
+		for k := 0; k < j; k++ {
+			sum -= w.L.Load(c, i, k) * w.L.Load(c, j, k)
+			c.Compute(2)
+		}
+		c.Compute(8) // divide
+		ts.StoreF(c, w.L.Addr(i, j), sum/ljj)
+	}
+}
+
+// Run implements Workload.
+func (w *Cholesky) Run(env Env, ts lp.ThreadStrategy) {
+	w.RunCols(env, ts, 0, w.N)
+}
+
+// RunWindow implements Workload: the first `outer` columns. (The paper
+// runs Cholesky to completion; the window exists for methodological
+// symmetry.)
+func (w *Cholesky) RunWindow(env Env, ts lp.ThreadStrategy, outer int) {
+	end := w.N
+	if outer > 0 && outer < end {
+		end = outer
+	}
+	w.RunCols(env, ts, 0, end)
+}
+
+// RunCols executes columns [j0, j1) — normal execution with barriers.
+func (w *Cholesky) RunCols(env Env, ts lp.ThreadStrategy, j0, j1 int) {
+	c := env.C
+	for j := j0; j < j1; j++ {
+		if env.Tid == w.diagOwner(j) {
+			ts.Begin(c, w.diagSlot(j))
+			w.diagBody(c, ts, j)
+			ts.End(c)
+		}
+		env.Barrier()
+		ts.Begin(c, w.rowSlot(j, env.Tid))
+		w.rowsBody(c, ts, j, env.Tid)
+		ts.End(c)
+		env.Barrier()
+	}
+}
+
+// diagSum and rowsSum recompute region checksums from the current L in
+// store order (detection, Figure 5(c)).
+func (w *Cholesky) diagSum(c pmem.Ctx, j int) uint64 {
+	s := lp.NewRegionSummer(w.kind)
+	s.Add(c, c.Load64(w.L.Addr(j, j)))
+	return s.Sum()
+}
+
+func (w *Cholesky) rowsSum(c pmem.Ctx, j, tid int) uint64 {
+	s := lp.NewRegionSummer(w.kind)
+	lo, hi := w.colRange(j)
+	for i := lo; i < hi; i++ {
+		if i%w.Thr == tid {
+			s.Add(c, c.Load64(w.L.Addr(i, j)))
+		}
+	}
+	return s.Sum()
+}
+
+// RecoverLP implements Workload: forward sweep — L is write-once, so a
+// region whose checksum matches is durable and final; anything else is
+// recomputed eagerly (its inputs, the earlier columns, have already been
+// verified or repaired by the time the sweep reaches it). The sweep runs
+// through the last column that left any durable trace; later columns
+// re-execute as normal lazy work.
+func (w *Cholesky) RecoverLP(c pmem.Ctx) {
+	jMax := -1
+	for j := 0; j < w.N; j++ {
+		written := w.tab.Written(c, w.diagSlot(j))
+		for tid := 0; tid < w.Thr && !written; tid++ {
+			written = w.tab.Written(c, w.rowSlot(j, tid))
+		}
+		if written {
+			jMax = j
+		}
+	}
+
+	eager := ep.NewEagerLP(w.tab, w.kind, w.Thr)
+	for j := 0; j <= jMax; j++ {
+		if !w.tab.Matches(c, w.diagSlot(j), w.diagSum(c, j)) {
+			ts := eager.Thread(w.diagOwner(j))
+			ts.Begin(c, w.diagSlot(j))
+			w.diagBody(c, ts, j)
+			ts.End(c)
+		}
+		for tid := 0; tid < w.Thr; tid++ {
+			if w.tab.Matches(c, w.rowSlot(j, tid), w.rowsSum(c, j, tid)) {
+				continue
+			}
+			ts := eager.Thread(tid)
+			ts.Begin(c, w.rowSlot(j, tid))
+			w.rowsBody(c, ts, j, tid)
+			ts.End(c)
+		}
+	}
+
+	// Complete the remaining columns with normal lazy execution,
+	// emulating each thread's share sequentially (barriers are no-ops
+	// in the single-threaded recovery environment, and within a column
+	// the diagonal is executed before the rows, preserving the
+	// dependence order the barriers enforce in parallel runs).
+	lazy := lp.NewLP(w.tab, w.kind, w.Thr)
+	for j := jMax + 1; j < w.N; j++ {
+		dts := lazy.Thread(w.diagOwner(j))
+		dts.Begin(c, w.diagSlot(j))
+		w.diagBody(c, dts, j)
+		dts.End(c)
+		for tid := 0; tid < w.Thr; tid++ {
+			ts := lazy.Thread(tid)
+			ts.Begin(c, w.rowSlot(j, tid))
+			w.rowsBody(c, ts, j, tid)
+			ts.End(c)
+		}
+	}
+}
+
+// Verify implements Workload: independent reference factorization with
+// identical operation order (bitwise comparison).
+func (w *Cholesky) Verify(m *memsim.Memory) error {
+	n := w.N
+	a := w.A.Snapshot(m)
+	got := w.L.Snapshot(m)
+	want := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		sum := a[j*n+j]
+		for k := 0; k < j; k++ {
+			v := want[j*n+k]
+			sum -= v * v
+		}
+		if sum <= 0 {
+			return fmt.Errorf("cholesky: reference lost positive-definiteness at column %d", j)
+		}
+		want[j*n+j] = math.Sqrt(sum)
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= want[i*n+k] * want[j*n+k]
+			}
+			want[i*n+j] = s / want[j*n+j]
+		}
+	}
+	return verifyClose("cholesky", got, want, 0)
+}

@@ -1,0 +1,233 @@
+package workloads
+
+import (
+	"lazyp/internal/checksum"
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// Conv2D is an iterative 2-D convolution: a 3×3 kernel is applied to an
+// n×n image repeatedly (Iters smoothing passes), ping-ponging between
+// two buffers — the structure behind the paper's 2D-conv benchmark,
+// whose simulation window is "5 iterations of the outer loop, about 4%
+// of the running-time" (§V-C). The pristine input is kept read-only;
+// pass 0 reads it, later passes alternate between the A and B work
+// buffers. Borders use zero padding.
+//
+// The LP region is (pass, row block). Within a pass every region is
+// write-once, but a pass's source buffer is overwritten two passes
+// later, so — exactly as with FFT — recovery regenerates
+// deterministically from the pristine input through the furthest pass
+// that left a durable trace, then resumes lazily.
+type Conv2D struct {
+	N         int
+	BlockRows int
+	Iters     int
+	Thr       int
+
+	In   pmem.Matrix // pristine input, read-only
+	A, B pmem.Matrix // ping-pong buffers
+	K    pmem.Matrix // 3×3 kernel
+	tab  *lp.Table
+	kind checksum.Kind
+}
+
+// NewConv2D allocates and durably initializes the input, kernel, work
+// buffers, and checksum table. iters is the number of smoothing passes
+// (0 picks the default of 12).
+func NewConv2D(m *memsim.Memory, n, blockRows, threads int, kind checksum.Kind) *Conv2D {
+	return NewConv2DIters(m, n, blockRows, 12, threads, kind)
+}
+
+// NewConv2DIters is NewConv2D with an explicit pass count.
+func NewConv2DIters(m *memsim.Memory, n, blockRows, iters, threads int, kind checksum.Kind) *Conv2D {
+	w := &Conv2D{N: n, BlockRows: blockRows, Iters: iters, Thr: threads, kind: kind}
+	w.In = pmem.AllocMatrix(m, "conv.in", n)
+	w.A = pmem.AllocMatrix(m, "conv.a", n)
+	w.B = pmem.AllocMatrix(m, "conv.b", n)
+	w.K = pmem.AllocMatrix(m, "conv.k", 3)
+	w.In.Fill(m, func(i, j int) float64 { return fillValue(5, i, j) })
+	w.A.Fill(m, func(i, j int) float64 { return 0 })
+	w.B.Fill(m, func(i, j int) float64 { return 0 })
+	// A mild smoothing kernel keeps repeated passes numerically tame.
+	w.K.Fill(m, func(i, j int) float64 { return fillValue(6, i, j) / 8 })
+	w.tab = lp.NewTable(m, "conv.cksums", w.Regions())
+	return w
+}
+
+// Name implements Workload.
+func (w *Conv2D) Name() string { return "conv2d" }
+
+// Table implements Workload.
+func (w *Conv2D) Table() *lp.Table { return w.tab }
+
+// blocks returns the number of row blocks per pass.
+func (w *Conv2D) blocks() int { return (w.N + w.BlockRows - 1) / w.BlockRows }
+
+// Regions implements Workload.
+func (w *Conv2D) Regions() int { return w.Iters * w.blocks() }
+
+func (w *Conv2D) slot(pass, block int) int { return pass*w.blocks() + block }
+
+// dst returns the buffer pass writes; src the buffer it reads.
+func (w *Conv2D) dst(pass int) pmem.Matrix {
+	if pass%2 == 0 {
+		return w.A
+	}
+	return w.B
+}
+
+func (w *Conv2D) src(pass int) pmem.Matrix {
+	if pass == 0 {
+		return w.In
+	}
+	return w.dst(pass - 1)
+}
+
+// Result returns the buffer holding the final image after a full run.
+func (w *Conv2D) Result() pmem.Matrix { return w.dst(w.Iters - 1) }
+
+// blockBody computes one pass's output rows [i0, i0+BlockRows) inside an
+// open region.
+func (w *Conv2D) blockBody(c pmem.Ctx, ts lp.ThreadStrategy, pass, block int) {
+	n := w.N
+	src, dst := w.src(pass), w.dst(pass)
+	i0 := block * w.BlockRows
+	i1 := i0 + w.BlockRows
+	if i1 > n {
+		i1 = n
+	}
+	for i := i0; i < i1; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for di := -1; di <= 1; di++ {
+				ii := i + di
+				if ii < 0 || ii >= n {
+					continue
+				}
+				for dj := -1; dj <= 1; dj++ {
+					jj := j + dj
+					if jj < 0 || jj >= n {
+						continue
+					}
+					sum += src.Load(c, ii, jj) * w.K.Load(c, di+1, dj+1)
+					c.Compute(2)
+				}
+			}
+			ts.StoreF(c, dst.Addr(i, j), sum)
+		}
+	}
+}
+
+// Run implements Workload: row blocks are distributed round-robin; a
+// barrier separates passes (pass p reads rows of pass p−1 owned by
+// neighboring threads).
+func (w *Conv2D) Run(env Env, ts lp.ThreadStrategy) {
+	w.RunWindow(env, ts, 0)
+}
+
+// RunWindow implements Workload: the first `outer` passes.
+func (w *Conv2D) RunWindow(env Env, ts lp.ThreadStrategy, outer int) {
+	end := w.Iters
+	if outer > 0 && outer < end {
+		end = outer
+	}
+	for pass := 0; pass < end; pass++ {
+		for block := env.Tid; block < w.blocks(); block += env.Threads {
+			ts.Begin(env.C, w.slot(pass, block))
+			w.blockBody(env.C, ts, pass, block)
+			ts.End(env.C)
+		}
+		env.Barrier()
+	}
+}
+
+// regionSum recomputes a region's checksum from the pass's output.
+func (w *Conv2D) regionSum(c pmem.Ctx, pass, block int) uint64 {
+	n := w.N
+	dst := w.dst(pass)
+	i0 := block * w.BlockRows
+	i1 := i0 + w.BlockRows
+	if i1 > n {
+		i1 = n
+	}
+	s := lp.NewRegionSummer(w.kind)
+	for i := i0; i < i1; i++ {
+		for j := 0; j < n; j++ {
+			s.Add(c, c.Load64(dst.Addr(i, j)))
+		}
+	}
+	return s.Sum()
+}
+
+// RecoverLP implements Workload: regenerate passes 0..pTop (the
+// furthest pass with any written region slot) eagerly from the pristine
+// input, then complete the remaining passes lazily. Regeneration is
+// bit-deterministic, so the pass-pTop checksums certify the recovered
+// state.
+func (w *Conv2D) RecoverLP(c pmem.Ctx) {
+	pTop := -1
+	for pass := 0; pass < w.Iters; pass++ {
+		for block := 0; block < w.blocks(); block++ {
+			if w.tab.Written(c, w.slot(pass, block)) {
+				pTop = pass
+				break
+			}
+		}
+	}
+
+	eager := ep.NewEagerLP(w.tab, w.kind, 1)
+	for pass := 0; pass <= pTop; pass++ {
+		for block := 0; block < w.blocks(); block++ {
+			ts := eager.Thread(0)
+			ts.Begin(c, w.slot(pass, block))
+			w.blockBody(c, ts, pass, block)
+			ts.End(c)
+		}
+	}
+
+	lazy := lp.NewLP(w.tab, w.kind, 1)
+	for pass := pTop + 1; pass < w.Iters; pass++ {
+		for block := 0; block < w.blocks(); block++ {
+			ts := lazy.Thread(0)
+			ts.Begin(c, w.slot(pass, block))
+			w.blockBody(c, ts, pass, block)
+			ts.End(c)
+		}
+	}
+}
+
+// Verify implements Workload: independent iterative reference with the
+// same accumulation order (bitwise).
+func (w *Conv2D) Verify(m *memsim.Memory) error {
+	n := w.N
+	cur := w.In.Snapshot(m)
+	k := w.K.Snapshot(m)
+	got := w.Result().Snapshot(m)
+	next := make([]float64, n*n)
+	for pass := 0; pass < w.Iters; pass++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for di := -1; di <= 1; di++ {
+					ii := i + di
+					if ii < 0 || ii >= n {
+						continue
+					}
+					for dj := -1; dj <= 1; dj++ {
+						jj := j + dj
+						if jj < 0 || jj >= n {
+							continue
+						}
+						sum += cur[ii*n+jj] * k[(di+1)*3+(dj+1)]
+					}
+				}
+				next[i*n+j] = sum
+			}
+		}
+		cur, next = next, cur
+	}
+	return verifyClose("conv2d", got, cur, 0)
+}

@@ -1,0 +1,267 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// FFT computes an n-point complex DFT with the iterative Stockham
+// radix-2 (decimation in frequency) algorithm: every stage reads one
+// buffer and writes the other, so within a stage every write is
+// write-once and the stage's regions are associative. The pristine input
+// X0 is kept read-only; stage 0 reads it directly, later stages
+// ping-pong between the A and B work buffers. The result lands in
+// natural order (Stockham is autosorting).
+//
+// LP regions are (stage, thread): each thread owns a contiguous range of
+// butterflies per stage, with a barrier between stages. Because the
+// ping-pong overwrites a buffer every other stage, a mismatched region
+// cannot generally be repaired from its own stage's inputs (they may
+// have been partially overwritten by the stage after next) — recovery
+// regenerates deterministically from X0 through the furthest stage that
+// left a durable trace, then resumes lazily (DESIGN.md §5).
+type FFT struct {
+	N      int // power of two
+	Stages int
+	Thr    int
+
+	X0   pmem.F64 // interleaved re/im, read-only input (2N floats)
+	A, B pmem.F64 // ping-pong work buffers
+	tab  *lp.Table
+	kind checksum.Kind
+}
+
+// NewFFT allocates the buffers and durably initializes the input with
+// deterministic pseudo-random complex values.
+func NewFFT(m *memsim.Memory, n, threads int, kind checksum.Kind) *FFT {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("workloads: FFT size %d is not a power of two >= 2", n))
+	}
+	stages := 0
+	for s := n; s > 1; s >>= 1 {
+		stages++
+	}
+	w := &FFT{N: n, Stages: stages, Thr: threads, kind: kind}
+	w.X0 = pmem.AllocF64(m, "fft.x0", 2*n)
+	w.A = pmem.AllocF64(m, "fft.a", 2*n)
+	w.B = pmem.AllocF64(m, "fft.b", 2*n)
+	w.X0.Fill(m, func(i int) float64 { return fillValue(7, i, 0) })
+	w.A.Fill(m, func(int) float64 { return 0 })
+	w.B.Fill(m, func(int) float64 { return 0 })
+	w.tab = lp.NewTable(m, "fft.cksums", w.Regions())
+	return w
+}
+
+// Name implements Workload.
+func (w *FFT) Name() string { return "fft" }
+
+// Table implements Workload.
+func (w *FFT) Table() *lp.Table { return w.tab }
+
+// Regions implements Workload.
+func (w *FFT) Regions() int { return w.Stages * w.Thr }
+
+func (w *FFT) slot(stage, tid int) int { return stage*w.Thr + tid }
+
+// dst returns the buffer stage writes; src the buffer it reads.
+func (w *FFT) dst(stage int) pmem.F64 {
+	if stage%2 == 0 {
+		return w.A
+	}
+	return w.B
+}
+
+func (w *FFT) src(stage int) pmem.F64 {
+	if stage == 0 {
+		return w.X0
+	}
+	return w.dst(stage - 1)
+}
+
+// Result returns the buffer holding the transform after a complete run.
+func (w *FFT) Result() pmem.F64 { return w.dst(w.Stages - 1) }
+
+// itemRange returns thread tid's contiguous range of flattened work
+// items (a stage has m·st butterfly evaluations: pair (p, q) flattens to
+// p·st + q). Flattened partitioning keeps every stage's regions balanced
+// even when the butterfly count m drops below the thread count in the
+// final stages.
+func (w *FFT) itemRange(items, tid int) (int, int) {
+	return tid * items / w.Thr, (tid + 1) * items / w.Thr
+}
+
+// stageBody executes thread tid's butterflies of one stage inside an
+// open region. Stage geometry: nt = N>>stage points per transform,
+// m = nt/2 butterflies, st = 1<<stage interleaved sub-transforms.
+func (w *FFT) stageBody(c pmem.Ctx, ts lp.ThreadStrategy, stage, tid int) {
+	n := w.N
+	nt := n >> stage
+	m := nt / 2
+	st := 1 << stage
+	theta := 2 * math.Pi / float64(nt)
+	src, dst := w.src(stage), w.dst(stage)
+	lo, hi := w.itemRange(m*st, tid)
+	lastP := -1
+	var wr, wi float64
+	for idx := lo; idx < hi; idx++ {
+		p, q := idx/st, idx%st
+		if p != lastP {
+			wr = math.Cos(float64(p) * theta)
+			wi = -math.Sin(float64(p) * theta)
+			c.Compute(30) // twiddle generation
+			lastP = p
+		}
+		ia := q + st*p
+		ib := q + st*(p+m)
+		ar, ai := src.Load(c, 2*ia), src.Load(c, 2*ia+1)
+		br, bi := src.Load(c, 2*ib), src.Load(c, 2*ib+1)
+		// dst[q + st*2p] = a + b
+		sr, si := ar+br, ai+bi
+		// dst[q + st*(2p+1)] = (a - b) * w
+		dr, di := ar-br, ai-bi
+		tr := dr*wr - di*wi
+		ti := dr*wi + di*wr
+		c.Compute(10)
+		io := q + st*2*p
+		ts.StoreF(c, dst.Addr(2*io), sr)
+		ts.StoreF(c, dst.Addr(2*io+1), si)
+		ts.StoreF(c, dst.Addr(2*(io+st)), tr)
+		ts.StoreF(c, dst.Addr(2*(io+st)+1), ti)
+	}
+}
+
+// Run implements Workload.
+func (w *FFT) Run(env Env, ts lp.ThreadStrategy) {
+	w.RunWindow(env, ts, 0)
+}
+
+// RunWindow implements Workload: the first `outer` stages (the paper's
+// FFT window is ≈5% of the run).
+func (w *FFT) RunWindow(env Env, ts lp.ThreadStrategy, outer int) {
+	end := w.Stages
+	if outer > 0 && outer < end {
+		end = outer
+	}
+	for stage := 0; stage < end; stage++ {
+		ts.Begin(env.C, w.slot(stage, env.Tid))
+		w.stageBody(env.C, ts, stage, env.Tid)
+		ts.End(env.C)
+		env.Barrier()
+	}
+}
+
+// regionSum recomputes the checksum of region (stage, tid) from the
+// stage's destination buffer in store order.
+func (w *FFT) regionSum(c pmem.Ctx, stage, tid int) uint64 {
+	n := w.N
+	nt := n >> stage
+	m := nt / 2
+	st := 1 << stage
+	dst := w.dst(stage)
+	s := lp.NewRegionSummer(w.kind)
+	lo, hi := w.itemRange(m*st, tid)
+	for idx := lo; idx < hi; idx++ {
+		p, q := idx/st, idx%st
+		io := q + st*2*p
+		s.Add(c, c.Load64(dst.Addr(2*io)))
+		s.Add(c, c.Load64(dst.Addr(2*io+1)))
+		s.Add(c, c.Load64(dst.Addr(2*(io+st))))
+		s.Add(c, c.Load64(dst.Addr(2*(io+st)+1)))
+	}
+	return s.Sum()
+}
+
+// RecoverLP implements Workload: regenerate stages 0..sTop (the furthest
+// stage with any written region slot) eagerly from the pristine input,
+// then resume the remaining stages lazily. As with Gauss, the
+// regeneration is bit-deterministic, so the stage-sTop checksums certify
+// the regenerated state.
+func (w *FFT) RecoverLP(c pmem.Ctx) {
+	sTop := -1
+	for stage := 0; stage < w.Stages; stage++ {
+		for tid := 0; tid < w.Thr; tid++ {
+			if w.tab.Written(c, w.slot(stage, tid)) {
+				sTop = stage
+				break
+			}
+		}
+	}
+
+	eager := ep.NewEagerLP(w.tab, w.kind, w.Thr)
+	for stage := 0; stage <= sTop; stage++ {
+		for tid := 0; tid < w.Thr; tid++ {
+			ts := eager.Thread(tid)
+			ts.Begin(c, w.slot(stage, tid))
+			w.stageBody(c, ts, stage, tid)
+			ts.End(c)
+		}
+	}
+
+	lazy := lp.NewLP(w.tab, w.kind, w.Thr)
+	for stage := sTop + 1; stage < w.Stages; stage++ {
+		for tid := 0; tid < w.Thr; tid++ {
+			ts := lazy.Thread(tid)
+			ts.Begin(c, w.slot(stage, tid))
+			w.stageBody(c, ts, stage, tid)
+			ts.End(c)
+		}
+	}
+}
+
+// Verify implements Workload: compare against an independent recursive
+// Cooley–Tukey reference (different operation order, so a small
+// tolerance applies).
+func (w *FFT) Verify(m *memsim.Memory) error {
+	n := w.N
+	x0 := w.X0.Snapshot(m)
+	got := w.Result().Snapshot(m)
+	in := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		in[i] = complex(x0[2*i], x0[2*i+1])
+	}
+	want := referenceFFT(in)
+	// Scale the absolute tolerance by the transform magnitude.
+	scale := 0.0
+	for _, v := range want {
+		if a := cmplx.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	tol := 1e-12 * scale * float64(w.Stages)
+	for i := 0; i < n; i++ {
+		g := complex(got[2*i], got[2*i+1])
+		if cmplx.Abs(g-want[i]) > tol {
+			return fmt.Errorf("fft: bin %d differs: got %v want %v (tol %g)", i, g, want[i], tol)
+		}
+	}
+	return nil
+}
+
+// referenceFFT is a recursive radix-2 Cooley–Tukey DFT.
+func referenceFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	fe, fo := referenceFFT(even), referenceFFT(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		t := cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n)) * fo[k]
+		out[k] = fe[k] + t
+		out[k+n/2] = fe[k] - t
+	}
+	return out
+}

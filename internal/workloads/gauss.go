@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"lazyp/internal/checksum"
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// Gauss performs Gaussian elimination (LU without pivoting — inputs are
+// diagonally dominant, so elimination is stable) on the working matrix
+// U, in place: step k eliminates column k from every row i > k, storing
+// the multiplier in U[i][k] (packed LU) and updating U[i][j] for j > k.
+// Rows are partitioned round-robin over the threads; a barrier separates
+// steps because step k reads pivot row k, finalized at step k−1.
+//
+// The LP region is (step, thread). Elimination is destructive — a row's
+// state at step k is overwritten at step k+1 — so mismatched regions
+// cannot be repaired in place. Recovery instead restores the pristine
+// input A₀ (kept read-only in NVMM; the failure-free path never touches
+// it) and re-executes eagerly up to the furthest step that left any
+// durable trace, then resumes lazily (DESIGN.md §5).
+type Gauss struct {
+	N   int
+	Thr int
+
+	A0, U pmem.Matrix
+	tab   *lp.Table
+	kind  checksum.Kind
+}
+
+// NewGauss allocates the pristine input A0 and the working copy U,
+// durably initialized with identical diagonally-dominant contents.
+func NewGauss(m *memsim.Memory, n, threads int, kind checksum.Kind) *Gauss {
+	w := &Gauss{N: n, Thr: threads, kind: kind}
+	fill := func(i, j int) float64 {
+		if i == j {
+			return float64(2 * n)
+		}
+		return fillValue(4, i, j)
+	}
+	w.A0 = pmem.AllocMatrix(m, "gauss.a0", n)
+	w.U = pmem.AllocMatrix(m, "gauss.u", n)
+	w.A0.Fill(m, fill)
+	w.U.Fill(m, fill)
+	w.tab = lp.NewTable(m, "gauss.cksums", w.Regions())
+	return w
+}
+
+// Name implements Workload.
+func (w *Gauss) Name() string { return "gauss" }
+
+// Table implements Workload.
+func (w *Gauss) Table() *lp.Table { return w.tab }
+
+// Steps returns the number of elimination steps (n−1).
+func (w *Gauss) Steps() int { return w.N - 1 }
+
+// Regions implements Workload.
+func (w *Gauss) Regions() int { return w.Steps() * w.Thr }
+
+func (w *Gauss) slot(k, tid int) int { return k*w.Thr + tid }
+
+// stepBody eliminates thread tid's rows at step k inside an open region.
+func (w *Gauss) stepBody(c pmem.Ctx, ts lp.ThreadStrategy, k, tid int) {
+	n := w.N
+	pivot := w.U.Load(c, k, k)
+	for i := k + 1; i < n; i++ {
+		if i%w.Thr != tid {
+			continue
+		}
+		m := w.U.Load(c, i, k) / pivot
+		c.Compute(8)
+		ts.StoreF(c, w.U.Addr(i, k), m) // packed L factor
+		for j := k + 1; j < n; j++ {
+			v := w.U.Load(c, i, j) - m*w.U.Load(c, k, j)
+			c.Compute(2)
+			ts.StoreF(c, w.U.Addr(i, j), v)
+		}
+	}
+}
+
+// Run implements Workload.
+func (w *Gauss) Run(env Env, ts lp.ThreadStrategy) {
+	w.RunWindow(env, ts, 0)
+}
+
+// RunWindow implements Workload: the first `outer` elimination steps
+// (the paper's Gauss window is 4 outer-loop iterations, §V-C).
+func (w *Gauss) RunWindow(env Env, ts lp.ThreadStrategy, outer int) {
+	end := w.Steps()
+	if outer > 0 && outer < end {
+		end = outer
+	}
+	for k := 0; k < end; k++ {
+		ts.Begin(env.C, w.slot(k, env.Tid))
+		w.stepBody(env.C, ts, k, env.Tid)
+		ts.End(env.C)
+		env.Barrier()
+	}
+}
+
+// regionSum recomputes the checksum of region (k, tid) from the current
+// U in store order.
+func (w *Gauss) regionSum(c pmem.Ctx, k, tid int) uint64 {
+	s := lp.NewRegionSummer(w.kind)
+	for i := k + 1; i < w.N; i++ {
+		if i%w.Thr != tid {
+			continue
+		}
+		for j := k; j < w.N; j++ {
+			s.Add(c, c.Load64(w.U.Addr(i, j)))
+		}
+	}
+	return s.Sum()
+}
+
+// RecoverLP implements Workload. Elimination is destructive, so rows
+// that have not reached their final state cannot be verified or repaired
+// in place from stored checksums alone (a region at step k covers rows
+// that later steps legitimately overwrote). Recovery is therefore
+// conservative and simple: the furthest step with any written region
+// slot bounds the durable progress; U is regenerated deterministically
+// from A0 through that step with Eager Persistency (which re-commits
+// every checksum on the way), and later steps resume lazily. The cost is
+// bounded by one failure-free run, preserving forward progress.
+//
+// The step-kTop checksums still earn their keep: when the topmost
+// written step's regions all match after regeneration, the durable image
+// provably equals the failure-free state at that step (the regeneration
+// is bit-deterministic), which the crash-recovery tests assert.
+func (w *Gauss) RecoverLP(c pmem.Ctx) {
+	kTop := -1
+	for k := 0; k < w.Steps(); k++ {
+		for tid := 0; tid < w.Thr; tid++ {
+			if w.tab.Written(c, w.slot(k, tid)) {
+				kTop = k
+				break
+			}
+		}
+	}
+	w.regenerate(c, kTop)
+
+	// Complete the remaining steps lazily, interleaving per-thread
+	// regions in step order (the dependence order barriers enforce in
+	// parallel execution).
+	lazy := lp.NewLP(w.tab, w.kind, w.Thr)
+	for k := kTop + 1; k < w.Steps(); k++ {
+		for tid := 0; tid < w.Thr; tid++ {
+			ts := lazy.Thread(tid)
+			ts.Begin(c, w.slot(k, tid))
+			w.stepBody(c, ts, k, tid)
+			ts.End(c)
+		}
+	}
+}
+
+// regenerate durably restores U to the pristine A0 and re-executes
+// steps 0..kTop with Eager Persistency, re-committing every checksum.
+// kTop < 0 only restores the input.
+func (w *Gauss) regenerate(c pmem.Ctx, kTop int) {
+	n := w.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c.Store64(w.U.Addr(i, j), c.Load64(w.A0.Addr(i, j)))
+		}
+		ep.PersistRange(c, w.U.Addr(i, 0), n*pmem.WordSize)
+	}
+	c.Fence()
+	eager := ep.NewEagerLP(w.tab, w.kind, w.Thr)
+	for k := 0; k <= kTop; k++ {
+		for tid := 0; tid < w.Thr; tid++ {
+			ts := eager.Thread(tid)
+			ts.Begin(c, w.slot(k, tid))
+			w.stepBody(c, ts, k, tid)
+			ts.End(c)
+		}
+	}
+}
+
+// Verify implements Workload: independent in-place elimination with the
+// same operation order (bitwise).
+func (w *Gauss) Verify(m *memsim.Memory) error {
+	n := w.N
+	want := w.A0.Snapshot(m)
+	got := w.U.Snapshot(m)
+	for k := 0; k < n-1; k++ {
+		pivot := want[k*n+k]
+		for i := k + 1; i < n; i++ {
+			mult := want[i*n+k] / pivot
+			want[i*n+k] = mult
+			for j := k + 1; j < n; j++ {
+				want[i*n+j] -= mult * want[k*n+j]
+			}
+		}
+	}
+	return verifyClose("gauss", got, want, 0)
+}

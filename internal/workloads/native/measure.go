@@ -1,0 +1,38 @@
+package native
+
+import "time"
+
+// Overhead measures the wall-clock overhead of the Lazy Persistency
+// variant over base, interleaving reps repetitions of each and taking
+// the minimum (the paper's Table VII methodology: execution-time
+// overhead on a real, DRAM-based machine). It also cross-checks that
+// the two variants compute identical outputs.
+func Overhead(name string, n, reps int) (float64, error) {
+	w, err := New(name, n)
+	if err != nil {
+		return 0, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	// Warm-up (page faults, cache state).
+	w.Base()
+	w.LP()
+	if err := w.Check(); err != nil {
+		return 0, err
+	}
+	minBase, minLP := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		w.Base()
+		if d := time.Since(t0); d < minBase {
+			minBase = d
+		}
+		t1 := time.Now()
+		w.LP()
+		if d := time.Since(t1); d < minLP {
+			minLP = d
+		}
+	}
+	return float64(minLP)/float64(minBase) - 1, nil
+}

@@ -1,0 +1,402 @@
+// Package native contains plain-Go implementations of the five
+// benchmark kernels, in base form and with Lazy Persistency's checksum
+// instrumentation, operating directly on slices with no simulation or
+// interface indirection.
+//
+// This is the paper's real-machine experiment (§V-B, Table VII): Lazy
+// Persistency needs no hardware support, so its failure-free cost can be
+// measured on any machine — here as the wall-clock overhead of the
+// checksum computation and table stores, exactly what the paper reports
+// for its DRAM-based AMD system.
+package native
+
+import (
+	"fmt"
+	"math"
+)
+
+// cksum is the paper's default modular checksum: the stored value's bit
+// pattern is summed into a 64-bit accumulator (one add per store; the
+// region commits fold32(acc), a 32-bit checksum, into its table slot).
+func cksum(s uint64, v float64) uint64 {
+	return s + math.Float64bits(v)
+}
+
+// fold32 reduces the 64-bit accumulation to the 32-bit stored checksum.
+func fold32(v uint64) uint32 { return uint32(v) + uint32(v>>32) }
+
+// TMM computes C = A×B with 6-loop tiling (tile bs). When table is
+// non-nil, each (kk, ii) region folds a modular checksum over its stores
+// and commits it to table (Lazy Persistency instrumentation); a nil
+// table is the base variant.
+func TMM(a, b, c []float64, n, bs int, table []uint32) {
+	tiles := n / bs
+	for kk := 0; kk < n; kk += bs {
+		for ii := 0; ii < n; ii += bs {
+			var cs uint64
+			for jj := 0; jj < n; jj += bs {
+				for i := ii; i < ii+bs; i++ {
+					for j := jj; j < jj+bs; j++ {
+						sum := c[i*n+j]
+						for k := kk; k < kk+bs; k++ {
+							sum += a[i*n+k] * b[k*n+j]
+						}
+						c[i*n+j] = sum
+						if table != nil {
+							cs = cksum(cs, sum)
+						}
+					}
+				}
+			}
+			if table != nil {
+				table[(kk/bs)*tiles+ii/bs] = fold32(cs)
+			}
+		}
+	}
+}
+
+// Cholesky factors the SPD matrix a (read-only) into the lower-
+// triangular l. Regions are columns.
+func Cholesky(a, l []float64, n int, table []uint32) {
+	for j := 0; j < n; j++ {
+		var cs uint64
+		sum := a[j*n+j]
+		for k := 0; k < j; k++ {
+			v := l[j*n+k]
+			sum -= v * v
+		}
+		d := math.Sqrt(sum)
+		l[j*n+j] = d
+		if table != nil {
+			cs = cksum(cs, d)
+		}
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			v := s / d
+			l[i*n+j] = v
+			if table != nil {
+				cs = cksum(cs, v)
+			}
+		}
+		if table != nil {
+			table[j] = fold32(cs)
+		}
+	}
+}
+
+// Conv2D applies a 3×3 kernel to an n×n image for iters passes,
+// ping-ponging between work buffers. Regions are (pass, row block).
+func Conv2D(in, bufA, bufB, k []float64, n, blockRows, iters int, table []uint32) {
+	blocks := (n + blockRows - 1) / blockRows
+	src := in
+	for pass := 0; pass < iters; pass++ {
+		dst := bufA
+		if pass%2 == 1 {
+			dst = bufB
+		}
+		for blk := 0; blk < blocks; blk++ {
+			var cs uint64
+			i0, i1 := blk*blockRows, (blk+1)*blockRows
+			if i1 > n {
+				i1 = n
+			}
+			for i := i0; i < i1; i++ {
+				for j := 0; j < n; j++ {
+					sum := 0.0
+					for di := -1; di <= 1; di++ {
+						ii := i + di
+						if ii < 0 || ii >= n {
+							continue
+						}
+						for dj := -1; dj <= 1; dj++ {
+							jj := j + dj
+							if jj < 0 || jj >= n {
+								continue
+							}
+							sum += src[ii*n+jj] * k[(di+1)*3+(dj+1)]
+						}
+					}
+					dst[i*n+j] = sum
+					if table != nil {
+						cs = cksum(cs, sum)
+					}
+				}
+			}
+			if table != nil {
+				table[pass*blocks+blk] = fold32(cs)
+			}
+		}
+		src = bufA
+		if pass%2 == 1 {
+			src = bufB
+		}
+	}
+}
+
+// Gauss performs in-place LU-style forward elimination without pivoting
+// on u. Regions are elimination steps.
+func Gauss(u []float64, n int, table []uint32) {
+	for k := 0; k < n-1; k++ {
+		var cs uint64
+		pivot := u[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := u[i*n+k] / pivot
+			u[i*n+k] = m
+			if table != nil {
+				cs = cksum(cs, m)
+			}
+			for j := k + 1; j < n; j++ {
+				v := u[i*n+j] - m*u[k*n+j]
+				u[i*n+j] = v
+				if table != nil {
+					cs = cksum(cs, v)
+				}
+			}
+		}
+		if table != nil {
+			table[k] = fold32(cs)
+		}
+	}
+}
+
+// FFT computes an n-point complex DFT (interleaved re/im of length 2n)
+// with the iterative Stockham radix-2 algorithm, ping-ponging between
+// bufA and bufB, reading the input from x0 at stage 0. It returns the
+// buffer holding the result. Regions are stages.
+func FFT(x0, bufA, bufB []float64, n int, table []uint32) []float64 {
+	stages := 0
+	for s := n; s > 1; s >>= 1 {
+		stages++
+	}
+	src := x0
+	for stage := 0; stage < stages; stage++ {
+		dst := bufA
+		if stage%2 == 1 {
+			dst = bufB
+		}
+		nt := n >> stage
+		m := nt / 2
+		st := 1 << stage
+		theta := 2 * math.Pi / float64(nt)
+		var cs uint64
+		for p := 0; p < m; p++ {
+			wr := math.Cos(float64(p) * theta)
+			wi := -math.Sin(float64(p) * theta)
+			for q := 0; q < st; q++ {
+				ia, ib := q+st*p, q+st*(p+m)
+				ar, ai := src[2*ia], src[2*ia+1]
+				br, bi := src[2*ib], src[2*ib+1]
+				sr, si := ar+br, ai+bi
+				dr, di := ar-br, ai-bi
+				tr := dr*wr - di*wi
+				ti := dr*wi + di*wr
+				io := q + st*2*p
+				dst[2*io], dst[2*io+1] = sr, si
+				dst[2*(io+st)], dst[2*(io+st)+1] = tr, ti
+				if table != nil {
+					cs = cksum(cs, sr)
+					cs = cksum(cs, si)
+					cs = cksum(cs, tr)
+					cs = cksum(cs, ti)
+				}
+			}
+		}
+		if table != nil {
+			table[stage] = fold32(cs)
+		}
+		src = dst
+	}
+	return src
+}
+
+// fill produces the deterministic pseudo-random inputs shared with the
+// simulated workloads.
+func fill(seed, i, j int) float64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + uint64(j)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return float64(x>>11)/float64(1<<53)*2 - 1
+}
+
+// Workload bundles one native benchmark's setup and its two variants.
+type Workload struct {
+	Name string
+	// Base runs the kernel without failure safety; LP runs it with
+	// Lazy Persistency checksum instrumentation. Both recompute from
+	// fresh state on every call.
+	Base func()
+	LP   func()
+	// Check verifies the two variants produced identical outputs.
+	Check func() error
+}
+
+// New builds a native workload by name ("tmm", "cholesky", "conv2d",
+// "gauss", "fft") at problem size n (0 = default).
+func New(name string, n int) (*Workload, error) {
+	switch name {
+	case "tmm":
+		if n == 0 {
+			n = 512
+		}
+		bs := 16
+		a, b := make([]float64, n*n), make([]float64, n*n)
+		cB, cL := make([]float64, n*n), make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i*n+j] = fill(1, i, j)
+				b[i*n+j] = fill(2, i, j)
+			}
+		}
+		table := make([]uint32, (n/bs)*(n/bs))
+		return &Workload{
+			Name: name,
+			Base: func() { clearF(cB); TMM(a, b, cB, n, bs, nil) },
+			LP:   func() { clearF(cL); TMM(a, b, cL, n, bs, table) },
+			Check: func() error {
+				return sameF("tmm", cB, cL)
+			},
+		}, nil
+	case "cholesky":
+		if n == 0 {
+			n = 1024
+		}
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					a[i*n+j] = float64(n)
+				} else {
+					lo, hi := i, j
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					a[i*n+j] = fill(3, lo, hi)
+				}
+			}
+		}
+		lB, lL := make([]float64, n*n), make([]float64, n*n)
+		table := make([]uint32, n)
+		return &Workload{
+			Name: name,
+			Base: func() { clearF(lB); Cholesky(a, lB, n, nil) },
+			LP:   func() { clearF(lL); Cholesky(a, lL, n, table) },
+			Check: func() error {
+				return sameF("cholesky", lB, lL)
+			},
+		}, nil
+	case "conv2d":
+		if n == 0 {
+			n = 1024
+		}
+		const iters, blockRows = 8, 8
+		in := make([]float64, n*n)
+		k := make([]float64, 9)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				in[i*n+j] = fill(5, i, j)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				k[i*3+j] = fill(6, i, j) / 8
+			}
+		}
+		aB, bB := make([]float64, n*n), make([]float64, n*n)
+		aL, bL := make([]float64, n*n), make([]float64, n*n)
+		blocks := (n + blockRows - 1) / blockRows
+		table := make([]uint32, iters*blocks)
+		out := func(a, b []float64) []float64 {
+			if iters%2 == 1 {
+				return a
+			}
+			return b
+		}
+		return &Workload{
+			Name: name,
+			Base: func() { Conv2D(in, aB, bB, k, n, blockRows, iters, nil) },
+			LP:   func() { Conv2D(in, aL, bL, k, n, blockRows, iters, table) },
+			Check: func() error {
+				return sameF("conv2d", out(aB, bB), out(aL, bL))
+			},
+		}, nil
+	case "gauss":
+		// Large enough that the working set exceeds the last-level
+		// cache: the paper's real-machine kernels are memory-bound,
+		// which is what hides the checksum arithmetic (Table VII).
+		if n == 0 {
+			n = 2048
+		}
+		mk := func() []float64 {
+			u := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						u[i*n+j] = float64(2 * n)
+					} else {
+						u[i*n+j] = fill(4, i, j)
+					}
+				}
+			}
+			return u
+		}
+		uB, uL := mk(), mk()
+		pristine := mk()
+		table := make([]uint32, n)
+		return &Workload{
+			Name: name,
+			Base: func() { copy(uB, pristine); Gauss(uB, n, nil) },
+			LP:   func() { copy(uL, pristine); Gauss(uL, n, table) },
+			Check: func() error {
+				return sameF("gauss", uB, uL)
+			},
+		}, nil
+	case "fft":
+		if n == 0 {
+			n = 1 << 21
+		}
+		x0 := make([]float64, 2*n)
+		for i := range x0 {
+			x0[i] = fill(7, i, 0)
+		}
+		aB, bB := make([]float64, 2*n), make([]float64, 2*n)
+		aL, bL := make([]float64, 2*n), make([]float64, 2*n)
+		stages := 0
+		for s := n; s > 1; s >>= 1 {
+			stages++
+		}
+		table := make([]uint32, stages)
+		var outB, outL []float64
+		return &Workload{
+			Name: name,
+			Base: func() { outB = FFT(x0, aB, bB, n, nil) },
+			LP:   func() { outL = FFT(x0, aL, bL, n, table) },
+			Check: func() error {
+				return sameF("fft", outB, outL)
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("native: unknown workload %q", name)
+	}
+}
+
+func clearF(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+func sameF(name string, a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s: variant outputs differ in length", name)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s: variant outputs differ at %d: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+	return nil
+}

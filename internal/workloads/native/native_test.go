@@ -1,0 +1,115 @@
+package native
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestVariantsIdenticalOutputs(t *testing.T) {
+	for _, name := range []string{"tmm", "cholesky", "conv2d", "gauss", "fft"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := New(name, smallSize(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Base()
+			w.LP()
+			if err := w.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func smallSize(name string) int {
+	switch name {
+	case "fft":
+		return 256
+	default:
+		return 64
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("bogus", 0); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestOverheadRuns(t *testing.T) {
+	over, err := Overhead("tmm", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over < -0.9 || over > 10 {
+		t.Fatalf("implausible overhead %v", over)
+	}
+}
+
+func TestNativeTMMAgainstNaive(t *testing.T) {
+	n, bs := 32, 16
+	a, b, c := make([]float64, n*n), make([]float64, n*n), make([]float64, n*n)
+	for i := range a {
+		a[i] = fill(1, i/n, i%n)
+		b[i] = fill(2, i/n, i%n)
+	}
+	TMM(a, b, c, n, bs, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			if c[i*n+j] != sum {
+				t.Fatalf("c[%d][%d] = %v want %v", i, j, c[i*n+j], sum)
+			}
+		}
+	}
+}
+
+func TestNativeFFTAgainstDFT(t *testing.T) {
+	n := 64
+	x0 := make([]float64, 2*n)
+	for i := range x0 {
+		x0[i] = fill(7, i, 0)
+	}
+	bufA, bufB := make([]float64, 2*n), make([]float64, 2*n)
+	out := FFT(x0, bufA, bufB, n, nil)
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += complex(x0[2*j], x0[2*j+1]) * cmplx.Rect(1, -2*math.Pi*float64(k)*float64(j)/float64(n))
+		}
+		got := complex(out[2*k], out[2*k+1])
+		if cmplx.Abs(got-want) > 1e-9*float64(n) {
+			t.Fatalf("bin %d: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestChecksumTableFilled(t *testing.T) {
+	n, bs := 32, 16
+	a, b, c := make([]float64, n*n), make([]float64, n*n), make([]float64, n*n)
+	for i := range a {
+		a[i] = 1
+		b[i] = 1
+	}
+	tiles := n / bs
+	table := make([]uint32, tiles*tiles)
+	TMM(a, b, c, n, bs, table)
+	// All-ones inputs: regions at the same kk level fold identical
+	// data, so their slots must match; different levels must differ
+	// (partial sums grow with kk).
+	for kk := 0; kk < tiles; kk++ {
+		for ii := 1; ii < tiles; ii++ {
+			if table[kk*tiles+ii] != table[kk*tiles] {
+				t.Fatalf("slots at level %d differ", kk)
+			}
+		}
+	}
+	if tiles > 1 && table[0] == table[tiles] {
+		t.Fatal("checksums identical across kk levels")
+	}
+}

@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"testing"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+	"lazyp/internal/sim"
+)
+
+// simRun executes a workload on the simulator with the given strategy
+// and returns the memory.
+func simRun(t *testing.T, w Workload, m *memsim.Memory, strat lp.Strategy, threads int) *sim.Engine {
+	t.Helper()
+	eng := sim.New(sim.DefaultConfig(threads), m)
+	b := eng.NewBarrier()
+	eng.Run(func(th *sim.Thread) {
+		env := Env{C: th, Tid: th.ThreadID(), Threads: threads,
+			Barrier: func() { th.BarrierWait(b) }}
+		w.Run(env, strat.Thread(th.ThreadID()))
+	})
+	return eng
+}
+
+// TestTMMRecoverFrontierFullRun: after a fully-drained run, the
+// frontier is the end of the matrix (nothing to redo).
+func TestTMMRecoverFrontierFullRun(t *testing.T) {
+	m := memsim.NewMemory(32 << 20)
+	w := NewTMM(m, 64, 16, 2, checksum.Modular)
+	strat := lp.NewLP(w.Table(), checksum.Modular, 2)
+	eng := simRun(t, w, m, strat, 2)
+	eng.Hier.DrainDirty(eng.ExecCycles(), false)
+	m.Crash()
+
+	reng := sim.New(sim.DefaultConfig(1), m)
+	reng.Run(func(th *sim.Thread) {
+		if got := w.RecoverFrontier(th); got != w.N {
+			t.Errorf("frontier after complete durable run = %d, want %d", got, w.N)
+		}
+	})
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTMMRecoverFrontierNothingDurable: with nothing persisted, the
+// frontier restarts from zero and C is durably zeroed.
+func TestTMMRecoverFrontierNothingDurable(t *testing.T) {
+	m := memsim.NewMemory(32 << 20)
+	w := NewTMM(m, 64, 16, 2, checksum.Modular)
+	strat := lp.NewLP(w.Table(), checksum.Modular, 2)
+	simRun(t, w, m, strat, 2)
+	// No drain: everything (data + checksums, small run) may be lost.
+	m.Crash()
+
+	reng := sim.New(sim.DefaultConfig(1), m)
+	reng.Run(func(th *sim.Thread) {
+		got := w.RecoverFrontier(th)
+		if got != 0 {
+			// Some regions persisted naturally — also fine; just check
+			// legality.
+			if got%w.Bs != 0 || got > w.N {
+				t.Errorf("illegal frontier %d", got)
+			}
+			return
+		}
+		// Full restart: C must be durably zero.
+		c2 := &pmem.Native{Mem: m}
+		for i := 0; i < w.N; i++ {
+			for j := 0; j < w.N; j++ {
+				if w.C.Load(c2, i, j) != 0 {
+					t.Fatalf("C[%d][%d] not zeroed on full restart", i, j)
+				}
+			}
+		}
+	})
+}
+
+// TestTMMRepairIncremental exercises §IV's optimized Repair: persist a
+// consistent level, advance one tile's architectural state without
+// persisting, crash, and check repair rebuilds from the prior level
+// (bitwise result via Verify after completion).
+func TestTMMRepairIncremental(t *testing.T) {
+	m := memsim.NewMemory(32 << 20)
+	w := NewTMM(m, 64, 16, 1, checksum.Modular)
+	strat := lp.NewLP(w.Table(), checksum.Modular, 1)
+
+	// Run the first two kk blocks and drain (level 16 durable).
+	eng := sim.New(sim.DefaultConfig(1), m)
+	eng.Run(func(th *sim.Thread) {
+		env := Env{C: th, Tid: 0, Threads: 1, Barrier: NopBarrier}
+		w.runRange(env, strat.Thread(0), 0, 32)
+	})
+	eng.Hier.DrainDirty(eng.ExecCycles(), false)
+
+	// Run the third block but do NOT drain: lost at the crash.
+	eng2 := sim.New(sim.DefaultConfig(1), m)
+	eng2.Run(func(th *sim.Thread) {
+		env := Env{C: th, Tid: 0, Threads: 1, Barrier: NopBarrier}
+		w.runRange(env, strat.Thread(0), 32, 48)
+	})
+	m.Crash()
+
+	reng := sim.New(sim.DefaultConfig(1), m)
+	reng.Run(func(th *sim.Thread) {
+		if f := w.RecoverFrontier(th); f != 32 {
+			t.Errorf("frontier = %d, want 32 (levels 0,16 durable)", f)
+		}
+		// Complete the run.
+		env := Env{C: th, Tid: 0, Threads: 1, Barrier: NopBarrier}
+		w.RunFrom(env, strat.Thread(0), 32)
+	})
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverLPPanicsOnWrongGranularity documents the recovery
+// restriction to the paper's default ii granularity.
+func TestRecoverLPPanicsOnWrongGranularity(t *testing.T) {
+	m := memsim.NewMemory(32 << 20)
+	w := NewTMMGran(m, 64, 16, 1, checksum.Modular, GranJJ)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RecoverFrontier with jj granularity should panic")
+		}
+	}()
+	c := &pmem.Native{Mem: m}
+	w.RecoverFrontier(c)
+}
+
+// TestEagerLPRepairDurability: recovery work performed under the eager
+// strategy survives an immediate second crash (the lazy tail is drained
+// here; repairs themselves were already durable).
+func TestEagerLPRepairDurability(t *testing.T) {
+	m := memsim.NewMemory(32 << 20)
+	w := NewConv2DIters(m, 32, 4, 3, 1, checksum.Modular)
+	m.Crash() // nothing ever ran: recovery recomputes the whole kernel
+	r := sim.New(sim.DefaultConfig(1), m)
+	r.Run(func(th *sim.Thread) { w.RecoverLP(th) })
+	r.Hier.DrainDirty(r.ExecCycles(), false)
+	m.Crash()
+	if err := w.Verify(m); err != nil {
+		t.Fatalf("recovered-then-crashed conv2d wrong: %v", err)
+	}
+}

@@ -1,0 +1,517 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// Granularity selects the LP region size for TMM. The paper's §IV picks
+// the ii iteration; jj and kk exist for the granularity ablation
+// (smaller regions cost more checksum traffic, larger regions lose more
+// work on a failure). Recovery is implemented for the paper's choice.
+type Granularity uint8
+
+const (
+	// GranII — one region per (kk, ii) pair, the paper's default.
+	GranII Granularity = iota
+	// GranJJ — one region per (kk, ii, jj) triple (finer).
+	GranJJ
+	// GranKK — one region per (kk, thread) pair (coarser).
+	GranKK
+)
+
+// TMM is tiled matrix multiplication C = A×B (§II-B, Figure 4) with the
+// 6-loop tiling of Wolf & Lam, extended with Lazy Persistency exactly as
+// the paper's Figure 8: the LP region is one ii iteration; the checksum
+// key combines ii and kk; the standalone table is collision-free.
+//
+// Work partitioning: within each kk step, the ii tiles are distributed
+// round-robin over the threads. A tile row band belongs to one thread
+// for the whole run, so regions of different threads never store to the
+// same element; the checksum key combines ii, kk, and the (partition-
+// implied) thread id exactly as §III-D sizes the table — N²P/bsize²
+// slots, collision-free, about 1% of the matrices.
+type TMM struct {
+	N    int // matrix dimension
+	Bs   int // tile (blocking) size; paper: 16
+	Thr  int
+	Gran Granularity
+
+	// ElementTx wraps every output element in its own durable
+	// transaction, the paper's Figure 2 structure. Only meaningful with
+	// the WAL strategy; region keys then identify (region, element) so
+	// recovery can resume mid-region.
+	ElementTx bool
+
+	A, B, C pmem.Matrix
+	tab     *lp.Table
+	kind    checksum.Kind
+}
+
+// NewTMM allocates the three matrices and the checksum table, durably
+// initializes A and B with deterministic pseudo-random inputs and C with
+// zeros, and returns the ready-to-run workload.
+func NewTMM(m *memsim.Memory, n, bs, threads int, kind checksum.Kind) *TMM {
+	return NewTMMGran(m, n, bs, threads, kind, GranII)
+}
+
+// NewTMMGran is NewTMM with an explicit region granularity (ablation).
+func NewTMMGran(m *memsim.Memory, n, bs, threads int, kind checksum.Kind, g Granularity) *TMM {
+	return newTMM(m, n, bs, threads, kind, g, false)
+}
+
+// NewTMMEmbedded is NewTMM with the *embedded* checksum organization of
+// the paper's Figure 7(a): instead of the dense standalone table, each
+// region's checksum lives scattered through the matrix address range
+// (one slot per tile-row stride), occupying N²P/bsize of space — the
+// layout §III-D rejects for its space overhead and cache behavior. Kept
+// as an ablation (BenchmarkAblationEmbeddedTable).
+func NewTMMEmbedded(m *memsim.Memory, n, bs, threads int, kind checksum.Kind) *TMM {
+	return newTMM(m, n, bs, threads, kind, GranII, true)
+}
+
+func newTMM(m *memsim.Memory, n, bs, threads int, kind checksum.Kind, g Granularity, embedded bool) *TMM {
+	if n%bs != 0 {
+		panic(fmt.Sprintf("workloads: TMM n=%d not divisible by bs=%d", n, bs))
+	}
+	w := &TMM{N: n, Bs: bs, Thr: threads, Gran: g, kind: kind}
+	w.A = pmem.AllocMatrix(m, "tmm.a", n)
+	w.B = pmem.AllocMatrix(m, "tmm.b", n)
+	w.C = pmem.AllocMatrix(m, "tmm.c", n)
+	w.A.Fill(m, func(i, j int) float64 { return fillValue(1, i, j) })
+	w.B.Fill(m, func(i, j int) float64 { return fillValue(2, i, j) })
+	w.C.Fill(m, func(i, j int) float64 { return 0 })
+	if embedded {
+		w.tab = lp.NewTableStrided(m, "tmm.cksums.embedded", w.Regions(), bs)
+	} else {
+		w.tab = lp.NewTable(m, "tmm.cksums", w.Regions())
+	}
+	return w
+}
+
+// Name implements Workload.
+func (w *TMM) Name() string { return "tmm" }
+
+// Table implements Workload.
+func (w *TMM) Table() *lp.Table { return w.tab }
+
+// Kind returns the checksum code the workload was built with.
+func (w *TMM) Kind() checksum.Kind { return w.kind }
+
+// tiles returns the number of tiles per dimension.
+func (w *TMM) tiles() int { return w.N / w.Bs }
+
+// Regions implements Workload. The default (ii) granularity follows the
+// paper's sizing exactly: N/bsize × N/bsize × P slots — "ii, kk, and
+// thread ID form the key", eliminating collisions — which §III-D notes
+// is about 1% of the size of the matrices.
+func (w *TMM) Regions() int {
+	t := w.tiles()
+	switch w.Gran {
+	case GranJJ:
+		return t * t * t
+	case GranKK:
+		return t * w.Thr
+	default:
+		return t * t * w.Thr
+	}
+}
+
+// slot is GetHashIndex of the paper's Figure 8: the collision-free
+// checksum-table index of region (kk, ii). The owning thread of an ii
+// tile is implied by the round-robin partition, so the key includes it
+// deterministically.
+func (w *TMM) slot(kk, ii int) int {
+	iiT := ii / w.Bs
+	return ((kk/w.Bs)*w.tiles()+iiT)*w.Thr + iiT%w.Thr
+}
+
+// slotDecode inverts slot, returning the region's (kk, ii).
+func (w *TMM) slotDecode(slot int) (kk, ii int) {
+	v := slot / w.Thr
+	return (v / w.tiles()) * w.Bs, (v % w.tiles()) * w.Bs
+}
+
+// slotJJ is the finer-granularity key (kk, ii, jj).
+func (w *TMM) slotJJ(kk, ii, jj int) int {
+	t := w.tiles()
+	return ((kk/w.Bs)*t+ii/w.Bs)*t + jj/w.Bs
+}
+
+// Run implements Workload: the paper's Figure 8 with the strategy
+// supplying ResetCheckSum / UpdateCheckSum / table-store behavior.
+func (w *TMM) Run(env Env, ts lp.ThreadStrategy) {
+	w.RunFrom(env, ts, 0)
+}
+
+// RunWindow implements Workload: simulate the first `outer` kk blocks
+// (the paper's TMM window is two kk iterations, §V-C).
+func (w *TMM) RunWindow(env Env, ts lp.ThreadStrategy, outer int) {
+	end := w.N
+	if outer > 0 && outer*w.Bs < end {
+		end = outer * w.Bs
+	}
+	w.runRange(env, ts, 0, end)
+}
+
+// RunFrom executes all regions with kk >= startKK (RunFrom(env, ts, 0)
+// is a full run; recovery resumes from the repaired frontier).
+func (w *TMM) RunFrom(env Env, ts lp.ThreadStrategy, startKK int) {
+	w.runRange(env, ts, startKK, w.N)
+}
+
+func (w *TMM) runRange(env Env, ts lp.ThreadStrategy, startKK, endKK int) {
+	bs := w.Bs
+	for kk := startKK; kk < endKK; kk += bs {
+		if w.Gran == GranKK && !w.ElementTx {
+			ts.Begin(env.C, (kk/bs)*w.Thr+env.Tid)
+		}
+		for iiT := env.Tid; iiT < w.tiles(); iiT += env.Threads {
+			ii := iiT * bs
+			if w.Gran == GranII && !w.ElementTx {
+				ts.Begin(env.C, w.slot(kk, ii))
+			}
+			w.runII(env, ts, kk, ii, 0)
+			if w.Gran == GranII && !w.ElementTx {
+				ts.End(env.C)
+			}
+		}
+		if w.Gran == GranKK && !w.ElementTx {
+			ts.End(env.C)
+		}
+	}
+}
+
+// elemsPerRegion is the number of output elements one (kk, ii) region
+// stores.
+func (w *TMM) elemsPerRegion() int { return w.Bs * w.N }
+
+// elemKeyBase returns the first element-transaction key of region
+// (kk, ii) in thread tid's program order (ElementTx mode).
+func (w *TMM) elemKeyBase(tid, kk, ii int) int {
+	ord := 0
+	for _, r := range w.threadRegions(tid) {
+		if r[0] == kk && r[1] == ii {
+			break
+		}
+		ord++
+	}
+	return ord * w.elemsPerRegion()
+}
+
+// runII is the body of one ii iteration: the partial product of tile row
+// band [ii, ii+bs) accumulated over the kk-th block of the inner
+// dimension, across all jj tiles. In ElementTx mode each element is its
+// own durable transaction (Figure 2) and the first `skip` elements —
+// already durably committed before a crash — are not re-executed.
+func (w *TMM) runII(env Env, ts lp.ThreadStrategy, kk, ii, skip int) {
+	c := env.C
+	n, bs := w.N, w.Bs
+	ord := 0
+	keyBase := 0
+	if w.ElementTx {
+		keyBase = w.elemKeyBase(env.Tid, kk, ii)
+	}
+	for jj := 0; jj < n; jj += bs {
+		if w.Gran == GranJJ && !w.ElementTx {
+			ts.Begin(c, w.slotJJ(kk, ii, jj))
+		}
+		for i := ii; i < ii+bs; i++ {
+			for j := jj; j < jj+bs; j++ {
+				if w.ElementTx && ord < skip {
+					ord++
+					continue
+				}
+				sum := w.C.Load(c, i, j)
+				for k := kk; k < kk+bs; k++ {
+					sum += w.A.Load(c, i, k) * w.B.Load(c, k, j)
+					c.Compute(2)
+				}
+				if w.ElementTx {
+					ts.Begin(c, keyBase+ord)
+				}
+				ts.StoreF(c, w.C.Addr(i, j), sum)
+				if w.ElementTx {
+					ts.End(c)
+				}
+				ord++
+			}
+		}
+		if w.Gran == GranJJ && !w.ElementTx {
+			ts.End(c)
+		}
+	}
+}
+
+// regionSum recomputes the checksum of region (·, ii) from the values
+// currently in C, folding them in the exact store order of runII
+// (IsMatchingChecksum's recomputation half, Figure 9).
+func (w *TMM) regionSum(c pmem.Ctx, ii int) uint64 {
+	n, bs := w.N, w.Bs
+	s := lp.NewRegionSummer(w.kind)
+	for jj := 0; jj < n; jj += bs {
+		for i := ii; i < ii+bs; i++ {
+			for j := jj; j < jj+bs; j++ {
+				s.Add(c, c.Load64(w.C.Addr(i, j)))
+			}
+		}
+	}
+	return s.Sum()
+}
+
+// Matches is IsMatchingChecksum(ii, kk) of Figure 9: does the stored
+// checksum for region (kk, ii) equal one recomputed from the data now in
+// C? Exported for recovery diagnostics and tests.
+func (w *TMM) Matches(c pmem.Ctx, ii, kk int) bool {
+	return w.tab.Matches(c, w.slot(kk, ii), w.regionSum(c, ii))
+}
+
+// repair restores tile row band ii to its state after the kk-th block
+// (Repair(ii, kk) of Figure 9), persists the rows eagerly, and durably
+// re-commits the region's checksum.
+//
+// It applies the optimization §IV describes: "Instead of assuming that
+// we must recover from the beginning, we can look for a prior kk
+// iteration for the same ii block that does match its checksum. If one
+// exists, we can recompute the difference rather than recomputing from
+// the beginning." The tile's durable data at a matching prior level is
+// the exact partial sum normal execution held there, so continuing the
+// accumulation from that level is bit-identical to a from-scratch
+// recompute (k ascends through the same sequence of additions).
+func (w *TMM) repair(c pmem.Ctx, ii, kk int) {
+	n, bs := w.N, w.Bs
+	kEnd := kk + bs
+
+	// Find the latest prior consistent level for this tile.
+	kStart := 0
+	for prior := kk - bs; prior >= 0; prior -= bs {
+		if w.Matches(c, ii, prior) {
+			kStart = prior + bs
+			break
+		}
+	}
+
+	for i := ii; i < ii+bs; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			if kStart > 0 {
+				sum = w.C.Load(c, i, j) // durable partial sum at kStart-bs
+			}
+			for k := kStart; k < kEnd; k++ {
+				sum += w.A.Load(c, i, k) * w.B.Load(c, k, j)
+				c.Compute(2)
+			}
+			c.StoreF(w.C.Addr(i, j), sum)
+		}
+		ep.PersistRange(c, w.C.Addr(i, 0), n*pmem.WordSize)
+	}
+	c.Fence()
+	w.tab.StoreSumEager(c, w.slot(kk, ii), w.regionSum(c, ii))
+}
+
+// zeroTile durably resets tile row band ii to zero (full restart).
+func (w *TMM) zeroTile(c pmem.Ctx, ii int) {
+	n, bs := w.N, w.Bs
+	for i := ii; i < ii+bs; i++ {
+		for j := 0; j < n; j++ {
+			c.StoreF(w.C.Addr(i, j), 0)
+		}
+		ep.PersistRange(c, w.C.Addr(i, 0), n*pmem.WordSize)
+	}
+	c.Fence()
+}
+
+// RecoverFrontier is the detection-and-repair pass of the paper's
+// Figure 9: scan kk from the last block downward; at the highest kk
+// where any region's checksum matches, repair every mismatched region
+// at that kk and return kk+bs as the block where normal execution
+// resumes. If no region matches anywhere, C is durably zeroed and
+// execution restarts from block 0.
+func (w *TMM) RecoverFrontier(c pmem.Ctx) (resumeKK int) {
+	if w.Gran != GranII {
+		panic("workloads: TMM recovery requires the default ii granularity")
+	}
+	n, bs := w.N, w.Bs
+	for kk := n - bs; kk >= 0; kk -= bs {
+		found := false
+		for goodII := 0; goodII < n; goodII += bs {
+			if w.Matches(c, goodII, kk) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		for ii := 0; ii < n; ii += bs {
+			if !w.Matches(c, ii, kk) {
+				w.repair(c, ii, kk)
+			}
+		}
+		return kk + bs
+	}
+	// Nothing persisted consistently: restart from scratch.
+	for ii := 0; ii < n; ii += bs {
+		w.zeroTile(c, ii)
+	}
+	return 0
+}
+
+// RecoverLP implements Workload: repair per Figure 9, then complete the
+// remaining blocks by resuming normal (lazy) execution single-threaded.
+func (w *TMM) RecoverLP(c pmem.Ctx) {
+	resume := w.RecoverFrontier(c)
+	if resume >= w.N {
+		return
+	}
+	s := lp.NewLP(w.tab, w.kind, 1)
+	env := Env{C: c, Tid: 0, Threads: 1, Barrier: NopBarrier}
+	w.RunFrom(env, s.Thread(0), resume)
+}
+
+// threadRegions enumerates thread tid's regions in program order as
+// (kk, ii) pairs — the order Run executes them and the order
+// EagerRecompute's and WAL's progress markers advance through.
+func (w *TMM) threadRegions(tid int) [][2]int {
+	var out [][2]int
+	for kk := 0; kk < w.N; kk += w.Bs {
+		for iiT := tid; iiT < w.tiles(); iiT += w.Thr {
+			out = append(out, [2]int{kk, iiT * w.Bs})
+		}
+	}
+	return out
+}
+
+// rollbackTile restores tile row band ii to its state before block kk
+// (recompute from scratch through kk-bs), durably. Used by the eager
+// schemes to discard a partially-persisted in-flight region.
+func (w *TMM) rollbackTile(c pmem.Ctx, ii, kk int) {
+	if kk == 0 {
+		w.zeroTile(c, ii)
+		return
+	}
+	n, bs := w.N, w.Bs
+	for i := ii; i < ii+bs; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < kk; k++ {
+				sum += w.A.Load(c, i, k) * w.B.Load(c, k, j)
+				c.Compute(2)
+			}
+			c.StoreF(w.C.Addr(i, j), sum)
+		}
+		ep.PersistRange(c, w.C.Addr(i, 0), n*pmem.WordSize)
+	}
+	c.Fence()
+}
+
+// RecoverEP is EagerRecompute's recovery: per thread, the progress
+// marker names the last fully-persisted region; the next region may be
+// partially persisted and is rolled back by recomputation; then the
+// thread's remaining regions re-execute eagerly.
+func (w *TMM) RecoverEP(c pmem.Ctx, rec *ep.Recompute) {
+	for tid := 0; tid < w.Thr; tid++ {
+		regions := w.threadRegions(tid)
+		next := 0
+		if mk := rec.Markers.Load(c, tid); mk != ep.MarkerNone {
+			kk, ii := w.slotDecode(int(mk))
+			for idx, r := range regions {
+				if r[0] == kk && r[1] == ii {
+					next = idx + 1
+					break
+				}
+			}
+		}
+		if next < len(regions) {
+			r := regions[next]
+			w.rollbackTile(c, r[1], r[0])
+		}
+		ts := rec.Thread(tid)
+		envC := Env{C: c, Tid: tid, Threads: w.Thr, Barrier: NopBarrier}
+		for _, r := range regions[next:] {
+			ts.Begin(envC.C, w.slot(r[0], r[1]))
+			w.runII(envC, ts, r[0], r[1], 0)
+			ts.End(envC.C)
+		}
+	}
+}
+
+// RecoverWAL is the durable-transaction recovery: roll back any
+// in-flight transaction from its undo log, then re-execute the thread's
+// remaining work under WAL. In ElementTx mode the status key identifies
+// the exact element, so execution resumes mid-region, skipping elements
+// whose transactions committed (re-executing them would double-
+// accumulate).
+func (w *TMM) RecoverWAL(c pmem.Ctx, wal *ep.WAL) {
+	for tid := 0; tid < w.Thr; tid++ {
+		regions := w.threadRegions(tid)
+		nextRegion, skip := 0, 0
+		key, inTx, ok := wal.WALRecover(c, tid)
+		if ok {
+			if w.ElementTx {
+				nextRegion = key / w.elemsPerRegion()
+				skip = key % w.elemsPerRegion() // rolled back: redo it
+				if !inTx {
+					skip++ // committed: resume after it
+					if skip == w.elemsPerRegion() {
+						nextRegion++
+						skip = 0
+					}
+				}
+			} else {
+				kk, ii := w.slotDecode(key)
+				for idx, r := range regions {
+					if r[0] == kk && r[1] == ii {
+						nextRegion = idx
+						if !inTx {
+							nextRegion = idx + 1
+						}
+						break
+					}
+				}
+			}
+		}
+		ts := wal.Thread(tid)
+		env := Env{C: c, Tid: tid, Threads: w.Thr, Barrier: NopBarrier}
+		for ri := nextRegion; ri < len(regions); ri++ {
+			r := regions[ri]
+			s := 0
+			if ri == nextRegion {
+				s = skip
+			}
+			if !w.ElementTx {
+				ts.Begin(c, w.slot(r[0], r[1]))
+			}
+			w.runII(env, ts, r[0], r[1], s)
+			if !w.ElementTx {
+				ts.End(c)
+			}
+		}
+	}
+}
+
+// Verify implements Workload: compare C against a naive O(n³)
+// reference computed from snapshots of A and B. The reference
+// accumulates in the same k order, so equality is bitwise.
+func (w *TMM) Verify(m *memsim.Memory) error {
+	n := w.N
+	a := w.A.Snapshot(m)
+	b := w.B.Snapshot(m)
+	c := w.C.Snapshot(m)
+	want := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			want[i*n+j] = sum
+		}
+	}
+	return verifyClose("tmm", c, want, 0)
+}

@@ -1,0 +1,96 @@
+// Package workloads implements the paper's five benchmark kernels —
+// tiled matrix multiplication (TMM), Cholesky decomposition, 2-D
+// convolution, Gaussian elimination, and FFT (§V-C, Table V) — written
+// once against the pmem.Ctx interface and parameterized by an
+// lp.Strategy, so the same source runs as:
+//
+//   - base — no failure safety,
+//   - lp   — Lazy Persistency (the paper's technique),
+//   - ep   — EagerRecompute (the state-of-the-art eager baseline),
+//   - wal  — PMEM write-ahead-logging durable transactions.
+//
+// Each workload also implements the recovery code its LP regions need
+// (§III-E, §IV): detection by checksum revalidation and repair by
+// recomputation, always performed with Eager Persistency so recovery
+// itself makes forward progress. DESIGN.md §5 documents the recovery
+// design per workload.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// Env is the per-thread execution environment a kernel runs in.
+type Env struct {
+	C       pmem.Ctx
+	Tid     int
+	Threads int
+	// Barrier synchronizes all participating threads at a phase
+	// boundary; single-threaded environments pass a no-op.
+	Barrier func()
+}
+
+// NopBarrier is the barrier for single-threaded environments.
+func NopBarrier() {}
+
+// Workload is one benchmark instance bound to its persistent data.
+type Workload interface {
+	// Name is the benchmark's short name as used in the paper's
+	// figures ("tmm", "cholesky", "conv2d", "gauss", "fft").
+	Name() string
+	// Regions is the number of LP regions (checksum-table slots).
+	Regions() int
+	// Table is the workload's checksum table.
+	Table() *lp.Table
+	// Run executes the thread's share of the kernel under ts.
+	Run(env Env, ts lp.ThreadStrategy)
+	// RunWindow executes only the first `outer` outer-loop units
+	// (kk blocks, columns, row blocks, elimination steps, or FFT
+	// stages), reproducing the paper's fixed-work simulation windows
+	// (§V-C). outer <= 0 means the full kernel.
+	RunWindow(env Env, ts lp.ThreadStrategy, outer int)
+	// RecoverLP performs post-crash detection, repair, and completion
+	// for a run that used the LP strategy. Single-threaded; after it
+	// returns, the architectural output is complete and correct and
+	// every repair it performed is durably persisted.
+	RecoverLP(c pmem.Ctx)
+	// Verify checks the architectural output against an independently
+	// computed reference; it returns nil when correct.
+	Verify(m *memsim.Memory) error
+}
+
+// verifyClose compares got against want elementwise with a relative
+// tolerance (exact-equality workloads pass tol = 0).
+func verifyClose(name string, got, want []float64, tol float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length mismatch got %d want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g == w {
+			continue
+		}
+		scale := math.Max(math.Abs(g), math.Abs(w))
+		if math.Abs(g-w) <= tol*scale {
+			continue
+		}
+		return fmt.Errorf("%s: element %d differs: got %v want %v (tol %v)", name, i, g, w, tol)
+	}
+	return nil
+}
+
+// fillValue is the deterministic pseudo-random input generator shared by
+// all workloads: values in roughly [-1, 1], reproducible, cheap.
+func fillValue(seed, i, j int) float64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + uint64(j)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	// Map the top 53 bits to [0,1), then shift to [-1,1).
+	return float64(x>>11)/float64(1<<53)*2 - 1
+}

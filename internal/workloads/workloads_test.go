@@ -1,0 +1,245 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// nativeRun executes a workload single-threaded on a Native ctx (no
+// simulation) under the given strategy.
+func nativeRun(m *memsim.Memory, w Workload, s lp.Strategy) {
+	env := Env{C: &pmem.Native{Mem: m}, Tid: 0, Threads: 1, Barrier: NopBarrier}
+	w.Run(env, s.Thread(0))
+}
+
+func TestTMMNativeBaseVerify(t *testing.T) {
+	m := memsim.NewMemory(16 << 20)
+	w := NewTMM(m, 64, 16, 1, checksum.Modular)
+	nativeRun(m, w, lp.Base{})
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTMMGranularities(t *testing.T) {
+	for _, g := range []Granularity{GranII, GranJJ, GranKK} {
+		m := memsim.NewMemory(16 << 20)
+		w := NewTMMGran(m, 64, 16, 1, checksum.Modular, g)
+		lpS := lp.NewLP(w.Table(), checksum.Modular, 1)
+		nativeRun(m, w, lpS)
+		if err := w.Verify(m); err != nil {
+			t.Fatalf("granularity %d: %v", g, err)
+		}
+	}
+}
+
+func TestTMMSlotRoundTrip(t *testing.T) {
+	w := &TMM{N: 128, Bs: 16, Thr: 3}
+	seen := map[int]bool{}
+	for kk := 0; kk < w.N; kk += w.Bs {
+		for ii := 0; ii < w.N; ii += w.Bs {
+			s := w.slot(kk, ii)
+			if s < 0 || s >= w.Regions() {
+				t.Fatalf("slot(%d,%d) = %d out of range", kk, ii, s)
+			}
+			if seen[s] {
+				t.Fatalf("slot collision at (%d,%d)", kk, ii)
+			}
+			seen[s] = true
+			gk, gi := w.slotDecode(s)
+			if gk != kk || gi != ii {
+				t.Fatalf("slotDecode(slot(%d,%d)) = (%d,%d)", kk, ii, gk, gi)
+			}
+		}
+	}
+}
+
+func TestTMMThreadRegionsPartition(t *testing.T) {
+	w := &TMM{N: 128, Bs: 16, Thr: 3}
+	counts := map[[2]int]int{}
+	for tid := 0; tid < w.Thr; tid++ {
+		for _, r := range w.threadRegions(tid) {
+			counts[r]++
+		}
+	}
+	tiles := w.tiles()
+	if len(counts) != tiles*tiles {
+		t.Fatalf("regions covered = %d, want %d", len(counts), tiles*tiles)
+	}
+	for r, c := range counts {
+		if c != 1 {
+			t.Fatalf("region %v covered %d times", r, c)
+		}
+	}
+}
+
+func TestCholeskyNative(t *testing.T) {
+	m := memsim.NewMemory(16 << 20)
+	w := NewCholesky(m, 40, 1, checksum.Modular)
+	nativeRun(m, w, lp.Base{})
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// L·Lᵀ must reconstruct A (numerically).
+	l := w.L.Snapshot(m)
+	a := w.A.Snapshot(m)
+	n := w.N
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := 0.0
+			for k := 0; k <= j; k++ {
+				sum += l[i*n+k] * l[j*n+k]
+			}
+			if math.Abs(sum-a[i*n+j]) > 1e-9*float64(n) {
+				t.Fatalf("L·Lᵀ[%d][%d] = %v, A = %v", i, j, sum, a[i*n+j])
+			}
+		}
+	}
+}
+
+func TestConv2DNative(t *testing.T) {
+	m := memsim.NewMemory(16 << 20)
+	w := NewConv2DIters(m, 32, 4, 5, 1, checksum.Modular)
+	nativeRun(m, w, lp.Base{})
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussNative(t *testing.T) {
+	m := memsim.NewMemory(16 << 20)
+	w := NewGauss(m, 48, 1, checksum.Modular)
+	nativeRun(m, w, lp.Base{})
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Check LU actually factors A0: (L+I)·U == A0 where L is strictly
+	// lower (multipliers) and U upper.
+	n := w.N
+	u := w.U.Snapshot(m)
+	a0 := w.A0.Snapshot(m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k <= min(i, j); k++ {
+				lv := u[i*n+k] // multiplier for k<i
+				if k == i {
+					lv = 1
+				}
+				if k <= j {
+					uv := u[k*n+j]
+					sum += lv * uv
+				}
+			}
+			if math.Abs(sum-a0[i*n+j]) > 1e-8*float64(n) {
+				t.Fatalf("LU[%d][%d] = %v, A0 = %v", i, j, sum, a0[i*n+j])
+			}
+		}
+	}
+}
+
+func TestFFTNative(t *testing.T) {
+	m := memsim.NewMemory(16 << 20)
+	w := NewFFT(m, 256, 1, checksum.Modular)
+	nativeRun(m, w, lp.Base{})
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTAgainstDirectDFT(t *testing.T) {
+	m := memsim.NewMemory(16 << 20)
+	w := NewFFT(m, 32, 1, checksum.Modular)
+	nativeRun(m, w, lp.Base{})
+	x0 := w.X0.Snapshot(m)
+	got := w.Result().Snapshot(m)
+	n := w.N
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			x := complex(x0[2*j], x0[2*j+1])
+			want += x * cmplx.Rect(1, -2*math.Pi*float64(k)*float64(j)/float64(n))
+		}
+		g := complex(got[2*k], got[2*k+1])
+		if cmplx.Abs(g-want) > 1e-9*float64(n) {
+			t.Fatalf("DFT bin %d: got %v want %v", k, g, want)
+		}
+	}
+}
+
+func TestFFTBadSizePanics(t *testing.T) {
+	m := memsim.NewMemory(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two FFT should panic")
+		}
+	}()
+	NewFFT(m, 100, 1, checksum.Modular)
+}
+
+func TestTMMBadTilePanics(t *testing.T) {
+	m := memsim.NewMemory(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n not divisible by bs should panic")
+		}
+	}()
+	NewTMM(m, 100, 16, 1, checksum.Modular)
+}
+
+func TestParallelNativeMatchesSequential(t *testing.T) {
+	// The work partition must not change results: 1-thread vs 3-thread
+	// native runs produce bitwise identical outputs.
+	run := func(threads int) []float64 {
+		m := memsim.NewMemory(16 << 20)
+		w := NewTMM(m, 64, 16, threads, checksum.Modular)
+		for tid := 0; tid < threads; tid++ {
+			env := Env{C: &pmem.Native{Mem: m, ID: tid}, Tid: tid, Threads: threads, Barrier: NopBarrier}
+			w.Run(env, lp.Base{}.Thread(tid))
+		}
+		return w.C.Snapshot(m)
+	}
+	a, b := run(1), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("element %d differs across thread counts", i)
+		}
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	m := memsim.NewMemory(64 << 20)
+	ws := []Workload{
+		NewTMM(m, 64, 16, 2, checksum.Modular),
+		NewCholesky(m, 32, 2, checksum.Modular),
+		NewConv2D(m, 32, 4, 2, checksum.Modular),
+		NewGauss(m, 32, 2, checksum.Modular),
+		NewFFT(m, 64, 2, checksum.Modular),
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if w.Name() == "" || names[w.Name()] {
+			t.Fatalf("bad or duplicate name %q", w.Name())
+		}
+		names[w.Name()] = true
+		if w.Regions() <= 0 {
+			t.Fatalf("%s: no regions", w.Name())
+		}
+		if w.Table() == nil || w.Table().Slots() != w.Regions() {
+			t.Fatalf("%s: table size mismatch", w.Name())
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,298 @@
+// Package lazyp is a library implementation of Lazy Persistency (LP) —
+// "Lazy Persistency: A High-Performing and Write-Efficient Software
+// Persistency Technique" (Alshboul, Tuck, Solihin — ISCA 2018) — together
+// with the simulated persistent-memory machine it is evaluated on.
+//
+// # The technique
+//
+// Programs that keep their data in non-volatile main memory (NVMM)
+// usually achieve failure-safety with Eager Persistency: every store is
+// followed by a cache-line flush and a fence so it durably reaches NVMM
+// before execution continues. That costs instructions, pipeline stalls,
+// and extra NVMM writes. Lazy Persistency instead lets dirty cache lines
+// reach NVMM through natural evictions — zero flushes, zero fences, zero
+// logs in the failure-free case. The program is divided into LP regions;
+// each region folds every value it stores into a running software
+// checksum and writes the checksum into a persistent table (also
+// lazily). After a crash, recovery recomputes each region's checksum
+// from whatever survived in NVMM: a mismatch identifies a region whose
+// data did not fully persist, and that region is recomputed (eagerly, so
+// recovery itself makes forward progress).
+//
+// # What the package provides
+//
+//   - a Machine: a deterministic multi-core simulator with private L1s,
+//     a shared inclusive L2 with MESI-style coherence, a stride
+//     prefetcher, an NVMM with configurable latencies behind an ADR
+//     memory controller, cache-line flush / fence semantics, periodic
+//     hardware cleanup (§III-E.1), and crash injection;
+//   - the LP programming model: Strategy (Begin / Store / End region
+//     boundaries), the persistent checksum Table, and the error
+//     detection codes of §III-D (modular, parity, Adler-32, dual);
+//   - the Eager Persistency baselines the paper compares against
+//     (EagerRecompute and PMEM-style write-ahead logging);
+//   - the five evaluated kernels (tiled matrix multiplication, Cholesky,
+//     iterative 2-D convolution, Gaussian elimination, FFT) with full
+//     crash-recovery implementations.
+//
+// # Quickstart
+//
+//	m := lazyp.NewMachine(lazyp.MachineConfig{Threads: 4})
+//	w := lazyp.NewTMM(m, 128, 16)          // C = A×B on persistent memory
+//	strat := lazyp.NewLPStrategy(w.Table(), lazyp.Modular, 4)
+//	m.Run(func(t *lazyp.Thread) {          // failure-free execution
+//	    w.Run(lazyp.EnvOf(t, 4), strat.Thread(t.ThreadID()))
+//	})
+//
+// Inject a failure with MachineConfig.CrashCycle, apply it with
+// Machine.Crash, and repair with the workload's RecoverLP — see
+// examples/ for complete crash-and-recover programs.
+package lazyp
+
+import (
+	"lazyp/internal/checksum"
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+	"lazyp/internal/sim"
+	"lazyp/internal/workloads"
+)
+
+// Re-exported core types. The internal packages carry the full
+// documentation; these aliases are the supported public surface.
+type (
+	// Addr is a byte address in the simulated persistent address space.
+	Addr = memsim.Addr
+	// Ctx is the execution context kernels are written against
+	// (loads, stores, flush/fence, compute accounting).
+	Ctx = pmem.Ctx
+	// Thread is a simulated hardware thread; it implements Ctx.
+	Thread = sim.Thread
+	// Env is the per-thread environment a workload kernel runs in.
+	Env = workloads.Env
+	// Strategy is a persistence discipline (base, LP, EagerRecompute,
+	// WAL) applied to a kernel's region boundaries and stores.
+	Strategy = lp.Strategy
+	// ThreadStrategy is a Strategy's per-thread instance.
+	ThreadStrategy = lp.ThreadStrategy
+	// Table is the persistent standalone checksum table of §III-D.
+	Table = lp.Table
+	// Kind selects an error-detection code.
+	Kind = checksum.Kind
+	// Workload is one benchmark kernel bound to its persistent data.
+	Workload = workloads.Workload
+	// Matrix is a persistent row-major square matrix of float64.
+	Matrix = pmem.Matrix
+	// F64 is a persistent float64 vector.
+	F64 = pmem.F64
+)
+
+// Error-detection codes (§III-D).
+const (
+	// Modular sums stored words — the paper's default.
+	Modular = checksum.Modular
+	// Parity XORs stored words (cheapest, weakest).
+	Parity = checksum.Parity
+	// Adler32 is the zlib checksum (accurate, costlier).
+	Adler32 = checksum.Adler32
+	// Dual applies Modular and Parity in parallel.
+	Dual = checksum.Dual
+)
+
+// MachineConfig describes the simulated machine. The zero value of any
+// field takes the paper's (scaled) default; see sim.DefaultConfig.
+type MachineConfig struct {
+	// Threads is the number of worker threads/cores (default 8).
+	Threads int
+	// MemBytes sizes the persistent address space (default 64 MiB).
+	MemBytes int
+	// L1Bytes / L2Bytes size the caches (defaults 32 KiB / 256 KiB).
+	L1Bytes, L2Bytes int
+	// ReadNs / WriteNs are the NVMM latencies (defaults 150 / 300 ns).
+	ReadNs, WriteNs int64
+	// CleanPeriod enables §III-E.1's periodic hardware cleanup: lines
+	// dirty for longer than this many cycles are written back in the
+	// background, bounding post-crash recovery work. Zero disables it.
+	CleanPeriod int64
+	// CrashCycle, when positive, injects a power failure once every
+	// thread's clock passes it.
+	CrashCycle int64
+}
+
+// Machine is one simulated NVMM system: persistent memory, cache
+// hierarchy, and timing engine. Allocate persistent data, Run kernels,
+// optionally Crash, then run recovery — the memory image persists across
+// engine generations exactly as NVMM persists across reboots.
+type Machine struct {
+	mem *memsim.Memory
+	eng *sim.Engine
+	cfg sim.Config
+}
+
+// NewMachine builds a machine.
+func NewMachine(c MachineConfig) *Machine {
+	if c.Threads == 0 {
+		c.Threads = 8
+	}
+	if c.MemBytes == 0 {
+		c.MemBytes = 64 << 20
+	}
+	cfg := sim.DefaultConfig(c.Threads)
+	if c.L1Bytes > 0 {
+		cfg.Hier.L1Size = c.L1Bytes
+	}
+	if c.L2Bytes > 0 {
+		cfg.Hier.L2Size = c.L2Bytes
+	}
+	if c.ReadNs > 0 {
+		cfg.MemReadLat = c.ReadNs * sim.CyclesPerNs
+	}
+	if c.WriteNs > 0 {
+		cfg.MemWriteLat = c.WriteNs * sim.CyclesPerNs
+	}
+	cfg.CleanPeriod = c.CleanPeriod
+	cfg.CrashCycle = c.CrashCycle
+	mem := memsim.NewMemory(c.MemBytes)
+	return &Machine{mem: mem, eng: sim.New(cfg, mem), cfg: cfg}
+}
+
+// Memory exposes the persistent memory image (allocation, snapshots,
+// durable inspection).
+func (m *Machine) Memory() *memsim.Memory { return m.mem }
+
+// Run executes body on every simulated thread and returns true if a
+// configured crash fired. Stats accumulate on the machine.
+func (m *Machine) Run(body func(*Thread)) (crashed bool) {
+	return m.eng.Run(body)
+}
+
+// RunWorkload executes w under strat across all threads with a shared
+// barrier — the common case — and reports whether a crash fired.
+func (m *Machine) RunWorkload(w Workload, strat Strategy) (crashed bool) {
+	b := m.eng.NewBarrier()
+	n := m.cfg.Threads
+	return m.eng.Run(func(t *Thread) {
+		env := Env{C: t, Tid: t.ThreadID(), Threads: n, Barrier: func() { t.BarrierWait(b) }}
+		w.Run(env, strat.Thread(t.ThreadID()))
+	})
+}
+
+// Crash applies a power failure to the memory image: everything that
+// had not reached NVMM is lost, and the machine restarts with cold
+// caches and a fresh timing engine. Call after Run reports a crash (or
+// at any quiesced point, to model failures between phases).
+func (m *Machine) Crash() {
+	m.mem.Crash()
+	cfg := m.cfg
+	cfg.CrashCycle = 0
+	m.eng = sim.New(cfg, m.mem)
+}
+
+// Recover runs the single-threaded recovery body on the machine (after
+// Crash). Typical bodies call a workload's RecoverLP.
+func (m *Machine) Recover(body func(Ctx)) {
+	cfg := m.cfg
+	cfg.Threads = 1
+	cfg.Hier = memsim.DefaultConfig(1)
+	cfg.CrashCycle = 0
+	m.eng = sim.New(cfg, m.mem)
+	m.eng.Run(func(t *Thread) { body(t) })
+}
+
+// Cycles returns the cycles consumed by Run/Recover calls so far.
+func (m *Machine) Cycles() int64 { return m.eng.ExecCycles() }
+
+// NVMMWrites returns the NVMM line-write counters (total, by natural
+// eviction, by explicit flush, by periodic cleanup).
+func (m *Machine) NVMMWrites() (total, evict, flush, clean uint64) {
+	return m.mem.NVMMWrites()
+}
+
+// EnvOf builds a single-barrier-free Env for thread t of an n-thread
+// run; kernels that need barriers should go through RunWorkload.
+func EnvOf(t *Thread, n int) Env {
+	return Env{C: t, Tid: t.ThreadID(), Threads: n, Barrier: workloads.NopBarrier}
+}
+
+// NewLPStrategy returns the Lazy Persistency strategy over table using
+// the given error-detection code for nthreads threads.
+func NewLPStrategy(table *Table, kind Kind, nthreads int) *lp.LP {
+	return lp.NewLP(table, kind, nthreads)
+}
+
+// NewBaseStrategy returns the no-failure-safety strategy.
+func NewBaseStrategy() Strategy { return lp.Base{} }
+
+// NewEagerRecompute returns the EagerRecompute baseline (flush-as-you-go
+// plus durable progress markers), allocating its persistent state on m.
+func NewEagerRecompute(m *Machine, name string, nthreads int) *ep.Recompute {
+	return ep.NewRecompute(m.mem, name, nthreads)
+}
+
+// NewWALStrategy returns the PMEM write-ahead-logging baseline.
+func NewWALStrategy(m *Machine, name string, nthreads, maxStores int) *ep.WAL {
+	return ep.NewWAL(m.mem, name, nthreads, maxStores)
+}
+
+// NewTable allocates a persistent checksum table with the given number
+// of region slots, durably initialized to the invalid sentinel.
+func NewTable(m *Machine, name string, slots int) *Table {
+	return lp.NewTable(m.mem, name, slots)
+}
+
+// NewRegionSummer returns an incremental checksum for recovery code
+// that recomputes a region's values rather than reading them back.
+func NewRegionSummer(kind Kind) *lp.RegionSummer { return lp.NewRegionSummer(kind) }
+
+// Float64Bits converts a float64 to the raw word checksums fold.
+func Float64Bits(v float64) uint64 { return pmem.Float64Bits(v) }
+
+// SumLoads recomputes a region checksum by reading the given addresses
+// in their original store order — the detection half of recovery.
+func SumLoads(c Ctx, kind Kind, addrs []Addr) uint64 {
+	return lp.SumLoads(c, kind, addrs)
+}
+
+// PersistRange flushes every cache line overlapping [base, base+size);
+// follow with c.Fence() for durability. Recovery code uses this to make
+// its repairs eager (§III-E: forward progress).
+func PersistRange(c Ctx, base Addr, size int) {
+	ep.PersistRange(c, base, size)
+}
+
+// AllocMatrix reserves a persistent n×n float64 matrix on m.
+func AllocMatrix(m *Machine, name string, n int) Matrix {
+	return pmem.AllocMatrix(m.mem, name, n)
+}
+
+// AllocF64 reserves a persistent float64 vector of length n on m.
+func AllocF64(m *Machine, name string, n int) F64 {
+	return pmem.AllocF64(m.mem, name, n)
+}
+
+// NewTMM builds the paper's tiled-matrix-multiplication workload
+// (matrices n×n, tile bs) on m, inputs durably initialized.
+func NewTMM(m *Machine, n, bs int) *workloads.TMM {
+	return workloads.NewTMM(m.mem, n, bs, m.cfg.Threads, Modular)
+}
+
+// NewCholesky builds the Cholesky-factorization workload.
+func NewCholesky(m *Machine, n int) *workloads.Cholesky {
+	return workloads.NewCholesky(m.mem, n, m.cfg.Threads, Modular)
+}
+
+// NewConv2D builds the iterative 2-D convolution workload.
+func NewConv2D(m *Machine, n, blockRows int) *workloads.Conv2D {
+	return workloads.NewConv2D(m.mem, n, blockRows, m.cfg.Threads, Modular)
+}
+
+// NewGauss builds the Gaussian-elimination workload.
+func NewGauss(m *Machine, n int) *workloads.Gauss {
+	return workloads.NewGauss(m.mem, n, m.cfg.Threads, Modular)
+}
+
+// NewFFT builds the FFT workload (n a power of two).
+func NewFFT(m *Machine, n int) *workloads.FFT {
+	return workloads.NewFFT(m.mem, n, m.cfg.Threads, Modular)
+}

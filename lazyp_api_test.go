@@ -1,0 +1,127 @@
+package lazyp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lazyp"
+)
+
+func TestMachineDefaults(t *testing.T) {
+	m := lazyp.NewMachine(lazyp.MachineConfig{})
+	if m.Cycles() != 0 {
+		t.Fatal("fresh machine has nonzero clock")
+	}
+	done := false
+	if crashed := m.Run(func(th *lazyp.Thread) {
+		if th.ThreadID() == 0 {
+			done = true
+		}
+		th.Compute(100)
+	}); crashed {
+		t.Fatal("unexpected crash")
+	}
+	if !done || m.Cycles() == 0 {
+		t.Fatal("Run did not execute")
+	}
+}
+
+func TestMachineWorkloadLifecycle(t *testing.T) {
+	m := lazyp.NewMachine(lazyp.MachineConfig{Threads: 2})
+	w := lazyp.NewTMM(m, 64, 16)
+	strat := lazyp.NewLPStrategy(w.Table(), lazyp.Modular, 2)
+	if crashed := m.RunWorkload(w, strat); crashed {
+		t.Fatal("unexpected crash")
+	}
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatal(err)
+	}
+	total, evict, flush, clean := m.NVMMWrites()
+	if total != evict+flush+clean {
+		t.Fatal("write counters inconsistent")
+	}
+}
+
+func TestMachineCrashRecoverLifecycle(t *testing.T) {
+	// Calibrate.
+	probe := lazyp.NewMachine(lazyp.MachineConfig{Threads: 2})
+	wp := lazyp.NewCholesky(probe, 48)
+	probe.RunWorkload(wp, lazyp.NewLPStrategy(wp.Table(), lazyp.Modular, 2))
+	cycles := probe.Cycles()
+
+	m := lazyp.NewMachine(lazyp.MachineConfig{Threads: 2, CrashCycle: cycles / 2})
+	w := lazyp.NewCholesky(m, 48)
+	strat := lazyp.NewLPStrategy(w.Table(), lazyp.Modular, 2)
+	if crashed := m.RunWorkload(w, strat); !crashed {
+		t.Fatal("expected crash")
+	}
+	m.Crash()
+	m.Recover(w.RecoverLP)
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatalf("recovered output wrong: %v", err)
+	}
+}
+
+func TestMachineConfigOverrides(t *testing.T) {
+	m := lazyp.NewMachine(lazyp.MachineConfig{
+		Threads: 1, MemBytes: 8 << 20,
+		L1Bytes: 8 << 10, L2Bytes: 64 << 10,
+		ReadNs: 60, WriteNs: 150, CleanPeriod: 10_000,
+	})
+	a := lazyp.AllocF64(m, "v", 64)
+	m.Run(func(th *lazyp.Thread) {
+		for i := 0; i < 64; i++ {
+			a.Store(th, i, float64(i))
+		}
+		for i := 0; i < 5000; i++ {
+			th.Compute(10)
+		}
+	})
+	_, _, _, clean := m.NVMMWrites()
+	if clean == 0 {
+		t.Fatal("periodic cleanup did not run")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if lazyp.Float64Bits(1.0) == 0 {
+		t.Fatal("Float64Bits broken")
+	}
+	m := lazyp.NewMachine(lazyp.MachineConfig{Threads: 1})
+	mx := lazyp.AllocMatrix(m, "m", 8)
+	tab := lazyp.NewTable(m, "t", 4)
+	m.Run(func(th *lazyp.Thread) {
+		s := lazyp.NewRegionSummer(lazyp.Modular)
+		ts := lazyp.NewBaseStrategy().Thread(0)
+		ts.Begin(th, 0)
+		for j := 0; j < 8; j++ {
+			ts.StoreF(th, mx.Addr(0, j), float64(j))
+			s.Add(th, lazyp.Float64Bits(float64(j)))
+		}
+		ts.End(th)
+		tab.StoreSumEager(th, 0, s.Sum())
+		lazyp.PersistRange(th, mx.Addr(0, 0), 8*8)
+		th.Fence()
+	})
+	m.Crash()
+	m.Recover(func(c lazyp.Ctx) {
+		addrs := make([]lazyp.Addr, 8)
+		for j := range addrs {
+			addrs[j] = mx.Addr(0, j)
+		}
+		if !tab.Matches(c, 0, lazyp.SumLoads(c, lazyp.Modular, addrs)) {
+			t.Error("persisted region does not verify after crash")
+		}
+	})
+}
+
+// Example demonstrates the failure-free Lazy Persistency flow on the
+// public API.
+func Example() {
+	m := lazyp.NewMachine(lazyp.MachineConfig{Threads: 2})
+	w := lazyp.NewTMM(m, 64, 16)
+	strat := lazyp.NewLPStrategy(w.Table(), lazyp.Modular, 2)
+	crashed := m.RunWorkload(w, strat)
+	fmt.Println("crashed:", crashed, "— correct:", w.Verify(m.Memory()) == nil)
+	// Output: crashed: false — correct: true
+}
