@@ -306,6 +306,59 @@ func BenchmarkAblationWALGranularity(b *testing.B) {
 	}
 }
 
+// --- Experiment-runner benchmarks --------------------------------------
+
+// runnerSpecs is a small batch of independent runs, the unit of work the
+// parallel runner fans out.
+func runnerSpecs() []harness.Spec {
+	var specs []harness.Spec
+	for _, v := range []harness.Variant{
+		harness.VariantBase, harness.VariantLP, harness.VariantEP, harness.VariantWAL,
+	} {
+		specs = append(specs, harness.Spec{Workload: "tmm", Variant: v, N: 64, Tile: 16, Threads: 4})
+	}
+	return specs
+}
+
+// BenchmarkRunnerSequential executes the batch on a single pool worker
+// without memoization — the pre-pool baseline.
+func BenchmarkRunnerSequential(b *testing.B) {
+	pool := harness.NewRunPool(1, nil)
+	defer pool.Close()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.RunAll(runnerSpecs()...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerPool fans the batch out across GOMAXPROCS workers.
+func BenchmarkRunnerPool(b *testing.B) {
+	pool := harness.NewRunPool(0, nil)
+	defer pool.Close()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.RunAll(runnerSpecs()...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerMemoized measures the warm-cache path: after the first
+// iteration every run is a cache hit.
+func BenchmarkRunnerMemoized(b *testing.B) {
+	pool := harness.NewRunPool(0, harness.NewCache())
+	defer pool.Close()
+	if _, err := pool.RunAll(runnerSpecs()...); err != nil {
+		b.Fatal(err) // warm
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.RunAll(runnerSpecs()...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Simulator self-benchmark ------------------------------------------
 
 // BenchmarkSimulatorThroughput measures the simulator's own speed in

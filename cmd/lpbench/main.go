@@ -6,62 +6,117 @@
 //
 //	lpbench -list                 # show available experiments
 //	lpbench -exp fig10            # run one experiment
-//	lpbench -exp all              # run everything (several minutes)
+//	lpbench -exp all              # run everything
+//	lpbench -exp all -parallel 8  # fan simulations out across 8 workers
 //	lpbench -exp fig12 -quick     # smaller inputs, faster
 //	lpbench -exp fig10 -threads 4 # override the worker-thread count
+//	lpbench -json                 # machine-readable benchmark matrix
+//
+// Independent simulations are executed by a worker pool (-parallel,
+// default GOMAXPROCS) and memoized process-wide — byte-identical specs
+// shared between experiments run once (-nocache disables). Results are
+// deterministic regardless of either setting; timing and the runner
+// summary go to stderr so stdout depends only on simulated results.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"lazyp/internal/harness"
+	"lazyp/internal/profiling"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or \"all\"")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quick   = flag.Bool("quick", false, "shrink problem sizes for a fast pass")
-		threads = flag.Int("threads", 0, "override worker-thread count (default 8)")
+		exp        = flag.String("exp", "", "experiment id(s), comma-separated (see -list), or \"all\"")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "shrink problem sizes for a fast pass")
+		threads    = flag.Int("threads", 0, "override simulated worker-thread count (default 8)")
+		parallel   = flag.Int("parallel", 0, "host worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
+		nocache    = flag.Bool("nocache", false, "disable Spec→Result memoization")
+		jsonOut    = flag.Bool("json", false, "run the benchmark matrix and emit JSON metrics")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && !*jsonOut) {
 		fmt.Println("experiments:")
 		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
 		}
-		if *exp == "" && !*list {
+		if *exp == "" && !*list && !*jsonOut {
 			os.Exit(2)
 		}
 		return
 	}
 
-	opt := harness.Options{Quick: *quick, Threads: *threads}
-	run := func(e harness.Experiment) {
-		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
-		fmt.Printf("paper: %s\n", e.Paper)
-		start := time.Now()
-		if err := e.Run(os.Stdout, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "lpbench: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
-	}
+	stopProfiles := profiling.Start("lpbench", *cpuprofile, *memprofile)
+	defer stopProfiles()
 
-	if *exp == "all" {
-		for _, e := range harness.Experiments() {
-			run(e)
+	var cache *harness.Cache
+	if !*nocache {
+		cache = harness.NewCache()
+	}
+	pool := harness.NewRunPool(*parallel, cache)
+	defer pool.Close()
+	opt := harness.Options{Quick: *quick, Threads: *threads, Pool: pool}
+
+	start := time.Now()
+	var err error
+	if *jsonOut {
+		err = runJSON(os.Stdout, opt)
+	} else {
+		var exps []harness.Experiment
+		exps, err = harness.Select(*exp)
+		if err == nil {
+			err = harness.RunExperiments(os.Stdout, os.Stderr, exps, opt)
 		}
-		return
 	}
-	e, ok := harness.Lookup(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lpbench: unknown experiment %q (use -list)\n", *exp)
-		os.Exit(2)
+	printSummary(pool, time.Since(start))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lpbench: %v\n", err)
+		stopProfiles()
+		os.Exit(1)
 	}
-	run(e)
+}
+
+// runJSON executes the standard benchmark matrix and emits one JSON
+// document with per-benchmark metrics and the runner's statistics.
+func runJSON(w io.Writer, opt harness.Options) error {
+	records, err := harness.RunBenchMatrix(opt)
+	if err != nil {
+		return err
+	}
+	submitted, executed := opt.Pool.Stats()
+	doc := struct {
+		Quick      bool                  `json:"quick"`
+		Threads    int                   `json:"threads,omitempty"`
+		Workers    int                   `json:"workers"`
+		Submitted  uint64                `json:"submitted"`
+		Executed   uint64                `json:"executed"`
+		Benchmarks []harness.BenchRecord `json:"benchmarks"`
+	}{opt.Quick, opt.Threads, opt.Pool.Workers(), submitted, executed, records}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// printSummary reports runner statistics on stderr.
+func printSummary(pool *harness.RunPool, wall time.Duration) {
+	submitted, executed := pool.Stats()
+	line := fmt.Sprintf("runner: %d specs submitted, %d executed on %d workers",
+		submitted, executed, pool.Workers())
+	if c := pool.Cache(); c != nil {
+		hits, misses := c.Stats()
+		line += fmt.Sprintf(", cache %d hits / %d misses", hits, misses)
+	} else {
+		line += ", cache off"
+	}
+	fmt.Fprintf(os.Stderr, "%s, %.1fs wall\n", line, wall.Seconds())
 }

@@ -9,6 +9,17 @@
 //	lpsim -workload gauss -variant ep -n 192 -threads 4 -l2 131072
 //	lpsim -workload fft -variant wal -read 60 -write 150
 //	lpsim -workload tmm -variant lp -clean 50000 -window 2
+//
+// With -all (or -exp <ids>), lpsim instead regenerates the paper's
+// figure/table experiments through the parallel, memoized runner:
+//
+//	lpsim -all                        # every experiment, pooled + memoized
+//	lpsim -all -parallel 1 -nocache   # strictly sequential reference run
+//	lpsim -exp fig10,tab6 -quick
+//
+// Simulations are deterministic: the figure/table output is identical
+// whatever -parallel and -nocache are set to; only wall-clock changes.
+// Timing and the runner summary go to stderr.
 package main
 
 import (
@@ -16,10 +27,12 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"lazyp/internal/checksum"
 	"lazyp/internal/harness"
 	"lazyp/internal/memsim"
+	"lazyp/internal/profiling"
 )
 
 func main() {
@@ -37,8 +50,32 @@ func main() {
 		writeNs  = flag.Int64("write", 0, "NVMM write latency in ns (0 = default 300)")
 		clean    = flag.Int64("clean", 0, "periodic flush period in cycles (0 = off)")
 		verify   = flag.Bool("verify", false, "verify the output (full runs only)")
+
+		all        = flag.Bool("all", false, "run every figure/table experiment and exit")
+		exp        = flag.String("exp", "", "run these experiment id(s) (comma-separated) and exit")
+		quick      = flag.Bool("quick", false, "experiment mode: shrink problem sizes")
+		parallel   = flag.Int("parallel", 0, "experiment mode: host worker goroutines (0 = GOMAXPROCS)")
+		nocache    = flag.Bool("nocache", false, "experiment mode: disable Spec→Result memoization")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles := profiling.Start("lpsim", *cpuprofile, *memprofile)
+	defer stopProfiles()
+
+	if *all || *exp != "" {
+		ids := *exp
+		if *all {
+			ids = "all"
+		}
+		if err := runExperiments(ids, *quick, *parallel, *nocache); err != nil {
+			fmt.Fprintf(os.Stderr, "lpsim: %v\n", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		return
+	}
 
 	var k checksum.Kind
 	switch *kind {
@@ -122,4 +159,34 @@ func main() {
 		}
 		fmt.Println("output verified ✓")
 	}
+}
+
+// runExperiments drives the harness experiment registry through the
+// parallel, memoized runner (the lpbench engine, shared via harness).
+func runExperiments(ids string, quick bool, parallel int, nocache bool) error {
+	exps, err := harness.Select(ids)
+	if err != nil {
+		return err
+	}
+	var cache *harness.Cache
+	if !nocache {
+		cache = harness.NewCache()
+	}
+	pool := harness.NewRunPool(parallel, cache)
+	defer pool.Close()
+	opt := harness.Options{Quick: quick, Pool: pool}
+
+	start := time.Now()
+	err = harness.RunExperiments(os.Stdout, os.Stderr, exps, opt)
+	submitted, executed := pool.Stats()
+	summary := fmt.Sprintf("runner: %d specs submitted, %d executed on %d workers",
+		submitted, executed, pool.Workers())
+	if cache != nil {
+		hits, misses := cache.Stats()
+		summary += fmt.Sprintf(", cache %d hits / %d misses", hits, misses)
+	} else {
+		summary += ", cache off"
+	}
+	fmt.Fprintf(os.Stderr, "%s, %.1fs wall\n", summary, time.Since(start).Seconds())
+	return err
 }

@@ -1,0 +1,72 @@
+package harness
+
+import "time"
+
+// BenchRecord is one machine-readable benchmark measurement, the unit
+// of the BENCH_*.json perf trajectory tracked across PRs.
+type BenchRecord struct {
+	Workload   string  `json:"workload"`
+	Variant    string  `json:"variant"`
+	Cycles     int64   `json:"cycles"`
+	NVMMWrites uint64  `json:"nvmm_writes"`
+	NVMMReads  uint64  `json:"nvmm_reads"`
+	WallMs     float64 `json:"wall_ms"`
+	CacheHit   bool    `json:"cache_hit"`
+}
+
+// BenchMatrix lists the standard benchmark configurations: every
+// workload under base/LP/EP (the Figure 12/13 set) plus the TMM WAL
+// reference of Figure 10.
+func BenchMatrix(o Options) []Spec {
+	var specs []Spec
+	for _, name := range benchNames {
+		for _, v := range []Variant{VariantBase, VariantLP, VariantEP} {
+			specs = append(specs, benchSpec(o, name, v))
+		}
+	}
+	specs = append(specs, benchSpec(o, "tmm", VariantWAL))
+	return specs
+}
+
+// RunBenchMatrix executes the standard matrix — across the pool's
+// workers when one is attached — and reports per-benchmark simulated
+// metrics plus host wall-clock time.
+func RunBenchMatrix(o Options) ([]BenchRecord, error) {
+	specs := BenchMatrix(o)
+	records := make([]BenchRecord, len(specs))
+	fill := func(i int, res Result, wall time.Duration, hit bool) {
+		records[i] = BenchRecord{
+			Workload:   specs[i].Workload,
+			Variant:    string(specs[i].Variant),
+			Cycles:     res.Cycles,
+			NVMMWrites: res.Writes,
+			NVMMReads:  res.Reads,
+			WallMs:     float64(wall.Microseconds()) / 1000,
+			CacheHit:   hit,
+		}
+	}
+	if o.Pool != nil {
+		futures := make([]*Future, len(specs))
+		for i, s := range specs {
+			futures[i] = o.Pool.Submit(s)
+		}
+		var firstErr error
+		for i, f := range futures {
+			res, err := f.Wait()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			fill(i, res, f.Dur(), f.CacheHit())
+		}
+		return records, firstErr
+	}
+	for i, s := range specs {
+		start := time.Now()
+		res, err := execAndCheck(s)
+		if err != nil {
+			return records, err
+		}
+		fill(i, res, time.Since(start), false)
+	}
+	return records, nil
+}

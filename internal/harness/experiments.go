@@ -18,6 +18,11 @@ type Experiment struct {
 	Title string
 	Paper string // what the paper reports, for side-by-side reading
 	Run   func(w io.Writer, opt Options) error
+
+	// Native marks real-machine wall-clock experiments, which the
+	// concurrent runner executes alone so timing is not distorted by
+	// simulations running on other cores.
+	Native bool
 }
 
 // Options tune experiment execution.
@@ -26,6 +31,12 @@ type Options struct {
 	Quick bool
 	// Threads overrides the default worker-thread count when > 0.
 	Threads int
+	// Pool, when non-nil, executes simulation specs on its workers
+	// (with optional memoization); experiments submit their independent
+	// specs as a batch and collect results in submission order, so the
+	// produced tables are identical to a sequential run. A nil Pool
+	// executes every spec inline.
+	Pool *RunPool
 }
 
 func (o Options) threads() int {
@@ -33,6 +44,23 @@ func (o Options) threads() int {
 		return o.Threads
 	}
 	return 8
+}
+
+// exec runs specs — fanned out across the pool's workers when one is
+// attached — and returns their results in argument order.
+func (o Options) exec(specs ...Spec) ([]Result, error) {
+	if o.Pool != nil {
+		return o.Pool.RunAll(specs...)
+	}
+	out := make([]Result, len(specs))
+	for i, s := range specs {
+		r, err := execAndCheck(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
 }
 
 // tmmSpec returns the default Figure-10 TMM configuration: 256² inputs
@@ -143,8 +171,9 @@ func Experiments() []Experiment {
 		{
 			ID:    "tab7",
 			Title: "Table VII: LP execution-time overhead on a real machine (native, wall clock)",
-			Paper: "TMM 0.8%, Cholesky 1.1%, 2D-conv 0.9%, Gauss 2.1%, FFT 1.1% (gmean 1.1%)",
-			Run:   expTab7,
+			Paper:  "TMM 0.8%, Cholesky 1.1%, 2D-conv 0.9%, Gauss 2.1%, FFT 1.1% (gmean 1.1%)",
+			Run:    expTab7,
+			Native: true,
 		},
 		{
 			ID:    "fig14a",
@@ -196,19 +225,22 @@ func Lookup(id string) (Experiment, bool) {
 }
 
 func expFig10(w io.Writer, o Options) error {
-	var base Result
+	variants := []Variant{VariantBase, VariantLP, VariantEP, VariantWAL}
+	specs := make([]Spec, len(variants))
+	for i, v := range variants {
+		specs[i] = tmmSpec(o, v)
+	}
+	results, err := o.exec(specs...)
+	if err != nil {
+		return err
+	}
+	base := results[0]
 	tw := newTab(w)
 	fmt.Fprintln(tw, "scheme\texec time\tnum writes\tpaper exec\tpaper writes")
 	paperExec := map[Variant]string{VariantBase: "1.00", VariantLP: "1.002", VariantEP: "1.12", VariantWAL: "5.97"}
 	paperWr := map[Variant]string{VariantBase: "1.00", VariantLP: "1.003", VariantEP: "1.36", VariantWAL: "3.83"}
-	for _, v := range []Variant{VariantBase, VariantLP, VariantEP, VariantWAL} {
-		res, err := execAndCheck(tmmSpec(o, v))
-		if err != nil {
-			return err
-		}
-		if v == VariantBase {
-			base = res
-		}
+	for i, v := range variants {
+		res := results[i]
 		fmt.Fprintf(tw, "%s (tmm)\t%.3f\t%.3f\t%s\t%s\n",
 			v, ratio(res.Cycles, base.Cycles), uratio(res.Writes, base.Writes),
 			paperExec[v], paperWr[v])
@@ -217,13 +249,18 @@ func expFig10(w io.Writer, o Options) error {
 }
 
 func expTab6(w io.Writer, o Options) error {
+	variants := []Variant{VariantBase, VariantEP, VariantLP}
+	specs := make([]Spec, len(variants))
+	for i, v := range variants {
+		specs[i] = tmmSpec(o, v)
+	}
+	rs, err := o.exec(specs...)
+	if err != nil {
+		return err
+	}
 	results := map[Variant]Result{}
-	for _, v := range []Variant{VariantBase, VariantEP, VariantLP} {
-		res, err := execAndCheck(tmmSpec(o, v))
-		if err != nil {
-			return err
-		}
-		results[v] = res
+	for i, v := range variants {
+		results[v] = rs[i]
 	}
 	b := results[VariantBase]
 	tw := newTab(w)
@@ -251,18 +288,21 @@ func expTab6(w io.Writer, o Options) error {
 }
 
 func expMaxVdur(w io.Writer, o Options) error {
+	variants := []Variant{VariantBase, VariantEP, VariantLP}
+	specs := make([]Spec, len(variants))
+	for i, v := range variants {
+		specs[i] = tmmSpec(o, v)
+	}
+	results, err := o.exec(specs...)
+	if err != nil {
+		return err
+	}
+	base := results[0].Cache.MaxVdur
 	tw := newTab(w)
 	fmt.Fprintln(tw, "scheme\tmaxvdur(cycles)\tvs base\tpaper")
-	var base int64
 	paper := map[Variant]string{VariantBase: "100%", VariantEP: "20%", VariantLP: "101%"}
-	for _, v := range []Variant{VariantBase, VariantEP, VariantLP} {
-		res, err := execAndCheck(tmmSpec(o, v))
-		if err != nil {
-			return err
-		}
-		if v == VariantBase {
-			base = res.Cache.MaxVdur
-		}
+	for i, v := range variants {
+		res := results[i]
 		fmt.Fprintf(tw, "%s (tmm)\t%d\t%.0f%%\t%s\n", v, res.Cache.MaxVdur,
 			100*ratio(res.Cache.MaxVdur, base), paper[v])
 	}
@@ -270,29 +310,32 @@ func expMaxVdur(w io.Writer, o Options) error {
 }
 
 func expFig11(w io.Writer, o Options) error {
-	baseRes, err := execAndCheck(tmmSpec(o, VariantBase))
+	refs, err := o.exec(tmmSpec(o, VariantBase), tmmSpec(o, VariantEP))
 	if err != nil {
 		return err
 	}
-	epRes, err := execAndCheck(tmmSpec(o, VariantEP))
-	if err != nil {
-		return err
-	}
+	baseRes, epRes := refs[0], refs[1]
+	// The sweep's clean periods derive from the base run's cycle count,
+	// so it forms a second batch.
 	fracs := []float64{0.0008, 0.0033, 0.01, 0.033, 0.10, 0.33}
-	tw := newTab(w)
-	fmt.Fprintln(tw, "flush period (% of exec)\tLP extra writes vs base\tEP reference")
-	epOver := 100 * (uratio(epRes.Writes, baseRes.Writes) - 1)
-	for _, f := range fracs {
+	specs := make([]Spec, len(fracs))
+	for i, f := range fracs {
 		spec := tmmSpec(o, VariantLP)
 		spec.Sim.CleanPeriod = int64(f * float64(baseRes.Cycles))
 		if spec.Sim.CleanPeriod < 1 {
 			spec.Sim.CleanPeriod = 1
 		}
-		res, err := execAndCheck(spec)
-		if err != nil {
-			return err
-		}
-		over := 100 * (uratio(res.Writes, baseRes.Writes) - 1)
+		specs[i] = spec
+	}
+	results, err := o.exec(specs...)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "flush period (% of exec)\tLP extra writes vs base\tEP reference")
+	epOver := 100 * (uratio(epRes.Writes, baseRes.Writes) - 1)
+	for i, f := range fracs {
+		over := 100 * (uratio(results[i].Writes, baseRes.Writes) - 1)
 		fmt.Fprintf(tw, "%.2f%%\t+%.1f%%\t+%.1f%%\n", 100*f, over, epOver)
 	}
 	fmt.Fprintln(tw, "paper\t0.08% -> +32%, 33% -> <+2%\t+36%")
@@ -303,22 +346,21 @@ func expFig11(w io.Writer, o Options) error {
 var benchNames = []string{"tmm", "cholesky", "conv2d", "gauss", "fft"}
 
 func expOverheads(w io.Writer, o Options, metric func(Result) float64, label string) error {
+	var specs []Spec
+	for _, name := range benchNames {
+		for _, v := range []Variant{VariantBase, VariantLP, VariantEP} {
+			specs = append(specs, benchSpec(o, name, v))
+		}
+	}
+	results, err := o.exec(specs...)
+	if err != nil {
+		return err
+	}
 	tw := newTab(w)
 	fmt.Fprintf(tw, "benchmark\tLP %s\tEP %s\n", label, label)
 	geoLP, geoEP, cnt := 1.0, 1.0, 0
-	for _, name := range benchNames {
-		base, err := execAndCheck(benchSpec(o, name, VariantBase))
-		if err != nil {
-			return err
-		}
-		lpR, err := execAndCheck(benchSpec(o, name, VariantLP))
-		if err != nil {
-			return err
-		}
-		epR, err := execAndCheck(benchSpec(o, name, VariantEP))
-		if err != nil {
-			return err
-		}
+	for i, name := range benchNames {
+		base, lpR, epR := results[3*i], results[3*i+1], results[3*i+2]
 		l := metric(lpR) / metric(base)
 		e := metric(epR) / metric(base)
 		geoLP *= l
@@ -366,27 +408,23 @@ func expTab7(w io.Writer, o Options) error {
 
 func expFig14a(w io.Writer, o Options) error {
 	pairs := [][2]int64{{60, 150}, {100, 225}, {150, 300}}
-	tw := newTab(w)
-	fmt.Fprintln(tw, "NVMM (read,write) ns\tLP overhead\tEP overhead")
+	var specs []Spec
 	for _, p := range pairs {
-		mk := func(v Variant) Spec {
+		for _, v := range []Variant{VariantBase, VariantLP, VariantEP} {
 			s := tmmSpec(o, v)
 			s.Sim.MemReadLat = p[0] * sim.CyclesPerNs
 			s.Sim.MemWriteLat = p[1] * sim.CyclesPerNs
-			return s
+			specs = append(specs, s)
 		}
-		base, err := execAndCheck(mk(VariantBase))
-		if err != nil {
-			return err
-		}
-		lpR, err := execAndCheck(mk(VariantLP))
-		if err != nil {
-			return err
-		}
-		epR, err := execAndCheck(mk(VariantEP))
-		if err != nil {
-			return err
-		}
+	}
+	results, err := o.exec(specs...)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "NVMM (read,write) ns\tLP overhead\tEP overhead")
+	for i, p := range pairs {
+		base, lpR, epR := results[3*i], results[3*i+1], results[3*i+2]
 		fmt.Fprintf(tw, "(%d,%d)\t%+.1f%%\t%+.1f%%\n", p[0], p[1],
 			100*(ratio(lpR.Cycles, base.Cycles)-1), 100*(ratio(epR.Cycles, base.Cycles)-1))
 	}
@@ -396,23 +434,21 @@ func expFig14a(w io.Writer, o Options) error {
 
 func expFig14b(w io.Writer, o Options) error {
 	counts := []int{1, 2, 4, 8, 16}
-	tw := newTab(w)
-	fmt.Fprintln(tw, "threads\tbase speedup\tLP speedup\tLP overhead")
-	var base1 int64
+	var specs []Spec
 	for _, th := range counts {
 		ob := o
 		ob.Threads = th
-		base, err := execAndCheck(tmmSpec(ob, VariantBase))
-		if err != nil {
-			return err
-		}
-		lpR, err := execAndCheck(tmmSpec(ob, VariantLP))
-		if err != nil {
-			return err
-		}
-		if th == 1 {
-			base1 = base.Cycles
-		}
+		specs = append(specs, tmmSpec(ob, VariantBase), tmmSpec(ob, VariantLP))
+	}
+	results, err := o.exec(specs...)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "threads\tbase speedup\tLP speedup\tLP overhead")
+	base1 := results[0].Cycles
+	for i, th := range counts {
+		base, lpR := results[2*i], results[2*i+1]
 		fmt.Fprintf(tw, "%d\t%.2fx\t%.2fx\t%+.1f%%\n", th,
 			ratio(base1, base.Cycles), ratio(base1, lpR.Cycles),
 			100*(ratio(lpR.Cycles, base.Cycles)-1))
@@ -427,25 +463,25 @@ func expFig15a(w io.Writer, o Options) error {
 	// entire checksum table (≈1% of the matrices, §III-D) cycles
 	// through the cache as it does at paper scale.
 	sizes := []int{64 << 10, 128 << 10, 256 << 10}
-	tw := newTab(w)
-	fmt.Fprintln(tw, "L2 size\tLP overhead\tbase L2MR\tLP L2MR")
+	var specs []Spec
 	for _, sz := range sizes {
-		mk := func(v Variant) Spec {
+		for _, v := range []Variant{VariantBase, VariantLP} {
 			s := tmmSpec(o, v)
 			s.WindowOuter = 0
 			h := memsim.DefaultConfig(s.Threads)
 			h.L2Size = sz
 			s.Sim.Hier = h
-			return s
+			specs = append(specs, s)
 		}
-		base, err := execAndCheck(mk(VariantBase))
-		if err != nil {
-			return err
-		}
-		lpR, err := execAndCheck(mk(VariantLP))
-		if err != nil {
-			return err
-		}
+	}
+	results, err := o.exec(specs...)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "L2 size\tLP overhead\tbase L2MR\tLP L2MR")
+	for i, sz := range sizes {
+		base, lpR := results[2*i], results[2*i+1]
 		fmt.Fprintf(tw, "%dKB\t%+.1f%%\t%.3f\t%.3f\n", sz>>10,
 			100*(ratio(lpR.Cycles, base.Cycles)-1),
 			base.Cache.L2MissRate(), lpR.Cache.L2MissRate())
@@ -455,27 +491,26 @@ func expFig15a(w io.Writer, o Options) error {
 }
 
 func expFig15b(w io.Writer, o Options) error {
-	base, err := execAndCheck(tmmSpec(o, VariantBase))
+	kinds := checksum.Kinds()
+	specs := []Spec{tmmSpec(o, VariantBase), tmmSpec(o, VariantEP)}
+	for _, k := range kinds {
+		s := tmmSpec(o, VariantLP)
+		s.Kind = k
+		specs = append(specs, s)
+	}
+	results, err := o.exec(specs...)
 	if err != nil {
 		return err
 	}
-	epR, err := execAndCheck(tmmSpec(o, VariantEP))
-	if err != nil {
-		return err
-	}
+	base, epR := results[0], results[1]
 	tw := newTab(w)
 	fmt.Fprintln(tw, "code\tLP overhead\tpaper")
 	paper := map[checksum.Kind]string{
 		checksum.Modular: "+0.2%", checksum.Parity: "+0.1%",
 		checksum.Adler32: "~+1%", checksum.Dual: "+3.4%",
 	}
-	for _, k := range checksum.Kinds() {
-		spec := tmmSpec(o, VariantLP)
-		spec.Kind = k
-		res, err := execAndCheck(spec)
-		if err != nil {
-			return err
-		}
+	for i, k := range kinds {
+		res := results[2+i]
 		fmt.Fprintf(tw, "%s\t%+.1f%%\t%s\n", k, 100*(ratio(res.Cycles, base.Cycles)-1), paper[k])
 	}
 	fmt.Fprintf(tw, "EP reference\t%+.1f%%\t+12%%\n", 100*(ratio(epR.Cycles, base.Cycles)-1))

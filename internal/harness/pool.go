@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// RunPool executes independent simulation Specs on a fixed set of
+// worker goroutines. Each simulation is itself deterministic and fully
+// isolated (its own Memory, Hierarchy, and Engine), so fanning runs out
+// across host cores changes wall-clock time and nothing else; callers
+// submit a batch of specs and collect the futures in submission order,
+// which keeps every experiment's output byte-identical to a sequential
+// run.
+//
+// An optional Cache memoizes results process-wide so byte-identical
+// specs shared between experiments execute once (see Cache).
+type RunPool struct {
+	jobs    chan *Future
+	done    chan struct{}
+	cache   *Cache
+	workers int
+
+	submitted atomic.Uint64
+	executed  atomic.Uint64
+}
+
+// Future is the pending result of one submitted Spec.
+type Future struct {
+	spec  Spec
+	ready chan struct{}
+	res   Result
+	err   error
+	hit   bool
+	dur   time.Duration
+}
+
+// Wait blocks until the run completes and returns its Result. Runs that
+// crash unexpectedly (no CrashCycle configured by the caller) are
+// reported as errors, matching the sequential harness behavior.
+func (f *Future) Wait() (Result, error) {
+	<-f.ready
+	return f.res, f.err
+}
+
+// CacheHit reports whether the result was served from the memo cache.
+// Valid after Wait returns.
+func (f *Future) CacheHit() bool { return f.hit }
+
+// Dur returns the wall-clock execution time of the run (≈0 for cache
+// hits). Valid after Wait returns.
+func (f *Future) Dur() time.Duration { return f.dur }
+
+// NewRunPool starts a pool of workers (GOMAXPROCS when workers <= 0)
+// sharing the given memo cache (nil disables memoization). Close must
+// be called when the pool is no longer needed.
+func NewRunPool(workers int, cache *Cache) *RunPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &RunPool{
+		jobs:    make(chan *Future, 4*workers),
+		done:    make(chan struct{}),
+		cache:   cache,
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *RunPool) Workers() int { return p.workers }
+
+// Cache returns the pool's memo cache (nil when memoization is off).
+func (p *RunPool) Cache() *Cache { return p.cache }
+
+// Close stops the workers once all submitted runs have drained.
+func (p *RunPool) Close() { close(p.done) }
+
+// Submit queues spec for execution and returns its future.
+func (p *RunPool) Submit(spec Spec) *Future {
+	f := &Future{spec: spec, ready: make(chan struct{})}
+	p.submitted.Add(1)
+	p.jobs <- f
+	return f
+}
+
+// RunAll submits every spec, then collects the results in submission
+// order. All runs complete even when one fails; the first error wins.
+func (p *RunPool) RunAll(specs ...Spec) ([]Result, error) {
+	futures := make([]*Future, len(specs))
+	for i, s := range specs {
+		futures[i] = p.Submit(s)
+	}
+	out := make([]Result, len(specs))
+	var firstErr error
+	for i, f := range futures {
+		res, err := f.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = res
+	}
+	return out, firstErr
+}
+
+// Stats returns the number of specs submitted and actually executed
+// (misses; the difference was served by the memo cache).
+func (p *RunPool) Stats() (submitted, executed uint64) {
+	return p.submitted.Load(), p.executed.Load()
+}
+
+func (p *RunPool) worker() {
+	for {
+		select {
+		case f := <-p.jobs:
+			p.run(f)
+		case <-p.done:
+			// Drain anything already queued before exiting.
+			select {
+			case f := <-p.jobs:
+				p.run(f)
+				continue
+			default:
+			}
+			return
+		}
+	}
+}
+
+func (p *RunPool) run(f *Future) {
+	start := time.Now()
+	if p.cache != nil {
+		f.res, f.err, f.hit = p.cache.Do(f.spec, p.exec)
+	} else {
+		f.res, f.err = p.exec(f.spec)
+	}
+	f.dur = time.Since(start)
+	close(f.ready)
+}
+
+// exec performs one simulation, converting panics (workload setup
+// errors, propagated simulated-thread panics) into errors so a bad spec
+// fails its experiment instead of killing every worker's session.
+func (p *RunPool) exec(spec Spec) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: run %s/%s panicked: %v", spec.Workload, spec.Variant, r)
+		}
+	}()
+	p.executed.Add(1)
+	ses := NewSession(spec)
+	res = ses.Execute()
+	if res.Crashed && spec.Sim.CrashCycle == 0 {
+		return res, fmt.Errorf("harness: unexpected crash in %s/%s", spec.Workload, spec.Variant)
+	}
+	return res, nil
+}

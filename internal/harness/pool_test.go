@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestPoolMatchesSerial asserts the core property the parallel runner
+// rests on: executing the same Spec twice — once serially inline, once
+// through a RunPool with memoization disabled — yields identical Result
+// structs for every workload/variant pair.
+func TestPoolMatchesSerial(t *testing.T) {
+	pool := NewRunPool(4, nil)
+	defer pool.Close()
+	for _, w := range []string{"tmm", "cholesky", "conv2d", "gauss", "fft"} {
+		for _, v := range []Variant{VariantBase, VariantLP, VariantEP, VariantWAL} {
+			w, v := w, v
+			t.Run(w+"/"+string(v), func(t *testing.T) {
+				spec := smokeSpec(w, v)
+				serial, err := execAndCheck(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pooled, err := pool.RunAll(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if serial != pooled[0] {
+					t.Fatalf("pool result differs from serial run:\nserial: %+v\npooled: %+v", serial, pooled[0])
+				}
+			})
+		}
+	}
+}
+
+// TestPoolOrderAndConcurrency fans one batch of distinct specs out over
+// several workers and checks results come back in submission order
+// with the per-spec values of a sequential reference run.
+func TestPoolOrderAndConcurrency(t *testing.T) {
+	specs := []Spec{
+		smokeSpec("tmm", VariantBase),
+		smokeSpec("tmm", VariantLP),
+		smokeSpec("cholesky", VariantLP),
+		smokeSpec("gauss", VariantEP),
+		smokeSpec("fft", VariantBase),
+		smokeSpec("conv2d", VariantLP),
+	}
+	want := make([]Result, len(specs))
+	for i, s := range specs {
+		r, err := execAndCheck(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	pool := NewRunPool(4, nil)
+	defer pool.Close()
+	got, err := pool.RunAll(specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if got[i] != want[i] {
+			t.Fatalf("spec %d (%s/%s) out of order or wrong:\nwant %+v\ngot  %+v",
+				i, specs[i].Workload, specs[i].Variant, want[i], got[i])
+		}
+	}
+}
+
+// TestCacheMemoizes submits byte-identical specs and checks the second
+// request is a hit that returns the identical Result without a second
+// execution.
+func TestCacheMemoizes(t *testing.T) {
+	cache := NewCache()
+	pool := NewRunPool(2, cache)
+	defer pool.Close()
+	spec := smokeSpec("tmm", VariantLP)
+
+	first, err := pool.RunAll(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A semantically identical spec written differently (defaults left
+	// blank) must canonicalize to the same key.
+	alias := spec
+	alias.Tile = 0 // default TMM tile is 16 — same run
+	second, err := pool.RunAll(alias, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if r != first[0] {
+			t.Fatalf("memoized result %d differs: %+v vs %+v", i, r, first[0])
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 {
+		t.Fatalf("expected exactly 1 execution, got %d misses", misses)
+	}
+	if hits != 2 {
+		t.Fatalf("expected 2 cache hits, got %d", hits)
+	}
+	if _, executed := pool.Stats(); executed != 1 {
+		t.Fatalf("pool executed %d specs, want 1", executed)
+	}
+}
+
+// TestCacheSingleFlight hammers one spec from many concurrent
+// submissions: exactly one execution may happen, and all callers must
+// observe the same Result. Run with -race this also gates the pool's
+// synchronization.
+func TestCacheSingleFlight(t *testing.T) {
+	cache := NewCache()
+	pool := NewRunPool(8, cache)
+	defer pool.Close()
+	spec := smokeSpec("tmm", VariantBase)
+
+	const k = 16
+	futures := make([]*Future, k)
+	for i := range futures {
+		futures[i] = pool.Submit(spec)
+	}
+	var want Result
+	for i, f := range futures {
+		res, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res
+		} else if res != want {
+			t.Fatalf("submission %d saw a different result", i)
+		}
+	}
+	if _, misses := cache.Stats(); misses != 1 {
+		t.Fatalf("spec executed %d times, want 1", misses)
+	}
+}
+
+// TestPoolReportsBadSpec checks that a spec that cannot be built turns
+// into an error on its future instead of killing the worker process.
+func TestPoolReportsBadSpec(t *testing.T) {
+	pool := NewRunPool(1, nil)
+	defer pool.Close()
+	_, err := pool.Submit(Spec{Workload: "nope", Variant: VariantBase}).Wait()
+	if err == nil {
+		t.Fatal("bogus workload did not error")
+	}
+}
+
+// TestCanonicalAppliesDefaults pins the canonicalization contract the
+// cache key depends on.
+func TestCanonicalAppliesDefaults(t *testing.T) {
+	a := Spec{Workload: "tmm", Variant: VariantLP}.Canonical()
+	b := Spec{Workload: "tmm", Variant: VariantLP, N: 256, Tile: 16, Threads: 8}.Canonical()
+	if a != b {
+		t.Fatalf("defaulted and explicit specs canonicalize differently:\n%+v\n%+v", a, b)
+	}
+	if a.Sim.Quantum == 0 || a.Sim.Hier.L2Size == 0 {
+		t.Fatalf("canonical spec did not absorb sim defaults: %+v", a.Sim)
+	}
+	c := Spec{Workload: "tmm", Variant: VariantLP, Threads: 4}.Canonical()
+	if c == a {
+		t.Fatal("different thread counts must not collide")
+	}
+}

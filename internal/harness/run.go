@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Select resolves a comma-separated list of experiment ids ("all" for
+// the full registry) against the registry, preserving registry order.
+func Select(ids string) ([]Experiment, error) {
+	all := Experiments()
+	if ids == "all" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(ids, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	var out []Experiment
+	for _, e := range all {
+		if want[e.ID] {
+			out = append(out, e)
+			delete(want, e.ID)
+		}
+	}
+	for id := range want {
+		return nil, fmt.Errorf("harness: unknown experiment %q", id)
+	}
+	return out, nil
+}
+
+// header prints the experiment banner exactly as the sequential CLI
+// always has, so outputs stay comparable across runner modes.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "=== %s — %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "paper: %s\n", e.Paper)
+}
+
+// RunExperiments executes exps and writes their tables to w in registry
+// order. Per-experiment timing lines go to progress (nil silences
+// them), never to w, so w's contents depend only on the simulated
+// results.
+//
+// When opt.Pool is attached and more than one experiment was selected,
+// experiments execute concurrently, each rendering into its own buffer;
+// buffers are flushed to w in order once every experiment finishes. The
+// native real-machine experiment (tab7) is held back and run by itself
+// afterwards so its wall-clock measurement is not distorted by
+// concurrently running simulations. All experiments run even if one
+// fails; the first error is returned.
+func RunExperiments(w, progress io.Writer, exps []Experiment, opt Options) error {
+	if opt.Pool == nil || opt.Pool.Workers() < 2 || len(exps) < 2 {
+		var firstErr error
+		for _, e := range exps {
+			header(w, e)
+			start := time.Now()
+			if err := e.Run(w, opt); err != nil {
+				fmt.Fprintf(w, "ERROR: %v\n", err)
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "%s: %.1fs\n", e.ID, time.Since(start).Seconds())
+			}
+			fmt.Fprintln(w)
+		}
+		return firstErr
+	}
+
+	type outcome struct {
+		buf bytes.Buffer
+		err error
+	}
+	outs := make([]*outcome, len(exps))
+	var wg sync.WaitGroup
+	var native []int // indices of wall-clock-sensitive experiments
+	runOne := func(i int, e Experiment) {
+		o := outs[i]
+		header(&o.buf, e)
+		start := time.Now()
+		o.err = e.Run(&o.buf, opt)
+		if o.err != nil {
+			fmt.Fprintf(&o.buf, "ERROR: %v\n", o.err)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%s: %.1fs\n", e.ID, time.Since(start).Seconds())
+		}
+		fmt.Fprintln(&o.buf)
+	}
+	for i, e := range exps {
+		outs[i] = &outcome{}
+		if e.Native {
+			native = append(native, i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			runOne(i, e)
+		}(i, e)
+	}
+	wg.Wait()
+	for _, i := range native {
+		runOne(i, exps[i])
+	}
+
+	var firstErr error
+	for _, o := range outs {
+		if _, err := w.Write(o.buf.Bytes()); err != nil {
+			return err
+		}
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	return firstErr
+}

@@ -12,16 +12,20 @@ const (
 )
 
 // cacheLine is the metadata for one line frame. The data itself lives in
-// Memory's architectural backing array.
+// Memory's architectural backing array. Field order packs the struct
+// into 32 bytes so a whole 8-way set spans four host cache lines — the
+// lookup scan over a set is the simulator's hottest loop.
 type cacheLine struct {
-	lineAddr Addr // line-aligned address; meaningful when state != invalid
-	state    lineState
+	lineAddr Addr   // line-aligned address; meaningful when state != invalid
 	lru      uint64 // larger = more recently used
 
-	// L2 (directory) fields; unused in L1 frames.
+	// dirtySince is the cycle the line last became dirty anywhere in
+	// the hierarchy (an L2/directory field, like sharers/dirtyOwner;
+	// unused in L1 frames).
+	dirtySince int64
 	sharers    uint32 // bitmask of cores with an L1 copy
-	dirtyOwner int8   // core holding the line Modified in its L1, or -1
-	dirtySince int64  // cycle the line last became dirty anywhere in the hierarchy
+	state      lineState
+	dirtyOwner int8 // core holding the line Modified in its L1, or -1
 }
 
 // cache is a set-associative cache with true-LRU replacement. It stores

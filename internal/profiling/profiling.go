@@ -1,0 +1,54 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the CLI
+// front ends to runtime/pprof, so hot-path claims about the simulator
+// and the experiment runner can be verified with go tool pprof.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (empty = off) and returns an
+// idempotent stop function that also dumps a heap profile to memPath
+// (empty = off). Call the stop function before the process exits —
+// including on error paths, profiles truncate otherwise.
+func Start(tool, cpuPath, memPath string) func() {
+	fail := func(flagName string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: -%s: %v\n", tool, flagName, err)
+		os.Exit(2)
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fail("cpuprofile", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", tool, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", tool, err)
+		}
+	}
+}

@@ -53,7 +53,7 @@ func (t *Thread) BarrierWait(b *Barrier) {
 	release := b.latest + barrierOverhead
 	for _, w := range b.waiters {
 		w.now = release
-		t.eng.blocked[w.id] = false
+		t.eng.unblock(w)
 	}
 	b.waiters = b.waiters[:0]
 	b.arrived = 0

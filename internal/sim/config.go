@@ -96,8 +96,11 @@ func DefaultConfig(threads int) Config {
 	}
 }
 
-// withDefaults fills in any zero fields.
-func (c Config) withDefaults() Config {
+// WithDefaults returns c with every zero field replaced by its default.
+// Engine.New applies it on construction; callers that need the exact
+// effective configuration (e.g. for memoization keys) can apply it
+// themselves.
+func (c Config) WithDefaults() Config {
 	d := DefaultConfig(max(c.Threads, 1))
 	if c.Threads == 0 {
 		c.Threads = d.Threads

@@ -15,6 +15,14 @@ var errCrashed = errors.New("sim: crash injected")
 // panic with errCrashed instead of resuming.
 const abortGrant = int64(-1)
 
+// maxClock is the sentinel "no second runnable thread" clock value.
+const maxClock = int64(1) << 62
+
+// soloQuanta is the grant-window multiplier when a single thread is
+// runnable: with no other clock to stay close to, the thread may run
+// this many quanta before checking back in with the scheduler.
+const soloQuanta = 4
+
 // Engine owns one simulation session: the memory hierarchy plus the set
 // of simulated threads. A session may call Run several times (e.g.
 // warm-up then measurement, or recovery then resumed execution) — cache
@@ -33,6 +41,17 @@ type Engine struct {
 	blocked []bool
 	threads []*Thread
 
+	// Scheduler hot-path state. heap holds the ids of schedulable
+	// (parked, not barrier-blocked) threads ordered by (clock, id) — an
+	// incremental structure replacing the per-iteration min-clock scan.
+	// solo is set while the granted thread is the only schedulable one;
+	// it lets checkYield extend the grant in place, skipping the
+	// yield/grant channel round-trip entirely.
+	heap      []int
+	solo      bool
+	nextClean int64
+	cleanTick int64
+
 	// mcLast is the shared memory controller's drain pointer: the cycle
 	// at which the most recently accepted NVMM line write finishes
 	// draining. Every write — natural eviction, flush, or cleanup —
@@ -46,7 +65,7 @@ type Engine struct {
 
 // New builds a session over mem with the given configuration.
 func New(cfg Config, mem *memsim.Memory) *Engine {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if cfg.Threads < 1 || cfg.Threads > 32 {
 		panic(fmt.Sprintf("sim: thread count %d out of range [1,32]", cfg.Threads))
 	}
@@ -130,49 +149,39 @@ func (e *Engine) Run(body func(t *Thread)) (crashed bool) {
 	dead := make([]bool, n)
 	e.blocked = make([]bool, n)
 	e.threads = threads
+	e.heap = e.heap[:0]
+	for i := 0; i < n; i++ {
+		e.heapPush(i)
+	}
 	// Periodic cleanup runs as a spaced background sweep: every
 	// period/8 cycles, lines dirty for longer than the period are
 	// written back (non-bursty, per the paper's §III-E.1).
-	nextClean, cleanTick := int64(0), int64(0)
+	e.nextClean, e.cleanTick = 0, 0
 	if e.cfg.CleanPeriod > 0 {
-		cleanTick = e.cfg.CleanPeriod / 8
-		if cleanTick < 1 {
-			cleanTick = 1
+		e.cleanTick = e.cfg.CleanPeriod / 8
+		if e.cleanTick < 1 {
+			e.cleanTick = 1
 		}
-		nextClean = e.startCycle + cleanTick
+		e.nextClean = e.startCycle + e.cleanTick
 	}
 	var propagate interface{}
 
 	for alive > 0 {
-		// Pick the schedulable (parked, not barrier-blocked) thread
-		// with the smallest clock.
-		next, second := -1, int64(1<<62)
-		runnable := 0
-		for i := 0; i < n; i++ {
-			if dead[i] || !parked[i] || e.blocked[i] {
-				continue
-			}
-			runnable++
-			if next == -1 || threads[i].now < threads[next].now {
-				if next != -1 && threads[next].now < second {
-					second = threads[next].now
-				}
-				next = i
-			} else if threads[i].now < second {
-				second = threads[i].now
-			}
-		}
-		if next == -1 {
+		// The schedulable (parked, not barrier-blocked) thread with the
+		// smallest clock is the heap root; ids break clock ties, so the
+		// pick matches the previous linear scan exactly.
+		if len(e.heap) == 0 {
 			panic("sim: scheduler deadlock — every live thread is blocked at a barrier")
 		}
-		_ = runnable
+		next := e.heap[0]
+		second := e.heapSecond()
 		t := threads[next]
 
 		// Periodic cleanup fires when the globally-minimal clock
 		// crosses the boundary (all threads have passed it).
-		for nextClean > 0 && t.now >= nextClean {
-			e.Hier.CleanOlder(nextClean, e.cfg.CleanPeriod)
-			nextClean += cleanTick
+		for e.nextClean > 0 && t.now >= e.nextClean {
+			e.Hier.CleanOlder(e.nextClean, e.cfg.CleanPeriod)
+			e.nextClean += e.cleanTick
 		}
 
 		// Crash: once the slowest thread passes the crash cycle, abort
@@ -196,14 +205,14 @@ func (e *Engine) Run(body func(t *Thread)) (crashed bool) {
 		}
 
 		until := second + e.cfg.Quantum
-		if second == int64(1<<62) { // only one runnable thread left
-			until = t.now + 4*e.cfg.Quantum
+		if second == maxClock { // only one runnable thread left
+			until = t.now + soloQuanta*e.cfg.Quantum
 		}
 		if until <= t.now {
 			until = t.now + 1
 		}
-		if nextClean > 0 && until > nextClean {
-			until = nextClean
+		if e.nextClean > 0 && until > e.nextClean {
+			until = e.nextClean
 			if until <= t.now {
 				until = t.now + 1
 			}
@@ -215,14 +224,22 @@ func (e *Engine) Run(body func(t *Thread)) (crashed bool) {
 			}
 		}
 
+		// Grant the root in place: its clock only grows while it runs,
+		// so one sift-down on return restores the heap — half the work
+		// of a pop/push pair. Barrier releases by the running thread
+		// push waiters whose clocks exceed the root's stale key, so the
+		// heap stays valid below the root meanwhile.
+		e.solo = len(e.heap) == 1
 		parked[next] = false
 		grants[next] <- until
 		msg := <-yield
 		parked[msg.id] = true
 		if msg.blocked {
 			e.blocked[msg.id] = true
+			e.heapPop()
 		}
 		if msg.done {
+			e.heapPop()
 			e.collect(threads[msg.id])
 			dead[msg.id] = true
 			parked[msg.id] = false
@@ -246,6 +263,8 @@ func (e *Engine) Run(body func(t *Thread)) (crashed bool) {
 			if msg.err == errCrashed {
 				e.crashed = true
 			}
+		} else if !msg.blocked {
+			e.heapFix()
 		}
 	}
 
@@ -288,6 +307,84 @@ func (e *Engine) collect(t *Thread) {
 	e.ops.add(t.ops)
 }
 
+// heapLess orders schedulable threads by (clock, id); the id tiebreak
+// reproduces the lowest-index-wins behavior of the old linear scan.
+func (e *Engine) heapLess(a, b int) bool {
+	ta, tb := e.threads[a], e.threads[b]
+	return ta.now < tb.now || (ta.now == tb.now && a < b)
+}
+
+// heapPush inserts thread id into the schedulable heap.
+func (e *Engine) heapPush(id int) {
+	e.heap = append(e.heap, id)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[p]) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+// heapPop removes the root (minimum-clock thread).
+func (e *Engine) heapPop() {
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	e.siftDown(0)
+}
+
+// heapFix restores heap order after the root's clock advanced in place
+// while it ran. Barrier releases during the grant only push threads with
+// clocks strictly above the root's stale key (release is latest arrival
+// plus a positive overhead), so the root cannot have been displaced and
+// a single sift-down suffices.
+func (e *Engine) heapFix() { e.siftDown(0) }
+
+// siftDown restores heap order below i after e.heap[i]'s key grew.
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e.heapLess(e.heap[l], e.heap[m]) {
+			m = l
+		}
+		if r < n && e.heapLess(e.heap[r], e.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
+}
+
+// heapSecond returns the second-smallest schedulable clock (which must
+// sit at one of the root's children), or maxClock when the root is the
+// only schedulable thread.
+func (e *Engine) heapSecond() int64 {
+	s := maxClock
+	for c := 1; c <= 2 && c < len(e.heap); c++ {
+		if now := e.threads[e.heap[c]].now; now < s {
+			s = now
+		}
+	}
+	return s
+}
+
+// unblock returns a barrier-released thread to the schedulable heap.
+// Called by the running (releasing) thread, which also loses any solo
+// grant extension: other threads are runnable again.
+func (e *Engine) unblock(w *Thread) {
+	e.blocked[w.id] = false
+	e.heapPush(w.id)
+	e.solo = false
+}
+
 // waitGrant blocks until the scheduler grants a new window.
 func (t *Thread) waitGrant(g chan int64) int64 {
 	v := <-g
@@ -303,7 +400,21 @@ func (t *Thread) checkYield() {
 	if t.now < t.grantUntil {
 		return
 	}
-	t.eng.yieldAndWait(t)
+	e := t.eng
+	if e.solo {
+		// Sole runnable thread: extend the grant in place — exactly the
+		// window the scheduler would hand back — and skip the two
+		// channel operations and two goroutine switches of a full
+		// yield. Fall back to the scheduler at any cleanup or crash
+		// boundary so those still fire at the same cycles.
+		until := t.now + soloQuanta*e.cfg.Quantum
+		if (e.nextClean == 0 || until <= e.nextClean) &&
+			(e.cfg.CrashCycle == 0 || until <= e.cfg.CrashCycle) {
+			t.grantUntil = until
+			return
+		}
+	}
+	e.yieldAndWait(t)
 }
 
 // yieldAndWait parks the thread until the scheduler grants a new window.

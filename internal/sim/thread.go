@@ -170,9 +170,14 @@ func (t *Thread) stallTo(c int64) {
 func (t *Thread) issue(n int) {
 	t.instr += uint64(n)
 	t.ops.Instrs += uint64(n)
-	t.opCarry += n
-	t.now += int64(t.opCarry / t.eng.cfg.IssueWidth)
-	t.opCarry %= t.eng.cfg.IssueWidth
+	// Hot path: most calls issue a single instruction, so the carry
+	// rarely reaches the issue width — skip the div/mod entirely then.
+	if c := t.opCarry + n; c < t.eng.cfg.IssueWidth {
+		t.opCarry = c
+	} else {
+		t.now += int64(c / t.eng.cfg.IssueWidth)
+		t.opCarry = c % t.eng.cfg.IssueWidth
+	}
 	if t.burstLeft > 0 {
 		c := n
 		if c > t.burstLeft {
