@@ -306,6 +306,35 @@ func BenchmarkAblationWALGranularity(b *testing.B) {
 	}
 }
 
+// --- KV store (beyond the paper): request-driven persistence ----------
+
+// BenchmarkKV runs the YCSB-style KV store under each persistence
+// discipline — the `kv` experiment's core comparison (base/LP/EP/WAL
+// on mix A) at a bench-friendly size.
+func BenchmarkKV(b *testing.B) {
+	for _, v := range []harness.Variant{
+		harness.VariantBase, harness.VariantLP, harness.VariantEP, harness.VariantWAL,
+	} {
+		b.Run(string(v), func(b *testing.B) {
+			spec := harness.KVSpec{
+				Variant: v, Mix: "a", Threads: 4,
+				Preload: 512, Ops: 1024, Seed: 1,
+			}
+			var cycles int64
+			var writes uint64
+			for i := 0; i < b.N; i++ {
+				res := harness.NewKVSession(spec).Execute()
+				if res.Crashed {
+					b.Fatal("unexpected crash")
+				}
+				cycles, writes = res.Cycles, res.Writes
+			}
+			b.ReportMetric(float64(cycles), "simcycles/run")
+			b.ReportMetric(float64(writes), "nvmmwrites/run")
+		})
+	}
+}
+
 // --- Experiment-runner benchmarks --------------------------------------
 
 // runnerSpecs is a small batch of independent runs, the unit of work the

@@ -29,6 +29,7 @@ import (
 
 	"lazyp/internal/harness"
 	"lazyp/internal/profiling"
+	"lazyp/internal/sim"
 )
 
 func main() {
@@ -87,21 +88,34 @@ func main() {
 }
 
 // runJSON executes the standard benchmark matrix and emits one JSON
-// document with per-benchmark metrics and the runner's statistics.
+// document with per-benchmark metrics, the runner's statistics
+// (including memo-cache hits/misses), and the resolved simulator
+// configuration the records were produced under.
 func runJSON(w io.Writer, opt harness.Options) error {
 	records, err := harness.RunBenchMatrix(opt)
 	if err != nil {
 		return err
 	}
 	submitted, executed := opt.Pool.Stats()
+	var hits, misses uint64
+	cacheOn := false
+	if c := opt.Pool.Cache(); c != nil {
+		cacheOn = true
+		hits, misses = c.Stats()
+	}
 	doc := struct {
-		Quick      bool                  `json:"quick"`
-		Threads    int                   `json:"threads,omitempty"`
-		Workers    int                   `json:"workers"`
-		Submitted  uint64                `json:"submitted"`
-		Executed   uint64                `json:"executed"`
-		Benchmarks []harness.BenchRecord `json:"benchmarks"`
-	}{opt.Quick, opt.Threads, opt.Pool.Workers(), submitted, executed, records}
+		Quick       bool                  `json:"quick"`
+		Threads     int                   `json:"threads,omitempty"`
+		Workers     int                   `json:"workers"`
+		Submitted   uint64                `json:"submitted"`
+		Executed    uint64                `json:"executed"`
+		Cache       bool                  `json:"cache"`
+		CacheHits   uint64                `json:"cache_hits"`
+		CacheMisses uint64                `json:"cache_misses"`
+		Sim         sim.Config            `json:"sim"`
+		Benchmarks  []harness.BenchRecord `json:"benchmarks"`
+	}{opt.Quick, opt.Threads, opt.Pool.Workers(), submitted, executed,
+		cacheOn, hits, misses, opt.ResolvedSim(), records}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

@@ -46,6 +46,13 @@ func (o Options) threads() int {
 	return 8
 }
 
+// ResolvedSim returns the fully-defaulted simulator configuration these
+// options imply — what the default-spec runs actually execute with. The
+// -json envelope embeds it so records are self-describing.
+func (o Options) ResolvedSim() sim.Config {
+	return sim.Config{Threads: o.threads()}.WithDefaults()
+}
+
 // exec runs specs — fanned out across the pool's workers when one is
 // attached — and returns their results in argument order.
 func (o Options) exec(specs ...Spec) ([]Result, error) {
@@ -169,8 +176,8 @@ func Experiments() []Experiment {
 			Run:   expFig13,
 		},
 		{
-			ID:    "tab7",
-			Title: "Table VII: LP execution-time overhead on a real machine (native, wall clock)",
+			ID:     "tab7",
+			Title:  "Table VII: LP execution-time overhead on a real machine (native, wall clock)",
 			Paper:  "TMM 0.8%, Cholesky 1.1%, 2D-conv 0.9%, Gauss 2.1%, FFT 1.1% (gmean 1.1%)",
 			Run:    expTab7,
 			Native: true,
@@ -210,6 +217,12 @@ func Experiments() []Experiment {
 			Title: "Figure 1/9 semantics: crash injection sweep + recovery correctness",
 			Paper: "recovered output equals failure-free output at every crash point",
 			Run:   expCrash,
+		},
+		{
+			ID:    "kv",
+			Title: "KV store (beyond paper §VII): base/LP/EP/WAL on YCSB-style mixes",
+			Paper: "n/a (extension): LP should track base; EP/WAL pay per-put persistence",
+			Run:   expKV,
 		},
 	}
 }

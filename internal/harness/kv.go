@@ -1,0 +1,358 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/lpstore"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+	"lazyp/internal/sim"
+	"lazyp/internal/workloads"
+)
+
+// KVSpec describes one request-driven KV-store run (the lpstore
+// subsystem under a YCSB-style mix) — the first workload class beyond
+// the paper's loop-nest kernels. Zero fields take defaults.
+type KVSpec struct {
+	Variant Variant
+	Mix     string // "a" (50r/50u), "b" (95r/5u), "c" (read-only), "d" (85r/10u/5i)
+	Dist    string // "zipfian" (default) or "uniform"
+	Threads int
+	Preload int // keys preloaded per shard
+	Ops     int // requests per thread
+	BatchK  int // LP batch size (puts per region)
+	Kind    checksum.Kind
+	Seed    uint64
+	Sim     sim.Config
+}
+
+func (s *KVSpec) defaults() {
+	if s.Mix == "" {
+		s.Mix = "a"
+	}
+	if s.Dist == "" {
+		s.Dist = "zipfian"
+	}
+	if s.Threads == 0 {
+		s.Threads = 8
+	}
+	if s.Preload == 0 {
+		s.Preload = 2048
+	}
+	if s.Ops == 0 {
+		s.Ops = 3000
+	}
+	if s.BatchK == 0 {
+		s.BatchK = 32
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// KVSession owns one KV run's memory image, shards, and writers, so
+// crash and recovery flows can be driven step by step (the KV analogue
+// of Session).
+type KVSession struct {
+	Spec    KVSpec
+	Mem     *memsim.Memory
+	Shards  []*lpstore.Shard
+	Writers []*lpstore.Writer
+	Eng     *sim.Engine
+
+	// Stats holds per-shard LP recovery statistics after Recover.
+	Stats []lpstore.RecoverStats
+
+	mix   workloads.KVMix
+	wal   *ep.WAL
+	rec   *ep.Recompute
+	acked []int // per-thread acknowledged put counts, set by Recover
+}
+
+// NewKVSession allocates the memory image, one shard per thread, and
+// the variant's persistence machinery. Tables are sized so the load
+// factor stays below one half even if every request inserts. NVMM
+// counters are reset after setup, so Execute measures only the
+// request-processing phase.
+func NewKVSession(spec KVSpec) *KVSession {
+	spec.defaults()
+	mix, ok := workloads.KVMixByName(spec.Mix)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown KV mix %q", spec.Mix))
+	}
+	capacity := 1
+	for capacity < 2*(spec.Preload+spec.Ops) {
+		capacity <<= 1
+	}
+	mem := memsim.NewMemory(spec.Threads*(2*capacity+3*spec.Ops)*pmem.WordSize + (8 << 20))
+	// Keep data off line 0: ep's inline-flush tracker uses line address
+	// 0 as its "no line yet" sentinel.
+	mem.Alloc("kv.guard", memsim.LineSize)
+
+	s := &KVSession{Spec: spec, Mem: mem, mix: mix}
+	switch spec.Variant {
+	case VariantEP:
+		s.rec = ep.NewRecompute(mem, "kv.ep", spec.Threads)
+	case VariantWAL:
+		// A put stores at most two words (slot key + value).
+		s.wal = ep.NewWAL(mem, "kv.wal", spec.Threads, 2)
+	}
+	for tid := 0; tid < spec.Threads; tid++ {
+		name := fmt.Sprintf("kv.s%d", tid)
+		var sh *lpstore.Shard
+		if spec.Variant == VariantLP {
+			sh = lpstore.NewShardLP(mem, name, tid, capacity, spec.Ops, spec.BatchK, spec.Kind)
+		} else {
+			sh = lpstore.NewShard(mem, name, tid, capacity)
+		}
+		sh.Preload(mem, spec.Preload, func(i int) (uint64, uint64) {
+			k := workloads.KVKey(tid, i)
+			return k, workloads.KVInitVal(spec.Seed, k)
+		})
+		var w *lpstore.Writer
+		switch spec.Variant {
+		case VariantBase:
+			w = sh.NewWriter(lpstore.ModeBase, lp.Base{}.Thread(tid))
+		case VariantLP:
+			w = sh.NewLPWriter()
+		case VariantEP:
+			w = sh.NewWriter(lpstore.ModeEP, s.rec.Thread(tid))
+		case VariantWAL:
+			w = sh.NewWriter(lpstore.ModeWAL, s.wal.Thread(tid))
+		default:
+			panic(fmt.Sprintf("harness: unknown variant %q", spec.Variant))
+		}
+		s.Shards = append(s.Shards, sh)
+		s.Writers = append(s.Writers, w)
+	}
+
+	cfg := spec.Sim
+	cfg.Threads = spec.Threads
+	if cfg.Hier == (memsim.Config{}) {
+		cfg.Hier = memsim.DefaultConfig(spec.Threads)
+	}
+	s.Eng = sim.New(cfg, mem)
+	mem.ResetCounters()
+	return s
+}
+
+// Execute runs every thread's request stream to completion (or to the
+// configured crash) against its own shard and returns the metrics. LP
+// writers seal their open partial batch at stream end so tail ops
+// become acknowledgeable.
+func (s *KVSession) Execute() Result {
+	eng := s.Eng
+	crashed := eng.Run(func(t *sim.Thread) {
+		tid := t.ThreadID()
+		g := workloads.NewKVGen(s.Spec.Seed, tid, s.Spec.Preload, s.mix, s.Spec.Dist)
+		w := s.Writers[tid]
+		for i := 0; i < s.Spec.Ops; i++ {
+			op := g.Next()
+			if op.Kind == workloads.KVRead {
+				w.Get(t, op.Key)
+			} else {
+				w.Put(t, op.Key, op.Val)
+			}
+		}
+		w.Seal(t)
+	})
+	return measure(eng, s.Mem, crashed, 0)
+}
+
+// Crash applies the failure to the memory image (cache contents lost).
+func (s *KVSession) Crash() { s.Mem.Crash() }
+
+// Recover runs the variant's recovery single-threaded on a fresh
+// machine over the crashed image, establishing each thread's durably-
+// acknowledged put prefix (Acked) and repairing shards as needed.
+func (s *KVSession) Recover(recoverCfg sim.Config) Result {
+	recoverCfg.Threads = 1
+	if recoverCfg.Hier == (memsim.Config{}) {
+		recoverCfg.Hier = memsim.DefaultConfig(1)
+	}
+	eng := sim.New(recoverCfg, s.Mem)
+	s.Eng = eng
+	s.acked = make([]int, s.Spec.Threads)
+	s.Stats = nil
+	crashed := eng.Run(func(t *sim.Thread) {
+		for tid := range s.Shards {
+			s.acked[tid] = s.recoverShard(t, tid)
+		}
+	})
+	return measure(eng, s.Mem, crashed, eng.ExecCycles())
+}
+
+func (s *KVSession) recoverShard(c pmem.Ctx, tid int) int {
+	sh := s.Shards[tid]
+	switch s.Spec.Variant {
+	case VariantLP:
+		st := sh.RecoverLP(c, s.Spec.Preload, func(i int) (uint64, uint64) {
+			k := workloads.KVKey(tid, i)
+			return k, workloads.KVInitVal(s.Spec.Seed, k)
+		})
+		s.Stats = append(s.Stats, st)
+		return st.AckedPuts
+	case VariantEP:
+		// The marker names the last put whose flush+fence completed. It
+		// can lag one finished put (data fenced, marker store lost), and
+		// the one in-flight put may have leaked durably through its
+		// inline flush or an eviction; a put's key and value share a
+		// cache line, so either way the pair is durable atomically.
+		// Probing the durable image for the next put in the regenerated
+		// stream detects both cases exactly.
+		acked := 0
+		if mk := s.rec.Markers.Load(c, tid); mk != ep.MarkerNone {
+			acked = int(mk) + 1
+		}
+		if op, ok := s.nthPut(tid, acked); ok && sh.HasDurable(c, op.Key, op.Val) {
+			acked++
+		}
+		return acked
+	case VariantWAL:
+		k, inTx, ok := s.wal.WALRecover(c, tid)
+		switch {
+		case !ok:
+			return 0
+		case inTx:
+			return k // transaction k rolled back
+		default:
+			return k + 1 // transaction k committed
+		}
+	default:
+		panic(fmt.Sprintf("harness: no KV recovery for variant %q", s.Spec.Variant))
+	}
+}
+
+// nthPut returns thread tid's n-th put request (0-based) by
+// regenerating its deterministic stream.
+func (s *KVSession) nthPut(tid, n int) (workloads.KVOp, bool) {
+	g := workloads.NewKVGen(s.Spec.Seed, tid, s.Spec.Preload, s.mix, s.Spec.Dist)
+	puts := 0
+	for i := 0; i < s.Spec.Ops; i++ {
+		op := g.Next()
+		if op.Kind == workloads.KVRead {
+			continue
+		}
+		if puts == n {
+			return op, true
+		}
+		puts++
+	}
+	return workloads.KVOp{}, false
+}
+
+// Acked returns the per-thread acknowledged put counts established by
+// Recover.
+func (s *KVSession) Acked() []int { return s.acked }
+
+// FullAck returns the acked vector of a failure-free run (every put of
+// every thread), for verifying complete executions with VerifyAcked.
+func (s *KVSession) FullAck() []int {
+	out := make([]int, s.Spec.Threads)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
+
+// Reference computes, host-side, the expected contents of thread tid's
+// shard after its first nPuts puts (nPuts < 0 means the full run):
+// preloaded pairs overlaid with the put prefix, last write per key
+// winning.
+func (s *KVSession) Reference(tid, nPuts int) map[uint64]uint64 {
+	m := make(map[uint64]uint64, s.Spec.Preload+s.Spec.Ops)
+	for i := 0; i < s.Spec.Preload; i++ {
+		k := workloads.KVKey(tid, i)
+		m[k] = workloads.KVInitVal(s.Spec.Seed, k)
+	}
+	g := workloads.NewKVGen(s.Spec.Seed, tid, s.Spec.Preload, s.mix, s.Spec.Dist)
+	puts := 0
+	for i := 0; i < s.Spec.Ops && (nPuts < 0 || puts < nPuts); i++ {
+		op := g.Next()
+		if op.Kind == workloads.KVRead {
+			continue
+		}
+		m[op.Key] = op.Val
+		puts++
+	}
+	return m
+}
+
+// VerifyAcked checks every shard's architectural contents against an
+// independent failure-free execution of its acknowledged put prefix.
+// After Memory.Crash the architectural image equals the durable one,
+// so post-recovery calls verify the NVMM state.
+func (s *KVSession) VerifyAcked(acked []int) error {
+	for tid, sh := range s.Shards {
+		want := s.Reference(tid, acked[tid])
+		got := sh.Tab.Contents(s.Mem)
+		if len(got) != len(want) {
+			return fmt.Errorf("kv shard %d: %d keys, want %d (acked %d)",
+				tid, len(got), len(want), acked[tid])
+		}
+		for k, v := range want {
+			gv, ok := got[k]
+			if !ok {
+				return fmt.Errorf("kv shard %d: key %#x missing (acked %d)", tid, k, acked[tid])
+			}
+			if gv != v {
+				return fmt.Errorf("kv shard %d: key %#x = %#x, want %#x (acked %d)",
+					tid, k, gv, v, acked[tid])
+			}
+		}
+	}
+	return nil
+}
+
+// expKV is the KV-store experiment: normalized execution time and NVMM
+// writes for base/LP/EP/WAL across read/update mixes and thread counts
+// — Figure 10's methodology applied to a request-driven workload the
+// paper's §VII only gestures at. Every run's final contents are
+// verified against the host-side reference before reporting.
+func expKV(w io.Writer, o Options) error {
+	preload, ops := 2048, 3000
+	if o.Quick {
+		preload, ops = 512, 600
+	}
+	variants := []Variant{VariantBase, VariantLP, VariantEP, VariantWAL}
+	mixes := []string{"a", "b", "c"}
+	threadCounts := []int{1, 8}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "mix\tthreads\tscheme\texec time\twrites\twrites(x)\tfences\tstall cyc(x)")
+	for _, mix := range mixes {
+		for _, th := range threadCounts {
+			results := make([]Result, len(variants))
+			for i, v := range variants {
+				ses := NewKVSession(KVSpec{
+					Variant: v, Mix: mix, Threads: th,
+					Preload: preload, Ops: ops,
+				})
+				r := ses.Execute()
+				if r.Crashed {
+					return fmt.Errorf("harness: unexpected crash in kv/%s mix %s", v, mix)
+				}
+				if err := ses.VerifyAcked(ses.FullAck()); err != nil {
+					return err
+				}
+				results[i] = r
+			}
+			base := results[0]
+			for i, v := range variants {
+				r := results[i]
+				fmt.Fprintf(tw, "%s\t%d\t%s\t%.3f\t%d\t%.3f\t%d\t%.2f\n",
+					mix, th, v,
+					ratio(r.Cycles, base.Cycles),
+					r.Writes,
+					uratio(r.Writes, base.Writes),
+					r.Ops.Fences,
+					ratio(r.Haz.StallCycles, base.Haz.StallCycles))
+			}
+		}
+	}
+	fmt.Fprintln(tw, "paper\t\t(beyond paper, §VII: LP tracks base; EP pays a fence per put; WAL pays four)")
+	return tw.Flush()
+}

@@ -1,0 +1,255 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"lazyp/internal/pmem"
+	"lazyp/internal/sim"
+	"lazyp/internal/workloads"
+)
+
+// kvTestSpec is a small configuration that still exercises collisions,
+// batching, and (mix d) the insertion path.
+func kvTestSpec(v Variant) KVSpec {
+	return KVSpec{
+		Variant: v, Mix: "d", Dist: "zipfian",
+		Threads: 2, Preload: 256, Ops: 400, BatchK: 8, Seed: 7,
+	}
+}
+
+func TestKVFailureFreeAllVariants(t *testing.T) {
+	for _, v := range []Variant{VariantBase, VariantLP, VariantEP, VariantWAL} {
+		for _, mix := range []string{"a", "d"} {
+			spec := kvTestSpec(v)
+			spec.Mix = mix
+			ses := NewKVSession(spec)
+			res := ses.Execute()
+			if res.Crashed {
+				t.Fatalf("%s/%s: unexpected crash", v, mix)
+			}
+			if err := ses.VerifyAcked(ses.FullAck()); err != nil {
+				t.Fatalf("%s/%s: %v", v, mix, err)
+			}
+		}
+	}
+}
+
+func TestKVDeterminism(t *testing.T) {
+	spec := kvTestSpec(VariantLP)
+	a := NewKVSession(spec)
+	b := NewKVSession(spec)
+	ra, rb := a.Execute(), b.Execute()
+	if ra != rb {
+		t.Fatalf("identical specs produced different results:\n%+v\n%+v", ra, rb)
+	}
+	for tid := range a.Shards {
+		ca := a.Shards[tid].Tab.Contents(a.Mem)
+		cb := b.Shards[tid].Tab.Contents(b.Mem)
+		if len(ca) != len(cb) {
+			t.Fatalf("shard %d contents differ in size", tid)
+		}
+		for k, v := range ca {
+			if cb[k] != v {
+				t.Fatalf("shard %d key %#x differs", tid, k)
+			}
+		}
+	}
+}
+
+// TestKVExperimentByteIdentical runs the kv experiment twice and
+// requires byte-identical output (the acceptance criterion behind
+// `lpbench -exp kv` reproducibility).
+func TestKVExperimentByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick-mode experiment passes")
+	}
+	var a, b bytes.Buffer
+	if err := expKV(&a, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := expKV(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("experiment output not reproducible:\n--- a ---\n%s\n--- b ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestKVCrashSweepLP is the acceptance property test: crash the LP run
+// at 24 points across its execution; after recovery the NVMM contents
+// must pass checksum verification and equal a failure-free execution
+// of the durably-acknowledged op prefix.
+func TestKVCrashSweepLP(t *testing.T) {
+	spec := kvTestSpec(VariantLP)
+	clean := NewKVSession(spec)
+	cleanRes := clean.Execute()
+	if cleanRes.Crashed {
+		t.Fatal("clean run crashed")
+	}
+	if err := clean.VerifyAcked(clean.FullAck()); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	// 24 crash points spread over the first 90% of the clean run (the
+	// final stretch may complete before the injected cycle arrives).
+	// Periodic cleanup (§III-E.1) writes old dirty lines — journal and
+	// checksum lines included — back to NVMM, so later crash points
+	// acknowledge longer prefixes; without it this working set never
+	// leaves the caches and every crash point recovers to the preload.
+	const points = 24
+	sawPartialAck := false
+	for i := 1; i <= points; i++ {
+		s := spec
+		s.Sim.CleanPeriod = cleanRes.Cycles / 20
+		s.Sim.CrashCycle = int64(0.9 * float64(i) / float64(points) * float64(cleanRes.Cycles))
+		if s.Sim.CrashCycle < 1 {
+			s.Sim.CrashCycle = 1
+		}
+		ses := NewKVSession(s)
+		if r := ses.Execute(); !r.Crashed {
+			t.Fatalf("point %d: expected a crash", i)
+		}
+		ses.Crash()
+		ses.Recover(sim.Config{})
+
+		// Recovery is eager, so its repairs survive an immediate second
+		// failure; after that, an independent verification pass must
+		// find every shard's checksums acknowledged and contents exact.
+		ses.Mem.Crash()
+		cn := &pmem.Native{Mem: ses.Mem}
+		for tid, sh := range ses.Shards {
+			st := sh.RecoverLP(cn, s.Preload, func(j int) (uint64, uint64) {
+				k := workloads.KVKey(tid, j)
+				return k, workloads.KVInitVal(s.Seed, k)
+			})
+			if !st.Verified {
+				t.Fatalf("point %d shard %d: repaired table does not verify (%+v)", i, tid, st)
+			}
+			if st.AckedPuts != ses.Acked()[tid] {
+				t.Fatalf("point %d shard %d: acked %d on re-pass, %d at recovery",
+					i, tid, st.AckedPuts, ses.Acked()[tid])
+			}
+			if ses.Acked()[tid] > 0 {
+				sawPartialAck = true
+			}
+		}
+		if err := ses.VerifyAcked(ses.Acked()); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+	if !sawPartialAck {
+		t.Fatal("sweep never acknowledged any put — crash points do not exercise the journal")
+	}
+}
+
+// TestKVCrashDuringRecoveryLP injects a second failure into recovery
+// itself; a re-run of recovery must still converge to the same state.
+func TestKVCrashDuringRecoveryLP(t *testing.T) {
+	spec := kvTestSpec(VariantLP)
+	clean := NewKVSession(spec)
+	cleanRes := clean.Execute()
+
+	s := spec
+	s.Sim.CrashCycle = cleanRes.Cycles / 2
+	ses := NewKVSession(s)
+	if r := ses.Execute(); !r.Crashed {
+		t.Fatal("expected a crash")
+	}
+	ses.Crash()
+	first := ses.Recover(sim.Config{})
+
+	// Re-run from the same crashed image with recovery itself crashing
+	// partway, then recover again.
+	ses2 := NewKVSession(s)
+	if r := ses2.Execute(); !r.Crashed {
+		t.Fatal("expected a crash")
+	}
+	ses2.Crash()
+	rr := ses2.Recover(sim.Config{CrashCycle: first.RecoverCyc / 2})
+	if rr.Crashed {
+		ses2.Crash()
+		ses2.Recover(sim.Config{})
+	}
+	ses2.Mem.Crash()
+	for tid := range ses2.Shards {
+		if ses2.Acked()[tid] != ses.Acked()[tid] {
+			t.Fatalf("shard %d: acked %d after interrupted recovery, %d after clean recovery",
+				tid, ses2.Acked()[tid], ses.Acked()[tid])
+		}
+	}
+	if err := ses2.VerifyAcked(ses2.Acked()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVCrashSweepEP: EP acknowledges per put; the durable state at
+// every crash point must equal the acknowledged prefix exactly.
+func TestKVCrashSweepEP(t *testing.T) {
+	testKVCrashSweepEager(t, VariantEP, 8)
+}
+
+// TestKVCrashSweepWAL: WAL rolls back the in-flight transaction; the
+// durable state must equal the committed-transaction prefix.
+func TestKVCrashSweepWAL(t *testing.T) {
+	testKVCrashSweepEager(t, VariantWAL, 8)
+}
+
+func testKVCrashSweepEager(t *testing.T, v Variant, points int) {
+	t.Helper()
+	spec := kvTestSpec(v)
+	clean := NewKVSession(spec)
+	cleanRes := clean.Execute()
+	if cleanRes.Crashed {
+		t.Fatal("clean run crashed")
+	}
+	for i := 1; i <= points; i++ {
+		s := spec
+		s.Sim.CrashCycle = int64(0.9 * float64(i) / float64(points) * float64(cleanRes.Cycles))
+		if s.Sim.CrashCycle < 1 {
+			s.Sim.CrashCycle = 1
+		}
+		ses := NewKVSession(s)
+		if r := ses.Execute(); !r.Crashed {
+			t.Fatalf("point %d: expected a crash", i)
+		}
+		ses.Crash()
+		ses.Recover(sim.Config{})
+		ses.Mem.Crash() // recovery repairs must themselves be durable
+		if err := ses.VerifyAcked(ses.Acked()); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+}
+
+// TestKVCrashAtEndLP: a crash after the last op acknowledges whatever
+// drifted to NVMM; with no flushes on the fast path that is typically a
+// proper prefix, and verification must still hold.
+func TestKVCrashAtEndLP(t *testing.T) {
+	spec := kvTestSpec(VariantLP)
+	ses := NewKVSession(spec)
+	if r := ses.Execute(); r.Crashed {
+		t.Fatal("unexpected crash")
+	}
+	ses.Crash() // power fails right at completion; caches lost
+	ses.Recover(sim.Config{})
+	totalPuts := 0
+	for tid, w := range ses.Writers {
+		if got := ses.Acked()[tid]; got > int(w.Puts) {
+			t.Fatalf("shard %d acknowledged %d puts, only %d issued", tid, got, w.Puts)
+		}
+		totalPuts += int(w.Puts)
+	}
+	if err := ses.VerifyAcked(ses.Acked()); err != nil {
+		t.Fatal(err)
+	}
+	_ = totalPuts
+}
+
+func TestKVSpecDefaults(t *testing.T) {
+	var s KVSpec
+	s.defaults()
+	if s.Mix != "a" || s.Dist != "zipfian" || s.Threads != 8 || s.BatchK != 32 {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+}

@@ -228,14 +228,20 @@ func (s *Session) Execute() Result {
 }
 
 func (s *Session) result(eng *sim.Engine, crashed bool, recoverCyc int64) Result {
-	total, evict, flush, clean := s.Mem.NVMMWrites()
+	return measure(eng, s.Mem, crashed, recoverCyc)
+}
+
+// measure packages one engine run's metrics (shared by the kernel and
+// KV session types).
+func measure(eng *sim.Engine, mem *memsim.Memory, crashed bool, recoverCyc int64) Result {
+	total, evict, flush, clean := mem.NVMMWrites()
 	return Result{
 		Cycles:     eng.ExecCycles(),
 		Writes:     total,
 		EvictW:     evict,
 		FlushW:     flush,
 		CleanW:     clean,
-		Reads:      s.Mem.NVMMReads(),
+		Reads:      mem.NVMMReads(),
 		Crashed:    crashed,
 		Haz:        eng.Hazards(),
 		Ops:        eng.Ops(),

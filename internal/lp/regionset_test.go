@@ -163,3 +163,124 @@ func TestRegionSetOnSimulator(t *testing.T) {
 		}
 	}
 }
+
+// buildParallelRegionSet makes nRegions independent one-line regions
+// (region r: out[r][i] = 2*in[r][i] + r) suitable for multi-threaded
+// execution: outputs are disjoint and line-aligned, bodies read only
+// pristine inputs, so any subset may be re-executed in any order.
+func buildParallelRegionSet(m *memsim.Memory, nRegions int) (*RegionSet, pmem.F64, pmem.F64) {
+	const w = 8 // one 64-byte line per region
+	in := pmem.AllocF64(m, "pin", nRegions*w)
+	out := pmem.AllocF64(m, "pout", nRegions*w)
+	in.Fill(m, func(i int) float64 { return float64(i%97) + 1 })
+
+	rs := NewRegionSet(checksum.Modular)
+	for r := 0; r < nRegions; r++ {
+		r := r
+		rs.Add("r", func() []memsim.Addr {
+			a := make([]memsim.Addr, w)
+			for i := range a {
+				a[i] = out.Addr(r*w + i)
+			}
+			return a
+		}, func(c pmem.Ctx, ts ThreadStrategy) {
+			for i := 0; i < w; i++ {
+				c.Compute(16) // give bodies weight so the sweep has room
+				ts.StoreF(c, out.Addr(r*w+i), 2*in.Load(c, r*w+i)+float64(r))
+			}
+		})
+	}
+	rs.Seal(m, "prs.cksums")
+	return rs, in, out
+}
+
+// runRegionsParallel executes every region on an nthreads-wide engine,
+// keys partitioned round-robin, optionally crashing.
+func runRegionsParallel(rs *RegionSet, m *memsim.Memory, nthreads int, cfg sim.Config) (crashed bool, cycles int64) {
+	cfg.Threads = nthreads
+	eng := sim.New(cfg, m)
+	strat := NewLP(rs.Table(), checksum.Modular, nthreads)
+	crashed = eng.Run(func(th *sim.Thread) {
+		ts := strat.Thread(th.ThreadID())
+		for key := th.ThreadID(); key < rs.Len(); key += nthreads {
+			rs.Execute(th, ts, key)
+		}
+	})
+	return crashed, eng.ExecCycles()
+}
+
+// TestRegionSetRecoverMultiThreadCrashSweep crashes an 8-thread run at
+// a table of points across its execution and checks that Recover's
+// report exactly matches the damage actually present in NVMM: the
+// recomputed count equals the number of regions whose checksums
+// mismatch the surviving data, and recovery restores every output.
+func TestRegionSetRecoverMultiThreadCrashSweep(t *testing.T) {
+	const nRegions, nthreads = 256, 8
+	// Two-pass calibration: the sweep runs with periodic cleanup, which
+	// changes the cycle count, so crash points must be placed on a clean
+	// run using the same CleanPeriod.
+	calibrate := func(cfg sim.Config) int64 {
+		m := memsim.NewMemory(1 << 20)
+		rs, _, _ := buildParallelRegionSet(m, nRegions)
+		crashed, cycles := runRegionsParallel(rs, m, nthreads, cfg)
+		if crashed {
+			t.Fatal("calibration run crashed")
+		}
+		return cycles
+	}
+	cleanPeriod := calibrate(sim.Config{}) / 10 // lets early regions persist
+	cleanCycles := calibrate(sim.Config{CleanPeriod: cleanPeriod})
+
+	// The makespan includes an uncrashable drain tail after the last
+	// body instruction (Thread.finish), so the sweep tops out at 0.8.
+	for _, tc := range []struct {
+		name string
+		frac float64
+	}{
+		{"early", 0.15}, {"third", 0.3}, {"half", 0.5},
+		{"twothirds", 0.65}, {"late", 0.75}, {"end", 0.8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := memsim.NewMemory(1 << 20)
+			rs, in, out := buildParallelRegionSet(m, nRegions)
+			cfg := sim.Config{
+				CrashCycle:  int64(tc.frac * float64(cleanCycles)),
+				CleanPeriod: cleanPeriod,
+			}
+			if cfg.CrashCycle < 1 {
+				cfg.CrashCycle = 1
+			}
+			crashed, _ := runRegionsParallel(rs, m, nthreads, cfg)
+			if !crashed {
+				t.Fatal("expected a crash")
+			}
+			m.Crash()
+
+			// Ground truth: which regions' checksums actually mismatch
+			// the data that survived in NVMM.
+			cn := &pmem.Native{Mem: m}
+			mism := 0
+			for key := 0; key < rs.Len(); key++ {
+				if !rs.Verify(cn, key) {
+					mism++
+				}
+			}
+
+			var rep RecoverReport
+			runOnSim(t, m, func(c pmem.Ctx) { rep = rs.Recover(c) })
+			if rep.Recomputed != mism || rep.Verified != nRegions-mism {
+				t.Fatalf("report %+v; NVMM had %d mismatched regions of %d", rep, mism, nRegions)
+			}
+
+			m.Crash() // repairs were eager: they survive a second failure
+			for r := 0; r < nRegions; r++ {
+				for i := 0; i < 8; i++ {
+					want := 2*in.Load(cn, r*8+i) + float64(r)
+					if got := out.Load(cn, r*8+i); got != want {
+						t.Fatalf("out[%d][%d] = %v, want %v", r, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}

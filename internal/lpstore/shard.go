@@ -1,0 +1,204 @@
+package lpstore
+
+import (
+	"fmt"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// Mode selects the persistence discipline a Writer applies per put.
+type Mode uint8
+
+// The four disciplines of the KV experiment (Figure-10 analogue).
+const (
+	ModeBase Mode = iota
+	ModeLP
+	ModeEP
+	ModeWAL
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBase:
+		return "base"
+	case ModeLP:
+		return "lp"
+	case ModeEP:
+		return "ep"
+	case ModeWAL:
+		return "wal"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Shard is one thread's share of the store: a table plus, when built
+// with NewShardLP, the LP mechanism — a persistent op journal and the
+// per-batch checksum table that acknowledges journal prefixes.
+type Shard struct {
+	ID  int
+	Tab *Store
+
+	// LP mechanism; nil/zero unless built by NewShardLP.
+	Jrn    pmem.U64  // 2 words per put: (key, value), append-only
+	Ack    *lp.Table // one checksum slot per batch of BatchK puts
+	BatchK int
+	MaxOps int
+	kind   checksum.Kind
+}
+
+// NewShard builds a shard without the LP mechanism (base/EP/WAL runs).
+func NewShard(m *memsim.Memory, name string, id, capacity int) *Shard {
+	return &Shard{ID: id, Tab: NewStore(m, name+".tab", capacity)}
+}
+
+// NewShardLP builds a shard with the LP journal and acknowledgment
+// table sized for at most maxOps puts in batches of batchK. The journal
+// is durably zeroed: key word 0 marks a never-written entry, which is
+// how recovery measures a batch's length (sealed partial batches are
+// shorter than batchK, and the Modular checksum cannot distinguish
+// trailing zero words by itself).
+func NewShardLP(m *memsim.Memory, name string, id, capacity, maxOps, batchK int, kind checksum.Kind) *Shard {
+	if batchK < 1 || maxOps < 1 {
+		panic("lpstore: batchK and maxOps must be positive")
+	}
+	sh := NewShard(m, name, id, capacity)
+	sh.Jrn = pmem.AllocU64(m, name+".jrn", 2*maxOps)
+	sh.Jrn.Fill(m, 0)
+	sh.Ack = lp.NewTable(m, name+".ack", (maxOps+batchK-1)/batchK+1)
+	sh.BatchK = batchK
+	sh.MaxOps = maxOps
+	sh.kind = kind
+	return sh
+}
+
+// batches returns the journal's batch capacity.
+func (sh *Shard) batches() int { return (sh.MaxOps + sh.BatchK - 1) / sh.BatchK }
+
+// Preload inserts n keys directly into the table — architectural and
+// durable images both, no simulation — before measured execution, the
+// same convention as the kernels' Fill. keyval yields the i-th pair.
+func (sh *Shard) Preload(m *memsim.Memory, n int, keyval func(i int) (k, v uint64)) {
+	c := &pmem.Native{Mem: m}
+	base := lp.Base{}.Thread(0)
+	for i := 0; i < n; i++ {
+		k, v := keyval(i)
+		sh.Tab.Put(c, base, k, v)
+	}
+	m.Persist(sh.Tab.kv.Base, 2*sh.Tab.cap*pmem.WordSize)
+}
+
+// Writer drives one shard under one persistence discipline. It is
+// thread-private (one Writer per simulated thread, over that thread's
+// shard) and holds the discipline's region cadence:
+//
+//	base — plain stores, no regions;
+//	lp   — one region per BatchK puts, journal words folded into the
+//	       region checksum, data stores plain (lazy);
+//	ep   — one region per put (flush+fence+marker via ep.Recompute);
+//	wal  — one durable transaction per put (ep.WAL).
+type Writer struct {
+	Sh   *Shard
+	mode Mode
+
+	mut lp.ThreadStrategy // slot-store interceptor (base/ep/wal TS)
+	jr  lp.ThreadStrategy // LP: journal folding TS (lpTS over Ack)
+
+	seq     int // puts issued (journal cursor; ep/wal region key)
+	inBatch int // puts in the open LP batch
+	batch   int // current LP batch index
+
+	// Host-side op counters for reporting.
+	Reads, Puts, Inserts uint64
+}
+
+// NewWriter wires a writer for base/EP/WAL: mut is the per-thread
+// strategy instance supplied by the caller (lp.Base{}.Thread(tid),
+// ep.Recompute.Thread(tid), or ep.WAL.Thread(tid)).
+func (sh *Shard) NewWriter(mode Mode, mut lp.ThreadStrategy) *Writer {
+	if mode == ModeLP {
+		panic("lpstore: use NewLPWriter for ModeLP")
+	}
+	return &Writer{Sh: sh, mode: mode, mut: mut}
+}
+
+// NewLPWriter wires the LP writer over the shard's own acknowledgment
+// table. The shard has a single writer thread, so the LP strategy is
+// built with one thread and no state is shared.
+func (sh *Shard) NewLPWriter() *Writer {
+	if sh.Ack == nil {
+		panic("lpstore: shard was not built with NewShardLP")
+	}
+	return &Writer{
+		Sh:   sh,
+		mode: ModeLP,
+		mut:  lp.Base{}.Thread(0), // data stores stay lazy under LP
+		jr:   lp.NewLP(sh.Ack, sh.kind, 1).Thread(0),
+	}
+}
+
+// Mode returns the writer's discipline.
+func (w *Writer) Mode() Mode { return w.mode }
+
+// Get reads k. Reads are plain loads under every discipline.
+func (w *Writer) Get(c pmem.Ctx, k uint64) (uint64, bool) {
+	w.Reads++
+	return w.Sh.Tab.Get(c, k)
+}
+
+// Put inserts or updates k under the writer's discipline.
+func (w *Writer) Put(c pmem.Ctx, k, v uint64) {
+	w.Puts++
+	switch w.mode {
+	case ModeBase:
+		if w.Sh.Tab.Put(c, w.mut, k, v) {
+			w.Inserts++
+		}
+	case ModeEP, ModeWAL:
+		// One region — one flush+fence(+marker) sequence or one durable
+		// transaction — per mutation, keyed by the put sequence number.
+		w.mut.Begin(c, w.seq)
+		if w.Sh.Tab.Put(c, w.mut, k, v) {
+			w.Inserts++
+		}
+		w.mut.End(c)
+		w.seq++
+	case ModeLP:
+		if w.seq >= w.Sh.MaxOps {
+			panic("lpstore: LP journal capacity exceeded")
+		}
+		if w.inBatch == 0 {
+			w.jr.Begin(c, w.batch)
+		}
+		// Journal first (the record that makes the op replayable), then
+		// the table mutation; both are plain lazy stores — only the
+		// journal words fold into the batch checksum, because table
+		// slots are routinely overwritten by later batches and their
+		// post-hoc checksums would not be verifiable.
+		w.jr.Store64(c, w.Sh.Jrn.Addr(2*w.seq), k)
+		w.jr.Store64(c, w.Sh.Jrn.Addr(2*w.seq+1), v)
+		if w.Sh.Tab.Put(c, w.mut, k, v) {
+			w.Inserts++
+		}
+		w.seq++
+		w.inBatch++
+		if w.inBatch == w.Sh.BatchK {
+			w.jr.End(c)
+			w.batch++
+			w.inBatch = 0
+		}
+	}
+}
+
+// Seal closes an open partial LP batch at the end of a run, lazily
+// committing its checksum so the tail ops become acknowledgeable. A
+// no-op under the other disciplines (they acknowledge per put).
+func (w *Writer) Seal(c pmem.Ctx) {
+	if w.mode == ModeLP && w.inBatch > 0 {
+		w.jr.End(c)
+		w.batch++
+		w.inBatch = 0
+	}
+}

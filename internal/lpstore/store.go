@@ -1,0 +1,156 @@
+// Package lpstore is an LP-persisted concurrent key-value store: the
+// first workload class beyond the paper's loop-nest HPC kernels (§VII
+// names "other data structures" as the open direction).
+//
+// The store is a fixed-capacity open-addressing (linear-probe) hash
+// table whose slots live in pmem views over the simulated persistent
+// memory. A shared-nothing shard layer assigns one shard — one table,
+// one journal — to each simulated thread, with keys hash-partitioned by
+// the workload generator, so the store scales across the engine's 1–16
+// threads without locks (the same collision-free single-writer
+// discipline the paper uses for its checksum table, §III-D).
+//
+// Three interchangeable persistence disciplines share one mutation code
+// path (Store.Put issuing slot stores through an lp.ThreadStrategy):
+//
+//   - LP  — mutations are batched into LP regions of K puts; each put
+//     appends an op record to a per-shard journal with plain (lazy)
+//     stores, and the region end lazily commits a checksum over the
+//     batch's journal words into an lp.Table. No flush or fence is ever
+//     issued on the fast path. Recovery takes the longest journal
+//     prefix whose batch checksums verify as the durably-acknowledged
+//     op prefix, verifies the table against a replay of that prefix,
+//     and rebuilds the shard with Eager Persistency on any mismatch
+//     (see recovery.go for why repair is shard-wide).
+//   - EP  — flush+fence per mutation plus a durable per-thread progress
+//     marker (ep.Recompute), the EagerRecompute discipline.
+//   - WAL — one durable undo-logged transaction per mutation
+//     (ep.WAL), the paper's Figure 2 protocol.
+//
+// Base (no failure safety) runs the same code path with plain stores
+// and is the normalization denominator, exactly as in Figure 10.
+package lpstore
+
+import (
+	"fmt"
+
+	"lazyp/internal/lp"
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// Store is one shard's open-addressing hash table. Slot i occupies two
+// adjacent words — (key, value) — of a single pmem.U64 array, so every
+// mutation touches exactly one cache line (four slots per 64-byte
+// line): an EP put needs one clflushopt, and in the crash model a put's
+// key and value persist atomically (lines reach NVMM whole).
+//
+// Key 0 is the empty sentinel; callers must use nonzero keys (the
+// workload generator's key encoding guarantees this).
+type Store struct {
+	kv  pmem.U64 // 2*cap words: slot i = (key at 2i, value at 2i+1)
+	cap int      // slot count, a power of two
+}
+
+// NewStore allocates a table with at least the given capacity (rounded
+// up to a power of two), durably zeroed (all slots empty).
+func NewStore(m *memsim.Memory, name string, capacity int) *Store {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	s := &Store{kv: pmem.AllocU64(m, name, 2*c), cap: c}
+	s.kv.Fill(m, 0)
+	return s
+}
+
+// Cap returns the slot capacity.
+func (s *Store) Cap() int { return s.cap }
+
+// KeyAddr returns the persistent address of slot i's key word.
+func (s *Store) KeyAddr(i int) memsim.Addr { return s.kv.Addr(2 * i) }
+
+// ValAddr returns the persistent address of slot i's value word.
+func (s *Store) ValAddr(i int) memsim.Addr { return s.kv.Addr(2*i + 1) }
+
+// mix64 is the splitmix64 finalizer, used as the slot hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// probe walks the linear-probe chain for k through c and returns the
+// slot holding k (found=true) or the first empty slot (found=false).
+// It panics if the table is full and k is absent — fixed-capacity
+// stores must be sized for their workload.
+func (s *Store) probe(c pmem.Ctx, k uint64) (slot int, found bool) {
+	if k == 0 {
+		panic("lpstore: key 0 is the empty sentinel")
+	}
+	c.Compute(6) // hash + masking
+	i := int(mix64(k)) & (s.cap - 1)
+	for n := 0; n < s.cap; n++ {
+		got := c.Load64(s.KeyAddr(i))
+		c.Compute(2) // compare + branch
+		if got == k {
+			return i, true
+		}
+		if got == 0 {
+			return i, false
+		}
+		i = (i + 1) & (s.cap - 1)
+	}
+	panic(fmt.Sprintf("lpstore: table full (cap %d) while probing key %#x", s.cap, k))
+}
+
+// Get returns the value stored under k.
+func (s *Store) Get(c pmem.Ctx, k uint64) (uint64, bool) {
+	i, ok := s.probe(c, k)
+	if !ok {
+		return 0, false
+	}
+	return c.Load64(s.ValAddr(i)), true
+}
+
+// Put inserts or updates k through ts, the persistence discipline's
+// store interceptor. The caller owns region boundaries (Begin/End on
+// ts); Put only issues the slot stores. It reports whether the put
+// inserted a new key.
+func (s *Store) Put(c pmem.Ctx, ts lp.ThreadStrategy, k, v uint64) (inserted bool) {
+	i, ok := s.probe(c, k)
+	if !ok {
+		ts.Store64(c, s.KeyAddr(i), k)
+	}
+	ts.Store64(c, s.ValAddr(i), v)
+	return !ok
+}
+
+// Contents returns the architectural key→value contents. After
+// Memory.Crash the architectural image equals the durable one, so the
+// same call reads the post-crash NVMM state.
+func (s *Store) Contents(m *memsim.Memory) map[uint64]uint64 {
+	words := s.kv.Snapshot(m)
+	out := make(map[uint64]uint64)
+	for i := 0; i < s.cap; i++ {
+		if k := words[2*i]; k != 0 {
+			out[k] = words[2*i+1]
+		}
+	}
+	return out
+}
+
+// Occupied returns the architectural number of occupied slots.
+func (s *Store) Occupied(m *memsim.Memory) int {
+	words := s.kv.Snapshot(m)
+	n := 0
+	for i := 0; i < s.cap; i++ {
+		if words[2*i] != 0 {
+			n++
+		}
+	}
+	return n
+}

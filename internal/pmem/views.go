@@ -121,6 +121,15 @@ func (v U64) Load(c Ctx, i int) uint64 { return c.Load64(v.Addr(i)) }
 // Store writes word i through ctx.
 func (v U64) Store(c Ctx, i int, x uint64) { c.Store64(v.Addr(i), x) }
 
+// Snapshot copies the architectural contents into a Go slice.
+func (v U64) Snapshot(m *memsim.Memory) []uint64 {
+	out := make([]uint64, v.N)
+	for i := range out {
+		out[i] = m.Load64(v.Addr(i))
+	}
+	return out
+}
+
 // Fill initializes every word to x directly (architectural + durable).
 func (v U64) Fill(m *memsim.Memory, x uint64) {
 	for i := 0; i < v.N; i++ {

@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+)
+
+// Request-driven (YCSB-style) workload generation for the KV store
+// (internal/lpstore): seeded splitmix64 PRNG, zipfian or uniform key
+// popularity, and read/update/insert mixes modeled on YCSB workloads
+// A/B/C. Streams are deterministic functions of (seed, tid), so runs
+// are byte-reproducible and crash recovery can regenerate the exact op
+// stream a thread executed.
+//
+// Keys are hash-partitioned by construction: KVKey embeds the owning
+// thread id, every thread draws only from its own partition, and each
+// thread drives its own shard — the shared-nothing layout lpstore's
+// shard layer expects.
+
+// KVOpKind is the request type.
+type KVOpKind uint8
+
+// The three request kinds of the A/B/C mixes.
+const (
+	KVRead KVOpKind = iota
+	KVUpdate
+	KVInsert
+)
+
+// KVOp is one generated request. Key is always nonzero; Val is
+// meaningful for updates and inserts.
+type KVOp struct {
+	Kind KVOpKind
+	Key  uint64
+	Val  uint64
+}
+
+// KVMix is a read/update/insert percentage mix (summing to 100).
+type KVMix struct {
+	Name   string
+	Read   int
+	Update int
+	Insert int
+}
+
+// KVMixes returns the supported mixes: YCSB-A (update-heavy), YCSB-B
+// (read-mostly), YCSB-C (read-only), and an insert-bearing "d" used to
+// exercise insertion paths.
+func KVMixes() []KVMix {
+	return []KVMix{
+		{Name: "a", Read: 50, Update: 50},
+		{Name: "b", Read: 95, Update: 5},
+		{Name: "c", Read: 100},
+		{Name: "d", Read: 85, Update: 10, Insert: 5},
+	}
+}
+
+// KVMixByName looks a mix up by name.
+func KVMixByName(name string) (KVMix, bool) {
+	for _, m := range KVMixes() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return KVMix{}, false
+}
+
+// KVKey encodes key idx of thread tid's partition. Nonzero for all
+// tid, idx ≥ 0 (key 0 is lpstore's empty-slot sentinel).
+func KVKey(tid, idx int) uint64 {
+	return uint64(tid+1)<<40 | uint64(idx+1)
+}
+
+// KVInitVal is the deterministic preload value for a key.
+func KVInitVal(seed, key uint64) uint64 {
+	return splitmix(seed ^ 0xa5a5a5a5a5a5a5a5 ^ key)
+}
+
+// splitmix is the splitmix64 output function.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// KVGen generates one thread's request stream.
+type KVGen struct {
+	state   uint64
+	mix     KVMix
+	tid     int
+	preload int
+	ins     int // inserts issued so far
+	zipf    *zipfGen
+}
+
+// NewKVGen builds the generator for thread tid over a preloaded
+// per-thread keyspace of `preload` keys. dist is "zipfian" (YCSB's
+// default, θ=0.99, scrambled) or "uniform".
+func NewKVGen(seed uint64, tid, preload int, mix KVMix, dist string) *KVGen {
+	g := &KVGen{
+		state:   splitmix(seed) ^ splitmix(uint64(tid)*0x9e3779b97f4a7c15+1),
+		mix:     mix,
+		tid:     tid,
+		preload: preload,
+	}
+	switch dist {
+	case "zipfian":
+		g.zipf = newZipf(preload, 0.99)
+	case "uniform":
+	default:
+		panic(fmt.Sprintf("workloads: unknown key distribution %q", dist))
+	}
+	return g
+}
+
+// next returns the next raw PRNG word.
+func (g *KVGen) next() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	x := g.state
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pick draws a key index from the popularity distribution over the
+// preloaded keyspace. Zipfian ranks are scrambled (hashed mod n) so the
+// hot keys spread over the key range, as in YCSB's ScrambledZipfian.
+func (g *KVGen) pick() int {
+	r := g.next()
+	if g.zipf == nil {
+		return int(r % uint64(g.preload))
+	}
+	rank := g.zipf.rank(float64(r>>11) / float64(1<<53))
+	return int(splitmix(uint64(rank)) % uint64(g.preload))
+}
+
+// Next generates the next request in the stream.
+func (g *KVGen) Next() KVOp {
+	p := int(g.next() % 100)
+	switch {
+	case p < g.mix.Read:
+		return KVOp{Kind: KVRead, Key: KVKey(g.tid, g.pick())}
+	case p < g.mix.Read+g.mix.Update:
+		return KVOp{Kind: KVUpdate, Key: KVKey(g.tid, g.pick()), Val: g.next()}
+	default:
+		idx := g.preload + g.ins
+		g.ins++
+		return KVOp{Kind: KVInsert, Key: KVKey(g.tid, idx), Val: g.next()}
+	}
+}
+
+// zipfGen is the bounded zipfian generator of Gray et al. ("Quickly
+// generating billion-record synthetic databases", SIGMOD '94), the
+// algorithm YCSB uses: O(n) precomputation of the zeta sum, O(1) per
+// draw.
+type zipfGen struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta
+}
+
+func newZipf(n int, theta float64) *zipfGen {
+	if n < 1 {
+		panic("workloads: zipf over empty keyspace")
+	}
+	z := &zipfGen{n: n, theta: theta}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z.half = math.Pow(0.5, theta)
+	zeta2 := 1 + z.half
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// rank maps a uniform u ∈ [0,1) to a zipf-distributed rank in [0, n):
+// rank 0 is the most popular item.
+func (z *zipfGen) rank(u float64) int {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}

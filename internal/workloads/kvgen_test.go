@@ -1,0 +1,136 @@
+package workloads
+
+import "testing"
+
+func TestKVGenDeterminism(t *testing.T) {
+	mix, _ := KVMixByName("a")
+	for _, dist := range []string{"zipfian", "uniform"} {
+		a := NewKVGen(7, 3, 128, mix, dist)
+		b := NewKVGen(7, 3, 128, mix, dist)
+		for i := 0; i < 2000; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%s: streams diverge at op %d", dist, i)
+			}
+		}
+	}
+}
+
+func TestKVGenSeedsVary(t *testing.T) {
+	mix, _ := KVMixByName("a")
+	a := NewKVGen(7, 0, 128, mix, "uniform")
+	b := NewKVGen(8, 0, 128, mix, "uniform")
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("different seeds produced %d/200 identical ops", same)
+	}
+}
+
+func TestKVGenMixProportions(t *testing.T) {
+	for _, mix := range KVMixes() {
+		g := NewKVGen(1, 0, 1024, mix, "zipfian")
+		const n = 20000
+		counts := map[KVOpKind]int{}
+		for i := 0; i < n; i++ {
+			counts[g.Next().Kind]++
+		}
+		check := func(kind KVOpKind, pct int) {
+			got := 100 * float64(counts[kind]) / n
+			if got < float64(pct)-2 || got > float64(pct)+2 {
+				t.Fatalf("mix %s: kind %d at %.1f%%, want ~%d%%", mix.Name, kind, got, pct)
+			}
+		}
+		check(KVRead, mix.Read)
+		check(KVUpdate, mix.Update)
+		check(KVInsert, mix.Insert)
+	}
+}
+
+func TestKVGenPartitionAndSentinel(t *testing.T) {
+	mix, _ := KVMixByName("d")
+	seen := map[uint64]int{}
+	for tid := 0; tid < 4; tid++ {
+		g := NewKVGen(5, tid, 64, mix, "zipfian")
+		for i := 0; i < 1000; i++ {
+			op := g.Next()
+			if op.Key == 0 {
+				t.Fatal("generated the empty-slot sentinel key")
+			}
+			if prev, ok := seen[op.Key]; ok && prev != tid {
+				t.Fatalf("key %#x drawn by threads %d and %d", op.Key, prev, tid)
+			}
+			seen[op.Key] = tid
+		}
+	}
+}
+
+func TestKVGenInsertsAreFresh(t *testing.T) {
+	mix, _ := KVMixByName("d")
+	g := NewKVGen(9, 0, 64, mix, "uniform")
+	inserted := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind != KVInsert {
+			continue
+		}
+		if op.Key <= KVKey(0, 63) {
+			t.Fatalf("insert reused preloaded key %#x", op.Key)
+		}
+		if inserted[op.Key] {
+			t.Fatalf("insert reused key %#x", op.Key)
+		}
+		inserted[op.Key] = true
+	}
+	if len(inserted) == 0 {
+		t.Fatal("mix d produced no inserts")
+	}
+}
+
+// TestKVGenZipfSkew: under the scrambled zipfian the hottest key must
+// be drawn far more often than the uniform expectation.
+func TestKVGenZipfSkew(t *testing.T) {
+	mix, _ := KVMixByName("c") // read-only: every op draws from the distribution
+	const n, ops = 1024, 50000
+	counts := map[uint64]int{}
+	g := NewKVGen(2, 0, n, mix, "zipfian")
+	for i := 0; i < ops; i++ {
+		counts[g.Next().Key]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	uniform := float64(ops) / n
+	if float64(maxCount) < 10*uniform {
+		t.Fatalf("hottest key drawn %d times; want >> uniform expectation %.0f", maxCount, uniform)
+	}
+}
+
+func TestKVGenUnknownDistPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown distribution should panic")
+		}
+	}()
+	NewKVGen(1, 0, 16, KVMix{Name: "a", Read: 100}, "latest")
+}
+
+func TestKVMixByName(t *testing.T) {
+	if _, ok := KVMixByName("a"); !ok {
+		t.Fatal("mix a missing")
+	}
+	if _, ok := KVMixByName("zz"); ok {
+		t.Fatal("unknown mix found")
+	}
+	for _, m := range KVMixes() {
+		if m.Read+m.Update+m.Insert != 100 {
+			t.Fatalf("mix %s percentages sum to %d", m.Name, m.Read+m.Update+m.Insert)
+		}
+	}
+}
