@@ -310,20 +310,24 @@ func BenchmarkAblationWALGranularity(b *testing.B) {
 
 // BenchmarkKV runs the YCSB-style KV store under each persistence
 // discipline — the `kv` experiment's core comparison (base/LP/EP/WAL
-// on mix A) at a bench-friendly size.
+// on mix A) with all 8 simulated threads and a request phase large
+// enough that simulation, not native setup, dominates wall-clock.
 func BenchmarkKV(b *testing.B) {
 	for _, v := range []harness.Variant{
 		harness.VariantBase, harness.VariantLP, harness.VariantEP, harness.VariantWAL,
 	} {
 		b.Run(string(v), func(b *testing.B) {
 			spec := harness.KVSpec{
-				Variant: v, Mix: "a", Threads: 4,
-				Preload: 512, Ops: 1024, Seed: 1,
+				Variant: v, Mix: "a", Threads: 8,
+				Preload: 512, Ops: 4096, Seed: 1,
 			}
 			var cycles int64
 			var writes uint64
 			for i := 0; i < b.N; i++ {
-				res := harness.NewKVSession(spec).Execute()
+				b.StopTimer() // session setup: native preload, no simulation
+				ses := harness.NewKVSession(spec)
+				b.StartTimer()
+				res := ses.Execute()
 				if res.Crashed {
 					b.Fatal("unexpected crash")
 				}
@@ -387,6 +391,60 @@ func BenchmarkRunnerMemoized(b *testing.B) {
 		}
 	}
 }
+
+// --- Scheduler benchmarks ----------------------------------------------
+
+// engineSession is the scheduler-stress session behind BenchmarkEngine*:
+// every thread interleaves loads, stores, and compute over a small
+// per-thread working set (mostly cache-resident, so per-access memsim
+// work is cheap), with frequent flush+fence episodes — the op mix of an
+// eager-persistency kernel, whose fence stalls jump the clock and force
+// a yield — and a barrier every 1024 iterations. Wall-clock here is
+// dominated by the engine's per-quantum cost (grant handoffs and
+// scheduling decisions), which is what the direct-handoff scheduler
+// targets; BenchmarkKV covers the memory-bound profile.
+func engineSession(mem *memsim.Memory, threads, iters int) {
+	base := mem.Alloc("d", 256<<10)
+	eng := sim.New(sim.DefaultConfig(threads), mem)
+	bar := eng.NewBarrier()
+	eng.Run(func(t *sim.Thread) {
+		off := memsim.Addr(t.ThreadID() * 16 << 10)
+		for i := 0; i < iters; i++ {
+			a := base + off + memsim.Addr((i*712)%(16<<10)&^7)
+			t.Load64(a)
+			t.Store64(a, uint64(i))
+			t.Compute(8)
+			if i%16 == 15 {
+				t.Flush(a)
+				t.Fence()
+			}
+			if i%1024 == 1023 {
+				t.BarrierWait(bar)
+			}
+		}
+	})
+}
+
+func benchEngine(b *testing.B, threads int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer() // memory allocation + zeroing is not engine work
+		mem := memsim.NewMemory(1 << 20)
+		b.StartTimer()
+		engineSession(mem, threads, 20000)
+	}
+}
+
+// BenchmarkEngine1T..8T measure one scheduler-stress session per
+// iteration at fixed per-thread work; compare each size against its
+// pre-PR number (EXPERIMENTS.md "Scheduler v2") rather than across
+// sizes.
+func BenchmarkEngine1T(b *testing.B) { benchEngine(b, 1) }
+
+func BenchmarkEngine2T(b *testing.B) { benchEngine(b, 2) }
+
+func BenchmarkEngine4T(b *testing.B) { benchEngine(b, 4) }
+
+func BenchmarkEngine8T(b *testing.B) { benchEngine(b, 8) }
 
 // --- Simulator self-benchmark ------------------------------------------
 

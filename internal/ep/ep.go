@@ -44,19 +44,42 @@ func PersistValue(c pmem.Ctx, a memsim.Addr, v uint64) {
 // LineSet deduplicates the cache lines written by a region so each line
 // is flushed once per region end, matching how the paper's tile size is
 // chosen "so that one stride is persisted using only one clflushopt".
+// Small regions — a KV put writes one or two lines — dedup by scanning
+// the order slice; the map only materializes once a region outgrows the
+// scan threshold (kernel regions with hundreds of lines) and is then
+// kept across Resets.
 type LineSet struct {
-	seen  map[memsim.Addr]struct{}
+	seen  map[memsim.Addr]struct{} // nil while the linear scan suffices
 	order []memsim.Addr
 }
 
+// lineSetScanMax is the set size beyond which Add switches from the
+// linear scan to the map.
+const lineSetScanMax = 16
+
 // NewLineSet returns an empty set.
 func NewLineSet() *LineSet {
-	return &LineSet{seen: make(map[memsim.Addr]struct{}, 64)}
+	return &LineSet{}
 }
 
 // Add records the line containing a. It returns true on first sight.
 func (s *LineSet) Add(a memsim.Addr) bool {
 	la := memsim.LineOf(a)
+	if s.seen == nil {
+		for _, x := range s.order {
+			if x == la {
+				return false
+			}
+		}
+		s.order = append(s.order, la)
+		if len(s.order) > lineSetScanMax {
+			s.seen = make(map[memsim.Addr]struct{}, 2*lineSetScanMax)
+			for _, x := range s.order {
+				s.seen[x] = struct{}{}
+			}
+		}
+		return true
+	}
 	if _, ok := s.seen[la]; ok {
 		return false
 	}
@@ -70,7 +93,9 @@ func (s *LineSet) Lines() []memsim.Addr { return s.order }
 
 // Reset empties the set, retaining capacity.
 func (s *LineSet) Reset() {
-	clear(s.seen)
+	if s.seen != nil {
+		clear(s.seen)
+	}
 	s.order = s.order[:0]
 }
 

@@ -1,17 +1,53 @@
 package harness
 
-import "time"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"time"
+
+	"lazyp/internal/sim"
+)
 
 // BenchRecord is one machine-readable benchmark measurement, the unit
-// of the BENCH_*.json perf trajectory tracked across PRs.
+// of the BENCH_*.json perf trajectory tracked across PRs. SpecKey is
+// the canonical spec (every default applied) serialized as JSON — the
+// run's stable identity across engine rewrites — and SimHash is the
+// short hash of the resolved simulator configuration it embeds, so a
+// config drift between two BENCH files is visible without diffing
+// keys. Cycles/NVMM counters are simulated (deterministic); WallNs is
+// host wall-clock and machine-dependent.
 type BenchRecord struct {
 	Workload   string  `json:"workload"`
 	Variant    string  `json:"variant"`
+	SpecKey    string  `json:"spec"`
+	SimHash    string  `json:"sim_hash"`
 	Cycles     int64   `json:"cycles"`
 	NVMMWrites uint64  `json:"nvmm_writes"`
 	NVMMReads  uint64  `json:"nvmm_reads"`
 	WallMs     float64 `json:"wall_ms"`
+	WallNs     int64   `json:"wall_ns"`
 	CacheHit   bool    `json:"cache_hit"`
+}
+
+// Key returns the spec's canonical JSON serialization.
+func (s Spec) Key() string {
+	b, err := json.Marshal(s.Canonical())
+	if err != nil {
+		panic(err) // Spec is a plain data struct; cannot fail
+	}
+	return string(b)
+}
+
+// ConfigHash returns a short hex SHA-256 of the resolved simulator
+// configuration's JSON form.
+func ConfigHash(cfg sim.Config) string {
+	b, err := json.Marshal(cfg.WithDefaults())
+	if err != nil {
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
 }
 
 // BenchMatrix lists the standard benchmark configurations: every
@@ -38,10 +74,13 @@ func RunBenchMatrix(o Options) ([]BenchRecord, error) {
 		records[i] = BenchRecord{
 			Workload:   specs[i].Workload,
 			Variant:    string(specs[i].Variant),
+			SpecKey:    specs[i].Key(),
+			SimHash:    ConfigHash(specs[i].Canonical().Sim),
 			Cycles:     res.Cycles,
 			NVMMWrites: res.Writes,
 			NVMMReads:  res.Reads,
 			WallMs:     float64(wall.Microseconds()) / 1000,
+			WallNs:     wall.Nanoseconds(),
 			CacheHit:   hit,
 		}
 	}

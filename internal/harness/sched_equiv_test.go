@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The scheduler-equivalence golden below was captured from the pre-PR
+// central-scheduler engine (commit 1cc4519) with
+//
+//	go test ./internal/harness -run SchedulerEquivalence -update-sched-golden
+//
+// and must never be regenerated alongside an engine change: it is the
+// proof that the direct-handoff scheduler reproduces the old engine's
+// interleavings exactly — same cycles, same NVMM traffic, same hazard
+// and operation counters — for kernel (fig10-class), barrier-heavy
+// (cholesky), and request-driven (kv-class) sessions at 2, 4, and 8
+// threads.
+var updateSchedGolden = flag.Bool("update-sched-golden", false,
+	"rewrite testdata/sched_golden.txt from the current engine (pre-PR capture only)")
+
+const schedGoldenPath = "testdata/sched_golden.txt"
+
+// dumpResult renders every deterministic field of a Result; the text is
+// what the golden file stores, so any scheduler-visible drift (one
+// reordered coherence event is enough to move cycle counts) fails the
+// byte comparison.
+func dumpResult(key string, r Result) string {
+	return fmt.Sprintf("%s cycles=%d writes=%d evict=%d flush=%d clean=%d reads=%d "+
+		"haz={mshr=%d burst=%d rob=%d wq=%d sq=%d wbt=%d fst=%d fcy=%d stall=%d} "+
+		"ops={l=%d s=%d f=%d fe=%d i=%d}\n",
+		key, r.Cycles, r.Writes, r.EvictW, r.FlushW, r.CleanW, r.Reads,
+		r.Haz.MSHRFull, r.Haz.IssueBurst, r.Haz.ROBStall, r.Haz.WriteQFull,
+		r.Haz.StoreQFull, r.Haz.WBThrottle, r.Haz.FenceStalls, r.Haz.FenceCycles,
+		r.Haz.StallCycles,
+		r.Ops.Loads, r.Ops.Stores, r.Ops.Flushes, r.Ops.Fences, r.Ops.Instrs)
+}
+
+// schedEquivDump runs the equivalence matrix and returns its rendering.
+func schedEquivDump() string {
+	var sb strings.Builder
+	variants := []Variant{VariantBase, VariantLP, VariantEP, VariantWAL}
+	for _, threads := range []int{2, 4, 8} {
+		for _, v := range variants {
+			spec := Spec{Workload: "tmm", Variant: v, N: 64, Tile: 16,
+				Threads: threads, WindowOuter: 2}
+			key := fmt.Sprintf("tmm/%s/t=%d", v, threads)
+			sb.WriteString(dumpResult(key, NewSession(spec).Execute()))
+		}
+		// Barrier-heavy class: cholesky synchronizes every column, so
+		// barrier handoff and release ordering are on the hot path.
+		for _, v := range []Variant{VariantBase, VariantLP} {
+			spec := Spec{Workload: "cholesky", Variant: v, N: 64, Threads: threads}
+			key := fmt.Sprintf("cholesky/%s/t=%d", v, threads)
+			sb.WriteString(dumpResult(key, NewSession(spec).Execute()))
+		}
+		for _, v := range variants {
+			spec := KVSpec{Variant: v, Mix: "a", Threads: threads,
+				Preload: 256, Ops: 512, Seed: 1}
+			key := fmt.Sprintf("kv/a/%s/t=%d", v, threads)
+			sb.WriteString(dumpResult(key, NewKVSession(spec).Execute()))
+		}
+	}
+	return sb.String()
+}
+
+// TestSchedulerEquivalence asserts the engine reproduces, byte for
+// byte, the session metrics golden captured from the pre-direct-handoff
+// scheduler. See the comment on updateSchedGolden.
+func TestSchedulerEquivalence(t *testing.T) {
+	got := schedEquivDump()
+	if *updateSchedGolden {
+		if err := os.MkdirAll(filepath.Dir(schedGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(schedGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", schedGoldenPath)
+		return
+	}
+	want, err := os.ReadFile(schedGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (capture it on the pre-PR engine first): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := range gotLines {
+			if i >= len(wantLines) || gotLines[i] != wantLines[i] {
+				w := "<missing>"
+				if i < len(wantLines) {
+					w = wantLines[i]
+				}
+				t.Fatalf("scheduler output diverged from pre-PR golden at line %d:\n got: %s\nwant: %s", i+1, gotLines[i], w)
+			}
+		}
+		t.Fatal("scheduler output diverged from pre-PR golden (length mismatch)")
+	}
+}

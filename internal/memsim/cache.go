@@ -12,12 +12,11 @@ const (
 )
 
 // cacheLine is the metadata for one line frame. The data itself lives in
-// Memory's architectural backing array. Field order packs the struct
-// into 32 bytes so a whole 8-way set spans four host cache lines — the
-// lookup scan over a set is the simulator's hottest loop.
+// Memory's architectural backing array, and the frame's identity — which
+// line it holds, if any — lives in the cache's separate tags array, so
+// this struct carries only replacement and coherence state.
 type cacheLine struct {
-	lineAddr Addr   // line-aligned address; meaningful when state != invalid
-	lru      uint64 // larger = more recently used
+	lru uint64 // larger = more recently used
 
 	// dirtySince is the cycle the line last became dirty anywhere in
 	// the hierarchy (an L2/directory field, like sharers/dirtyOwner;
@@ -28,14 +27,50 @@ type cacheLine struct {
 	dirtyOwner int8 // core holding the line Modified in its L1, or -1
 }
 
+// setMemo is one set's lookup memo entry; see cache.memo.
+type setMemo struct {
+	want Addr
+	idx  int32
+}
+
 // cache is a set-associative cache with true-LRU replacement. It stores
 // metadata only; see the package comment.
+//
+// Frames are addressed by index into two parallel arrays. tags[i] packs
+// frame i's identity and validity into one word: the line address with
+// bit 0 set (line addresses are LineSize-aligned, so the bit is free)
+// when the frame is valid, 0 when it is invalid. The lookup scan over a
+// set — the simulator's hottest loop — therefore touches 8 bytes per
+// way (one host cache line for a whole 8-way set) and needs a single
+// compare per way, instead of scanning the full frame metadata.
 type cache struct {
 	sets    int
 	ways    int
 	setMask Addr
-	lines   []cacheLine // sets*ways, frames of set s at [s*ways, (s+1)*ways)
-	tick    uint64
+	tags    []Addr      // sets*ways, frames of set s at [s*ways, (s+1)*ways)
+	lines   []cacheLine // parallel metadata for each frame in tags
+
+	// l2i, used only in L1 caches, memoizes the L2 frame index of each
+	// valid line. Inclusion makes it stable: an L2 frame is never reused
+	// without first recalling (invalidating) every L1 copy, so while an
+	// L1 frame stays valid its line sits at the same L2 index. This
+	// turns the L2 set scan on every S→M upgrade and every L1 eviction
+	// into a direct index.
+	l2i []int32
+
+	// memo holds each set's most recent lookup hit (want is the la|1
+	// tag, 0 when empty). Back-to-back accesses to one line — a load
+	// followed by its store, the eight words of a streamed line — are
+	// the common case on the L1, and the memo answers them without
+	// rescanning the set; keeping one entry per set means kernels
+	// interleaving several streams (A[i], B[i], C[i]...) each keep
+	// their own memo instead of thrashing a shared one.
+	// setTag/invalidate/reset drop the memo entry when they touch the
+	// memoized frame, so a non-zero memo[s].want always equals
+	// tags[memo[s].idx].
+	memo []setMemo
+
+	tick uint64
 }
 
 // newCache builds a cache of the given total size in bytes and
@@ -50,7 +85,10 @@ func newCache(size, ways int) *cache {
 		panic(fmt.Sprintf("memsim: cache set count %d is not a power of two (size=%d ways=%d)", sets, size, ways))
 	}
 	c := &cache{sets: sets, ways: ways, setMask: Addr(sets - 1)}
+	c.tags = make([]Addr, sets*ways)
 	c.lines = make([]cacheLine, sets*ways)
+	c.l2i = make([]int32, sets*ways)
+	c.memo = make([]setMemo, sets)
 	for i := range c.lines {
 		c.lines[i].dirtyOwner = -1
 	}
@@ -62,55 +100,134 @@ func (c *cache) setOf(la Addr) int {
 	return int((la >> LineShift) & c.setMask)
 }
 
-// lookup returns the frame holding line la, or nil on miss.
-func (c *cache) lookup(la Addr) *cacheLine {
-	base := c.setOf(la) * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.state != stateInvalid && l.lineAddr == la {
-			return l
-		}
+// memoHit answers a lookup from the set's memo alone: the frame index
+// if la is the set's memoized line, else -1 (which only means "consult
+// lookup", not "miss"). Unlike lookup it is small enough to inline into
+// the hierarchy's access fast path.
+func (c *cache) memoHit(la Addr) int {
+	m := &c.memo[c.setOf(la)]
+	if la|1 == m.want {
+		return int(m.idx)
 	}
-	return nil
+	return -1
 }
 
-// touch marks l as most recently used.
-func (c *cache) touch(l *cacheLine) {
+// lookup returns the index of the frame holding line la, or -1 on miss.
+func (c *cache) lookup(la Addr) int {
+	want := la | 1
+	s := c.setOf(la)
+	m := &c.memo[s]
+	if want == m.want {
+		return int(m.idx)
+	}
+	for i, end := s*c.ways, (s+1)*c.ways; i < end; i++ {
+		if c.tags[i] == want {
+			m.want = want
+			m.idx = int32(i)
+			return i
+		}
+	}
+	return -1
+}
+
+// addrOf returns the line address held by valid frame i.
+func (c *cache) addrOf(i int) Addr { return c.tags[i] &^ 1 }
+
+// valid reports whether frame i holds a line.
+func (c *cache) valid(i int) bool { return c.tags[i] != 0 }
+
+// setTag marks frame i as holding line la.
+func (c *cache) setTag(i int, la Addr) {
+	if m := &c.memo[i/c.ways]; int32(i) == m.idx {
+		m.want = 0
+	}
+	c.tags[i] = la | 1
+}
+
+// invalidate frees frame i.
+func (c *cache) invalidate(i int) {
+	if m := &c.memo[i/c.ways]; int32(i) == m.idx {
+		m.want = 0
+	}
+	c.tags[i] = 0
+	c.lines[i].state = stateInvalid
+}
+
+// touch marks frame i as most recently used.
+func (c *cache) touch(i int) {
 	c.tick++
-	l.lru = c.tick
+	c.lines[i].lru = c.tick
 }
 
-// victim returns the frame to fill for line la: an invalid frame if one
-// exists, otherwise the least recently used frame of the set. The caller
-// must evict a valid victim before reusing the frame.
-func (c *cache) victim(la Addr) *cacheLine {
+// lookupOrVictim resolves line la in one scan of its set: on a hit it
+// returns the frame index and true; on a miss it returns victim's choice
+// for la — the first invalid frame, else the least recently used — and
+// false. It serves the L2 demand/prefetch path, where a miss is always
+// followed immediately by a fill, without paying two set scans.
+func (c *cache) lookupOrVictim(la Addr) (int, bool) {
 	base := c.setOf(la) * c.ways
-	var lruLine *cacheLine
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.state == stateInvalid {
-			return l
+	want := la | 1
+	tags := c.tags[base : base+c.ways]
+	inv := -1
+	lru := base
+	for i, t := range tags {
+		if t == want {
+			return base + i, true
 		}
-		if lruLine == nil || l.lru < lruLine.lru {
-			lruLine = l
+		if t == 0 {
+			if inv < 0 {
+				inv = base + i
+			}
+			continue
+		}
+		if c.lines[base+i].lru < c.lines[lru].lru {
+			lru = base + i
 		}
 	}
-	return lruLine
+	if inv >= 0 {
+		return inv, false
+	}
+	return lru, false
+}
+
+// victim returns the frame to fill for line la: the first invalid frame
+// of the set if one exists, otherwise the least recently used frame. The
+// caller must evict a valid victim before reusing the frame.
+func (c *cache) victim(la Addr) int {
+	base := c.setOf(la) * c.ways
+	tags := c.tags[base : base+c.ways]
+	lru := base
+	for i, t := range tags {
+		if t == 0 {
+			return base + i
+		}
+		if c.lines[base+i].lru < c.lines[lru].lru {
+			lru = base + i
+		}
+	}
+	return lru
 }
 
 // reset invalidates every frame (used after a crash).
 func (c *cache) reset() {
+	for s := range c.memo {
+		c.memo[s] = setMemo{}
+	}
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
 	for i := range c.lines {
 		c.lines[i] = cacheLine{dirtyOwner: -1}
 	}
 	c.tick = 0
 }
 
-// forEachValid calls fn for every valid frame.
-func (c *cache) forEachValid(fn func(*cacheLine)) {
-	for i := range c.lines {
-		if c.lines[i].state != stateInvalid {
-			fn(&c.lines[i])
+// forEachValid calls fn for every valid frame with its index and the
+// line address it holds.
+func (c *cache) forEachValid(fn func(i int, la Addr, l *cacheLine)) {
+	for i, t := range c.tags {
+		if t != 0 {
+			fn(i, t&^1, &c.lines[i])
 		}
 	}
 }

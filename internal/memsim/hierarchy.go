@@ -126,19 +126,22 @@ func (h *Hierarchy) prefetch(core int, la Addr, now int64) {
 				if int(pa)+LineSize > h.mem.Size() {
 					break
 				}
-				if h.l2.lookup(pa) != nil {
+				pi, hit := h.l2.lookupOrVictim(pa)
+				if hit {
 					continue
 				}
 				h.mem.FetchLine(pa)
 				h.st.Prefetches++
-				h.fillL2(pa, now)
+				h.fillL2(pi, pa, now)
 			}
 			return
 		}
 	}
 	// New stream head.
 	tbl[h.nextRep[core]] = la
-	h.nextRep[core] = (h.nextRep[core] + 1) % len(tbl)
+	if h.nextRep[core]++; h.nextRep[core] == len(tbl) {
+		h.nextRep[core] = 0
+	}
 }
 
 // Config returns the hierarchy's configuration.
@@ -164,31 +167,48 @@ func (h *Hierarchy) Reset() {
 // access hit. Stores follow write-back/write-allocate: the line is
 // brought into the core's L1 in Modified state; dirty data reaches NVMM
 // only via eviction, flush, or cleanup.
+//
+// The body is just the L1 probe — the dominant outcome on every
+// workload. The set memo (inlined) answers repeat accesses to the
+// thread's current line with no call at all; the set scan and
+// everything past an L1 hit live out of line.
 func (h *Hierarchy) Access(core int, a Addr, write bool, now int64) AccessKind {
 	la := LineOf(a)
 	l1 := h.l1[core]
-
-	if l := l1.lookup(la); l != nil {
-		l1.touch(l)
-		h.st.L1Hits++
-		if write && l.state != stateModified {
-			h.upgrade(core, la, l, now)
+	i := l1.memoHit(la)
+	if i < 0 {
+		if i = l1.lookup(la); i < 0 {
+			return h.accessSlow(core, la, write, now)
 		}
-		return AccessL1
 	}
+	l1.tick++
+	l1.lines[i].lru = l1.tick
+	h.st.L1Hits++
+	if write && l1.lines[i].state != stateModified {
+		h.upgrade(core, la, l1, i, now)
+	}
+	return AccessL1
+}
 
-	// L1 miss → consult the shared L2 / directory.
+// accessSlow resolves an L1 miss: consult the shared L2 / directory,
+// fill from NVMM if needed, run coherence, train the prefetcher, and
+// install the line in the requesting L1.
+func (h *Hierarchy) accessSlow(core int, la Addr, write bool, now int64) AccessKind {
+	// One scan resolves hit-or-victim; a miss fills the victim frame in
+	// place.
 	h.st.L2Accesses++
-	l2l := h.l2.lookup(la)
+	l2i, hit := h.l2.lookupOrVictim(la)
 	kind := AccessL2
-	if l2l == nil {
+	var l2l *cacheLine
+	if !hit {
 		kind = AccessMem
 		h.st.L2Misses++
 		h.mem.FetchLine(la)
-		l2l = h.fillL2(la, now)
+		l2l = h.fillL2(l2i, la, now)
 	} else {
 		h.st.L2Hits++
-		h.l2.touch(l2l)
+		h.l2.touch(l2i)
+		l2l = &h.l2.lines[l2i]
 	}
 
 	// Coherence actions on the existing copies.
@@ -197,16 +217,17 @@ func (h *Hierarchy) Access(core int, a Addr, write bool, now int64) AccessKind {
 		// transfer (intervention). The line's dirtiness moves to the
 		// L2 level; dirtySince is preserved.
 		h.st.Interventions++
-		ol := h.l1[own].lookup(la)
-		if ol == nil {
+		oi := h.l1[own].lookup(la)
+		if oi < 0 {
 			panic("memsim: directory says Modified but owner L1 has no copy")
 		}
 		if write {
-			ol.state = stateInvalid
+			h.l1[own].invalidate(oi)
 			h.st.Invalidations++
 			l2l.sharers &^= 1 << uint(own)
 		} else {
-			ol.state = stateShared // downgraded; dirty data now tracked at L2
+			// Downgraded; dirty data now tracked at L2.
+			h.l1[own].lines[oi].state = stateShared
 		}
 		l2l.state = stateModified
 		l2l.dirtyOwner = -1
@@ -227,24 +248,26 @@ func (h *Hierarchy) Access(core int, a Addr, write bool, now int64) AccessKind {
 	h.prefetch(core, la, now)
 
 	// Install in the requesting L1.
-	h.installL1(core, la, write, now)
+	h.installL1(core, la, write, l2i)
 	return kind
 }
 
 // upgrade handles a store hitting a Shared line in the core's L1: the
 // directory invalidates every other sharer and records the new owner.
-func (h *Hierarchy) upgrade(core int, la Addr, l *cacheLine, now int64) {
-	l2l := h.l2.lookup(la)
-	if l2l == nil {
+// The L2 frame comes from the L1 frame's memoized index — no set scan.
+func (h *Hierarchy) upgrade(core int, la Addr, l1 *cache, i int, now int64) {
+	l2i := int(l1.l2i[i])
+	if h.l2.addrOf(l2i) != la {
 		panic("memsim: inclusion violation — L1 line missing from L2")
 	}
+	l2l := &h.l2.lines[l2i]
 	h.st.Upgrades++
 	h.invalidateSharers(la, l2l, core)
 	if l2l.state != stateModified && l2l.dirtyOwner < 0 {
 		l2l.dirtySince = now
 	}
 	l2l.dirtyOwner = int8(core)
-	l.state = stateModified
+	l1.lines[i].state = stateModified
 }
 
 // invalidateSharers removes every L1 copy of la except keep's.
@@ -255,12 +278,12 @@ func (h *Hierarchy) invalidateSharers(la Addr, l2l *cacheLine, keep int) {
 			if mask&(1<<uint(c)) == 0 {
 				continue
 			}
-			if ol := h.l1[c].lookup(la); ol != nil {
-				if ol.state == stateModified {
+			if oi := h.l1[c].lookup(la); oi >= 0 {
+				if h.l1[c].lines[oi].state == stateModified {
 					// Merge dirtiness into L2 before dropping.
 					l2l.state = stateModified
 				}
-				ol.state = stateInvalid
+				h.l1[c].invalidate(oi)
 				h.st.Invalidations++
 			}
 		}
@@ -272,72 +295,82 @@ func (h *Hierarchy) invalidateSharers(la Addr, l2l *cacheLine, keep int) {
 	}
 }
 
-// installL1 places la into core's L1, evicting the LRU victim if needed.
-func (h *Hierarchy) installL1(core int, la Addr, write bool, now int64) {
+// installL1 places la into core's L1, evicting the LRU victim if
+// needed, and memoizes la's L2 frame index l2i in the L1 frame.
+func (h *Hierarchy) installL1(core int, la Addr, write bool, l2i int) {
 	l1 := h.l1[core]
-	v := l1.victim(la)
-	if v.state != stateInvalid {
-		h.evictL1(core, v)
+	vi := l1.victim(la)
+	if l1.valid(vi) {
+		h.evictL1(core, vi)
 	}
-	v.lineAddr = la
-	v.state = stateShared
+	st := stateShared
 	if write {
-		v.state = stateModified
+		st = stateModified
 	}
-	l1.touch(v)
+	l1.lines[vi].state = st
+	l1.setTag(vi, la)
+	l1.l2i[vi] = int32(l2i)
+	l1.touch(vi)
 }
 
 // evictL1 silently drops a clean L1 line or merges a dirty one into L2.
-func (h *Hierarchy) evictL1(core int, v *cacheLine) {
-	l2l := h.l2.lookup(v.lineAddr)
-	if l2l == nil {
+// The L2 frame comes from the memoized index — no set scan.
+func (h *Hierarchy) evictL1(core, vi int) {
+	l1 := h.l1[core]
+	va := l1.addrOf(vi)
+	l2i := int(l1.l2i[vi])
+	if h.l2.addrOf(l2i) != va {
 		panic("memsim: inclusion violation — evicting L1 line missing from L2")
 	}
-	if v.state == stateModified {
+	l2l := &h.l2.lines[l2i]
+	if l1.lines[vi].state == stateModified {
 		l2l.state = stateModified
 	}
 	if l2l.dirtyOwner == int8(core) {
 		l2l.dirtyOwner = -1
 	}
 	l2l.sharers &^= 1 << uint(core)
-	v.state = stateInvalid
+	l1.invalidate(vi)
 }
 
-// fillL2 allocates an L2 frame for la, evicting (and if dirty, writing
-// back) the victim, honoring inclusion by recalling all L1 copies.
-func (h *Hierarchy) fillL2(la Addr, now int64) *cacheLine {
-	v := h.l2.victim(la)
-	if v.state != stateInvalid {
-		h.evictL2(v, now)
+// fillL2 installs la in the victim frame vi (chosen by lookupOrVictim),
+// evicting (and if dirty, writing back) the previous occupant, honoring
+// inclusion by recalling all L1 copies.
+func (h *Hierarchy) fillL2(vi int, la Addr, now int64) *cacheLine {
+	if h.l2.valid(vi) {
+		h.evictL2(vi, now)
 	}
-	*v = cacheLine{lineAddr: la, state: stateShared, dirtyOwner: -1}
-	h.l2.touch(v)
-	return v
+	h.l2.lines[vi] = cacheLine{state: stateShared, dirtyOwner: -1}
+	h.l2.setTag(vi, la)
+	h.l2.touch(vi)
+	return &h.l2.lines[vi]
 }
 
-// evictL2 removes a line from the whole hierarchy (inclusive), writing it
-// back to NVMM if it is dirty anywhere. This is the "natural eviction"
-// that Lazy Persistency rides on.
-func (h *Hierarchy) evictL2(v *cacheLine, now int64) {
+// evictL2 removes the line in frame vi from the whole hierarchy
+// (inclusive), writing it back to NVMM if it is dirty anywhere. This is
+// the "natural eviction" that Lazy Persistency rides on.
+func (h *Hierarchy) evictL2(vi int, now int64) {
+	v := &h.l2.lines[vi]
+	va := h.l2.addrOf(vi)
 	dirty := v.state == stateModified
 	for mask, c := v.sharers, 0; mask != 0; c++ {
 		if mask&(1<<uint(c)) == 0 {
 			continue
 		}
 		mask &^= 1 << uint(c)
-		if ol := h.l1[c].lookup(v.lineAddr); ol != nil {
-			if ol.state == stateModified {
+		if oi := h.l1[c].lookup(va); oi >= 0 {
+			if h.l1[c].lines[oi].state == stateModified {
 				dirty = true
 			}
-			ol.state = stateInvalid
+			h.l1[c].invalidate(oi)
 			h.st.Invalidations++
 		}
 	}
 	if dirty {
-		h.mem.WriteBackLine(v.lineAddr, CauseEvict)
+		h.mem.WriteBackLine(va, CauseEvict)
 		h.recordVdur(now - v.dirtySince)
 	}
-	v.state = stateInvalid
+	h.l2.invalidate(vi)
 	v.sharers = 0
 	v.dirtyOwner = -1
 }
@@ -348,22 +381,23 @@ func (h *Hierarchy) evictL2(v *cacheLine, now int64) {
 // or clean line performs no NVMM write.
 func (h *Hierarchy) Flush(core int, a Addr, now int64) bool {
 	la := LineOf(a)
-	l2l := h.l2.lookup(la)
-	if l2l == nil {
+	l2i := h.l2.lookup(la)
+	if l2i < 0 {
 		// Not cached at any level (inclusive hierarchy) — nothing to do.
 		return false
 	}
+	l2l := &h.l2.lines[l2i]
 	dirty := l2l.state == stateModified
 	for mask, c := l2l.sharers, 0; mask != 0; c++ {
 		if mask&(1<<uint(c)) == 0 {
 			continue
 		}
 		mask &^= 1 << uint(c)
-		if ol := h.l1[c].lookup(la); ol != nil {
-			if ol.state == stateModified {
+		if oi := h.l1[c].lookup(la); oi >= 0 {
+			if h.l1[c].lines[oi].state == stateModified {
 				dirty = true
 			}
-			ol.state = stateInvalid
+			h.l1[c].invalidate(oi)
 			h.st.Invalidations++
 		}
 	}
@@ -371,7 +405,7 @@ func (h *Hierarchy) Flush(core int, a Addr, now int64) bool {
 		h.mem.WriteBackLine(la, CauseFlush)
 		h.recordVdur(now - l2l.dirtySince)
 	}
-	l2l.state = stateInvalid
+	h.l2.invalidate(l2i)
 	l2l.sharers = 0
 	l2l.dirtyOwner = -1
 	return dirty
@@ -395,11 +429,11 @@ func (h *Hierarchy) CleanAll(now int64) int {
 // off the critical path, so no latency is charged.
 func (h *Hierarchy) CleanOlder(now, age int64) int {
 	n := 0
-	h.l2.forEachValid(func(l2l *cacheLine) {
+	h.l2.forEachValid(func(_ int, la Addr, l2l *cacheLine) {
 		dirty := l2l.state == stateModified
 		own := l2l.dirtyOwner
 		if own >= 0 {
-			if ol := h.l1[own].lookup(l2l.lineAddr); ol != nil && ol.state == stateModified {
+			if oi := h.l1[own].lookup(la); oi >= 0 && h.l1[own].lines[oi].state == stateModified {
 				dirty = true
 			}
 		}
@@ -407,12 +441,12 @@ func (h *Hierarchy) CleanOlder(now, age int64) int {
 			return
 		}
 		if own >= 0 {
-			if ol := h.l1[own].lookup(l2l.lineAddr); ol != nil && ol.state == stateModified {
-				ol.state = stateShared // keep resident, now clean
+			if oi := h.l1[own].lookup(la); oi >= 0 && h.l1[own].lines[oi].state == stateModified {
+				h.l1[own].lines[oi].state = stateShared // keep resident, now clean
 			}
 			l2l.dirtyOwner = -1
 		}
-		h.mem.WriteBackLine(l2l.lineAddr, CauseClean)
+		h.mem.WriteBackLine(la, CauseClean)
 		h.recordVdur(now - l2l.dirtySince)
 		l2l.state = stateShared
 		n++
@@ -427,22 +461,21 @@ func (h *Hierarchy) CleanOlder(now, age int64) int {
 // when countWrites is true.
 func (h *Hierarchy) DrainDirty(now int64, countWrites bool) int {
 	n := 0
-	h.l2.forEachValid(func(l2l *cacheLine) {
+	h.l2.forEachValid(func(_ int, la Addr, l2l *cacheLine) {
 		dirty := l2l.state == stateModified
 		if own := l2l.dirtyOwner; own >= 0 {
-			if ol := h.l1[own].lookup(l2l.lineAddr); ol != nil && ol.state == stateModified {
+			if oi := h.l1[own].lookup(la); oi >= 0 && h.l1[own].lines[oi].state == stateModified {
 				dirty = true
-				ol.state = stateShared
+				h.l1[own].lines[oi].state = stateShared
 			}
 			l2l.dirtyOwner = -1
 		}
 		if dirty {
 			if countWrites {
-				h.mem.WriteBackLine(l2l.lineAddr, CauseEvict)
+				h.mem.WriteBackLine(la, CauseEvict)
 				h.recordVdur(now - l2l.dirtySince)
 			} else {
-				la := l2l.lineAddr
-				copy(h.mem.durable[la:la+LineSize], h.mem.backing[la:la+LineSize])
+				h.mem.copyLine(la)
 			}
 			l2l.state = stateShared
 			n++
@@ -454,13 +487,13 @@ func (h *Hierarchy) DrainDirty(now int64, countWrites bool) int {
 // DirtyLines returns how many lines are currently dirty in the hierarchy.
 func (h *Hierarchy) DirtyLines() int {
 	n := 0
-	h.l2.forEachValid(func(l2l *cacheLine) {
+	h.l2.forEachValid(func(_ int, la Addr, l2l *cacheLine) {
 		if l2l.state == stateModified {
 			n++
 			return
 		}
 		if own := l2l.dirtyOwner; own >= 0 {
-			if ol := h.l1[own].lookup(l2l.lineAddr); ol != nil && ol.state == stateModified {
+			if oi := h.l1[own].lookup(la); oi >= 0 && h.l1[own].lines[oi].state == stateModified {
 				n++
 			}
 		}
@@ -469,7 +502,7 @@ func (h *Hierarchy) DirtyLines() int {
 }
 
 // Cached reports whether the line containing a is resident anywhere.
-func (h *Hierarchy) Cached(a Addr) bool { return h.l2.lookup(LineOf(a)) != nil }
+func (h *Hierarchy) Cached(a Addr) bool { return h.l2.lookup(LineOf(a)) >= 0 }
 
 func (h *Hierarchy) recordVdur(d int64) {
 	if d < 0 {

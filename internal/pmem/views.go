@@ -109,10 +109,16 @@ func AllocU64(m *memsim.Memory, name string, n int) U64 {
 
 // Addr returns the address of word i.
 func (v U64) Addr(i int) memsim.Addr {
-	if i < 0 || i >= v.N {
-		panic(fmt.Sprintf("pmem: U64 index %d out of range [0,%d)", i, v.N))
+	// The panic lives out of line so Addr stays inlinable — it runs on
+	// every simulated log/marker/checksum word access.
+	if uint(i) >= uint(v.N) {
+		v.badIndex(i)
 	}
 	return v.Base + memsim.Addr(i*WordSize)
+}
+
+func (v U64) badIndex(i int) {
+	panic(fmt.Sprintf("pmem: U64 index %d out of range [0,%d)", i, v.N))
 }
 
 // Load reads word i through ctx.

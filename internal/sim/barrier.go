@@ -41,12 +41,12 @@ func (t *Thread) BarrierWait(b *Barrier) {
 	}
 	b.arrived++
 	if b.arrived < b.n {
-		// Not last: park until released. The scheduler marks the
-		// thread blocked and will not grant it until the last
-		// arriver flips the flag below.
+		// Not last: leave the schedulable set and park until released.
+		// blockWorker hands the grant to the next runnable thread; no
+		// token holder will grant this thread again until the last
+		// arriver pushes it back via unblock below.
 		b.waiters = append(b.waiters, t)
-		t.eng.yield <- yieldMsg{id: t.id, blocked: true}
-		t.grantUntil = t.waitGrant(t.eng.grants[t.id])
+		t.eng.blockWorker(t)
 		return
 	}
 	// Last arriver: release everyone at the common release cycle.

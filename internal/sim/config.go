@@ -2,11 +2,15 @@
 // with a deterministic timing model.
 //
 // Each simulated thread runs as a goroutine, but a conservative
-// min-clock scheduler admits exactly one thread at a time and always the
-// one with the smallest local cycle clock, granted a bounded quantum.
-// Scheduling decisions depend only on the thread clocks, so simulations
-// are bit-reproducible for a fixed configuration — including parallel
-// runs and crash injection.
+// min-clock discipline admits exactly one thread at a time and always
+// the one with the smallest local cycle clock, granted a bounded
+// quantum. The grant is a token handed directly worker to worker
+// (sched.go): the yielding thread runs the scheduling decision itself
+// and either extends its own grant in place or passes the grant to the
+// next runnable worker — there is no scheduler goroutine in steady
+// state. Scheduling decisions depend only on the thread clocks, so
+// simulations are bit-reproducible for a fixed configuration —
+// including parallel runs and crash injection.
 //
 // The timing model is a bounded out-of-order core approximation
 // (documented in DESIGN.md §3): instructions issue at a fixed width;

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"lazyp/internal/memsim"
 )
@@ -20,7 +21,7 @@ const maxClock = int64(1) << 62
 
 // soloQuanta is the grant-window multiplier when a single thread is
 // runnable: with no other clock to stay close to, the thread may run
-// this many quanta before checking back in with the scheduler.
+// this many quanta before re-running the scheduling decision.
 const soloQuanta = 4
 
 // Engine owns one simulation session: the memory hierarchy plus the set
@@ -28,6 +29,16 @@ const soloQuanta = 4
 // warm-up then measurement, or recovery then resumed execution) — cache
 // state and clocks persist across calls; statistics windows are managed
 // with Memory.ResetCounters and Hierarchy.ResetStats.
+//
+// Scheduling is direct-handoff (DESIGN.md §3a): there is no scheduler
+// goroutine in steady state. The grant — permission to be the one
+// executing simulated thread — is a token handed worker-to-worker; the
+// yielding worker runs the scheduling decision itself and either
+// extends its own grant in place or sends the grant straight to the
+// next runnable worker's channel. The engine goroutine only dispatches
+// the first grant of a Run and then parks on ctl until a worker reports
+// a terminal event (completion, crash, deadlock, or a propagated
+// panic).
 type Engine struct {
 	cfg  Config
 	Mem  *memsim.Memory
@@ -36,19 +47,26 @@ type Engine struct {
 	startCycle int64
 	crashed    bool
 
-	yield   chan yieldMsg
+	// Handoff plumbing. grants[i] delivers i's next window (or
+	// abortGrant); acks carries abort acknowledgements back to the
+	// aborting token holder; ctl carries the single terminal event of a
+	// Run to the engine goroutine.
 	grants  []chan int64
-	blocked []bool
+	acks    chan ackMsg
+	ctl     chan ctlMsg
 	threads []*Thread
 
-	// Scheduler hot-path state. heap holds the ids of schedulable
-	// (parked, not barrier-blocked) threads ordered by (clock, id) — an
-	// incremental structure replacing the per-iteration min-clock scan.
-	// solo is set while the granted thread is the only schedulable one;
-	// it lets checkYield extend the grant in place, skipping the
-	// yield/grant channel round-trip entirely.
+	// Scheduler state, all guarded by the grant token: exactly one
+	// goroutine — the grant-holding worker, or the engine goroutine
+	// before the first grant and after the terminal ctl message — may
+	// touch it, and every token transfer is a channel operation, which
+	// orders the accesses for the race detector and the memory model
+	// alike. heap holds the ids of schedulable (parked, not
+	// barrier-blocked, not finished) threads ordered by (clock, id);
+	// dead and alive track retirement.
 	heap      []int
-	solo      bool
+	dead      []bool
+	alive     int
 	nextClean int64
 	cleanTick int64
 
@@ -92,13 +110,30 @@ func (e *Engine) Hazards() Hazards { return e.haz }
 // Ops returns dynamic operation counts summed over all threads and Runs.
 func (e *Engine) Ops() OpCounts { return e.ops }
 
-// yieldMsg is the message a worker sends back to the scheduler.
-type yieldMsg struct {
-	id      int
-	done    bool        // body returned (or crashed)
-	blocked bool        // parked at a barrier: not schedulable until released
-	err     interface{} // non-nil: errCrashed or a propagated panic value
+// ackMsg acknowledges an abortGrant: the aborted worker hands its
+// Thread back so the aborting token holder can fold in its counters.
+// err is the recovered value — errCrashed, or (defensively) a real
+// panic that raced the abort.
+type ackMsg struct {
+	t   *Thread
+	err interface{}
 }
+
+// ctlMsg is the single terminal event a Run delivers to the engine
+// goroutine.
+type ctlMsg struct {
+	kind ctlKind
+	err  interface{} // real panic value to propagate, if any
+}
+
+type ctlKind int
+
+const (
+	ctlDone     ctlKind = iota // every thread finished
+	ctlCrashed                 // crash injected; all threads retired
+	ctlPanic                   // a thread body panicked; err holds the value
+	ctlDeadlock                // every live thread is blocked at a barrier
+)
 
 // Run executes body on every thread (body receives the Thread) and
 // blocks until all threads complete or a crash is injected. It returns
@@ -111,46 +146,25 @@ func (e *Engine) Run(body func(t *Thread)) (crashed bool) {
 	}
 	n := e.cfg.Threads
 	threads := make([]*Thread, n)
-	grants := make([]chan int64, n)
-	yield := make(chan yieldMsg)
-	e.grants = grants
-	e.yield = yield
-
+	e.grants = make([]chan int64, n)
+	e.acks = make(chan ackMsg)
+	e.ctl = make(chan ctlMsg)
+	e.threads = threads
+	e.dead = make([]bool, n)
+	e.alive = n
+	e.heap = e.heap[:0]
 	for i := 0; i < n; i++ {
-		t := &Thread{id: i, eng: e, now: e.startCycle}
+		t := &Thread{id: i, eng: e, mem: e.Mem, hier: e.Hier, now: e.startCycle, width: e.cfg.IssueWidth, robGate: ^uint64(0)}
+		if w := e.cfg.IssueWidth; w&(w-1) == 0 {
+			t.widthShift = uint8(bits.TrailingZeros(uint(w)))
+			t.widthMask = int32(w - 1)
+		} else {
+			t.widthMask = -1
+		}
 		t.mshr.init(e.cfg.MSHRs)
 		t.storeq.init(e.cfg.StoreQ)
 		threads[i] = t
-		grants[i] = make(chan int64)
-	}
-
-	for i := 0; i < n; i++ {
-		t := threads[i]
-		g := grants[i]
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					yield <- yieldMsg{id: t.id, done: true, err: r}
-				}
-			}()
-			t.grantUntil = t.waitGrant(g)
-			body(t)
-			t.finish()
-			yield <- yieldMsg{id: t.id, done: true}
-		}()
-	}
-
-	// Scheduler state.
-	alive := n
-	parked := make([]bool, n) // waiting for a grant
-	for i := range parked {
-		parked[i] = true
-	}
-	dead := make([]bool, n)
-	e.blocked = make([]bool, n)
-	e.threads = threads
-	e.heap = e.heap[:0]
-	for i := 0; i < n; i++ {
+		e.grants[i] = make(chan int64)
 		e.heapPush(i)
 	}
 	// Periodic cleanup runs as a spaced background sweep: every
@@ -164,112 +178,61 @@ func (e *Engine) Run(body func(t *Thread)) (crashed bool) {
 		}
 		e.nextClean = e.startCycle + e.cleanTick
 	}
-	var propagate interface{}
 
-	for alive > 0 {
-		// The schedulable (parked, not barrier-blocked) thread with the
-		// smallest clock is the heap root; ids break clock ties, so the
-		// pick matches the previous linear scan exactly.
-		if len(e.heap) == 0 {
-			panic("sim: scheduler deadlock — every live thread is blocked at a barrier")
-		}
-		next := e.heap[0]
-		second := e.heapSecond()
-		t := threads[next]
-
-		// Periodic cleanup fires when the globally-minimal clock
-		// crosses the boundary (all threads have passed it).
-		for e.nextClean > 0 && t.now >= e.nextClean {
-			e.Hier.CleanOlder(e.nextClean, e.cfg.CleanPeriod)
-			e.nextClean += e.cleanTick
-		}
-
-		// Crash: once the slowest thread passes the crash cycle, abort
-		// everyone.
-		if e.cfg.CrashCycle > 0 && t.now >= e.cfg.CrashCycle {
-			for i := 0; i < n; i++ {
-				if dead[i] || !parked[i] {
-					continue
-				}
-				grants[i] <- abortGrant
-				msg := <-yield
-				e.collect(threads[msg.id])
-				dead[msg.id] = true
-				alive--
-				if msg.err != nil && msg.err != errCrashed {
-					propagate = msg.err
-				}
-			}
-			e.crashed = true
-			break
-		}
-
-		until := second + e.cfg.Quantum
-		if second == maxClock { // only one runnable thread left
-			until = t.now + soloQuanta*e.cfg.Quantum
-		}
-		if until <= t.now {
-			until = t.now + 1
-		}
-		if e.nextClean > 0 && until > e.nextClean {
-			until = e.nextClean
-			if until <= t.now {
-				until = t.now + 1
-			}
-		}
-		if e.cfg.CrashCycle > 0 && until > e.cfg.CrashCycle {
-			until = e.cfg.CrashCycle
-			if until <= t.now {
-				until = t.now + 1
-			}
-		}
-
-		// Grant the root in place: its clock only grows while it runs,
-		// so one sift-down on return restores the heap — half the work
-		// of a pop/push pair. Barrier releases by the running thread
-		// push waiters whose clocks exceed the root's stale key, so the
-		// heap stays valid below the root meanwhile.
-		e.solo = len(e.heap) == 1
-		parked[next] = false
-		grants[next] <- until
-		msg := <-yield
-		parked[msg.id] = true
-		if msg.blocked {
-			e.blocked[msg.id] = true
-			e.heapPop()
-		}
-		if msg.done {
-			e.heapPop()
-			e.collect(threads[msg.id])
-			dead[msg.id] = true
-			parked[msg.id] = false
-			alive--
-			if msg.err != nil && msg.err != errCrashed {
-				propagate = msg.err
-				// A real panic in one thread: abort the others so the
-				// panic surfaces instead of a barrier deadlock.
-				for i := 0; i < n; i++ {
-					if dead[i] || !parked[i] {
-						continue
+	for i := 0; i < n; i++ {
+		t := threads[i]
+		g := e.grants[i]
+		go func() {
+			defer func() {
+				r := recover()
+				switch {
+				case t.retired:
+					// exitWorker or selfCrash already accounted for this
+					// thread and reported; nothing may touch the engine
+					// past this point — Run may already have returned.
+				case r == errCrashed:
+					// Aborted while parked: hand the counters back to
+					// the aborting token holder.
+					e.acks <- ackMsg{t: t, err: r}
+				case r != nil:
+					// Real panic while holding the grant: abort every
+					// other thread so the panic surfaces through Run
+					// instead of deadlocking a barrier.
+					prop := e.abortOthers(t.id)
+					if prop == nil {
+						prop = r
 					}
-					grants[i] <- abortGrant
-					m := <-yield
-					e.collect(threads[m.id])
-					dead[m.id] = true
-					alive--
+					e.retire(t)
+					t.retired = true
+					e.ctl <- ctlMsg{kind: ctlPanic, err: prop}
 				}
-				break
-			}
-			if msg.err == errCrashed {
-				e.crashed = true
-			}
-		} else if !msg.blocked {
-			e.heapFix()
-		}
+			}()
+			t.grantUntil = t.waitGrant(g)
+			body(t)
+			t.finish()
+			e.exitWorker(t)
+		}()
 	}
 
-	if propagate != nil {
-		panic(propagate)
+	// First grant of the Run: the engine goroutine runs one scheduling
+	// decision, hands the token into the worker set, and parks.
+	switch kind, _, prop := e.dispatch(-1); kind {
+	case dispatchHandoff:
+		msg := <-e.ctl
+		if msg.kind == ctlDeadlock {
+			panic("sim: scheduler deadlock — every live thread is blocked at a barrier")
+		}
+		if msg.err != nil {
+			panic(msg.err)
+		}
+	case dispatchCrashed:
+		// The crash cycle predates every thread clock: all workers were
+		// aborted before executing a single operation.
+		if prop != nil {
+			panic(prop)
+		}
+	default:
+		panic("sim: impossible first dispatch")
 	}
 
 	// Advance the session clock to the makespan.
@@ -304,121 +267,13 @@ func (e *Engine) mcAccept(now int64) int64 {
 // collect folds a finished thread's counters into the session totals.
 func (e *Engine) collect(t *Thread) {
 	e.haz.add(t.haz)
-	e.ops.add(t.ops)
+	e.ops.add(t.Ops())
 }
 
-// heapLess orders schedulable threads by (clock, id); the id tiebreak
-// reproduces the lowest-index-wins behavior of the old linear scan.
-func (e *Engine) heapLess(a, b int) bool {
-	ta, tb := e.threads[a], e.threads[b]
-	return ta.now < tb.now || (ta.now == tb.now && a < b)
-}
-
-// heapPush inserts thread id into the schedulable heap.
-func (e *Engine) heapPush(id int) {
-	e.heap = append(e.heap, id)
-	i := len(e.heap) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !e.heapLess(e.heap[i], e.heap[p]) {
-			break
-		}
-		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
-		i = p
-	}
-}
-
-// heapPop removes the root (minimum-clock thread).
-func (e *Engine) heapPop() {
-	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
-	e.heap = e.heap[:last]
-	e.siftDown(0)
-}
-
-// heapFix restores heap order after the root's clock advanced in place
-// while it ran. Barrier releases during the grant only push threads with
-// clocks strictly above the root's stale key (release is latest arrival
-// plus a positive overhead), so the root cannot have been displaced and
-// a single sift-down suffices.
-func (e *Engine) heapFix() { e.siftDown(0) }
-
-// siftDown restores heap order below i after e.heap[i]'s key grew.
-func (e *Engine) siftDown(i int) {
-	n := len(e.heap)
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && e.heapLess(e.heap[l], e.heap[m]) {
-			m = l
-		}
-		if r < n && e.heapLess(e.heap[r], e.heap[m]) {
-			m = r
-		}
-		if m == i {
-			return
-		}
-		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
-		i = m
-	}
-}
-
-// heapSecond returns the second-smallest schedulable clock (which must
-// sit at one of the root's children), or maxClock when the root is the
-// only schedulable thread.
-func (e *Engine) heapSecond() int64 {
-	s := maxClock
-	for c := 1; c <= 2 && c < len(e.heap); c++ {
-		if now := e.threads[e.heap[c]].now; now < s {
-			s = now
-		}
-	}
-	return s
-}
-
-// unblock returns a barrier-released thread to the schedulable heap.
-// Called by the running (releasing) thread, which also loses any solo
-// grant extension: other threads are runnable again.
-func (e *Engine) unblock(w *Thread) {
-	e.blocked[w.id] = false
-	e.heapPush(w.id)
-	e.solo = false
-}
-
-// waitGrant blocks until the scheduler grants a new window.
-func (t *Thread) waitGrant(g chan int64) int64 {
-	v := <-g
-	if v == abortGrant {
-		panic(errCrashed)
-	}
-	return v
-}
-
-// checkYield returns control to the scheduler when the thread exhausted
-// its window. Every public Thread operation calls it.
-func (t *Thread) checkYield() {
-	if t.now < t.grantUntil {
-		return
-	}
-	e := t.eng
-	if e.solo {
-		// Sole runnable thread: extend the grant in place — exactly the
-		// window the scheduler would hand back — and skip the two
-		// channel operations and two goroutine switches of a full
-		// yield. Fall back to the scheduler at any cleanup or crash
-		// boundary so those still fire at the same cycles.
-		until := t.now + soloQuanta*e.cfg.Quantum
-		if (e.nextClean == 0 || until <= e.nextClean) &&
-			(e.cfg.CrashCycle == 0 || until <= e.cfg.CrashCycle) {
-			t.grantUntil = until
-			return
-		}
-	}
-	e.yieldAndWait(t)
-}
-
-// yieldAndWait parks the thread until the scheduler grants a new window.
-func (e *Engine) yieldAndWait(t *Thread) {
-	e.yield <- yieldMsg{id: t.id}
-	t.grantUntil = t.waitGrant(e.grants[t.id])
+// retire folds t's counters into the session totals and removes it from
+// the live set. Caller holds the grant token.
+func (e *Engine) retire(t *Thread) {
+	e.collect(t)
+	e.dead[t.id] = true
+	e.alive--
 }

@@ -1,0 +1,292 @@
+package sim
+
+// Direct-handoff scheduling (DESIGN.md §3a).
+//
+// Exactly one simulated thread executes at a time — that exclusivity is
+// a token, and the token is the grant itself. In steady state no
+// scheduler goroutine exists: the worker that exhausts its window (or
+// blocks at a barrier, or finishes) runs the scheduling decision below
+// with the token still in hand and passes the grant straight to the
+// next runnable worker, one goroutine switch per quantum instead of the
+// two a central scheduler costs. When the decision picks the caller
+// itself — it is still the minimum-clock schedulable thread — the grant
+// is extended in place with no channel operation at all (the
+// multi-thread generalization of the old solo fast path).
+//
+// The decision procedure is byte-for-byte the old central loop's: pick
+// the (clock, id)-minimum schedulable thread, fire periodic cleanups
+// the minimum clock has crossed, inject a due crash, and bound the
+// window by the second-smallest clock plus one quantum (soloQuanta
+// quanta when alone), clamped to the next cleanup or crash boundary.
+// Scheduling therefore depends only on thread clocks, and simulations
+// stay bit-reproducible — and identical to the pre-handoff engine.
+
+// dispatchKind is the outcome of one scheduling decision.
+type dispatchKind int
+
+const (
+	// dispatchHandoff: the grant was sent to another worker's channel.
+	dispatchHandoff dispatchKind = iota
+	// dispatchExtend: the caller stays the minimum; it keeps the token
+	// and runs to the returned window bound. Never returned to the
+	// engine goroutine or from blocking/exiting paths.
+	dispatchExtend
+	// dispatchCrashed: the crash cycle was reached; every other live
+	// thread has been aborted and retired, and Engine.crashed is set.
+	dispatchCrashed
+	// dispatchDeadlock: no schedulable thread remains but live threads
+	// exist — all of them are parked at a barrier.
+	dispatchDeadlock
+)
+
+// dispatch runs one scheduling decision. The caller holds the grant
+// token and has already restored the heap for its own state change
+// (heapFix after running, heapPop after blocking or exiting). self is
+// the calling thread's id — used both to take the in-place extension
+// path when the caller remains the minimum and to exclude the caller
+// from a crash abort — or -1 when the engine goroutine dispatches the
+// first grant of a Run.
+func (e *Engine) dispatch(self int) (dispatchKind, int64, interface{}) {
+	if len(e.heap) == 0 {
+		return dispatchDeadlock, 0, nil
+	}
+	next := e.heap[0]
+	t := e.threads[next]
+
+	// Periodic cleanup fires when the globally-minimal clock crosses
+	// the boundary (all threads have passed it).
+	for e.nextClean > 0 && t.now >= e.nextClean {
+		e.Hier.CleanOlder(e.nextClean, e.cfg.CleanPeriod)
+		e.nextClean += e.cleanTick
+	}
+
+	// Crash: once the slowest thread passes the crash cycle, abort
+	// everyone. The caller retires itself (selfCrash) or is the engine.
+	if e.cfg.CrashCycle > 0 && t.now >= e.cfg.CrashCycle {
+		prop := e.abortOthers(self)
+		e.crashed = true
+		return dispatchCrashed, 0, prop
+	}
+
+	second := e.heapSecond()
+	until := second + e.cfg.Quantum
+	if second == maxClock { // only one runnable thread left
+		until = t.now + soloQuanta*e.cfg.Quantum
+	}
+	if until <= t.now {
+		until = t.now + 1
+	}
+	if e.nextClean > 0 && until > e.nextClean {
+		until = e.nextClean
+		if until <= t.now {
+			until = t.now + 1
+		}
+	}
+	if e.cfg.CrashCycle > 0 && until > e.cfg.CrashCycle {
+		until = e.cfg.CrashCycle
+		if until <= t.now {
+			until = t.now + 1
+		}
+	}
+
+	if next == self {
+		// Grant extension: the caller is still the minimum. No channel
+		// operation, no goroutine switch — the common case whenever the
+		// window was clamped by a cleanup boundary, and the steady state
+		// when the caller is the only schedulable thread.
+		return dispatchExtend, until, nil
+	}
+	// Direct handoff: grant the root in place — its clock only grows
+	// while it runs, so one sift-down when it yields restores the heap.
+	// The receiver is parked in waitGrant (every live thread but the
+	// token holder is), so the send also publishes all scheduler state
+	// mutated under the token to the next holder.
+	e.grants[next] <- until
+	return dispatchHandoff, 0, nil
+}
+
+// yieldWorker is called by the token-holding worker when its window is
+// exhausted: re-run the scheduling decision and either continue in
+// place, hand the grant over and park, or join a detected crash.
+func (e *Engine) yieldWorker(t *Thread) {
+	e.heapFix()
+	kind, until, prop := e.dispatch(t.id)
+	switch kind {
+	case dispatchExtend:
+		t.grantUntil = until
+	case dispatchHandoff:
+		t.grantUntil = t.waitGrant(e.grants[t.id])
+	case dispatchCrashed:
+		e.selfCrash(t, prop)
+	default:
+		panic("sim: empty heap on yield") // t itself is schedulable
+	}
+}
+
+// blockWorker parks the token-holding worker at a barrier: it leaves
+// the schedulable set, hands the grant on, and waits to be granted
+// again after a release (or aborted by a crash).
+func (e *Engine) blockWorker(t *Thread) {
+	e.heapPop() // t sits at the root: it was granted in place
+	kind, _, prop := e.dispatch(t.id)
+	switch kind {
+	case dispatchHandoff:
+		t.grantUntil = t.waitGrant(e.grants[t.id])
+	case dispatchCrashed:
+		e.selfCrash(t, prop)
+	case dispatchDeadlock:
+		// Report through Run (which panics there) and park: the token
+		// dies with this message, so nothing will ever grant us again.
+		e.ctl <- ctlMsg{kind: ctlDeadlock}
+		t.grantUntil = t.waitGrant(e.grants[t.id])
+	default:
+		panic("sim: blocked thread re-granted") // t left the heap
+	}
+}
+
+// exitWorker retires the token-holding worker whose body returned and
+// passes the grant on (or reports completion when it was the last).
+func (e *Engine) exitWorker(t *Thread) {
+	e.heapPop() // t sits at the root: it was granted in place
+	e.retire(t)
+	t.retired = true
+	if e.alive == 0 {
+		e.ctl <- ctlMsg{kind: ctlDone}
+		return
+	}
+	kind, _, prop := e.dispatch(t.id)
+	switch kind {
+	case dispatchHandoff:
+		// The grant moved on; this goroutine is done.
+	case dispatchCrashed:
+		e.ctl <- ctlMsg{kind: ctlCrashed, err: prop}
+	case dispatchDeadlock:
+		e.ctl <- ctlMsg{kind: ctlDeadlock}
+	default:
+		panic("sim: dead thread re-granted") // t left the heap
+	}
+}
+
+// selfCrash finishes a crash the calling worker itself detected while
+// holding the token: every other thread is already retired
+// (abortOthers); account for the caller, wake Run, and unwind the body.
+// The retired flag tells the worker wrapper the recovery below is
+// already fully reported.
+func (e *Engine) selfCrash(t *Thread, prop interface{}) {
+	e.retire(t)
+	t.retired = true
+	e.ctl <- ctlMsg{kind: ctlCrashed, err: prop}
+	panic(errCrashed)
+}
+
+// abortOthers aborts every live thread except self (-1 aborts all):
+// each is parked in waitGrant — every live thread but the token holder
+// always is — so the abortGrant makes it panic with errCrashed and
+// acknowledge through acks, at which point it is retired. Returns a
+// real panic value should one race the abort, to propagate through Run.
+func (e *Engine) abortOthers(self int) (propagate interface{}) {
+	for i := range e.threads {
+		if e.dead[i] || i == self {
+			continue
+		}
+		e.grants[i] <- abortGrant
+		ack := <-e.acks
+		e.retire(ack.t)
+		if ack.err != nil && ack.err != errCrashed {
+			propagate = ack.err
+		}
+	}
+	return propagate
+}
+
+// heapLess orders schedulable threads by (clock, id); the id tiebreak
+// reproduces the lowest-index-wins behavior of the original linear scan.
+func (e *Engine) heapLess(a, b int) bool {
+	ta, tb := e.threads[a], e.threads[b]
+	return ta.now < tb.now || (ta.now == tb.now && a < b)
+}
+
+// heapPush inserts thread id into the schedulable heap.
+func (e *Engine) heapPush(id int) {
+	e.heap = append(e.heap, id)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[p]) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+// heapPop removes the root (minimum-clock thread).
+func (e *Engine) heapPop() {
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	e.siftDown(0)
+}
+
+// heapFix restores heap order after the root's clock advanced in place
+// while it ran. Barrier releases during the grant only push threads with
+// clocks at or above the running thread's, so the root cannot have been
+// displaced positionally and a single sift-down suffices.
+func (e *Engine) heapFix() { e.siftDown(0) }
+
+// siftDown restores heap order below i after e.heap[i]'s key grew.
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e.heapLess(e.heap[l], e.heap[m]) {
+			m = l
+		}
+		if r < n && e.heapLess(e.heap[r], e.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
+}
+
+// heapSecond returns the second-smallest schedulable clock (which must
+// sit at one of the root's children), or maxClock when the root is the
+// only schedulable thread.
+func (e *Engine) heapSecond() int64 {
+	s := maxClock
+	for c := 1; c <= 2 && c < len(e.heap); c++ {
+		if now := e.threads[e.heap[c]].now; now < s {
+			s = now
+		}
+	}
+	return s
+}
+
+// unblock returns a barrier-released thread to the schedulable heap.
+// Called by the running (releasing) thread.
+func (e *Engine) unblock(w *Thread) {
+	e.heapPush(w.id)
+}
+
+// waitGrant blocks until a token holder grants a new window.
+func (t *Thread) waitGrant(g chan int64) int64 {
+	v := <-g
+	if v == abortGrant {
+		panic(errCrashed)
+	}
+	return v
+}
+
+// checkYield re-runs the scheduling decision once the thread exhausted
+// its window. Every public Thread operation calls it.
+func (t *Thread) checkYield() {
+	if t.now < t.grantUntil {
+		return
+	}
+	t.eng.yieldWorker(t)
+}

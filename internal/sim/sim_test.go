@@ -313,6 +313,138 @@ func TestEngineRunAfterCrashPanics(t *testing.T) {
 	e.Run(func(*Thread) {})
 }
 
+// TestCrashDuringGrantExtension injects the crash while the only
+// runnable thread is extending its own grant in place — the worker,
+// not the engine goroutine, holds the grant when the crash fires and
+// must retire itself (selfCrash).
+func TestCrashDuringGrantExtension(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	cfg := DefaultConfig(1)
+	cfg.CrashCycle = 10_000
+	e := New(cfg, mem)
+	crashed := e.Run(func(th *Thread) {
+		for {
+			th.Compute(100)
+		}
+	})
+	if !crashed || !e.Crashed() {
+		t.Fatal("crash was not injected on the extension path")
+	}
+	if e.ExecCycles() < 10_000 {
+		t.Fatalf("crash before the configured cycle: %d", e.ExecCycles())
+	}
+	if e.Ops().Instrs == 0 {
+		t.Fatal("crashed thread's counters were not collected")
+	}
+}
+
+// TestCrashAtBarrierManyWaiters parks all threads but one at a barrier
+// and lets the straggler spin past the crash cycle: the spinning worker
+// holds the grant (solo extension), detects the crash, and must deliver
+// abortGrant to every barrier-parked thread itself.
+func TestCrashAtBarrierManyWaiters(t *testing.T) {
+	for _, threads := range []int{4, 8} {
+		cfg := DefaultConfig(threads)
+		cfg.CrashCycle = 500
+		e := New(cfg, memsim.NewMemory(1<<22))
+		b := e.NewBarrier()
+		crashed := e.Run(func(th *Thread) {
+			if th.ThreadID() != threads-1 {
+				th.BarrierWait(b) // parks forever: the straggler crashes first
+				return
+			}
+			for {
+				th.Compute(100)
+			}
+		})
+		if !crashed {
+			t.Fatalf("threads=%d: worker-held crash did not abort barrier waiters", threads)
+		}
+	}
+}
+
+// TestCrashBeforeFirstGrant drives a session whose first Run finishes
+// with drained clocks already past the crash cycle (the final dispatch
+// retires the last thread without a crash check, like the old engine's
+// loop). The second Run must then crash at the engine goroutine's
+// initial dispatch, before any thread body executes an operation.
+func TestCrashBeforeFirstGrant(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	base := mem.Alloc("d", 1<<20)
+	cfg := DefaultConfig(2)
+	cfg.CrashCycle = 200 // below one NVMM fill drain (311 cycles)
+	e := New(cfg, mem)
+	if e.Run(func(th *Thread) {
+		// One miss whose in-flight drain pushes the final clock past
+		// the crash cycle without any dispatch observing it.
+		th.Load64(base + memsim.Addr(th.ThreadID()*4096))
+	}) {
+		t.Fatal("first run should complete: no dispatch sees the crash cycle")
+	}
+	if e.ExecCycles() <= cfg.CrashCycle {
+		t.Fatalf("test premise broken: drained clock %d not past crash cycle", e.ExecCycles())
+	}
+	ran := false
+	if !e.Run(func(th *Thread) { ran = true }) {
+		t.Fatal("second run must crash at the initial dispatch")
+	}
+	if ran {
+		t.Fatal("a thread body executed after the crash cycle had passed")
+	}
+}
+
+// TestCrashSweepDirectHandoff sweeps the crash cycle across a
+// barrier-synchronized multi-thread run with periodic cleanup enabled,
+// so aborts land at every dispatch site — yield, barrier block, thread
+// exit, and cleanup-clamped grant extension — and asserts every crash
+// point is deterministic.
+func TestCrashSweepDirectHandoff(t *testing.T) {
+	run := func(threads int, crashCycle int64) (bool, int64, uint64, uint64) {
+		mem := memsim.NewMemory(1 << 22)
+		base := mem.Alloc("d", 1<<20)
+		cfg := DefaultConfig(threads)
+		cfg.CrashCycle = crashCycle
+		cfg.CleanPeriod = 3000
+		e := New(cfg, mem)
+		b := e.NewBarrier()
+		crashed := e.Run(func(th *Thread) {
+			off := memsim.Addr(th.ThreadID() * 65536)
+			for i := 0; i < 400; i++ {
+				a := base + off + memsim.Addr(i%512*64)
+				th.Store64(a, uint64(i))
+				th.Load64(a)
+				th.Compute(5)
+				if i%100 == 99 {
+					th.BarrierWait(b)
+				}
+			}
+		})
+		w, _, _, _ := mem.NVMMWrites()
+		return crashed, e.ExecCycles(), w, e.Ops().Instrs
+	}
+	for _, threads := range []int{2, 4, 8} {
+		_, full, _, _ := run(threads, 0)
+		if crashed, _, _, _ := run(threads, 2*full); crashed {
+			t.Fatalf("threads=%d: crash cycle past the makespan still crashed", threads)
+		}
+		for i := 0; i < 12; i++ {
+			cc := 1 + int64(i)*full*9/10/12
+			c1, cyc1, w1, i1 := run(threads, cc)
+			c2, cyc2, w2, i2 := run(threads, cc)
+			if c1 != c2 || cyc1 != cyc2 || w1 != w2 || i1 != i2 {
+				t.Fatalf("threads=%d crash@%d not deterministic: (%v,%d,%d,%d) vs (%v,%d,%d,%d)",
+					threads, cc, c1, cyc1, w1, i1, c2, cyc2, w2, i2)
+			}
+			if !c1 {
+				t.Fatalf("threads=%d: no crash at cycle %d (full run = %d)", threads, cc, full)
+			}
+			if cyc1 < cc {
+				t.Fatalf("threads=%d: crashed at %d, before the configured cycle %d", threads, cyc1, cc)
+			}
+		}
+	}
+}
+
 func TestStoreQueueBackpressure(t *testing.T) {
 	mem := memsim.NewMemory(1 << 23)
 	base := mem.Alloc("d", 1<<22)

@@ -16,6 +16,13 @@ import (
 //     reorder window; a proxy for load-queue pressure ("FUR").
 //   - WriteQFull    — a flush found the MC write queue full ("FUW").
 //   - StoreQFull    — a store found the store buffer full.
+//   - WBThrottle    — a cache miss whose dirty eviction found the shared
+//     MC write queue backlogged stalled until a slot drained: NVMM
+//     write-bandwidth backpressure on natural write-backs, which hits
+//     every scheme, base included (see Thread.bookWritebacks). It
+//     shares the paper's "FUW" column as its proxy with WriteQFull —
+//     FUW counts flush-path write-queue pressure, WBThrottle the
+//     eviction-path pressure the paper's MC write queue also exerts.
 //   - FenceStalls / FenceCycles — sfence events and the cycles they cost.
 type Hazards struct {
 	MSHRFull    uint64
@@ -75,9 +82,21 @@ func (r *missRing) init(capacity int) { r.buf = make([]missEntry, capacity); r.h
 func (r *missRing) full() bool        { return r.n == len(r.buf) }
 func (r *missRing) empty() bool       { return r.n == 0 }
 func (r *missRing) front() missEntry  { return r.buf[r.head] }
-func (r *missRing) pop()              { r.head = (r.head + 1) % len(r.buf); r.n-- }
+
+// The rings wrap with a compare-and-subtract rather than %: these run on
+// every load/store, and an integer divide there is measurable.
+func (r *missRing) pop() {
+	if r.head++; r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
 func (r *missRing) push(e missEntry) {
-	r.buf[(r.head+r.n)%len(r.buf)] = e
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = e
 	r.n++
 }
 
@@ -87,15 +106,28 @@ type timeRing struct {
 	buf  []int64
 	head int
 	n    int
+	maxT int64 // largest completion time ever pushed; see maxPending
 }
 
 func (r *timeRing) init(capacity int) { r.buf = make([]int64, capacity); r.head, r.n = 0, 0 }
 func (r *timeRing) full() bool        { return r.n == len(r.buf) }
 func (r *timeRing) front() int64      { return r.buf[r.head] }
-func (r *timeRing) pop()              { r.head = (r.head + 1) % len(r.buf); r.n-- }
+func (r *timeRing) pop() {
+	if r.head++; r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
 func (r *timeRing) push(t int64) {
-	r.buf[(r.head+r.n)%len(r.buf)] = t
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = t
 	r.n++
+	if t > r.maxT {
+		r.maxT = t
+	}
 }
 
 // drainDone pops entries completed by cycle now.
@@ -105,16 +137,14 @@ func (r *timeRing) drainDone(now int64) {
 	}
 }
 
-// maxTime returns the latest completion among pending entries, or 0.
-func (r *timeRing) maxTime() int64 {
-	var m int64
-	for i := 0; i < r.n; i++ {
-		if t := r.buf[(r.head+i)%len(r.buf)]; t > m {
-			m = t
-		}
-	}
-	return m
-}
+// maxPending stands in for "latest completion among pending entries"
+// without walking the ring: entries leave only via drainDone, which pops
+// nothing completing after now, so whenever maxT exceeds the caller's
+// clock its entry is still pending and maxT equals the true pending max;
+// when maxT is at or below the clock the true max is too, and both
+// answers impose no wait. Callers only compare the result against their
+// clock, so the two are interchangeable.
+func (r *timeRing) maxPending() int64 { return r.maxT }
 
 // Thread is one simulated hardware thread pinned to its own core. All
 // methods must be called from the thread's own body function; the engine
@@ -126,12 +156,39 @@ type Thread struct {
 	id  int
 	eng *Engine
 
+	// mem/hier shadow eng.Mem/eng.Hier: the load/store fast paths
+	// touch both on every operation, and reaching them in one hop
+	// instead of two through eng keeps the hops off the hot path.
+	mem  *memsim.Memory
+	hier *memsim.Hierarchy
+
 	now        int64
 	grantUntil int64
+	width      int // cfg.IssueWidth, copied to keep issue's fast path flat
+
+	// widthShift/widthMask replace issueSlow's divide by width with a
+	// shift and mask when the width is a power of two (it always is in
+	// practice); widthMask < 0 selects the generic divide.
+	widthShift uint8
+	widthMask  int32
+
+	// retired is set (by the thread itself, with the grant token held)
+	// once the thread has been fully accounted — counters folded into
+	// the session totals and any terminal ctl message sent — so the
+	// worker wrapper's recover does not report it a second time.
+	retired bool
 
 	instr     uint64
 	opCarry   int
 	burstLeft int
+
+	// robGate is the instruction count at which the oldest outstanding
+	// miss ages out of the reorder window (maxUint64 when none is
+	// outstanding): mshr.front().instr + ROBWindow, maintained by
+	// robCheck and outstanding. While instr stays below the gate the
+	// ROB check cannot pop-stall, so the op fast paths compare against
+	// it instead of running robCheck's drain loop on every issue.
+	robGate uint64
 
 	mshr   missRing
 	storeq timeRing
@@ -149,8 +206,14 @@ func (t *Thread) Now() int64 { return t.now }
 // Hazards returns the thread's hazard counters.
 func (t *Thread) Hazards() Hazards { return t.haz }
 
-// Ops returns the thread's dynamic operation counts.
-func (t *Thread) Ops() OpCounts { return t.ops }
+// Ops returns the thread's dynamic operation counts. Instrs is carried
+// in t.instr (the ROB-age counter) rather than incremented twice on the
+// per-instruction hot path.
+func (t *Thread) Ops() OpCounts {
+	o := t.ops
+	o.Instrs = t.instr
+	return o
+}
 
 // burstWindow is how many post-stall instructions count toward the FUI
 // (issue-burst) proxy.
@@ -166,27 +229,37 @@ func (t *Thread) stallTo(c int64) {
 	}
 }
 
-// issue charges n instructions of front-end issue bandwidth.
-func (t *Thread) issue(n int) {
-	t.instr += uint64(n)
-	t.ops.Instrs += uint64(n)
-	// Hot path: most calls issue a single instruction, so the carry
-	// rarely reaches the issue width — skip the div/mod entirely then.
-	if c := t.opCarry + n; c < t.eng.cfg.IssueWidth {
+// Issuing n instructions of front-end issue bandwidth is open-coded at
+// every op site ("issue(n) by hand"): the fast path — carry stays under
+// the issue width, no post-stall burst window open, no outstanding miss
+// to age against the ROB — is two adds and three compares, but as a
+// function it sits just over the compiler's inlining budget, so each op
+// repeats it inline and falls into issueSlow for the rest.
+//
+// issueSlow handles that rest: clock advance on a filled issue group,
+// burst accounting, and the ROB-age check (robCheck is a no-op when no
+// miss is outstanding, which is why the fast path may skip it).
+func (t *Thread) issueSlow(c, n int) {
+	if c < t.width {
 		t.opCarry = c
+	} else if t.widthMask >= 0 {
+		t.now += int64(c >> t.widthShift)
+		t.opCarry = c & int(t.widthMask)
 	} else {
-		t.now += int64(c / t.eng.cfg.IssueWidth)
-		t.opCarry = c % t.eng.cfg.IssueWidth
+		t.now += int64(c / t.width)
+		t.opCarry = c % t.width
 	}
 	if t.burstLeft > 0 {
-		c := n
-		if c > t.burstLeft {
-			c = t.burstLeft
+		b := n
+		if b > t.burstLeft {
+			b = t.burstLeft
 		}
-		t.haz.IssueBurst += uint64(c)
-		t.burstLeft -= c
+		t.haz.IssueBurst += uint64(b)
+		t.burstLeft -= b
 	}
-	t.robCheck()
+	if t.instr >= t.robGate {
+		t.robCheck()
+	}
 }
 
 // robCheck enforces the reorder-window bound: the thread may not issue
@@ -206,6 +279,19 @@ func (t *Thread) robCheck() {
 		}
 		break
 	}
+	t.setROBGate()
+}
+
+// setROBGate recomputes robGate from the current MSHR front. Deferring
+// drains of completed entries until the gate is crossed is safe: the
+// front's completed-or-aged state is re-examined wherever it matters —
+// here, and in outstanding before the occupancy check.
+func (t *Thread) setROBGate() {
+	if t.mshr.empty() {
+		t.robGate = ^uint64(0)
+	} else {
+		t.robGate = t.mshr.front().instr + uint64(t.eng.cfg.ROBWindow)
+	}
 }
 
 // outstanding records a non-L1 load completing after lat cycles,
@@ -222,11 +308,17 @@ func (t *Thread) outstanding(lat int64) {
 		}
 	}
 	t.mshr.push(missEntry{instr: t.instr, done: t.now + lat})
+	t.setROBGate()
 }
 
 // Compute charges n ALU instructions.
 func (t *Thread) Compute(n int) {
-	t.issue(n)
+	t.instr += uint64(n) // issue(n) by hand, as in Load64
+	if c := t.opCarry + n; c < t.width && t.burstLeft == 0 && t.instr < t.robGate {
+		t.opCarry = c
+	} else {
+		t.issueSlow(c, n)
+	}
 	t.checkYield()
 }
 
@@ -240,11 +332,9 @@ func (t *Thread) Compute(n int) {
 // whether its lines leave by eviction or by flush, which is why eager
 // flushing costs little on streaming write-bound code but shows up
 // clearly on cache-blocked code (§VI).
-func (t *Thread) bookWritebacks(before uint64) {
-	after, _, _, _ := t.eng.Mem.NVMMWrites()
-	if after == before {
-		return
-	}
+// Call sites compare NVMMWriteTotal themselves and only pay this call
+// when an access actually evicted something — the rare case.
+func (t *Thread) bookWritebacks(before, after uint64) {
 	e := t.eng
 	for i := before; i < after; i++ {
 		e.mcAccept(t.now)
@@ -257,11 +347,19 @@ func (t *Thread) bookWritebacks(before uint64) {
 
 // Load64 performs a 64-bit load through the cache hierarchy.
 func (t *Thread) Load64(a memsim.Addr) uint64 {
-	t.issue(1)
+	// issue(1) by hand: the compiler can't inline issue (the issueSlow
+	// call puts it just over budget) and loads/stores are the two
+	// hottest op kinds in every workload.
+	t.instr++
+	if c := t.opCarry + 1; c < t.width && t.burstLeft == 0 && t.instr < t.robGate {
+		t.opCarry = c
+	} else {
+		t.issueSlow(c, 1)
+	}
 	t.ops.Loads++
 	cfg := &t.eng.cfg
-	wb, _, _, _ := t.eng.Mem.NVMMWrites()
-	switch t.eng.Hier.Access(t.id, a, false, t.now) {
+	wb := t.mem.NVMMWriteTotal()
+	switch t.hier.Access(t.id, a, false, t.now) {
 	case memsim.AccessL1:
 		// L1 hit latency is hidden by the out-of-order window.
 	case memsim.AccessL2:
@@ -269,21 +367,28 @@ func (t *Thread) Load64(a memsim.Addr) uint64 {
 	case memsim.AccessMem:
 		t.outstanding(cfg.L2HitLat + cfg.MemReadLat)
 	}
-	t.bookWritebacks(wb)
+	if after := t.mem.NVMMWriteTotal(); after != wb {
+		t.bookWritebacks(wb, after)
+	}
 	t.checkYield()
-	return t.eng.Mem.Load64(a)
+	return t.mem.Load64(a)
 }
 
 // Store64 performs a 64-bit store through the cache hierarchy
 // (write-back, write-allocate). The store retires into the store buffer;
 // only sfence waits for its completion.
 func (t *Thread) Store64(a memsim.Addr, v uint64) {
-	t.issue(1)
+	t.instr++ // issue(1) by hand, as in Load64
+	if c := t.opCarry + 1; c < t.width && t.burstLeft == 0 && t.instr < t.robGate {
+		t.opCarry = c
+	} else {
+		t.issueSlow(c, 1)
+	}
 	t.ops.Stores++
 	cfg := &t.eng.cfg
 	var fill int64 = 1
-	wb, _, _, _ := t.eng.Mem.NVMMWrites()
-	switch t.eng.Hier.Access(t.id, a, true, t.now) {
+	wb := t.mem.NVMMWriteTotal()
+	switch t.hier.Access(t.id, a, true, t.now) {
 	case memsim.AccessL1:
 	case memsim.AccessL2:
 		fill = cfg.L2HitLat
@@ -297,8 +402,10 @@ func (t *Thread) Store64(a memsim.Addr, v uint64) {
 		t.storeq.drainDone(t.now)
 	}
 	t.storeq.push(t.now + fill)
-	t.bookWritebacks(wb)
-	t.eng.Mem.Store64(a, v)
+	if after := t.mem.NVMMWriteTotal(); after != wb {
+		t.bookWritebacks(wb, after)
+	}
+	t.mem.Store64(a, v)
 	t.checkYield()
 }
 
@@ -325,10 +432,15 @@ func (t *Thread) StoreF(a memsim.Addr, v float64) { t.Store64(a, math.Float64bit
 //     through the store queue, and a full store queue stalls the flush
 //     (FUW).
 func (t *Thread) Flush(a memsim.Addr) {
-	t.issue(1)
+	t.instr++ // issue(1) by hand, as in Load64
+	if c := t.opCarry + 1; c < t.width && t.burstLeft == 0 && t.instr < t.robGate {
+		t.opCarry = c
+	} else {
+		t.issueSlow(c, 1)
+	}
 	t.ops.Flushes++
 	cfg := &t.eng.cfg
-	dirty := t.eng.Hier.Flush(t.id, a, t.now)
+	dirty := t.hier.Flush(t.id, a, t.now)
 	t.now += cfg.L2HitLat // cache-port occupancy
 	done := t.now + 1
 	if dirty {
@@ -350,9 +462,14 @@ func (t *Thread) Flush(a memsim.Addr) {
 // Fence issues sfence: the thread waits until every outstanding store
 // and flush it issued has completed (reached the ADR durability domain).
 func (t *Thread) Fence() {
-	t.issue(1)
+	t.instr++ // issue(1) by hand, as in Load64
+	if c := t.opCarry + 1; c < t.width && t.burstLeft == 0 && t.instr < t.robGate {
+		t.opCarry = c
+	} else {
+		t.issueSlow(c, 1)
+	}
 	t.ops.Fences++
-	target := t.storeq.maxTime()
+	target := t.storeq.maxPending()
 	if target > t.now {
 		t.haz.FenceStalls++
 		t.haz.FenceCycles += target - t.now
@@ -374,7 +491,7 @@ func (t *Thread) finish() {
 			}
 		}
 	}
-	if s := t.storeq.maxTime(); s > end {
+	if s := t.storeq.maxPending(); s > end {
 		end = s
 	}
 	t.now = end

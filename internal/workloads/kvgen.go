@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Request-driven (YCSB-style) workload generation for the KV store
@@ -137,7 +138,7 @@ func (g *KVGen) pick() int {
 	if g.zipf == nil {
 		return int(r % uint64(g.preload))
 	}
-	rank := g.zipf.rank(float64(r>>11) / float64(1<<53))
+	rank := g.zipf.rank53(r >> 11)
 	return int(splitmix(uint64(rank)) % uint64(g.preload))
 }
 
@@ -167,7 +168,29 @@ type zipfGen struct {
 	zetan float64
 	eta   float64
 	half  float64 // 0.5^theta
+
+	// thr, when non-nil, is the threshold table replacing the per-draw
+	// math.Pow: thr[j] is the smallest 53-bit draw k whose rankSlow
+	// exceeds j, so rank53(k) is the count of entries ≤ k. Draws
+	// arrive as u = k/2^53, an exact and strictly increasing function
+	// of k, so thresholds over k capture the float mapping exactly; the
+	// table is validated against rankSlow on a 64Ki-draw sample at
+	// build time and discarded (thr=nil, slow path) on any mismatch.
+	// bkt radix-indexes thr by the draw's top zipfBktBits bits —
+	// bkt[b] is the first thr index at or past b<<zipfBktShift — so a
+	// draw resolves with one bucket load and a step or two of scan.
+	thr []uint64
+	bkt []int32
 }
+
+// The bucket index splits the 53-bit draw space into 2^zipfBktBits
+// equal slices; thresholds are at most a few per slice for any keyspace
+// size the experiments use (their density is the rank function's slope,
+// bounded well below one per slice around n ≈ 512).
+const (
+	zipfBktBits  = 12
+	zipfBktShift = 53 - zipfBktBits
+)
 
 func newZipf(n int, theta float64) *zipfGen {
 	if n < 1 {
@@ -181,12 +204,15 @@ func newZipf(n int, theta float64) *zipfGen {
 	zeta2 := 1 + z.half
 	z.alpha = 1 / (1 - theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	z.thr, z.bkt = zipfThresholds(z)
 	return z
 }
 
-// rank maps a uniform u ∈ [0,1) to a zipf-distributed rank in [0, n):
-// rank 0 is the most popular item.
-func (z *zipfGen) rank(u float64) int {
+// rankSlow maps a uniform u ∈ [0,1) to a zipf-distributed rank in
+// [0, n): rank 0 is the most popular item. This is the Gray et al.
+// arithmetic; rank53 answers draws from the threshold table and keeps
+// this as reference and fallback.
+func (z *zipfGen) rankSlow(u float64) int {
 	uz := u * z.zetan
 	if uz < 1 {
 		return 0
@@ -199,4 +225,109 @@ func (z *zipfGen) rank(u float64) int {
 		r = z.n - 1
 	}
 	return r
+}
+
+// rank53 maps a 53-bit uniform draw k (u = k/2^53) to its rank.
+func (z *zipfGen) rank53(k uint64) int {
+	thr := z.thr
+	if thr == nil {
+		return z.rankSlow(float64(k) / float64(1<<53))
+	}
+	j := int(z.bkt[k>>zipfBktShift])
+	for j < len(thr) && thr[j] <= k {
+		j++
+	}
+	return j
+}
+
+// zipfTableCache shares threshold tables between generators: every
+// thread of a session — and every session of a sweep — draws from the
+// same (n, theta) distribution, so the table is built once per process.
+var zipfTableCache struct {
+	sync.Mutex
+	m map[zipfTableKey]zipfTable
+}
+
+type zipfTableKey struct {
+	n     int
+	theta float64
+}
+
+type zipfTable struct {
+	thr []uint64
+	bkt []int32
+}
+
+func zipfThresholds(z *zipfGen) ([]uint64, []int32) {
+	key := zipfTableKey{n: z.n, theta: z.theta}
+	c := &zipfTableCache
+	c.Lock()
+	defer c.Unlock()
+	if t, ok := c.m[key]; ok {
+		return t.thr, t.bkt
+	}
+	t := buildZipfThresholds(z)
+	if c.m == nil {
+		c.m = make(map[zipfTableKey]zipfTable)
+	}
+	c.m[key] = t
+	return t.thr, t.bkt
+}
+
+// buildZipfThresholds computes, for each rank boundary v, the smallest
+// 53-bit draw with rankSlow(k/2^53) ≥ v, then verifies the resulting
+// table reproduces rankSlow on a fixed pseudo-random sample. rankSlow
+// is non-decreasing on the draw grid up to float rounding of the Pow;
+// the sample check catches a table corrupted by any such rounding
+// wobble, in which case the empty table is returned and draws stay on
+// rankSlow.
+func buildZipfThresholds(z *zipfGen) zipfTable {
+	const grid = uint64(1) << 53
+	slow := func(k uint64) int { return z.rankSlow(float64(k) / float64(1<<53)) }
+	thr := make([]uint64, 0, z.n-1)
+	lo := uint64(0)
+	for v := 1; v < z.n; v++ {
+		a, b := lo, grid
+		for a < b {
+			mid := (a + b) / 2
+			if slow(mid) >= v {
+				b = mid
+			} else {
+				a = mid + 1
+			}
+		}
+		if a == grid {
+			break // ranks ≥ v are never drawn
+		}
+		thr = append(thr, a)
+		lo = a
+	}
+	bkt := make([]int32, 1<<zipfBktBits)
+	j := 0
+	for b := range bkt {
+		for j < len(thr) && thr[j] < uint64(b)<<zipfBktShift {
+			j++
+		}
+		bkt[b] = int32(j)
+	}
+	saveThr, saveBkt := z.thr, z.bkt
+	z.thr, z.bkt = thr, bkt
+	ok := true
+	s := uint64(0x6c62272e07bb0142) // fixed seed: the check must be deterministic
+	for i := 0; i < 1<<16 && ok; i++ {
+		s = splitmix(s)
+		k := s >> 11
+		ok = z.rank53(k) == slow(k)
+	}
+	for i := 0; i < len(thr) && ok; i++ {
+		ok = z.rank53(thr[i]) == slow(thr[i])
+		if ok && thr[i] > 0 {
+			ok = z.rank53(thr[i]-1) == slow(thr[i]-1)
+		}
+	}
+	z.thr, z.bkt = saveThr, saveBkt
+	if !ok {
+		return zipfTable{}
+	}
+	return zipfTable{thr: thr, bkt: bkt}
 }

@@ -134,3 +134,27 @@ func TestKVMixByName(t *testing.T) {
 		}
 	}
 }
+
+// TestZipfTableMatchesSlowPath pins the threshold-table fast path to
+// the Gray et al. arithmetic it replaces: for several keyspace sizes,
+// every draw of a large pseudo-random sample must rank identically
+// through the table and through rankSlow. A mismatch means generated
+// key streams — and with them every kv experiment output — changed.
+func TestZipfTableMatchesSlowPath(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 100, 512, 4096} {
+		z := newZipf(n, 0.99)
+		if z.thr == nil && n > 1 {
+			t.Errorf("n=%d: threshold table failed its build-time validation", n)
+		}
+		s := uint64(12345)
+		for i := 0; i < 200000; i++ {
+			s = splitmix(s)
+			k := s >> 11
+			got := z.rank53(k)
+			want := z.rankSlow(float64(k) / float64(1<<53))
+			if got != want {
+				t.Fatalf("n=%d k=%d: table rank %d, slow rank %d", n, k, got, want)
+			}
+		}
+	}
+}
