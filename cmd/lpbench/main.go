@@ -102,27 +102,15 @@ func runJSON(w io.Writer, outFile string, opt harness.Options) error {
 	if err != nil {
 		return err
 	}
-	submitted, executed := opt.Pool.Stats()
-	var hits, misses uint64
-	cacheOn := false
-	if c := opt.Pool.Cache(); c != nil {
-		cacheOn = true
-		hits, misses = c.Stats()
-	}
 	doc := struct {
-		Quick       bool                  `json:"quick"`
-		Threads     int                   `json:"threads,omitempty"`
-		Workers     int                   `json:"workers"`
-		Submitted   uint64                `json:"submitted"`
-		Executed    uint64                `json:"executed"`
-		Cache       bool                  `json:"cache"`
-		CacheHits   uint64                `json:"cache_hits"`
-		CacheMisses uint64                `json:"cache_misses"`
-		Sim         sim.Config            `json:"sim"`
-		SimHash     string                `json:"sim_hash"`
-		Benchmarks  []harness.BenchRecord `json:"benchmarks"`
-	}{opt.Quick, opt.Threads, opt.Pool.Workers(), submitted, executed,
-		cacheOn, hits, misses, opt.ResolvedSim(), harness.ConfigHash(opt.ResolvedSim()), records}
+		Quick   bool `json:"quick"`
+		Threads int  `json:"threads,omitempty"`
+		harness.Counters
+		Sim        sim.Config            `json:"sim"`
+		SimHash    string                `json:"sim_hash"`
+		Benchmarks []harness.BenchRecord `json:"benchmarks"`
+	}{opt.Quick, opt.Threads, opt.Pool.Counters(),
+		opt.ResolvedSim(), harness.ConfigHash(opt.ResolvedSim()), records}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -146,14 +134,5 @@ func runJSON(w io.Writer, outFile string, opt harness.Options) error {
 
 // printSummary reports runner statistics on stderr.
 func printSummary(pool *harness.RunPool, wall time.Duration) {
-	submitted, executed := pool.Stats()
-	line := fmt.Sprintf("runner: %d specs submitted, %d executed on %d workers",
-		submitted, executed, pool.Workers())
-	if c := pool.Cache(); c != nil {
-		hits, misses := c.Stats()
-		line += fmt.Sprintf(", cache %d hits / %d misses", hits, misses)
-	} else {
-		line += ", cache off"
-	}
-	fmt.Fprintf(os.Stderr, "%s, %.1fs wall\n", line, wall.Seconds())
+	fmt.Fprintf(os.Stderr, "runner: %s, %.1fs wall\n", pool.Counters(), wall.Seconds())
 }

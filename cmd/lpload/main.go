@@ -1,0 +1,71 @@
+// Command lpload drives open-window load against a running lpserve:
+// pipelined connections replaying the same deterministic YCSB-style
+// kvgen streams the in-simulator experiments use, with jittered
+// exponential backoff on overload. It reports throughput and latency
+// percentiles — the measured numbers behind EXPERIMENTS.md E15.
+//
+// Usage:
+//
+//	lpload -addr 127.0.0.1:7411 -dur 2s
+//	lpload -conns 4 -window 64 -mix b -json
+//	lpload -insert -ops 5000      # unique-key inserts (crash-demo shape)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lazyp/internal/kvserve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7411", "server address")
+		conns   = flag.Int("conns", 2, "concurrent connections")
+		window  = flag.Int("window", 32, "in-flight ops per connection")
+		ops     = flag.Int("ops", 0, "ops per connection (0 = run for -dur)")
+		dur     = flag.Duration("dur", 2*time.Second, "run duration when -ops is 0")
+		mix     = flag.String("mix", "a", "request mix: a | b | c | d")
+		dist    = flag.String("dist", "zipfian", "key distribution: zipfian | uniform")
+		streams = flag.Int("streams", 4, "server's preloaded stream count")
+		keys    = flag.Int("keys", 2048, "server's preloaded keys per stream")
+		seed    = flag.Uint64("seed", 1, "stream seed (must match the server)")
+		insert  = flag.Bool("insert", false, "insert-only unique keys instead of a mix")
+		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	if err := kvserve.WaitReady(*addr, 10*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "lpload: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := kvserve.RunLoad(*addr, kvserve.LoadOpts{
+		Conns: *conns, Window: *window, Ops: *ops, Dur: *dur,
+		Mix: *mix, Dist: *dist,
+		Streams: *streams, Keys: *keys, Seed: *seed,
+		InsertOnly: *insert,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lpload: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Printf("conns %d, window %d, %.2fs\n", rep.Conns, rep.Window, rep.ElapsedS)
+		fmt.Printf("  %d ops, %.0f ops/s\n", rep.Ops, rep.Throughput)
+		fmt.Printf("  puts acked %d, gets %d (miss %d)\n", rep.AckedPuts, rep.Gets, rep.NotFound)
+		fmt.Printf("  overloads %d (retries %d), expired %d, full %d, errors %d\n",
+			rep.Overloads, rep.Retries, rep.Expired, rep.Full, rep.Errors)
+		fmt.Printf("  latency p50 %.0fµs  p90 %.0fµs  p99 %.0fµs  max %.0fµs\n",
+			rep.P50us, rep.P90us, rep.P99us, rep.MaxUs)
+	}
+	if rep.Errors > 0 {
+		os.Exit(2)
+	}
+}

@@ -178,15 +178,7 @@ func runExperiments(ids string, quick bool, parallel int, nocache bool) error {
 
 	start := time.Now()
 	err = harness.RunExperiments(os.Stdout, os.Stderr, exps, opt)
-	submitted, executed := pool.Stats()
-	summary := fmt.Sprintf("runner: %d specs submitted, %d executed on %d workers",
-		submitted, executed, pool.Workers())
-	if cache != nil {
-		hits, misses := cache.Stats()
-		summary += fmt.Sprintf(", cache %d hits / %d misses", hits, misses)
-	} else {
-		summary += ", cache off"
-	}
-	fmt.Fprintf(os.Stderr, "%s, %.1fs wall\n", summary, time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "runner: %s, %.1fs wall\n",
+		pool.Counters(), time.Since(start).Seconds())
 	return err
 }

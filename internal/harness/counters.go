@@ -1,0 +1,40 @@
+package harness
+
+import "fmt"
+
+// Counters is the unified runner-statistics snapshot every front end
+// surfaces: lpbench -json embeds it verbatim in its document and lpsim
+// prints the same String on stderr, so the two tools report the pool
+// identically and cannot drift apart field by field.
+type Counters struct {
+	Workers     int    `json:"workers"`
+	Submitted   uint64 `json:"submitted"`
+	Executed    uint64 `json:"executed"`
+	Cache       bool   `json:"cache"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Counters snapshots the pool's submission, execution, and memo-cache
+// statistics in one consistent struct.
+func (p *RunPool) Counters() Counters {
+	c := Counters{Workers: p.workers}
+	c.Submitted, c.Executed = p.Stats()
+	if p.cache != nil {
+		c.Cache = true
+		c.CacheHits, c.CacheMisses = p.cache.Stats()
+	}
+	return c
+}
+
+// String renders the one-line human runner summary.
+func (c Counters) String() string {
+	line := fmt.Sprintf("%d specs submitted, %d executed on %d workers",
+		c.Submitted, c.Executed, c.Workers)
+	if c.Cache {
+		line += fmt.Sprintf(", cache %d hits / %d misses", c.CacheHits, c.CacheMisses)
+	} else {
+		line += ", cache off"
+	}
+	return line
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCounters pins the unified snapshot both lpsim and lpbench surface:
+// identical specs submitted twice execute once, and the hit shows up in
+// the same struct either tool reports.
+func TestCounters(t *testing.T) {
+	p := NewRunPool(2, NewCache())
+	defer p.Close()
+	spec := smokeSpec("tmm", VariantBase)
+	if _, err := p.RunAll(spec, spec); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Counters()
+	if c.Workers != 2 || c.Submitted != 2 || c.Executed != 1 {
+		t.Fatalf("counters %+v, want workers 2, submitted 2, executed 1", c)
+	}
+	if !c.Cache || c.CacheHits != 1 || c.CacheMisses != 1 {
+		t.Fatalf("counters %+v, want cache on with 1 hit / 1 miss", c)
+	}
+	s := c.String()
+	for _, want := range []string{"2 specs submitted", "1 executed", "1 hits / 1 misses"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+
+	q := NewRunPool(1, nil)
+	defer q.Close()
+	if c := q.Counters(); c.Cache || !strings.Contains(c.String(), "cache off") {
+		t.Fatalf("cache-off counters %+v (%q)", c, c.String())
+	}
+}

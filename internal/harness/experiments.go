@@ -224,6 +224,13 @@ func Experiments() []Experiment {
 			Paper: "n/a (extension): LP should track base; EP/WAL pay per-put persistence",
 			Run:   expKV,
 		},
+		{
+			ID:     "serve",
+			Title:  "E15 (beyond paper): networked kvserve throughput/latency, base/LP/EP/WAL + LP restart",
+			Paper:  "n/a (extension): LP group commit ≈ base throughput; EP/WAL pay a file write per put",
+			Run:    expServe,
+			Native: true,
+		},
 	}
 }
 

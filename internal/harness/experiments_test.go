@@ -48,7 +48,7 @@ func TestLookup(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) < 13 {
+	if len(ids) < 15 {
 		t.Fatalf("only %d experiments registered", len(ids))
 	}
 }

@@ -1,0 +1,132 @@
+package kvserve
+
+import (
+	"math"
+
+	"lazyp/internal/memsim"
+	"lazyp/internal/pmem"
+)
+
+// fileCtx is the deployment's pmem.Ctx: loads and stores hit the heap
+// image (the "cache"), Flush marks a line for write-back, and Fence
+// writes every flushed line to the backing file (the "NVMM"). Running
+// the existing lpstore/ep/wal code over it prices each discipline's
+// ordering points in real syscalls: EP pays a file write set per put,
+// WAL several, while LP's plain stores cost nothing until the owner
+// commits a batch with persistLines.
+//
+// A fileCtx is single-goroutine (one per shard owner, plus one for the
+// startup/recovery path); it also tracks every line dirtied by plain
+// stores since the last takeDirty, which the owner feeds to the
+// background write-back queue — the "natural evictions" that leak
+// unacknowledged state into the durable image.
+type fileCtx struct {
+	mem *memsim.Memory
+	pf  *pmemFile
+	id  int
+
+	dirty      map[memsim.Addr]struct{}
+	dirtyOrder []memsim.Addr
+	pend       map[memsim.Addr]struct{}
+	pendOrder  []memsim.Addr
+	err        error // first write error; surfaced at commit points
+}
+
+var _ pmem.Ctx = (*fileCtx)(nil)
+
+func newFileCtx(mem *memsim.Memory, pf *pmemFile, id int) *fileCtx {
+	return &fileCtx{
+		mem:   mem,
+		pf:    pf,
+		id:    id,
+		dirty: make(map[memsim.Addr]struct{}),
+		pend:  make(map[memsim.Addr]struct{}),
+	}
+}
+
+// Load64 implements pmem.Ctx.
+func (c *fileCtx) Load64(a memsim.Addr) uint64 { return c.mem.Load64(a) }
+
+// Store64 implements pmem.Ctx: a plain store mutates only the heap
+// image and remembers the dirty line.
+func (c *fileCtx) Store64(a memsim.Addr, v uint64) {
+	c.mem.Store64(a, v)
+	la := memsim.LineOf(a)
+	if _, ok := c.dirty[la]; !ok {
+		c.dirty[la] = struct{}{}
+		c.dirtyOrder = append(c.dirtyOrder, la)
+	}
+}
+
+// LoadF implements pmem.Ctx.
+func (c *fileCtx) LoadF(a memsim.Addr) float64 { return math.Float64frombits(c.mem.Load64(a)) }
+
+// StoreF implements pmem.Ctx.
+func (c *fileCtx) StoreF(a memsim.Addr, v float64) { c.Store64(a, math.Float64bits(v)) }
+
+// Flush implements pmem.Ctx: the line joins the set Fence will write.
+func (c *fileCtx) Flush(a memsim.Addr) {
+	la := memsim.LineOf(a)
+	if _, ok := c.pend[la]; !ok {
+		c.pend[la] = struct{}{}
+		c.pendOrder = append(c.pendOrder, la)
+	}
+}
+
+// Fence implements pmem.Ctx: every flushed line is written to the
+// file, then the set resets. This is the syscall cost of an EP or WAL
+// ordering point.
+func (c *fileCtx) Fence() {
+	for _, la := range c.pendOrder {
+		if err := c.pf.writeLine(la); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
+	c.pendOrder = c.pendOrder[:0]
+	clear(c.pend)
+	if c.pf.fsync {
+		if err := c.pf.sync(); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
+}
+
+// Compute implements pmem.Ctx (no accounting natively).
+func (c *fileCtx) Compute(int) {}
+
+// ThreadID implements pmem.Ctx.
+func (c *fileCtx) ThreadID() int { return c.id }
+
+// persistLines durably writes the given lines now — the LP group
+// commit (a batch's journal window plus its checksum slot) and the
+// recovery tail-zeroing use this directly, bypassing Flush/Fence.
+func (c *fileCtx) persistLines(lines []memsim.Addr) error {
+	for _, la := range lines {
+		if err := c.pf.writeLine(la); err != nil {
+			return err
+		}
+	}
+	if c.pf.fsync {
+		return c.pf.sync()
+	}
+	return nil
+}
+
+// takeDirty returns and resets the lines plain-stored since the last
+// call, in first-dirtied order.
+func (c *fileCtx) takeDirty() []memsim.Addr {
+	if len(c.dirtyOrder) == 0 {
+		return nil
+	}
+	out := c.dirtyOrder
+	c.dirtyOrder = nil
+	clear(c.dirty)
+	return out
+}
+
+// takeErr returns and clears the first deferred write error.
+func (c *fileCtx) takeErr() error {
+	err := c.err
+	c.err = nil
+	return err
+}

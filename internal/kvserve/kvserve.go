@@ -1,0 +1,180 @@
+// Package kvserve is a networked, sharded key-value service fronting
+// the lpstore shards — the layer that turns the repository's
+// closed-loop, in-process persistency study into a request-serving
+// system under open-loop concurrent load.
+//
+// The deployment mapping inverts the simulator's: here the process
+// heap plays the cache hierarchy and a backing file plays NVMM. A
+// plain store mutates only the heap image; durability is a 64-byte
+// line written to the file (pmemfile.go). Kill -9 loses the heap and
+// keeps the file — exactly the simulator's Memory.Crash, but produced
+// by a real process death with a genuinely torn file image: committed
+// journal prefixes, a half-written open batch, and table lines leaked
+// out of order by the background write-back goroutine.
+//
+// Request flow:
+//
+//   - every shard is owned by one goroutine with a bounded mailbox;
+//     connections route requests by key hash and never touch shard
+//     state themselves (the same single-writer discipline lpstore's
+//     shards assume, so no locks anywhere on the data path);
+//   - under LP, the owner group-commits: puts journal and mutate the
+//     table with plain heap stores, and when the batch reaches BatchK
+//     puts (or BatchWait expires, padding with lpstore.NopKey), the
+//     batch's journal lines and its lp.Table checksum line are written
+//     to the file in one burst — one file write set per K puts.
+//     Clients are acked only after that write set completes, so the
+//     service's durability contract is exactly lpstore's acked-prefix
+//     guarantee: a put is durable iff recovery acknowledges its batch;
+//   - under EP every put flushes and fences its own lines (one write
+//     set per put), and under WAL every put runs a durable undo-logged
+//     transaction (several write sets per put) — the same Figure-10
+//     baselines, now priced in syscalls instead of simulated cycles;
+//   - table lines dirtied by LP puts drift to the file through a
+//     bounded background write-back queue — the "natural eviction"
+//     that leaks unacknowledged inserts and makes restart recovery's
+//     ghost-wipe path real;
+//   - admission control: a full mailbox rejects instead of queueing
+//     (StatusOverload), queued requests past MaxQueueDelay expire
+//     unprocessed (StatusExpired), and near-full tables or an
+//     exhausted journal reject puts (StatusFull);
+//   - graceful drain: Close stops the listener, lets owners drain
+//     their mailboxes, pads and commits open batches, and syncs the
+//     file, so a SIGTERM'd server restarts with zero repair;
+//   - crash-recovering restart: opening an existing backing file
+//     replays every shard's journal through lpstore.RecoverLP before
+//     the listener accepts traffic, wiping ghosts and truncating the
+//     unacknowledged journal tail.
+package kvserve
+
+import (
+	"fmt"
+	"time"
+
+	"lazyp/internal/checksum"
+	"lazyp/internal/lpstore"
+)
+
+// Config describes one server instance. The geometry fields (Mode
+// through Seed) are burned into the backing file's header: reopening a
+// file with a different geometry is refused rather than silently
+// misinterpreted.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:7411"; port 0
+	// picks a free port — read it back from Server.Addr).
+	Addr string
+	// Path is the backing ("NVMM") file.
+	Path string
+
+	// Mode is the persistence discipline: ModeLP (group commit),
+	// ModeEP, ModeWAL, or ModeBase (no durability; throughput ceiling).
+	Mode lpstore.Mode
+	// Shards is the number of shard owner goroutines (power of two).
+	Shards int
+	// Capacity is the slot capacity per shard (rounded up to a power
+	// of two by lpstore).
+	Capacity int
+	// MaxOps is the per-shard journal capacity in puts, the lifetime
+	// put budget of an LP shard across restarts. Multiple of BatchK.
+	MaxOps int
+	// BatchK is the LP group-commit size: puts per checksum region.
+	BatchK int
+	// Kind is the checksum code for LP batches.
+	Kind checksum.Kind
+	// Streams and Keys describe the preloaded dataset: Keys keys for
+	// each of Streams kvgen client streams (workloads.KVKey(stream, i)),
+	// hash-routed to shards. Load generators that issue reads must use
+	// the same Streams/Keys/Seed so their key space exists.
+	Streams int
+	Keys    int
+	// Seed derives the preload values (workloads.KVInitVal).
+	Seed uint64
+
+	// Mailbox is the per-shard request queue depth; a full mailbox
+	// answers StatusOverload immediately (backpressure, not buffering).
+	Mailbox int
+	// BatchWait bounds how long an open LP batch waits for more puts
+	// before it is padded and committed.
+	BatchWait time.Duration
+	// MaxQueueDelay expires requests that waited longer than this in
+	// the mailbox (0 disables the deadline).
+	MaxQueueDelay time.Duration
+	// Fsync fsyncs the backing file on every commit write set. Off by
+	// default: the contract defended by the crash tests is process
+	// death (page cache survives), not power loss.
+	Fsync bool
+	// LeakDepth is the background write-back queue depth.
+	LeakDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1 << 14
+	}
+	if c.BatchK == 0 {
+		c.BatchK = 32
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 1 << 16
+	}
+	if c.Streams == 0 {
+		c.Streams = 4
+	}
+	if c.Keys == 0 {
+		c.Keys = 2048
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Mailbox == 0 {
+		c.Mailbox = 256
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 500 * time.Microsecond
+	}
+	if c.LeakDepth == 0 {
+		c.LeakDepth = 4096
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Path == "" {
+		return fmt.Errorf("kvserve: Config.Path is required")
+	}
+	if c.Shards&(c.Shards-1) != 0 || c.Shards <= 0 {
+		return fmt.Errorf("kvserve: Shards must be a positive power of two, got %d", c.Shards)
+	}
+	if c.BatchK < 1 || c.MaxOps < c.BatchK || c.MaxOps%c.BatchK != 0 {
+		return fmt.Errorf("kvserve: MaxOps (%d) must be a positive multiple of BatchK (%d)", c.MaxOps, c.BatchK)
+	}
+	switch c.Mode {
+	case lpstore.ModeBase, lpstore.ModeLP, lpstore.ModeEP, lpstore.ModeWAL:
+	default:
+		return fmt.Errorf("kvserve: unknown mode %v", c.Mode)
+	}
+	// The preload must leave headroom: watermark admission control
+	// rejects puts at 7/8 occupancy, so demand at most half the slots.
+	perShard := c.Streams * c.Keys / c.Shards
+	if 2*perShard > c.Capacity {
+		return fmt.Errorf("kvserve: preload %d keys/shard exceeds half of Capacity %d", perShard, c.Capacity)
+	}
+	return nil
+}
+
+// shardOf routes a key to its shard. The multiplier differs from the
+// table's probe hash (lpstore mix64) only in that we take the top bits,
+// so routing and in-shard placement stay decorrelated.
+func shardOf(key uint64, shards int) int {
+	x := key
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x>>40) & (shards - 1)
+}

@@ -1,0 +1,265 @@
+package kvserve
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazyp/internal/workloads"
+)
+
+// LoadOpts drives RunLoad. Streams/Keys/Seed must match the server's
+// Config so reads hit the preloaded key space; connection w replays
+// kvgen stream w mod Streams. InsertOnly switches to a unique-key
+// insert stream per connection (keys disjoint from the preload and
+// from every other connection), the shape the crash test needs.
+type LoadOpts struct {
+	Conns  int
+	Window int // in-flight ops per connection
+	Ops    int // ops per connection; 0 = run until Dur elapses
+	Dur    time.Duration
+
+	Mix  string // kvgen mix: "a", "b", "c", "d"
+	Dist string // "zipfian" or "uniform"
+
+	Streams int
+	Keys    int
+	Seed    uint64
+
+	InsertOnly bool
+	MaxRetries int // retries per op on StatusOverload (default 8)
+
+	// OnSend fires before an op's first send; OnAck fires when a put
+	// is acked StatusOK. Both may be nil; both may be called from many
+	// goroutines. The crash test records sent and acked puts here.
+	OnSend func(conn int, key, val uint64)
+	OnAck  func(conn int, key, val uint64)
+}
+
+// LoadReport is RunLoad's result. Latencies are measured per op from
+// first send to final response (retries included) in microseconds.
+type LoadReport struct {
+	Conns      int     `json:"conns"`
+	Window     int     `json:"window"`
+	ElapsedS   float64 `json:"elapsed_s"`
+	Ops        uint64  `json:"ops"` // completed ops, any final status
+	AckedPuts  uint64  `json:"acked_puts"`
+	Gets       uint64  `json:"gets"`
+	NotFound   uint64  `json:"not_found"`
+	Overloads  uint64  `json:"overloads"` // StatusOverload responses seen
+	Retries    uint64  `json:"retries"`
+	Expired    uint64  `json:"expired"`
+	Full       uint64  `json:"full"`
+	Errors     uint64  `json:"errors"` // connection-level failures
+	Throughput float64 `json:"throughput_ops_s"`
+	P50us      float64 `json:"p50_us"`
+	P90us      float64 `json:"p90_us"`
+	P99us      float64 `json:"p99_us"`
+	MaxUs      float64 `json:"max_us"`
+}
+
+func (o LoadOpts) withDefaults() LoadOpts {
+	if o.Conns == 0 {
+		o.Conns = 2
+	}
+	if o.Window == 0 {
+		o.Window = 32
+	}
+	if o.Ops == 0 && o.Dur == 0 {
+		o.Ops = 1000
+	}
+	if o.Mix == "" {
+		o.Mix = "a"
+	}
+	if o.Dist == "" {
+		o.Dist = "zipfian"
+	}
+	if o.Streams == 0 {
+		o.Streams = 4
+	}
+	if o.Keys == 0 {
+		o.Keys = 2048
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 8
+	}
+	return o
+}
+
+// insertKey is connection w's i-th unique key under InsertOnly: stream
+// ids past the server's preloaded streams, so the keys collide with
+// nothing.
+func insertKey(o LoadOpts, conn, i int) (key, val uint64) {
+	key = workloads.KVKey(o.Streams+conn, i)
+	return key, workloads.KVInitVal(o.Seed^0x9e3779b97f4a7c15, key)
+}
+
+// RunLoad drives an open-window load against addr: Conns pipelined
+// connections, each keeping Window ops in flight, retrying overloads
+// with jittered exponential backoff. It returns the merged report.
+func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
+	o = o.withDefaults()
+	mix, ok := workloads.KVMixByName(o.Mix)
+	if !ok {
+		return LoadReport{}, fmt.Errorf("kvserve: unknown mix %q", o.Mix)
+	}
+
+	var (
+		ops, acked, gets, notFound  atomic.Uint64
+		overloads, retries, expired atomic.Uint64
+		full, errs                  atomic.Uint64
+		latMu                       sync.Mutex
+		lats                        []float64
+		wg                          sync.WaitGroup
+		dialErr                     atomic.Pointer[error]
+	)
+	record := func(us float64) {
+		latMu.Lock()
+		lats = append(lats, us)
+		latMu.Unlock()
+	}
+
+	start := time.Now()
+	var end time.Time
+	if o.Dur > 0 {
+		end = start.Add(o.Dur)
+	}
+	for w := 0; w < o.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				dialErr.CompareAndSwap(nil, &err)
+				return
+			}
+			defer cl.Close()
+			var gen *workloads.KVGen
+			if !o.InsertOnly {
+				gen = workloads.NewKVGen(o.Seed, w%o.Streams, o.Keys, mix, o.Dist)
+			}
+			sem := make(chan struct{}, o.Window)
+			var inflight sync.WaitGroup
+			for i := 0; o.Ops == 0 || i < o.Ops; i++ {
+				if !end.IsZero() && !time.Now().Before(end) {
+					break
+				}
+				if cl.Err() != nil {
+					break // server died; the remaining ops cannot be issued
+				}
+				var op byte
+				var key, val uint64
+				if o.InsertOnly {
+					op = opPut
+					key, val = insertKey(o, w, i)
+				} else {
+					kv := gen.Next()
+					if kv.Kind == workloads.KVRead {
+						op, key = opGet, kv.Key
+					} else {
+						op, key, val = opPut, kv.Key, kv.Val
+					}
+				}
+				sem <- struct{}{}
+				inflight.Add(1)
+				go func(op byte, key, val uint64) {
+					defer inflight.Done()
+					defer func() { <-sem }()
+					if op == opPut && o.OnSend != nil {
+						o.OnSend(w, key, val)
+					}
+					t0 := time.Now()
+					for attempt := 0; ; attempt++ {
+						ch, err := cl.start(op, key, val)
+						if err != nil {
+							errs.Add(1)
+							return
+						}
+						r := <-ch
+						if r.Err != nil {
+							errs.Add(1)
+							return
+						}
+						if r.Status == StatusOverload {
+							overloads.Add(1)
+							if attempt < o.MaxRetries {
+								retries.Add(1)
+								backoff(attempt)
+								continue
+							}
+						}
+						ops.Add(1)
+						record(float64(time.Since(t0).Microseconds()))
+						switch {
+						case op == opGet:
+							gets.Add(1)
+							if r.Status == StatusNotFound {
+								notFound.Add(1)
+							}
+						case r.Status == StatusOK:
+							acked.Add(1)
+							if o.OnAck != nil {
+								o.OnAck(w, key, val)
+							}
+						case r.Status == StatusExpired:
+							expired.Add(1)
+						case r.Status == StatusFull:
+							full.Add(1)
+						}
+						return
+					}
+				}(op, key, val)
+			}
+			inflight.Wait()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if ep := dialErr.Load(); ep != nil && ops.Load() == 0 {
+		return LoadReport{}, *ep
+	}
+	rep := LoadReport{
+		Conns: o.Conns, Window: o.Window,
+		ElapsedS: elapsed.Seconds(),
+		Ops:      ops.Load(), AckedPuts: acked.Load(),
+		Gets: gets.Load(), NotFound: notFound.Load(),
+		Overloads: overloads.Load(), Retries: retries.Load(),
+		Expired: expired.Load(), Full: full.Load(),
+		Errors: errs.Load(),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
+	}
+	rep.P50us, rep.P90us, rep.P99us, rep.MaxUs = percentiles(lats)
+	return rep, nil
+}
+
+// backoff sleeps the jittered exponential delay for a retry attempt.
+func backoff(attempt int) {
+	base := 200 * time.Microsecond << uint(attempt)
+	if base > 10*time.Millisecond {
+		base = 10 * time.Millisecond
+	}
+	time.Sleep(base/2 + time.Duration(rand.Int64N(int64(base))))
+}
+
+// percentiles returns p50/p90/p99/max of the sample set (zeros when
+// empty).
+func percentiles(v []float64) (p50, p90, p99, max float64) {
+	if len(v) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(v)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(v)-1))
+		return v[i]
+	}
+	return at(0.50), at(0.90), at(0.99), v[len(v)-1]
+}

@@ -1,0 +1,178 @@
+package kvserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"lazyp/internal/memsim"
+)
+
+const (
+	// pmemMagic identifies a kvserve backing file; the trailing digits
+	// version the header layout.
+	pmemMagic = "LPKVPM01"
+	// headerSize is the byte offset of the memory image in the file;
+	// the header occupies one page regardless of how little it uses.
+	headerSize = 4096
+)
+
+// headerBytes renders the geometry header for a config and image size.
+// Reopen compares the whole page byte-for-byte: any geometry drift —
+// different mode, shard count, journal size, preload, or a different
+// lpstore layout after a code change that resizes allocations — shows
+// up as a refused open instead of a silently misread image.
+func headerBytes(cfg Config, imageSize int) []byte {
+	h := make([]byte, headerSize)
+	copy(h, pmemMagic)
+	fields := []uint64{
+		uint64(cfg.Mode), uint64(cfg.Shards), uint64(cfg.Capacity),
+		uint64(cfg.MaxOps), uint64(cfg.BatchK), uint64(cfg.Kind),
+		uint64(cfg.Streams), uint64(cfg.Keys), cfg.Seed,
+		uint64(imageSize),
+	}
+	for i, f := range fields {
+		binary.LittleEndian.PutUint64(h[len(pmemMagic)+8*i:], f)
+	}
+	return h
+}
+
+// pmemFile is the durability domain: a file holding the geometry header
+// followed by a byte-for-byte copy of the memsim image. The heap image
+// is the cache; a line is durable exactly when it has been written
+// here. All writes are positional (WriteAt), so the background
+// write-back goroutine and a shard owner can write disjoint lines
+// concurrently without coordination.
+type pmemFile struct {
+	f     *os.File
+	mem   *memsim.Memory
+	fsync bool
+}
+
+// openPmemFile opens or creates the backing file for mem. A zero-size
+// (new) file is initialized with the header and a zero image —
+// matching mem's freshly-allocated durably-zero contents — and
+// restored=false is returned. An existing file must match the expected
+// header exactly and restored=true is returned; the caller then loads
+// the image with readImage and runs recovery.
+func openPmemFile(path string, cfg Config, mem *memsim.Memory) (pf *pmemFile, restored bool, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	pf = &pmemFile{f: f, mem: mem, fsync: cfg.Fsync}
+	want := headerBytes(cfg, mem.Size())
+	if st.Size() == 0 {
+		if _, err = f.WriteAt(want, 0); err != nil {
+			return nil, false, err
+		}
+		if err = f.Truncate(int64(headerSize + mem.Size())); err != nil {
+			return nil, false, err
+		}
+		return pf, false, nil
+	}
+	got := make([]byte, headerSize)
+	if _, err = io.ReadFull(io.NewSectionReader(f, 0, headerSize), got); err != nil {
+		return nil, false, fmt.Errorf("kvserve: %s: short header: %w", path, err)
+	}
+	if string(got[:len(pmemMagic)]) != pmemMagic {
+		return nil, false, fmt.Errorf("kvserve: %s is not a kvserve backing file", path)
+	}
+	if !bytes.Equal(got, want) {
+		return nil, false, fmt.Errorf("kvserve: %s geometry does not match the configuration", path)
+	}
+	if st.Size() != int64(headerSize+mem.Size()) {
+		return nil, false, fmt.Errorf("kvserve: %s is %d bytes, want %d", path, st.Size(), headerSize+mem.Size())
+	}
+	return pf, true, nil
+}
+
+// writeLine durably writes the 64-byte line containing a, composed
+// from the heap image. Only the goroutine owning the line may call
+// this (shard owners for their shard's lines; the startup path before
+// owners exist).
+func (p *pmemFile) writeLine(a memsim.Addr) error {
+	la := memsim.LineOf(a)
+	var buf [memsim.LineSize]byte
+	for i := 0; i < memsim.LineSize; i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], p.mem.Load64(la+memsim.Addr(i)))
+	}
+	_, err := p.f.WriteAt(buf[:], headerSize+int64(la))
+	return err
+}
+
+// writeLineBytes durably writes a snapshot of a line taken earlier by
+// its owner — the write-back goroutine's path, which must not read the
+// heap image itself (the owner may be mutating it).
+func (p *pmemFile) writeLineBytes(la memsim.Addr, buf *[memsim.LineSize]byte) error {
+	_, err := p.f.WriteAt(buf[:], headerSize+int64(la))
+	return err
+}
+
+// snapshotLine copies the line containing a out of the heap image.
+func (p *pmemFile) snapshotLine(a memsim.Addr) (la memsim.Addr, buf [memsim.LineSize]byte) {
+	la = memsim.LineOf(a)
+	for i := 0; i < memsim.LineSize; i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], p.mem.Load64(la+memsim.Addr(i)))
+	}
+	return la, buf
+}
+
+// writeImage durably writes the whole heap image — the fresh-boot path
+// after preload, the file-side analogue of Memory.Persist.
+func (p *pmemFile) writeImage() error {
+	const chunk = 1 << 16
+	buf := make([]byte, chunk)
+	size := p.mem.Size()
+	for off := 0; off < size; off += chunk {
+		n := chunk
+		if size-off < n {
+			n = size - off
+		}
+		for i := 0; i < n; i += 8 {
+			binary.LittleEndian.PutUint64(buf[i:], p.mem.Load64(memsim.Addr(off+i)))
+		}
+		if _, err := p.f.WriteAt(buf[:n], headerSize+int64(off)); err != nil {
+			return err
+		}
+	}
+	return p.f.Sync()
+}
+
+// readImage loads the file image into the heap — the restart path. The
+// durable image is synchronized too, so in-process inspection helpers
+// built on memsim see RAM == NVMM, the post-crash condition.
+func (p *pmemFile) readImage() error {
+	const chunk = 1 << 16
+	buf := make([]byte, chunk)
+	size := p.mem.Size()
+	for off := 0; off < size; off += chunk {
+		n := chunk
+		if size-off < n {
+			n = size - off
+		}
+		if _, err := io.ReadFull(io.NewSectionReader(p.f, headerSize+int64(off), int64(n)), buf[:n]); err != nil {
+			return fmt.Errorf("kvserve: short image read at %d: %w", off, err)
+		}
+		for i := 0; i < n; i += 8 {
+			p.mem.Store64(memsim.Addr(off+i), binary.LittleEndian.Uint64(buf[i:]))
+		}
+	}
+	p.mem.Persist(0, size)
+	return nil
+}
+
+func (p *pmemFile) sync() error { return p.f.Sync() }
+
+func (p *pmemFile) close() error { return p.f.Close() }

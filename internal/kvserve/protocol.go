@@ -1,0 +1,262 @@
+package kvserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The wire protocol is a fixed-frame binary exchange sized for
+// pipelining: requests are 21 bytes ([op:1][seq:4][key:8][val:8]),
+// responses 13 ([seq:4][status:1][val:8]). Sequence numbers are
+// per-connection and chosen by the client; responses may arrive out of
+// order (different shards commit independently), which is the point —
+// a connection keeps a window of requests in flight and the group
+// commit acks them in batch order.
+const (
+	opPut  = 'P'
+	opGet  = 'G'
+	opPing = 'N'
+
+	reqSize  = 1 + 4 + 8 + 8
+	respSize = 4 + 1 + 8
+)
+
+// Response status codes.
+const (
+	// StatusOK acks the operation; for a put it means the put's batch
+	// (LP) or its own write set (EP/WAL) is durably in the backing file.
+	StatusOK = byte(iota)
+	// StatusNotFound is a get miss.
+	StatusNotFound
+	// StatusOverload means the shard's mailbox was full; retry later.
+	StatusOverload
+	// StatusExpired means the request waited in the mailbox past
+	// MaxQueueDelay and was not executed.
+	StatusExpired
+	// StatusFull rejects a put: the shard's table is at its admission
+	// watermark or its LP journal is exhausted.
+	StatusFull
+	// StatusBadRequest rejects a malformed frame (unknown op, or a
+	// reserved key: 0 and NopKey).
+	StatusBadRequest
+	// StatusShutdown means the server is draining (or hit a backing-
+	// file write error) and took no action.
+	StatusShutdown
+)
+
+// StatusName returns a human-readable status label.
+func StatusName(st byte) string {
+	switch st {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not_found"
+	case StatusOverload:
+		return "overload"
+	case StatusExpired:
+		return "expired"
+	case StatusFull:
+		return "full"
+	case StatusBadRequest:
+		return "bad_request"
+	case StatusShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("status(%d)", st)
+}
+
+func encodeReq(buf *[reqSize]byte, op byte, seq uint32, key, val uint64) {
+	buf[0] = op
+	binary.LittleEndian.PutUint32(buf[1:], seq)
+	binary.LittleEndian.PutUint64(buf[5:], key)
+	binary.LittleEndian.PutUint64(buf[13:], val)
+}
+
+func decodeReq(buf *[reqSize]byte) (op byte, seq uint32, key, val uint64) {
+	return buf[0],
+		binary.LittleEndian.Uint32(buf[1:]),
+		binary.LittleEndian.Uint64(buf[5:]),
+		binary.LittleEndian.Uint64(buf[13:])
+}
+
+func encodeResp(buf *[respSize]byte, seq uint32, status byte, val uint64) {
+	binary.LittleEndian.PutUint32(buf[0:], seq)
+	buf[4] = status
+	binary.LittleEndian.PutUint64(buf[5:], val)
+}
+
+func decodeResp(buf *[respSize]byte) (seq uint32, status byte, val uint64) {
+	return binary.LittleEndian.Uint32(buf[0:]),
+		buf[4],
+		binary.LittleEndian.Uint64(buf[5:])
+}
+
+// Response is one operation's outcome as seen by a Client. Err is set
+// only for connection-level failures (the server died or the
+// connection broke before the response arrived); otherwise Status is
+// one of the Status codes above.
+type Response struct {
+	Status byte
+	Val    uint64
+	Err    error
+}
+
+// Client is a pipelined connection to a server: any number of
+// operations may be in flight, matched to responses by sequence
+// number. Safe for concurrent use.
+type Client struct {
+	c   net.Conn
+	wmu sync.Mutex // serializes request frames
+
+	mu   sync.Mutex
+	seq  uint32
+	pend map[uint32]chan Response
+	err  error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{c: c, pend: make(map[uint32]chan Response)}
+	go cl.readLoop()
+	return cl, nil
+}
+
+// WaitReady dials addr and pings until the server answers or the
+// timeout elapses — the boot barrier for tests and scripted runs.
+func WaitReady(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		cl, err := Dial(addr)
+		if err == nil {
+			err = cl.Ping()
+			cl.Close()
+			if err == nil {
+				return nil
+			}
+		}
+		last = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("kvserve: %s not ready after %v: %w", addr, timeout, last)
+}
+
+// start issues one operation and returns the channel its Response will
+// arrive on (buffered; safe to abandon).
+func (cl *Client) start(op byte, key, val uint64) (<-chan Response, error) {
+	ch := make(chan Response, 1)
+	cl.mu.Lock()
+	if cl.err != nil {
+		err := cl.err
+		cl.mu.Unlock()
+		return nil, err
+	}
+	cl.seq++
+	seq := cl.seq
+	cl.pend[seq] = ch
+	cl.mu.Unlock()
+
+	var buf [reqSize]byte
+	encodeReq(&buf, op, seq, key, val)
+	cl.wmu.Lock()
+	_, err := cl.c.Write(buf[:])
+	cl.wmu.Unlock()
+	if err != nil {
+		cl.mu.Lock()
+		delete(cl.pend, seq)
+		cl.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (cl *Client) readLoop() {
+	br := bufio.NewReaderSize(cl.c, 1<<12)
+	var buf [respSize]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			cl.fail(err)
+			return
+		}
+		seq, status, val := decodeResp(&buf)
+		cl.mu.Lock()
+		ch := cl.pend[seq]
+		delete(cl.pend, seq)
+		cl.mu.Unlock()
+		if ch != nil {
+			ch <- Response{Status: status, Val: val}
+		}
+	}
+}
+
+// fail poisons the client and completes every in-flight operation
+// with err — an unacked put stays unacked, exactly the durability
+// question the crash test asks.
+func (cl *Client) fail(err error) {
+	cl.mu.Lock()
+	if cl.err == nil {
+		cl.err = err
+	}
+	for seq, ch := range cl.pend {
+		delete(cl.pend, seq)
+		ch <- Response{Err: err}
+	}
+	cl.mu.Unlock()
+}
+
+// Put writes key=val and waits for the ack.
+func (cl *Client) Put(key, val uint64) (byte, error) {
+	ch, err := cl.start(opPut, key, val)
+	if err != nil {
+		return 0, err
+	}
+	r := <-ch
+	return r.Status, r.Err
+}
+
+// Get reads key.
+func (cl *Client) Get(key uint64) (uint64, byte, error) {
+	ch, err := cl.start(opGet, key, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := <-ch
+	return r.Val, r.Status, r.Err
+}
+
+// Ping round-trips a no-op frame.
+func (cl *Client) Ping() error {
+	ch, err := cl.start(opPing, 1, 0)
+	if err != nil {
+		return err
+	}
+	r := <-ch
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Status != StatusOK {
+		return fmt.Errorf("kvserve: ping answered %s", StatusName(r.Status))
+	}
+	return nil
+}
+
+// Err returns the connection-level failure that poisoned the client,
+// if any.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
+// Close tears the connection down; in-flight operations complete with
+// an error.
+func (cl *Client) Close() error { return cl.c.Close() }

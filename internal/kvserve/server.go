@@ -1,0 +1,702 @@
+package kvserve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazyp/internal/ep"
+	"lazyp/internal/lp"
+	"lazyp/internal/lpstore"
+	"lazyp/internal/memsim"
+	"lazyp/internal/workloads"
+)
+
+// request is one decoded frame routed to a shard owner.
+type request struct {
+	op       byte
+	seq      uint32
+	key, val uint64
+	enq      time.Time
+	cn       *srvConn
+}
+
+// wireResp is one response queued on a connection's writer.
+type wireResp struct {
+	seq    uint32
+	status byte
+	val    uint64
+}
+
+// srvConn is the server side of one client connection: a reader
+// goroutine decoding and routing frames, and a writer goroutine
+// draining out. Owners never write the socket themselves — they queue
+// on out, and a dead connection (done closed) absorbs replies.
+type srvConn struct {
+	c    net.Conn
+	out  chan wireResp
+	done chan struct{}
+	once sync.Once
+}
+
+func (cn *srvConn) reply(seq uint32, status byte, val uint64) {
+	select {
+	case cn.out <- wireResp{seq, status, val}:
+	case <-cn.done:
+	}
+}
+
+func (cn *srvConn) stop() {
+	cn.once.Do(func() {
+		close(cn.done)
+		cn.c.Close()
+	})
+}
+
+// lineSnap is one leaked line: a snapshot its owner took, written to
+// the file later by the write-back goroutine.
+type lineSnap struct {
+	la  memsim.Addr
+	buf [memsim.LineSize]byte
+}
+
+// shardState is one shard's server-side state, touched only by its
+// owner goroutine once the server starts.
+type shardState struct {
+	id        int
+	sh        *lpstore.Shard
+	w         *lpstore.Writer
+	ctx       *fileCtx
+	mb        chan request
+	pending   []request // LP: puts awaiting their batch's commit
+	deadline  time.Time // LP: when the open batch force-commits
+	occupied  int       // architectural slot occupancy (watermark)
+	highWater int
+	baseline  [][2]uint64 // preloaded pairs, recovery's replay base
+	// tabLo/tabHi bound the table's line addresses: only table lines
+	// may leak through the write-back queue (a stale journal-line
+	// snapshot could clobber a later group commit's file write; table
+	// lines have a single writer — the leaker — so FIFO order keeps
+	// the file monotone).
+	tabLo, tabHi memsim.Addr
+}
+
+func (sd *shardState) basePair(i int) (uint64, uint64) {
+	return sd.baseline[i][0], sd.baseline[i][1]
+}
+
+// Stats is a snapshot of the server's operation counters.
+type Stats struct {
+	Gets        uint64 `json:"gets"`
+	GetMisses   uint64 `json:"get_misses"`
+	Puts        uint64 `json:"puts"`
+	AckedPuts   uint64 `json:"acked_puts"`
+	Batches     uint64 `json:"batches"`
+	Pads        uint64 `json:"pads"`
+	Overloads   uint64 `json:"overloads"`
+	Expired     uint64 `json:"expired"`
+	Full        uint64 `json:"full"`
+	LeakedLines uint64 `json:"leaked_lines"`
+	LeakDropped uint64 `json:"leak_dropped"`
+}
+
+// Server is one kvserve instance. Build with New (which performs
+// preload or crash recovery), then Start to accept traffic, then
+// Close to drain gracefully. Inspection methods (Contents, Verify...)
+// are only safe before Start or after Close/Abort returns.
+type Server struct {
+	cfg      Config
+	mem      *memsim.Memory
+	pf       *pmemFile
+	shards   []*shardState
+	rec      *ep.Recompute
+	wal      *ep.WAL
+	restored bool
+	rstats   []lpstore.RecoverStats
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[*srvConn]struct{}
+	wgConns  sync.WaitGroup
+	wgOwners sync.WaitGroup
+	wgLeak   sync.WaitGroup
+	leakCh   chan lineSnap
+	started  bool
+	draining atomic.Bool
+	closed   atomic.Bool
+	aborting atomic.Bool
+	fileErr  atomic.Pointer[error]
+	closeErr error
+
+	ctGets, ctGetMisses, ctPuts, ctAcked   atomic.Uint64
+	ctBatches, ctPads, ctOverload          atomic.Uint64
+	ctExpired, ctFull, ctLeaked, ctDropped atomic.Uint64
+}
+
+// New builds the server state and binds it to the backing file: a
+// fresh file is initialized with the preloaded dataset; an existing
+// file is loaded and recovered (LP journal replay, WAL rollback)
+// before New returns, so a returned server is always consistent.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}
+
+	// The allocation order below is the layout contract with every
+	// prior incarnation of this config: guard line, persistence
+	// machinery, then shards in index order. The header check in
+	// openPmemFile refuses files whose geometry differs, but a layout
+	// change at equal geometry (e.g. reordering these calls) would
+	// corrupt silently — don't.
+	cap2 := 1
+	for cap2 < cfg.Capacity {
+		cap2 <<= 1
+	}
+	perShardWords := 2*cap2 + 2*cfg.MaxOps + cfg.MaxOps/cfg.BatchK + 2
+	s.mem = memsim.NewMemory(cfg.Shards*perShardWords*8 + (2 << 20))
+	s.mem.Alloc("kvserve.guard", memsim.LineSize)
+	switch cfg.Mode {
+	case lpstore.ModeEP:
+		s.rec = ep.NewRecompute(s.mem, "kvserve.ep", cfg.Shards)
+	case lpstore.ModeWAL:
+		s.wal = ep.NewWAL(s.mem, "kvserve.wal", cfg.Shards, 2) // a put stores ≤2 words
+	}
+	base := make([][][2]uint64, cfg.Shards)
+	for tid := 0; tid < cfg.Streams; tid++ {
+		for i := 0; i < cfg.Keys; i++ {
+			k := workloads.KVKey(tid, i)
+			si := shardOf(k, cfg.Shards)
+			base[si] = append(base[si], [2]uint64{k, workloads.KVInitVal(cfg.Seed, k)})
+		}
+	}
+	for id := 0; id < cfg.Shards; id++ {
+		name := fmt.Sprintf("kvserve.s%d", id)
+		sd := &shardState{id: id, baseline: base[id]}
+		if cfg.Mode == lpstore.ModeLP {
+			sd.sh = lpstore.NewShardLP(s.mem, name, id, cfg.Capacity, cfg.MaxOps, cfg.BatchK, cfg.Kind)
+			sd.w = sd.sh.NewLPWriter()
+		} else {
+			sd.sh = lpstore.NewShard(s.mem, name, id, cfg.Capacity)
+			switch cfg.Mode {
+			case lpstore.ModeBase:
+				sd.w = sd.sh.NewWriter(lpstore.ModeBase, lp.Base{}.Thread(id))
+			case lpstore.ModeEP:
+				sd.w = sd.sh.NewWriter(lpstore.ModeEP, s.rec.Thread(id))
+			case lpstore.ModeWAL:
+				sd.w = sd.sh.NewWriter(lpstore.ModeWAL, s.wal.Thread(id))
+			}
+		}
+		sd.highWater = sd.sh.Tab.Cap() - sd.sh.Tab.Cap()/8
+		sd.tabLo = memsim.LineOf(sd.sh.Tab.KeyAddr(0))
+		sd.tabHi = memsim.LineOf(sd.sh.Tab.ValAddr(sd.sh.Tab.Cap() - 1))
+		sd.mb = make(chan request, cfg.Mailbox)
+		s.shards = append(s.shards, sd)
+	}
+
+	pf, restored, err := openPmemFile(cfg.Path, cfg, s.mem)
+	if err != nil {
+		return nil, err
+	}
+	s.pf = pf
+	s.restored = restored
+	s.leakCh = make(chan lineSnap, cfg.LeakDepth)
+	for _, sd := range s.shards {
+		sd.ctx = newFileCtx(s.mem, pf, sd.id)
+	}
+
+	if restored {
+		if err := pf.readImage(); err != nil {
+			pf.close()
+			return nil, err
+		}
+		if err := s.recoverAll(); err != nil {
+			pf.close()
+			return nil, err
+		}
+	} else {
+		for _, sd := range s.shards {
+			sd.sh.Preload(s.mem, len(sd.baseline), sd.basePair)
+		}
+		if err := pf.writeImage(); err != nil {
+			pf.close()
+			return nil, err
+		}
+	}
+	for _, sd := range s.shards {
+		sd.occupied = sd.sh.Tab.Occupied(s.mem)
+	}
+	return s, nil
+}
+
+// recoverAll runs each mode's restart recovery over the loaded image.
+func (s *Server) recoverAll() error {
+	switch s.cfg.Mode {
+	case lpstore.ModeLP:
+		for _, sd := range s.shards {
+			st := sd.sh.RecoverLP(sd.ctx, len(sd.baseline), sd.basePair)
+			if err := sd.ctx.takeErr(); err != nil {
+				return fmt.Errorf("kvserve: shard %d repair: %w", sd.id, err)
+			}
+			s.rstats = append(s.rstats, st)
+			if st.AckedPuts%s.cfg.BatchK != 0 {
+				// Group commit only ever seals full (padded) batches, so a
+				// partial acked tail means the file was written by something
+				// else (e.g. the closed-loop harness's Seal).
+				return fmt.Errorf("kvserve: shard %d acked prefix %d is not a batch boundary", sd.id, st.AckedPuts)
+			}
+			if err := s.truncateTail(sd, st); err != nil {
+				return fmt.Errorf("kvserve: shard %d tail truncation: %w", sd.id, err)
+			}
+			sd.w.ResumeAt(st.AckedPuts)
+		}
+	case lpstore.ModeWAL:
+		for _, sd := range s.shards {
+			// Roll back the at-most-one in-flight transaction; the eager
+			// stores inside WALRecover persist through the fileCtx.
+			s.wal.WALRecover(sd.ctx, sd.id)
+			if err := sd.ctx.takeErr(); err != nil {
+				return fmt.Errorf("kvserve: shard %d WAL rollback: %w", sd.id, err)
+			}
+			sd.ctx.takeDirty()
+		}
+	case lpstore.ModeEP, lpstore.ModeBase:
+		// EP persists each put before acking and a slot's key+value
+		// share a line, so the image is consistent as loaded. Base makes
+		// no durability claim.
+	}
+	return nil
+}
+
+// truncateTail durably zeroes the journal beyond the acknowledged
+// prefix and invalidates ack slots beyond the acknowledged batches.
+// The unacked tail is garbage from the previous incarnation (leaked
+// lines of an uncommitted batch); the resumed writer will overwrite
+// the heap words, but until its next commit the *file* would still
+// hold them, and a stale checksum over a half-overwritten window must
+// never acknowledge.
+func (s *Server) truncateTail(sd *shardState, st lpstore.RecoverStats) error {
+	c := sd.ctx
+	sh := sd.sh
+	c.takeDirty() // discard repair-path residue; it was persisted by RecoverLP
+	for i := 2 * st.AckedPuts; i < 2*sh.MaxOps; i++ {
+		if c.Load64(sh.Jrn.Addr(i)) != 0 {
+			c.Store64(sh.Jrn.Addr(i), 0)
+		}
+	}
+	for b := st.AckedBatches; b < sh.Ack.Slots(); b++ {
+		if sh.Ack.Written(c, b) {
+			sh.Ack.Invalidate(c, b) // store+flush+fence → durable via fileCtx
+		}
+	}
+	if err := c.persistLines(c.takeDirty()); err != nil {
+		return err
+	}
+	return c.takeErr()
+}
+
+// Start binds the listener and launches the shard owners, the
+// write-back goroutine, and the accept loop.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.started = true
+	s.wgLeak.Add(1)
+	go s.writeBack()
+	for _, sd := range s.shards {
+		s.wgOwners.Add(1)
+		go s.owner(sd)
+	}
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Restored reports whether New opened an existing backing file.
+func (s *Server) Restored() bool { return s.restored }
+
+// RecoveryStats returns the per-shard LP recovery statistics from a
+// restored boot (nil on a fresh boot or under other modes).
+func (s *Server) RecoveryStats() []lpstore.RecoverStats { return s.rstats }
+
+// Stats snapshots the operation counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Gets: s.ctGets.Load(), GetMisses: s.ctGetMisses.Load(),
+		Puts: s.ctPuts.Load(), AckedPuts: s.ctAcked.Load(),
+		Batches: s.ctBatches.Load(), Pads: s.ctPads.Load(),
+		Overloads: s.ctOverload.Load(), Expired: s.ctExpired.Load(),
+		Full: s.ctFull.Load(), LeakedLines: s.ctLeaked.Load(),
+		LeakDropped: s.ctDropped.Load(),
+	}
+}
+
+// Contents merges every shard's architectural contents. Only safe
+// while the server is quiesced (before Start or after Close/Abort).
+func (s *Server) Contents() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for _, sd := range s.shards {
+		for k, v := range sd.sh.Tab.Contents(s.mem) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// VerifyRecovered runs a second LP recovery pass over every shard and
+// reports an error unless each verifies cleanly — the idempotence
+// check a restarted operator runs before trusting the image. A no-op
+// under the other modes. Only safe while quiesced.
+func (s *Server) VerifyRecovered() error {
+	if s.cfg.Mode != lpstore.ModeLP {
+		return nil
+	}
+	for _, sd := range s.shards {
+		st := sd.sh.RecoverLP(sd.ctx, len(sd.baseline), sd.basePair)
+		if err := sd.ctx.takeErr(); err != nil {
+			return err
+		}
+		if !st.Verified {
+			return fmt.Errorf("kvserve: shard %d failed re-verification: %+v", sd.id, st)
+		}
+	}
+	return nil
+}
+
+// Close drains gracefully: stop accepting, tear down connections,
+// let owners empty their mailboxes and commit (padding) open batches,
+// flush the write-back queue, and sync the file. Idempotent.
+func (s *Server) Close() error { return s.shutdown(false) }
+
+// Abort tears the server down without committing open LP batches or
+// syncing — the closest an in-process caller gets to an unclean death
+// (the real one is SIGKILL; see the crash test).
+func (s *Server) Abort() error { return s.shutdown(true) }
+
+func (s *Server) shutdown(abort bool) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return s.closeErr
+	}
+	if abort {
+		s.aborting.Store(true)
+	}
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for cn := range s.conns {
+		cn.stop()
+	}
+	s.mu.Unlock()
+	s.wgConns.Wait()
+	if s.started {
+		for _, sd := range s.shards {
+			close(sd.mb)
+		}
+		s.wgOwners.Wait()
+		close(s.leakCh)
+		s.wgLeak.Wait()
+	}
+	var err error
+	if ep := s.fileErr.Load(); ep != nil {
+		err = *ep
+	}
+	for _, sd := range s.shards {
+		if e := sd.ctx.takeErr(); e != nil && err == nil {
+			err = e
+		}
+	}
+	if !abort && err == nil {
+		err = s.pf.sync()
+	}
+	if cerr := s.pf.close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	s.closeErr = err
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		cn := &srvConn{c: c, out: make(chan wireResp, 256), done: make(chan struct{})}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[cn] = struct{}{}
+		s.wgConns.Add(2)
+		s.mu.Unlock()
+		go s.connReader(cn)
+		go s.connWriter(cn)
+	}
+}
+
+func (s *Server) connReader(cn *srvConn) {
+	defer func() {
+		cn.stop()
+		s.mu.Lock()
+		delete(s.conns, cn)
+		s.mu.Unlock()
+		s.wgConns.Done()
+	}()
+	br := bufio.NewReaderSize(cn.c, 1<<12)
+	var buf [reqSize]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return
+		}
+		op, seq, key, val := decodeReq(&buf)
+		if op == opPing {
+			cn.reply(seq, StatusOK, 0)
+			continue
+		}
+		if (op != opGet && op != opPut) || key == 0 || key == lpstore.NopKey {
+			cn.reply(seq, StatusBadRequest, 0)
+			continue
+		}
+		if s.draining.Load() {
+			cn.reply(seq, StatusShutdown, 0)
+			continue
+		}
+		sd := s.shards[shardOf(key, len(s.shards))]
+		r := request{op: op, seq: seq, key: key, val: val, enq: time.Now(), cn: cn}
+		select {
+		case sd.mb <- r:
+		default:
+			s.ctOverload.Add(1)
+			cn.reply(seq, StatusOverload, 0)
+		}
+	}
+}
+
+func (s *Server) connWriter(cn *srvConn) {
+	defer s.wgConns.Done()
+	bw := bufio.NewWriterSize(cn.c, 1<<12)
+	var buf [respSize]byte
+	write := func(r wireResp) bool {
+		encodeResp(&buf, r.seq, r.status, r.val)
+		_, err := bw.Write(buf[:])
+		return err == nil
+	}
+	for {
+		select {
+		case r := <-cn.out:
+			if !write(r) {
+				cn.stop()
+				return
+			}
+			// Coalesce whatever else is queued before paying the flush.
+			for more := true; more; {
+				select {
+				case r := <-cn.out:
+					if !write(r) {
+						cn.stop()
+						return
+					}
+				default:
+					more = false
+				}
+			}
+			if bw.Flush() != nil {
+				cn.stop()
+				return
+			}
+		case <-cn.done:
+			return
+		}
+	}
+}
+
+// owner is a shard's single mutator. With an open batch it waits at
+// most until the batch deadline; otherwise it blocks on the mailbox.
+// A closed mailbox (graceful drain) commits the open batch and exits.
+func (s *Server) owner(sd *shardState) {
+	defer s.wgOwners.Done()
+	for {
+		var r request
+		var ok bool
+		if len(sd.pending) > 0 {
+			wait := time.Until(sd.deadline)
+			if wait <= 0 {
+				s.commit(sd, true)
+				continue
+			}
+			t := time.NewTimer(wait)
+			select {
+			case r, ok = <-sd.mb:
+				t.Stop()
+			case <-t.C:
+				s.commit(sd, true)
+				continue
+			}
+		} else {
+			r, ok = <-sd.mb
+		}
+		if !ok {
+			if len(sd.pending) > 0 && !s.aborting.Load() {
+				s.commit(sd, true)
+			}
+			return
+		}
+		s.handle(sd, r)
+	}
+}
+
+func (s *Server) handle(sd *shardState, r request) {
+	if d := s.cfg.MaxQueueDelay; d > 0 && time.Since(r.enq) > d {
+		s.ctExpired.Add(1)
+		r.cn.reply(r.seq, StatusExpired, 0)
+		return
+	}
+	c := sd.ctx
+	if r.op == opGet {
+		s.ctGets.Add(1)
+		v, ok := sd.w.Get(c, r.key)
+		if ok {
+			r.cn.reply(r.seq, StatusOK, v)
+		} else {
+			s.ctGetMisses.Add(1)
+			r.cn.reply(r.seq, StatusNotFound, 0)
+		}
+		return
+	}
+	// Admission: reject near-full tables (an insert may be an update,
+	// but distinguishing would cost the probe we are trying to avoid)
+	// and exhausted LP journals before mutating anything.
+	if sd.occupied >= sd.highWater ||
+		(s.cfg.Mode == lpstore.ModeLP && sd.w.Seq() >= sd.sh.MaxOps) {
+		s.ctFull.Add(1)
+		r.cn.reply(r.seq, StatusFull, 0)
+		return
+	}
+	s.ctPuts.Add(1)
+	insBefore := sd.w.Inserts
+	switch s.cfg.Mode {
+	case lpstore.ModeLP:
+		batchBefore := sd.w.Batch()
+		sd.w.Put(c, r.key, r.val)
+		sd.occupied += int(sd.w.Inserts - insBefore)
+		sd.pending = append(sd.pending, r)
+		if sd.w.Batch() != batchBefore {
+			s.commit(sd, false)
+		} else {
+			if len(sd.pending) == 1 {
+				sd.deadline = time.Now().Add(s.cfg.BatchWait)
+			}
+			s.leak(sd)
+		}
+	case lpstore.ModeEP, lpstore.ModeWAL:
+		sd.w.Put(c, r.key, r.val)
+		sd.occupied += int(sd.w.Inserts - insBefore)
+		c.takeDirty() // everything that matters was fenced to the file
+		if err := c.takeErr(); err != nil {
+			s.failFile(err)
+			r.cn.reply(r.seq, StatusShutdown, 0)
+			return
+		}
+		s.ctAcked.Add(1)
+		r.cn.reply(r.seq, StatusOK, 0)
+	case lpstore.ModeBase:
+		sd.w.Put(c, r.key, r.val)
+		sd.occupied += int(sd.w.Inserts - insBefore)
+		s.ctAcked.Add(1)
+		r.cn.reply(r.seq, StatusOK, 0)
+		s.leak(sd) // the write-back queue is base's only path to the file
+	}
+}
+
+// commit seals the open LP batch (padding it if it closed on timeout
+// or drain rather than on its K-th put), durably writes the batch's
+// journal window and checksum line, and only then acks the batch's
+// clients — the group-commit durability point.
+func (s *Server) commit(sd *shardState, padded bool) {
+	c := sd.ctx
+	if padded {
+		s.ctPads.Add(uint64(sd.w.PadBatch(c)))
+	}
+	b := sd.w.Batch() - 1
+	base := b * sd.sh.BatchK
+	first := memsim.LineOf(sd.sh.Jrn.Addr(2 * base))
+	last := memsim.LineOf(sd.sh.Jrn.Addr(2*(base+sd.sh.BatchK) - 1))
+	lines := make([]memsim.Addr, 0, int(last-first)/memsim.LineSize+2)
+	for la := first; la <= last; la += memsim.LineSize {
+		lines = append(lines, la)
+	}
+	lines = append(lines, sd.sh.Ack.SlotAddr(b))
+	err := c.persistLines(lines)
+	if e := c.takeErr(); err == nil {
+		err = e
+	}
+	if err != nil {
+		s.failFile(err)
+		for _, r := range sd.pending {
+			r.cn.reply(r.seq, StatusShutdown, 0)
+		}
+	} else {
+		s.ctBatches.Add(1)
+		s.ctAcked.Add(uint64(len(sd.pending)))
+		for _, r := range sd.pending {
+			r.cn.reply(r.seq, StatusOK, 0)
+		}
+	}
+	sd.pending = sd.pending[:0]
+	s.leak(sd)
+}
+
+// leak snapshots the shard's freshly dirtied table lines and offers
+// them to the write-back queue — the service's stand-in for natural
+// cache evictions. Non-blocking: a full queue drops the snapshot
+// (the line stays dirty only in the heap), exactly as a line may
+// simply not be evicted before a crash. Journal and checksum lines
+// never leak; see shardState.tabLo.
+func (s *Server) leak(sd *shardState) {
+	for _, la := range sd.ctx.takeDirty() {
+		if la < sd.tabLo || la > sd.tabHi {
+			continue
+		}
+		var ls lineSnap
+		ls.la, ls.buf = s.pf.snapshotLine(la)
+		select {
+		case s.leakCh <- ls:
+			s.ctLeaked.Add(1)
+		default:
+			s.ctDropped.Add(1)
+		}
+	}
+}
+
+// writeBack drains the leak queue to the file.
+func (s *Server) writeBack() {
+	defer s.wgLeak.Done()
+	for ls := range s.leakCh {
+		if err := s.pf.writeLineBytes(ls.la, &ls.buf); err != nil {
+			s.failFile(err)
+		}
+	}
+}
+
+// failFile records the first backing-file write error and flips the
+// server into draining: durability can no longer be promised, so
+// every subsequent request is answered StatusShutdown.
+func (s *Server) failFile(err error) {
+	e := err
+	s.fileErr.CompareAndSwap(nil, &e)
+	s.draining.Store(true)
+}

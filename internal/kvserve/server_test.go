@@ -1,0 +1,396 @@
+package kvserve
+
+import (
+	"io"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lazyp/internal/lpstore"
+	"lazyp/internal/workloads"
+)
+
+func testCfg(t *testing.T, mode lpstore.Mode) Config {
+	t.Helper()
+	return Config{
+		Path:      filepath.Join(t.TempDir(), "kv.img"),
+		Mode:      mode,
+		Shards:    2,
+		Capacity:  1 << 10,
+		MaxOps:    1 << 12,
+		BatchK:    16,
+		Streams:   2,
+		Keys:      128,
+		Mailbox:   64,
+		BatchWait: 200 * time.Microsecond,
+	}
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return s
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestServePutGet: the basic request path under every discipline —
+// preloaded reads, inserts, updates, misses.
+func TestServePutGet(t *testing.T) {
+	for _, mode := range []lpstore.Mode{lpstore.ModeBase, lpstore.ModeLP, lpstore.ModeEP, lpstore.ModeWAL} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := testCfg(t, mode)
+			s := startServer(t, cfg)
+			cl := dial(t, s.Addr())
+
+			k0 := workloads.KVKey(0, 0)
+			want := workloads.KVInitVal(1, k0) // defaulted seed
+			if v, st, err := cl.Get(k0); err != nil || st != StatusOK || v != want {
+				t.Fatalf("Get(preloaded) = %#x,%s,%v want %#x,ok", v, StatusName(st), err, want)
+			}
+			nk := workloads.KVKey(9, 7)
+			if st, err := cl.Put(nk, 4242); err != nil || st != StatusOK {
+				t.Fatalf("Put = %s,%v", StatusName(st), err)
+			}
+			if st, err := cl.Put(nk, 4343); err != nil || st != StatusOK {
+				t.Fatalf("update Put = %s,%v", StatusName(st), err)
+			}
+			if v, st, _ := cl.Get(nk); st != StatusOK || v != 4343 {
+				t.Fatalf("Get after update = %#x,%s want 4343,ok", v, StatusName(st))
+			}
+			if _, st, _ := cl.Get(workloads.KVKey(9, 8)); st != StatusNotFound {
+				t.Fatalf("Get(miss) = %s, want not_found", StatusName(st))
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestServeBadRequest: reserved keys and unknown ops are rejected with
+// the request's own sequence number, without touching any shard.
+func TestServeBadRequest(t *testing.T) {
+	s := startServer(t, testCfg(t, lpstore.ModeLP))
+	defer s.Close()
+	cl := dial(t, s.Addr())
+	for _, c := range []struct {
+		op       byte
+		key      uint64
+		wantName string
+	}{
+		{opPut, 0, "zero key"},
+		{opGet, lpstore.NopKey, "NopKey"},
+		{'X', 5, "unknown op"},
+	} {
+		ch, err := cl.start(c.op, c.key, 1)
+		if err != nil {
+			t.Fatalf("%s: start: %v", c.wantName, err)
+		}
+		if r := <-ch; r.Status != StatusBadRequest {
+			t.Fatalf("%s answered %s, want bad_request", c.wantName, StatusName(r.Status))
+		}
+	}
+}
+
+// TestServeExpired: a request that out-waits MaxQueueDelay in the
+// mailbox is answered StatusExpired without being executed.
+func TestServeExpired(t *testing.T) {
+	cfg := testCfg(t, lpstore.ModeLP)
+	cfg.MaxQueueDelay = time.Nanosecond // always exceeded by queueing
+	s := startServer(t, cfg)
+	defer s.Close()
+	cl := dial(t, s.Addr())
+	if st, err := cl.Put(workloads.KVKey(9, 1), 5); err != nil || st != StatusExpired {
+		t.Fatalf("Put = %s,%v want expired", StatusName(st), err)
+	}
+	if s.Stats().Expired == 0 {
+		t.Fatal("expired counter not incremented")
+	}
+}
+
+// TestServeOverload: a full mailbox answers StatusOverload immediately
+// instead of queueing. White-box: the owner is never started, so the
+// mailbox stays full deterministically.
+func TestServeOverload(t *testing.T) {
+	cfg := testCfg(t, lpstore.ModeLP)
+	cfg.Shards = 1
+	cfg.Mailbox = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	sd := s.shards[0]
+	sd.mb <- request{}
+	sd.mb <- request{}
+
+	srvEnd, cliEnd := net.Pipe()
+	cn := &srvConn{c: srvEnd, out: make(chan wireResp, 4), done: make(chan struct{})}
+	s.wgConns.Add(2)
+	go s.connReader(cn)
+	go s.connWriter(cn)
+
+	var req [reqSize]byte
+	encodeReq(&req, opPut, 7, workloads.KVKey(0, 0), 1)
+	if _, err := cliEnd.Write(req[:]); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var resp [respSize]byte
+	if _, err := io.ReadFull(cliEnd, resp[:]); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	seq, st, _ := decodeResp(&resp)
+	if seq != 7 || st != StatusOverload {
+		t.Fatalf("got seq=%d status=%s, want 7/overload", seq, StatusName(st))
+	}
+	if s.Stats().Overloads != 1 {
+		t.Fatalf("overload counter = %d, want 1", s.Stats().Overloads)
+	}
+	cliEnd.Close()
+}
+
+// TestServeFullTable: the occupancy watermark rejects inserts with
+// StatusFull before the table can fill; the count of accepted inserts
+// is exactly watermark minus preload.
+func TestServeFullTable(t *testing.T) {
+	cfg := testCfg(t, lpstore.ModeLP)
+	cfg.Shards = 1
+	cfg.Capacity = 64 // highWater 56
+	cfg.Streams = 1
+	cfg.Keys = 8
+	cfg.MaxOps = 1 << 10
+	s := startServer(t, cfg)
+	defer s.Close()
+	cl := dial(t, s.Addr())
+
+	okCount, fullSeen := 0, false
+	for i := 0; i < 200 && !fullSeen; i++ {
+		st, err := cl.Put(workloads.KVKey(3, i), uint64(i+1))
+		switch {
+		case err != nil:
+			t.Fatalf("Put %d: %v", i, err)
+		case st == StatusOK:
+			okCount++
+		case st == StatusFull:
+			fullSeen = true
+		default:
+			t.Fatalf("Put %d answered %s", i, StatusName(st))
+		}
+	}
+	if !fullSeen {
+		t.Fatal("no StatusFull before 200 inserts into a 64-slot shard")
+	}
+	if want := 56 - 8; okCount != want {
+		t.Fatalf("accepted %d inserts before full, want %d", okCount, want)
+	}
+}
+
+// TestServeDrainRestart: a loaded server that drains via Close leaves
+// an image that reopens with zero repair; every acked put is present
+// and servable after the restart.
+func TestServeDrainRestart(t *testing.T) {
+	cfg := testCfg(t, lpstore.ModeLP)
+	s := startServer(t, cfg)
+
+	var mu sync.Mutex
+	acked := map[uint64]uint64{}
+	rep, err := RunLoad(s.Addr(), LoadOpts{
+		Conns: 3, Window: 16, Ops: 400, InsertOnly: true,
+		Streams: cfg.Streams, Keys: cfg.Keys, Seed: 1,
+		OnAck: func(_ int, k, v uint64) { mu.Lock(); acked[k] = v; mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Errors != 0 || rep.AckedPuts != 1200 {
+		t.Fatalf("load: %d errors, %d acked, want 0/1200", rep.Errors, rep.AckedPuts)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("drain Close: %v", err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !s2.Restored() {
+		t.Fatal("reopen did not detect the image")
+	}
+	for _, st := range s2.RecoveryStats() {
+		if !st.Verified {
+			t.Fatalf("graceful drain required repair: %+v", st)
+		}
+	}
+	contents := s2.Contents()
+	preload := cfg.Streams * cfg.Keys
+	if len(contents) != preload+len(acked) {
+		t.Fatalf("recovered %d keys, want %d preload + %d acked", len(contents), preload, len(acked))
+	}
+	for k, v := range acked {
+		if contents[k] != v {
+			t.Fatalf("acked key %#x = %#x, want %#x", k, contents[k], v)
+		}
+	}
+	if err := s2.VerifyRecovered(); err != nil {
+		t.Fatalf("VerifyRecovered: %v", err)
+	}
+	// The restarted server serves the recovered data.
+	if err := s2.Start(); err != nil {
+		t.Fatalf("restart Start: %v", err)
+	}
+	cl := dial(t, s2.Addr())
+	for k, v := range acked {
+		if got, st, _ := cl.Get(k); st != StatusOK || got != v {
+			t.Fatalf("restarted Get(%#x) = %#x,%s want %#x,ok", k, got, StatusName(st), v)
+		}
+		break
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestServeAbortRecover: an in-process unclean stop mid-load. Every
+// put acked before the abort must survive the restart's recovery, and
+// the recovered image holds no values that were never written.
+func TestServeAbortRecover(t *testing.T) {
+	cfg := testCfg(t, lpstore.ModeLP)
+	s := startServer(t, cfg)
+
+	var mu sync.Mutex
+	sent := map[uint64]uint64{}
+	acked := map[uint64]uint64{}
+	var ackedN atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunLoad(s.Addr(), LoadOpts{
+			Conns: 3, Window: 16, Ops: 100000, InsertOnly: true,
+			Streams: cfg.Streams, Keys: cfg.Keys, Seed: 1,
+			OnSend: func(_ int, k, v uint64) { mu.Lock(); sent[k] = v; mu.Unlock() },
+			OnAck: func(_ int, k, v uint64) {
+				mu.Lock()
+				acked[k] = v
+				mu.Unlock()
+				ackedN.Add(1)
+			},
+		})
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for ackedN.Load() < 200 {
+		if time.Now().After(deadline) {
+			t.Fatal("load never reached 200 acked puts")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Abort()
+	<-done
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer s2.Close()
+	contents := s2.Contents()
+	mu.Lock()
+	defer mu.Unlock()
+	for k, v := range acked {
+		got, ok := contents[k]
+		if !ok || got != v {
+			t.Fatalf("acked key %#x = %#x,%v want %#x", k, got, ok, v)
+		}
+	}
+	preload := map[uint64]uint64{}
+	for tid := 0; tid < cfg.Streams; tid++ {
+		for i := 0; i < cfg.Keys; i++ {
+			k := workloads.KVKey(tid, i)
+			preload[k] = workloads.KVInitVal(1, k)
+		}
+	}
+	for k, v := range contents {
+		if pv, ok := preload[k]; ok {
+			if v != pv {
+				t.Fatalf("preloaded key %#x corrupted: %#x != %#x", k, v, pv)
+			}
+			continue
+		}
+		if sv, ok := sent[k]; !ok || v != sv {
+			t.Fatalf("key %#x holds %#x never written (sent %#x,%v)", k, v, sv, ok)
+		}
+	}
+	if err := s2.VerifyRecovered(); err != nil {
+		t.Fatalf("VerifyRecovered: %v", err)
+	}
+}
+
+// TestServeEPWALRestart: the eager disciplines ack per put, so a
+// drained image reopens with their data intact and servable.
+func TestServeEPWALRestart(t *testing.T) {
+	for _, mode := range []lpstore.Mode{lpstore.ModeEP, lpstore.ModeWAL} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := testCfg(t, mode)
+			s := startServer(t, cfg)
+			cl := dial(t, s.Addr())
+			for i := 0; i < 10; i++ {
+				if st, err := cl.Put(workloads.KVKey(9, i), uint64(1000+i)); err != nil || st != StatusOK {
+					t.Fatalf("Put %d = %s,%v", i, StatusName(st), err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			s2, err := New(cfg)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer s2.Close()
+			if !s2.Restored() {
+				t.Fatal("reopen did not detect the image")
+			}
+			contents := s2.Contents()
+			for i := 0; i < 10; i++ {
+				k := workloads.KVKey(9, i)
+				if contents[k] != uint64(1000+i) {
+					t.Fatalf("key %#x = %#x after restart, want %#x", k, contents[k], 1000+i)
+				}
+			}
+		})
+	}
+}
+
+// TestServeGeometryMismatch: a backing file refuses configs it was not
+// created with, and non-kvserve files are rejected outright.
+func TestServeGeometryMismatch(t *testing.T) {
+	cfg := testCfg(t, lpstore.ModeLP)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	bad := cfg
+	bad.BatchK = 32
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("mismatched geometry accepted: %v", err)
+	}
+}

@@ -27,13 +27,15 @@ import (
 // with Eager Persistency. Verification stays slot-exact and the common
 // case — every slot matching the replay — costs no writes at all.
 
-// RecoverStats summarizes one shard's recovery pass.
+// RecoverStats summarizes one shard's recovery pass. The JSON field
+// names are a small cross-tool schema: lpcrash -json, lpserve startup
+// logs, and lpserve -dump all emit exactly this shape.
 type RecoverStats struct {
-	Shard        int
-	AckedPuts    int  // puts in the durably-acknowledged journal prefix
-	AckedBatches int  // batches (incl. a sealed partial tail) acknowledged
-	Verified     bool // table matched the replay; no repair needed
-	Repaired     int  // slots that deviated from the replay (0 if Verified)
+	Shard        int  `json:"shard"`
+	AckedPuts    int  `json:"acked_puts"`    // puts in the durably-acknowledged journal prefix
+	AckedBatches int  `json:"acked_batches"` // batches (incl. a sealed partial tail) acknowledged
+	Verified     bool `json:"verified"`      // table matched the replay; no repair needed
+	Repaired     int  `json:"repaired"`      // slots that deviated from the replay (0 if Verified)
 }
 
 // AckedPrefix walks the journal from batch 0 and returns the longest
@@ -95,6 +97,9 @@ func (sh *Shard) replayJournal(c pmem.Ctx, puts, baseN int, basePair func(i int)
 		k := c.Load64(sh.Jrn.Addr(2 * i))
 		v := c.Load64(sh.Jrn.Addr(2*i + 1))
 		c.Compute(2)
+		if k == NopKey {
+			continue // group-commit padding records never touch the table
+		}
 		if _, ok := expect[k]; !ok {
 			order = append(order, k)
 		}
@@ -161,6 +166,9 @@ func (sh *Shard) RecoverLP(c pmem.Ctx, baseN int, basePair func(i int) (k, v uin
 	base := lp.Base{}.Thread(0)
 	for _, k := range order {
 		i, found := sh.Tab.probe(c, k)
+		if i < 0 {
+			continue // table full: mirrors Put's full-table rejection
+		}
 		if !found {
 			base.Store64(c, sh.Tab.KeyAddr(i), k)
 		}

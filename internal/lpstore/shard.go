@@ -9,6 +9,16 @@ import (
 	"lazyp/internal/pmem"
 )
 
+// NopKey is the reserved key of journal padding records. Group-commit
+// callers (kvserve) close a partial LP batch by padding it to BatchK
+// entries with no-op records so every committed batch occupies exactly
+// its aligned journal window — the invariant that lets a restarted
+// writer resume appending at a batch boundary. NOP entries fold into
+// the batch checksum and count toward AckedPrefix like real puts, but
+// replay and rebuild skip them; they never touch the table. Clients of
+// a store must not use this key (or 0, the empty-slot sentinel).
+const NopKey = ^uint64(0)
+
 // Mode selects the persistence discipline a Writer applies per put.
 type Mode uint8
 
@@ -150,6 +160,9 @@ func (w *Writer) Get(c pmem.Ctx, k uint64) (uint64, bool) {
 
 // Put inserts or updates k under the writer's discipline.
 func (w *Writer) Put(c pmem.Ctx, k, v uint64) {
+	if k == NopKey {
+		panic("lpstore: NopKey is reserved for journal padding")
+	}
 	w.Puts++
 	switch w.mode {
 	case ModeBase:
@@ -201,4 +214,64 @@ func (w *Writer) Seal(c pmem.Ctx) {
 		w.batch++
 		w.inBatch = 0
 	}
+}
+
+// Seq returns the number of puts issued (the journal cursor under LP,
+// the region key under EP/WAL).
+func (w *Writer) Seq() int { return w.seq }
+
+// InBatch returns the number of puts in the open LP batch (0 when no
+// batch is open or the writer is not in LP mode).
+func (w *Writer) InBatch() int { return w.inBatch }
+
+// Batch returns the index of the current (next-to-commit) LP batch.
+func (w *Writer) Batch() int { return w.batch }
+
+// PadBatch closes an open LP batch by journaling NopKey records until
+// the batch reaches BatchK entries, which triggers the normal lazy
+// checksum commit. It returns the number of padding records written (0
+// if no batch was open). Unlike Seal, the committed batch fills its
+// whole aligned journal window, so a restarted writer can resume at
+// the next batch boundary and AckedPrefix never sees a short batch
+// followed by live data. Group-commit services use this on batch
+// timeout and drain; the closed-loop harness keeps using Seal.
+func (w *Writer) PadBatch(c pmem.Ctx) int {
+	if w.mode != ModeLP || w.inBatch == 0 {
+		return 0
+	}
+	pads := 0
+	for w.inBatch > 0 {
+		if w.seq >= w.Sh.MaxOps {
+			panic("lpstore: LP journal capacity exceeded while padding")
+		}
+		w.jr.Store64(c, w.Sh.Jrn.Addr(2*w.seq), NopKey)
+		w.jr.Store64(c, w.Sh.Jrn.Addr(2*w.seq+1), 0)
+		w.seq++
+		w.inBatch++
+		pads++
+		if w.inBatch == w.Sh.BatchK {
+			w.jr.End(c)
+			w.batch++
+			w.inBatch = 0
+		}
+	}
+	return pads
+}
+
+// ResumeAt positions a freshly built LP writer at put sequence seq so
+// it continues appending to a journal recovered from a previous
+// incarnation (kvserve restart). seq must be a batch boundary — the
+// acknowledged prefix of a journal whose batches were all committed
+// full (PadBatch) always is — because the running checksum of a
+// half-open batch cannot be reconstructed.
+func (w *Writer) ResumeAt(seq int) {
+	if w.mode != ModeLP {
+		panic("lpstore: ResumeAt is only meaningful for LP writers")
+	}
+	if seq < 0 || seq > w.Sh.MaxOps || seq%w.Sh.BatchK != 0 {
+		panic(fmt.Sprintf("lpstore: ResumeAt(%d) is not a batch boundary (BatchK %d)", seq, w.Sh.BatchK))
+	}
+	w.seq = seq
+	w.batch = seq / w.Sh.BatchK
+	w.inBatch = 0
 }

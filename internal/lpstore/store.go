@@ -32,8 +32,6 @@
 package lpstore
 
 import (
-	"fmt"
-
 	"lazyp/internal/lp"
 	"lazyp/internal/memsim"
 	"lazyp/internal/pmem"
@@ -85,8 +83,10 @@ func mix64(x uint64) uint64 {
 
 // probe walks the linear-probe chain for k through c and returns the
 // slot holding k (found=true) or the first empty slot (found=false).
-// It panics if the table is full and k is absent — fixed-capacity
-// stores must be sized for their workload.
+// When the table is completely full and k is absent the probe visits
+// every slot exactly once and returns slot = -1: fixed-capacity stores
+// must be sized for their workload, but a full table degrades to a
+// rejected operation, never an unbounded probe.
 func (s *Store) probe(c pmem.Ctx, k uint64) (slot int, found bool) {
 	if k == 0 {
 		panic("lpstore: key 0 is the empty sentinel")
@@ -104,7 +104,7 @@ func (s *Store) probe(c pmem.Ctx, k uint64) (slot int, found bool) {
 		}
 		i = (i + 1) & (s.cap - 1)
 	}
-	panic(fmt.Sprintf("lpstore: table full (cap %d) while probing key %#x", s.cap, k))
+	return -1, false
 }
 
 // Get returns the value stored under k.
@@ -119,9 +119,16 @@ func (s *Store) Get(c pmem.Ctx, k uint64) (uint64, bool) {
 // Put inserts or updates k through ts, the persistence discipline's
 // store interceptor. The caller owns region boundaries (Begin/End on
 // ts); Put only issues the slot stores. It reports whether the put
-// inserted a new key.
+// inserted a new key. Inserting into a completely full table stores
+// nothing and returns inserted=false (the probe terminates after one
+// pass); callers that must distinguish a full-table drop from an update
+// keep their own occupancy watermark (kvserve rejects puts before this
+// point is ever reached).
 func (s *Store) Put(c pmem.Ctx, ts lp.ThreadStrategy, k, v uint64) (inserted bool) {
 	i, ok := s.probe(c, k)
+	if i < 0 {
+		return false
+	}
 	if !ok {
 		ts.Store64(c, s.KeyAddr(i), k)
 	}

@@ -81,18 +81,39 @@ func TestStoreKeyZeroPanics(t *testing.T) {
 	s.Get(c, 0)
 }
 
-func TestStoreFullTablePanics(t *testing.T) {
-	s, _, c := newTestStore(t, 4)
+// TestStoreFullTable: a completely full table terminates the probe
+// after one pass — Get misses, Put rejects the insert without storing,
+// and updates of present keys still work.
+func TestStoreFullTable(t *testing.T) {
+	s, m, c := newTestStore(t, 4)
 	ts := lp.Base{}.Thread(0)
 	for i := uint64(1); i <= 4; i++ {
-		s.Put(c, ts, i, i)
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("probing a full table for an absent key should panic")
+		if !s.Put(c, ts, i, i) {
+			t.Fatalf("insert %d into non-full table rejected", i)
 		}
-	}()
-	s.Get(c, 99)
+	}
+	if s.Occupied(m) != 4 {
+		t.Fatalf("Occupied = %d, want 4", s.Occupied(m))
+	}
+	if v, ok := s.Get(c, 99); ok {
+		t.Fatalf("Get(99) on a full table = %d,true, want miss", v)
+	}
+	if s.Put(c, ts, 99, 9900) {
+		t.Fatal("insert into a full table reported inserted=true")
+	}
+	if _, ok := s.Get(c, 99); ok {
+		t.Fatal("rejected insert mutated the table")
+	}
+	if s.Occupied(m) != 4 {
+		t.Fatalf("Occupied after rejected insert = %d, want 4", s.Occupied(m))
+	}
+	// Updates of resident keys are still accepted when full.
+	if s.Put(c, ts, 2, 222) {
+		t.Fatal("update reported insert")
+	}
+	if v, _ := s.Get(c, 2); v != 222 {
+		t.Fatalf("update on full table lost: got %d", v)
+	}
 }
 
 func TestModeString(t *testing.T) {
@@ -203,6 +224,67 @@ func TestShardLPRecoverKeepsBaseline(t *testing.T) {
 			t.Fatalf("rebuilt[%d] = %d, want %d", k, got[k], v)
 		}
 	}
+}
+
+// TestPadBatchAndResume exercises the group-commit restart invariant:
+// padding closes batches on their aligned journal windows, NOP records
+// are acknowledged but never replayed into the table, and a resumed
+// writer appends at the next batch boundary.
+func TestPadBatchAndResume(t *testing.T) {
+	m := memsim.NewMemory(1 << 20)
+	c := &pmem.Native{Mem: m}
+	sh := NewShardLP(m, "s", 0, 64, 20, 4, checksum.Modular)
+	w := sh.NewLPWriter()
+
+	w.Put(c, 1, 101)
+	w.Put(c, 2, 102)
+	if pads := w.PadBatch(c); pads != 2 {
+		t.Fatalf("PadBatch padded %d records, want 2", pads)
+	}
+	if w.Seq() != 4 || w.InBatch() != 0 || w.Batch() != 1 {
+		t.Fatalf("after pad: seq=%d inBatch=%d batch=%d, want 4/0/1", w.Seq(), w.InBatch(), w.Batch())
+	}
+	puts, batches := sh.AckedPrefix(c)
+	if puts != 4 || batches != 1 {
+		t.Fatalf("AckedPrefix = %d/%d, want 4 puts (incl. 2 NOPs) in 1 batch", puts, batches)
+	}
+
+	// A new writer (a restarted process) resumes at the boundary.
+	w2 := sh.NewLPWriter()
+	w2.ResumeAt(puts)
+	w2.Put(c, 3, 103)
+	w2.PadBatch(c)
+	puts, batches = sh.AckedPrefix(c)
+	if puts != 8 || batches != 2 {
+		t.Fatalf("AckedPrefix after resume = %d/%d, want 8/2", puts, batches)
+	}
+
+	st := sh.RecoverLP(c, 0, nil)
+	if !st.Verified {
+		t.Fatalf("RecoverLP = %+v: NOP records leaked into the replay", st)
+	}
+	want := map[uint64]uint64{1: 101, 2: 102, 3: 103}
+	got := sh.Tab.Contents(m)
+	if len(got) != len(want) {
+		t.Fatalf("contents %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("contents[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestResumeAtRejectsNonBoundary(t *testing.T) {
+	m := memsim.NewMemory(1 << 20)
+	sh := NewShardLP(m, "s", 0, 64, 20, 4, checksum.Modular)
+	w := sh.NewLPWriter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResumeAt off a batch boundary should panic")
+		}
+	}()
+	w.ResumeAt(3)
 }
 
 func TestNewWriterPanicsForLP(t *testing.T) {
