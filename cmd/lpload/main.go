@@ -23,18 +23,19 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7411", "server address")
-		conns   = flag.Int("conns", 2, "concurrent connections")
-		window  = flag.Int("window", 32, "in-flight ops per connection")
-		ops     = flag.Int("ops", 0, "ops per connection (0 = run for -dur)")
-		dur     = flag.Duration("dur", 2*time.Second, "run duration when -ops is 0")
-		mix     = flag.String("mix", "a", "request mix: a | b | c | d")
-		dist    = flag.String("dist", "zipfian", "key distribution: zipfian | uniform")
-		streams = flag.Int("streams", 4, "server's preloaded stream count")
-		keys    = flag.Int("keys", 2048, "server's preloaded keys per stream")
-		seed    = flag.Uint64("seed", 1, "stream seed (must match the server)")
-		insert  = flag.Bool("insert", false, "insert-only unique keys instead of a mix")
-		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+		addr     = flag.String("addr", "127.0.0.1:7411", "server address")
+		conns    = flag.Int("conns", 2, "concurrent connections")
+		window   = flag.Int("window", 32, "in-flight ops per connection")
+		ops      = flag.Int("ops", 0, "ops per connection (0 = run for -dur)")
+		dur      = flag.Duration("dur", 2*time.Second, "run duration when -ops is 0")
+		mix      = flag.String("mix", "a", "request mix: a | b | c | d")
+		dist     = flag.String("dist", "zipfian", "key distribution: zipfian | uniform")
+		streams  = flag.Int("streams", 4, "server's preloaded stream count")
+		keys     = flag.Int("keys", 2048, "server's preloaded keys per stream")
+		seed     = flag.Uint64("seed", 1, "stream seed (must match the server)")
+		insert   = flag.Bool("insert", false, "insert-only unique keys instead of a mix")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		interval = flag.Duration("interval", 0, "emit periodic throughput/latency lines on stderr (0 = off)")
 	)
 	flag.Parse()
 
@@ -47,10 +48,14 @@ func main() {
 		Mix: *mix, Dist: *dist,
 		Streams: *streams, Keys: *keys, Seed: *seed,
 		InsertOnly: *insert,
+		Interval:   *interval, Progress: os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lpload: %v\n", err)
 		os.Exit(1)
+	}
+	if rep.Partial {
+		fmt.Fprintln(os.Stderr, "lpload: connection lost mid-run — report covers completed ops only")
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -65,7 +70,7 @@ func main() {
 		fmt.Printf("  latency p50 %.0fµs  p90 %.0fµs  p99 %.0fµs  max %.0fµs\n",
 			rep.P50us, rep.P90us, rep.P99us, rep.MaxUs)
 	}
-	if rep.Errors > 0 {
+	if rep.Errors > 0 || rep.Partial {
 		os.Exit(2)
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +34,7 @@ import (
 
 	"lazyp/internal/kvserve"
 	"lazyp/internal/lpstore"
+	"lazyp/internal/obs"
 )
 
 func fail(format string, args ...interface{}) {
@@ -71,6 +74,9 @@ func main() {
 		fsync     = flag.Bool("fsync", false, "fsync the backing file on every commit")
 		dump      = flag.Bool("dump", false, "print restore/recovery summary as JSON and exit")
 		verify    = flag.Bool("recover-verify", false, "recover, re-verify every shard, and exit")
+		metrics   = flag.String("metrics", "", "serve Prometheus /metrics and /debug/trace on this address (empty = off)")
+		trace     = flag.Bool("trace", false, "enable the in-memory persistency event tracer (drain via /debug/trace?n=K)")
+		traceCap  = flag.Int("tracecap", 4096, "event tracer ring-buffer capacity")
 	)
 	flag.Parse()
 
@@ -83,11 +89,14 @@ func main() {
 		Shards: *shards, Capacity: *capacity, MaxOps: *maxops, BatchK: *batch,
 		Streams: *streams, Keys: *keys, Seed: *seed,
 		Mailbox: *mailbox, BatchWait: *batchWait, MaxQueueDelay: *maxDelay,
-		Fsync: *fsync,
+		Fsync: *fsync, TraceCap: *traceCap,
 	}
 	s, err := kvserve.New(cfg)
 	if err != nil {
 		fail("%v", err)
+	}
+	if *trace {
+		s.Tracer().Enable(true)
 	}
 	if s.Restored() {
 		fmt.Fprintf(os.Stderr, "lpserve: recovered existing image %s\n", *path)
@@ -124,6 +133,18 @@ func main() {
 		enc.Encode(out)
 		s.Close()
 		return
+	}
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler(s.Metrics()))
+		mux.Handle("/debug/trace", obs.TraceHandler(s.Tracer()))
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fail("metrics listen: %v", err)
+		}
+		go http.Serve(mln, mux)
+		fmt.Fprintf(os.Stderr, "lpserve: metrics on http://%s/metrics\n", mln.Addr())
 	}
 
 	if err := s.Start(); err != nil {

@@ -32,7 +32,9 @@ import (
 	"lazyp/internal/checksum"
 	"lazyp/internal/harness"
 	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
 	"lazyp/internal/profiling"
+	"lazyp/internal/sim"
 )
 
 func main() {
@@ -50,6 +52,8 @@ func main() {
 		writeNs  = flag.Int64("write", 0, "NVMM write latency in ns (0 = default 300)")
 		clean    = flag.Int64("clean", 0, "periodic flush period in cycles (0 = off)")
 		verify   = flag.Bool("verify", false, "verify the output (full runs only)")
+		traceOut = flag.String("trace", "", "write persistency events (flush/fence/evict/rob_stall…) as JSONL to this file")
+		traceCap = flag.Int("tracecap", 1<<20, "trace ring-buffer capacity in events (oldest dropped beyond)")
 
 		all        = flag.Bool("all", false, "run every figure/table experiment and exit")
 		exp        = flag.String("exp", "", "run these experiment id(s) (comma-separated) and exit")
@@ -119,8 +123,34 @@ func main() {
 		spec.Sim.Hier = h
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(*traceCap)
+		tracer.Enable(true)
+		sim.SetGlobalSink(tracer)
+		defer sim.SetGlobalSink(nil)
+	}
+
 	ses := harness.NewSession(spec)
 	res := ses.Execute()
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpsim: %v\n", err)
+			os.Exit(1)
+		}
+		evs := tracer.Drain(0)
+		if err := obs.WriteJSONL(f, evs); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpsim: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lpsim: %d events traced to %s (%d dropped by the ring)\n",
+			len(evs), *traceOut, tracer.Dropped())
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "workload\t%s (n=%d, %d threads, %s variant, %s checksum)\n",

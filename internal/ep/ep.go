@@ -19,8 +19,31 @@ package ep
 import (
 	"lazyp/internal/lp"
 	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
 	"lazyp/internal/pmem"
 )
+
+// Tally counts a discipline's eager ordering points — completed
+// regions and the flushes and fences they issued. Attached optionally
+// (nil, the simulator's configuration, costs one branch per region
+// end); kvserve wires one per discipline so the eager baselines'
+// write-amplification story is scrapeable next to LP's journal
+// counters.
+type Tally struct {
+	Regions *obs.Counter // ep_regions_total: regions (EP) / transactions (WAL) completed
+	Flushes *obs.Counter // ep_flushes_total: clflushopt-equivalents issued
+	Fences  *obs.Counter // ep_fences_total: persist fences issued
+}
+
+// NewTally resolves the counters under sc with the discipline label.
+func NewTally(sc obs.Scope, discipline string) *Tally {
+	sc = sc.With("discipline", discipline)
+	return &Tally{
+		Regions: sc.Counter("ep_regions_total"),
+		Flushes: sc.Counter("ep_flushes_total"),
+		Fences:  sc.Counter("ep_fences_total"),
+	}
+}
 
 // PersistRange flushes every cache line overlapping [base, base+size).
 // The caller issues the Fence (flushes from one fence batch overlap, as
@@ -137,6 +160,9 @@ func (mk Markers) StoreEager(c pmem.Ctx, tid int, v uint64) {
 type Recompute struct {
 	// Markers holds each thread's last-completed region key.
 	Markers Markers
+	// Obs, when non-nil, tallies regions/flushes/fences (one branch
+	// and at most three atomic adds per region end).
+	Obs     *Tally
 	threads []*recomputeTS
 }
 
@@ -162,11 +188,13 @@ type recomputeTS struct {
 	tid      int
 	key      int
 	lastLine memsim.Addr
+	nflush   int // flushes issued by the open region (thread-private)
 }
 
 func (t *recomputeTS) Begin(c pmem.Ctx, key int) {
 	t.key = key
 	t.lastLine = 0
+	t.nflush = 0
 	c.Compute(1)
 }
 
@@ -185,6 +213,7 @@ func (t *recomputeTS) Store64(c pmem.Ctx, a memsim.Addr, v uint64) {
 	if la != t.lastLine {
 		if t.lastLine != 0 {
 			c.Flush(t.lastLine)
+			t.nflush++
 		}
 		t.lastLine = la
 	}
@@ -201,8 +230,14 @@ func (t *recomputeTS) StoreF(c pmem.Ctx, a memsim.Addr, v float64) {
 func (t *recomputeTS) End(c pmem.Ctx) {
 	if t.lastLine != 0 {
 		c.Flush(t.lastLine)
+		t.nflush++
 		t.lastLine = 0
 	}
 	c.Fence()
 	t.parent.Markers.StoreEager(c, t.tid, uint64(t.key))
+	if o := t.parent.Obs; o != nil {
+		o.Regions.Inc()
+		o.Flushes.Add(uint64(t.nflush) + 1) // +1: the marker's flush
+		o.Fences.Add(2)                     // region fence + marker fence
+	}
 }

@@ -26,6 +26,9 @@ import (
 type WAL struct {
 	// Status holds each thread's logStatus word: key<<1 | inTx.
 	Status Markers
+	// Obs, when non-nil, tallies transactions/flushes/fences (one
+	// branch and three atomic adds per committed transaction).
+	Obs    *Tally
 	logs   []pmem.U64
 	counts []pmem.U64
 	thr    []*walTS
@@ -141,6 +144,19 @@ func (t *walTS) End(c pmem.Ctx) {
 
 	// (4) Durably commit (clear inTx, publish the key).
 	p.Status.StoreEager(c, t.tid, walStatus(t.key, false))
+
+	if o := p.Obs; o != nil {
+		// Mirror the flush sequence above: the log window's lines plus
+		// the count line (1), the two status publishes (2), and the
+		// region's deduplicated data lines.
+		logLines := 0
+		if n := 2 * len(t.buf); n > 0 {
+			logLines = int(memsim.LineOf(log.Addr(n-1))-memsim.LineOf(log.Addr(0)))/memsim.LineSize + 1
+		}
+		o.Regions.Inc()
+		o.Flushes.Add(uint64(logLines + 3 + len(t.lines.Lines())))
+		o.Fences.Add(4)
+	}
 }
 
 // WALRecover rolls back any in-flight transaction of thread tid using

@@ -2,7 +2,8 @@ package harness
 
 import (
 	"sync"
-	"sync/atomic"
+
+	"lazyp/internal/obs"
 )
 
 // Canonical returns the spec with every default applied — workload
@@ -33,8 +34,10 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[Spec]*cacheEntry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// Counters live in a private per-cache registry so that each cache
+	// a test builds counts from zero; Stats keeps the legacy shape.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 type cacheEntry struct {
@@ -45,7 +48,12 @@ type cacheEntry struct {
 
 // NewCache returns an empty memoization cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[Spec]*cacheEntry)}
+	reg := obs.NewRegistry()
+	return &Cache{
+		entries: make(map[Spec]*cacheEntry),
+		hits:    reg.Counter("harness_cache_hits_total"),
+		misses:  reg.Counter("harness_cache_misses_total"),
+	}
 }
 
 // Do returns the memoized Result for spec, executing run exactly once
@@ -57,14 +65,14 @@ func (c *Cache) Do(spec Spec, run func(Spec) (Result, error)) (Result, error, bo
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		<-e.ready
-		c.hits.Add(1)
+		c.hits.Inc()
 		return e.res, e.err, true
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 
-	c.misses.Add(1)
+	c.misses.Inc()
 	e.res, e.err = run(key)
 	if e.err != nil || e.res.Crashed {
 		// Do not retain failures: a later identical request re-executes.

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"lazyp/internal/checksum"
 	"lazyp/internal/ep"
@@ -190,10 +191,16 @@ func (s *KVSession) recoverShard(c pmem.Ctx, tid int) int {
 	sh := s.Shards[tid]
 	switch s.Spec.Variant {
 	case VariantLP:
+		// Native wall-clock of the replay+repair pass: lpcrash -json
+		// surfaces it per shard. Never printed by the deterministic
+		// experiment paths (RecoverNs is omitempty and -exp output
+		// reports simulated cycles only).
+		t0 := time.Now()
 		st := sh.RecoverLP(c, s.Spec.Preload, func(i int) (uint64, uint64) {
 			k := workloads.KVKey(tid, i)
 			return k, workloads.KVInitVal(s.Spec.Seed, k)
 		})
+		st.RecoverNs = time.Since(t0).Nanoseconds()
 		s.Stats = append(s.Stats, st)
 		return st.AckedPuts
 	case VariantEP:

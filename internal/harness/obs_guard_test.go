@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"lazyp/internal/obs"
+	"lazyp/internal/sim"
+)
+
+// TestExperimentUnperturbedBySink is the harness-level determinism
+// guard for the observability layer: attaching a process-global event
+// sink (what `lpsim -trace` does) must leave experiment output
+// byte-identical. The sink is observational only — any divergence here
+// means it leaked into timing or scheduling.
+func TestExperimentUnperturbedBySink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick-mode experiment passes")
+	}
+	run := func(attach bool) []byte {
+		if attach {
+			tr := obs.NewTracer(1 << 12)
+			tr.Enable(true)
+			sim.SetGlobalSink(tr)
+			defer sim.SetGlobalSink(nil)
+		}
+		var out bytes.Buffer
+		if err := expKV(&out, Options{Quick: true}); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	plain := run(false)
+	traced := run(true)
+	if !bytes.Equal(plain, traced) {
+		t.Fatalf("global sink perturbed experiment output:\n--- without ---\n%s\n--- with ---\n%s",
+			plain, traced)
+	}
+}

@@ -3,8 +3,9 @@ package harness
 import (
 	"fmt"
 	"runtime"
-	"sync/atomic"
 	"time"
+
+	"lazyp/internal/obs"
 )
 
 // RunPool executes independent simulation Specs on a fixed set of
@@ -23,8 +24,12 @@ type RunPool struct {
 	cache   *Cache
 	workers int
 
-	submitted atomic.Uint64
-	executed  atomic.Uint64
+	// Per-pool registry backing the runner statistics. Private rather
+	// than obs.Default because tests build many pools per process and
+	// each must count from zero; Metrics exposes it for scraping.
+	reg       *obs.Registry
+	submitted *obs.Counter
+	executed  *obs.Counter
 }
 
 // Future is the pending result of one submitted Spec.
@@ -60,11 +65,15 @@ func NewRunPool(workers int, cache *Cache) *RunPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	reg := obs.NewRegistry()
 	p := &RunPool{
-		jobs:    make(chan *Future, 4*workers),
-		done:    make(chan struct{}),
-		cache:   cache,
-		workers: workers,
+		jobs:      make(chan *Future, 4*workers),
+		done:      make(chan struct{}),
+		cache:     cache,
+		workers:   workers,
+		reg:       reg,
+		submitted: reg.Counter("harness_specs_submitted_total"),
+		executed:  reg.Counter("harness_specs_executed_total"),
 	}
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -78,13 +87,16 @@ func (p *RunPool) Workers() int { return p.workers }
 // Cache returns the pool's memo cache (nil when memoization is off).
 func (p *RunPool) Cache() *Cache { return p.cache }
 
+// Metrics returns the pool's private metrics registry.
+func (p *RunPool) Metrics() *obs.Registry { return p.reg }
+
 // Close stops the workers once all submitted runs have drained.
 func (p *RunPool) Close() { close(p.done) }
 
 // Submit queues spec for execution and returns its future.
 func (p *RunPool) Submit(spec Spec) *Future {
 	f := &Future{spec: spec, ready: make(chan struct{})}
-	p.submitted.Add(1)
+	p.submitted.Inc()
 	p.jobs <- f
 	return f
 }
@@ -152,7 +164,7 @@ func (p *RunPool) exec(spec Spec) (res Result, err error) {
 			err = fmt.Errorf("harness: run %s/%s panicked: %v", spec.Workload, spec.Variant, r)
 		}
 	}()
-	p.executed.Add(1)
+	p.executed.Inc()
 	ses := NewSession(spec)
 	res = ses.Execute()
 	if res.Crashed && spec.Sim.CrashCycle == 0 {

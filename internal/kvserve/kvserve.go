@@ -53,6 +53,7 @@ import (
 
 	"lazyp/internal/checksum"
 	"lazyp/internal/lpstore"
+	"lazyp/internal/obs"
 )
 
 // Config describes one server instance. The geometry fields (Mode
@@ -105,6 +106,20 @@ type Config struct {
 	Fsync bool
 	// LeakDepth is the background write-back queue depth.
 	LeakDepth int
+
+	// Registry receives the server's metrics (kvserve_* series, plus
+	// the per-shard lpstore_* series). Nil means a private registry,
+	// reachable through Server.Metrics — instruments are always live,
+	// they just aren't shared.
+	Registry *obs.Registry
+	// Tracer receives persistency events (batch commits, rejects,
+	// recovery repairs, leaks). Nil means a private, disabled tracer
+	// of TraceCap capacity, reachable through Server.Tracer; recording
+	// starts only when some caller enables it.
+	Tracer *obs.Tracer
+	// TraceCap sizes the private tracer when Tracer is nil (default
+	// 4096 events ≈ 160 KiB).
+	TraceCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +155,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LeakDepth == 0 {
 		c.LeakDepth = 4096
+	}
+	if c.TraceCap == 0 {
+		c.TraceCap = 4096
 	}
 	return c
 }

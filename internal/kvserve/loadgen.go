@@ -2,12 +2,13 @@ package kvserve
 
 import (
 	"fmt"
+	"io"
 	"math/rand/v2"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"lazyp/internal/obs"
 	"lazyp/internal/workloads"
 )
 
@@ -32,6 +33,13 @@ type LoadOpts struct {
 	InsertOnly bool
 	MaxRetries int // retries per op on StatusOverload (default 8)
 
+	// Interval, when positive, emits a windowed progress line to
+	// Progress every Interval: ops completed, window throughput, and
+	// window p50/p99 from the client-side latency histogram. Nil
+	// Progress disables the reporter regardless of Interval.
+	Interval time.Duration
+	Progress io.Writer
+
 	// OnSend fires before an op's first send; OnAck fires when a put
 	// is acked StatusOK. Both may be nil; both may be called from many
 	// goroutines. The crash test records sent and acked puts here.
@@ -40,7 +48,10 @@ type LoadOpts struct {
 }
 
 // LoadReport is RunLoad's result. Latencies are measured per op from
-// first send to final response (retries included) in microseconds.
+// first send to final response (retries included) in microseconds;
+// percentiles come from a client-side log-scale histogram, so they are
+// bucket upper bounds (≤12.5% relative error), not exact order
+// statistics.
 type LoadReport struct {
 	Conns      int     `json:"conns"`
 	Window     int     `json:"window"`
@@ -59,6 +70,11 @@ type LoadReport struct {
 	P90us      float64 `json:"p90_us"`
 	P99us      float64 `json:"p99_us"`
 	MaxUs      float64 `json:"max_us"`
+
+	// Partial is set when a connection failed mid-run (dial error with
+	// surviving peers, a send/receive error, or the server going away):
+	// the counts and latencies above cover only the ops that completed.
+	Partial bool `json:"partial,omitempty"`
 }
 
 func (o LoadOpts) withDefaults() LoadOpts {
@@ -114,21 +130,42 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 		ops, acked, gets, notFound  atomic.Uint64
 		overloads, retries, expired atomic.Uint64
 		full, errs                  atomic.Uint64
-		latMu                       sync.Mutex
-		lats                        []float64
+		hist                        obs.Histogram // op latency, ns
+		connDown                    atomic.Bool
 		wg                          sync.WaitGroup
 		dialErr                     atomic.Pointer[error]
 	)
-	record := func(us float64) {
-		latMu.Lock()
-		lats = append(lats, us)
-		latMu.Unlock()
-	}
 
 	start := time.Now()
 	var end time.Time
 	if o.Dur > 0 {
 		end = start.Add(o.Dur)
+	}
+	var stopProg chan struct{}
+	if o.Interval > 0 && o.Progress != nil {
+		stopProg = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(o.Interval)
+			defer tick.Stop()
+			var prevOps uint64
+			var prev obs.HistSnapshot
+			for {
+				select {
+				case <-stopProg:
+					return
+				case <-tick.C:
+					cur := hist.Snapshot()
+					win := cur.Sub(prev)
+					curOps := ops.Load()
+					fmt.Fprintf(o.Progress,
+						"lpload: t=%.1fs ops=%d (%.0f ops/s) p50 %.0fµs p99 %.0fµs\n",
+						time.Since(start).Seconds(), curOps,
+						float64(curOps-prevOps)/o.Interval.Seconds(),
+						float64(win.Quantile(0.50))/1e3, float64(win.Quantile(0.99))/1e3)
+					prev, prevOps = cur, curOps
+				}
+			}
+		}()
 	}
 	for w := 0; w < o.Conns; w++ {
 		wg.Add(1)
@@ -137,6 +174,7 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 			cl, err := Dial(addr)
 			if err != nil {
 				dialErr.CompareAndSwap(nil, &err)
+				connDown.Store(true)
 				return
 			}
 			defer cl.Close()
@@ -151,6 +189,7 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 					break
 				}
 				if cl.Err() != nil {
+					connDown.Store(true)
 					break // server died; the remaining ops cannot be issued
 				}
 				var op byte
@@ -179,11 +218,13 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 						ch, err := cl.start(op, key, val)
 						if err != nil {
 							errs.Add(1)
+							connDown.Store(true)
 							return
 						}
 						r := <-ch
 						if r.Err != nil {
 							errs.Add(1)
+							connDown.Store(true)
 							return
 						}
 						if r.Status == StatusOverload {
@@ -195,7 +236,7 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 							}
 						}
 						ops.Add(1)
-						record(float64(time.Since(t0).Microseconds()))
+						hist.Observe(uint64(time.Since(t0).Nanoseconds()))
 						switch {
 						case op == opGet:
 							gets.Add(1)
@@ -220,6 +261,9 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 		}(w)
 	}
 	wg.Wait()
+	if stopProg != nil {
+		close(stopProg)
+	}
 	elapsed := time.Since(start)
 
 	if ep := dialErr.Load(); ep != nil && ops.Load() == 0 {
@@ -232,12 +276,17 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 		Gets: gets.Load(), NotFound: notFound.Load(),
 		Overloads: overloads.Load(), Retries: retries.Load(),
 		Expired: expired.Load(), Full: full.Load(),
-		Errors: errs.Load(),
+		Errors:  errs.Load(),
+		Partial: connDown.Load(),
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
 	}
-	rep.P50us, rep.P90us, rep.P99us, rep.MaxUs = percentiles(lats)
+	snap := hist.Snapshot()
+	rep.P50us = float64(snap.Quantile(0.50)) / 1e3
+	rep.P90us = float64(snap.Quantile(0.90)) / 1e3
+	rep.P99us = float64(snap.Quantile(0.99)) / 1e3
+	rep.MaxUs = float64(snap.Max) / 1e3
 	return rep, nil
 }
 
@@ -248,18 +297,4 @@ func backoff(attempt int) {
 		base = 10 * time.Millisecond
 	}
 	time.Sleep(base/2 + time.Duration(rand.Int64N(int64(base))))
-}
-
-// percentiles returns p50/p90/p99/max of the sample set (zeros when
-// empty).
-func percentiles(v []float64) (p50, p90, p99, max float64) {
-	if len(v) == 0 {
-		return 0, 0, 0, 0
-	}
-	sort.Float64s(v)
-	at := func(p float64) float64 {
-		i := int(p * float64(len(v)-1))
-		return v[i]
-	}
-	return at(0.50), at(0.90), at(0.99), v[len(v)-1]
 }

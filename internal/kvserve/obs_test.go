@@ -1,0 +1,104 @@
+package kvserve
+
+import (
+	"strings"
+	"testing"
+
+	"lazyp/internal/lpstore"
+	"lazyp/internal/obs"
+)
+
+// promLine returns the first sample line of the scrape that starts
+// with prefix (skipping # comments), or "".
+func promLine(scrape, prefix string) string {
+	for _, ln := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(ln, prefix) {
+			return ln
+		}
+	}
+	return ""
+}
+
+// TestServeMetricsAndTrace drives load at an LP server with the event
+// tracer enabled and checks the wired instruments: batch commits
+// counted, put-latency histogram populated, per-shard labelled series
+// present in the Prometheus scrape, and the tracer holding commit and
+// ack-advance events.
+func TestServeMetricsAndTrace(t *testing.T) {
+	cfg := testCfg(t, lpstore.ModeLP)
+	s := startServer(t, cfg)
+	s.Tracer().Enable(true)
+
+	rep, err := RunLoad(s.Addr(), LoadOpts{
+		Conns: 2, Window: 16, Ops: 400, Mix: "a",
+		Streams: cfg.Streams, Keys: cfg.Keys, Seed: cfg.Seed,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.AckedPuts == 0 {
+		t.Fatalf("no puts acked: %+v", rep)
+	}
+
+	var sb strings.Builder
+	if err := s.Metrics().WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	scrape := sb.String()
+
+	for _, want := range []string{
+		`kvserve_batch_commits_total `,
+		`kvserve_puts_total `,
+		`kvserve_put_latency_seconds_bucket{`,
+		`kvserve_put_latency_seconds_count{`,
+		`kvserve_batch_fill_sum{shard="0"}`,
+		`kvserve_mailbox_high_water{shard="0"}`,
+		`kvserve_mailbox_high_water{shard="1"}`,
+		`kvserve_journal_capacity{shard="0"}`,
+	} {
+		if promLine(scrape, want) == "" {
+			t.Errorf("scrape is missing a %q series", want)
+		}
+	}
+	if ln := promLine(scrape, "kvserve_batch_commits_total "); strings.HasSuffix(ln, " 0") {
+		t.Errorf("kvserve_batch_commits_total is zero: %q", ln)
+	}
+	if ln := promLine(scrape, `kvserve_put_latency_seconds_count{shard="0"}`); ln == "" || strings.HasSuffix(ln, " 0") {
+		t.Errorf("put-latency histogram for shard 0 is empty: %q", ln)
+	}
+
+	seen := map[obs.EventType]int{}
+	for _, ev := range s.Tracer().Drain(0) {
+		seen[ev.Type]++
+	}
+	if seen[obs.EvBatchCommit] == 0 || seen[obs.EvAckAdvance] == 0 {
+		t.Errorf("tracer missing commit/ack events: %v", seen)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A restart over the drained image recovers every shard and must
+	// record one recovery-duration sample per shard.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer s2.Close()
+	sb.Reset()
+	if err := s2.Metrics().WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm after restart: %v", err)
+	}
+	for _, shard := range []string{"0", "1"} {
+		ln := promLine(sb.String(), `kvserve_recovery_seconds_count{shard="`+shard+`"}`)
+		if ln == "" || !strings.HasSuffix(ln, " 1") {
+			t.Errorf("recovery histogram for shard %s not recorded: %q", shard, ln)
+		}
+	}
+	for i, st := range s2.RecoveryStats() {
+		if st.RecoverNs <= 0 {
+			t.Errorf("shard %d recovery stats carry no wall-clock duration: %+v", i, st)
+		}
+	}
+}

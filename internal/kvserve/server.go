@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"lazyp/internal/lp"
 	"lazyp/internal/lpstore"
 	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
 	"lazyp/internal/workloads"
 )
 
@@ -83,6 +85,43 @@ type shardState struct {
 	// lines have a single writer — the leaker — so FIFO order keeps
 	// the file monotone).
 	tabLo, tabHi memsim.Addr
+
+	obs shardObs
+}
+
+// shardObs is one shard's registry instruments, resolved once in New
+// under the shard label and updated lock-free thereafter.
+type shardObs struct {
+	mbDepth   *obs.Gauge     // kvserve_mailbox_depth
+	mbHigh    *obs.Gauge     // kvserve_mailbox_high_water
+	jrnUsed   *obs.Gauge     // kvserve_journal_used (LP: puts journaled)
+	jrnCap    *obs.Gauge     // kvserve_journal_capacity (LP: MaxOps)
+	batchFill *obs.Histogram // kvserve_batch_fill: client puts acked per committed batch
+	commitLat *obs.Histogram // kvserve_commit_latency_seconds: group-commit file write set
+	putLat    *obs.Histogram // kvserve_put_latency_seconds: enqueue → ack, end to end
+	recovery  *obs.Histogram // kvserve_recovery_seconds: restart recovery per shard
+	rejOver   *obs.Counter   // kvserve_rejects_total{cause="overload"}
+	rejExp    *obs.Counter   // kvserve_rejects_total{cause="expired"}
+	rejFull   *obs.Counter   // kvserve_rejects_total{cause="full"}
+}
+
+func newShardObs(sc obs.Scope) shardObs {
+	rej := func(cause string) *obs.Counter {
+		return sc.With("cause", cause).Counter("kvserve_rejects_total")
+	}
+	return shardObs{
+		mbDepth:   sc.Gauge("kvserve_mailbox_depth"),
+		mbHigh:    sc.Gauge("kvserve_mailbox_high_water"),
+		jrnUsed:   sc.Gauge("kvserve_journal_used"),
+		jrnCap:    sc.Gauge("kvserve_journal_capacity"),
+		batchFill: sc.Histogram("kvserve_batch_fill"),
+		commitLat: sc.HistogramScaled("kvserve_commit_latency_seconds", 1e-9),
+		putLat:    sc.HistogramScaled("kvserve_put_latency_seconds", 1e-9),
+		recovery:  sc.HistogramScaled("kvserve_recovery_seconds", 1e-9),
+		rejOver:   rej("overload"),
+		rejExp:    rej("expired"),
+		rejFull:   rej("full"),
+	}
 }
 
 func (sd *shardState) basePair(i int) (uint64, uint64) {
@@ -132,9 +171,12 @@ type Server struct {
 	fileErr  atomic.Pointer[error]
 	closeErr error
 
-	ctGets, ctGetMisses, ctPuts, ctAcked   atomic.Uint64
-	ctBatches, ctPads, ctOverload          atomic.Uint64
-	ctExpired, ctFull, ctLeaked, ctDropped atomic.Uint64
+	reg *obs.Registry
+	tr  *obs.Tracer
+	// Server-wide counters (per-shard instruments live in shardObs).
+	ctGets, ctGetMisses, ctPuts, ctAcked *obs.Counter
+	ctBatches, ctPads                    *obs.Counter
+	ctLeaked, ctDropped                  *obs.Counter
 }
 
 // New builds the server state and binds it to the backing file: a
@@ -147,6 +189,23 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}
+	s.reg = cfg.Registry
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.tr = cfg.Tracer
+	if s.tr == nil {
+		s.tr = obs.NewTracer(cfg.TraceCap)
+	}
+	root := s.reg.Scope()
+	s.ctGets = root.Counter("kvserve_gets_total")
+	s.ctGetMisses = root.Counter("kvserve_get_misses_total")
+	s.ctPuts = root.Counter("kvserve_puts_total")
+	s.ctAcked = root.Counter("kvserve_acked_puts_total")
+	s.ctBatches = root.Counter("kvserve_batch_commits_total")
+	s.ctPads = root.Counter("kvserve_pads_total")
+	s.ctLeaked = root.Counter("kvserve_leaked_lines_total")
+	s.ctDropped = root.Counter("kvserve_leak_dropped_total")
 
 	// The allocation order below is the layout contract with every
 	// prior incarnation of this config: guard line, persistence
@@ -164,8 +223,10 @@ func New(cfg Config) (*Server, error) {
 	switch cfg.Mode {
 	case lpstore.ModeEP:
 		s.rec = ep.NewRecompute(s.mem, "kvserve.ep", cfg.Shards)
+		s.rec.Obs = ep.NewTally(root, "ep")
 	case lpstore.ModeWAL:
 		s.wal = ep.NewWAL(s.mem, "kvserve.wal", cfg.Shards, 2) // a put stores ≤2 words
+		s.wal.Obs = ep.NewTally(root, "wal")
 	}
 	base := make([][][2]uint64, cfg.Shards)
 	for tid := 0; tid < cfg.Streams; tid++ {
@@ -196,6 +257,12 @@ func New(cfg Config) (*Server, error) {
 		sd.tabLo = memsim.LineOf(sd.sh.Tab.KeyAddr(0))
 		sd.tabHi = memsim.LineOf(sd.sh.Tab.ValAddr(sd.sh.Tab.Cap() - 1))
 		sd.mb = make(chan request, cfg.Mailbox)
+		sc := s.reg.Scope("shard", strconv.Itoa(id))
+		sd.obs = newShardObs(sc)
+		sd.sh.Obs = lpstore.NewMetrics(sc, s.tr)
+		if cfg.Mode == lpstore.ModeLP {
+			sd.obs.jrnCap.Set(int64(cfg.MaxOps))
+		}
 		s.shards = append(s.shards, sd)
 	}
 
@@ -239,11 +306,11 @@ func (s *Server) recoverAll() error {
 	switch s.cfg.Mode {
 	case lpstore.ModeLP:
 		for _, sd := range s.shards {
+			t0 := time.Now()
 			st := sd.sh.RecoverLP(sd.ctx, len(sd.baseline), sd.basePair)
 			if err := sd.ctx.takeErr(); err != nil {
 				return fmt.Errorf("kvserve: shard %d repair: %w", sd.id, err)
 			}
-			s.rstats = append(s.rstats, st)
 			if st.AckedPuts%s.cfg.BatchK != 0 {
 				// Group commit only ever seals full (padded) batches, so a
 				// partial acked tail means the file was written by something
@@ -254,6 +321,10 @@ func (s *Server) recoverAll() error {
 				return fmt.Errorf("kvserve: shard %d tail truncation: %w", sd.id, err)
 			}
 			sd.w.ResumeAt(st.AckedPuts)
+			st.RecoverNs = time.Since(t0).Nanoseconds()
+			sd.obs.recovery.Observe(uint64(st.RecoverNs))
+			sd.obs.jrnUsed.Set(int64(sd.w.Seq()))
+			s.rstats = append(s.rstats, st)
 		}
 	case lpstore.ModeWAL:
 		for _, sd := range s.shards {
@@ -329,15 +400,38 @@ func (s *Server) Restored() bool { return s.restored }
 // restored boot (nil on a fresh boot or under other modes).
 func (s *Server) RecoveryStats() []lpstore.RecoverStats { return s.rstats }
 
-// Stats snapshots the operation counters.
+// Stats snapshots the operation counters. The counters live in the
+// server's registry; rejects are kept per shard there, so the snapshot
+// sums them back into the flat legacy shape.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Gets: s.ctGets.Load(), GetMisses: s.ctGetMisses.Load(),
 		Puts: s.ctPuts.Load(), AckedPuts: s.ctAcked.Load(),
 		Batches: s.ctBatches.Load(), Pads: s.ctPads.Load(),
-		Overloads: s.ctOverload.Load(), Expired: s.ctExpired.Load(),
-		Full: s.ctFull.Load(), LeakedLines: s.ctLeaked.Load(),
-		LeakDropped: s.ctDropped.Load(),
+		LeakedLines: s.ctLeaked.Load(), LeakDropped: s.ctDropped.Load(),
+	}
+	for _, sd := range s.shards {
+		st.Overloads += sd.obs.rejOver.Load()
+		st.Expired += sd.obs.rejExp.Load()
+		st.Full += sd.obs.rejFull.Load()
+	}
+	return st
+}
+
+// Metrics returns the server's registry (the one from Config.Registry,
+// or the private one New created). Scrape it with obs.MetricsHandler.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Tracer returns the server's event tracer. It is disabled until some
+// caller enables it; lpserve does so when -trace is set.
+func (s *Server) Tracer() *obs.Tracer { return s.tr }
+
+// trace emits one service event with a wall-clock timestamp. The
+// Enabled gate keeps the time.Now off the hot path in the steady
+// (disabled) state.
+func (s *Server) trace(typ obs.EventType, src int32, a, b uint64) {
+	if s.tr.Enabled() {
+		s.tr.Record(typ, src, time.Now().UnixNano(), a, b)
 	}
 }
 
@@ -479,8 +573,12 @@ func (s *Server) connReader(cn *srvConn) {
 		r := request{op: op, seq: seq, key: key, val: val, enq: time.Now(), cn: cn}
 		select {
 		case sd.mb <- r:
+			d := int64(len(sd.mb))
+			sd.obs.mbDepth.Set(d)
+			sd.obs.mbHigh.SetMax(d)
 		default:
-			s.ctOverload.Add(1)
+			sd.obs.rejOver.Inc()
+			s.trace(obs.EvRejectOverload, int32(sd.id), key, 0)
 			cn.reply(seq, StatusOverload, 0)
 		}
 	}
@@ -560,19 +658,21 @@ func (s *Server) owner(sd *shardState) {
 }
 
 func (s *Server) handle(sd *shardState, r request) {
+	sd.obs.mbDepth.Set(int64(len(sd.mb)))
 	if d := s.cfg.MaxQueueDelay; d > 0 && time.Since(r.enq) > d {
-		s.ctExpired.Add(1)
+		sd.obs.rejExp.Inc()
+		s.trace(obs.EvRejectExpired, int32(sd.id), r.key, 0)
 		r.cn.reply(r.seq, StatusExpired, 0)
 		return
 	}
 	c := sd.ctx
 	if r.op == opGet {
-		s.ctGets.Add(1)
+		s.ctGets.Inc()
 		v, ok := sd.w.Get(c, r.key)
 		if ok {
 			r.cn.reply(r.seq, StatusOK, v)
 		} else {
-			s.ctGetMisses.Add(1)
+			s.ctGetMisses.Inc()
 			r.cn.reply(r.seq, StatusNotFound, 0)
 		}
 		return
@@ -582,11 +682,12 @@ func (s *Server) handle(sd *shardState, r request) {
 	// and exhausted LP journals before mutating anything.
 	if sd.occupied >= sd.highWater ||
 		(s.cfg.Mode == lpstore.ModeLP && sd.w.Seq() >= sd.sh.MaxOps) {
-		s.ctFull.Add(1)
+		sd.obs.rejFull.Inc()
+		s.trace(obs.EvRejectFull, int32(sd.id), r.key, 0)
 		r.cn.reply(r.seq, StatusFull, 0)
 		return
 	}
-	s.ctPuts.Add(1)
+	s.ctPuts.Inc()
 	insBefore := sd.w.Inserts
 	switch s.cfg.Mode {
 	case lpstore.ModeLP:
@@ -611,12 +712,14 @@ func (s *Server) handle(sd *shardState, r request) {
 			r.cn.reply(r.seq, StatusShutdown, 0)
 			return
 		}
-		s.ctAcked.Add(1)
+		s.ctAcked.Inc()
+		sd.obs.putLat.Observe(uint64(time.Since(r.enq).Nanoseconds()))
 		r.cn.reply(r.seq, StatusOK, 0)
 	case lpstore.ModeBase:
 		sd.w.Put(c, r.key, r.val)
 		sd.occupied += int(sd.w.Inserts - insBefore)
-		s.ctAcked.Add(1)
+		s.ctAcked.Inc()
+		sd.obs.putLat.Observe(uint64(time.Since(r.enq).Nanoseconds()))
 		r.cn.reply(r.seq, StatusOK, 0)
 		s.leak(sd) // the write-back queue is base's only path to the file
 	}
@@ -628,6 +731,7 @@ func (s *Server) handle(sd *shardState, r request) {
 // clients — the group-commit durability point.
 func (s *Server) commit(sd *shardState, padded bool) {
 	c := sd.ctx
+	t0 := time.Now()
 	if padded {
 		s.ctPads.Add(uint64(sd.w.PadBatch(c)))
 	}
@@ -650,9 +754,16 @@ func (s *Server) commit(sd *shardState, padded bool) {
 			r.cn.reply(r.seq, StatusShutdown, 0)
 		}
 	} else {
-		s.ctBatches.Add(1)
+		now := time.Now()
+		s.ctBatches.Inc()
 		s.ctAcked.Add(uint64(len(sd.pending)))
+		sd.obs.batchFill.Observe(uint64(len(sd.pending)))
+		sd.obs.commitLat.Observe(uint64(now.Sub(t0).Nanoseconds()))
+		sd.obs.jrnUsed.Set(int64(sd.w.Seq()))
+		s.trace(obs.EvBatchCommit, int32(sd.id), uint64(b), uint64(len(sd.pending)))
+		s.trace(obs.EvAckAdvance, int32(sd.id), uint64(sd.w.Seq()), 0)
 		for _, r := range sd.pending {
+			sd.obs.putLat.Observe(uint64(now.Sub(r.enq).Nanoseconds()))
 			r.cn.reply(r.seq, StatusOK, 0)
 		}
 	}
@@ -675,9 +786,10 @@ func (s *Server) leak(sd *shardState) {
 		ls.la, ls.buf = s.pf.snapshotLine(la)
 		select {
 		case s.leakCh <- ls:
-			s.ctLeaked.Add(1)
+			s.ctLeaked.Inc()
+			s.trace(obs.EvEvictionLeak, int32(sd.id), uint64(la), 0)
 		default:
-			s.ctDropped.Add(1)
+			s.ctDropped.Inc()
 		}
 	}
 }

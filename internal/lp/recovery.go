@@ -3,6 +3,7 @@ package lp
 import (
 	"lazyp/internal/checksum"
 	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
 	"lazyp/internal/pmem"
 )
 
@@ -12,6 +13,11 @@ import (
 type Verifier struct {
 	Table *Table
 	Kind  checksum.Kind
+
+	// Matches/Mismatches, when non-nil, count checksum-region verify
+	// outcomes through VerifyAddrs (left nil by the deterministic
+	// kernel harness; costs one branch per verified region).
+	Matches, Mismatches *obs.Counter
 }
 
 // SumLoads recomputes a checksum by reading the given addresses through
@@ -31,7 +37,15 @@ func SumLoads(c pmem.Ctx, kind checksum.Kind, addrs []memsim.Addr) uint64 {
 // VerifyAddrs reports whether region key's stored checksum matches the
 // data now at addrs (IsMatchingChecksum in the paper's Figure 9).
 func (v Verifier) VerifyAddrs(c pmem.Ctx, key int, addrs []memsim.Addr) bool {
-	return v.Table.Matches(c, key, SumLoads(c, v.Kind, addrs))
+	ok := v.Table.Matches(c, key, SumLoads(c, v.Kind, addrs))
+	if ok {
+		if v.Matches != nil {
+			v.Matches.Inc()
+		}
+	} else if v.Mismatches != nil {
+		v.Mismatches.Inc()
+	}
+	return ok
 }
 
 // RegionSummer incrementally recomputes one region's checksum during

@@ -4,6 +4,7 @@ import (
 	"lazyp/internal/ep"
 	"lazyp/internal/lp"
 	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
 	"lazyp/internal/pmem"
 )
 
@@ -36,6 +37,11 @@ type RecoverStats struct {
 	AckedBatches int  `json:"acked_batches"` // batches (incl. a sealed partial tail) acknowledged
 	Verified     bool `json:"verified"`      // table matched the replay; no repair needed
 	Repaired     int  `json:"repaired"`      // slots that deviated from the replay (0 if Verified)
+	// RecoverNs is the monotonic wall-clock duration of the shard's
+	// recovery pass in nanoseconds. It is measured only on native
+	// (wall-clock) paths — kvserve restart, lpcrash — and omitted
+	// elsewhere, so deterministic simulated outputs never carry it.
+	RecoverNs int64 `json:"recover_ns,omitempty"`
 }
 
 // AckedPrefix walks the journal from batch 0 and returns the longest
@@ -70,6 +76,10 @@ func (sh *Shard) AckedPrefix(c pmem.Ctx) (puts, batches int) {
 			addrs = append(addrs, sh.Jrn.Addr(2*(base+i)), sh.Jrn.Addr(2*(base+i)+1))
 		}
 		if !sh.Ack.Matches(c, b, lp.SumLoads(c, sh.kind, addrs)) {
+			if m := sh.Obs; m != nil {
+				m.RegionMismatch.Inc()
+				m.trace(obs.EvRegionMismatch, int32(sh.ID), uint64(b), uint64(n))
+			}
 			break
 		}
 		puts += n
@@ -121,6 +131,10 @@ func (sh *Shard) RecoverLP(c pmem.Ctx, baseN int, basePair func(i int) (k, v uin
 	st := RecoverStats{Shard: sh.ID}
 	st.AckedPuts, st.AckedBatches = sh.AckedPrefix(c)
 	expect, order := sh.replayJournal(c, st.AckedPuts, baseN, basePair)
+	if m := sh.Obs; m != nil {
+		m.BatchesAcked.Add(uint64(st.AckedBatches))
+		m.ReplayedPuts.Add(uint64(st.AckedPuts))
+	}
 
 	// Verification: every occupied slot must hold an expected pair, and
 	// every expected key must be present. (A key is only ever written to
@@ -152,6 +166,11 @@ func (sh *Shard) RecoverLP(c pmem.Ctx, baseN int, basePair func(i int) (k, v uin
 		return st
 	}
 	st.Repaired = mism
+	if m := sh.Obs; m != nil {
+		m.SlotsRepaired.Add(uint64(mism))
+		m.GhostWipes.Inc()
+		m.trace(obs.EvRecoveryRepair, int32(sh.ID), uint64(mism), uint64(st.AckedPuts))
+	}
 
 	// Rebuild: wipe, then re-put the acknowledged prefix in first-insert
 	// order. All stores are made durable before returning (flush the

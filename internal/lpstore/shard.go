@@ -6,6 +6,7 @@ import (
 	"lazyp/internal/checksum"
 	"lazyp/internal/lp"
 	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
 	"lazyp/internal/pmem"
 )
 
@@ -57,6 +58,10 @@ type Shard struct {
 	BatchK int
 	MaxOps int
 	kind   checksum.Kind
+
+	// Obs, when non-nil, receives journal/recovery counters and trace
+	// events (see obs.go). Left nil by the closed-loop simulator.
+	Obs *Metrics
 }
 
 // NewShard builds a shard without the LP mechanism (base/EP/WAL runs).
@@ -195,12 +200,19 @@ func (w *Writer) Put(c pmem.Ctx, k, v uint64) {
 		if w.Sh.Tab.Put(c, w.mut, k, v) {
 			w.Inserts++
 		}
+		if m := w.Sh.Obs; m != nil {
+			m.JournalAppends.Inc()
+			m.trace(obs.EvJournalAppend, int32(w.Sh.ID), uint64(w.seq), k)
+		}
 		w.seq++
 		w.inBatch++
 		if w.inBatch == w.Sh.BatchK {
 			w.jr.End(c)
 			w.batch++
 			w.inBatch = 0
+			if m := w.Sh.Obs; m != nil {
+				m.BatchSeals.Inc()
+			}
 		}
 	}
 }
@@ -213,6 +225,9 @@ func (w *Writer) Seal(c pmem.Ctx) {
 		w.jr.End(c)
 		w.batch++
 		w.inBatch = 0
+		if m := w.Sh.Obs; m != nil {
+			m.BatchSeals.Inc()
+		}
 	}
 }
 
@@ -246,6 +261,9 @@ func (w *Writer) PadBatch(c pmem.Ctx) int {
 		}
 		w.jr.Store64(c, w.Sh.Jrn.Addr(2*w.seq), NopKey)
 		w.jr.Store64(c, w.Sh.Jrn.Addr(2*w.seq+1), 0)
+		if m := w.Sh.Obs; m != nil {
+			m.JournalAppends.Inc()
+		}
 		w.seq++
 		w.inBatch++
 		pads++
@@ -253,6 +271,9 @@ func (w *Writer) PadBatch(c pmem.Ctx) int {
 			w.jr.End(c)
 			w.batch++
 			w.inBatch = 0
+			if m := w.Sh.Obs; m != nil {
+				m.BatchSeals.Inc()
+			}
 		}
 	}
 	return pads

@@ -28,6 +28,9 @@ type Memory struct {
 	writesFromEvict uint64
 	writesFromFlush uint64
 	writesFromClean uint64
+
+	// wbHook observes write-backs when set; see SetWriteBackHook.
+	wbHook func(Addr, WriteBackCause)
 }
 
 // Allocation records one named region handed out by Alloc.
@@ -121,6 +124,12 @@ func (m *Memory) copyLine(la Addr) {
 	*(*[LineSize]byte)(m.durable[la:]) = *(*[LineSize]byte)(m.backing[la:])
 }
 
+// SetWriteBackHook installs an observer called on every NVMM line
+// write with the line address and cause (nil uninstalls). The hook is
+// purely observational — it must not touch memory or timing state —
+// and the nil check is the only cost the write-back path pays for it.
+func (m *Memory) SetWriteBackHook(h func(Addr, WriteBackCause)) { m.wbHook = h }
+
 // WriteBackLine copies the architectural content of the line containing a
 // into the durable image and accounts one NVMM write.
 func (m *Memory) WriteBackLine(a Addr, cause WriteBackCause) {
@@ -134,6 +143,9 @@ func (m *Memory) WriteBackLine(a Addr, cause WriteBackCause) {
 		m.writesFromFlush++
 	case CauseClean:
 		m.writesFromClean++
+	}
+	if m.wbHook != nil {
+		m.wbHook(la, cause)
 	}
 }
 

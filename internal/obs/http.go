@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves the registry as Prometheus text format —
+// mount it at /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// TraceHandler serves the tracer as JSONL — mount it at
+// /debug/trace. Each GET drains up to n events (?n=K, default all),
+// one JSON object per line; draining is destructive, so successive
+// scrapes stream the event log in order.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteJSONL(w, t.Drain(n))
+	})
+}

@@ -1,0 +1,64 @@
+// Package obs is the repo's dependency-free observability core:
+// atomic counters and gauges, fixed-bucket log-scale latency
+// histograms with quantile extraction, a label-scoped registry that
+// renders hand-rolled Prometheus text format, and a bounded
+// ring-buffer tracer for typed persistency events (trace.go).
+//
+// The design contract is that instruments are cheap enough to leave
+// on in the hottest paths we have: a counter increment is one atomic
+// add, a histogram observation is two atomic adds plus a conditional
+// CAS for the max, and a disabled tracer costs one atomic load.
+// Registry lookups take a lock, so callers resolve instrument
+// pointers once (at construction / shard setup) and hold them;
+// Scope views exist precisely so each shard or thread can resolve
+// its own labelled child instruments up front and then update them
+// contention-free.
+//
+// Everything here is stdlib-only. The simulator's determinism
+// contract extends into this package: no instrument ever reads the
+// clock or perturbs control flow, so attaching metrics or a sink to
+// a deterministic run cannot change its output (harness has a
+// byte-identity guard test for exactly this).
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing uint64. The zero value is
+// usable, but callers normally obtain counters from a Registry so
+// they appear in scrapes.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (queue depth, occupancy).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v is larger (high-water marks).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeConcurrent hammers one counter and one gauge from
+// many goroutines; totals must be exact and the high-water mark must
+// equal the largest value any goroutine set. Run under -race in CI.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 10000
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				c.Add(2)
+				g.SetMax(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Load(), uint64(3*workers*perWorker); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := g.Load(), int64(workers*perWorker-1); got != want {
+		t.Errorf("gauge high-water = %d, want %d", got, want)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(5) // lower than current: no-op
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge after SetMax(5) = %d, want 7", got)
+	}
+}
+
+// TestRegistryScope checks that scoped resolution is stable (same
+// name+labels → same instrument) and distinct across label sets.
+func TestRegistryScope(t *testing.T) {
+	r := NewRegistry()
+	s0 := r.Scope("shard", "0")
+	s1 := r.Scope("shard", "1")
+	c0 := s0.Counter("x_total")
+	if s0.Counter("x_total") != c0 {
+		t.Error("re-resolving the same series returned a different instrument")
+	}
+	if s1.Counter("x_total") == c0 {
+		t.Error("different label sets shared an instrument")
+	}
+	// Label order must not matter: scopes render canonically.
+	a := r.Scope("b", "2", "a", "1").Counter("y_total")
+	bb := r.Scope("a", "1", "b", "2").Counter("y_total")
+	if a != bb {
+		t.Error("label order changed series identity")
+	}
+	// With() derives child scopes.
+	child := s0.With("cause", "overload")
+	child.Counter("rej_total").Add(4)
+	if got := child.Counter("rej_total").Load(); got != 4 {
+		t.Errorf("child scope counter = %d, want 4", got)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("resolving a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+// TestRegistryConcurrentResolve exercises the registry lock: many
+// goroutines resolving and bumping the same and different series.
+func TestRegistryConcurrentResolve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := r.Scope("w", string(rune('a'+w%4)))
+			for i := 0; i < 1000; i++ {
+				sc.Counter("spin_total").Inc()
+				sc.Histogram("lat").Observe(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var out strings.Builder
+	if err := r.WriteProm(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `spin_total{w="a"} 2000`) {
+		t.Errorf("scrape missing expected series:\n%s", out.String())
+	}
+}

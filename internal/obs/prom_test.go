@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exact text exposition for a small
+// registry: family ordering by name, series ordering by label key,
+// canonical label rendering, and cumulative histogram encoding with
+// empty buckets elided.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("acks_total").Add(42)
+	r.Scope("cause", "overload", "shard", "0").Counter("rejects_total").Add(3)
+	r.Scope("cause", "full", "shard", "1").Counter("rejects_total").Inc()
+	r.Scope("shard", "0").Gauge("depth").Set(7)
+	h := r.Histogram("fill")
+	for _, v := range []uint64{5, 1000, 1000, 123456} {
+		h.Observe(v)
+	}
+
+	const want = `# TYPE acks_total counter
+acks_total 42
+# TYPE depth gauge
+depth{shard="0"} 7
+# TYPE fill histogram
+fill_bucket{le="5"} 1
+fill_bucket{le="1023"} 3
+fill_bucket{le="131071"} 4
+fill_bucket{le="+Inf"} 4
+fill_sum 125461
+fill_count 4
+# TYPE rejects_total counter
+rejects_total{cause="full",shard="1"} 1
+rejects_total{cause="overload",shard="0"} 3
+`
+	var out strings.Builder
+	if err := r.WriteProm(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want {
+		t.Errorf("prom output mismatch:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestWritePromScaled checks that a scaled histogram publishes its
+// bucket edges and sum in display units (ns observed, seconds
+// exposed).
+func TestWritePromScaled(t *testing.T) {
+	r := NewRegistry()
+	h := r.Scope().HistogramScaled("lat_seconds", 1e-9)
+	h.Observe(1000) // bucket upper bound 1023 ns
+	var out strings.Builder
+	if err := r.WriteProm(&out); err != nil {
+		t.Fatal(err)
+	}
+	le := strconv.FormatFloat(1023*1e-9, 'g', -1, 64)
+	if !strings.Contains(out.String(), `lat_seconds_bucket{le="`+le+`"} 1`) {
+		t.Errorf("missing scaled bucket edge %s in:\n%s", le, out.String())
+	}
+	if !strings.Contains(out.String(), "lat_seconds_count 1") {
+		t.Errorf("missing count in:\n%s", out.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("path", `a"b\c`).Counter("x_total").Inc()
+	var out strings.Builder
+	if err := r.WriteProm(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `x_total{path="a\"b\\c"} 1`) {
+		t.Errorf("label not escaped:\n%s", out.String())
+	}
+}

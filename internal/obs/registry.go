@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry owns named metric families and their labelled series.
+// Lookups (Counter/Gauge/Histogram on a Scope) take the registry
+// lock and are meant for setup time; the returned instrument
+// pointers are lock-free thereafter. Scrapes (WriteProm) also take
+// the lock, but only to walk the series maps — instrument reads are
+// atomic loads.
+//
+// A metric name has exactly one kind (counter, gauge, or histogram)
+// and, for histograms, one display scale; resolving the same name
+// with a conflicting kind or scale panics, since that is a
+// programming error that would silently corrupt a scrape.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	kind   metricKind
+	scale  float64 // histogram display multiplier; 0 means 1 (raw)
+	series map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is the process-global registry. Long-lived singletons
+// (a server process, a CLI run) use it; components that may be
+// instantiated many times per process (pools in tests) take a
+// private registry instead.
+var Default = NewRegistry()
+
+// Scope is a label-set view of a registry: instruments resolved
+// through a scope carry the scope's label pairs. Scopes are values;
+// derive per-shard scopes once and resolve instruments at setup.
+type Scope struct {
+	r     *Registry
+	pairs []string // flat k,v list, sorted by key at render time
+}
+
+// Scope returns a view of r carrying the given label pairs
+// ("key", "value", ...). An odd-length list panics.
+func (r *Registry) Scope(kv ...string) Scope {
+	if len(kv)%2 != 0 {
+		panic("obs: Scope requires key/value pairs")
+	}
+	return Scope{r: r, pairs: append([]string(nil), kv...)}
+}
+
+// With returns a child scope with additional label pairs appended.
+func (s Scope) With(kv ...string) Scope {
+	if len(kv)%2 != 0 {
+		panic("obs: With requires key/value pairs")
+	}
+	return Scope{r: s.r, pairs: append(append([]string(nil), s.pairs...), kv...)}
+}
+
+// labelKey renders the scope's pairs as a canonical Prometheus label
+// body (`k1="v1",k2="v2"`, keys sorted), used both as the series map
+// key and verbatim in the text exposition.
+func (s Scope) labelKey() string {
+	n := len(s.pairs) / 2
+	if n == 0 {
+		return ""
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = 2 * i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.pairs[idx[a]] < s.pairs[idx[b]] })
+	var b strings.Builder
+	for i, j := range idx {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.pairs[j])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(s.pairs[j+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (s Scope) resolve(name string, kind metricKind, scale float64, make func() any) any {
+	if s.r == nil {
+		panic("obs: zero Scope (use Registry.Scope)")
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	f := s.r.fams[name]
+	if f == nil {
+		f = &family{kind: kind, scale: scale, series: map[string]any{}}
+		s.r.fams[name] = f
+	}
+	if f.kind != kind {
+		panic("obs: metric " + name + " registered as " + f.kind.String() + ", requested " + kind.String())
+	}
+	if kind == kindHistogram && f.scale != scale {
+		panic("obs: metric " + name + " registered with a different scale")
+	}
+	key := s.labelKey()
+	inst := f.series[key]
+	if inst == nil {
+		inst = make()
+		f.series[key] = inst
+	}
+	return inst
+}
+
+// Counter resolves (creating if absent) the counter series with the
+// scope's labels.
+func (s Scope) Counter(name string) *Counter {
+	return s.resolve(name, kindCounter, 0, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge resolves the gauge series with the scope's labels.
+func (s Scope) Gauge(name string) *Gauge {
+	return s.resolve(name, kindGauge, 0, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram resolves the histogram series with the scope's labels,
+// published in its raw unit.
+func (s Scope) Histogram(name string) *Histogram {
+	return s.resolve(name, kindHistogram, 0, func() any { return new(Histogram) }).(*Histogram)
+}
+
+// HistogramScaled resolves a histogram whose raw samples are
+// multiplied by scale in the text exposition — observe nanoseconds,
+// publish seconds with scale 1e-9.
+func (s Scope) HistogramScaled(name string, scale float64) *Histogram {
+	return s.resolve(name, kindHistogram, scale, func() any { return new(Histogram) }).(*Histogram)
+}
+
+// Root-scope conveniences for unlabelled series.
+
+// Counter resolves an unlabelled counter.
+func (r *Registry) Counter(name string) *Counter { return r.Scope().Counter(name) }
+
+// Gauge resolves an unlabelled gauge.
+func (r *Registry) Gauge(name string) *Gauge { return r.Scope().Gauge(name) }
+
+// Histogram resolves an unlabelled histogram.
+func (r *Registry) Histogram(name string) *Histogram { return r.Scope().Histogram(name) }

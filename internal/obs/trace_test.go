@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTracerDisabledDiscards(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(EvFlush, 0, 0, 1, 2)
+	if tr.Len() != 0 {
+		t.Fatal("disabled tracer retained an event")
+	}
+}
+
+// TestTracerWraparound fills a small ring past capacity and checks
+// that the drain returns exactly the newest cap events, in order,
+// with the overwritten count reported.
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Enable(true)
+	for i := 0; i < 20; i++ {
+		tr.Record(EvJournalAppend, 1, int64(i), uint64(i), 0)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Errorf("dropped = %d, want 12", got)
+	}
+	evs := tr.Drain(0)
+	if len(evs) != 8 {
+		t.Fatalf("drained %d events, want 8", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(12 + i); e.Seq != want || e.A != want {
+			t.Errorf("event %d: seq=%d a=%d, want %d", i, e.Seq, e.A, want)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Error("ring not empty after full drain")
+	}
+}
+
+func TestTracerPartialDrain(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Enable(true)
+	for i := 0; i < 10; i++ {
+		tr.Record(EvBatchCommit, 0, 0, uint64(i), 0)
+	}
+	first := tr.Drain(4)
+	rest := tr.Drain(0)
+	if len(first) != 4 || len(rest) != 6 {
+		t.Fatalf("drain sizes %d/%d, want 4/6", len(first), len(rest))
+	}
+	if first[0].A != 0 || rest[0].A != 4 {
+		t.Error("partial drains out of order")
+	}
+}
+
+// TestTracerConcurrentDrain runs writers against a concurrent
+// drainer under -race: every drained event must appear exactly once
+// (seqs strictly increasing across successive drains).
+func TestTracerConcurrentDrain(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Enable(true)
+	const workers, perWorker = 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Record(EvFence, int32(w), 0, uint64(i), 0)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var drained []Event
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		drained = append(drained, tr.Drain(0)...)
+	}
+	drained = append(drained, tr.Drain(0)...)
+	for i := 1; i < len(drained); i++ {
+		if drained[i].Seq <= drained[i-1].Seq {
+			t.Fatalf("seq not strictly increasing at %d: %d then %d", i, drained[i-1].Seq, drained[i].Seq)
+		}
+	}
+	total := workers * perWorker
+	if got := len(drained) + int(tr.Dropped()); got != total {
+		t.Errorf("drained+dropped = %d, want %d", got, total)
+	}
+}
+
+func TestWriteJSONLValid(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Enable(true)
+	tr.Record(EvBatchCommit, 3, 12345, 7, 16)
+	tr.Record(EvRejectOverload, -1, 0, 2, 0)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Drain(0)); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var doc struct {
+			Seq  uint64 `json:"seq"`
+			Type string `json:"type"`
+			Src  int32  `json:"src"`
+			TS   int64  `json:"ts"`
+			A    uint64 `json:"a"`
+			B    uint64 `json:"b"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &doc); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if lines == 0 && (doc.Type != "batch_commit" || doc.Src != 3 || doc.B != 16) {
+			t.Errorf("line 0 decoded wrong: %+v", doc)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
 )
 
 // errCrashed is the sentinel delivered to threads when a crash is
@@ -79,6 +80,9 @@ type Engine struct {
 
 	haz Hazards
 	ops OpCounts
+
+	// sink receives persistency events when attached; see sink.go.
+	sink obs.Sink
 }
 
 // New builds a session over mem with the given configuration.
@@ -87,11 +91,15 @@ func New(cfg Config, mem *memsim.Memory) *Engine {
 	if cfg.Threads < 1 || cfg.Threads > 32 {
 		panic(fmt.Sprintf("sim: thread count %d out of range [1,32]", cfg.Threads))
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:  cfg,
 		Mem:  mem,
 		Hier: memsim.NewHierarchy(cfg.Hier, mem),
 	}
+	if sb := globalSink.Load(); sb != nil {
+		e.SetSink(sb.s)
+	}
+	return e
 }
 
 // Config returns the session configuration.

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
+)
+
+// Event sink plumbing: an optional obs.Sink on the engine receives
+// the memory system's persistency events — explicit flushes, fences
+// (with their stall cost), ROB stalls, and NVMM write-backs by cause
+// (evictions, cleaning sweeps). Timestamps are simulation cycles for
+// thread-attributed events and 0 for write-backs (the memory has no
+// clock of its own); Src is the thread id, -1 when unattributed.
+//
+// The sink is observational only — it never reads timing state ahead
+// of the simulation or feeds anything back — so an attached sink
+// cannot perturb a deterministic run (harness guards this with a
+// byte-identity test). A nil sink (the default) costs one pointer
+// check on the Flush/Fence/ROB-stall paths and nothing per
+// load/store.
+
+// SetSink attaches s to the engine (nil detaches). Call before Run;
+// the write-back hook it installs on the engine's Memory stays until
+// replaced, which is what a session spanning several engines over one
+// Memory (run, crash, recover) wants.
+func (e *Engine) SetSink(s obs.Sink) {
+	e.sink = s
+	if s == nil {
+		return
+	}
+	e.Mem.SetWriteBackHook(func(la memsim.Addr, cause memsim.WriteBackCause) {
+		switch cause {
+		case memsim.CauseEvict:
+			s.Event(obs.EvEvict, -1, 0, uint64(la), 0)
+		case memsim.CauseClean:
+			s.Event(obs.EvClean, -1, 0, uint64(la), 0)
+		}
+		// CauseFlush write-backs are already visible as the EvFlush the
+		// issuing thread emitted, with a real cycle timestamp.
+	})
+}
+
+// globalSink, when set, is attached to every Engine built by New —
+// the hookup lpsim -trace uses to reach the engines the harness
+// builds deep inside a session. Read/written via atomics so tests
+// and parallel runners may toggle it around concurrent engine
+// construction.
+var globalSink atomic.Pointer[sinkBox]
+
+type sinkBox struct{ s obs.Sink }
+
+// SetGlobalSink installs (or, with nil, clears) the process-global
+// sink inherited by every subsequently built Engine.
+func SetGlobalSink(s obs.Sink) {
+	if s == nil {
+		globalSink.Store(nil)
+		return
+	}
+	globalSink.Store(&sinkBox{s: s})
+}

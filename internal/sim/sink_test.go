@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
+)
+
+// TestSinkCapturesEventTypes drives a small eager-persistency-shaped
+// body — stores over more lines than L1 holds, explicit flushes,
+// fences — and checks the attached tracer saw all the distinct event
+// types the engine emits: flush, fence, eviction write-back, and
+// (with a tiny ROB) rob_stall.
+func TestSinkCapturesEventTypes(t *testing.T) {
+	mem := memsim.NewMemory(1 << 22)
+	base := mem.Alloc("data", 1<<20)
+	cfg := DefaultConfig(1)
+	cfg.Hier = memsim.Config{Cores: 1, L1Size: 4 << 10, L1Ways: 4, L2Size: 8 << 10, L2Ways: 8}
+	cfg.ROBWindow = 8
+	e := New(cfg, mem)
+	tr := obs.NewTracer(1 << 16)
+	tr.Enable(true)
+	e.SetSink(tr)
+	e.Run(func(th *Thread) {
+		// Dirty far more lines than L2 holds to force evictions, with
+		// loads in between to occupy the MSHRs and trip the tiny ROB.
+		for i := 0; i < 1024; i++ {
+			a := base + memsim.Addr(i*memsim.LineSize)
+			th.Store64(a, uint64(i))
+			th.Load64(base + memsim.Addr(((i*7)%1024)*memsim.LineSize))
+		}
+		// Explicit eager ordering points.
+		for i := 0; i < 8; i++ {
+			th.Flush(base + memsim.Addr(i*memsim.LineSize))
+		}
+		th.Fence()
+	})
+	seen := map[obs.EventType]int{}
+	for _, ev := range tr.Drain(0) {
+		seen[ev.Type]++
+	}
+	for _, want := range []obs.EventType{obs.EvFlush, obs.EvFence, obs.EvEvict, obs.EvROBStall} {
+		if seen[want] == 0 {
+			t.Errorf("no %s events captured (saw %v)", want, seen)
+		}
+	}
+	if seen[obs.EvFlush] != 8 || seen[obs.EvFence] != 1 {
+		t.Errorf("flush/fence counts %d/%d, want 8/1", seen[obs.EvFlush], seen[obs.EvFence])
+	}
+}
+
+// TestSinkDoesNotPerturbTiming runs the same body with and without a
+// sink and requires identical final clocks and op counts — the
+// engine-level statement of the determinism contract (the harness
+// additionally byte-diffs whole experiment outputs).
+func TestSinkDoesNotPerturbTiming(t *testing.T) {
+	run := func(attach bool) (int64, OpCounts) {
+		mem := memsim.NewMemory(1 << 22)
+		base := mem.Alloc("data", 1<<20)
+		cfg := DefaultConfig(2)
+		cfg.Hier = memsim.Config{Cores: 2, L1Size: 4 << 10, L1Ways: 4, L2Size: 8 << 10, L2Ways: 8}
+		e := New(cfg, mem)
+		if attach {
+			tr := obs.NewTracer(64)
+			tr.Enable(true)
+			e.SetSink(tr)
+		}
+		e.Run(func(th *Thread) {
+			for i := 0; i < 256; i++ {
+				a := base + memsim.Addr((th.ThreadID()*4096+i)*memsim.LineSize)
+				th.Store64(a, uint64(i))
+				th.Flush(a)
+			}
+			th.Fence()
+		})
+		return e.ExecCycles(), e.Ops()
+	}
+	c0, o0 := run(false)
+	c1, o1 := run(true)
+	if c0 != c1 || o0 != o1 {
+		t.Fatalf("sink perturbed the run: cycles %d vs %d, ops %+v vs %+v", c0, c1, o0, o1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"lazyp/internal/memsim"
+	"lazyp/internal/obs"
 )
 
 // Hazards counts structural-hazard events per thread. The fields mirror
@@ -273,6 +274,9 @@ func (t *Thread) robCheck() {
 		}
 		if t.instr-f.instr >= uint64(t.eng.cfg.ROBWindow) {
 			t.haz.ROBStall++
+			if s := t.eng.sink; s != nil {
+				s.Event(obs.EvROBStall, int32(t.id), t.now, uint64(f.done-t.now), 0)
+			}
 			t.stallTo(f.done)
 			t.mshr.pop()
 			continue
@@ -439,6 +443,9 @@ func (t *Thread) Flush(a memsim.Addr) {
 		t.issueSlow(c, 1)
 	}
 	t.ops.Flushes++
+	if s := t.eng.sink; s != nil {
+		s.Event(obs.EvFlush, int32(t.id), t.now, uint64(a), 0)
+	}
 	cfg := &t.eng.cfg
 	dirty := t.hier.Flush(t.id, a, t.now)
 	t.now += cfg.L2HitLat // cache-port occupancy
@@ -470,6 +477,13 @@ func (t *Thread) Fence() {
 	}
 	t.ops.Fences++
 	target := t.storeq.maxPending()
+	if s := t.eng.sink; s != nil {
+		stall := int64(0)
+		if target > t.now {
+			stall = target - t.now
+		}
+		s.Event(obs.EvFence, int32(t.id), t.now, uint64(stall), 0)
+	}
 	if target > t.now {
 		t.haz.FenceStalls++
 		t.haz.FenceCycles += target - t.now
