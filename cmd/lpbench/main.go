@@ -11,6 +11,7 @@
 //	lpbench -exp fig12 -quick     # smaller inputs, faster
 //	lpbench -exp fig10 -threads 4 # override the worker-thread count
 //	lpbench -json                 # machine-readable benchmark matrix
+//	lpbench -serveout BENCH_serve.json  # kvserve loopback throughput snapshot
 //
 // Independent simulations are executed by a worker pool (-parallel,
 // default GOMAXPROCS) and memoized process-wide — byte-identical specs
@@ -42,6 +43,7 @@ func main() {
 		nocache    = flag.Bool("nocache", false, "disable Spec→Result memoization")
 		jsonOut    = flag.Bool("json", false, "run the benchmark matrix and emit JSON metrics")
 		benchout   = flag.String("benchout", "", "also write the -json document to this file (e.g. BENCH_sched.json); implies -json")
+		serveout   = flag.String("serveout", "", "run the kvserve loopback benchmark and write its JSON document to this file (e.g. BENCH_serve.json)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -50,12 +52,12 @@ func main() {
 	if *benchout != "" {
 		*jsonOut = true
 	}
-	if *list || (*exp == "" && !*jsonOut) {
+	if *list || (*exp == "" && !*jsonOut && *serveout == "") {
 		fmt.Println("experiments:")
 		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
 		}
-		if *exp == "" && !*list && !*jsonOut {
+		if *exp == "" && !*list && !*jsonOut && *serveout == "" {
 			os.Exit(2)
 		}
 		return
@@ -76,12 +78,15 @@ func main() {
 	var err error
 	if *jsonOut {
 		err = runJSON(os.Stdout, *benchout, opt)
-	} else {
+	} else if *exp != "" {
 		var exps []harness.Experiment
 		exps, err = harness.Select(*exp)
 		if err == nil {
 			err = harness.RunExperiments(os.Stdout, os.Stderr, exps, opt)
 		}
+	}
+	if err == nil && *serveout != "" {
+		err = runServeJSON(os.Stdout, *serveout, opt)
 	}
 	printSummary(pool, time.Since(start))
 	if err != nil {
@@ -130,6 +135,33 @@ func runJSON(w io.Writer, outFile string, opt harness.Options) error {
 		return f.Close()
 	}
 	return nil
+}
+
+// runServeJSON runs the kvserve loopback benchmark (real TCP, real
+// goroutines, wall-clock throughput — no simulation pool involved) and
+// writes its document to w and to outFile: the BENCH_serve.json
+// serve-throughput artifact committed alongside BENCH_sched.json.
+func runServeJSON(w io.Writer, outFile string, opt harness.Options) error {
+	doc, err := harness.RunServeBench(opt)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return err
+	}
+	fenc := json.NewEncoder(f)
+	fenc.SetIndent("", "  ")
+	if err := fenc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printSummary reports runner statistics on stderr.

@@ -72,6 +72,7 @@ func main() {
 		batchWait = flag.Duration("batchwait", 500*time.Microsecond, "max time an open batch waits before padding")
 		maxDelay  = flag.Duration("maxdelay", 0, "per-request mailbox deadline (0 = none)")
 		fsync     = flag.Bool("fsync", false, "fsync the backing file on every commit")
+		pipeline  = flag.Int("pipeline", 4, "LP commit pipeline depth (1 = synchronous group commit)")
 		dump      = flag.Bool("dump", false, "print restore/recovery summary as JSON and exit")
 		verify    = flag.Bool("recover-verify", false, "recover, re-verify every shard, and exit")
 		metrics   = flag.String("metrics", "", "serve Prometheus /metrics and /debug/trace on this address (empty = off)")
@@ -89,7 +90,7 @@ func main() {
 		Shards: *shards, Capacity: *capacity, MaxOps: *maxops, BatchK: *batch,
 		Streams: *streams, Keys: *keys, Seed: *seed,
 		Mailbox: *mailbox, BatchWait: *batchWait, MaxQueueDelay: *maxDelay,
-		Fsync: *fsync, TraceCap: *traceCap,
+		Fsync: *fsync, PipelineDepth: *pipeline, TraceCap: *traceCap,
 	}
 	s, err := kvserve.New(cfg)
 	if err != nil {

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"lazyp/internal/kvserve"
+	"lazyp/internal/lpstore"
+	"lazyp/internal/obs"
+)
+
+// ServeBenchRecord is one lpload measurement of the deployed LP
+// service — the unit of the BENCH_serve.json serve-throughput
+// trajectory tracked across PRs, the wall-clock sibling of the
+// simulated BENCH_sched.json records. Client-side numbers (ops,
+// throughput, p50/p99 over all ops) come from the load report;
+// PutP99us is the server-side commit-to-ack put percentile merged
+// across shards, the number the pipelined group commit is not allowed
+// to regress.
+type ServeBenchRecord struct {
+	Mix        string  `json:"mix"`
+	Fsync      bool    `json:"fsync"`
+	Ops        uint64  `json:"ops"`
+	Throughput float64 `json:"throughput_ops_s"`
+	P50us      float64 `json:"p50_us"`
+	P99us      float64 `json:"p99_us"`
+	PutP99us   float64 `json:"put_p99_us"`
+	AckedPuts  uint64  `json:"acked_puts"`
+	Gets       uint64  `json:"gets"`
+	Batches    uint64  `json:"batches"`
+	Overloads  uint64  `json:"overloads"`
+}
+
+// ServeBenchDoc is the BENCH_serve.json document: the fixed load and
+// server geometry the records were produced under, then one record per
+// (mix, fsync) cell. Wall-clock numbers are machine-dependent; the
+// value of the file is relative movement under identical conditions.
+type ServeBenchDoc struct {
+	Conns    int                `json:"conns"`
+	Window   int                `json:"window"`
+	DurS     float64            `json:"dur_s"`
+	Shards   int                `json:"shards"`
+	BatchK   int                `json:"batch_k"`
+	Pipeline int                `json:"pipeline_depth"`
+	Records  []ServeBenchRecord `json:"records"`
+}
+
+// putP99us merges the per-shard server-side put-latency histograms and
+// returns the p99 in microseconds. Scope resolution is idempotent, so
+// asking the registry for the same instrument the server registered
+// returns the live histogram, not a fresh one.
+func putP99us(reg *obs.Registry, shards int) float64 {
+	var merged obs.HistSnapshot
+	for id := 0; id < shards; id++ {
+		h := reg.Scope("shard", strconv.Itoa(id)).HistogramScaled("kvserve_put_latency_seconds", 1e-9)
+		snap := h.Snapshot()
+		for b, n := range snap.Counts {
+			merged.Counts[b] += n
+		}
+		merged.Count += snap.Count
+		merged.Sum += snap.Sum
+		if snap.Max > merged.Max {
+			merged.Max = snap.Max
+		}
+	}
+	return float64(merged.Quantile(0.99)) / 1e3
+}
+
+// RunServeBench measures the LP service under the fixed lpload matrix:
+// kvgen mixes a (50% put), b (5% put), c (get-only) without fsync,
+// plus a and b with every group commit priced at a real fsync. Each
+// cell boots a fresh server on a fresh image so journal occupancy
+// never carries over. Wall-clock native: run it alone, not under a
+// simulation pool.
+func RunServeBench(o Options) (ServeBenchDoc, error) {
+	dir, err := os.MkdirTemp("", "lpserve-bench-*")
+	if err != nil {
+		return ServeBenchDoc{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	doc := ServeBenchDoc{
+		Conns: 4, Window: 64, DurS: 2.0,
+		Shards: 4, BatchK: 32, Pipeline: 4,
+	}
+	if o.Quick {
+		doc.DurS = 0.3
+	}
+	cells := []struct {
+		mix   string
+		fsync bool
+	}{
+		{"a", false}, {"b", false}, {"c", false},
+		{"a", true}, {"b", true},
+	}
+	for i, cell := range cells {
+		cfg := kvserve.Config{
+			Addr: "127.0.0.1:0", Mode: lpstore.ModeLP,
+			Path:   filepath.Join(dir, fmt.Sprintf("serve%d.img", i)),
+			Shards: doc.Shards, Capacity: 1 << 14, MaxOps: 1 << 17, BatchK: doc.BatchK,
+			Streams: 4, Keys: 2048, Seed: 1,
+			Mailbox: 256, BatchWait: 500 * time.Microsecond,
+			Fsync: cell.fsync, PipelineDepth: doc.Pipeline,
+		}
+		s, err := kvserve.New(cfg)
+		if err != nil {
+			return doc, fmt.Errorf("servebench %s: %w", cell.mix, err)
+		}
+		if err := s.Start(); err != nil {
+			s.Close()
+			return doc, fmt.Errorf("servebench %s: %w", cell.mix, err)
+		}
+		rep, lerr := kvserve.RunLoad(s.Addr(), kvserve.LoadOpts{
+			Conns: doc.Conns, Window: doc.Window,
+			Dur: time.Duration(doc.DurS * float64(time.Second)),
+			Mix: cell.mix, Dist: "zipfian",
+			Streams: cfg.Streams, Keys: cfg.Keys, Seed: cfg.Seed,
+		})
+		st := s.Stats()
+		p99put := putP99us(s.Metrics(), cfg.Shards)
+		if err := s.Close(); err != nil {
+			return doc, fmt.Errorf("servebench %s: drain: %w", cell.mix, err)
+		}
+		if lerr != nil {
+			return doc, fmt.Errorf("servebench %s: load: %w", cell.mix, lerr)
+		}
+		if rep.Errors > 0 {
+			return doc, fmt.Errorf("servebench %s: %d connection errors", cell.mix, rep.Errors)
+		}
+		doc.Records = append(doc.Records, ServeBenchRecord{
+			Mix: cell.mix, Fsync: cell.fsync,
+			Ops: rep.Ops, Throughput: rep.Throughput,
+			P50us: rep.P50us, P99us: rep.P99us, PutP99us: p99put,
+			AckedPuts: st.AckedPuts, Gets: st.Gets, Batches: st.Batches,
+			Overloads: rep.Overloads,
+		})
+	}
+	return doc, nil
+}

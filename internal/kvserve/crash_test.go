@@ -23,36 +23,45 @@ import (
 	"lazyp/internal/workloads"
 )
 
-const crashChildEnv = "KVSERVE_CRASH_CHILD"
+const (
+	crashChildEnv = "KVSERVE_CRASH_CHILD"
+	crashFsyncEnv = "KVSERVE_CRASH_FSYNC"
+)
 
 func TestMain(m *testing.M) {
 	if path := os.Getenv(crashChildEnv); path != "" {
-		runCrashChild(path)
+		runCrashChild(path, os.Getenv(crashFsyncEnv) == "1")
 		return
 	}
 	os.Exit(m.Run())
 }
 
-// crashChildCfg is the one config both processes must agree on.
-func crashChildCfg(path string) Config {
+// crashChildCfg is the one config both processes must agree on. The
+// fsync variant prices each group commit with a real fsync, which
+// widens the seal→durable window the pipelined commit keeps open: up
+// to PipelineDepth sealed-but-unacked batches are in flight when the
+// kill lands, and none of them may have been acked.
+func crashChildCfg(path string, fsync bool) Config {
 	return Config{
-		Addr:      "127.0.0.1:0",
-		Path:      path,
-		Mode:      lpstore.ModeLP,
-		Shards:    4,
-		Capacity:  1 << 12,
-		MaxOps:    1 << 15,
-		BatchK:    16,
-		Streams:   2,
-		Keys:      256,
-		Seed:      7,
-		Mailbox:   128,
-		BatchWait: 300 * time.Microsecond,
+		Addr:          "127.0.0.1:0",
+		Path:          path,
+		Mode:          lpstore.ModeLP,
+		Shards:        4,
+		Capacity:      1 << 12,
+		MaxOps:        1 << 15,
+		BatchK:        16,
+		Streams:       2,
+		Keys:          256,
+		Seed:          7,
+		Mailbox:       128,
+		BatchWait:     300 * time.Microsecond,
+		Fsync:         fsync,
+		PipelineDepth: 4,
 	}
 }
 
-func runCrashChild(path string) {
-	s, err := New(crashChildCfg(path))
+func runCrashChild(path string, fsync bool) {
+	s, err := New(crashChildCfg(path, fsync))
 	if err == nil {
 		err = s.Start()
 	}
@@ -69,10 +78,22 @@ func runCrashChild(path string) {
 // child once ≥500 puts are acked, recover the image in-process, and
 // assert the contract — every acked put present with its value, no key
 // or value the clients never wrote, and a second recovery pass clean.
-func TestServeCrashKill(t *testing.T) {
+func TestServeCrashKill(t *testing.T) { runCrashKill(t, false) }
+
+// TestServeCrashKillPipelinedFsync is the same kill, with fsync priced
+// on every commit: the pipelined group commit seals batch N+1 while
+// batch N's write+fsync is in flight, and the contract under test is
+// that a put acked before the kill had its batch's fsync complete — a
+// crash landing between seal and fsync must not have acked.
+func TestServeCrashKillPipelinedFsync(t *testing.T) { runCrashKill(t, true) }
+
+func runCrashKill(t *testing.T, fsync bool) {
 	path := filepath.Join(t.TempDir(), "kv.img")
 	cmd := exec.Command(os.Args[0], "-test.run=^$")
 	cmd.Env = append(os.Environ(), crashChildEnv+"="+path)
+	if fsync {
+		cmd.Env = append(cmd.Env, crashFsyncEnv+"=1")
+	}
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -103,7 +124,7 @@ func TestServeCrashKill(t *testing.T) {
 		t.Fatal("child never reported its address")
 	}
 
-	cfg := crashChildCfg(path)
+	cfg := crashChildCfg(path, fsync)
 	var mu sync.Mutex
 	sent := map[uint64]uint64{}
 	acked := map[uint64]uint64{}

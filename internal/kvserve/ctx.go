@@ -13,21 +13,28 @@ import (
 // the existing lpstore/ep/wal code over it prices each discipline's
 // ordering points in real syscalls: EP pays a file write set per put,
 // WAL several, while LP's plain stores cost nothing until the owner
-// commits a batch with persistLines.
+// commits a batch.
+//
+// Stores go through Memory.AtomicStore64: the shard table is read
+// lock-free by connection goroutines (Store.SeqGet), so every word the
+// single-owner writer mutates must be stored atomically for the reads
+// to be data-race-free. Loads stay plain — only the owner loads
+// through the ctx, and it cannot race its own stores.
 //
 // A fileCtx is single-goroutine (one per shard owner, plus one for the
 // startup/recovery path); it also tracks every line dirtied by plain
 // stores since the last takeDirty, which the owner feeds to the
 // background write-back queue — the "natural evictions" that leak
-// unacknowledged state into the durable image.
+// unacknowledged state into the durable image. The dirty and pending
+// sets are deduplicated by linear scan over their (short, bounded)
+// order slices rather than maps, keeping the steady-state put path
+// allocation-free.
 type fileCtx struct {
 	mem *memsim.Memory
 	pf  *pmemFile
 	id  int
 
-	dirty      map[memsim.Addr]struct{}
 	dirtyOrder []memsim.Addr
-	pend       map[memsim.Addr]struct{}
 	pendOrder  []memsim.Addr
 	err        error // first write error; surfaced at commit points
 }
@@ -36,26 +43,34 @@ var _ pmem.Ctx = (*fileCtx)(nil)
 
 func newFileCtx(mem *memsim.Memory, pf *pmemFile, id int) *fileCtx {
 	return &fileCtx{
-		mem:   mem,
-		pf:    pf,
-		id:    id,
-		dirty: make(map[memsim.Addr]struct{}),
-		pend:  make(map[memsim.Addr]struct{}),
+		mem:        mem,
+		pf:         pf,
+		id:         id,
+		dirtyOrder: make([]memsim.Addr, 0, 64),
+		pendOrder:  make([]memsim.Addr, 0, 64),
 	}
+}
+
+// appendLine adds la to set if absent (linear-scan dedup: the sets
+// stay a handful of lines between drains, so a scan beats a map and
+// never allocates once the backing array has grown).
+func appendLine(set []memsim.Addr, la memsim.Addr) []memsim.Addr {
+	for _, x := range set {
+		if x == la {
+			return set
+		}
+	}
+	return append(set, la)
 }
 
 // Load64 implements pmem.Ctx.
 func (c *fileCtx) Load64(a memsim.Addr) uint64 { return c.mem.Load64(a) }
 
-// Store64 implements pmem.Ctx: a plain store mutates only the heap
+// Store64 implements pmem.Ctx: an atomic store mutates only the heap
 // image and remembers the dirty line.
 func (c *fileCtx) Store64(a memsim.Addr, v uint64) {
-	c.mem.Store64(a, v)
-	la := memsim.LineOf(a)
-	if _, ok := c.dirty[la]; !ok {
-		c.dirty[la] = struct{}{}
-		c.dirtyOrder = append(c.dirtyOrder, la)
-	}
+	c.mem.AtomicStore64(a, v)
+	c.dirtyOrder = appendLine(c.dirtyOrder, memsim.LineOf(a))
 }
 
 // LoadF implements pmem.Ctx.
@@ -66,11 +81,7 @@ func (c *fileCtx) StoreF(a memsim.Addr, v float64) { c.Store64(a, math.Float64bi
 
 // Flush implements pmem.Ctx: the line joins the set Fence will write.
 func (c *fileCtx) Flush(a memsim.Addr) {
-	la := memsim.LineOf(a)
-	if _, ok := c.pend[la]; !ok {
-		c.pend[la] = struct{}{}
-		c.pendOrder = append(c.pendOrder, la)
-	}
+	c.pendOrder = appendLine(c.pendOrder, memsim.LineOf(a))
 }
 
 // Fence implements pmem.Ctx: every flushed line is written to the
@@ -83,7 +94,6 @@ func (c *fileCtx) Fence() {
 		}
 	}
 	c.pendOrder = c.pendOrder[:0]
-	clear(c.pend)
 	if c.pf.fsync {
 		if err := c.pf.sync(); err != nil && c.err == nil {
 			c.err = err
@@ -97,9 +107,10 @@ func (c *fileCtx) Compute(int) {}
 // ThreadID implements pmem.Ctx.
 func (c *fileCtx) ThreadID() int { return c.id }
 
-// persistLines durably writes the given lines now — the LP group
-// commit (a batch's journal window plus its checksum slot) and the
-// recovery tail-zeroing use this directly, bypassing Flush/Fence.
+// persistLines durably writes the given lines now — the recovery
+// tail-zeroing and the EP/WAL inspection paths use this directly,
+// bypassing Flush/Fence. (The LP group commit goes through the shard
+// flusher's snapshot buffers instead; see server.go.)
 func (c *fileCtx) persistLines(lines []memsim.Addr) error {
 	for _, la := range lines {
 		if err := c.pf.writeLine(la); err != nil {
@@ -113,14 +124,12 @@ func (c *fileCtx) persistLines(lines []memsim.Addr) error {
 }
 
 // takeDirty returns and resets the lines plain-stored since the last
-// call, in first-dirtied order.
+// call, in first-dirtied order. The returned slice aliases the ctx's
+// reusable buffer: it is valid only until the next Store64 on this
+// ctx, and callers must finish with it before mutating again.
 func (c *fileCtx) takeDirty() []memsim.Addr {
-	if len(c.dirtyOrder) == 0 {
-		return nil
-	}
 	out := c.dirtyOrder
-	c.dirtyOrder = nil
-	clear(c.dirty)
+	c.dirtyOrder = c.dirtyOrder[:0]
 	return out
 }
 

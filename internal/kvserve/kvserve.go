@@ -104,6 +104,13 @@ type Config struct {
 	// default: the contract defended by the crash tests is process
 	// death (page cache survives), not power loss.
 	Fsync bool
+	// PipelineDepth is the LP commit pipeline depth: how many sealed
+	// batches may be in flight through a shard's flusher while the
+	// owner fills the next. 1 degenerates to the synchronous group
+	// commit of earlier incarnations (seal blocks until the previous
+	// batch's write set — and fsync, if priced — completed). Not a
+	// geometry field: the file image is identical at any depth.
+	PipelineDepth int
 	// LeakDepth is the background write-back queue depth.
 	LeakDepth int
 
@@ -156,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.LeakDepth == 0 {
 		c.LeakDepth = 4096
 	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 4
+	}
 	if c.TraceCap == 0 {
 		c.TraceCap = 4096
 	}
@@ -171,6 +181,9 @@ func (c Config) validate() error {
 	}
 	if c.BatchK < 1 || c.MaxOps < c.BatchK || c.MaxOps%c.BatchK != 0 {
 		return fmt.Errorf("kvserve: MaxOps (%d) must be a positive multiple of BatchK (%d)", c.MaxOps, c.BatchK)
+	}
+	if c.PipelineDepth < 1 {
+		return fmt.Errorf("kvserve: PipelineDepth must be positive, got %d", c.PipelineDepth)
 	}
 	switch c.Mode {
 	case lpstore.ModeBase, lpstore.ModeLP, lpstore.ModeEP, lpstore.ModeWAL:

@@ -1,9 +1,11 @@
 package kvserve
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -167,97 +169,221 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 			}
 		}()
 	}
+	// Each connection is a slot machine, not a goroutine-per-op fan-out:
+	// the sequence number IS the slot index, so an in-flight op costs a
+	// slot in a fixed array instead of a goroutine, a channel, and a map
+	// entry. One issuer goroutine writes request frames through a
+	// bufio.Writer — flushing only when the window fills or it is about
+	// to block, so a full window leaves in one or two syscalls — and one
+	// reader goroutine decodes responses straight back into the slots.
+	// This matters for what lpload claims to measure: the old engine's
+	// per-op allocations and one-write-per-request syscalls made the
+	// client the bottleneck before the server was.
 	for w := 0; w < o.Conns; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cl, err := Dial(addr)
+			c, err := net.Dial("tcp", addr)
 			if err != nil {
 				dialErr.CompareAndSwap(nil, &err)
 				connDown.Store(true)
 				return
 			}
-			defer cl.Close()
+			defer c.Close()
 			var gen *workloads.KVGen
 			if !o.InsertOnly {
 				gen = workloads.NewKVGen(o.Seed, w%o.Streams, o.Keys, mix, o.Dist)
 			}
-			sem := make(chan struct{}, o.Window)
-			var inflight sync.WaitGroup
-			for i := 0; o.Ops == 0 || i < o.Ops; i++ {
-				if !end.IsZero() && !time.Now().Before(end) {
-					break
-				}
-				if cl.Err() != nil {
-					connDown.Store(true)
-					break // server died; the remaining ops cannot be issued
-				}
-				var op byte
-				var key, val uint64
-				if o.InsertOnly {
-					op = opPut
-					key, val = insertKey(o, w, i)
-				} else {
-					kv := gen.Next()
-					if kv.Kind == workloads.KVRead {
-						op, key = opGet, kv.Key
-					} else {
-						op, key, val = opPut, kv.Key, kv.Val
-					}
-				}
-				sem <- struct{}{}
-				inflight.Add(1)
-				go func(op byte, key, val uint64) {
-					defer inflight.Done()
-					defer func() { <-sem }()
-					if op == opPut && o.OnSend != nil {
-						o.OnSend(w, key, val)
-					}
-					t0 := time.Now()
-					for attempt := 0; ; attempt++ {
-						ch, err := cl.start(op, key, val)
-						if err != nil {
-							errs.Add(1)
-							connDown.Store(true)
-							return
-						}
-						r := <-ch
-						if r.Err != nil {
-							errs.Add(1)
-							connDown.Store(true)
-							return
-						}
-						if r.Status == StatusOverload {
-							overloads.Add(1)
-							if attempt < o.MaxRetries {
-								retries.Add(1)
-								backoff(attempt)
-								continue
-							}
-						}
-						ops.Add(1)
-						hist.Observe(uint64(time.Since(t0).Nanoseconds()))
-						switch {
-						case op == opGet:
-							gets.Add(1)
-							if r.Status == StatusNotFound {
-								notFound.Add(1)
-							}
-						case r.Status == StatusOK:
-							acked.Add(1)
-							if o.OnAck != nil {
-								o.OnAck(w, key, val)
-							}
-						case r.Status == StatusExpired:
-							expired.Add(1)
-						case r.Status == StatusFull:
-							full.Add(1)
-						}
+
+			type lgSlot struct {
+				op        byte
+				key, val  uint64
+				t0        time.Time
+				attempt   int
+				notBefore time.Time
+				retry     bool
+				// ready makes the issuer→reader ownership handoff a
+				// happens-before edge: the issuer bumps it (release)
+				// after filling the slot, the reader loads it (acquire)
+				// before reading. The reverse handoff rides backCh. The
+				// TCP round trip orders the two in real time but is
+				// invisible to the race detector.
+				ready atomic.Uint32
+			}
+			slots := make([]lgSlot, o.Window)
+			// backCh returns slot ownership reader → issuer: either the
+			// op completed (slot free for fresh work) or it drew an
+			// overload and wants reissuing after its backoff deadline.
+			backCh := make(chan int, o.Window)
+			readerErr := make(chan error, 1)
+
+			go func() {
+				br := bufio.NewReaderSize(c, 1<<15)
+				var rbuf [respSize]byte
+				for {
+					if _, err := io.ReadFull(br, rbuf[:]); err != nil {
+						readerErr <- err
 						return
 					}
-				}(op, key, val)
+					seq, status, _ := decodeResp(&rbuf)
+					if int(seq) >= o.Window {
+						readerErr <- fmt.Errorf("kvserve: response seq %d outside window", seq)
+						return
+					}
+					sl := &slots[seq]
+					sl.ready.Load() // acquire the issuer's slot writes
+					if status == StatusOverload {
+						overloads.Add(1)
+						if sl.attempt < o.MaxRetries {
+							retries.Add(1)
+							sl.attempt++
+							sl.notBefore = time.Now().Add(backoffDur(sl.attempt - 1))
+							sl.retry = true
+							backCh <- int(seq)
+							continue
+						}
+					}
+					ops.Add(1)
+					hist.Observe(uint64(time.Since(sl.t0).Nanoseconds()))
+					switch {
+					case sl.op == opGet:
+						gets.Add(1)
+						if status == StatusNotFound {
+							notFound.Add(1)
+						}
+					case status == StatusOK:
+						acked.Add(1)
+						if o.OnAck != nil {
+							o.OnAck(w, sl.key, sl.val)
+						}
+					case status == StatusExpired:
+						expired.Add(1)
+					case status == StatusFull:
+						full.Add(1)
+					}
+					sl.attempt = 0
+					sl.retry = false
+					backCh <- int(seq)
+				}
+			}()
+
+			bw := bufio.NewWriterSize(c, 1<<15)
+			avail := make([]int, o.Window)
+			for i := range avail {
+				avail[i] = i
 			}
-			inflight.Wait()
+			retryQ := make([]int, 0, o.Window)
+			outstanding, issued := 0, 0
+			failed := false
+
+			writeSlot := func(id int) bool {
+				sl := &slots[id]
+				sl.ready.Add(1) // release the slot's fields to the reader
+				var f [reqSize]byte
+				encodeReq(&f, sl.op, uint32(id), sl.key, sl.val)
+				_, werr := bw.Write(f[:])
+				return werr == nil
+			}
+			take := func(id int) {
+				if slots[id].retry {
+					retryQ = append(retryQ, id)
+				} else {
+					avail = append(avail, id)
+					outstanding--
+				}
+			}
+			// harvest collects returned slots; blocking waits for at
+			// least one (or a reader failure). Reports !ok on failure.
+			harvest := func(block bool) bool {
+				if block {
+					select {
+					case id := <-backCh:
+						take(id)
+					case <-readerErr:
+						return false
+					}
+				}
+				for {
+					select {
+					case id := <-backCh:
+						take(id)
+					default:
+						return true
+					}
+				}
+			}
+
+			for {
+				if !harvest(false) {
+					failed = true
+				}
+				if failed {
+					break
+				}
+				now := time.Now()
+				fresh := (o.Ops == 0 || issued < o.Ops) && (end.IsZero() || now.Before(end))
+				if !fresh && outstanding == 0 {
+					break
+				}
+				switch {
+				case len(retryQ) > 0:
+					id := retryQ[0]
+					copy(retryQ, retryQ[1:])
+					retryQ = retryQ[:len(retryQ)-1]
+					sl := &slots[id]
+					if d := sl.notBefore.Sub(now); d > 0 {
+						if bw.Flush() != nil {
+							failed = true
+							break
+						}
+						time.Sleep(d)
+					}
+					sl.retry = false
+					if !writeSlot(id) {
+						failed = true
+					}
+				case fresh && len(avail) > 0:
+					id := avail[len(avail)-1]
+					avail = avail[:len(avail)-1]
+					sl := &slots[id]
+					if o.InsertOnly {
+						sl.op = opPut
+						sl.key, sl.val = insertKey(o, w, issued)
+					} else {
+						kv := gen.Next()
+						if kv.Kind == workloads.KVRead {
+							sl.op, sl.key, sl.val = opGet, kv.Key, 0
+						} else {
+							sl.op, sl.key, sl.val = opPut, kv.Key, kv.Val
+						}
+					}
+					issued++
+					outstanding++
+					if sl.op == opPut && o.OnSend != nil {
+						o.OnSend(w, sl.key, sl.val)
+					}
+					sl.t0 = time.Now()
+					if !writeSlot(id) {
+						failed = true
+					}
+				default:
+					// Window full, or draining with ops still in flight:
+					// everything written so far must leave now, because
+					// the next event is a response.
+					if bw.Flush() != nil {
+						failed = true
+						break
+					}
+					if !harvest(true) {
+						failed = true
+					}
+				}
+			}
+			bw.Flush()
+			if failed {
+				connDown.Store(true)
+				errs.Add(uint64(outstanding))
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -290,11 +416,11 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 	return rep, nil
 }
 
-// backoff sleeps the jittered exponential delay for a retry attempt.
-func backoff(attempt int) {
+// backoffDur returns the jittered exponential delay for a retry attempt.
+func backoffDur(attempt int) time.Duration {
 	base := 200 * time.Microsecond << uint(attempt)
 	if base > 10*time.Millisecond {
 		base = 10 * time.Millisecond
 	}
-	time.Sleep(base/2 + time.Duration(rand.Int64N(int64(base))))
+	return base/2 + time.Duration(rand.Int64N(int64(base)))
 }

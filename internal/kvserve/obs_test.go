@@ -51,6 +51,9 @@ func TestServeMetricsAndTrace(t *testing.T) {
 		`kvserve_puts_total `,
 		`kvserve_put_latency_seconds_bucket{`,
 		`kvserve_put_latency_seconds_count{`,
+		`kvserve_get_latency_seconds_bucket{`,
+		`kvserve_seqlock_retries_total `,
+		`kvserve_pipeline_inflight{shard="0"}`,
 		`kvserve_batch_fill_sum{shard="0"}`,
 		`kvserve_mailbox_high_water{shard="0"}`,
 		`kvserve_mailbox_high_water{shard="1"}`,
@@ -65,6 +68,9 @@ func TestServeMetricsAndTrace(t *testing.T) {
 	}
 	if ln := promLine(scrape, `kvserve_put_latency_seconds_count{shard="0"}`); ln == "" || strings.HasSuffix(ln, " 0") {
 		t.Errorf("put-latency histogram for shard 0 is empty: %q", ln)
+	}
+	if ln := promLine(scrape, `kvserve_get_latency_seconds_count `); ln == "" || strings.HasSuffix(ln, " 0") {
+		t.Errorf("get-latency histogram is empty: %q", ln)
 	}
 
 	seen := map[obs.EventType]int{}

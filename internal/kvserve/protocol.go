@@ -90,6 +90,15 @@ func encodeResp(buf *[respSize]byte, seq uint32, status byte, val uint64) {
 	binary.LittleEndian.PutUint64(buf[5:], val)
 }
 
+// appendResp encodes one response frame onto b — the connection
+// reader's batched inline-response path (gets, pings, rejects), which
+// accumulates frames and hands them to the socket in one write.
+func appendResp(b []byte, seq uint32, status byte, val uint64) []byte {
+	var f [respSize]byte
+	encodeResp(&f, seq, status, val)
+	return append(b, f[:]...)
+}
+
 func decodeResp(buf *[respSize]byte) (seq uint32, status byte, val uint64) {
 	return binary.LittleEndian.Uint32(buf[0:]),
 		buf[4],

@@ -18,7 +18,9 @@ import (
 	"lazyp/internal/workloads"
 )
 
-// request is one decoded frame routed to a shard owner.
+// request is one decoded put frame routed to a shard owner. (Gets never
+// become requests: the connection reader serves them lock-free off the
+// shard table; see connReader.)
 type request struct {
 	op       byte
 	seq      uint32
@@ -34,15 +36,31 @@ type wireResp struct {
 	val    uint64
 }
 
-// srvConn is the server side of one client connection: a reader
-// goroutine decoding and routing frames, and a writer goroutine
-// draining out. Owners never write the socket themselves — they queue
-// on out, and a dead connection (done closed) absorbs replies.
+// srvConn is the server side of one client connection. Two goroutines
+// serve it: a reader that decodes frames, answers gets/pings/rejects
+// inline into a batched response buffer, and routes puts to shard
+// mailboxes; and a writer that drains out (put acks arriving from shard
+// flushers). Both sink response bytes into the shared bufio.Writer
+// under wmu — frames are order-independent by protocol design, so
+// interleaving at frame granularity is fine. Owners and flushers never
+// write the socket themselves — they queue on out, and a dead
+// connection (done closed) absorbs replies.
 type srvConn struct {
 	c    net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex // guards bw
 	out  chan wireResp
 	done chan struct{}
 	once sync.Once
+}
+
+func newSrvConn(c net.Conn) *srvConn {
+	return &srvConn{
+		c:    c,
+		bw:   bufio.NewWriterSize(c, 1<<15),
+		out:  make(chan wireResp, 256),
+		done: make(chan struct{}),
+	}
 }
 
 func (cn *srvConn) reply(seq uint32, status byte, val uint64) {
@@ -66,19 +84,52 @@ type lineSnap struct {
 	buf [memsim.LineSize]byte
 }
 
-// shardState is one shard's server-side state, touched only by its
-// owner goroutine once the server starts.
+// commitItem is one sealed LP batch in flight through a shard's commit
+// pipeline: the batch's durable write set captured as line snapshots at
+// seal time, plus the client puts to ack once the set (and fsync, if
+// priced) completes. Items cycle through a fixed ring (freeCh ⇄
+// commitCh), so the steady-state commit path never allocates.
+//
+// The snapshots are taken by the owner, not read later by the flusher:
+// the lp.Table ack slots are dense, so batch N's checksum line is also
+// batch N+1..N+3's, and by the time the flusher ran, the owner might
+// have stored the next batch's checksum into the very line whose write
+// would acknowledge this one. Sealing freezes the bytes instead; the
+// per-shard flusher writes items in FIFO order, so the file image of a
+// shared line only ever moves forward.
+type commitItem struct {
+	batch   int       // batch index (trace)
+	seq     int       // journal put seq after this batch (trace)
+	sealed  time.Time // commit latency epoch
+	pending []request
+	lines   []memsim.Addr
+	bufs    [][memsim.LineSize]byte
+}
+
+// shardState is one shard's server-side state. The owner goroutine is
+// the sole mutator once the server starts; the flusher goroutine only
+// touches the commitItem handed to it.
 type shardState struct {
 	id        int
 	sh        *lpstore.Shard
 	w         *lpstore.Writer
 	ctx       *fileCtx
 	mb        chan request
-	pending   []request // LP: puts awaiting their batch's commit
-	deadline  time.Time // LP: when the open batch force-commits
+	pending   []request // LP: puts awaiting their batch's seal
+	deadline  time.Time // LP: when the open batch force-seals
 	occupied  int       // architectural slot occupancy (watermark)
 	highWater int
 	baseline  [][2]uint64 // preloaded pairs, recovery's replay base
+
+	// commitCh/freeCh form the LP commit pipeline: the owner seals a
+	// batch into a free item and hands it to the flusher, then keeps
+	// filling the next batch while the file write (and fsync) of the
+	// previous one is in flight. Ring depth = Config.PipelineDepth; a
+	// drained freeCh blocks the owner — commit backpressure. Nil under
+	// EP/WAL/Base, whose durability points are synchronous by nature.
+	commitCh chan *commitItem
+	freeCh   chan *commitItem
+
 	// tabLo/tabHi bound the table's line addresses: only table lines
 	// may leak through the write-back queue (a stale journal-line
 	// snapshot could clobber a later group commit's file write; table
@@ -92,17 +143,18 @@ type shardState struct {
 // shardObs is one shard's registry instruments, resolved once in New
 // under the shard label and updated lock-free thereafter.
 type shardObs struct {
-	mbDepth   *obs.Gauge     // kvserve_mailbox_depth
-	mbHigh    *obs.Gauge     // kvserve_mailbox_high_water
-	jrnUsed   *obs.Gauge     // kvserve_journal_used (LP: puts journaled)
-	jrnCap    *obs.Gauge     // kvserve_journal_capacity (LP: MaxOps)
-	batchFill *obs.Histogram // kvserve_batch_fill: client puts acked per committed batch
-	commitLat *obs.Histogram // kvserve_commit_latency_seconds: group-commit file write set
-	putLat    *obs.Histogram // kvserve_put_latency_seconds: enqueue → ack, end to end
-	recovery  *obs.Histogram // kvserve_recovery_seconds: restart recovery per shard
-	rejOver   *obs.Counter   // kvserve_rejects_total{cause="overload"}
-	rejExp    *obs.Counter   // kvserve_rejects_total{cause="expired"}
-	rejFull   *obs.Counter   // kvserve_rejects_total{cause="full"}
+	mbDepth      *obs.Gauge     // kvserve_mailbox_depth
+	mbHigh       *obs.Gauge     // kvserve_mailbox_high_water
+	jrnUsed      *obs.Gauge     // kvserve_journal_used (LP: puts journaled)
+	jrnCap       *obs.Gauge     // kvserve_journal_capacity (LP: MaxOps)
+	pipeInflight *obs.Gauge     // kvserve_pipeline_inflight: sealed, unflushed batches
+	batchFill    *obs.Histogram // kvserve_batch_fill: client puts acked per committed batch
+	commitLat    *obs.Histogram // kvserve_commit_latency_seconds: seal → write set durable
+	putLat       *obs.Histogram // kvserve_put_latency_seconds: enqueue → ack, end to end
+	recovery     *obs.Histogram // kvserve_recovery_seconds: restart recovery per shard
+	rejOver      *obs.Counter   // kvserve_rejects_total{cause="overload"}
+	rejExp       *obs.Counter   // kvserve_rejects_total{cause="expired"}
+	rejFull      *obs.Counter   // kvserve_rejects_total{cause="full"}
 }
 
 func newShardObs(sc obs.Scope) shardObs {
@@ -110,17 +162,18 @@ func newShardObs(sc obs.Scope) shardObs {
 		return sc.With("cause", cause).Counter("kvserve_rejects_total")
 	}
 	return shardObs{
-		mbDepth:   sc.Gauge("kvserve_mailbox_depth"),
-		mbHigh:    sc.Gauge("kvserve_mailbox_high_water"),
-		jrnUsed:   sc.Gauge("kvserve_journal_used"),
-		jrnCap:    sc.Gauge("kvserve_journal_capacity"),
-		batchFill: sc.Histogram("kvserve_batch_fill"),
-		commitLat: sc.HistogramScaled("kvserve_commit_latency_seconds", 1e-9),
-		putLat:    sc.HistogramScaled("kvserve_put_latency_seconds", 1e-9),
-		recovery:  sc.HistogramScaled("kvserve_recovery_seconds", 1e-9),
-		rejOver:   rej("overload"),
-		rejExp:    rej("expired"),
-		rejFull:   rej("full"),
+		mbDepth:      sc.Gauge("kvserve_mailbox_depth"),
+		mbHigh:       sc.Gauge("kvserve_mailbox_high_water"),
+		jrnUsed:      sc.Gauge("kvserve_journal_used"),
+		jrnCap:       sc.Gauge("kvserve_journal_capacity"),
+		pipeInflight: sc.Gauge("kvserve_pipeline_inflight"),
+		batchFill:    sc.Histogram("kvserve_batch_fill"),
+		commitLat:    sc.HistogramScaled("kvserve_commit_latency_seconds", 1e-9),
+		putLat:       sc.HistogramScaled("kvserve_put_latency_seconds", 1e-9),
+		recovery:     sc.HistogramScaled("kvserve_recovery_seconds", 1e-9),
+		rejOver:      rej("overload"),
+		rejExp:       rej("expired"),
+		rejFull:      rej("full"),
 	}
 }
 
@@ -162,6 +215,7 @@ type Server struct {
 	conns    map[*srvConn]struct{}
 	wgConns  sync.WaitGroup
 	wgOwners sync.WaitGroup
+	wgFlush  sync.WaitGroup
 	wgLeak   sync.WaitGroup
 	leakCh   chan lineSnap
 	started  bool
@@ -177,6 +231,8 @@ type Server struct {
 	ctGets, ctGetMisses, ctPuts, ctAcked *obs.Counter
 	ctBatches, ctPads                    *obs.Counter
 	ctLeaked, ctDropped                  *obs.Counter
+	ctSeqRetries                         *obs.Counter
+	getLat                               *obs.Histogram
 }
 
 // New builds the server state and binds it to the backing file: a
@@ -206,6 +262,8 @@ func New(cfg Config) (*Server, error) {
 	s.ctPads = root.Counter("kvserve_pads_total")
 	s.ctLeaked = root.Counter("kvserve_leaked_lines_total")
 	s.ctDropped = root.Counter("kvserve_leak_dropped_total")
+	s.ctSeqRetries = root.Counter("kvserve_seqlock_retries_total")
+	s.getLat = root.HistogramScaled("kvserve_get_latency_seconds", 1e-9)
 
 	// The allocation order below is the layout contract with every
 	// prior incarnation of this config: guard line, persistence
@@ -236,12 +294,25 @@ func New(cfg Config) (*Server, error) {
 			base[si] = append(base[si], [2]uint64{k, workloads.KVInitVal(cfg.Seed, k)})
 		}
 	}
+	// A batch's durable write set: the journal lines its 2*BatchK words
+	// span (one extra when the window straddles a line boundary), plus
+	// the checksum line. Sizes the commitItem snapshot buffers.
+	maxBatchLines := (2*cfg.BatchK*8+memsim.LineSize-1)/memsim.LineSize + 2
 	for id := 0; id < cfg.Shards; id++ {
 		name := fmt.Sprintf("kvserve.s%d", id)
 		sd := &shardState{id: id, baseline: base[id]}
 		if cfg.Mode == lpstore.ModeLP {
 			sd.sh = lpstore.NewShardLP(s.mem, name, id, cfg.Capacity, cfg.MaxOps, cfg.BatchK, cfg.Kind)
 			sd.w = sd.sh.NewLPWriter()
+			sd.commitCh = make(chan *commitItem, cfg.PipelineDepth)
+			sd.freeCh = make(chan *commitItem, cfg.PipelineDepth)
+			for i := 0; i < cfg.PipelineDepth; i++ {
+				sd.freeCh <- &commitItem{
+					pending: make([]request, 0, cfg.BatchK),
+					lines:   make([]memsim.Addr, 0, maxBatchLines),
+					bufs:    make([][memsim.LineSize]byte, maxBatchLines),
+				}
+			}
 		} else {
 			sd.sh = lpstore.NewShard(s.mem, name, id, cfg.Capacity)
 			switch cfg.Mode {
@@ -253,6 +324,9 @@ func New(cfg Config) (*Server, error) {
 				sd.w = sd.sh.NewWriter(lpstore.ModeWAL, s.wal.Thread(id))
 			}
 		}
+		// Every mode mutates the table through fileCtx's atomic stores,
+		// so every mode can serve gets lock-free under the seqlock.
+		sd.sh.Tab.EnableSeqlock()
 		sd.highWater = sd.sh.Tab.Cap() - sd.sh.Tab.Cap()/8
 		sd.tabLo = memsim.LineOf(sd.sh.Tab.KeyAddr(0))
 		sd.tabHi = memsim.LineOf(sd.sh.Tab.ValAddr(sd.sh.Tab.Cap() - 1))
@@ -371,8 +445,8 @@ func (s *Server) truncateTail(sd *shardState, st lpstore.RecoverStats) error {
 	return c.takeErr()
 }
 
-// Start binds the listener and launches the shard owners, the
-// write-back goroutine, and the accept loop.
+// Start binds the listener and launches the shard owners, the commit
+// flushers (LP), the write-back goroutine, and the accept loop.
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
@@ -383,6 +457,10 @@ func (s *Server) Start() error {
 	s.wgLeak.Add(1)
 	go s.writeBack()
 	for _, sd := range s.shards {
+		if sd.commitCh != nil {
+			s.wgFlush.Add(1)
+			go s.flusher(sd)
+		}
 		s.wgOwners.Add(1)
 		go s.owner(sd)
 	}
@@ -468,13 +546,16 @@ func (s *Server) VerifyRecovered() error {
 }
 
 // Close drains gracefully: stop accepting, tear down connections,
-// let owners empty their mailboxes and commit (padding) open batches,
-// flush the write-back queue, and sync the file. Idempotent.
+// let owners empty their mailboxes and seal (padding) open batches,
+// drain the commit pipelines and the write-back queue, and sync the
+// file. Idempotent.
 func (s *Server) Close() error { return s.shutdown(false) }
 
-// Abort tears the server down without committing open LP batches or
+// Abort tears the server down without sealing open LP batches or
 // syncing — the closest an in-process caller gets to an unclean death
-// (the real one is SIGKILL; see the crash test).
+// (the real one is SIGKILL; see the crash test). Batches already
+// sealed into the pipeline still flush: their write sets were frozen
+// at seal, exactly like batch commits that had left the CPU.
 func (s *Server) Abort() error { return s.shutdown(true) }
 
 func (s *Server) shutdown(abort bool) error {
@@ -498,7 +579,10 @@ func (s *Server) shutdown(abort bool) error {
 		for _, sd := range s.shards {
 			close(sd.mb)
 		}
+		// Owners seal their final batch and close their commitCh on
+		// the way out; flushers exit once the pipeline drains.
 		s.wgOwners.Wait()
+		s.wgFlush.Wait()
 		close(s.leakCh)
 		s.wgLeak.Wait()
 	}
@@ -527,7 +611,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		cn := &srvConn{c: c, out: make(chan wireResp, 256), done: make(chan struct{})}
+		cn := newSrvConn(c)
 		s.mu.Lock()
 		if s.draining.Load() {
 			s.mu.Unlock()
@@ -542,77 +626,151 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// appendGet serves one get entirely inside the calling (connection
+// reader) goroutine: route by key hash, read the shard table lock-free
+// under the seqlock, and append the response frame to rb. No mailbox,
+// no owner, no allocation — the tentpole of the serve hot path.
+func (s *Server) appendGet(rb []byte, seq uint32, key uint64) (out []byte, hit bool, retries uint64) {
+	t0 := time.Now()
+	sd := s.shards[shardOf(key, len(s.shards))]
+	v, ok, retr := sd.sh.Tab.SeqGet(s.mem, key)
+	if ok {
+		rb = appendResp(rb, seq, StatusOK, v)
+	} else {
+		rb = appendResp(rb, seq, StatusNotFound, 0)
+	}
+	s.getLat.Observe(uint64(time.Since(t0).Nanoseconds()))
+	return rb, ok, retr
+}
+
+// connReader decodes request frames. Gets, pings, and rejects are
+// answered inline into rb, a conn-local response batch that is handed
+// to the socket when the inbound buffer drains (the client is waiting
+// for answers) or rb fills — so a pipelining client gets its whole
+// window answered in one write. Puts are routed to shard mailboxes and
+// acked later through the writer goroutine. Get tallies accumulate in
+// locals and flush to the shared counters periodically, keeping the
+// per-op path free of contended atomics.
 func (s *Server) connReader(cn *srvConn) {
+	var gets, misses, retries uint64
+	flushTallies := func() {
+		if gets != 0 {
+			s.ctGets.Add(gets)
+			gets = 0
+		}
+		if misses != 0 {
+			s.ctGetMisses.Add(misses)
+			misses = 0
+		}
+		if retries != 0 {
+			s.ctSeqRetries.Add(retries)
+			retries = 0
+		}
+	}
 	defer func() {
+		flushTallies()
 		cn.stop()
 		s.mu.Lock()
 		delete(s.conns, cn)
 		s.mu.Unlock()
 		s.wgConns.Done()
 	}()
-	br := bufio.NewReaderSize(cn.c, 1<<12)
+	br := bufio.NewReaderSize(cn.c, 1<<15)
 	var buf [reqSize]byte
+	rb := make([]byte, 0, 512*respSize)
 	for {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return
 		}
 		op, seq, key, val := decodeReq(&buf)
-		if op == opPing {
-			cn.reply(seq, StatusOK, 0)
-			continue
+		switch {
+		case op == opPing:
+			rb = appendResp(rb, seq, StatusOK, 0)
+		case (op != opGet && op != opPut) || key == 0 || key == lpstore.NopKey:
+			rb = appendResp(rb, seq, StatusBadRequest, 0)
+		case s.draining.Load():
+			rb = appendResp(rb, seq, StatusShutdown, 0)
+		case op == opGet:
+			var hit bool
+			var retr uint64
+			rb, hit, retr = s.appendGet(rb, seq, key)
+			gets++
+			retries += retr
+			if !hit {
+				misses++
+			}
+			if gets >= 512 {
+				flushTallies()
+			}
+		default: // put
+			sd := s.shards[shardOf(key, len(s.shards))]
+			r := request{op: op, seq: seq, key: key, val: val, enq: time.Now(), cn: cn}
+			select {
+			case sd.mb <- r:
+				d := int64(len(sd.mb))
+				sd.obs.mbDepth.Set(d)
+				sd.obs.mbHigh.SetMax(d)
+			default:
+				sd.obs.rejOver.Inc()
+				s.trace(obs.EvRejectOverload, int32(sd.id), key, 0)
+				rb = appendResp(rb, seq, StatusOverload, 0)
+			}
 		}
-		if (op != opGet && op != opPut) || key == 0 || key == lpstore.NopKey {
-			cn.reply(seq, StatusBadRequest, 0)
-			continue
-		}
-		if s.draining.Load() {
-			cn.reply(seq, StatusShutdown, 0)
-			continue
-		}
-		sd := s.shards[shardOf(key, len(s.shards))]
-		r := request{op: op, seq: seq, key: key, val: val, enq: time.Now(), cn: cn}
-		select {
-		case sd.mb <- r:
-			d := int64(len(sd.mb))
-			sd.obs.mbDepth.Set(d)
-			sd.obs.mbHigh.SetMax(d)
-		default:
-			sd.obs.rejOver.Inc()
-			s.trace(obs.EvRejectOverload, int32(sd.id), key, 0)
-			cn.reply(seq, StatusOverload, 0)
+		if len(rb) > 0 {
+			// Hand the batch to the socket when the client has nothing
+			// more buffered (it is blocked on us) or rb is full. The
+			// in-between state — responses pending, requests still
+			// arriving — keeps batching: bw absorbs full rb batches
+			// without a syscall until the drain point.
+			drained := br.Buffered() < reqSize
+			if drained || len(rb)+respSize > cap(rb) {
+				cn.wmu.Lock()
+				_, werr := cn.bw.Write(rb)
+				if werr == nil && drained {
+					werr = cn.bw.Flush()
+				}
+				cn.wmu.Unlock()
+				rb = rb[:0]
+				if werr != nil {
+					return
+				}
+			}
 		}
 	}
 }
 
+func writeResp(bw *bufio.Writer, buf *[respSize]byte, r wireResp) bool {
+	encodeResp(buf, r.seq, r.status, r.val)
+	_, err := bw.Write(buf[:])
+	return err == nil
+}
+
+// connWriter drains put acks (queued by shard flushers and owners)
+// into the shared connection writer, coalescing everything queued
+// before paying the flush.
 func (s *Server) connWriter(cn *srvConn) {
 	defer s.wgConns.Done()
-	bw := bufio.NewWriterSize(cn.c, 1<<12)
 	var buf [respSize]byte
-	write := func(r wireResp) bool {
-		encodeResp(&buf, r.seq, r.status, r.val)
-		_, err := bw.Write(buf[:])
-		return err == nil
-	}
 	for {
 		select {
 		case r := <-cn.out:
-			if !write(r) {
-				cn.stop()
-				return
-			}
-			// Coalesce whatever else is queued before paying the flush.
-			for more := true; more; {
+			cn.wmu.Lock()
+			ok := writeResp(cn.bw, &buf, r)
+			for more := ok; more; {
 				select {
-				case r := <-cn.out:
-					if !write(r) {
-						cn.stop()
-						return
+				case r2 := <-cn.out:
+					if !writeResp(cn.bw, &buf, r2) {
+						ok, more = false, false
 					}
 				default:
 					more = false
 				}
 			}
-			if bw.Flush() != nil {
+			if ok && cn.bw.Flush() != nil {
+				ok = false
+			}
+			cn.wmu.Unlock()
+			if !ok {
 				cn.stop()
 				return
 			}
@@ -624,24 +782,30 @@ func (s *Server) connWriter(cn *srvConn) {
 
 // owner is a shard's single mutator. With an open batch it waits at
 // most until the batch deadline; otherwise it blocks on the mailbox.
-// A closed mailbox (graceful drain) commits the open batch and exits.
+// A closed mailbox (graceful drain) seals the open batch and exits.
 func (s *Server) owner(sd *shardState) {
 	defer s.wgOwners.Done()
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
 	for {
 		var r request
 		var ok bool
 		if len(sd.pending) > 0 {
 			wait := time.Until(sd.deadline)
 			if wait <= 0 {
-				s.commit(sd, true)
+				s.seal(sd, true)
 				continue
 			}
-			t := time.NewTimer(wait)
+			t.Reset(wait)
 			select {
 			case r, ok = <-sd.mb:
-				t.Stop()
+				if !t.Stop() {
+					<-t.C
+				}
 			case <-t.C:
-				s.commit(sd, true)
+				s.seal(sd, true)
 				continue
 			}
 		} else {
@@ -649,7 +813,10 @@ func (s *Server) owner(sd *shardState) {
 		}
 		if !ok {
 			if len(sd.pending) > 0 && !s.aborting.Load() {
-				s.commit(sd, true)
+				s.seal(sd, true)
+			}
+			if sd.commitCh != nil {
+				close(sd.commitCh)
 			}
 			return
 		}
@@ -666,17 +833,6 @@ func (s *Server) handle(sd *shardState, r request) {
 		return
 	}
 	c := sd.ctx
-	if r.op == opGet {
-		s.ctGets.Inc()
-		v, ok := sd.w.Get(c, r.key)
-		if ok {
-			r.cn.reply(r.seq, StatusOK, v)
-		} else {
-			s.ctGetMisses.Inc()
-			r.cn.reply(r.seq, StatusNotFound, 0)
-		}
-		return
-	}
 	// Admission: reject near-full tables (an insert may be an update,
 	// but distinguishing would cost the probe we are trying to avoid)
 	// and exhausted LP journals before mutating anything.
@@ -696,7 +852,7 @@ func (s *Server) handle(sd *shardState, r request) {
 		sd.occupied += int(sd.w.Inserts - insBefore)
 		sd.pending = append(sd.pending, r)
 		if sd.w.Batch() != batchBefore {
-			s.commit(sd, false)
+			s.seal(sd, false)
 		} else {
 			if len(sd.pending) == 1 {
 				sd.deadline = time.Now().Add(s.cfg.BatchWait)
@@ -725,50 +881,91 @@ func (s *Server) handle(sd *shardState, r request) {
 	}
 }
 
-// commit seals the open LP batch (padding it if it closed on timeout
-// or drain rather than on its K-th put), durably writes the batch's
-// journal window and checksum line, and only then acks the batch's
-// clients — the group-commit durability point.
-func (s *Server) commit(sd *shardState, padded bool) {
+// seal closes the open LP batch (padding it if it closed on timeout or
+// drain rather than on its K-th put), snapshots the batch's durable
+// write set — its journal-window lines and checksum line — into a free
+// commitItem, and hands the item to the shard's flusher. The owner
+// returns to filling the next batch immediately; the batch's clients
+// are acked by the flusher once the write set (and fsync, if priced)
+// completes — the pipelined group-commit durability point. An
+// exhausted item ring (PipelineDepth sealed batches already in flight)
+// blocks here: flush-side backpressure.
+func (s *Server) seal(sd *shardState, padded bool) {
 	c := sd.ctx
 	t0 := time.Now()
 	if padded {
 		s.ctPads.Add(uint64(sd.w.PadBatch(c)))
 	}
-	b := sd.w.Batch() - 1
-	base := b * sd.sh.BatchK
+	it := <-sd.freeCh
+	it.batch = sd.w.Batch() - 1
+	it.seq = sd.w.Seq()
+	it.sealed = t0
+	it.pending, sd.pending = sd.pending, it.pending[:0]
+
+	base := it.batch * sd.sh.BatchK
 	first := memsim.LineOf(sd.sh.Jrn.Addr(2 * base))
 	last := memsim.LineOf(sd.sh.Jrn.Addr(2*(base+sd.sh.BatchK) - 1))
-	lines := make([]memsim.Addr, 0, int(last-first)/memsim.LineSize+2)
+	it.lines = it.lines[:0]
 	for la := first; la <= last; la += memsim.LineSize {
-		lines = append(lines, la)
+		it.lines = append(it.lines, la)
 	}
-	lines = append(lines, sd.sh.Ack.SlotAddr(b))
-	err := c.persistLines(lines)
-	if e := c.takeErr(); err == nil {
-		err = e
+	it.lines = append(it.lines, memsim.LineOf(sd.sh.Ack.SlotAddr(it.batch)))
+	for i, la := range it.lines {
+		_, it.bufs[i] = s.pf.snapshotLine(la)
 	}
+	sd.obs.jrnUsed.Set(int64(it.seq))
+	s.leak(sd) // table lines this batch dirtied may still drift out
+	sd.obs.pipeInflight.Add(1)
+	sd.commitCh <- it
+}
+
+// flusher drains one shard's commit pipeline in FIFO order: write the
+// sealed batch's frozen line snapshots, fsync if priced, then — and
+// only then — ack the batch's clients. Runs concurrently with the
+// owner filling the next batch; per-shard FIFO keeps the file image of
+// lines shared between consecutive batches monotone.
+func (s *Server) flusher(sd *shardState) {
+	defer s.wgFlush.Done()
+	for it := range sd.commitCh {
+		s.flushItem(sd, it)
+		sd.freeCh <- it
+	}
+}
+
+func (s *Server) flushItem(sd *shardState, it *commitItem) {
+	var err error
+	if ep := s.fileErr.Load(); ep != nil {
+		err = *ep
+	} else {
+		for i := range it.lines {
+			if err = s.pf.writeLineBytes(it.lines[i], &it.bufs[i]); err != nil {
+				break
+			}
+		}
+		if err == nil && s.pf.fsync {
+			err = s.pf.sync()
+		}
+	}
+	now := time.Now()
 	if err != nil {
 		s.failFile(err)
-		for _, r := range sd.pending {
+		for _, r := range it.pending {
 			r.cn.reply(r.seq, StatusShutdown, 0)
 		}
 	} else {
-		now := time.Now()
 		s.ctBatches.Inc()
-		s.ctAcked.Add(uint64(len(sd.pending)))
-		sd.obs.batchFill.Observe(uint64(len(sd.pending)))
-		sd.obs.commitLat.Observe(uint64(now.Sub(t0).Nanoseconds()))
-		sd.obs.jrnUsed.Set(int64(sd.w.Seq()))
-		s.trace(obs.EvBatchCommit, int32(sd.id), uint64(b), uint64(len(sd.pending)))
-		s.trace(obs.EvAckAdvance, int32(sd.id), uint64(sd.w.Seq()), 0)
-		for _, r := range sd.pending {
+		s.ctAcked.Add(uint64(len(it.pending)))
+		sd.obs.batchFill.Observe(uint64(len(it.pending)))
+		sd.obs.commitLat.Observe(uint64(now.Sub(it.sealed).Nanoseconds()))
+		s.trace(obs.EvBatchCommit, int32(sd.id), uint64(it.batch), uint64(len(it.pending)))
+		s.trace(obs.EvAckAdvance, int32(sd.id), uint64(it.seq), 0)
+		for _, r := range it.pending {
 			sd.obs.putLat.Observe(uint64(now.Sub(r.enq).Nanoseconds()))
 			r.cn.reply(r.seq, StatusOK, 0)
 		}
 	}
-	sd.pending = sd.pending[:0]
-	s.leak(sd)
+	it.pending = it.pending[:0]
+	sd.obs.pipeInflight.Add(-1)
 }
 
 // leak snapshots the shard's freshly dirtied table lines and offers

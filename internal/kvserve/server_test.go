@@ -144,7 +144,7 @@ func TestServeOverload(t *testing.T) {
 	sd.mb <- request{}
 
 	srvEnd, cliEnd := net.Pipe()
-	cn := &srvConn{c: srvEnd, out: make(chan wireResp, 4), done: make(chan struct{})}
+	cn := newSrvConn(srvEnd)
 	s.wgConns.Add(2)
 	go s.connReader(cn)
 	go s.connWriter(cn)

@@ -32,10 +32,17 @@
 package lpstore
 
 import (
+	"runtime"
+	"sync/atomic"
+
 	"lazyp/internal/lp"
 	"lazyp/internal/memsim"
 	"lazyp/internal/pmem"
 )
+
+// yield gives up the processor inside a seqlock spin; indirected for
+// clarity at the call site.
+func yield() { runtime.Gosched() }
 
 // Store is one shard's open-addressing hash table. Slot i occupies two
 // adjacent words — (key, value) — of a single pmem.U64 array, so every
@@ -45,9 +52,22 @@ import (
 //
 // Key 0 is the empty sentinel; callers must use nonzero keys (the
 // workload generator's key encoding guarantees this).
+//
+// A store is single-writer by construction. With EnableSeqlock it
+// additionally supports lock-free concurrent readers (SeqGet): every
+// table line carries a volatile epoch the writer bumps to odd before
+// mutating the line and back to even after, and readers retry a slot
+// whose line epoch is odd or changed across the read. See SeqGet for
+// why this makes a torn read impossible.
 type Store struct {
 	kv  pmem.U64 // 2*cap words: slot i = (key at 2i, value at 2i+1)
 	cap int      // slot count, a power of two
+
+	// epochs, when non-nil, holds one seqlock epoch per table line
+	// (four slots). Volatile server-side state, never persisted:
+	// after a restart all epochs are zero (even — unlocked), which is
+	// correct because recovery runs before any reader exists.
+	epochs []atomic.Uint32
 }
 
 // NewStore allocates a table with at least the given capacity (rounded
@@ -124,16 +144,95 @@ func (s *Store) Get(c pmem.Ctx, k uint64) (uint64, bool) {
 // pass); callers that must distinguish a full-table drop from an update
 // keep their own occupancy watermark (kvserve rejects puts before this
 // point is ever reached).
+//
+// With the seqlock enabled, the slot stores are bracketed by the
+// odd/even epoch bumps on the slot's line, so concurrent SeqGet readers
+// never observe the insert's key word without its value word.
 func (s *Store) Put(c pmem.Ctx, ts lp.ThreadStrategy, k, v uint64) (inserted bool) {
 	i, ok := s.probe(c, k)
 	if i < 0 {
 		return false
 	}
+	var ep *atomic.Uint32
+	if s.epochs != nil {
+		ep = &s.epochs[i>>2]
+		ep.Add(1) // even → odd: line is being mutated
+	}
 	if !ok {
 		ts.Store64(c, s.KeyAddr(i), k)
 	}
 	ts.Store64(c, s.ValAddr(i), v)
+	if ep != nil {
+		ep.Add(1) // odd → even: line consistent again
+	}
 	return !ok
+}
+
+// EnableSeqlock allocates the per-line epoch array, turning on support
+// for lock-free concurrent readers via SeqGet. Call before any
+// concurrent access begins; the single writer must then issue all slot
+// stores through a Ctx whose Store64 is atomic (kvserve's fileCtx),
+// so readers never race a plain word store.
+func (s *Store) EnableSeqlock() {
+	if s.epochs == nil {
+		s.epochs = make([]atomic.Uint32, (s.cap+slotsPerLine-1)/slotsPerLine)
+	}
+}
+
+// slotsPerLine is the number of (key, value) slot pairs per cache
+// line: 64 bytes / 16 bytes per slot.
+const slotsPerLine = memsim.LineSize / (2 * pmem.WordSize)
+
+// SeqGet returns the value stored under k, reading the table directly
+// with atomic loads and no Ctx — the lock-free read path concurrent
+// server connections use while the single writer keeps mutating.
+// retries counts seqlock validation failures (odd or moved epochs),
+// the contention signal kvserve exports as a counter.
+//
+// Correctness: linear-probe tables never move or delete keys, so the
+// probe chain for k is append-only. Each visited slot is validated
+// against its line epoch — read even epoch, atomically load the key
+// and value words, re-read the epoch — so a slot observed mid-insert
+// (key word stored, value word not yet) is retried rather than
+// returned; every returned value was the slot's complete committed
+// value at some instant during the call. A concurrent insert past the
+// reader's probe point can make SeqGet report a miss for a key whose
+// put has not been acknowledged yet — the same answer a request
+// ordered just before that put would get.
+func (s *Store) SeqGet(m *memsim.Memory, k uint64) (v uint64, ok bool, retries uint64) {
+	if k == 0 {
+		panic("lpstore: key 0 is the empty sentinel")
+	}
+	i := int(mix64(k)) & (s.cap - 1)
+	for n := 0; n < s.cap; n++ {
+		ep := &s.epochs[i>>2]
+		var key, val uint64
+		for spin := 0; ; spin++ {
+			e1 := ep.Load()
+			if e1&1 == 0 {
+				key = m.AtomicLoad64(s.KeyAddr(i))
+				val = m.AtomicLoad64(s.ValAddr(i))
+				if ep.Load() == e1 {
+					break
+				}
+			}
+			retries++
+			if spin&63 == 63 {
+				// The writer holds a line epoch only across two word
+				// stores, but EP/WAL interpose flush bookkeeping; yield
+				// rather than burn the core if we keep losing.
+				yield()
+			}
+		}
+		if key == k {
+			return val, true, retries
+		}
+		if key == 0 {
+			return 0, false, retries
+		}
+		i = (i + 1) & (s.cap - 1)
+	}
+	return 0, false, retries
 }
 
 // Contents returns the architectural key→value contents. After

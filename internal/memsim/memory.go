@@ -47,8 +47,11 @@ func NewMemory(capacity int) *Memory {
 		panic("memsim: non-positive memory capacity")
 	}
 	capacity = (capacity + LineMask) &^ LineMask
+	checkEndianness()
 	return &Memory{
-		backing: make([]byte, capacity),
+		// The architectural image is 8-byte aligned so AtomicLoad64/
+		// AtomicStore64 (atomic.go) are legal on any word address.
+		backing: alignedBytes(capacity),
 		durable: make([]byte, capacity),
 		next:    LineSize, // keep line 0 unused so Addr(0) means "nil"
 	}
