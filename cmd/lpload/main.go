@@ -1,55 +1,168 @@
-// Command lpload drives open-window load against a running lpserve:
-// pipelined connections replaying the same deterministic YCSB-style
-// kvgen streams the in-simulator experiments use, with jittered
-// exponential backoff on overload. It reports throughput and latency
-// percentiles — the measured numbers behind EXPERIMENTS.md E15.
+// Command lpload drives open-window load against a running lpserve or
+// a cluster: pipelined connections replaying the same deterministic
+// YCSB-style kvgen streams the in-simulator experiments use, with
+// jittered exponential backoff on overload. It reports throughput and
+// latency percentiles — the measured numbers behind EXPERIMENTS.md
+// E15/E16.
+//
+// Two ways to reach a cluster:
+//
+//   - proxy mode: point -addr at lprouter's data port; the router
+//     routes every request and the client is none the wiser;
+//   - smart-client mode: -topo fetches the slot table from lprouter's
+//     control port and each worker routes per key, opening one
+//     connection per node — the router is out of the data path. The
+//     table refreshes on every connection failure (and on a periodic
+//     timer), so a failover re-routes mid-run.
+//
+// -reconnect makes workers survive node deaths: in-flight ops on a
+// dead connection retry (bounded by -max-retries each) with jittered
+// backoff instead of aborting the run — required for driving load
+// through a failover. Per-target connection stats land in the -json
+// report.
 //
 // Usage:
 //
 //	lpload -addr 127.0.0.1:7411 -dur 2s
 //	lpload -conns 4 -window 64 -mix b -json
 //	lpload -insert -ops 5000      # unique-key inserts (crash-demo shape)
+//	lpload -addr 127.0.0.1:7400 -reconnect -dur 5s          # via lprouter
+//	lpload -topo http://127.0.0.1:7500 -reconnect -dur 5s   # smart client
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
+	"lazyp/internal/cluster"
 	"lazyp/internal/kvserve"
 )
 
+// topoView is the smart client's routing state: the last fetched
+// topology plus a rate limit on refreshes, shared by all workers.
+type topoView struct {
+	base    string // router control URL
+	cur     atomic.Pointer[cluster.Topology]
+	lastRef atomic.Int64 // ns of last refresh attempt
+}
+
+func (tv *topoView) fetch() error {
+	resp, err := http.Get(tv.base + "/cluster/topology")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var t cluster.Topology
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return err
+	}
+	if len(t.Slots) != cluster.NumSlots {
+		return fmt.Errorf("topology has %d slots, want %d", len(t.Slots), cluster.NumSlots)
+	}
+	if cur := tv.cur.Load(); cur == nil || t.Epoch >= cur.Epoch {
+		tv.cur.Store(&t)
+	}
+	return nil
+}
+
+// refresh re-fetches the table, at most once per 20ms across all
+// workers — a failover makes every worker's connection fail at once,
+// and one fetch serves them all.
+func (tv *topoView) refresh() {
+	now := time.Now().UnixNano()
+	last := tv.lastRef.Load()
+	if now-last < 20*time.Millisecond.Nanoseconds() || !tv.lastRef.CompareAndSwap(last, now) {
+		return
+	}
+	tv.fetch()
+}
+
+func (tv *topoView) route(key uint64) string {
+	t := tv.cur.Load()
+	if t == nil {
+		return ""
+	}
+	return t.PrimaryAddr(key)
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7411", "server address")
-		conns    = flag.Int("conns", 2, "concurrent connections")
-		window   = flag.Int("window", 32, "in-flight ops per connection")
-		ops      = flag.Int("ops", 0, "ops per connection (0 = run for -dur)")
-		dur      = flag.Duration("dur", 2*time.Second, "run duration when -ops is 0")
-		mix      = flag.String("mix", "a", "request mix: a | b | c | d")
-		dist     = flag.String("dist", "zipfian", "key distribution: zipfian | uniform")
-		streams  = flag.Int("streams", 4, "server's preloaded stream count")
-		keys     = flag.Int("keys", 2048, "server's preloaded keys per stream")
-		seed     = flag.Uint64("seed", 1, "stream seed (must match the server)")
-		insert   = flag.Bool("insert", false, "insert-only unique keys instead of a mix")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
-		interval = flag.Duration("interval", 0, "emit periodic throughput/latency lines on stderr (0 = off)")
+		addr       = flag.String("addr", "127.0.0.1:7411", "server (or lprouter data) address")
+		topo       = flag.String("topo", "", "lprouter control URL for smart-client routing (e.g. http://127.0.0.1:7500)")
+		conns      = flag.Int("conns", 2, "concurrent connections")
+		window     = flag.Int("window", 32, "in-flight ops per connection")
+		ops        = flag.Int("ops", 0, "ops per connection (0 = run for -dur)")
+		dur        = flag.Duration("dur", 2*time.Second, "run duration when -ops is 0")
+		mix        = flag.String("mix", "a", "request mix: a | b | c | d")
+		dist       = flag.String("dist", "zipfian", "key distribution: zipfian | uniform")
+		streams    = flag.Int("streams", 4, "server's preloaded stream count")
+		keys       = flag.Int("keys", 2048, "server's preloaded keys per stream")
+		seed       = flag.Uint64("seed", 1, "stream seed (must match the server)")
+		insert     = flag.Bool("insert", false, "insert-only unique keys instead of a mix")
+		reconnect  = flag.Bool("reconnect", false, "survive connection failures: requeue in-flight ops and redial with backoff")
+		maxRetries = flag.Int("max-retries", 0, "retries per op on overload or dead connection (0 = default 8)")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON")
+		interval   = flag.Duration("interval", 0, "emit periodic throughput/latency lines on stderr (0 = off)")
 	)
 	flag.Parse()
 
-	if err := kvserve.WaitReady(*addr, 10*time.Second); err != nil {
+	opts := kvserve.LoadOpts{
+		Conns: *conns, Window: *window, Ops: *ops,
+		Mix: *mix, Dist: *dist,
+		Streams: *streams, Keys: *keys, Seed: *seed,
+		InsertOnly: *insert, MaxRetries: *maxRetries,
+		Reconnect: *reconnect,
+		Interval:  *interval, Progress: os.Stderr,
+	}
+	if *ops == 0 {
+		// -dur governs only duration-bounded runs; an ops-bounded run
+		// ends when every op settles, however long a failover stalls it.
+		opts.Dur = *dur
+	}
+
+	if *topo != "" {
+		tv := &topoView{base: *topo}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if err := tv.fetch(); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "lpload: fetching topology from %s: %v\n", *topo, err)
+				os.Exit(1)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		opts.Route = tv.route
+		opts.Refresh = tv.refresh
+		// A periodic refresh picks up rejoins and promotions even when
+		// no connection broke (e.g. a get-only run).
+		stopRef := make(chan struct{})
+		defer close(stopRef)
+		go func() {
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopRef:
+					return
+				case <-tick.C:
+					tv.fetch()
+				}
+			}
+		}()
+		t := tv.cur.Load()
+		fmt.Fprintf(os.Stderr, "lpload: smart-client routing, epoch %d, %d nodes\n", t.Epoch, len(t.Nodes))
+	} else if err := kvserve.WaitReady(*addr, 10*time.Second); err != nil {
 		fmt.Fprintf(os.Stderr, "lpload: %v\n", err)
 		os.Exit(1)
 	}
-	rep, err := kvserve.RunLoad(*addr, kvserve.LoadOpts{
-		Conns: *conns, Window: *window, Ops: *ops, Dur: *dur,
-		Mix: *mix, Dist: *dist,
-		Streams: *streams, Keys: *keys, Seed: *seed,
-		InsertOnly: *insert,
-		Interval:   *interval, Progress: os.Stderr,
-	})
+
+	rep, err := kvserve.RunLoad(*addr, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lpload: %v\n", err)
 		os.Exit(1)
@@ -69,6 +182,10 @@ func main() {
 			rep.Overloads, rep.Retries, rep.Expired, rep.Full, rep.Errors)
 		fmt.Printf("  latency p50 %.0fµs  p90 %.0fµs  p99 %.0fµs  max %.0fµs\n",
 			rep.P50us, rep.P90us, rep.P99us, rep.MaxUs)
+		for _, ts := range rep.Targets {
+			fmt.Printf("  target %s: ops %d, acked %d, dials %d, resets %d\n",
+				ts.Addr, ts.Ops, ts.AckedPuts, ts.Dials, ts.Resets)
+		}
 	}
 	if rep.Errors > 0 || rep.Partial {
 		os.Exit(2)

@@ -10,12 +10,25 @@
 // every queued client is answered, and the file is synced, so the next
 // boot recovers with zero repair.
 //
+// The -metrics mux comes up before recovery starts and serves /healthz
+// from the first instant: 503 {"status":"recovering"} while journal
+// replay runs, 200 {"status":"serving"} once the data port accepts.
+// That readiness split is what lets a router (or an orchestrator) tell
+// a booting node from a dead one.
+//
+// With -node-id the process joins a cluster as a member node: the
+// metrics mux doubles as the cluster control plane (/cluster/topology,
+// /cluster/catchup) and the server replicates each put to its key's
+// pair peer per the pushed topology — see internal/cluster and
+// cmd/lprouter.
+//
 // Usage:
 //
 //	lpserve -path kv.img                        # LP, defaults
 //	lpserve -mode ep -addr 127.0.0.1:7411       # eager baseline
 //	lpserve -path kv.img -recover-verify        # recover + verify, then exit
 //	lpserve -path kv.img -dump                  # recovery stats as JSON, then exit
+//	lpserve -path n0.img -node-id n0 -metrics 127.0.0.1:7511   # cluster member
 //
 // Startup recovery logs and -dump use the same per-shard JSON schema
 // as lpcrash -json (lpstore.RecoverStats).
@@ -29,9 +42,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"lazyp/internal/cluster"
 	"lazyp/internal/kvserve"
 	"lazyp/internal/lpstore"
 	"lazyp/internal/obs"
@@ -75,9 +90,11 @@ func main() {
 		pipeline  = flag.Int("pipeline", 4, "LP commit pipeline depth (1 = synchronous group commit)")
 		dump      = flag.Bool("dump", false, "print restore/recovery summary as JSON and exit")
 		verify    = flag.Bool("recover-verify", false, "recover, re-verify every shard, and exit")
-		metrics   = flag.String("metrics", "", "serve Prometheus /metrics and /debug/trace on this address (empty = off)")
+		metrics   = flag.String("metrics", "", "serve /healthz, Prometheus /metrics, and /debug/trace on this address (empty = off; required with -node-id)")
 		trace     = flag.Bool("trace", false, "enable the in-memory persistency event tracer (drain via /debug/trace?n=K)")
 		traceCap  = flag.Int("tracecap", 4096, "event tracer ring-buffer capacity")
+		nodeID    = flag.String("node-id", "", "cluster member identity; joins a cluster, making -metrics the control plane")
+		replWin   = flag.Int("repl-window", cluster.DefaultReplWindow, "cluster: in-flight replication forwards per peer")
 	)
 	flag.Parse()
 
@@ -92,6 +109,38 @@ func main() {
 		Mailbox: *mailbox, BatchWait: *batchWait, MaxQueueDelay: *maxDelay,
 		Fsync: *fsync, PipelineDepth: *pipeline, TraceCap: *traceCap,
 	}
+
+	if *nodeID != "" {
+		if *metrics == "" {
+			fail("-node-id requires -metrics (the cluster control plane address)")
+		}
+		runClusterNode(*nodeID, *metrics, cfg, *replWin, *trace)
+		return
+	}
+
+	// Standalone path. The metrics mux comes up before recovery so
+	// /healthz answers "recovering" while journal replay runs.
+	var ready atomic.Uint32
+	var mux *http.ServeMux
+	if *metrics != "" {
+		mux = http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if ready.Load() == 1 {
+				fmt.Fprintln(w, `{"status":"serving"}`)
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"recovering"}`)
+		})
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fail("metrics listen: %v", err)
+		}
+		go http.Serve(mln, mux)
+		fmt.Fprintf(os.Stderr, "lpserve: metrics on http://%s/metrics\n", mln.Addr())
+	}
+
 	s, err := kvserve.New(cfg)
 	if err != nil {
 		fail("%v", err)
@@ -99,16 +148,7 @@ func main() {
 	if *trace {
 		s.Tracer().Enable(true)
 	}
-	if s.Restored() {
-		fmt.Fprintf(os.Stderr, "lpserve: recovered existing image %s\n", *path)
-		for _, st := range s.RecoveryStats() {
-			b, _ := json.Marshal(st)
-			fmt.Fprintf(os.Stderr, "lpserve: shard recovery %s\n", b)
-		}
-	} else {
-		fmt.Fprintf(os.Stderr, "lpserve: initialized fresh image %s (%d preloaded keys)\n",
-			*path, *streams**keys)
-	}
+	logRecovery(s, *path, "", *streams**keys)
 
 	if *verify {
 		if err := s.VerifyRecovered(); err != nil {
@@ -136,30 +176,77 @@ func main() {
 		return
 	}
 
-	if *metrics != "" {
-		mux := http.NewServeMux()
+	if mux != nil {
 		mux.Handle("/metrics", obs.MetricsHandler(s.Metrics()))
 		mux.Handle("/debug/trace", obs.TraceHandler(s.Tracer()))
-		mln, err := net.Listen("tcp", *metrics)
-		if err != nil {
-			fail("metrics listen: %v", err)
-		}
-		go http.Serve(mln, mux)
-		fmt.Fprintf(os.Stderr, "lpserve: metrics on http://%s/metrics\n", mln.Addr())
 	}
 
 	if err := s.Start(); err != nil {
 		fail("listen: %v", err)
 	}
+	ready.Store(1)
 	fmt.Fprintf(os.Stderr, "lpserve: %s serving %s on %s\n", m, *path, s.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	got := <-sig
 	fmt.Fprintf(os.Stderr, "lpserve: %s — draining\n", got)
+	ready.Store(0)
 	if err := s.Close(); err != nil {
 		fail("drain: %v", err)
 	}
 	b, _ := json.Marshal(s.Stats())
 	fmt.Fprintf(os.Stderr, "lpserve: drained cleanly; stats %s\n", b)
+}
+
+// logRecovery prints the boot banner; nodeTag prefixes cluster members'
+// lines so a merged 3-node log stays attributable.
+func logRecovery(s *kvserve.Server, path, nodeTag string, preload int) {
+	tag := ""
+	if nodeTag != "" {
+		tag = " node=" + nodeTag
+	}
+	if s.Restored() {
+		fmt.Fprintf(os.Stderr, "lpserve:%s recovered existing image %s\n", tag, path)
+		for _, st := range s.RecoveryStats() {
+			b, _ := json.Marshal(st)
+			fmt.Fprintf(os.Stderr, "lpserve:%s shard recovery %s\n", tag, b)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "lpserve:%s initialized fresh image %s (%d preloaded keys)\n",
+			tag, path, preload)
+	}
+}
+
+// runClusterNode boots the process as a cluster member and blocks
+// until SIGTERM/SIGINT.
+func runClusterNode(id, ctrlAddr string, cfg kvserve.Config, replWin int, trace bool) {
+	if cfg.Mode != lpstore.ModeLP {
+		fail("cluster members must run -mode lp (the replication ack rule is the LP group commit)")
+	}
+	n, err := cluster.StartNode(cluster.NodeConfig{
+		ID:       id,
+		CtrlAddr: ctrlAddr,
+		Server:   cfg,
+		Repl:     cluster.ReplConfig{Window: replWin},
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	if trace {
+		n.Server().Tracer().Enable(true)
+	}
+	logRecovery(n.Server(), cfg.Path, id, cfg.Streams*cfg.Keys)
+	fmt.Fprintf(os.Stderr, "lpserve: node=%s serving %s on %s (ctrl http://%s)\n",
+		id, cfg.Path, n.Server().Addr(), n.CtrlAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "lpserve: node=%s %s — draining\n", id, got)
+	if err := n.Close(); err != nil {
+		fail("drain: %v", err)
+	}
+	b, _ := json.Marshal(n.Server().Stats())
+	fmt.Fprintf(os.Stderr, "lpserve: node=%s drained cleanly; stats %s\n", id, b)
 }

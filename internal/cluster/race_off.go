@@ -1,0 +1,7 @@
+//go:build !race
+
+package cluster
+
+// RaceEnabled reports whether this build carries the race detector's
+// instrumentation. See race_on.go.
+const RaceEnabled = false

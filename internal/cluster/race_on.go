@@ -1,0 +1,10 @@
+//go:build race
+
+package cluster
+
+// RaceEnabled reports whether this build carries the race detector's
+// instrumentation. The cluster's liveness timings (heartbeat leases,
+// failover/rejoin deadlines in tests and E16) scale by a slack factor
+// under the detector's 5–20×slowdown, so a lease expiry still means
+// "the node is gone" rather than "the handler was slow today".
+const RaceEnabled = true

@@ -1,0 +1,758 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazyp/internal/kvserve"
+	"lazyp/internal/obs"
+)
+
+// repl.go is the node-side half of cluster replication: the
+// kvserve.Replicator implementation a primary uses to forward puts to
+// each key's pair peer and collect the peer's group-commit acks.
+//
+// Forwarded puts are ordinary kvserve put frames on one pipelined TCP
+// connection per peer, so replication reuses the follower's whole LP
+// machinery — mailbox admission, group commit, pipelined flush — and
+// adds one network hop, not one fsync per op. In-flight forwards live
+// in a fixed slot ring per session (the same discipline as kvserve's
+// commitItem ring): the owner's Forward takes a free slot (window
+// backpressure), a sender goroutine writes frames, a reader goroutine
+// matches acks back to slots, and the shard flusher's Wait returns the
+// slot. The steady-state forward path allocates nothing.
+//
+// When a peer is unreachable (dead, lease revoked, or the connection
+// just broke), forwards for its slots divert into the peer's delta
+// buffer: key → (val, stamp), latest-stamp-wins. Stamps are a per-peer
+// monotonic counter taken at Forward time; a key's forwards are issued
+// by a single shard owner in order, so stamp order is value order per
+// key, and the buffer always holds the newest value the peer missed.
+// Catch-up replays the buffer through a fresh session and — the
+// ordering handover — enables live forwarding under the same lock that
+// guards the buffer, so every replayed put precedes every subsequent
+// live forward on the wire. Divergence windows therefore close exactly
+// once, in order.
+
+// replStatus values resolved into a forward slot.
+const (
+	replAcked    = byte(0)    // follower acked (StatusOK)
+	replDegraded = byte(0xFF) // abandoned: conn died / lease revoked / follower full
+)
+
+// noAckTok is the token Forward returns when the put was buffered for
+// a peer the topology still calls alive (session down mid-redial).
+// Wait resolves it false immediately: the put must not be acked at
+// RF=1 while the follower's lease stands — the server surfaces
+// backpressure to the client instead. Real tokens carry a 1-based
+// session index in their high 32 bits, so the all-ones pattern can
+// never collide.
+const noAckTok = ^uint64(0)
+
+// ReplConfig configures a node's Replicator.
+type ReplConfig struct {
+	// Self is this node's ID; Forward only forwards keys whose slot
+	// lists Self as primary (a follower applying a forwarded put must
+	// not echo it back).
+	Self string
+	// Window is the per-peer in-flight forward budget (default
+	// DefaultReplWindow). Must exceed the worst-case number of puts the
+	// local commit pipeline can hold unacked (Shards × PipelineDepth ×
+	// BatchK), or Forward's backpressure can deadlock the owners
+	// against their own flushers.
+	Window int
+	// MaxRetries is retained for configuration compatibility but no
+	// longer bounds overload retries: a forward to a live session
+	// retries with capped backoff until the session dies. Degrading an
+	// overloaded-but-alive follower to the delta buffer would silently
+	// drop to RF=1 with no catch-up ever scheduled (the delta drains
+	// only on redial or rejoin) — backpressure is the correct answer.
+	MaxRetries int
+	// DialTimeout bounds session dials (default 2s).
+	DialTimeout time.Duration
+	// Registry receives the replication metrics (cluster_repl_*).
+	Registry *obs.Registry
+}
+
+func (c ReplConfig) withDefaults() ReplConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultReplWindow
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 12
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// deltaEnt is one buffered missed put: latest value and its stamp.
+type deltaEnt struct{ val, stamp uint64 }
+
+// peerState is everything this node knows about one pair peer.
+type peerState struct {
+	id    string
+	addr  string
+	stamp atomic.Uint64               // per-peer forward order, survives sessions
+	live  atomic.Pointer[peerSession] // nil → forwards divert to delta
+	mu    sync.Mutex                  // guards delta and the down→live handover
+	delta map[uint64]deltaEnt
+
+	// alive mirrors the peer's state in the last applied topology. A
+	// session teardown while the peer is still alive (transient conn
+	// failure, not a lease expiry) triggers an automatic redial —
+	// without it, every later forward would park in the delta buffer,
+	// which nothing drains until the peer dies and rejoins.
+	alive     atomic.Bool
+	redialing atomic.Bool
+
+	gDelta *obs.Gauge // cluster_repl_delta_pending{peer=...}
+}
+
+// bufferDelta records a missed put, keeping the newest stamp per key.
+// Callers hold ps.mu.
+func (ps *peerState) bufferDeltaLocked(key, val, stamp uint64) {
+	if ps.delta == nil {
+		ps.delta = make(map[uint64]deltaEnt)
+	}
+	if e, ok := ps.delta[key]; !ok || stamp > e.stamp {
+		ps.delta[key] = deltaEnt{val: val, stamp: stamp}
+	}
+	ps.gDelta.Set(int64(len(ps.delta)))
+}
+
+// slotView is the Forward hot path's routing table, swapped atomically
+// on topology pushes: per slot, the pair peer to replicate to, or nil
+// when this node is not the slot's primary (or the slot has no pair).
+type slotView struct {
+	peers []*peerState // len NumSlots
+	epoch uint64
+}
+
+// Replicator implements kvserve.Replicator over a pushed Topology.
+type Replicator struct {
+	cfg  ReplConfig
+	view atomic.Pointer[slotView]
+
+	mu     sync.Mutex // guards peers, topology application, closed
+	peers  map[string]*peerState
+	closed bool
+
+	// sessions is append-only under its own lock so Wait (called by
+	// shard flushers) never contends with a topology apply or a
+	// catch-up drain holding r.mu; tok = (idx+1)<<32 | slot.
+	sessMu   sync.Mutex
+	sessions []*peerSession
+
+	ctForwards *obs.Counter   // cluster_repl_forwards_total
+	ctAcks     *obs.Counter   // cluster_repl_acks_total
+	ctDegraded *obs.Counter   // cluster_repl_degraded_total
+	ctRetries  *obs.Counter   // cluster_repl_retries_total
+	ctBuffered *obs.Counter   // cluster_repl_delta_buffered_total
+	ctCatchup  *obs.Counter   // cluster_repl_catchup_keys_total
+	ctSessions *obs.Counter   // cluster_repl_sessions_total
+	gEpoch     *obs.Gauge     // cluster_repl_epoch
+	hLag       *obs.Histogram // cluster_repl_lag_seconds: forward enqueue → follower ack
+}
+
+// NewReplicator builds a Replicator with no topology: every Forward
+// returns 0 until the router pushes one.
+func NewReplicator(cfg ReplConfig) *Replicator {
+	cfg = cfg.withDefaults()
+	root := cfg.Registry.Scope()
+	return &Replicator{
+		cfg:        cfg,
+		peers:      make(map[string]*peerState),
+		ctForwards: root.Counter("cluster_repl_forwards_total"),
+		ctAcks:     root.Counter("cluster_repl_acks_total"),
+		ctDegraded: root.Counter("cluster_repl_degraded_total"),
+		ctRetries:  root.Counter("cluster_repl_retries_total"),
+		ctBuffered: root.Counter("cluster_repl_delta_buffered_total"),
+		ctCatchup:  root.Counter("cluster_repl_catchup_keys_total"),
+		ctSessions: root.Counter("cluster_repl_sessions_total"),
+		gEpoch:     root.Gauge("cluster_repl_epoch"),
+		hLag:       root.HistogramScaled("cluster_repl_lag_seconds", 1e-9),
+	}
+}
+
+// Epoch returns the topology epoch this node last applied (0 = none).
+func (r *Replicator) Epoch() uint64 {
+	if v := r.view.Load(); v != nil {
+		return v.epoch
+	}
+	return 0
+}
+
+// Forward implements kvserve.Replicator: called by a shard owner for
+// every put it journals. Returns 0 when no forward is in flight.
+func (r *Replicator) Forward(key, val uint64) uint64 {
+	v := r.view.Load()
+	if v == nil {
+		return 0
+	}
+	ps := v.peers[SlotOf(key)]
+	if ps == nil {
+		return 0
+	}
+	stamp := ps.stamp.Add(1)
+	if sess := ps.live.Load(); sess != nil {
+		if tok, ok := sess.forward(key, val, stamp); ok {
+			r.ctForwards.Inc()
+			return tok
+		}
+	}
+	// Degraded path: the peer is down (or its session died under us).
+	// Under ps.mu, re-check live — a catch-up handover may have raced
+	// us, and the lock is what orders this put after the drained delta.
+	ps.mu.Lock()
+	if sess := ps.live.Load(); sess != nil {
+		ps.mu.Unlock()
+		if tok, ok := sess.forward(key, val, stamp); ok {
+			r.ctForwards.Inc()
+			return tok
+		}
+		ps.mu.Lock()
+	}
+	ps.bufferDeltaLocked(key, val, stamp)
+	alive := ps.alive.Load()
+	ps.mu.Unlock()
+	r.ctBuffered.Inc()
+	if alive {
+		// The peer's lease stands — this is a transient session gap
+		// (redial in progress), not an adjudicated death. The put may
+		// not be acked at RF=1: the delta will drain within the redial
+		// backoff, and until then the client gets backpressure.
+		return noAckTok
+	}
+	return 0
+}
+
+// Wait implements kvserve.Replicator: blocks until the token's forward
+// resolved. Reports whether the put may be acked at the contracted
+// durability: true when the follower acked its own group commit, or
+// when the forward degraded *after the router revoked the follower's
+// lease* (the designed RF=1 fallback — the put is in the peer's delta
+// buffer and rejoin catch-up will close the gap). False when the
+// forward failed while the follower is still alive per the topology
+// (follower full, or a connection blip not yet adjudicated): acking
+// then would be a silent, unscheduled drop to RF=1, so the server
+// replies backpressure instead.
+func (r *Replicator) Wait(tok uint64) bool {
+	if tok == noAckTok {
+		return false
+	}
+	r.sessMu.Lock()
+	sess := r.sessions[(tok>>32)-1]
+	r.sessMu.Unlock()
+	return sess.wait(uint32(tok))
+}
+
+// ApplyTopology installs a pushed topology: connects sessions to live
+// pair peers (draining any delta first, in order), tears down sessions
+// to peers the router declared dead (resolving their in-flight waits
+// degraded — the lease unblock), and swaps the Forward routing view.
+// Stale epochs are ignored.
+func (r *Replicator) ApplyTopology(t *Topology) error {
+	if len(t.Slots) != NumSlots {
+		return fmt.Errorf("cluster: topology has %d slots, want %d", len(t.Slots), NumSlots)
+	}
+	if cur := r.view.Load(); cur != nil && t.Epoch <= cur.epoch {
+		return nil
+	}
+	self := t.NodeIndex(r.cfg.Self)
+	if self < 0 {
+		return fmt.Errorf("cluster: node %q not in topology epoch %d", r.cfg.Self, t.Epoch)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("cluster: replicator closed")
+	}
+	// Resolve peer states for every other member and record their
+	// lease verdicts (before any teardown, so a teardown of a freshly
+	// dead peer never spawns a redial).
+	for i := range t.Nodes {
+		if i == self {
+			continue
+		}
+		ps := r.peerLocked(t.Nodes[i].ID, t.Nodes[i].Addr)
+		ps.alive.Store(t.Nodes[i].State == StateAlive)
+	}
+	// Tear down sessions to peers the router no longer trusts: their
+	// in-flight forwards resolve degraded, which is what unwedges a
+	// flusher blocked in Wait on a silently-gone follower.
+	for i := range t.Nodes {
+		if i == self || t.Nodes[i].State == StateAlive {
+			continue
+		}
+		ps := r.peers[t.Nodes[i].ID]
+		if sess := ps.live.Load(); sess != nil {
+			sess.teardown(fmt.Errorf("cluster: peer %s declared %s at epoch %d", ps.id, t.Nodes[i].State, t.Epoch))
+		}
+	}
+	// Connect (and delta-drain) live pair peers we forward to. The
+	// drain must run even when a session is already live: during the
+	// peer's syncing window, forwards it refused re-buffer into the
+	// delta while the catch-up session stays published, and puts
+	// buffered between the router's last catch-up round and this push
+	// were acked at RF=1 (peer not yet alive) on the promise that
+	// *something* replays them — this drain is that something.
+	// other is the slot's other static pair member when self is any
+	// member, else -1. Forwarding is by pair MEMBERSHIP, not by the
+	// primary role this node's view assigns: role views converge per
+	// node, and a put routed on a stale (or newer) epoch can land on
+	// the member that doesn't currently think it is the primary. If
+	// that member acked token-free, the put would exist on one node
+	// only — and a later orphan reclaim can hand the slot to the other
+	// member, losing an acked key. Pair membership is static, so
+	// forwarding to the other member is correct under any role skew,
+	// and OpReplPut keeps the copy from echoing back.
+	other := func(sa SlotAssign) int {
+		switch self {
+		case sa.Primary:
+			return sa.Pair
+		case sa.Pair:
+			return sa.Primary
+		}
+		return -1
+	}
+	need := make(map[string]bool)
+	for s := range t.Slots {
+		if o := other(t.Slots[s]); o >= 0 && t.Nodes[o].State == StateAlive {
+			need[t.Nodes[o].ID] = true
+		}
+	}
+	for id := range need {
+		// Stay degraded on error: forwards buffer, the router's next
+		// push (or explicit catch-up) retries.
+		_, _ = r.ensureSessionLocked(r.peers[id])
+	}
+	// Swap the routing view.
+	view := &slotView{peers: make([]*peerState, NumSlots), epoch: t.Epoch}
+	for s := range t.Slots {
+		if o := other(t.Slots[s]); o >= 0 {
+			view.peers[s] = r.peers[t.Nodes[o].ID]
+		}
+	}
+	r.view.Store(view)
+	r.gEpoch.Set(int64(t.Epoch))
+	return nil
+}
+
+// peerLocked finds or creates the peer record. Caller holds r.mu.
+func (r *Replicator) peerLocked(id, addr string) *peerState {
+	ps := r.peers[id]
+	if ps == nil {
+		ps = &peerState{id: id, addr: addr,
+			gDelta: r.cfg.Registry.Scope("peer", id).Gauge("cluster_repl_delta_pending")}
+		r.peers[id] = ps
+	}
+	ps.addr = addr
+	return ps
+}
+
+// Catchup dials the (now serving) peer if needed, replays its delta
+// buffer through the session, waits for the peer's acks, and enables
+// live forwarding — the rejoin drain the router triggers through the
+// node's /cluster/catchup endpoint. Returns the number of keys
+// replayed. Idempotent: a live peer with an empty buffer returns 0.
+func (r *Replicator) Catchup(peerID string) (int, error) {
+	r.mu.Lock()
+	ps := r.peers[peerID]
+	if ps == nil || r.closed {
+		r.mu.Unlock()
+		if ps == nil {
+			return 0, fmt.Errorf("cluster: unknown peer %q", peerID)
+		}
+		return 0, fmt.Errorf("cluster: replicator closed")
+	}
+	n, err := r.ensureSessionLocked(ps)
+	r.mu.Unlock()
+	return n, err
+}
+
+// ensureSessionLocked makes ps live: dial, then — under ps.mu, so no
+// Forward can interleave — enqueue the entire delta buffer into the
+// fresh session and publish it. Everything a live Forward sends after
+// the publish is ordered behind the drained delta on the wire. The
+// drained forwards are waited (and on failure re-buffered) by a
+// drainer goroutine so this never deadlocks the caller against the
+// window. Caller holds r.mu; returns the number of keys drained.
+func (r *Replicator) ensureSessionLocked(ps *peerState) (int, error) {
+	if sess := ps.live.Load(); sess != nil {
+		// Already live: nothing buffered by construction (buffering
+		// only happens while live is nil... except for degraded waits
+		// racing in; drain those too, through the live session).
+		return r.drainDeltaLocked(ps, sess), nil
+	}
+	conn, err := net.DialTimeout("tcp", ps.addr, r.cfg.DialTimeout)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: dial peer %s (%s): %w", ps.id, ps.addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r.sessMu.Lock()
+	sess := newPeerSession(r, ps, conn, len(r.sessions)+1)
+	r.sessions = append(r.sessions, sess)
+	r.sessMu.Unlock()
+	r.ctSessions.Inc()
+	n := r.drainDeltaLocked(ps, sess)
+	return n, nil
+}
+
+// drainDeltaLocked replays ps's delta through sess and publishes the
+// session as live. Caller holds r.mu (serializing drains); ps.mu is
+// taken only around buffer handoffs and the final publish, in chunks
+// no larger than half the window, so a delta bigger than the session
+// window cannot deadlock against its own backpressure and the wait
+// machinery (which re-buffers degraded puts under ps.mu) runs freely
+// between chunks. The final chunk is forwarded under ps.mu and the
+// live publish happens before the lock drops, so every concurrent
+// Forward that raced into the degraded path lands on the wire after
+// the whole drain.
+func (r *Replicator) drainDeltaLocked(ps *peerState, sess *peerSession) int {
+	chunk := r.cfg.Window / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	total := 0
+	toks := make([]uint64, 0, chunk)
+	for {
+		toks = toks[:0]
+		ps.mu.Lock()
+		final := len(ps.delta) <= chunk
+		for k, e := range ps.delta {
+			if len(toks) == chunk {
+				break
+			}
+			delete(ps.delta, k)
+			if tok, ok := sess.forward(k, e.val, e.stamp); ok {
+				toks = append(toks, tok)
+			} else {
+				// Session died mid-drain: put it back and give up; the
+				// router's next catch-up round dials a fresh session.
+				ps.bufferDeltaLocked(k, e.val, e.stamp)
+				ps.gDelta.Set(int64(len(ps.delta)))
+				ps.mu.Unlock()
+				return total
+			}
+		}
+		ps.gDelta.Set(int64(len(ps.delta)))
+		if final {
+			ps.live.Store(sess)
+		}
+		ps.mu.Unlock()
+		total += len(toks)
+		if len(toks) > 0 {
+			r.ctCatchup.Add(uint64(len(toks)))
+		}
+		// The drain is complete once the peer acked every replayed put;
+		// failures re-buffer (by stamp, so they never clobber newer
+		// live forwards' deltas) for the router's next round.
+		for _, tok := range toks {
+			sess.wait(uint32(tok))
+		}
+		if final {
+			return total
+		}
+	}
+}
+
+// redial heals a torn-down session to a peer the topology still calls
+// alive: retry the dial with capped backoff until the session is back
+// (delta drained first, same handover as a catch-up), the peer's lease
+// expires, or the replicator closes. At most one loop per peer runs.
+func (r *Replicator) redial(ps *peerState) {
+	if !ps.alive.Load() || !ps.redialing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		backoff := 2 * time.Millisecond
+		for done := false; !done; {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 200*time.Millisecond {
+				backoff = 200 * time.Millisecond
+			}
+			r.mu.Lock()
+			if r.closed || !ps.alive.Load() || ps.live.Load() != nil {
+				done = true
+			} else if _, err := r.ensureSessionLocked(ps); err == nil {
+				done = true
+			}
+			r.mu.Unlock()
+		}
+		ps.redialing.Store(false)
+		// A teardown racing our exit found redialing still set and
+		// lost its trigger to the CAS; re-check so the peer is never
+		// left live-less with no loop running.
+		if ps.alive.Load() && ps.live.Load() == nil {
+			r.redial(ps)
+		}
+	}()
+}
+
+// DeltaLen reports the pending delta size for a peer (0 if unknown) —
+// the router polls this signal via /cluster/catchup responses.
+func (r *Replicator) DeltaLen(peerID string) int {
+	r.mu.Lock()
+	ps := r.peers[peerID]
+	r.mu.Unlock()
+	if ps == nil {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.delta)
+}
+
+// Close tears down every session; in-flight Waits resolve degraded.
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	r.closed = true
+	sessions := append([]*peerSession(nil), r.sessions...)
+	r.mu.Unlock()
+	for _, s := range sessions {
+		s.teardown(fmt.Errorf("cluster: replicator closed"))
+	}
+}
+
+// ---------------------------------------------------------------------
+// peerSession: one pipelined forwarding connection.
+
+type fwdSlot struct {
+	key, val uint64
+	stamp    uint64
+	attempt  int32
+	t0       int64       // enqueue ns, for the lag histogram
+	inflight atomic.Bool // set at forward, cleared by exactly one resolver
+	done     chan byte   // cap 1, reused across occupancies
+}
+
+type peerSession struct {
+	r   *Replicator
+	ps  *peerState
+	idx int // 1-based index in r.sessions, encoded into tokens
+
+	conn  net.Conn
+	bw    *bufio.Writer
+	slots []fwdSlot
+	freeq chan uint32
+	sendq chan uint32
+	quit  chan struct{}
+	down  atomic.Bool
+	once  sync.Once
+}
+
+func newPeerSession(r *Replicator, ps *peerState, conn net.Conn, idx int) *peerSession {
+	w := r.cfg.Window
+	s := &peerSession{
+		r: r, ps: ps, idx: idx,
+		conn:  conn,
+		bw:    bufio.NewWriterSize(conn, 1<<15),
+		slots: make([]fwdSlot, w),
+		freeq: make(chan uint32, w),
+		sendq: make(chan uint32, w),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < w; i++ {
+		s.slots[i].done = make(chan byte, 1)
+		s.freeq <- uint32(i)
+	}
+	go s.sender()
+	go s.reader()
+	return s
+}
+
+// forward claims a slot (window backpressure), fills it, and enqueues
+// the frame. Reports false when the session is down — the caller then
+// buffers the put with the same stamp.
+func (s *peerSession) forward(key, val, stamp uint64) (uint64, bool) {
+	if s.down.Load() {
+		return 0, false
+	}
+	idx := <-s.freeq
+	if s.down.Load() {
+		s.freeq <- idx
+		return 0, false
+	}
+	sl := &s.slots[idx]
+	sl.key, sl.val, sl.stamp = key, val, stamp
+	sl.attempt = 0
+	sl.t0 = time.Now().UnixNano()
+	sl.inflight.Store(true)
+	select {
+	case s.sendq <- idx:
+		// The buffered enqueue can win this select even after teardown
+		// closed quit: if teardown's resolve sweep ran between the down
+		// check above and the inflight store, it skipped this slot and
+		// the sender is gone — nothing would ever resolve it. down is
+		// stored before the sweep, so (seq-cst atomics) either the
+		// sweep saw our inflight store, or we see down here and must
+		// resolve ourselves. resolve is exactly-once, a double no-ops.
+		if s.down.Load() {
+			s.resolve(idx, replDegraded)
+		}
+		return uint64(s.idx)<<32 | uint64(idx), true
+	case <-s.quit:
+		if sl.inflight.CompareAndSwap(true, false) {
+			s.freeq <- idx
+			return 0, false
+		}
+		// teardown resolved it first; hand the token out so the done
+		// value is consumed normally.
+		return uint64(s.idx)<<32 | uint64(idx), true
+	}
+}
+
+// wait blocks for the slot's resolution, settles the delta on
+// degradation, and recycles the slot. The return value is ack
+// eligibility, not transport success: a degraded forward is still
+// ackable iff the peer's lease has been revoked (RF=1 by design);
+// while the lease stands, degradation means the follower refused the
+// put (full) or the session died transiently — not ackable.
+func (s *peerSession) wait(tok uint32) bool {
+	sl := &s.slots[tok]
+	st := <-sl.done
+	if st == replAcked {
+		s.r.ctAcks.Inc()
+		s.freeq <- tok
+		return true
+	}
+	s.r.ctDegraded.Inc()
+	s.ps.mu.Lock()
+	s.ps.bufferDeltaLocked(sl.key, sl.val, sl.stamp)
+	s.ps.mu.Unlock()
+	s.freeq <- tok
+	return !s.ps.alive.Load()
+}
+
+// resolve completes a slot exactly once.
+func (s *peerSession) resolve(idx uint32, st byte) {
+	sl := &s.slots[idx]
+	if sl.inflight.CompareAndSwap(true, false) {
+		if st == replAcked {
+			s.r.hLag.Observe(uint64(time.Now().UnixNano() - sl.t0))
+		}
+		sl.done <- st
+	}
+}
+
+func (s *peerSession) sender() {
+	var f [kvserve.ReqSize]byte
+	for {
+		select {
+		case <-s.quit:
+			return
+		case idx := <-s.sendq:
+			sl := &s.slots[idx]
+			kvserve.EncodeReq(&f, kvserve.OpReplPut, idx, sl.key, sl.val)
+			if _, err := s.bw.Write(f[:]); err != nil {
+				s.teardown(err)
+				return
+			}
+			if len(s.sendq) == 0 {
+				if err := s.bw.Flush(); err != nil {
+					s.teardown(err)
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *peerSession) reader() {
+	br := bufio.NewReaderSize(s.conn, 1<<15)
+	var buf [kvserve.RespSize]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			s.teardown(err)
+			return
+		}
+		seq, status, _ := kvserve.DecodeResp(&buf)
+		if int(seq) >= len(s.slots) {
+			s.teardown(fmt.Errorf("cluster: replication ack seq %d outside window", seq))
+			return
+		}
+		sl := &s.slots[seq]
+		switch status {
+		case kvserve.StatusOK:
+			s.resolve(seq, replAcked)
+		case kvserve.StatusOverload, kvserve.StatusExpired:
+			// Retry with capped backoff for as long as the session
+			// lives. An overloaded follower is backpressure, not a
+			// failure: degrading here would ack the client at RF=1
+			// with the put parked in a delta buffer nothing drains
+			// while the peer stays alive. Teardown resolves the slot
+			// degraded if the session dies mid-backoff.
+			sl.attempt++
+			s.r.ctRetries.Inc()
+			idx := seq
+			backoff := replBackoff(int(sl.attempt) - 1)
+			time.AfterFunc(backoff, func() {
+				if s.down.Load() {
+					s.resolve(idx, replDegraded)
+					return
+				}
+				select {
+				case s.sendq <- idx:
+					// Same post-enqueue handshake as forward: the
+					// buffered send can succeed after teardown.
+					if s.down.Load() {
+						s.resolve(idx, replDegraded)
+					}
+				case <-s.quit:
+					s.resolve(idx, replDegraded)
+				}
+			})
+		default:
+			// Full / BadRequest / Shutdown: the follower cannot take
+			// this put now; degrade it into the delta buffer. While
+			// the follower's lease stands, wait() reports the put
+			// unackable, so the client sees backpressure rather than
+			// a silent RF=1 ack the delta would have to make good on.
+			s.resolve(seq, replDegraded)
+		}
+	}
+}
+
+// teardown poisons the session: unpublishes it from the peer, closes
+// the connection, and resolves every in-flight slot degraded so no
+// flusher stays blocked in Wait. A teardown while the peer is still
+// alive per the last topology is a transient failure — kick off the
+// redial loop so replication heals without waiting for an epoch bump.
+func (s *peerSession) teardown(err error) {
+	s.once.Do(func() {
+		s.down.Store(true)
+		s.ps.live.CompareAndSwap(s, nil)
+		close(s.quit)
+		s.conn.Close()
+		_ = err
+		for i := range s.slots {
+			s.resolve(uint32(i), replDegraded)
+		}
+		s.r.redial(s.ps)
+	})
+}
+
+// replBackoff mirrors lpload's jittered exponential overload backoff.
+// The shift saturates (retries are unbounded, so attempt grows without
+// limit): past attempt 6 the delay pins at the 10ms cap.
+func replBackoff(attempt int) time.Duration {
+	base := 10 * time.Millisecond
+	if attempt >= 0 && attempt < 6 {
+		base = 200 * time.Microsecond << uint(attempt)
+	}
+	return base/2 + time.Duration(rand.Int64N(int64(base)))
+}

@@ -1,0 +1,960 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazyp/internal/kvserve"
+	"lazyp/internal/obs"
+)
+
+// router.go is the cluster's head: a data-plane proxy speaking the
+// kvserve wire protocol on the client side and fanning requests out to
+// each key's slot primary, plus the control loop that owns the
+// topology epoch — heartbeats, lease-expiry failover, and rejoin
+// orchestration.
+//
+// The proxy is deliberately dumb about durability: it never acks
+// anything itself (except pings). A put's ack frame originates on the
+// slot primary after the cluster-wide ack rule is satisfied and passes
+// through untouched, so inserting the router changes where frames
+// travel, never what an ack means. Sequence numbers are client-chosen
+// and pass through too; when a backend dies, the proxy answers the
+// requests in flight to it with StatusOverload — the same "retry
+// later" clients already handle for mailbox pressure — and the
+// client's retry lands on the promoted primary once the lease flips
+// the slot table.
+//
+// The control loop is a lease: DefaultLeaseMiss consecutive missed
+// heartbeats declare a node dead, which (a) promotes its pair peers to
+// primary for its slots and (b) tells those peers — via the topology
+// push — to stop counting the dead node's acks and start charging its
+// delta buffers. A node that heartbeats again after death re-enters as
+// StateSyncing: the router drains every live peer's delta buffer into
+// it (POST /cluster/catchup), and only when every buffer reads empty
+// does the node return to StateAlive as a follower. Primaries never
+// fail back; a rejoined node earns primaries again only if its peer
+// dies later.
+
+// RouterConfig configures StartRouter. Membership is static: the ring
+// (and therefore every slot's pair) is fixed at start; liveness and
+// roles within pairs are what the control loop varies.
+type RouterConfig struct {
+	// Addr is the client-facing data listen address (kvserve wire
+	// protocol; port 0 picks a free port, read back from Router.Addr).
+	Addr string
+	// CtrlAddr is the router's HTTP address: /cluster/topology,
+	// /cluster/status, /healthz, /metrics.
+	CtrlAddr string
+	// Nodes is the static membership: ID, data Addr, control Ctrl base
+	// URL per node. State is ignored on input; Addr may be updated at
+	// rejoin from the node's own /healthz report.
+	Nodes []NodeInfo
+
+	// VNodes and LoadFactor shape the ring (defaults DefaultVNodes,
+	// DefaultLoadFactor).
+	VNodes     int
+	LoadFactor float64
+	// Heartbeat is the probe period (default DefaultHeartbeat);
+	// LeaseMiss consecutive failures expire a node's lease (default
+	// DefaultLeaseMiss).
+	Heartbeat time.Duration
+	LeaseMiss int
+	// DialTimeout bounds proxy dials to backends (default 1s).
+	DialTimeout time.Duration
+	// Registry receives the router's metrics (cluster_* series).
+	Registry *obs.Registry
+	// Logf, when non-nil, receives control-loop events (failovers,
+	// rejoins, pushes).
+	Logf func(format string, args ...any)
+}
+
+// Router is a running cluster head.
+//
+// Two topologies live here, and the gap between them is a correctness
+// fence. r.adj is the *adjudicated* topology — what the control loop
+// last decided (bumpLocked). r.topo is the *routed* topology — what
+// the proxy and /cluster/topology clients act on. An epoch moves from
+// adjudicated to routed only after every node it marks alive has
+// confirmed applying it (push ack or healthz epoch report). Routing
+// on an unconfirmed epoch loses acked puts: the proxy would send a
+// put to a freshly promoted primary whose replicator still holds the
+// old view, where that slot isn't its to replicate — Forward returns
+// "not mine", the node acks at RF=1, and no delta entry is ever
+// charged for the dead pair peer, so rejoin catch-up has nothing to
+// replay. Until the fence commits, clients ride the previous routed
+// epoch (requests to the dead primary bounce as Overload and retry),
+// which extends the failover blip by one push round-trip but never
+// un-promises an ack.
+type Router struct {
+	cfg   RouterConfig
+	pairs [][2]int
+	topo  atomic.Pointer[Topology]
+
+	ln   net.Listener
+	hsrv *http.Server
+	hcl  *http.Client
+
+	mu        sync.Mutex // control-loop state below
+	primary   []int      // per slot: current primary node index, -1 when pair fully dead
+	state     []string   // per node: StateAlive/StateDead/StateSyncing
+	miss      []int      // per node: consecutive missed heartbeats
+	addrs     []string   // per node: current data address
+	epoch     uint64
+	joining   []bool    // per node: rejoin goroutine in flight
+	adj       *Topology // adjudicated but possibly not yet routed
+	confirmed []uint64  // per node: highest epoch it confirmed applying
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	cmu   sync.Mutex // accepted proxy connections, closed by Close
+	conns map[net.Conn]struct{}
+
+	reg          *obs.Registry
+	ctRequests   *obs.Counter // cluster_router_requests_total
+	ctNoPrimary  *obs.Counter // cluster_router_noprimary_total
+	ctBackendRst *obs.Counter // cluster_router_backend_resets_total
+	ctFailovers  *obs.Counter // cluster_failovers_total
+	ctRejoins    *obs.Counter // cluster_rejoins_total
+	ctPushes     *obs.Counter // cluster_topology_pushes_total
+	gEpoch       *obs.Gauge   // cluster_epoch
+	gAlive       *obs.Gauge   // cluster_nodes_alive
+	gPrimary     []*obs.Gauge // cluster_slots_primary{node=...}
+	gFollower    []*obs.Gauge // cluster_slots_follower{node=...}
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.CtrlAddr == "" {
+		c.CtrlAddr = "127.0.0.1:0"
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.LoadFactor < 1 {
+		c.LoadFactor = DefaultLoadFactor
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = DefaultHeartbeat
+	}
+	if c.LeaseMiss <= 0 {
+		c.LeaseMiss = DefaultLeaseMiss
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// StartRouter builds the ring, pushes the initial topology to every
+// node (nodes unreachable within the grace window start dead and fail
+// over immediately), and starts the proxy and the control loop.
+func StartRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: StartRouter needs at least one node")
+	}
+	ids := make([]string, len(cfg.Nodes))
+	for i := range cfg.Nodes {
+		ids[i] = cfg.Nodes[i].ID
+	}
+	pairs, err := BuildPairs(ids, cfg.VNodes, cfg.LoadFactor)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Router{
+		cfg:       cfg,
+		pairs:     pairs,
+		hcl:       &http.Client{Timeout: 4 * cfg.Heartbeat},
+		primary:   make([]int, NumSlots),
+		state:     make([]string, len(cfg.Nodes)),
+		miss:      make([]int, len(cfg.Nodes)),
+		addrs:     make([]string, len(cfg.Nodes)),
+		joining:   make([]bool, len(cfg.Nodes)),
+		confirmed: make([]uint64, len(cfg.Nodes)),
+		quit:      make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		reg:       cfg.Registry,
+	}
+	root := cfg.Registry.Scope()
+	r.ctRequests = root.Counter("cluster_router_requests_total")
+	r.ctNoPrimary = root.Counter("cluster_router_noprimary_total")
+	r.ctBackendRst = root.Counter("cluster_router_backend_resets_total")
+	r.ctFailovers = root.Counter("cluster_failovers_total")
+	r.ctRejoins = root.Counter("cluster_rejoins_total")
+	r.ctPushes = root.Counter("cluster_topology_pushes_total")
+	r.gEpoch = root.Gauge("cluster_epoch")
+	r.gAlive = root.Gauge("cluster_nodes_alive")
+	for i := range cfg.Nodes {
+		sc := cfg.Registry.Scope("node", cfg.Nodes[i].ID)
+		r.gPrimary = append(r.gPrimary, sc.Gauge("cluster_slots_primary"))
+		r.gFollower = append(r.gFollower, sc.Gauge("cluster_slots_follower"))
+	}
+	for s := range r.primary {
+		r.primary[s] = pairs[s][0]
+	}
+	for i := range r.state {
+		r.state[i] = StateAlive
+		r.addrs[i] = cfg.Nodes[i].Addr
+	}
+
+	// Initial push: every node must hold epoch 1 before the proxy
+	// serves, or a put acked pre-topology would be invisible to the
+	// ack rule (local-only, no delta charge). Nodes that stay
+	// unreachable through the grace window start dead instead.
+	r.mu.Lock()
+	r.bumpLocked()
+	t := r.adj
+	r.mu.Unlock()
+	deadline := time.Now().Add(time.Duration(cfg.LeaseMiss) * cfg.Heartbeat * 4)
+	pending := make(map[int]bool, len(cfg.Nodes))
+	for i := range cfg.Nodes {
+		pending[i] = true
+	}
+	for len(pending) > 0 && time.Now().Before(deadline) {
+		for i := range pending {
+			if r.pushTo(i, t) == nil {
+				r.mu.Lock()
+				r.confirmLocked(i, t.Epoch)
+				r.mu.Unlock()
+				delete(pending, i)
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(cfg.Heartbeat)
+		}
+	}
+	if len(pending) > 0 {
+		r.mu.Lock()
+		for i := range pending {
+			cfg.Logf("cluster: node %s unreachable at start, beginning dead", cfg.Nodes[i].ID)
+			r.failoverLocked(i)
+		}
+		r.mu.Unlock()
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: router listen %s: %w", cfg.Addr, err)
+	}
+	r.ln = ln
+	hln, err := net.Listen("tcp", cfg.CtrlAddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("cluster: router control listen %s: %w", cfg.CtrlAddr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/topology", http.HandlerFunc(r.handleTopology))
+	mux.Handle("/cluster/status", http.HandlerFunc(r.handleStatus))
+	mux.Handle("/healthz", http.HandlerFunc(r.handleHealthz))
+	mux.Handle("/metrics", obs.MetricsHandler(cfg.Registry))
+	r.hsrv = &http.Server{Handler: mux}
+	go r.hsrv.Serve(hln)
+	r.hsrv.Addr = hln.Addr().String()
+
+	r.wg.Add(2)
+	go r.acceptLoop()
+	go r.controlLoop()
+	return r, nil
+}
+
+// Addr is the bound data-plane address clients dial.
+func (r *Router) Addr() string { return r.ln.Addr().String() }
+
+// CtrlAddr is the bound control-plane HTTP address.
+func (r *Router) CtrlAddr() string { return r.hsrv.Addr }
+
+// Topology returns the routed topology, falling back to the latest
+// adjudicated epoch before any epoch has cleared the routing fence.
+// (The /cluster/topology endpoint never serves the fallback: clients
+// may only route on confirmed epochs.)
+func (r *Router) Topology() *Topology {
+	if t := r.topo.Load(); t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.adj
+}
+
+// Metrics exposes the router's registry.
+func (r *Router) Metrics() *obs.Registry { return r.reg }
+
+// Close stops the proxy and the control loop. Accepted client
+// connections are closed too — an idle client must not be able to
+// wedge Close in wg.Wait behind a blocked serveClient read.
+func (r *Router) Close() error {
+	close(r.quit)
+	r.ln.Close()
+	err := r.hsrv.Close()
+	r.cmu.Lock()
+	for c := range r.conns {
+		c.Close()
+	}
+	r.conns = nil
+	r.cmu.Unlock()
+	r.wg.Wait()
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Topology derivation. r.mu held for all *Locked methods.
+
+// bumpLocked rebuilds the published Topology from (pairs, primary,
+// state, addrs) at a fresh epoch and updates the ownership gauges.
+func (r *Router) bumpLocked() {
+	r.epoch++
+	t := &Topology{
+		Epoch: r.epoch,
+		Nodes: make([]NodeInfo, len(r.cfg.Nodes)),
+		Slots: make([]SlotAssign, NumSlots),
+	}
+	alive := 0
+	for i := range t.Nodes {
+		t.Nodes[i] = r.cfg.Nodes[i]
+		t.Nodes[i].Addr = r.addrs[i]
+		t.Nodes[i].State = r.state[i]
+		if r.state[i] == StateAlive {
+			alive++
+		}
+	}
+	nPrim := make([]int, len(t.Nodes))
+	nFoll := make([]int, len(t.Nodes))
+	for s := 0; s < NumSlots; s++ {
+		p := r.primary[s]
+		pair := -1
+		if p >= 0 {
+			if other := r.otherMember(s, p); other >= 0 {
+				pair = other
+			}
+			nPrim[p]++
+		}
+		foll := -1
+		if pair >= 0 && r.state[pair] == StateAlive {
+			foll = pair
+			nFoll[foll]++
+		}
+		t.Slots[s] = SlotAssign{Primary: p, Follower: foll, Pair: pair}
+	}
+	r.adj = t
+	r.maybePublishLocked()
+	r.gEpoch.Set(int64(r.epoch))
+	r.gAlive.Set(int64(alive))
+	for i := range t.Nodes {
+		r.gPrimary[i].Set(int64(nPrim[i]))
+		r.gFollower[i].Set(int64(nFoll[i]))
+	}
+}
+
+// maybePublishLocked routes the adjudicated epoch once every node it
+// marks alive has confirmed applying it — the fence described on
+// Router. Publishing early would route puts to primaries that do not
+// yet know they are primaries, which acks without charging a delta.
+func (r *Router) maybePublishLocked() {
+	t := r.adj
+	if t == nil {
+		return
+	}
+	if cur := r.topo.Load(); cur != nil && cur.Epoch >= t.Epoch {
+		return
+	}
+	for i := range t.Nodes {
+		if t.Nodes[i].State == StateAlive && r.confirmed[i] < t.Epoch {
+			return
+		}
+	}
+	r.topo.Store(t)
+	r.cfg.Logf("cluster: epoch %d confirmed by all live nodes, routing live", t.Epoch)
+}
+
+// confirmLocked records that node i holds epoch (from a push ack or a
+// healthz report) and publishes the adjudicated topology if this was
+// the last confirmation it was waiting on.
+func (r *Router) confirmLocked(i int, epoch uint64) {
+	if epoch > r.confirmed[i] {
+		r.confirmed[i] = epoch
+		r.maybePublishLocked()
+	}
+}
+
+// confirmPush pushes t to node i and records the confirmation on
+// success. Failures are dropped: the heartbeat loop re-pushes any
+// node whose reported epoch lags, and the node's healthz epoch report
+// confirms applies whose HTTP ack was lost to a timeout.
+func (r *Router) confirmPush(i int, t *Topology) {
+	if r.pushTo(i, t) != nil {
+		return
+	}
+	r.mu.Lock()
+	r.confirmLocked(i, t.Epoch)
+	r.mu.Unlock()
+}
+
+// otherMember returns the pair member of slot s that is not node, -1
+// if the pair has no second member.
+func (r *Router) otherMember(s, node int) int {
+	if r.pairs[s][0] == node {
+		return r.pairs[s][1]
+	}
+	return r.pairs[s][0]
+}
+
+// failoverLocked declares node i dead and promotes its pair peers.
+func (r *Router) failoverLocked(i int) {
+	r.state[i] = StateDead
+	promoted, orphaned := 0, 0
+	for s := 0; s < NumSlots; s++ {
+		if r.primary[s] != i {
+			continue
+		}
+		other := r.otherMember(s, i)
+		if other >= 0 && r.state[other] == StateAlive {
+			r.primary[s] = other
+			promoted++
+		} else {
+			r.primary[s] = -1
+			orphaned++
+		}
+	}
+	r.ctFailovers.Inc()
+	r.bumpLocked()
+	r.cfg.Logf("cluster: FAILOVER node=%s epoch=%d promoted=%d orphaned=%d",
+		r.cfg.Nodes[i].ID, r.epoch, promoted, orphaned)
+	r.pushAllLocked()
+}
+
+// adoptLocked moves a heartbeating-again dead node to syncing and
+// kicks off the catch-up drain.
+func (r *Router) adoptLocked(i int, h Health) {
+	r.state[i] = StateSyncing
+	r.miss[i] = 0
+	if h.Addr != "" {
+		r.addrs[i] = h.Addr
+	}
+	r.bumpLocked()
+	r.cfg.Logf("cluster: REJOIN node=%s epoch=%d addr=%s (syncing)", r.cfg.Nodes[i].ID, r.epoch, r.addrs[i])
+	r.pushAllLocked()
+	if !r.joining[i] {
+		r.joining[i] = true
+		r.wg.Add(1)
+		go r.rejoin(i)
+	}
+}
+
+// pushAllLocked fans the adjudicated topology out to every reachable
+// node; each successful push feeds the routing fence.
+func (r *Router) pushAllLocked() {
+	t := r.adj
+	for i := range r.cfg.Nodes {
+		if r.state[i] == StateDead {
+			continue
+		}
+		go r.confirmPush(i, t)
+	}
+}
+
+// pushTo POSTs t to node i's control endpoint.
+func (r *Router) pushTo(i int, t *Topology) error {
+	body, _ := json.Marshal(t)
+	resp, err := r.hcl.Post(r.cfg.Nodes[i].Ctrl+"/cluster/topology", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: push to %s: HTTP %d", r.cfg.Nodes[i].ID, resp.StatusCode)
+	}
+	r.ctPushes.Inc()
+	return nil
+}
+
+// rejoin drains every live peer's delta buffer for node i, then
+// reinstates i as a follower (and primary of any orphaned slots it is
+// a member of). Runs until the drain converges or i dies again.
+func (r *Router) rejoin(i int) {
+	defer r.wg.Done()
+	id := r.cfg.Nodes[i].ID
+	tick := time.NewTicker(r.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.quit:
+			r.mu.Lock()
+			r.joining[i] = false
+			r.mu.Unlock()
+			return
+		case <-tick.C:
+		}
+		r.mu.Lock()
+		if r.state[i] != StateSyncing {
+			r.joining[i] = false
+			r.mu.Unlock()
+			return
+		}
+		peers := make([]int, 0, len(r.cfg.Nodes))
+		for j := range r.cfg.Nodes {
+			if j != i && r.state[j] == StateAlive {
+				peers = append(peers, j)
+			}
+		}
+		r.mu.Unlock()
+
+		remaining := 0
+		failed := false
+		for _, j := range peers {
+			rem, err := r.catchupOn(j, id)
+			if err != nil {
+				failed = true
+				continue
+			}
+			remaining += rem
+		}
+		if failed || remaining > 0 {
+			continue
+		}
+
+		r.mu.Lock()
+		if r.state[i] == StateSyncing {
+			r.state[i] = StateAlive
+			reclaimed := 0
+			for s := 0; s < NumSlots; s++ {
+				if r.primary[s] == -1 && (r.pairs[s][0] == i || r.pairs[s][1] == i) {
+					r.primary[s] = i
+					reclaimed++
+				}
+			}
+			r.ctRejoins.Inc()
+			r.bumpLocked()
+			r.cfg.Logf("cluster: REJOINED node=%s epoch=%d reclaimed=%d (follower)", id, r.epoch, reclaimed)
+			r.pushAllLocked()
+		}
+		r.joining[i] = false
+		r.mu.Unlock()
+		return
+	}
+}
+
+// catchupOn asks node j to drain its delta buffer for peer id;
+// returns the remaining (re-buffered) count.
+func (r *Router) catchupOn(j int, id string) (int, error) {
+	resp, err := r.hcl.Post(r.cfg.Nodes[j].Ctrl+"/cluster/catchup?peer="+id, "", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { io.Copy(io.Discard, resp.Body); resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("cluster: catchup on %s: HTTP %d", r.cfg.Nodes[j].ID, resp.StatusCode)
+	}
+	var out struct {
+		Replayed  int `json:"replayed"`
+		Remaining int `json:"remaining"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Remaining, nil
+}
+
+// ---------------------------------------------------------------------
+// Control loop: heartbeats and lease expiry.
+
+func (r *Router) controlLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-tick.C:
+			r.probeAll()
+		}
+	}
+}
+
+func (r *Router) probeAll() {
+	type probe struct {
+		ok bool
+		h  Health
+	}
+	results := make([]probe, len(r.cfg.Nodes))
+	var wg sync.WaitGroup
+	for i := range r.cfg.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := r.hcl.Get(r.cfg.Nodes[i].Ctrl + "/healthz")
+			if err != nil {
+				return
+			}
+			defer func() { io.Copy(io.Discard, resp.Body); resp.Body.Close() }()
+			var h Health
+			if json.NewDecoder(resp.Body).Decode(&h) != nil {
+				return
+			}
+			results[i] = probe{ok: resp.StatusCode == http.StatusOK && h.Status == "serving", h: h}
+		}(i)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.epoch
+	for i := range results {
+		switch {
+		case results[i].ok:
+			switch r.state[i] {
+			case StateDead:
+				r.adoptLocked(i, results[i].h)
+			default:
+				r.miss[i] = 0
+				r.confirmLocked(i, results[i].h.Epoch)
+				if results[i].h.Epoch < cur {
+					go r.confirmPush(i, r.adj)
+				}
+			}
+		default:
+			switch r.state[i] {
+			case StateAlive:
+				r.miss[i]++
+				if r.miss[i] >= r.cfg.LeaseMiss {
+					r.failoverLocked(i)
+				}
+			case StateSyncing:
+				r.miss[i]++
+				if r.miss[i] >= r.cfg.LeaseMiss {
+					r.state[i] = StateDead
+					r.bumpLocked()
+					r.cfg.Logf("cluster: node %s died again while syncing (epoch %d)", r.cfg.Nodes[i].ID, r.epoch)
+					r.pushAllLocked()
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Data-plane proxy.
+
+func (r *Router) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		r.cmu.Lock()
+		if r.conns == nil {
+			c.Close()
+			r.cmu.Unlock()
+			return
+		}
+		r.conns[c] = struct{}{}
+		r.cmu.Unlock()
+		r.wg.Add(1)
+		go r.serveClient(c)
+	}
+}
+
+// backend is one proxy→node connection, owned by one client conn.
+type backend struct {
+	addr  string
+	conn  net.Conn
+	sendq chan [kvserve.ReqSize]byte
+
+	mu      sync.Mutex
+	pending map[uint32]bool
+	dead    bool
+
+	respCh chan<- [kvserve.RespSize]byte
+	ct     *obs.Counter // backend reset counter
+	wg     *sync.WaitGroup
+}
+
+// send registers seq as pending and enqueues the frame. Reports false
+// when the backend already died (caller answers Overload itself).
+func (b *backend) send(seq uint32, f [kvserve.ReqSize]byte) bool {
+	b.mu.Lock()
+	if b.dead {
+		b.mu.Unlock()
+		return false
+	}
+	b.pending[seq] = true
+	b.mu.Unlock()
+	b.sendq <- f
+	return true
+}
+
+// die flushes every pending request back to the client as Overload —
+// the client retries, and by then the slot table has moved on.
+func (b *backend) die() {
+	b.mu.Lock()
+	if b.dead {
+		b.mu.Unlock()
+		return
+	}
+	b.dead = true
+	pend := make([]uint32, 0, len(b.pending))
+	for seq := range b.pending {
+		pend = append(pend, seq)
+	}
+	b.pending = nil
+	b.mu.Unlock()
+	b.conn.Close()
+	b.ct.Inc()
+	var f [kvserve.RespSize]byte
+	for _, seq := range pend {
+		kvserve.EncodeResp(&f, seq, kvserve.StatusOverload, 0)
+		b.respCh <- f
+	}
+}
+
+func (b *backend) sender() {
+	defer b.wg.Done()
+	bw := bufio.NewWriterSize(b.conn, 1<<15)
+	for f := range b.sendq {
+		if _, err := bw.Write(f[:]); err != nil {
+			b.die()
+			// Drain so send never blocks post-death.
+			for range b.sendq {
+			}
+			return
+		}
+		if len(b.sendq) == 0 {
+			if err := bw.Flush(); err != nil {
+				b.die()
+				for range b.sendq {
+				}
+				return
+			}
+		}
+	}
+}
+
+func (b *backend) reader() {
+	defer b.wg.Done()
+	br := bufio.NewReaderSize(b.conn, 1<<15)
+	var f [kvserve.RespSize]byte
+	for {
+		if _, err := io.ReadFull(br, f[:]); err != nil {
+			b.die()
+			return
+		}
+		seq, _, _ := kvserve.DecodeResp(&f)
+		b.mu.Lock()
+		if b.dead {
+			b.mu.Unlock()
+			return
+		}
+		known := b.pending[seq]
+		delete(b.pending, seq)
+		b.mu.Unlock()
+		if known {
+			b.respCh <- f
+		}
+	}
+}
+
+// serveClient proxies one client connection: a reader routing request
+// frames to per-node backends and a writer pumping response frames
+// (from whichever backend answers first, order-free) back.
+func (r *Router) serveClient(c net.Conn) {
+	defer r.wg.Done()
+	defer func() {
+		c.Close()
+		r.cmu.Lock()
+		if r.conns != nil {
+			delete(r.conns, c)
+		}
+		r.cmu.Unlock()
+	}()
+
+	respCh := make(chan [kvserve.RespSize]byte, 4096)
+	var bwg sync.WaitGroup // backend sender/reader goroutines
+
+	// Writer: pump respCh to the client; on client death keep draining
+	// so backends never block.
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		bw := bufio.NewWriterSize(c, 1<<15)
+		broken := false
+		for f := range respCh {
+			if broken {
+				continue
+			}
+			if _, err := bw.Write(f[:]); err != nil {
+				broken = true
+				continue
+			}
+			if len(respCh) == 0 {
+				if err := bw.Flush(); err != nil {
+					broken = true
+				}
+			}
+		}
+	}()
+
+	backends := make(map[string]*backend)
+	getBackend := func(addr string) *backend {
+		if b := backends[addr]; b != nil {
+			b.mu.Lock()
+			dead := b.dead
+			b.mu.Unlock()
+			if !dead {
+				return b
+			}
+			close(b.sendq)
+			delete(backends, addr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+		if err != nil {
+			return nil
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		b := &backend{
+			addr: addr, conn: conn,
+			sendq:   make(chan [kvserve.ReqSize]byte, 1024),
+			pending: make(map[uint32]bool),
+			respCh:  respCh,
+			ct:      r.ctBackendRst,
+			wg:      &bwg,
+		}
+		bwg.Add(2)
+		go b.sender()
+		go b.reader()
+		backends[addr] = b
+		return b
+	}
+
+	var req [kvserve.ReqSize]byte
+	var rsp [kvserve.RespSize]byte
+	answer := func(seq uint32, status byte, val uint64) bool {
+		kvserve.EncodeResp(&rsp, seq, status, val)
+		respCh <- rsp
+		return true
+	}
+	for {
+		if _, err := io.ReadFull(c, req[:]); err != nil {
+			break
+		}
+		op, seq, key, _ := kvserve.DecodeReq(&req)
+		r.ctRequests.Inc()
+		t := r.topo.Load()
+		if t == nil {
+			// No epoch has cleared the routing fence yet.
+			answer(seq, kvserve.StatusOverload, 0)
+			continue
+		}
+		if op == kvserve.OpPing {
+			// Answered locally — readiness means "the router can route
+			// somewhere", not that a specific backend is up.
+			st := kvserve.StatusOverload
+			for i := range t.Nodes {
+				if t.Nodes[i].State == StateAlive {
+					st = kvserve.StatusOK
+					break
+				}
+			}
+			answer(seq, st, 0)
+			continue
+		}
+		sa := t.Slots[SlotOf(key)]
+		if sa.Primary < 0 {
+			r.ctNoPrimary.Inc()
+			answer(seq, kvserve.StatusOverload, 0)
+			continue
+		}
+		b := getBackend(t.Nodes[sa.Primary].Addr)
+		if b == nil || !b.send(seq, req) {
+			r.ctNoPrimary.Inc()
+			answer(seq, kvserve.StatusOverload, 0)
+			continue
+		}
+	}
+
+	for _, b := range backends {
+		b.die()
+		close(b.sendq)
+	}
+	bwg.Wait()
+	close(respCh)
+	wwg.Wait()
+}
+
+// ---------------------------------------------------------------------
+// Router control HTTP.
+
+// handleTopology serves the current topology — the smart-client
+// (lpload -topo) bootstrap and refresh endpoint.
+func (r *Router) handleTopology(w http.ResponseWriter, req *http.Request) {
+	t := r.topo.Load()
+	if t == nil {
+		http.Error(w, "no routed topology yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(t)
+}
+
+// handleStatus serves a compact per-node view for humans and smoke
+// scripts.
+func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	type row struct {
+		ID      string `json:"id"`
+		Addr    string `json:"addr"`
+		State   string `json:"state"`
+		Miss    int    `json:"miss"`
+		Primary int    `json:"primary_slots"`
+	}
+	nPrim := make([]int, len(r.cfg.Nodes))
+	for s := range r.primary {
+		if p := r.primary[s]; p >= 0 {
+			nPrim[p]++
+		}
+	}
+	out := struct {
+		Epoch uint64 `json:"epoch"`
+		Nodes []row  `json:"nodes"`
+	}{Epoch: r.epoch}
+	for i := range r.cfg.Nodes {
+		out.Nodes = append(out.Nodes, row{
+			ID: r.cfg.Nodes[i].ID, Addr: r.addrs[i],
+			State: r.state[i], Miss: r.miss[i], Primary: nPrim[i],
+		})
+	}
+	r.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	fmt.Fprintln(w, `{"status":"serving","role":"router"}`)
+}

@@ -231,6 +231,13 @@ func Experiments() []Experiment {
 			Run:    expServe,
 			Native: true,
 		},
+		{
+			ID:     "cluster",
+			Title:  "E16 (beyond paper): 3-node LP-replicated cluster vs single node, failover blip + rejoin",
+			Paper:  "n/a (extension): LP-acked replication adds a network hop, not an fsync; failover blips, never drops acks",
+			Run:    expCluster,
+			Native: true,
+		},
 	}
 }
 

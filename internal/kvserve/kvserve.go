@@ -127,6 +127,42 @@ type Config struct {
 	// TraceCap sizes the private tracer when Tracer is nil (default
 	// 4096 events ≈ 160 KiB).
 	TraceCap int
+
+	// Repl, when non-nil, is the cluster replication hook (LP only):
+	// the shard owner calls Forward for every journaled put, and the
+	// commit flusher calls Wait after the batch's local write set is
+	// durable — so a put is acked to the client only once both the
+	// local group commit and the follower's own group commit have
+	// completed. See internal/cluster.Replicator.
+	Repl Replicator
+}
+
+// Replicator is the primary→follower replication hook a clustered
+// server calls on its LP put path. Implementations (internal/cluster)
+// consistent-hash the key to its follower peer and forward the put
+// over a pipelined connection.
+//
+// Forward is called by the shard owner goroutine right after the put
+// is journaled locally; it must not block beyond replication-window
+// backpressure. It returns an opaque token, or 0 when the put needs no
+// forward (this node is not the key's primary, the key's slot has no
+// live follower — the put is then buffered for delta catch-up — or
+// replication is not configured for the key).
+//
+// Wait is called on the commit completion path after the local write
+// set (and fsync, if priced) completed, once per nonzero token, in
+// seal order. It blocks until the forward resolved and reports
+// whether the put may be acked to the client: true when the follower
+// acked its own group commit, or when the forward degraded after the
+// cluster revoked the follower's lease (the designed RF=1 fallback —
+// the put is buffered for rejoin catch-up). False when the forward
+// failed while the follower is still considered alive (follower
+// full, transient connection loss): the server then answers the
+// client with backpressure instead of an ack, because an ack would
+// silently drop to RF=1 with no catch-up adjudicated.
+type Replicator interface {
+	Forward(key, val uint64) uint64
+	Wait(tok uint64) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +220,9 @@ func (c Config) validate() error {
 	}
 	if c.PipelineDepth < 1 {
 		return fmt.Errorf("kvserve: PipelineDepth must be positive, got %d", c.PipelineDepth)
+	}
+	if c.Repl != nil && c.Mode != lpstore.ModeLP {
+		return fmt.Errorf("kvserve: replication requires ModeLP (the follower-ack rule is the LP group commit), got %v", c.Mode)
 	}
 	switch c.Mode {
 	case lpstore.ModeBase, lpstore.ModeLP, lpstore.ModeEP, lpstore.ModeWAL:

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,7 +34,27 @@ type LoadOpts struct {
 	Seed    uint64
 
 	InsertOnly bool
-	MaxRetries int // retries per op on StatusOverload (default 8)
+	MaxRetries int // retries per op on StatusOverload or a dead connection (default 8)
+
+	// Route, when non-nil, switches workers into smart-client mode:
+	// each op is routed to Route(key) — one pipelined connection per
+	// distinct target per worker — falling back to the RunLoad addr
+	// argument when Route returns "". Retries re-route, so an op whose
+	// first target died lands on the promoted primary once the routing
+	// table catches up.
+	Route func(key uint64) string
+	// Refresh, when non-nil, is called after a connection failure and
+	// before the failed ops reissue — the hook smart clients use to
+	// re-fetch the routing table. Called from worker goroutines; it
+	// must be safe for concurrent use.
+	Refresh func()
+	// Reconnect makes workers survive connection failures instead of
+	// aborting the run: ops in flight on a failed connection requeue
+	// (bounded by MaxRetries each, counted in Retries) and the target
+	// is redialed with jittered backoff on next use. Without it any
+	// send/receive/dial error fails the worker — the old, single-node
+	// semantics the non-cluster tests rely on.
+	Reconnect bool
 
 	// Interval, when positive, emits a windowed progress line to
 	// Progress every Interval: ops completed, window throughput, and
@@ -47,6 +68,17 @@ type LoadOpts struct {
 	// goroutines. The crash test records sent and acked puts here.
 	OnSend func(conn int, key, val uint64)
 	OnAck  func(conn int, key, val uint64)
+}
+
+// TargetStat is the per-backend slice of a LoadReport, keyed by the
+// address ops were sent to — in smart-client mode one entry per
+// cluster node the run touched, otherwise a single entry.
+type TargetStat struct {
+	Addr      string `json:"addr"`
+	Ops       uint64 `json:"ops"`        // completed ops whose final response came from here
+	AckedPuts uint64 `json:"acked_puts"` //
+	Dials     uint64 `json:"dials"`      // connections opened (first + re-dials)
+	Resets    uint64 `json:"resets"`     // connections that died mid-use
 }
 
 // LoadReport is RunLoad's result. Latencies are measured per op from
@@ -66,16 +98,21 @@ type LoadReport struct {
 	Retries    uint64  `json:"retries"`
 	Expired    uint64  `json:"expired"`
 	Full       uint64  `json:"full"`
-	Errors     uint64  `json:"errors"` // connection-level failures
+	Errors     uint64  `json:"errors"` // ops abandoned to connection-level failures
 	Throughput float64 `json:"throughput_ops_s"`
 	P50us      float64 `json:"p50_us"`
 	P90us      float64 `json:"p90_us"`
 	P99us      float64 `json:"p99_us"`
 	MaxUs      float64 `json:"max_us"`
 
-	// Partial is set when a connection failed mid-run (dial error with
-	// surviving peers, a send/receive error, or the server going away):
-	// the counts and latencies above cover only the ops that completed.
+	// Targets breaks the run down per backend address, sorted by
+	// address. ConnResets totals their Resets — nonzero under failover.
+	Targets    []TargetStat `json:"targets,omitempty"`
+	ConnResets uint64       `json:"conn_resets,omitempty"`
+
+	// Partial is set when a worker gave up (a connection failure
+	// without Reconnect, or a dial error with surviving peers): the
+	// counts and latencies above cover only the ops that completed.
 	Partial bool `json:"partial,omitempty"`
 }
 
@@ -118,9 +155,31 @@ func insertKey(o LoadOpts, conn, i int) (key, val uint64) {
 	return key, workloads.KVInitVal(o.Seed^0x9e3779b97f4a7c15, key)
 }
 
+// tgtCounters aggregates one backend address across all workers.
+type tgtCounters struct {
+	ops, acked, dials, resets atomic.Uint64
+}
+
+type tgtBook struct {
+	mu sync.Mutex
+	m  map[string]*tgtCounters
+}
+
+func (b *tgtBook) get(addr string) *tgtCounters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.m[addr]
+	if c == nil {
+		c = &tgtCounters{}
+		b.m[addr] = c
+	}
+	return c
+}
+
 // RunLoad drives an open-window load against addr: Conns pipelined
 // connections, each keeping Window ops in flight, retrying overloads
-// with jittered exponential backoff. It returns the merged report.
+// (and, under Reconnect, dead connections) with jittered exponential
+// backoff. It returns the merged report.
 func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 	o = o.withDefaults()
 	mix, ok := workloads.KVMixByName(o.Mix)
@@ -131,12 +190,13 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 	var (
 		ops, acked, gets, notFound  atomic.Uint64
 		overloads, retries, expired atomic.Uint64
-		full, errs                  atomic.Uint64
+		full, errs, resets          atomic.Uint64
 		hist                        obs.Histogram // op latency, ns
 		connDown                    atomic.Bool
 		wg                          sync.WaitGroup
 		dialErr                     atomic.Pointer[error]
 	)
+	book := &tgtBook{m: make(map[string]*tgtCounters)}
 
 	start := time.Now()
 	var end time.Time
@@ -172,217 +232,30 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 	// Each connection is a slot machine, not a goroutine-per-op fan-out:
 	// the sequence number IS the slot index, so an in-flight op costs a
 	// slot in a fixed array instead of a goroutine, a channel, and a map
-	// entry. One issuer goroutine writes request frames through a
-	// bufio.Writer — flushing only when the window fills or it is about
-	// to block, so a full window leaves in one or two syscalls — and one
-	// reader goroutine decodes responses straight back into the slots.
-	// This matters for what lpload claims to measure: the old engine's
-	// per-op allocations and one-write-per-request syscalls made the
-	// client the bottleneck before the server was.
+	// entry. The worker's main loop is the sole owner of the slots; per-
+	// target reader goroutines push (seq, status) events into one merged
+	// channel and never touch slot state, so a late response from a
+	// connection that already died is recognized (its generation stamp
+	// mismatches) and dropped instead of corrupting a reissued op.
+	// Request frames leave through per-target bufio.Writers flushed only
+	// when the window fills or the worker is about to block, so a full
+	// window leaves in one or two syscalls.
 	for w := 0; w < o.Conns; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c, err := net.Dial("tcp", addr)
-			if err != nil {
-				dialErr.CompareAndSwap(nil, &err)
+			lw := &loadWorker{
+				o: o, w: w, base: addr, book: book,
+				end: end, mix: mix,
+				hist: &hist, ops: &ops, acked: &acked, gets: &gets,
+				notFound: &notFound, overloads: &overloads, retries: &retries,
+				expired: &expired, full: &full, errs: &errs, resets: &resets,
+			}
+			if !lw.run() {
 				connDown.Store(true)
-				return
 			}
-			defer c.Close()
-			var gen *workloads.KVGen
-			if !o.InsertOnly {
-				gen = workloads.NewKVGen(o.Seed, w%o.Streams, o.Keys, mix, o.Dist)
-			}
-
-			type lgSlot struct {
-				op        byte
-				key, val  uint64
-				t0        time.Time
-				attempt   int
-				notBefore time.Time
-				retry     bool
-				// ready makes the issuer→reader ownership handoff a
-				// happens-before edge: the issuer bumps it (release)
-				// after filling the slot, the reader loads it (acquire)
-				// before reading. The reverse handoff rides backCh. The
-				// TCP round trip orders the two in real time but is
-				// invisible to the race detector.
-				ready atomic.Uint32
-			}
-			slots := make([]lgSlot, o.Window)
-			// backCh returns slot ownership reader → issuer: either the
-			// op completed (slot free for fresh work) or it drew an
-			// overload and wants reissuing after its backoff deadline.
-			backCh := make(chan int, o.Window)
-			readerErr := make(chan error, 1)
-
-			go func() {
-				br := bufio.NewReaderSize(c, 1<<15)
-				var rbuf [respSize]byte
-				for {
-					if _, err := io.ReadFull(br, rbuf[:]); err != nil {
-						readerErr <- err
-						return
-					}
-					seq, status, _ := decodeResp(&rbuf)
-					if int(seq) >= o.Window {
-						readerErr <- fmt.Errorf("kvserve: response seq %d outside window", seq)
-						return
-					}
-					sl := &slots[seq]
-					sl.ready.Load() // acquire the issuer's slot writes
-					if status == StatusOverload {
-						overloads.Add(1)
-						if sl.attempt < o.MaxRetries {
-							retries.Add(1)
-							sl.attempt++
-							sl.notBefore = time.Now().Add(backoffDur(sl.attempt - 1))
-							sl.retry = true
-							backCh <- int(seq)
-							continue
-						}
-					}
-					ops.Add(1)
-					hist.Observe(uint64(time.Since(sl.t0).Nanoseconds()))
-					switch {
-					case sl.op == opGet:
-						gets.Add(1)
-						if status == StatusNotFound {
-							notFound.Add(1)
-						}
-					case status == StatusOK:
-						acked.Add(1)
-						if o.OnAck != nil {
-							o.OnAck(w, sl.key, sl.val)
-						}
-					case status == StatusExpired:
-						expired.Add(1)
-					case status == StatusFull:
-						full.Add(1)
-					}
-					sl.attempt = 0
-					sl.retry = false
-					backCh <- int(seq)
-				}
-			}()
-
-			bw := bufio.NewWriterSize(c, 1<<15)
-			avail := make([]int, o.Window)
-			for i := range avail {
-				avail[i] = i
-			}
-			retryQ := make([]int, 0, o.Window)
-			outstanding, issued := 0, 0
-			failed := false
-
-			writeSlot := func(id int) bool {
-				sl := &slots[id]
-				sl.ready.Add(1) // release the slot's fields to the reader
-				var f [reqSize]byte
-				encodeReq(&f, sl.op, uint32(id), sl.key, sl.val)
-				_, werr := bw.Write(f[:])
-				return werr == nil
-			}
-			take := func(id int) {
-				if slots[id].retry {
-					retryQ = append(retryQ, id)
-				} else {
-					avail = append(avail, id)
-					outstanding--
-				}
-			}
-			// harvest collects returned slots; blocking waits for at
-			// least one (or a reader failure). Reports !ok on failure.
-			harvest := func(block bool) bool {
-				if block {
-					select {
-					case id := <-backCh:
-						take(id)
-					case <-readerErr:
-						return false
-					}
-				}
-				for {
-					select {
-					case id := <-backCh:
-						take(id)
-					default:
-						return true
-					}
-				}
-			}
-
-			for {
-				if !harvest(false) {
-					failed = true
-				}
-				if failed {
-					break
-				}
-				now := time.Now()
-				fresh := (o.Ops == 0 || issued < o.Ops) && (end.IsZero() || now.Before(end))
-				if !fresh && outstanding == 0 {
-					break
-				}
-				switch {
-				case len(retryQ) > 0:
-					id := retryQ[0]
-					copy(retryQ, retryQ[1:])
-					retryQ = retryQ[:len(retryQ)-1]
-					sl := &slots[id]
-					if d := sl.notBefore.Sub(now); d > 0 {
-						if bw.Flush() != nil {
-							failed = true
-							break
-						}
-						time.Sleep(d)
-					}
-					sl.retry = false
-					if !writeSlot(id) {
-						failed = true
-					}
-				case fresh && len(avail) > 0:
-					id := avail[len(avail)-1]
-					avail = avail[:len(avail)-1]
-					sl := &slots[id]
-					if o.InsertOnly {
-						sl.op = opPut
-						sl.key, sl.val = insertKey(o, w, issued)
-					} else {
-						kv := gen.Next()
-						if kv.Kind == workloads.KVRead {
-							sl.op, sl.key, sl.val = opGet, kv.Key, 0
-						} else {
-							sl.op, sl.key, sl.val = opPut, kv.Key, kv.Val
-						}
-					}
-					issued++
-					outstanding++
-					if sl.op == opPut && o.OnSend != nil {
-						o.OnSend(w, sl.key, sl.val)
-					}
-					sl.t0 = time.Now()
-					if !writeSlot(id) {
-						failed = true
-					}
-				default:
-					// Window full, or draining with ops still in flight:
-					// everything written so far must leave now, because
-					// the next event is a response.
-					if bw.Flush() != nil {
-						failed = true
-						break
-					}
-					if !harvest(true) {
-						failed = true
-					}
-				}
-			}
-			bw.Flush()
-			if failed {
-				connDown.Store(true)
-				errs.Add(uint64(outstanding))
+			if lw.firstDialErr != nil {
+				dialErr.CompareAndSwap(nil, &lw.firstDialErr)
 			}
 		}(w)
 	}
@@ -402,9 +275,19 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 		Gets: gets.Load(), NotFound: notFound.Load(),
 		Overloads: overloads.Load(), Retries: retries.Load(),
 		Expired: expired.Load(), Full: full.Load(),
-		Errors:  errs.Load(),
-		Partial: connDown.Load(),
+		Errors:     errs.Load(),
+		ConnResets: resets.Load(),
+		Partial:    connDown.Load(),
 	}
+	book.mu.Lock()
+	for a, c := range book.m {
+		rep.Targets = append(rep.Targets, TargetStat{
+			Addr: a, Ops: c.ops.Load(), AckedPuts: c.acked.Load(),
+			Dials: c.dials.Load(), Resets: c.resets.Load(),
+		})
+	}
+	book.mu.Unlock()
+	sort.Slice(rep.Targets, func(i, j int) bool { return rep.Targets[i].Addr < rep.Targets[j].Addr })
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
 	}
@@ -416,11 +299,431 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 	return rep, nil
 }
 
-// backoffDur returns the jittered exponential delay for a retry attempt.
+// lgSlot is one in-flight op. tgt/gen stamp which connection carried
+// the last send, so responses and failure sweeps can tell a live
+// occupancy from a stale one.
+type lgSlot struct {
+	op        byte
+	key, val  uint64
+	t0        time.Time
+	attempt   int
+	notBefore time.Time
+	retry     bool
+	tgt       *lgTarget
+	gen       uint32
+}
+
+// lgEvent is a reader→main-loop message: a response for slot (≥0), or
+// a connection failure (slot == -1) for (tgt, gen).
+type lgEvent struct {
+	slot   int
+	status byte
+	tgt    *lgTarget
+	gen    uint32
+}
+
+// lgTarget is one worker's connection to one backend address.
+type lgTarget struct {
+	addr  string
+	conn  net.Conn
+	bw    *bufio.Writer
+	gen   uint32 // bumped per dial; stamps slots and events
+	up    bool
+	dirty bool // has unflushed frames
+
+	dialAttempt int
+	notBefore   time.Time // redial backoff deadline
+
+	st *tgtCounters
+}
+
+type loadWorker struct {
+	o    LoadOpts
+	w    int
+	base string
+	book *tgtBook
+	end  time.Time
+	mix  workloads.KVMix
+
+	hist                              *obs.Histogram
+	ops, acked, gets, notFound        *atomic.Uint64
+	overloads, retries, expired, full *atomic.Uint64
+	errs, resets                      *atomic.Uint64
+
+	targets      map[string]*lgTarget
+	events       chan lgEvent
+	slots        []lgSlot
+	avail        []int
+	retryQ       []int
+	outstanding  int // slots issued and not completed (in flight or queued)
+	wire         int // slots actually on a connection
+	issued       int
+	firstDialErr error
+}
+
+// route returns the backend address for key.
+func (lw *loadWorker) route(key uint64) string {
+	if lw.o.Route != nil {
+		if a := lw.o.Route(key); a != "" {
+			return a
+		}
+	}
+	return lw.base
+}
+
+// target returns the (dialing if needed) connection for addr. A down
+// target inside its redial backoff, or a failed dial, returns nil with
+// the deadline to retry at.
+func (lw *loadWorker) target(addr string, now time.Time) (*lgTarget, time.Time) {
+	t := lw.targets[addr]
+	if t == nil {
+		t = &lgTarget{addr: addr, st: lw.book.get(addr)}
+		lw.targets[addr] = t
+	}
+	if t.up {
+		return t, time.Time{}
+	}
+	if now.Before(t.notBefore) {
+		return nil, t.notBefore
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		if lw.firstDialErr == nil {
+			lw.firstDialErr = err
+		}
+		t.dialAttempt++
+		t.notBefore = now.Add(backoffDur(t.dialAttempt))
+		return nil, t.notBefore
+	}
+	t.conn = c
+	t.bw = bufio.NewWriterSize(c, 1<<15)
+	t.gen++
+	t.up = true
+	t.dialAttempt = 0
+	t.st.dials.Add(1)
+	gen := t.gen
+	go func() {
+		br := bufio.NewReaderSize(c, 1<<15)
+		var rbuf [RespSize]byte
+		for {
+			if _, err := io.ReadFull(br, rbuf[:]); err != nil {
+				lw.events <- lgEvent{slot: -1, tgt: t, gen: gen}
+				return
+			}
+			seq, status, _ := DecodeResp(&rbuf)
+			if int(seq) >= lw.o.Window {
+				lw.events <- lgEvent{slot: -1, tgt: t, gen: gen}
+				return
+			}
+			lw.events <- lgEvent{slot: int(seq), status: status, tgt: t, gen: gen}
+		}
+	}()
+	return t, time.Time{}
+}
+
+// fail marks t's current connection dead and requeues (or abandons)
+// every slot that was riding it.
+func (lw *loadWorker) fail(t *lgTarget, gen uint32, now time.Time) {
+	if !t.up || t.gen != gen {
+		return // stale failure from an already-replaced connection
+	}
+	t.up = false
+	t.dirty = false
+	t.conn.Close()
+	t.notBefore = now.Add(backoffDur(0))
+	t.st.resets.Add(1)
+	lw.resets.Add(1)
+	if lw.o.Refresh != nil {
+		lw.o.Refresh()
+	}
+	for i := range lw.slots {
+		sl := &lw.slots[i]
+		if sl.tgt != t || sl.gen != gen || sl.retry {
+			continue
+		}
+		lw.wire--
+		sl.tgt = nil
+		if sl.attempt >= lw.o.MaxRetries {
+			// Out of tries: abandon the op as a connection-level error.
+			lw.errs.Add(1)
+			lw.outstanding--
+			lw.avail = append(lw.avail, i)
+			continue
+		}
+		sl.attempt++
+		lw.retries.Add(1)
+		sl.retry = true
+		sl.notBefore = now.Add(backoffDur(sl.attempt - 1))
+		lw.retryQ = append(lw.retryQ, i)
+	}
+}
+
+// complete settles a final response for slot id.
+func (lw *loadWorker) complete(id int, status byte) {
+	sl := &lw.slots[id]
+	lw.ops.Add(1)
+	lw.hist.Observe(uint64(time.Since(sl.t0).Nanoseconds()))
+	sl.tgt.st.ops.Add(1)
+	switch {
+	case sl.op == OpGet:
+		lw.gets.Add(1)
+		if status == StatusNotFound {
+			lw.notFound.Add(1)
+		}
+	case status == StatusOK:
+		lw.acked.Add(1)
+		sl.tgt.st.acked.Add(1)
+		if lw.o.OnAck != nil {
+			lw.o.OnAck(lw.w, sl.key, sl.val)
+		}
+	case status == StatusExpired:
+		lw.expired.Add(1)
+	case status == StatusFull:
+		lw.full.Add(1)
+	}
+	sl.attempt = 0
+	sl.retry = false
+	sl.tgt = nil
+	lw.wire--
+	lw.outstanding--
+	lw.avail = append(lw.avail, id)
+}
+
+// handle processes one event. Reports false when the worker must die
+// (connection failure without Reconnect).
+func (lw *loadWorker) handle(ev lgEvent, now time.Time) bool {
+	if ev.slot < 0 {
+		live := ev.tgt.up && ev.tgt.gen == ev.gen
+		lw.fail(ev.tgt, ev.gen, now)
+		return lw.o.Reconnect || !live
+	}
+	sl := &lw.slots[ev.slot]
+	if sl.tgt != ev.tgt || sl.gen != ev.gen || sl.retry {
+		return true // stale response for a reissued slot
+	}
+	if ev.status == StatusOverload {
+		lw.overloads.Add(1)
+		if sl.attempt < lw.o.MaxRetries {
+			lw.retries.Add(1)
+			sl.attempt++
+			sl.notBefore = now.Add(backoffDur(sl.attempt - 1))
+			sl.retry = true
+			sl.tgt = nil
+			lw.wire--
+			lw.retryQ = append(lw.retryQ, ev.slot)
+			return true
+		}
+	}
+	lw.complete(ev.slot, ev.status)
+	return true
+}
+
+// harvest drains pending events; when block is set it waits for at
+// least one. Reports false when the worker must die.
+func (lw *loadWorker) harvest(block bool) bool {
+	if block {
+		if !lw.handle(<-lw.events, time.Now()) {
+			return false
+		}
+	}
+	for {
+		select {
+		case ev := <-lw.events:
+			if !lw.handle(ev, time.Now()) {
+				return false
+			}
+		default:
+			return true
+		}
+	}
+}
+
+// flushDirty flushes every target with buffered frames; a flush error
+// is handled like any other connection failure.
+func (lw *loadWorker) flushDirty(now time.Time) bool {
+	for _, t := range lw.targets {
+		if !t.up || !t.dirty {
+			continue
+		}
+		t.dirty = false
+		if t.bw.Flush() != nil {
+			live := t.up
+			lw.fail(t, t.gen, now)
+			if !lw.o.Reconnect && live {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// send routes and writes slot id. Reports (ok, retryAt): !ok with a
+// zero retryAt is a fatal worker error; !ok with a deadline means the
+// slot was requeued for later.
+func (lw *loadWorker) send(id int, now time.Time) bool {
+	sl := &lw.slots[id]
+	t, retryAt := lw.target(lw.route(sl.key), now)
+	if t == nil {
+		if sl.attempt >= lw.o.MaxRetries {
+			lw.errs.Add(1)
+			lw.outstanding--
+			lw.avail = append(lw.avail, id)
+			return true
+		}
+		sl.attempt++
+		lw.retries.Add(1)
+		sl.retry = true
+		sl.notBefore = retryAt
+		lw.retryQ = append(lw.retryQ, id)
+		return true
+	}
+	sl.retry = false
+	sl.tgt = t
+	sl.gen = t.gen
+	var f [ReqSize]byte
+	EncodeReq(&f, sl.op, uint32(id), sl.key, sl.val)
+	lw.wire++
+	t.dirty = true
+	if _, err := t.bw.Write(f[:]); err != nil {
+		live := t.up
+		lw.fail(t, t.gen, now)
+		if !lw.o.Reconnect && live {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the worker main loop. Reports false when the run was cut
+// short by a connection failure.
+func (lw *loadWorker) run() bool {
+	o := lw.o
+	lw.targets = make(map[string]*lgTarget)
+	// Events never block the readers: at most Window responses can be
+	// in flight plus one failure event per target connection.
+	lw.events = make(chan lgEvent, o.Window+64)
+	lw.slots = make([]lgSlot, o.Window)
+	lw.avail = make([]int, o.Window)
+	for i := range lw.avail {
+		lw.avail[i] = i
+	}
+	lw.retryQ = make([]int, 0, o.Window)
+
+	var gen *workloads.KVGen
+	if !o.InsertOnly {
+		gen = workloads.NewKVGen(o.Seed, lw.w%o.Streams, o.Keys, lw.mix, o.Dist)
+	}
+
+	okRun := true
+	// Legacy dial check: without Reconnect, fail fast when the very
+	// first connection cannot be established.
+	if !o.Reconnect {
+		if t, _ := lw.target(lw.route(func() uint64 {
+			if o.InsertOnly {
+				k, _ := insertKey(o, lw.w, 0)
+				return k
+			}
+			return workloads.KVKey(lw.w%o.Streams, 0)
+		}()), time.Now()); t == nil {
+			return false
+		}
+	}
+
+loop:
+	for {
+		if !lw.harvest(false) {
+			okRun = false
+			break
+		}
+		now := time.Now()
+		fresh := (o.Ops == 0 || lw.issued < o.Ops) && (lw.end.IsZero() || now.Before(lw.end))
+		if !fresh && lw.outstanding == 0 {
+			break
+		}
+		switch {
+		case len(lw.retryQ) > 0 && !now.Before(lw.slots[lw.retryQ[0]].notBefore):
+			id := lw.retryQ[0]
+			copy(lw.retryQ, lw.retryQ[1:])
+			lw.retryQ = lw.retryQ[:len(lw.retryQ)-1]
+			if !lw.send(id, now) {
+				okRun = false
+				break loop
+			}
+		case fresh && len(lw.avail) > 0:
+			id := lw.avail[len(lw.avail)-1]
+			lw.avail = lw.avail[:len(lw.avail)-1]
+			sl := &lw.slots[id]
+			if o.InsertOnly {
+				sl.op = OpPut
+				sl.key, sl.val = insertKey(o, lw.w, lw.issued)
+			} else {
+				kv := gen.Next()
+				if kv.Kind == workloads.KVRead {
+					sl.op, sl.key, sl.val = OpGet, kv.Key, 0
+				} else {
+					sl.op, sl.key, sl.val = OpPut, kv.Key, kv.Val
+				}
+			}
+			lw.issued++
+			lw.outstanding++
+			if sl.op == OpPut && o.OnSend != nil {
+				o.OnSend(lw.w, sl.key, sl.val)
+			}
+			sl.attempt = 0
+			sl.t0 = now
+			if !lw.send(id, now) {
+				okRun = false
+				break loop
+			}
+		default:
+			// Window full, draining, or every runnable slot is waiting
+			// out a backoff: everything written so far must leave now,
+			// because the next event is a response (or a deadline).
+			if !lw.flushDirty(now) {
+				okRun = false
+				break loop
+			}
+			if lw.wire > 0 {
+				if !lw.harvest(true) {
+					okRun = false
+					break loop
+				}
+			} else if len(lw.retryQ) > 0 {
+				// Nothing on the wire; sleep to the earliest deadline.
+				earliest := lw.slots[lw.retryQ[0]].notBefore
+				for _, id := range lw.retryQ[1:] {
+					if nb := lw.slots[id].notBefore; nb.Before(earliest) {
+						earliest = nb
+					}
+				}
+				if d := time.Until(earliest); d > 0 {
+					if d > 50*time.Millisecond {
+						d = 50 * time.Millisecond
+					}
+					time.Sleep(d)
+				}
+			}
+		}
+	}
+	lw.flushDirty(time.Now())
+	for _, t := range lw.targets {
+		if t.up {
+			t.conn.Close()
+		}
+	}
+	if !okRun {
+		lw.errs.Add(uint64(lw.outstanding))
+	}
+	return okRun
+}
+
+// backoffDur returns the jittered exponential delay for a retry
+// attempt. The shift saturates: past attempt 6 the delay is pinned at
+// the 10ms cap rather than overflowing the duration.
 func backoffDur(attempt int) time.Duration {
-	base := 200 * time.Microsecond << uint(attempt)
-	if base > 10*time.Millisecond {
-		base = 10 * time.Millisecond
+	base := 10 * time.Millisecond
+	if attempt < 6 {
+		base = 200 * time.Microsecond << uint(attempt)
 	}
 	return base/2 + time.Duration(rand.Int64N(int64(base)))
 }

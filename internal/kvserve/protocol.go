@@ -17,13 +17,26 @@ import (
 // order (different shards commit independently), which is the point —
 // a connection keeps a window of requests in flight and the group
 // commit acks them in batch order.
+//
+// The frame constants and codecs are exported because two other layers
+// speak this protocol verbatim: the lprouter proxy (internal/cluster)
+// forwards client frames to node backends unchanged, and the cluster
+// Replicator forwards puts pair-member→pair-member as OpReplPut frames.
 const (
-	opPut  = 'P'
-	opGet  = 'G'
-	opPing = 'N'
+	OpPut = 'P'
+	OpGet = 'G'
+	// OpReplPut is a put arriving over a replication session from the
+	// slot's other pair member: it is journaled and group-committed
+	// like OpPut but never re-forwarded. The dedicated opcode is what
+	// makes replication echo structurally impossible — with role views
+	// converging per node, two members can transiently both believe
+	// they own a slot, and ordinary puts bounced between them would
+	// amplify forever.
+	OpReplPut = 'R'
+	OpPing    = 'N'
 
-	reqSize  = 1 + 4 + 8 + 8
-	respSize = 4 + 1 + 8
+	ReqSize  = 1 + 4 + 8 + 8
+	RespSize = 4 + 1 + 8
 )
 
 // Response status codes.
@@ -70,21 +83,21 @@ func StatusName(st byte) string {
 	return fmt.Sprintf("status(%d)", st)
 }
 
-func encodeReq(buf *[reqSize]byte, op byte, seq uint32, key, val uint64) {
+func EncodeReq(buf *[ReqSize]byte, op byte, seq uint32, key, val uint64) {
 	buf[0] = op
 	binary.LittleEndian.PutUint32(buf[1:], seq)
 	binary.LittleEndian.PutUint64(buf[5:], key)
 	binary.LittleEndian.PutUint64(buf[13:], val)
 }
 
-func decodeReq(buf *[reqSize]byte) (op byte, seq uint32, key, val uint64) {
+func DecodeReq(buf *[ReqSize]byte) (op byte, seq uint32, key, val uint64) {
 	return buf[0],
 		binary.LittleEndian.Uint32(buf[1:]),
 		binary.LittleEndian.Uint64(buf[5:]),
 		binary.LittleEndian.Uint64(buf[13:])
 }
 
-func encodeResp(buf *[respSize]byte, seq uint32, status byte, val uint64) {
+func EncodeResp(buf *[RespSize]byte, seq uint32, status byte, val uint64) {
 	binary.LittleEndian.PutUint32(buf[0:], seq)
 	buf[4] = status
 	binary.LittleEndian.PutUint64(buf[5:], val)
@@ -94,12 +107,12 @@ func encodeResp(buf *[respSize]byte, seq uint32, status byte, val uint64) {
 // reader's batched inline-response path (gets, pings, rejects), which
 // accumulates frames and hands them to the socket in one write.
 func appendResp(b []byte, seq uint32, status byte, val uint64) []byte {
-	var f [respSize]byte
-	encodeResp(&f, seq, status, val)
+	var f [RespSize]byte
+	EncodeResp(&f, seq, status, val)
 	return append(b, f[:]...)
 }
 
-func decodeResp(buf *[respSize]byte) (seq uint32, status byte, val uint64) {
+func DecodeResp(buf *[RespSize]byte) (seq uint32, status byte, val uint64) {
 	return binary.LittleEndian.Uint32(buf[0:]),
 		buf[4],
 		binary.LittleEndian.Uint64(buf[5:])
@@ -174,8 +187,8 @@ func (cl *Client) start(op byte, key, val uint64) (<-chan Response, error) {
 	cl.pend[seq] = ch
 	cl.mu.Unlock()
 
-	var buf [reqSize]byte
-	encodeReq(&buf, op, seq, key, val)
+	var buf [ReqSize]byte
+	EncodeReq(&buf, op, seq, key, val)
 	cl.wmu.Lock()
 	_, err := cl.c.Write(buf[:])
 	cl.wmu.Unlock()
@@ -190,13 +203,13 @@ func (cl *Client) start(op byte, key, val uint64) (<-chan Response, error) {
 
 func (cl *Client) readLoop() {
 	br := bufio.NewReaderSize(cl.c, 1<<12)
-	var buf [respSize]byte
+	var buf [RespSize]byte
 	for {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			cl.fail(err)
 			return
 		}
-		seq, status, val := decodeResp(&buf)
+		seq, status, val := DecodeResp(&buf)
 		cl.mu.Lock()
 		ch := cl.pend[seq]
 		delete(cl.pend, seq)
@@ -224,7 +237,7 @@ func (cl *Client) fail(err error) {
 
 // Put writes key=val and waits for the ack.
 func (cl *Client) Put(key, val uint64) (byte, error) {
-	ch, err := cl.start(opPut, key, val)
+	ch, err := cl.start(OpPut, key, val)
 	if err != nil {
 		return 0, err
 	}
@@ -234,7 +247,7 @@ func (cl *Client) Put(key, val uint64) (byte, error) {
 
 // Get reads key.
 func (cl *Client) Get(key uint64) (uint64, byte, error) {
-	ch, err := cl.start(opGet, key, 0)
+	ch, err := cl.start(OpGet, key, 0)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -244,7 +257,7 @@ func (cl *Client) Get(key uint64) (uint64, byte, error) {
 
 // Ping round-trips a no-op frame.
 func (cl *Client) Ping() error {
-	ch, err := cl.start(opPing, 1, 0)
+	ch, err := cl.start(OpPing, 1, 0)
 	if err != nil {
 		return err
 	}

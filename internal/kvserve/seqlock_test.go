@@ -54,7 +54,7 @@ func TestSeqlockStress(t *testing.T) {
 		go func(r int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(uint64(r), 42))
-			rb := make([]byte, 0, 4*respSize)
+			rb := make([]byte, 0, 4*RespSize)
 			for i := 0; ; i++ {
 				select {
 				case <-stop:
@@ -72,7 +72,7 @@ func TestSeqlockStress(t *testing.T) {
 				if !hit {
 					continue
 				}
-				_, _, v := decodeResp((*[respSize]byte)(rb))
+				_, _, v := DecodeResp((*[RespSize]byte)(rb))
 				if v != k && v != workloads.KVInitVal(1, k) {
 					t.Errorf("reader %d: key %#x returned torn/foreign value %#x", r, k, v)
 					return
@@ -95,7 +95,7 @@ func TestSeqlockStress(t *testing.T) {
 			} else {
 				k = preK(i)
 			}
-			s.handle(sd, request{op: opPut, seq: uint32(i), key: k, val: k, enq: enq, cn: cn})
+			s.handle(sd, request{op: OpPut, seq: uint32(i), key: k, val: k, enq: enq, cn: cn})
 			i++
 		}
 	}
@@ -129,7 +129,7 @@ func TestServeZeroAlloc(t *testing.T) {
 	go s.flusher(sd)
 
 	key := sd.baseline[0][0]
-	rb := make([]byte, 0, 4*respSize)
+	rb := make([]byte, 0, 4*RespSize)
 	gets := testing.AllocsPerRun(1000, func() {
 		rb, _, _ = s.appendGet(rb[:0], 7, key)
 	})
@@ -145,7 +145,7 @@ func TestServeZeroAlloc(t *testing.T) {
 		// seals and hands the batch to the flusher.
 		for j := 0; j < cfg.BatchK; j++ {
 			seq++
-			s.handle(sd, request{op: opPut, seq: seq, key: sd.baseline[j][0], val: uint64(seq), enq: enq, cn: cn})
+			s.handle(sd, request{op: OpPut, seq: seq, key: sd.baseline[j][0], val: uint64(seq), enq: enq, cn: cn})
 		}
 	})
 	if puts != 0 {

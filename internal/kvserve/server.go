@@ -27,6 +27,10 @@ type request struct {
 	key, val uint64
 	enq      time.Time
 	cn       *srvConn
+	// rtok is the replication token from Replicator.Forward (0 = no
+	// forward in flight); the flusher waits on it after the local
+	// write set is durable and before acking the client.
+	rtok uint64
 }
 
 // wireResp is one response queued on a connection's writer.
@@ -106,6 +110,18 @@ type commitItem struct {
 	bufs    [][memsim.LineSize]byte
 }
 
+// replJob is one flushed batch's reply work, handed from the flusher
+// to the shard's replication completer: the stolen pending slice plus
+// everything finishBatch needs to ack (or fail) the clients once the
+// follower tokens resolve.
+type replJob struct {
+	pending []request
+	err     error
+	sealed  time.Time
+	batch   int
+	seq     int
+}
+
 // shardState is one shard's server-side state. The owner goroutine is
 // the sole mutator once the server starts; the flusher goroutine only
 // touches the commitItem handed to it.
@@ -129,6 +145,15 @@ type shardState struct {
 	// EP/WAL/Base, whose durability points are synchronous by nature.
 	commitCh chan *commitItem
 	freeCh   chan *commitItem
+
+	// replCh (clustered LP only) decouples the replication ack rule
+	// from the flush path: the flusher hands each batch's client acks
+	// to a per-shard completion goroutine that waits out the follower
+	// tokens and only then replies. The flusher itself must never
+	// block on a remote ack — the peer's replicated puts flow through
+	// this shard's own pipeline, so two nodes forwarding to each other
+	// with blocking flushers would deadlock cluster-wide.
+	replCh chan replJob
 
 	// tabLo/tabHi bound the table's line addresses: only table lines
 	// may leak through the write-back queue (a stale journal-line
@@ -216,6 +241,7 @@ type Server struct {
 	wgConns  sync.WaitGroup
 	wgOwners sync.WaitGroup
 	wgFlush  sync.WaitGroup
+	wgRepl   sync.WaitGroup
 	wgLeak   sync.WaitGroup
 	leakCh   chan lineSnap
 	started  bool
@@ -312,6 +338,9 @@ func New(cfg Config) (*Server, error) {
 					lines:   make([]memsim.Addr, 0, maxBatchLines),
 					bufs:    make([][memsim.LineSize]byte, maxBatchLines),
 				}
+			}
+			if cfg.Repl != nil {
+				sd.replCh = make(chan replJob, cfg.PipelineDepth)
 			}
 		} else {
 			sd.sh = lpstore.NewShard(s.mem, name, id, cfg.Capacity)
@@ -461,6 +490,10 @@ func (s *Server) Start() error {
 			s.wgFlush.Add(1)
 			go s.flusher(sd)
 		}
+		if sd.replCh != nil {
+			s.wgRepl.Add(1)
+			go s.replWaiter(sd)
+		}
 		s.wgOwners.Add(1)
 		go s.owner(sd)
 	}
@@ -583,6 +616,12 @@ func (s *Server) shutdown(abort bool) error {
 		// the way out; flushers exit once the pipeline drains.
 		s.wgOwners.Wait()
 		s.wgFlush.Wait()
+		for _, sd := range s.shards {
+			if sd.replCh != nil {
+				close(sd.replCh)
+			}
+		}
+		s.wgRepl.Wait()
 		close(s.leakCh)
 		s.wgLeak.Wait()
 	}
@@ -676,21 +715,21 @@ func (s *Server) connReader(cn *srvConn) {
 		s.wgConns.Done()
 	}()
 	br := bufio.NewReaderSize(cn.c, 1<<15)
-	var buf [reqSize]byte
-	rb := make([]byte, 0, 512*respSize)
+	var buf [ReqSize]byte
+	rb := make([]byte, 0, 512*RespSize)
 	for {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return
 		}
-		op, seq, key, val := decodeReq(&buf)
+		op, seq, key, val := DecodeReq(&buf)
 		switch {
-		case op == opPing:
+		case op == OpPing:
 			rb = appendResp(rb, seq, StatusOK, 0)
-		case (op != opGet && op != opPut) || key == 0 || key == lpstore.NopKey:
+		case (op != OpGet && op != OpPut && op != OpReplPut) || key == 0 || key == lpstore.NopKey:
 			rb = appendResp(rb, seq, StatusBadRequest, 0)
 		case s.draining.Load():
 			rb = appendResp(rb, seq, StatusShutdown, 0)
-		case op == opGet:
+		case op == OpGet:
 			var hit bool
 			var retr uint64
 			rb, hit, retr = s.appendGet(rb, seq, key)
@@ -722,8 +761,8 @@ func (s *Server) connReader(cn *srvConn) {
 			// in-between state — responses pending, requests still
 			// arriving — keeps batching: bw absorbs full rb batches
 			// without a syscall until the drain point.
-			drained := br.Buffered() < reqSize
-			if drained || len(rb)+respSize > cap(rb) {
+			drained := br.Buffered() < ReqSize
+			if drained || len(rb)+RespSize > cap(rb) {
 				cn.wmu.Lock()
 				_, werr := cn.bw.Write(rb)
 				if werr == nil && drained {
@@ -739,8 +778,8 @@ func (s *Server) connReader(cn *srvConn) {
 	}
 }
 
-func writeResp(bw *bufio.Writer, buf *[respSize]byte, r wireResp) bool {
-	encodeResp(buf, r.seq, r.status, r.val)
+func writeResp(bw *bufio.Writer, buf *[RespSize]byte, r wireResp) bool {
+	EncodeResp(buf, r.seq, r.status, r.val)
 	_, err := bw.Write(buf[:])
 	return err == nil
 }
@@ -750,7 +789,7 @@ func writeResp(bw *bufio.Writer, buf *[respSize]byte, r wireResp) bool {
 // before paying the flush.
 func (s *Server) connWriter(cn *srvConn) {
 	defer s.wgConns.Done()
-	var buf [respSize]byte
+	var buf [RespSize]byte
 	for {
 		select {
 		case r := <-cn.out:
@@ -850,6 +889,14 @@ func (s *Server) handle(sd *shardState, r request) {
 		batchBefore := sd.w.Batch()
 		sd.w.Put(c, r.key, r.val)
 		sd.occupied += int(sd.w.Inserts - insBefore)
+		if s.cfg.Repl != nil && r.op == OpPut {
+			// Forward to the key's pair peer now, so the network hop
+			// and the peer's own group commit overlap with this batch's
+			// fill and local flush; the flusher collects the ack.
+			// OpReplPut IS that forwarded copy — re-forwarding it would
+			// echo puts between pair members forever.
+			r.rtok = s.cfg.Repl.Forward(r.key, r.val)
+		}
 		sd.pending = append(sd.pending, r)
 		if sd.w.Batch() != batchBefore {
 			s.seal(sd, false)
@@ -946,6 +993,10 @@ func (s *Server) flushItem(sd *shardState, it *commitItem) {
 			err = s.pf.sync()
 		}
 	}
+	if sd.replCh != nil {
+		s.flushItemRepl(sd, it, err)
+		return
+	}
 	now := time.Now()
 	if err != nil {
 		s.failFile(err)
@@ -966,6 +1017,83 @@ func (s *Server) flushItem(sd *shardState, it *commitItem) {
 	}
 	it.pending = it.pending[:0]
 	sd.obs.pipeInflight.Add(-1)
+}
+
+// flushItemRepl is the clustered reply path. Batch accounting and
+// every token-free reply happen right here, at local-commit time;
+// only puts with a replication token in flight defer to the shard's
+// completion goroutine. The split is a deadlock invariant, not an
+// optimization: a token-free put is usually the *peer's* replicated
+// forward, and its reply is what unblocks the peer's own token waits.
+// Two nodes forwarding to each other would wedge permanently if those
+// replies ever queued behind this node's token waits (or, worse, if
+// the flusher itself blocked on a remote ack — the peer's forwards
+// flow through this very flusher).
+func (s *Server) flushItemRepl(sd *shardState, it *commitItem, err error) {
+	now := time.Now()
+	if err != nil {
+		s.failFile(err)
+	} else {
+		s.ctBatches.Inc()
+		sd.obs.batchFill.Observe(uint64(len(it.pending)))
+		sd.obs.commitLat.Observe(uint64(now.Sub(it.sealed).Nanoseconds()))
+		s.trace(obs.EvBatchCommit, int32(sd.id), uint64(it.batch), uint64(len(it.pending)))
+		s.trace(obs.EvAckAdvance, int32(sd.id), uint64(it.seq), 0)
+	}
+	var toks []request
+	for _, r := range it.pending {
+		if r.rtok != 0 {
+			toks = append(toks, r)
+			continue
+		}
+		s.replyPut(sd, r, err, now)
+	}
+	it.pending = it.pending[:0]
+	sd.obs.pipeInflight.Add(-1)
+	if len(toks) > 0 {
+		sd.replCh <- replJob{pending: toks, err: err}
+	}
+}
+
+// replWaiter drains one shard's replication completion queue: for each
+// locally flushed batch's tokened puts it waits out the follower
+// group-commit acks, then replies. The replication ack rule lives here
+// — a put is acked only after the follower reported its own LP group
+// commit, or after the cluster revoked the follower's lease (Wait
+// returns true for that designed RF=1 fallback). When Wait reports the
+// put unackable — the forward failed while the follower is still
+// alive, e.g. the follower's table is full or its connection blipped —
+// the client gets StatusOverload instead: the put is durable locally
+// and idempotent to retry, and backpressure is honest where a silent
+// RF=1 ack would not be. The waits run after the local write set is
+// durable, so an acked client sees max(local commit, follower commit),
+// not their sum. Every nonzero token must be waited exactly once (it
+// owns a replication window slot), so the waits run on the failure
+// path too.
+func (s *Server) replWaiter(sd *shardState) {
+	defer s.wgRepl.Done()
+	for job := range sd.replCh {
+		for _, r := range job.pending {
+			ok := s.cfg.Repl.Wait(r.rtok)
+			if job.err == nil && !ok {
+				sd.obs.rejOver.Inc()
+				r.cn.reply(r.seq, StatusOverload, 0)
+				continue
+			}
+			s.replyPut(sd, r, job.err, time.Now())
+		}
+	}
+}
+
+// replyPut acks (or fails) one put whose local write set settled.
+func (s *Server) replyPut(sd *shardState, r request, err error, now time.Time) {
+	if err != nil {
+		r.cn.reply(r.seq, StatusShutdown, 0)
+		return
+	}
+	s.ctAcked.Add(1)
+	sd.obs.putLat.Observe(uint64(now.Sub(r.enq).Nanoseconds()))
+	r.cn.reply(r.seq, StatusOK, 0)
 }
 
 // leak snapshots the shard's freshly dirtied table lines and offers

@@ -97,8 +97,8 @@ func TestServeBadRequest(t *testing.T) {
 		key      uint64
 		wantName string
 	}{
-		{opPut, 0, "zero key"},
-		{opGet, lpstore.NopKey, "NopKey"},
+		{OpPut, 0, "zero key"},
+		{OpGet, lpstore.NopKey, "NopKey"},
 		{'X', 5, "unknown op"},
 	} {
 		ch, err := cl.start(c.op, c.key, 1)
@@ -149,16 +149,16 @@ func TestServeOverload(t *testing.T) {
 	go s.connReader(cn)
 	go s.connWriter(cn)
 
-	var req [reqSize]byte
-	encodeReq(&req, opPut, 7, workloads.KVKey(0, 0), 1)
+	var req [ReqSize]byte
+	EncodeReq(&req, OpPut, 7, workloads.KVKey(0, 0), 1)
 	if _, err := cliEnd.Write(req[:]); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	var resp [respSize]byte
+	var resp [RespSize]byte
 	if _, err := io.ReadFull(cliEnd, resp[:]); err != nil {
 		t.Fatalf("read: %v", err)
 	}
-	seq, st, _ := decodeResp(&resp)
+	seq, st, _ := DecodeResp(&resp)
 	if seq != 7 || st != StatusOverload {
 		t.Fatalf("got seq=%d status=%s, want 7/overload", seq, StatusName(st))
 	}

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — the multi-node cluster exercised end to end with
+# the real binaries: three lpserve members behind lprouter, insert load
+# through the proxy, a SIGKILL of one member mid-load (failover
+# continuity: the load must finish with zero abandoned ops), a restart
+# that must rejoin via journal-replay recovery + delta catch-up, and a
+# final recover-verify of every image. Mid-load it scrapes the
+# replication-lag histogram (nodes), the failover counter and the
+# ring-ownership gauges (router), so a silently-unwired metric fails
+# the job, not just a missing feature.
+set -euo pipefail
+
+DIR=$(mktemp -d /tmp/cluster-smoke-XXXXXX)
+BIN="$DIR/bin"
+mkdir -p "$BIN"
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$BIN/lpserve" ./cmd/lpserve
+go build -o "$BIN/lprouter" ./cmd/lprouter
+go build -o "$BIN/lpload" ./cmd/lpload
+
+# Geometry shared by every boot of an image, including recover-verify:
+# capacity sized so the insert-only load stays under the admission
+# watermark (a full table would poison rejoin catch-up with Full).
+GEO=(-shards 2 -cap $((1 << 16)) -maxops $((1 << 17)) -batch 16)
+
+DATA=(127.0.0.1:7421 127.0.0.1:7422 127.0.0.1:7423)
+CTRL=(127.0.0.1:9421 127.0.0.1:9422 127.0.0.1:9423)
+NODE_PID=()
+
+start_node() { # idx
+    local i=$1
+    "$BIN/lpserve" -node-id "n$i" -path "$DIR/n$i.img" \
+        -addr "${DATA[$i]}" -metrics "${CTRL[$i]}" "${GEO[@]}" \
+        2>"$DIR/n$i.log" &
+    NODE_PID[$i]=$!
+    PIDS+=($!)
+}
+
+wait_http() { # url pattern timeout-sec what
+    local url=$1 pat=$2 t=$3 what=$4
+    for _ in $(seq 1 $((t * 10))); do
+        if curl -sf "$url" 2>/dev/null | grep -q "$pat"; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: $what ($url never matched $pat)" >&2
+    return 1
+}
+
+echo "== boot 3 nodes"
+for i in 0 1 2; do start_node "$i"; done
+for i in 0 1 2; do
+    wait_http "http://${CTRL[$i]}/healthz" '"serving"' 15 "node n$i readiness"
+done
+
+echo "== boot router"
+RADDR=127.0.0.1:7420
+RCTRL=127.0.0.1:9420
+"$BIN/lprouter" -addr "$RADDR" -ctrl "$RCTRL" -heartbeat 50ms -lease-miss 3 \
+    -node "n0=${DATA[0]}=http://${CTRL[0]}" \
+    -node "n1=${DATA[1]}=http://${CTRL[1]}" \
+    -node "n2=${DATA[2]}=http://${CTRL[2]}" \
+    2>"$DIR/router.log" &
+PIDS+=($!)
+wait_http "http://$RCTRL/healthz" '"serving"' 15 "router readiness"
+
+echo "== load through the router (insert-only, reconnect on failover)"
+"$BIN/lpload" -addr "$RADDR" -conns 2 -window 16 -ops 30000 \
+    -insert -reconnect -max-retries 200 -json >"$DIR/load.json" &
+LOAD_PID=$!
+PIDS+=($!)
+
+sleep 1
+echo "== mid-load scrape: ring ownership, failover counter, replication lag"
+curl -sf "http://$RCTRL/metrics" >"$DIR/router-mid.txt"
+grep -E '^cluster_slots_primary\{node="n0"\} [1-9]' "$DIR/router-mid.txt"
+grep -E '^cluster_failovers_total 0' "$DIR/router-mid.txt"
+curl -sf "http://${CTRL[1]}/metrics" >"$DIR/n1-mid.txt"
+grep -E '^cluster_repl_forwards_total [1-9]' "$DIR/n1-mid.txt"
+grep -E '^cluster_repl_lag_seconds_count [1-9]' "$DIR/n1-mid.txt"
+
+echo "== SIGKILL n0 mid-load"
+kill -9 "${NODE_PID[0]}"
+
+wait_status() { # node state timeout-sec
+    local node=$1 state=$2 t=$3
+    for _ in $(seq 1 $((t * 10))); do
+        if curl -sf "http://$RCTRL/cluster/status" 2>/dev/null |
+            grep -q "\"id\":\"$node\",[^}]*\"state\":\"$state\""; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: $node never reached $state" >&2
+    curl -sf "http://$RCTRL/cluster/status" >&2 || true
+    return 1
+}
+wait_status n0 dead 15
+curl -sf "http://$RCTRL/metrics" | grep -E '^cluster_failovers_total 1'
+echo "== failover adjudicated; restarting n0 on its image"
+
+start_node 0
+wait_status n0 alive 30
+echo "== n0 rejoined (recovery + delta catch-up)"
+
+wait "$LOAD_PID"
+python3 - "$DIR/load.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["acked_puts"] > 0, "no acked puts"
+assert r["ops"] == 60000, f"load abandoned ops: {r['ops']}"
+assert r["errors"] == 0, f"{r['errors']} ops lost to connection failures"
+assert not r.get("partial"), "load gave up mid-run"
+print(f"load OK: {r['ops']} ops, {r['acked_puts']} acked, "
+      f"{r['retries']} retries, {r.get('conn_resets', 0)} resets "
+      f"through a SIGKILL failover")
+EOF
+
+echo "== hard-kill everything, then hold every image to recovery"
+for p in "${PIDS[@]}"; do kill -9 "$p" 2>/dev/null || true; done
+sleep 0.5
+for i in 0 1 2; do
+    "$BIN/lpserve" -path "$DIR/n$i.img" "${GEO[@]}" -recover-verify
+done
+echo "PASS: cluster smoke (failover continuity + rejoin + recovery)"
