@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"path/filepath"
 	"sync"
@@ -450,5 +452,83 @@ func TestNodeHealthzLifecycle(t *testing.T) {
 	}
 	if got := n.Repl().Epoch(); got != 7 {
 		t.Fatalf("applied epoch %d, want 7", got)
+	}
+}
+
+// TestStartNodeRejectsExhaustibleWindow pins the startup validation:
+// a replication window the commit pipelines can exhaust (≤ Shards ×
+// (PipelineDepth+1) × BatchK unacked puts) would deadlock the shard
+// owners against their own flushers, so StartNode must refuse it.
+func TestStartNodeRejectsExhaustibleWindow(t *testing.T) {
+	cfg := testNodeCfg(filepath.Join(t.TempDir(), "w0.img"))
+	n, err := StartNode(NodeConfig{
+		ID:     "w0",
+		Server: cfg,
+		Repl:   ReplConfig{Window: cfg.PipelineUnacked()},
+	})
+	if err == nil {
+		n.Close()
+		t.Fatalf("StartNode accepted window %d, the pipelines' exact unacked capacity", cfg.PipelineUnacked())
+	}
+	n, err = StartNode(NodeConfig{
+		ID:     "w0",
+		Server: cfg,
+		Repl:   ReplConfig{Window: cfg.PipelineUnacked() + 1},
+	})
+	if err != nil {
+		t.Fatalf("StartNode refused the smallest safe window: %v", err)
+	}
+	n.Close()
+}
+
+// TestNodeGatesPutsUntilTopology pins the startup fence: a clustered
+// node that has not applied any topology must answer client puts with
+// Overload — Forward has no view, so acking would be a silent RF=1
+// write outside the router's epoch fence. After the first applied
+// epoch the same put succeeds.
+func TestNodeGatesPutsUntilTopology(t *testing.T) {
+	n := startTestNode(t, "g0", filepath.Join(t.TempDir(), "g0.img"))
+	defer n.Close()
+
+	conn, err := net.Dial("tcp", n.Server().Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	put := func(seq uint32, key, val uint64) byte {
+		var f [kvserve.ReqSize]byte
+		kvserve.EncodeReq(&f, kvserve.OpPut, seq, key, val)
+		if _, err := conn.Write(f[:]); err != nil {
+			t.Fatalf("put write: %v", err)
+		}
+		var rb [kvserve.RespSize]byte
+		if _, err := io.ReadFull(conn, rb[:]); err != nil {
+			t.Fatalf("put read: %v", err)
+		}
+		rseq, status, _ := kvserve.DecodeResp(&rb)
+		if rseq != seq {
+			t.Fatalf("response seq %d, want %d", rseq, seq)
+		}
+		return status
+	}
+
+	key := workloads.KVKey(0, 1)
+	if st := put(1, key, 42); st != kvserve.StatusOverload {
+		t.Fatalf("pre-topology put: status %d, want Overload", st)
+	}
+
+	topo := &Topology{
+		Epoch: 1,
+		Nodes: []NodeInfo{{ID: "g0", Addr: n.Server().Addr(), State: StateAlive}},
+		Slots: make([]SlotAssign, NumSlots),
+	}
+	for s := range topo.Slots {
+		topo.Slots[s] = SlotAssign{Primary: 0, Follower: -1, Pair: -1}
+	}
+	if err := n.Repl().ApplyTopology(topo); err != nil {
+		t.Fatalf("apply topology: %v", err)
+	}
+	if st := put(2, key, 42); st != kvserve.StatusOK {
+		t.Fatalf("post-topology put: status %d, want OK", st)
 	}
 }

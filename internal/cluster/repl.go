@@ -39,6 +39,19 @@ import (
 // guards the buffer, so every replayed put precedes every subsequent
 // live forward on the wire. Divergence windows therefore close exactly
 // once, in order.
+//
+// The delta buffer must never hold a key at a stamp older than a
+// forward already handed to a session: the newer forward may ack (the
+// follower then holds the newer value), and a later drain replaying
+// the stale entry would roll the follower back over an acknowledged
+// put. The hazard is real — a forward resolved degraded is re-buffered
+// by wait(), which can run long after a redial published a new session
+// and newer forwards for the same key went (and acked) over it. So
+// every forward registers in peerState.sent — per key, the highest
+// stamp handed to any session, refcounted by unresolved forwards —
+// atomically (under ps.mu) with its wire enqueue; registering also
+// evicts any older buffered delta for the key, and both buffering
+// paths refuse stamps older than the key's registered high-water.
 
 // replStatus values resolved into a forward slot.
 const (
@@ -63,9 +76,12 @@ type ReplConfig struct {
 	Self string
 	// Window is the per-peer in-flight forward budget (default
 	// DefaultReplWindow). Must exceed the worst-case number of puts the
-	// local commit pipeline can hold unacked (Shards × PipelineDepth ×
-	// BatchK), or Forward's backpressure can deadlock the owners
-	// against their own flushers.
+	// local commit pipeline can hold unacked — Shards × (PipelineDepth
+	// + 1) × BatchK, the open batch plus every sealed batch per shard
+	// (kvserve.Config.PipelineUnacked) — or Forward's backpressure can
+	// deadlock the owners against their own flushers. StartNode
+	// validates this against the server's effective geometry and
+	// refuses to start on a violation.
 	Window int
 	// MaxRetries is retained for configuration compatibility but no
 	// longer bounds overload retries: a forward to a live session
@@ -99,14 +115,25 @@ func (c ReplConfig) withDefaults() ReplConfig {
 // deltaEnt is one buffered missed put: latest value and its stamp.
 type deltaEnt struct{ val, stamp uint64 }
 
+// sentEnt tracks one key's forwards handed to sessions and not yet
+// resolved: top is the highest such stamp ever sent (across session
+// generations), n the number of unresolved forwards. The entry is
+// dropped when n hits zero — at that point every sent stamp has
+// resolved, and any ≤ top resolution already ran through the guard.
+type sentEnt struct {
+	top uint64
+	n   uint32
+}
+
 // peerState is everything this node knows about one pair peer.
 type peerState struct {
 	id    string
 	addr  string
 	stamp atomic.Uint64               // per-peer forward order, survives sessions
 	live  atomic.Pointer[peerSession] // nil → forwards divert to delta
-	mu    sync.Mutex                  // guards delta and the down→live handover
+	mu    sync.Mutex                  // guards delta, sent, and the down→live handover
 	delta map[uint64]deltaEnt
+	sent  map[uint64]sentEnt // key → in-flight forwards' stamp high-water
 
 	// alive mirrors the peer's state in the last applied topology. A
 	// session teardown while the peer is still alive (transient conn
@@ -120,8 +147,15 @@ type peerState struct {
 }
 
 // bufferDelta records a missed put, keeping the newest stamp per key.
-// Callers hold ps.mu.
+// Stamps at or below the key's sent high-water are refused: a forward
+// with a newer stamp is (or was) on a session, and its own resolution
+// owns the key — it either acked (the follower holds the newer value;
+// replaying this one would roll it back) or will re-buffer its newer
+// value itself. Callers hold ps.mu.
 func (ps *peerState) bufferDeltaLocked(key, val, stamp uint64) {
+	if e, ok := ps.sent[key]; ok && stamp < e.top {
+		return
+	}
 	if ps.delta == nil {
 		ps.delta = make(map[uint64]deltaEnt)
 	}
@@ -129,6 +163,44 @@ func (ps *peerState) bufferDeltaLocked(key, val, stamp uint64) {
 		ps.delta[key] = deltaEnt{val: val, stamp: stamp}
 	}
 	ps.gDelta.Set(int64(len(ps.delta)))
+}
+
+// noteSentLocked registers a forward handed to a session: bumps the
+// key's unresolved count, raises its stamp high-water, and evicts any
+// older buffered delta for the key — the send supersedes it (if the
+// send later degrades, wait() re-buffers it; if it acks, the older
+// value must never be replayed). Caller holds ps.mu.
+func (ps *peerState) noteSentLocked(key, stamp uint64) {
+	if ps.sent == nil {
+		ps.sent = make(map[uint64]sentEnt)
+	}
+	e := ps.sent[key]
+	e.n++
+	if stamp > e.top {
+		e.top = stamp
+	}
+	ps.sent[key] = e
+	if d, ok := ps.delta[key]; ok && d.stamp < stamp {
+		delete(ps.delta, key)
+		ps.gDelta.Set(int64(len(ps.delta)))
+	}
+}
+
+// resolvedLocked retires one forward registration and reports whether
+// the resolved stamp is the key's newest ever sent — only then may a
+// degraded resolution re-buffer its value. Caller holds ps.mu.
+func (ps *peerState) resolvedLocked(key, stamp uint64) bool {
+	e, ok := ps.sent[key]
+	newest := !ok || stamp >= e.top
+	if ok {
+		e.n--
+		if e.n == 0 {
+			delete(ps.sent, key)
+		} else {
+			ps.sent[key] = e
+		}
+	}
+	return newest
 }
 
 // slotView is the Forward hot path's routing table, swapped atomically
@@ -191,6 +263,14 @@ func (r *Replicator) Epoch() uint64 {
 		return v.epoch
 	}
 	return 0
+}
+
+// Ready implements kvserve.Replicator: true once a topology has been
+// applied. Until then the server refuses client puts — a node serving
+// before its first push would ack at RF=1 with no forward and no
+// delta charge, invisibly to the router's epoch fence.
+func (r *Replicator) Ready() bool {
+	return r.view.Load() != nil
 }
 
 // Forward implements kvserve.Replicator: called by a shard owner for
@@ -414,11 +494,12 @@ func (r *Replicator) ensureSessionLocked(ps *peerState) (int, error) {
 
 // drainDeltaLocked replays ps's delta through sess and publishes the
 // session as live. Caller holds r.mu (serializing drains); ps.mu is
-// taken only around buffer handoffs and the final publish, in chunks
-// no larger than half the window, so a delta bigger than the session
-// window cannot deadlock against its own backpressure and the wait
-// machinery (which re-buffers degraded puts under ps.mu) runs freely
-// between chunks. The final chunk is forwarded under ps.mu and the
+// held across each chunk's claims and enqueues (forwardLocked claims
+// non-blockingly, so holding the lock cannot deadlock against wait,
+// which needs it to retire send registrations) and released between
+// chunks, no larger than half the window each, so a delta bigger than
+// the session window drains in waited installments rather than
+// wedging on its own backpressure. The final chunk is forwarded under ps.mu and the
 // live publish happens before the lock drops, so every concurrent
 // Forward that raced into the degraded path lands on the wire after
 // the whole drain.
@@ -431,6 +512,7 @@ func (r *Replicator) drainDeltaLocked(ps *peerState, sess *peerSession) int {
 	toks := make([]uint64, 0, chunk)
 	for {
 		toks = toks[:0]
+		dead := false
 		ps.mu.Lock()
 		final := len(ps.delta) <= chunk
 		for k, e := range ps.delta {
@@ -438,19 +520,20 @@ func (r *Replicator) drainDeltaLocked(ps *peerState, sess *peerSession) int {
 				break
 			}
 			delete(ps.delta, k)
-			if tok, ok := sess.forward(k, e.val, e.stamp); ok {
+			if tok, ok := sess.forwardLocked(k, e.val, e.stamp); ok {
 				toks = append(toks, tok)
 			} else {
-				// Session died mid-drain: put it back and give up; the
-				// router's next catch-up round dials a fresh session.
+				// Session died (or its window is contended — only
+				// possible when it was already live) mid-drain: put the
+				// entry back and give up; the router's next catch-up
+				// round dials a fresh session or retries this one.
 				ps.bufferDeltaLocked(k, e.val, e.stamp)
-				ps.gDelta.Set(int64(len(ps.delta)))
-				ps.mu.Unlock()
-				return total
+				dead = true
+				break
 			}
 		}
 		ps.gDelta.Set(int64(len(ps.delta)))
-		if final {
+		if final && !dead {
 			ps.live.Store(sess)
 		}
 		ps.mu.Unlock()
@@ -458,13 +541,16 @@ func (r *Replicator) drainDeltaLocked(ps *peerState, sess *peerSession) int {
 		if len(toks) > 0 {
 			r.ctCatchup.Add(uint64(len(toks)))
 		}
-		// The drain is complete once the peer acked every replayed put;
-		// failures re-buffer (by stamp, so they never clobber newer
-		// live forwards' deltas) for the router's next round.
+		// Every forwarded token is waited — including on the give-up
+		// path: an unwaited token would leak its window slot forever,
+		// and its put (re-buffered by wait only if it degrades while
+		// still the key's newest send) would silently vanish from the
+		// delta. Failures re-buffer by stamp, so they never clobber
+		// newer live forwards' values.
 		for _, tok := range toks {
 			sess.wait(uint32(tok))
 		}
-		if final {
+		if final || dead {
 			return total
 		}
 	}
@@ -575,14 +661,45 @@ func newPeerSession(r *Replicator, ps *peerState, conn net.Conn, idx int) *peerS
 	return s
 }
 
-// forward claims a slot (window backpressure), fills it, and enqueues
-// the frame. Reports false when the session is down — the caller then
-// buffers the put with the same stamp.
+// forward claims a slot (blocking — window backpressure), fills it,
+// and enqueues the frame. Reports false when the session is down — the
+// caller then buffers the put with the same stamp.
 func (s *peerSession) forward(key, val, stamp uint64) (uint64, bool) {
 	if s.down.Load() {
 		return 0, false
 	}
 	idx := <-s.freeq
+	s.ps.mu.Lock()
+	tok, ok := s.enqueueLocked(idx, key, val, stamp)
+	s.ps.mu.Unlock()
+	return tok, ok
+}
+
+// forwardLocked is forward for callers already holding ps.mu (the
+// delta drain). The slot claim is non-blocking: a blocking claim under
+// ps.mu would deadlock against wait(), which needs the lock to retire
+// registrations and free slots. A contended window reads as failure —
+// the drain re-buffers and the router's next round retries.
+func (s *peerSession) forwardLocked(key, val, stamp uint64) (uint64, bool) {
+	if s.down.Load() {
+		return 0, false
+	}
+	select {
+	case idx := <-s.freeq:
+		return s.enqueueLocked(idx, key, val, stamp)
+	default:
+		return 0, false
+	}
+}
+
+// enqueueLocked fills the claimed slot, registers the send in
+// peerState.sent, and hands the frame to the sender. Registration and
+// enqueue happen under one continuous ps.mu hold — the invariant that
+// lets wait() trust the sent map: no resolution can observe a send
+// that isn't registered, and the only unregistration (the quit race
+// below) happens before the claim is ever exposed as a token. Caller
+// holds ps.mu.
+func (s *peerSession) enqueueLocked(idx uint32, key, val, stamp uint64) (uint64, bool) {
 	if s.down.Load() {
 		s.freeq <- idx
 		return 0, false
@@ -592,6 +709,7 @@ func (s *peerSession) forward(key, val, stamp uint64) (uint64, bool) {
 	sl.attempt = 0
 	sl.t0 = time.Now().UnixNano()
 	sl.inflight.Store(true)
+	s.ps.noteSentLocked(key, stamp)
 	select {
 	case s.sendq <- idx:
 		// The buffered enqueue can win this select even after teardown
@@ -607,32 +725,48 @@ func (s *peerSession) forward(key, val, stamp uint64) (uint64, bool) {
 		return uint64(s.idx)<<32 | uint64(idx), true
 	case <-s.quit:
 		if sl.inflight.CompareAndSwap(true, false) {
+			// Never sent, never a token: undo the registration under
+			// the same lock hold so the caller's re-buffer (same key,
+			// same stamp) isn't refused by its own ghost send.
+			s.ps.resolvedLocked(key, stamp)
 			s.freeq <- idx
 			return 0, false
 		}
 		// teardown resolved it first; hand the token out so the done
-		// value is consumed normally.
+		// value is consumed normally (wait retires the registration).
 		return uint64(s.idx)<<32 | uint64(idx), true
 	}
 }
 
 // wait blocks for the slot's resolution, settles the delta on
-// degradation, and recycles the slot. The return value is ack
-// eligibility, not transport success: a degraded forward is still
-// ackable iff the peer's lease has been revoked (RF=1 by design);
-// while the lease stands, degradation means the follower refused the
-// put (full) or the session died transiently — not ackable.
+// degradation, and recycles the slot. A degraded put re-enters the
+// delta buffer only if its stamp is still the key's newest ever sent
+// (resolvedLocked): a newer forward for the key — possibly on a
+// successor session published by a redial before this wait ran — owns
+// the key's delta fate, and re-buffering the older value here would
+// let a later drain roll the follower back over an acked newer put.
+// The return value is ack eligibility, not transport success: a
+// degraded forward is still ackable iff the peer's lease has been
+// revoked (RF=1 by design); while the lease stands, degradation means
+// the follower refused the put (full) or the session died transiently
+// — not ackable.
 func (s *peerSession) wait(tok uint32) bool {
 	sl := &s.slots[tok]
 	st := <-sl.done
+	key, val, stamp := sl.key, sl.val, sl.stamp
 	if st == replAcked {
 		s.r.ctAcks.Inc()
+		s.ps.mu.Lock()
+		s.ps.resolvedLocked(key, stamp)
+		s.ps.mu.Unlock()
 		s.freeq <- tok
 		return true
 	}
 	s.r.ctDegraded.Inc()
 	s.ps.mu.Lock()
-	s.ps.bufferDeltaLocked(sl.key, sl.val, sl.stamp)
+	if s.ps.resolvedLocked(key, stamp) {
+		s.ps.bufferDeltaLocked(key, val, stamp)
+	}
 	s.ps.mu.Unlock()
 	s.freeq <- tok
 	return !s.ps.alive.Load()

@@ -160,9 +160,18 @@ type Config struct {
 // full, transient connection loss): the server then answers the
 // client with backpressure instead of an ack, because an ack would
 // silently drop to RF=1 with no catch-up adjudicated.
+//
+// Ready reports whether the replicator can uphold that contract at
+// all — for internal/cluster, whether a topology epoch has been
+// applied. While a configured Replicator is not ready, the server
+// rejects client puts (OpPut; forwarded OpReplPut copies and gets
+// are unaffected) with StatusOverload: a freshly (re)started member
+// acking before its first topology push would ack at RF=1 with no
+// forward and no delta charge, outside the cluster's epoch fence.
 type Replicator interface {
 	Forward(key, val uint64) uint64
 	Wait(tok uint64) bool
+	Ready() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -236,6 +245,20 @@ func (c Config) validate() error {
 		return fmt.Errorf("kvserve: preload %d keys/shard exceeds half of Capacity %d", perShard, c.Capacity)
 	}
 	return nil
+}
+
+// PipelineUnacked returns the worst-case number of puts the server
+// can hold journaled-but-unacked across its commit pipelines under
+// the effective (defaulted) geometry: per shard, the open batch being
+// filled plus every sealed batch the commit ring can hold in flight —
+// Shards × (PipelineDepth + 1) × BatchK. Every such put may hold a
+// replication forward whose Wait cannot run until its batch flushes,
+// so a clustered deployment's per-peer forward window must strictly
+// exceed this bound or shard owners can deadlock against their own
+// flushers; internal/cluster.StartNode validates exactly that.
+func (c Config) PipelineUnacked() int {
+	c = c.withDefaults()
+	return c.Shards * (c.PipelineDepth + 1) * c.BatchK
 }
 
 // shardOf routes a key to its shard. The multiplier differs from the

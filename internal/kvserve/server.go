@@ -122,6 +122,66 @@ type replJob struct {
 	seq     int
 }
 
+// replQueue is the flusher→replWaiter handoff: an unbounded FIFO the
+// flusher pushes flushed batches' tokened acks into without ever
+// blocking. Unboundedness is a deadlock invariant, not a convenience:
+// a bounded handoff would park the flusher once the waiter lagged by
+// its capacity, and a parked flusher stops replying the *peer's*
+// token-free replicated puts — two nodes forwarding to each other
+// would wedge permanently, each waiter stuck on acks only the other
+// node's parked flusher could produce. Memory stays bounded anyway:
+// every queued put holds a replication-window slot until waited, so
+// the queue never holds more than Window tokens per peer.
+type replQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []replJob
+	head   int
+	closed bool
+}
+
+func newReplQueue() *replQueue {
+	q := &replQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a job; never blocks.
+func (q *replQueue) push(job replJob) {
+	q.mu.Lock()
+	q.jobs = append(q.jobs, job)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// pop blocks for the next job; reports false once the queue is closed
+// and drained.
+func (q *replQueue) pop() (replJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.jobs) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head == len(q.jobs) {
+		return replJob{}, false
+	}
+	job := q.jobs[q.head]
+	q.jobs[q.head] = replJob{} // drop the pending slice reference
+	q.head++
+	if q.head == len(q.jobs) {
+		q.jobs, q.head = q.jobs[:0], 0
+	}
+	return job, true
+}
+
+// close wakes the waiter to drain and exit.
+func (q *replQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
 // shardState is one shard's server-side state. The owner goroutine is
 // the sole mutator once the server starts; the flusher goroutine only
 // touches the commitItem handed to it.
@@ -146,14 +206,16 @@ type shardState struct {
 	commitCh chan *commitItem
 	freeCh   chan *commitItem
 
-	// replCh (clustered LP only) decouples the replication ack rule
+	// replq (clustered LP only) decouples the replication ack rule
 	// from the flush path: the flusher hands each batch's client acks
 	// to a per-shard completion goroutine that waits out the follower
 	// tokens and only then replies. The flusher itself must never
-	// block on a remote ack — the peer's replicated puts flow through
-	// this shard's own pipeline, so two nodes forwarding to each other
-	// with blocking flushers would deadlock cluster-wide.
-	replCh chan replJob
+	// block on a remote ack — even transitively through this handoff,
+	// which is why it is an unbounded queue (see replQueue): the
+	// peer's replicated puts flow through this shard's own pipeline,
+	// so two nodes forwarding to each other with flushers that could
+	// block anywhere on remote progress would deadlock cluster-wide.
+	replq *replQueue
 
 	// tabLo/tabHi bound the table's line addresses: only table lines
 	// may leak through the write-back queue (a stale journal-line
@@ -340,7 +402,7 @@ func New(cfg Config) (*Server, error) {
 				}
 			}
 			if cfg.Repl != nil {
-				sd.replCh = make(chan replJob, cfg.PipelineDepth)
+				sd.replq = newReplQueue()
 			}
 		} else {
 			sd.sh = lpstore.NewShard(s.mem, name, id, cfg.Capacity)
@@ -490,7 +552,7 @@ func (s *Server) Start() error {
 			s.wgFlush.Add(1)
 			go s.flusher(sd)
 		}
-		if sd.replCh != nil {
+		if sd.replq != nil {
 			s.wgRepl.Add(1)
 			go s.replWaiter(sd)
 		}
@@ -617,8 +679,8 @@ func (s *Server) shutdown(abort bool) error {
 		s.wgOwners.Wait()
 		s.wgFlush.Wait()
 		for _, sd := range s.shards {
-			if sd.replCh != nil {
-				close(sd.replCh)
+			if sd.replq != nil {
+				sd.replq.close()
 			}
 		}
 		s.wgRepl.Wait()
@@ -743,6 +805,21 @@ func (s *Server) connReader(cn *srvConn) {
 			}
 		default: // put
 			sd := s.shards[shardOf(key, len(s.shards))]
+			if op == OpPut && s.cfg.Repl != nil && !s.cfg.Repl.Ready() {
+				// A clustered member with no applied topology must not
+				// ack client puts: Forward would return 0 (no view), so
+				// the put would be acked at RF=1 with no forward and no
+				// delta charge, outside the router's epoch fence. The
+				// gate is per-op, not per-boot, so it also covers a
+				// node whose data plane came up before the first push.
+				// OpReplPut stays open — the forwarding peer's view is
+				// what charged the pair, and refusing the copy would
+				// stall that peer's catch-up into us.
+				sd.obs.rejOver.Inc()
+				s.trace(obs.EvRejectOverload, int32(sd.id), key, 0)
+				rb = appendResp(rb, seq, StatusOverload, 0)
+				break
+			}
 			r := request{op: op, seq: seq, key: key, val: val, enq: time.Now(), cn: cn}
 			select {
 			case sd.mb <- r:
@@ -993,7 +1070,7 @@ func (s *Server) flushItem(sd *shardState, it *commitItem) {
 			err = s.pf.sync()
 		}
 	}
-	if sd.replCh != nil {
+	if sd.replq != nil {
 		s.flushItemRepl(sd, it, err)
 		return
 	}
@@ -1051,7 +1128,10 @@ func (s *Server) flushItemRepl(sd *shardState, it *commitItem, err error) {
 	it.pending = it.pending[:0]
 	sd.obs.pipeInflight.Add(-1)
 	if len(toks) > 0 {
-		sd.replCh <- replJob{pending: toks, err: err}
+		// Non-blocking by construction (replq is unbounded); a send
+		// that could block here would reintroduce the cross-node
+		// flusher deadlock this split exists to prevent.
+		sd.replq.push(replJob{pending: toks, err: err})
 	}
 }
 
@@ -1072,7 +1152,11 @@ func (s *Server) flushItemRepl(sd *shardState, it *commitItem, err error) {
 // path too.
 func (s *Server) replWaiter(sd *shardState) {
 	defer s.wgRepl.Done()
-	for job := range sd.replCh {
+	for {
+		job, ok := sd.replq.pop()
+		if !ok {
+			return
+		}
 		for _, r := range job.pending {
 			ok := s.cfg.Repl.Wait(r.rtok)
 			if job.err == nil && !ok {
