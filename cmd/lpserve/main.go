@@ -94,7 +94,7 @@ func main() {
 		trace     = flag.Bool("trace", false, "enable the in-memory persistency event tracer (drain via /debug/trace?n=K)")
 		traceCap  = flag.Int("tracecap", 4096, "event tracer ring-buffer capacity")
 		nodeID    = flag.String("node-id", "", "cluster member identity; joins a cluster, making -metrics the control plane")
-		replWin   = flag.Int("repl-window", cluster.DefaultReplWindow, "cluster: in-flight replication forwards per peer")
+		replWin   = flag.Int("repl-window", cluster.DefaultReplWindow, "cluster: in-flight replication batches per peer")
 	)
 	flag.Parse()
 

@@ -147,5 +147,8 @@ const (
 	DefaultLoadFactor = 1.25
 	DefaultHeartbeat  = 50 * time.Millisecond
 	DefaultLeaseMiss  = 6
-	DefaultReplWindow = 4096
+	// DefaultReplWindow is counted in replication batches (OpReplBatch
+	// frames), not puts: one sealed group-commit batch consumes at
+	// most one slot per destination peer.
+	DefaultReplWindow = 256
 )

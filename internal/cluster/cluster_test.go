@@ -457,23 +457,24 @@ func TestNodeHealthzLifecycle(t *testing.T) {
 
 // TestStartNodeRejectsExhaustibleWindow pins the startup validation:
 // a replication window the commit pipelines can exhaust (≤ Shards ×
-// (PipelineDepth+1) × BatchK unacked puts) would deadlock the shard
-// owners against their own flushers, so StartNode must refuse it.
+// (PipelineDepth+1) sealed-but-unacked batches, each holding one
+// OpReplBatch slot per peer) would deadlock the shard owners against
+// their own flushers, so StartNode must refuse it.
 func TestStartNodeRejectsExhaustibleWindow(t *testing.T) {
 	cfg := testNodeCfg(filepath.Join(t.TempDir(), "w0.img"))
 	n, err := StartNode(NodeConfig{
 		ID:     "w0",
 		Server: cfg,
-		Repl:   ReplConfig{Window: cfg.PipelineUnacked()},
+		Repl:   ReplConfig{Window: cfg.PipelineBatches()},
 	})
 	if err == nil {
 		n.Close()
-		t.Fatalf("StartNode accepted window %d, the pipelines' exact unacked capacity", cfg.PipelineUnacked())
+		t.Fatalf("StartNode accepted window %d, the pipelines' exact unacked-batch capacity", cfg.PipelineBatches())
 	}
 	n, err = StartNode(NodeConfig{
 		ID:     "w0",
 		Server: cfg,
-		Repl:   ReplConfig{Window: cfg.PipelineUnacked() + 1},
+		Repl:   ReplConfig{Window: cfg.PipelineBatches() + 1},
 	})
 	if err != nil {
 		t.Fatalf("StartNode refused the smallest safe window: %v", err)

@@ -326,3 +326,162 @@ func TestClusterCrashKillFailover(t *testing.T) {
 	assertPairDurability(t, ids, contents, acked, sent)
 	t.Logf("acked %d puts across a process kill, failover, and rejoin; pair equality holds", len(acked))
 }
+
+// TestClusterCrashFollowerMidBatch aims the SIGKILL at the follower
+// half of the OpReplBatch path. A three-node cluster streams insert
+// load; batched replication frames are continuously in flight, so the
+// kill lands mid-run for some batch on every shard the victim follows
+// — the TCP reset arrives while the surviving primaries hold tokens on
+// unacked runs. The contract: primaries resolve those whole runs as
+// degraded without stalling (RF=1 lease-gated acks on every slot whose
+// primary survived), the delta buffer absorbs the dead window, the
+// rejoin drains it, and the reopened images show the acked-prefix and
+// no-ghost properties on every pair.
+func TestClusterCrashFollowerMidBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash drill")
+	}
+	dir := t.TempDir()
+	ids := []string{"m0", "m1", "m2"}
+	children := map[string]*childNode{}
+	paths := map[string]string{}
+	var infos []NodeInfo
+	for _, id := range ids {
+		paths[id] = filepath.Join(dir, id+".img")
+		c := spawnChildNode(t, id, paths[id], "")
+		children[id] = c
+		infos = append(infos, NodeInfo{ID: id, Addr: c.data, Ctrl: "http://" + c.ctrl})
+	}
+	defer func() {
+		for _, c := range children {
+			c.kill()
+		}
+	}()
+
+	slack := time.Duration(1)
+	if RaceEnabled {
+		slack = 4
+	}
+	r, err := StartRouter(RouterConfig{
+		Nodes:     infos,
+		Heartbeat: 15 * time.Millisecond * slack,
+		LeaseMiss: 3,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	defer r.Close()
+
+	cfg := testNodeCfg("")
+	var mu sync.Mutex
+	sent := map[uint64]uint64{}
+	acked := map[uint64]uint64{}
+	phase := map[uint64]int{}
+	curPhase := 1
+	ackedN := func() int { mu.Lock(); defer mu.Unlock(); return len(acked) }
+	setPhase := func(p int) { mu.Lock(); curPhase = p; mu.Unlock() }
+
+	loadDone := make(chan kvserve.LoadReport, 1)
+	go func() {
+		rep, _ := kvserve.RunLoad(r.Addr(), kvserve.LoadOpts{
+			Conns: 2, Window: 16, Dur: 6 * time.Second, InsertOnly: true,
+			MaxRetries: 100, Reconnect: true,
+			Streams: cfg.Streams, Keys: cfg.Keys, Seed: cfg.Seed,
+			OnSend: func(_ int, k, v uint64) { mu.Lock(); sent[k] = v; mu.Unlock() },
+			OnAck: func(_ int, k, v uint64) {
+				mu.Lock()
+				acked[k] = v
+				phase[k] = curPhase
+				mu.Unlock()
+			},
+		})
+		loadDone <- rep
+	}()
+
+	waitAcked := func(min int, why string) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for ackedN() < min {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: stuck at %d acked puts (want %d)", why, ackedN(), min)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitAcked(300, "warmup")
+
+	// The victim is a follower for roughly a third of the slots; the
+	// survivingPrimary set is the slots whose primary outlives the kill
+	// but whose replication target just vanished mid-batch — the exact
+	// paths that must keep acking at RF=1 without waiting for failover.
+	victim := "m1"
+	topo := r.Topology()
+	vi := topo.NodeIndex(victim)
+	if vi < 0 {
+		t.Fatalf("victim %s not in topology", victim)
+	}
+	followerSlots := 0
+	for _, sa := range topo.Slots {
+		if sa.Pair == vi && sa.Primary >= 0 && sa.Primary != vi {
+			followerSlots++
+		}
+	}
+	if followerSlots == 0 {
+		t.Fatalf("victim %s follows no slots; the kill would not touch the replication path", victim)
+	}
+	victimCtrl := children[victim].ctrl
+	children[victim].kill()
+	setPhase(2)
+
+	// RF=1 continuity on the surviving primaries' slots: acks must keep
+	// climbing on keys the victim was following. Count them directly.
+	deadWindowOnSurvivors := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for k, p := range phase {
+			if p != 2 {
+				continue
+			}
+			if sa := topo.Slots[SlotOf(k)]; sa.Pair == vi && sa.Primary != vi {
+				n++
+			}
+		}
+		return n
+	}
+	waitState(t, r, victim, StateDead, 5*time.Second*slack)
+	deadline := time.Now().Add(20 * time.Second)
+	for deadWindowOnSurvivors() < 50 {
+		if time.Now().After(deadline) {
+			t.Fatalf("surviving primaries acked only %d puts on the victim's followed slots",
+				deadWindowOnSurvivors())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Rejoin on the same image: journal replay plus catch-up drains the
+	// dead-window deltas back into the restarted follower.
+	children[victim] = spawnChildNode(t, victim, paths[victim], victimCtrl)
+	waitState(t, r, victim, StateAlive, 15*time.Second*slack)
+	setPhase(3)
+
+	rep := <-loadDone
+	t.Logf("load: %d ops, %d acked (%d on victim-followed slots in the dead window), %d retries, %d resets",
+		rep.Ops, rep.AckedPuts, deadWindowOnSurvivors(), rep.Retries, rep.ConnResets)
+	if rep.AckedPuts == 0 {
+		t.Fatal("no puts acked")
+	}
+
+	// Kill everything and hold the images to the pair contract: the
+	// acked prefix present on both members of every slot's pair, and no
+	// ghosts — no key on any image that a client never sent.
+	for _, c := range children {
+		c.kill()
+	}
+	contents := reopenContents(t, paths)
+	mu.Lock()
+	defer mu.Unlock()
+	assertPairDurability(t, ids, contents, acked, sent)
+	t.Logf("acked %d puts across a follower SIGKILL mid-batch; pair equality holds", len(acked))
+}

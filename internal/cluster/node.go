@@ -67,19 +67,20 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	cfg.Repl.Self = cfg.ID
 	cfg.Repl.Registry = reg
 	// The forward window must strictly exceed the commit pipelines'
-	// unacked-put capacity: each unacked put can hold a window slot
-	// whose Wait only runs after its batch flushes, so a window the
-	// pipeline can exhaust deadlocks the shard owners against their
-	// own flushers. Checked here, with defaults applied on both sides,
-	// so a small -repl-window fails loudly instead of wedging.
+	// unacked-batch capacity: each sealed-but-unacked batch can hold a
+	// window slot (one OpReplBatch run per destination peer) whose
+	// Waits only run after the batch flushes, so a window the pipeline
+	// can exhaust deadlocks the shard owners against their own
+	// flushers. Checked here, with defaults applied on both sides, so
+	// a small -repl-window fails loudly instead of wedging.
 	win := cfg.Repl.Window
 	if win <= 0 {
 		win = DefaultReplWindow
 	}
-	if unacked := cfg.Server.PipelineUnacked(); win <= unacked {
+	if batches := cfg.Server.PipelineBatches(); win <= batches {
 		return nil, fmt.Errorf(
-			"cluster: ReplConfig.Window %d must exceed the commit pipelines' unacked-put capacity %d (Shards × (PipelineDepth+1) × BatchK): raise the window or shrink the pipeline",
-			win, unacked)
+			"cluster: ReplConfig.Window %d must exceed the commit pipelines' unacked-batch capacity %d (Shards × (PipelineDepth+1)): raise the window or shrink the pipeline",
+			win, batches)
 	}
 	repl := NewReplicator(cfg.Repl)
 	cfg.Server.Repl = repl

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -18,15 +19,20 @@ import (
 // kvserve.Replicator implementation a primary uses to forward puts to
 // each key's pair peer and collect the peer's group-commit acks.
 //
-// Forwarded puts are ordinary kvserve put frames on one pipelined TCP
-// connection per peer, so replication reuses the follower's whole LP
-// machinery — mailbox admission, group commit, pipelined flush — and
-// adds one network hop, not one fsync per op. In-flight forwards live
-// in a fixed slot ring per session (the same discipline as kvserve's
-// commitItem ring): the owner's Forward takes a free slot (window
-// backpressure), a sender goroutine writes frames, a reader goroutine
-// matches acks back to slots, and the shard flusher's Wait returns the
-// slot. The steady-state forward path allocates nothing.
+// Forwarding is batched end to end — the LP amortization idea applied
+// to the network: a shard owner hands ForwardBatch its whole sealed
+// group-commit batch, the puts bound for one peer travel as a single
+// kvserve.OpReplBatch frame (one header, N pairs, one ack), and the
+// follower applies the run through its own group commit before
+// answering. K network frames + K ack wakeups per batch become 1,
+// while the ack still means what it always meant: every put in the
+// run is LP-durable on the follower. In-flight runs live in a fixed
+// slot ring per session (the same discipline as kvserve's commitItem
+// ring): ForwardBatch takes a free slot per destination peer (window
+// backpressure), a sender goroutine gathers pending frames into one
+// writev, a reader goroutine matches acks back to slots, and the
+// shard's replication waiter returns the slot after the last of the
+// run's Waits. The steady-state forward path allocates nothing.
 //
 // When a peer is unreachable (dead, lease revoked, or the connection
 // just broke), forwards for its slots divert into the peer's delta
@@ -59,8 +65,8 @@ const (
 	replDegraded = byte(0xFF) // abandoned: conn died / lease revoked / follower full
 )
 
-// noAckTok is the token Forward returns when the put was buffered for
-// a peer the topology still calls alive (session down mid-redial).
+// noAckTok is the token ForwardBatch returns when the put was buffered
+// for a peer the topology still calls alive (session down mid-redial).
 // Wait resolves it false immediately: the put must not be acked at
 // RF=1 while the follower's lease stands — the server surfaces
 // backpressure to the client instead. Real tokens carry a 1-based
@@ -68,20 +74,28 @@ const (
 // never collide.
 const noAckTok = ^uint64(0)
 
+// tokUnset marks a ForwardBatch output slot not yet claimed by any
+// peer group while the batch is being partitioned. Never escapes
+// ForwardBatch; distinct from noAckTok and from any real token (which
+// would need 2^32-2 sessions to collide).
+const tokUnset = ^uint64(0) - 1
+
 // ReplConfig configures a node's Replicator.
 type ReplConfig struct {
 	// Self is this node's ID; Forward only forwards keys whose slot
 	// lists Self as primary (a follower applying a forwarded put must
 	// not echo it back).
 	Self string
-	// Window is the per-peer in-flight forward budget (default
-	// DefaultReplWindow). Must exceed the worst-case number of puts the
-	// local commit pipeline can hold unacked — Shards × (PipelineDepth
-	// + 1) × BatchK, the open batch plus every sealed batch per shard
-	// (kvserve.Config.PipelineUnacked) — or Forward's backpressure can
-	// deadlock the owners against their own flushers. StartNode
-	// validates this against the server's effective geometry and
-	// refuses to start on a violation.
+	// Window is the per-peer in-flight forward budget, counted in
+	// replication BATCHES (OpReplBatch frames), not puts (default
+	// DefaultReplWindow). One sealed group-commit batch consumes at
+	// most one slot per destination peer, so the window must exceed
+	// the number of batches the local commit pipeline can hold unacked
+	// — Shards × (PipelineDepth + 1), the open batch plus every sealed
+	// batch per shard (kvserve.Config.PipelineBatches) — or
+	// ForwardBatch's backpressure can deadlock the owners against
+	// their own flushers. StartNode validates this against the
+	// server's effective geometry and refuses to start on a violation.
 	Window int
 	// MaxRetries is retained for configuration compatibility but no
 	// longer bounds overload retries: a forward to a live session
@@ -234,11 +248,12 @@ type Replicator struct {
 	ctCatchup  *obs.Counter   // cluster_repl_catchup_keys_total
 	ctSessions *obs.Counter   // cluster_repl_sessions_total
 	gEpoch     *obs.Gauge     // cluster_repl_epoch
-	hLag       *obs.Histogram // cluster_repl_lag_seconds: forward enqueue → follower ack
+	hLag       *obs.Histogram // cluster_repl_lag_seconds: run enqueue → follower ack
+	hBatch     *obs.Histogram // cluster_repl_batch_puts: puts per OpReplBatch frame
 }
 
-// NewReplicator builds a Replicator with no topology: every Forward
-// returns 0 until the router pushes one.
+// NewReplicator builds a Replicator with no topology: every
+// ForwardBatch fills zero tokens until the router pushes one.
 func NewReplicator(cfg ReplConfig) *Replicator {
 	cfg = cfg.withDefaults()
 	root := cfg.Registry.Scope()
@@ -254,6 +269,7 @@ func NewReplicator(cfg ReplConfig) *Replicator {
 		ctSessions: root.Counter("cluster_repl_sessions_total"),
 		gEpoch:     root.Gauge("cluster_repl_epoch"),
 		hLag:       root.HistogramScaled("cluster_repl_lag_seconds", 1e-9),
+		hBatch:     root.Histogram("cluster_repl_batch_puts"),
 	}
 }
 
@@ -273,53 +289,90 @@ func (r *Replicator) Ready() bool {
 	return r.view.Load() != nil
 }
 
-// Forward implements kvserve.Replicator: called by a shard owner for
-// every put it journals. Returns 0 when no forward is in flight.
-func (r *Replicator) Forward(key, val uint64) uint64 {
+// ForwardBatch implements kvserve.Replicator: called by a shard owner
+// once per sealed group-commit batch with every put the batch journals.
+// The batch is partitioned by destination peer; each peer's run ships
+// as one OpReplBatch frame holding one window slot, and every put in
+// the run receives the same shared token. toks[i] = 0 when put i has
+// no forward in flight.
+func (r *Replicator) ForwardBatch(keys, vals, toks []uint64) {
 	v := r.view.Load()
 	if v == nil {
-		return 0
+		for i := range toks {
+			toks[i] = 0
+		}
+		return
 	}
-	ps := v.peers[SlotOf(key)]
-	if ps == nil {
-		return 0
+	for i := range toks {
+		toks[i] = tokUnset
 	}
-	stamp := ps.stamp.Add(1)
+	for i := range keys {
+		if toks[i] != tokUnset {
+			continue
+		}
+		ps := v.peers[SlotOf(keys[i])]
+		if ps == nil {
+			toks[i] = 0
+			continue
+		}
+		r.forwardGroup(v, ps, keys, vals, toks, i)
+	}
+}
+
+// forwardGroup forwards every not-yet-claimed put at index ≥ from
+// bound for ps as one run: through the live session when there is one
+// (a single slot claim, a single frame, a shared token), otherwise
+// into the peer's delta buffer. Stamps are taken under ps.mu at
+// enqueue/buffer time, so per key — each key has exactly one shard
+// owner issuing its forwards in order — stamp order is value order.
+func (r *Replicator) forwardGroup(v *slotView, ps *peerState, keys, vals, toks []uint64, from int) {
 	if sess := ps.live.Load(); sess != nil {
-		if tok, ok := sess.forward(key, val, stamp); ok {
-			r.ctForwards.Inc()
-			return tok
+		if n, ok := sess.forwardRun(v, keys, vals, toks, from); ok {
+			r.ctForwards.Add(uint64(n))
+			return
 		}
 	}
 	// Degraded path: the peer is down (or its session died under us).
 	// Under ps.mu, re-check live — a catch-up handover may have raced
-	// us, and the lock is what orders this put after the drained delta.
+	// us, and the lock is what orders this run after the drained delta.
 	ps.mu.Lock()
 	if sess := ps.live.Load(); sess != nil {
 		ps.mu.Unlock()
-		if tok, ok := sess.forward(key, val, stamp); ok {
-			r.ctForwards.Inc()
-			return tok
+		if n, ok := sess.forwardRun(v, keys, vals, toks, from); ok {
+			r.ctForwards.Add(uint64(n))
+			return
 		}
 		ps.mu.Lock()
 	}
-	ps.bufferDeltaLocked(key, val, stamp)
 	alive := ps.alive.Load()
-	ps.mu.Unlock()
-	r.ctBuffered.Inc()
+	// While the peer's lease stands this is a transient session gap
+	// (redial in progress), not an adjudicated death: the puts may not
+	// be acked at RF=1, so they carry noAckTok — the delta will drain
+	// within the redial backoff, and until then clients get
+	// backpressure.
+	tok := uint64(0)
 	if alive {
-		// The peer's lease stands — this is a transient session gap
-		// (redial in progress), not an adjudicated death. The put may
-		// not be acked at RF=1: the delta will drain within the redial
-		// backoff, and until then the client gets backpressure.
-		return noAckTok
+		tok = noAckTok
 	}
-	return 0
+	n := 0
+	for j := from; j < len(keys); j++ {
+		if toks[j] != tokUnset || v.peers[SlotOf(keys[j])] != ps {
+			continue
+		}
+		ps.bufferDeltaLocked(keys[j], vals[j], ps.stamp.Add(1))
+		toks[j] = tok
+		n++
+	}
+	ps.mu.Unlock()
+	r.ctBuffered.Add(uint64(n))
 }
 
 // Wait implements kvserve.Replicator: blocks until the token's forward
-// resolved. Reports whether the put may be acked at the contracted
-// durability: true when the follower acked its own group commit, or
+// run resolved. A token is shared by every put of one forwarded run
+// and must be waited exactly once per put (each wait consumes one of
+// the run's slot references; the last one recycles the slot). Reports
+// whether the put may be acked at the contracted durability: true
+// when the follower acked its own group commit, or
 // when the forward degraded *after the router revoked the follower's
 // lease* (the designed RF=1 fallback — the put is in the peer's delta
 // buffer and rejoin catch-up will close the gap). False when the
@@ -494,67 +547,53 @@ func (r *Replicator) ensureSessionLocked(ps *peerState) (int, error) {
 
 // drainDeltaLocked replays ps's delta through sess and publishes the
 // session as live. Caller holds r.mu (serializing drains); ps.mu is
-// held across each chunk's claims and enqueues (forwardLocked claims
-// non-blockingly, so holding the lock cannot deadlock against wait,
-// which needs it to retire send registrations) and released between
-// chunks, no larger than half the window each, so a delta bigger than
-// the session window drains in waited installments rather than
-// wedging on its own backpressure. The final chunk is forwarded under ps.mu and the
-// live publish happens before the lock drops, so every concurrent
-// Forward that raced into the degraded path lands on the wire after
-// the whole drain.
+// held across each chunk's slot claim and enqueue (drainRunLocked
+// claims non-blockingly, so holding the lock cannot deadlock against
+// wait, which needs it to retire send registrations) and released
+// between chunks. Each chunk packs up to drainChunk puts into ONE
+// OpReplBatch run — one slot, one frame, one ack — so a delta bigger
+// than a frame drains in waited installments rather than wedging on
+// its own backpressure. The final chunk is enqueued under ps.mu and
+// the live publish happens before the lock drops, so every concurrent
+// ForwardBatch that raced into the degraded path lands on the wire
+// after the whole drain.
 func (r *Replicator) drainDeltaLocked(ps *peerState, sess *peerSession) int {
-	chunk := r.cfg.Window / 2
-	if chunk < 1 {
-		chunk = 1
-	}
 	total := 0
-	toks := make([]uint64, 0, chunk)
 	for {
-		toks = toks[:0]
-		dead := false
 		ps.mu.Lock()
-		final := len(ps.delta) <= chunk
-		for k, e := range ps.delta {
-			if len(toks) == chunk {
-				break
-			}
-			delete(ps.delta, k)
-			if tok, ok := sess.forwardLocked(k, e.val, e.stamp); ok {
-				toks = append(toks, tok)
-			} else {
-				// Session died (or its window is contended — only
-				// possible when it was already live) mid-drain: put the
-				// entry back and give up; the router's next catch-up
-				// round dials a fresh session or retries this one.
-				ps.bufferDeltaLocked(k, e.val, e.stamp)
-				dead = true
-				break
-			}
-		}
-		ps.gDelta.Set(int64(len(ps.delta)))
-		if final && !dead {
+		final := len(ps.delta) <= drainChunk
+		tok, n, ok := sess.drainRunLocked(drainChunk)
+		if final && ok {
 			ps.live.Store(sess)
 		}
 		ps.mu.Unlock()
-		total += len(toks)
-		if len(toks) > 0 {
-			r.ctCatchup.Add(uint64(len(toks)))
+		total += n
+		if n > 0 {
+			r.ctCatchup.Add(uint64(n))
 		}
-		// Every forwarded token is waited — including on the give-up
-		// path: an unwaited token would leak its window slot forever,
-		// and its put (re-buffered by wait only if it degrades while
-		// still the key's newest send) would silently vanish from the
+		// The run's token is waited once per put — including after a
+		// give-up: an unwaited token would leak its window slot
+		// forever, and its puts (re-buffered by wait only while still
+		// each key's newest send) would silently vanish from the
 		// delta. Failures re-buffer by stamp, so they never clobber
 		// newer live forwards' values.
-		for _, tok := range toks {
+		for i := 0; i < n; i++ {
 			sess.wait(uint32(tok))
 		}
-		if final || dead {
+		if !ok || final {
+			// !ok: the session died (or its window is contended — only
+			// possible when it was already live) mid-drain; the chunk's
+			// entries were re-buffered under the same lock hold, and
+			// the router's next catch-up round dials a fresh session or
+			// retries this one.
 			return total
 		}
 	}
 }
+
+// drainChunk bounds the puts packed into one catch-up OpReplBatch run
+// (half the wire-protocol ceiling — ~32 KiB frames).
+const drainChunk = kvserve.MaxReplBatch / 2
 
 // redial heals a torn-down session to a peer the topology still calls
 // alive: retry the dial with capped backoff until the session is back
@@ -617,12 +656,24 @@ func (r *Replicator) Close() {
 // ---------------------------------------------------------------------
 // peerSession: one pipelined forwarding connection.
 
+// replPut is one put of a forwarded run.
+type replPut struct{ key, val, stamp uint64 }
+
+// fwdSlot holds one in-flight OpReplBatch run: its puts, the encoded
+// wire frame (both backings reused across occupancies), and the shared
+// resolution every holder of the run's token waits on. waiters counts
+// the token references still outstanding; each wait consumes one and
+// re-publishes the resolution for the next, so the cap-1 done channel
+// serves the whole run. settled needs no atomicity: the done-channel
+// handoff orders the waits, and the first one runs the settlement.
 type fwdSlot struct {
-	key, val uint64
-	stamp    uint64
+	puts     []replPut
+	frame    []byte
 	attempt  int32
-	t0       int64       // enqueue ns, for the lag histogram
-	inflight atomic.Bool // set at forward, cleared by exactly one resolver
+	t0       int64 // enqueue ns, for the lag histogram
+	waiters  int
+	settled  bool
+	inflight atomic.Bool // set at enqueue, cleared by exactly one resolver
 	done     chan byte   // cap 1, reused across occupancies
 }
 
@@ -632,7 +683,6 @@ type peerSession struct {
 	idx int // 1-based index in r.sessions, encoded into tokens
 
 	conn  net.Conn
-	bw    *bufio.Writer
 	slots []fwdSlot
 	freeq chan uint32
 	sendq chan uint32
@@ -646,7 +696,6 @@ func newPeerSession(r *Replicator, ps *peerState, conn net.Conn, idx int) *peerS
 	s := &peerSession{
 		r: r, ps: ps, idx: idx,
 		conn:  conn,
-		bw:    bufio.NewWriterSize(conn, 1<<15),
 		slots: make([]fwdSlot, w),
 		freeq: make(chan uint32, w),
 		sendq: make(chan uint32, w),
@@ -661,55 +710,114 @@ func newPeerSession(r *Replicator, ps *peerState, conn net.Conn, idx int) *peerS
 	return s
 }
 
-// forward claims a slot (blocking — window backpressure), fills it,
-// and enqueues the frame. Reports false when the session is down — the
-// caller then buffers the put with the same stamp.
-func (s *peerSession) forward(key, val, stamp uint64) (uint64, bool) {
+// forwardRun claims a slot (blocking — window backpressure), packs
+// every not-yet-claimed put at index ≥ from that routes to this
+// session's peer into it, and enqueues the frame, filling each
+// claimed put's toks entry with the run's shared token. Reports the
+// run size and false when the session is down — the caller then
+// buffers the same puts instead (toks entries are left untouched on
+// failure).
+func (s *peerSession) forwardRun(v *slotView, keys, vals, toks []uint64, from int) (int, bool) {
 	if s.down.Load() {
 		return 0, false
 	}
 	idx := <-s.freeq
 	s.ps.mu.Lock()
-	tok, ok := s.enqueueLocked(idx, key, val, stamp)
-	s.ps.mu.Unlock()
-	return tok, ok
-}
-
-// forwardLocked is forward for callers already holding ps.mu (the
-// delta drain). The slot claim is non-blocking: a blocking claim under
-// ps.mu would deadlock against wait(), which needs the lock to retire
-// registrations and free slots. A contended window reads as failure —
-// the drain re-buffers and the router's next round retries.
-func (s *peerSession) forwardLocked(key, val, stamp uint64) (uint64, bool) {
-	if s.down.Load() {
-		return 0, false
-	}
-	select {
-	case idx := <-s.freeq:
-		return s.enqueueLocked(idx, key, val, stamp)
-	default:
-		return 0, false
-	}
-}
-
-// enqueueLocked fills the claimed slot, registers the send in
-// peerState.sent, and hands the frame to the sender. Registration and
-// enqueue happen under one continuous ps.mu hold — the invariant that
-// lets wait() trust the sent map: no resolution can observe a send
-// that isn't registered, and the only unregistration (the quit race
-// below) happens before the claim is ever exposed as a token. Caller
-// holds ps.mu.
-func (s *peerSession) enqueueLocked(idx uint32, key, val, stamp uint64) (uint64, bool) {
+	defer s.ps.mu.Unlock()
 	if s.down.Load() {
 		s.freeq <- idx
 		return 0, false
 	}
 	sl := &s.slots[idx]
-	sl.key, sl.val, sl.stamp = key, val, stamp
+	tok := uint64(s.idx)<<32 | uint64(idx)
+	sl.puts = sl.puts[:0]
+	for j := from; j < len(keys); j++ {
+		if toks[j] != tokUnset || v.peers[SlotOf(keys[j])] != s.ps {
+			continue
+		}
+		stamp := s.ps.stamp.Add(1)
+		sl.puts = append(sl.puts, replPut{key: keys[j], val: vals[j], stamp: stamp})
+		s.ps.noteSentLocked(keys[j], stamp)
+		toks[j] = tok
+	}
+	if s.commitRunLocked(idx) {
+		return len(sl.puts), true
+	}
+	// Quit race: the run never reached the sender. Undo the toks marks
+	// so the caller's degraded path re-claims these puts (the send
+	// registrations were already retired by commitRunLocked).
+	for j := from; j < len(keys); j++ {
+		if toks[j] == tok {
+			toks[j] = tokUnset
+		}
+	}
+	return 0, false
+}
+
+// drainRunLocked packs up to max delta entries into one run and
+// enqueues it, returning the shared token and the run size. The slot
+// claim is non-blocking: a blocking claim under ps.mu would deadlock
+// against wait(), which needs the lock to retire registrations and
+// free slots. A contended window reads as failure — the caller gives
+// up and the router's next round retries. On failure the popped
+// entries are re-buffered under the same lock hold (by their original
+// stamps, so they never clobber newer live forwards' values). Caller
+// holds ps.mu. ok=false means the session is unusable; n=0, ok=true
+// means the delta was already empty.
+func (s *peerSession) drainRunLocked(max int) (tok uint64, n int, ok bool) {
+	ps := s.ps
+	if len(ps.delta) == 0 {
+		return 0, 0, !s.down.Load()
+	}
+	if s.down.Load() {
+		return 0, 0, false
+	}
+	var idx uint32
+	select {
+	case idx = <-s.freeq:
+	default:
+		return 0, 0, false
+	}
+	sl := &s.slots[idx]
+	sl.puts = sl.puts[:0]
+	for k, e := range ps.delta {
+		if len(sl.puts) == max {
+			break
+		}
+		delete(ps.delta, k)
+		sl.puts = append(sl.puts, replPut{key: k, val: e.val, stamp: e.stamp})
+		ps.noteSentLocked(k, e.stamp)
+	}
+	ps.gDelta.Set(int64(len(ps.delta)))
+	tok = uint64(s.idx)<<32 | uint64(idx)
+	if s.commitRunLocked(idx) {
+		return tok, len(sl.puts), true
+	}
+	// Quit race: re-buffer what we popped (registrations already
+	// retired, so bufferDeltaLocked accepts the original stamps unless
+	// a newer send owns the key).
+	for _, p := range sl.puts {
+		ps.bufferDeltaLocked(p.key, p.val, p.stamp)
+	}
+	return 0, 0, false
+}
+
+// commitRunLocked hands a filled slot to the sender and arms its
+// shared resolution. Registration (already done by the caller) and
+// enqueue happen under one continuous ps.mu hold — the invariant that
+// lets wait() trust the sent map: no resolution can observe a send
+// that isn't registered, and the only unregistration (the quit race
+// below) happens before the claim is ever exposed as a token. On the
+// quit race it retires the run's registrations and frees the slot;
+// the caller undoes its own bookkeeping. Caller holds ps.mu.
+func (s *peerSession) commitRunLocked(idx uint32) bool {
+	sl := &s.slots[idx]
 	sl.attempt = 0
 	sl.t0 = time.Now().UnixNano()
+	sl.waiters = len(sl.puts)
+	sl.settled = false
 	sl.inflight.Store(true)
-	s.ps.noteSentLocked(key, stamp)
+	s.r.hBatch.Observe(uint64(len(sl.puts)))
 	select {
 	case s.sendq <- idx:
 		// The buffered enqueue can win this select even after teardown
@@ -722,54 +830,78 @@ func (s *peerSession) enqueueLocked(idx uint32, key, val, stamp uint64) (uint64,
 		if s.down.Load() {
 			s.resolve(idx, replDegraded)
 		}
-		return uint64(s.idx)<<32 | uint64(idx), true
+		return true
 	case <-s.quit:
 		if sl.inflight.CompareAndSwap(true, false) {
-			// Never sent, never a token: undo the registration under
-			// the same lock hold so the caller's re-buffer (same key,
-			// same stamp) isn't refused by its own ghost send.
-			s.ps.resolvedLocked(key, stamp)
+			// Never sent, never a token: undo the registrations under
+			// the same lock hold so the caller's re-buffer (same keys,
+			// same stamps) isn't refused by its own ghost sends.
+			for _, p := range sl.puts {
+				s.ps.resolvedLocked(p.key, p.stamp)
+			}
 			s.freeq <- idx
-			return 0, false
+			return false
 		}
 		// teardown resolved it first; hand the token out so the done
-		// value is consumed normally (wait retires the registration).
-		return uint64(s.idx)<<32 | uint64(idx), true
+		// value is consumed normally (the waits retire the
+		// registrations).
+		return true
 	}
 }
 
-// wait blocks for the slot's resolution, settles the delta on
-// degradation, and recycles the slot. A degraded put re-enters the
+// wait consumes one token reference of a run: blocks for the run's
+// resolution, settles the whole run's delta bookkeeping on the first
+// wakeup, re-publishes the resolution for the run's remaining waits,
+// and recycles the slot after the last. A degraded put re-enters the
 // delta buffer only if its stamp is still the key's newest ever sent
 // (resolvedLocked): a newer forward for the key — possibly on a
 // successor session published by a redial before this wait ran — owns
 // the key's delta fate, and re-buffering the older value here would
 // let a later drain roll the follower back over an acked newer put.
 // The return value is ack eligibility, not transport success: a
-// degraded forward is still ackable iff the peer's lease has been
-// revoked (RF=1 by design); while the lease stands, degradation means
-// the follower refused the put (full) or the session died transiently
-// — not ackable.
+// degraded run is still ackable iff the peer's lease has been revoked
+// (RF=1 by design); while the lease stands, degradation means the
+// follower refused the run (full) or the session died transiently —
+// not ackable.
 func (s *peerSession) wait(tok uint32) bool {
 	sl := &s.slots[tok]
 	st := <-sl.done
-	key, val, stamp := sl.key, sl.val, sl.stamp
-	if st == replAcked {
-		s.r.ctAcks.Inc()
-		s.ps.mu.Lock()
-		s.ps.resolvedLocked(key, stamp)
-		s.ps.mu.Unlock()
-		s.freeq <- tok
-		return true
+	if !sl.settled {
+		sl.settled = true
+		s.settle(sl, st)
 	}
-	s.r.ctDegraded.Inc()
+	ok := st == replAcked || !s.ps.alive.Load()
+	if sl.waiters--; sl.waiters > 0 {
+		sl.done <- st
+	} else {
+		s.freeq <- tok
+	}
+	return ok
+}
+
+// settle retires a resolved run's send registrations and, on
+// degradation, re-buffers each put still holding its key's newest
+// stamp. Runs exactly once per occupancy, on the run's first wait.
+func (s *peerSession) settle(sl *fwdSlot, st byte) {
+	n := uint64(len(sl.puts))
 	s.ps.mu.Lock()
-	if s.ps.resolvedLocked(key, stamp) {
-		s.ps.bufferDeltaLocked(key, val, stamp)
+	if st == replAcked {
+		for _, p := range sl.puts {
+			s.ps.resolvedLocked(p.key, p.stamp)
+		}
+	} else {
+		for _, p := range sl.puts {
+			if s.ps.resolvedLocked(p.key, p.stamp) {
+				s.ps.bufferDeltaLocked(p.key, p.val, p.stamp)
+			}
+		}
 	}
 	s.ps.mu.Unlock()
-	s.freeq <- tok
-	return !s.ps.alive.Load()
+	if st == replAcked {
+		s.r.ctAcks.Add(n)
+	} else {
+		s.r.ctDegraded.Add(n)
+	}
 }
 
 // resolve completes a slot exactly once.
@@ -783,31 +915,51 @@ func (s *peerSession) resolve(idx uint32, st byte) {
 	}
 }
 
+// encodeFrame (re)builds a slot's OpReplBatch wire frame into its
+// reusable buffer: one request header whose key field carries the put
+// count and whose seq is the slot index, then the run's (key, val)
+// pairs.
+func (s *peerSession) encodeFrame(idx uint32) []byte {
+	sl := &s.slots[idx]
+	var h [kvserve.ReqSize]byte
+	kvserve.EncodeReq(&h, kvserve.OpReplBatch, idx, uint64(len(sl.puts)), 0)
+	f := append(sl.frame[:0], h[:]...)
+	var p [kvserve.ReplPairSize]byte
+	for i := range sl.puts {
+		binary.LittleEndian.PutUint64(p[0:], sl.puts[i].key)
+		binary.LittleEndian.PutUint64(p[8:], sl.puts[i].val)
+		f = append(f, p[:]...)
+	}
+	sl.frame = f
+	return f
+}
+
+// sender drains the send queue, gathering every pending run's frame
+// into one vectored write — net.Buffers.WriteTo uses writev on TCP
+// connections, so syscalls scale with wakeups, not runs (let alone
+// puts). iov's backing array is rebuilt every round because WriteTo
+// consumes the slice and nils its elements.
 func (s *peerSession) sender() {
-	var f [kvserve.ReqSize]byte
+	iov := make(net.Buffers, 0, 16)
 	for {
 		select {
 		case <-s.quit:
 			return
 		case idx := <-s.sendq:
-			sl := &s.slots[idx]
-			kvserve.EncodeReq(&f, kvserve.OpReplPut, idx, sl.key, sl.val)
-			if _, err := s.bw.Write(f[:]); err != nil {
+			iov = append(iov[:0], s.encodeFrame(idx))
+			for len(s.sendq) > 0 && len(iov) < cap(iov) {
+				iov = append(iov, s.encodeFrame(<-s.sendq))
+			}
+			if _, err := iov.WriteTo(s.conn); err != nil {
 				s.teardown(err)
 				return
-			}
-			if len(s.sendq) == 0 {
-				if err := s.bw.Flush(); err != nil {
-					s.teardown(err)
-					return
-				}
 			}
 		}
 	}
 }
 
 func (s *peerSession) reader() {
-	br := bufio.NewReaderSize(s.conn, 1<<15)
+	br := bufio.NewReaderSize(s.conn, 1<<16)
 	var buf [kvserve.RespSize]byte
 	for {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -824,10 +976,13 @@ func (s *peerSession) reader() {
 		case kvserve.StatusOK:
 			s.resolve(seq, replAcked)
 		case kvserve.StatusOverload, kvserve.StatusExpired:
-			// Retry with capped backoff for as long as the session
-			// lives. An overloaded follower is backpressure, not a
-			// failure: degrading here would ack the client at RF=1
-			// with the put parked in a delta buffer nothing drains
+			// Retry the whole run with capped backoff for as long as
+			// the session lives — replicated puts are idempotent
+			// (latest value per key, and the follower re-applies the
+			// run through its own admission), so resending every pair
+			// is safe. An overloaded follower is backpressure, not a
+			// failure: degrading here would ack the clients at RF=1
+			// with the puts parked in a delta buffer nothing drains
 			// while the peer stays alive. Teardown resolves the slot
 			// degraded if the session dies mid-backoff.
 			sl.attempt++
@@ -841,8 +996,8 @@ func (s *peerSession) reader() {
 				}
 				select {
 				case s.sendq <- idx:
-					// Same post-enqueue handshake as forward: the
-					// buffered send can succeed after teardown.
+					// Same post-enqueue handshake as commitRunLocked:
+					// the buffered send can succeed after teardown.
 					if s.down.Load() {
 						s.resolve(idx, replDegraded)
 					}
@@ -852,9 +1007,9 @@ func (s *peerSession) reader() {
 			})
 		default:
 			// Full / BadRequest / Shutdown: the follower cannot take
-			// this put now; degrade it into the delta buffer. While
-			// the follower's lease stands, wait() reports the put
-			// unackable, so the client sees backpressure rather than
+			// this run now; degrade it into the delta buffer. While
+			// the follower's lease stands, wait() reports the puts
+			// unackable, so the clients see backpressure rather than
 			// a silent RF=1 ack the delta would have to make good on.
 			s.resolve(seq, replDegraded)
 		}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestReplicatorDeltaCompaction pins the RF=1 degradation cost for
+// overwrite-heavy mixes: while the pair peer is dead, the delta buffer
+// holds the latest value per live key — not one entry per missed put —
+// so catch-up replays O(live keys), no matter how long the outage or
+// how hot the keys.
+func TestReplicatorDeltaCompaction(t *testing.T) {
+	r := NewReplicator(ReplConfig{Self: "p0", Window: 8})
+	defer r.Close()
+
+	topo := &Topology{
+		Epoch: 1,
+		Nodes: []NodeInfo{
+			{ID: "p0", Addr: "127.0.0.1:9", State: StateAlive},
+			{ID: "p1", Addr: "127.0.0.1:10", State: StateDead},
+		},
+		Slots: make([]SlotAssign, NumSlots),
+	}
+	for i := range topo.Slots {
+		topo.Slots[i] = SlotAssign{Primary: 0, Follower: -1, Pair: 1}
+	}
+	if err := r.ApplyTopology(topo); err != nil {
+		t.Fatalf("ApplyTopology: %v", err)
+	}
+
+	// 100 rounds of overwrites across 32 live keys, forwarded in the
+	// batches the flusher would hand over. Every put lands in the dead
+	// peer's delta; each round supersedes the previous one.
+	const liveKeys, rounds = 32, 100
+	keys := make([]uint64, liveKeys)
+	vals := make([]uint64, liveKeys)
+	toks := make([]uint64, liveKeys)
+	for round := 0; round < rounds; round++ {
+		for j := range keys {
+			keys[j] = uint64(j + 1)
+			vals[j] = uint64(round)<<32 | uint64(j+1)
+		}
+		r.ForwardBatch(keys, vals, toks)
+		for j, tok := range toks {
+			if tok != 0 {
+				t.Fatalf("round %d key %#x: token %#x, want 0 (dead peer buffers at RF=1)",
+					round, keys[j], tok)
+			}
+		}
+	}
+
+	if n := r.DeltaLen("p1"); n != liveKeys {
+		t.Fatalf("delta holds %d entries after %d overwriting puts, want %d (one per live key)",
+			n, liveKeys*rounds, liveKeys)
+	}
+
+	// The surviving entry per key must be the newest value — replaying
+	// a stale one at catch-up would roll the follower back.
+	v := r.view.Load()
+	for j := 0; j < liveKeys; j++ {
+		key := uint64(j + 1)
+		ps := v.peers[SlotOf(key)]
+		if ps == nil {
+			t.Fatalf("key %#x routes to no peer", key)
+		}
+		ps.mu.Lock()
+		ent, ok := ps.delta[key]
+		ps.mu.Unlock()
+		want := uint64(rounds-1)<<32 | key
+		if !ok || ent.val != want {
+			t.Fatalf("key %#x buffered as %#x (ok=%v), want newest value %#x", key, ent.val, ok, want)
+		}
+	}
+}

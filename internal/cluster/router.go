@@ -1,8 +1,8 @@
 package cluster
 
 import (
-	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,15 +23,17 @@ import (
 // orchestration.
 //
 // The proxy is deliberately dumb about durability: it never acks
-// anything itself (except pings). A put's ack frame originates on the
-// slot primary after the cluster-wide ack rule is satisfied and passes
-// through untouched, so inserting the router changes where frames
-// travel, never what an ack means. Sequence numbers are client-chosen
-// and pass through too; when a backend dies, the proxy answers the
-// requests in flight to it with StatusOverload — the same "retry
-// later" clients already handle for mailbox pressure — and the
-// client's retry lands on the promoted primary once the lease flips
-// the slot table.
+// anything itself (except pings and frames it could not route at all).
+// A put's ack frame originates on the slot primary after the
+// cluster-wide ack rule is satisfied and passes through untouched —
+// as opaque bytes, not re-framed per op — so inserting the router
+// changes where frames travel, never what an ack means. Sequence
+// numbers are client-chosen and pass through too. The proxy keeps no
+// per-request state: frames that cannot reach a backend at dial time
+// are answered StatusOverload locally (nothing was in flight), while
+// a backend dying mid-flight fails the client connection fast — the
+// client's pending ops error, and a reconnecting client's retries land
+// on the promoted primary once the lease flips the slot table.
 //
 // The control loop is a lease: DefaultLeaseMiss consecutive missed
 // heartbeats declare a node dead, which (a) promotes its pair peers to
@@ -123,6 +125,7 @@ type Router struct {
 	ctRequests   *obs.Counter // cluster_router_requests_total
 	ctNoPrimary  *obs.Counter // cluster_router_noprimary_total
 	ctBackendRst *obs.Counter // cluster_router_backend_resets_total
+	ctProxyBytes *obs.Counter // router_proxy_bytes_total
 	ctFailovers  *obs.Counter // cluster_failovers_total
 	ctRejoins    *obs.Counter // cluster_rejoins_total
 	ctPushes     *obs.Counter // cluster_topology_pushes_total
@@ -198,6 +201,7 @@ func StartRouter(cfg RouterConfig) (*Router, error) {
 	r.ctRequests = root.Counter("cluster_router_requests_total")
 	r.ctNoPrimary = root.Counter("cluster_router_noprimary_total")
 	r.ctBackendRst = root.Counter("cluster_router_backend_resets_total")
+	r.ctProxyBytes = root.Counter("router_proxy_bytes_total")
 	r.ctFailovers = root.Counter("cluster_failovers_total")
 	r.ctRejoins = root.Counter("cluster_rejoins_total")
 	r.ctPushes = root.Counter("cluster_topology_pushes_total")
@@ -679,112 +683,131 @@ func (r *Router) acceptLoop() {
 	}
 }
 
-// backend is one proxy→node connection, owned by one client conn.
-type backend struct {
+// proxyClient is the client half of one proxied connection: the socket
+// plus the write mutex that interleaves whole response frames from
+// every backend relay and the local answer path.
+type proxyClient struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+// write sends one whole-frame run to the client under the write mutex.
+// Dead clients absorb writes silently — the serve loop notices on its
+// own read path and tears everything down.
+func (pc *proxyClient) write(p []byte) {
+	pc.wmu.Lock()
+	_, _ = pc.c.Write(p)
+	pc.wmu.Unlock()
+}
+
+// pbackend is one proxy→node connection, owned by one client conn. The
+// client's serve loop is its only writer (synchronous vectored writes,
+// so the read buffer the frames point into is reusable the moment the
+// write returns); a relay goroutine is its only reader, copying
+// whole-frame response runs straight to the client socket. There is no
+// per-request state: requests are opaque bytes in flight between two
+// sockets.
+type pbackend struct {
 	addr  string
 	conn  net.Conn
-	sendq chan [kvserve.ReqSize]byte
-
-	mu      sync.Mutex
-	pending map[uint32]bool
-	dead    bool
-
-	respCh chan<- [kvserve.RespSize]byte
-	ct     *obs.Counter // backend reset counter
-	wg     *sync.WaitGroup
+	pc    *proxyClient
+	dead  atomic.Bool
+	bytes *obs.Counter
+	rst   *obs.Counter
+	wg    *sync.WaitGroup
 }
 
-// send registers seq as pending and enqueues the frame. Reports false
-// when the backend already died (caller answers Overload itself).
-func (b *backend) send(seq uint32, f [kvserve.ReqSize]byte) bool {
-	b.mu.Lock()
-	if b.dead {
-		b.mu.Unlock()
-		return false
-	}
-	b.pending[seq] = true
-	b.mu.Unlock()
-	b.sendq <- f
-	return true
-}
-
-// die flushes every pending request back to the client as Overload —
-// the client retries, and by then the slot table has moved on.
-func (b *backend) die() {
-	b.mu.Lock()
-	if b.dead {
-		b.mu.Unlock()
+// die poisons the backend mid-flight and fails the client connection
+// fast: with no per-request table there is nothing to answer the
+// in-flight requests with, so the honest signal is a connection reset —
+// the client's pending ops fail, and a reconnecting client retries
+// against the post-failover slot table. Dial-time failures never reach
+// here; they are answered Overload locally with nothing in flight.
+func (b *pbackend) die() {
+	if !b.dead.CompareAndSwap(false, true) {
 		return
 	}
-	b.dead = true
-	pend := make([]uint32, 0, len(b.pending))
-	for seq := range b.pending {
-		pend = append(pend, seq)
-	}
-	b.pending = nil
-	b.mu.Unlock()
 	b.conn.Close()
-	b.ct.Inc()
-	var f [kvserve.RespSize]byte
-	for _, seq := range pend {
-		kvserve.EncodeResp(&f, seq, kvserve.StatusOverload, 0)
-		b.respCh <- f
-	}
+	b.pc.c.Close()
+	b.rst.Inc()
 }
 
-func (b *backend) sender() {
+// relay pumps response bytes node→client: large reads, whole frames
+// out, the (rare) partial frame tail carried to the next read. No
+// parsing — a response's only routing is "back to the client".
+func (b *pbackend) relay() {
 	defer b.wg.Done()
-	bw := bufio.NewWriterSize(b.conn, 1<<15)
-	for f := range b.sendq {
-		if _, err := bw.Write(f[:]); err != nil {
-			b.die()
-			// Drain so send never blocks post-death.
-			for range b.sendq {
-			}
-			return
-		}
-		if len(b.sendq) == 0 {
-			if err := bw.Flush(); err != nil {
-				b.die()
-				for range b.sendq {
-				}
-				return
-			}
-		}
-	}
-}
-
-func (b *backend) reader() {
-	defer b.wg.Done()
-	br := bufio.NewReaderSize(b.conn, 1<<15)
-	var f [kvserve.RespSize]byte
+	buf := make([]byte, 1<<16)
+	fill := 0
 	for {
-		if _, err := io.ReadFull(br, f[:]); err != nil {
+		n, err := b.conn.Read(buf[fill:])
+		if n > 0 {
+			fill += n
+			if whole := fill - fill%kvserve.RespSize; whole > 0 {
+				b.pc.write(buf[:whole])
+				b.bytes.Add(uint64(whole))
+				fill = copy(buf, buf[whole:fill])
+			}
+		}
+		if err != nil {
 			b.die()
 			return
-		}
-		seq, _, _ := kvserve.DecodeResp(&f)
-		b.mu.Lock()
-		if b.dead {
-			b.mu.Unlock()
-			return
-		}
-		known := b.pending[seq]
-		delete(b.pending, seq)
-		b.mu.Unlock()
-		if known {
-			b.respCh <- f
 		}
 	}
 }
 
-// serveClient proxies one client connection: a reader routing request
-// frames to per-node backends and a writer pumping response frames
-// (from whichever backend answers first, order-free) back.
+// proxySeg is one planned run of consecutive request frames sharing a
+// destination: node ≥ 0 routes buf[off:end] to that node's backend,
+// node < 0 answers each frame locally (ping, no topology, headless
+// slot).
+type proxySeg struct {
+	node     int
+	off, end int
+}
+
+// planChunk partitions a run of whole request frames into destination
+// segments, appending to segs (reused by the caller — the function
+// allocates nothing when capacity suffices). Routing parses only the
+// op and key of each header; payload bytes are never touched. A nil
+// topology plans everything local.
+func planChunk(chunk []byte, t *Topology, segs []proxySeg) []proxySeg {
+	for off := 0; off < len(chunk); off += kvserve.ReqSize {
+		node := -1
+		if t != nil {
+			op := chunk[off]
+			if op != kvserve.OpPing {
+				key := binary.LittleEndian.Uint64(chunk[off+5:])
+				if sa := t.Slots[SlotOf(key)]; sa.Primary >= 0 {
+					node = sa.Primary
+				}
+			}
+		}
+		if n := len(segs); n > 0 && segs[n-1].node == node && segs[n-1].end == off {
+			segs[n-1].end = off + kvserve.ReqSize
+		} else {
+			segs = append(segs, proxySeg{node: node, off: off, end: off + kvserve.ReqSize})
+		}
+	}
+	return segs
+}
+
+// serveClient proxies one client connection zero-copy: read a chunk of
+// frames, plan destination segments (parsing headers only), then ship
+// each backend's segments as one vectored write pointing into the read
+// buffer and answer the rest locally. Backend responses relay to the
+// client as opaque whole-frame runs. Steady state allocates nothing
+// and spends two syscalls per chunk per direction, not per op.
 func (r *Router) serveClient(c net.Conn) {
 	defer r.wg.Done()
+	pc := &proxyClient{c: c}
+	var bwg sync.WaitGroup // backend relay goroutines
+	backends := make(map[string]*pbackend)
 	defer func() {
+		for _, b := range backends {
+			b.die()
+		}
 		c.Close()
+		bwg.Wait()
 		r.cmu.Lock()
 		if r.conns != nil {
 			delete(r.conns, c)
@@ -792,43 +815,11 @@ func (r *Router) serveClient(c net.Conn) {
 		r.cmu.Unlock()
 	}()
 
-	respCh := make(chan [kvserve.RespSize]byte, 4096)
-	var bwg sync.WaitGroup // backend sender/reader goroutines
-
-	// Writer: pump respCh to the client; on client death keep draining
-	// so backends never block.
-	var wwg sync.WaitGroup
-	wwg.Add(1)
-	go func() {
-		defer wwg.Done()
-		bw := bufio.NewWriterSize(c, 1<<15)
-		broken := false
-		for f := range respCh {
-			if broken {
-				continue
-			}
-			if _, err := bw.Write(f[:]); err != nil {
-				broken = true
-				continue
-			}
-			if len(respCh) == 0 {
-				if err := bw.Flush(); err != nil {
-					broken = true
-				}
-			}
-		}
-	}()
-
-	backends := make(map[string]*backend)
-	getBackend := func(addr string) *backend {
+	getBackend := func(addr string) *pbackend {
 		if b := backends[addr]; b != nil {
-			b.mu.Lock()
-			dead := b.dead
-			b.mu.Unlock()
-			if !dead {
+			if !b.dead.Load() {
 				return b
 			}
-			close(b.sendq)
 			delete(backends, addr)
 		}
 		conn, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
@@ -838,74 +829,114 @@ func (r *Router) serveClient(c net.Conn) {
 		if tc, ok := conn.(*net.TCPConn); ok {
 			tc.SetNoDelay(true)
 		}
-		b := &backend{
-			addr: addr, conn: conn,
-			sendq:   make(chan [kvserve.ReqSize]byte, 1024),
-			pending: make(map[uint32]bool),
-			respCh:  respCh,
-			ct:      r.ctBackendRst,
-			wg:      &bwg,
+		b := &pbackend{
+			addr: addr, conn: conn, pc: pc,
+			bytes: r.ctProxyBytes, rst: r.ctBackendRst,
+			wg: &bwg,
 		}
-		bwg.Add(2)
-		go b.sender()
-		go b.reader()
+		bwg.Add(1)
+		go b.relay()
 		backends[addr] = b
 		return b
 	}
 
-	var req [kvserve.ReqSize]byte
-	var rsp [kvserve.RespSize]byte
-	answer := func(seq uint32, status byte, val uint64) bool {
-		kvserve.EncodeResp(&rsp, seq, status, val)
-		respCh <- rsp
-		return true
-	}
+	buf := make([]byte, 1<<16)
+	segs := make([]proxySeg, 0, 64)
+	iov := make(net.Buffers, 0, 64)
+	ans := make([]byte, 0, 64*kvserve.RespSize)
+	fill := 0
 	for {
-		if _, err := io.ReadFull(c, req[:]); err != nil {
-			break
+		n, err := c.Read(buf[fill:])
+		if err != nil && n <= 0 {
+			return
 		}
-		op, seq, key, _ := kvserve.DecodeReq(&req)
-		r.ctRequests.Inc()
-		t := r.topo.Load()
-		if t == nil {
-			// No epoch has cleared the routing fence yet.
-			answer(seq, kvserve.StatusOverload, 0)
+		fill += n
+		whole := fill - fill%kvserve.ReqSize
+		if whole == 0 {
 			continue
 		}
-		if op == kvserve.OpPing {
-			// Answered locally — readiness means "the router can route
-			// somewhere", not that a specific backend is up.
-			st := kvserve.StatusOverload
-			for i := range t.Nodes {
-				if t.Nodes[i].State == StateAlive {
-					st = kvserve.StatusOK
-					break
+		t := r.topo.Load()
+		r.ctRequests.Add(uint64(whole / kvserve.ReqSize))
+		segs = planChunk(buf[:whole], t, segs[:0])
+		for si := range segs {
+			node := segs[si].node
+			if node < 0 {
+				continue
+			}
+			// Gather every segment bound for this node into one writev.
+			iov = iov[:0]
+			for sj := si; sj < len(segs); sj++ {
+				if segs[sj].node == node {
+					iov = append(iov, buf[segs[sj].off:segs[sj].end])
+					if sj > si {
+						segs[sj].node = -2 // claimed; skip when the outer loop arrives
+					}
 				}
 			}
-			answer(seq, st, 0)
-			continue
+			var nb int64
+			b := getBackend(t.Nodes[node].Addr)
+			if b != nil {
+				var werr error
+				if nb, werr = iov.WriteTo(b.conn); werr != nil {
+					b.die()
+					return
+				}
+				r.ctProxyBytes.Add(uint64(nb))
+				continue
+			}
+			// Dial failed: nothing in flight for these frames, so answer
+			// them Overload locally — the client retries, and by then
+			// the slot table has moved on. (iov survived WriteTo-less.)
+			ans = ans[:0]
+			for _, run := range iov {
+				for off := 0; off < len(run); off += kvserve.ReqSize {
+					seq := binary.LittleEndian.Uint32(run[off+1:])
+					r.ctNoPrimary.Inc()
+					ans = appendProxyResp(ans, seq, kvserve.StatusOverload)
+				}
+			}
+			pc.write(ans)
 		}
-		sa := t.Slots[SlotOf(key)]
-		if sa.Primary < 0 {
-			r.ctNoPrimary.Inc()
-			answer(seq, kvserve.StatusOverload, 0)
-			continue
+		// Local segments: pings and unroutable frames.
+		ans = ans[:0]
+		for _, sg := range segs {
+			if sg.node != -1 {
+				continue
+			}
+			for off := sg.off; off < sg.end; off += kvserve.ReqSize {
+				op := buf[off]
+				seq := binary.LittleEndian.Uint32(buf[off+1:])
+				st := kvserve.StatusOverload
+				if op == kvserve.OpPing && t != nil {
+					// Answered locally — readiness means "the router can
+					// route somewhere", not that a specific backend is up.
+					for i := range t.Nodes {
+						if t.Nodes[i].State == StateAlive {
+							st = kvserve.StatusOK
+							break
+						}
+					}
+				} else if op != kvserve.OpPing {
+					r.ctNoPrimary.Inc()
+				}
+				ans = appendProxyResp(ans, seq, st)
+			}
 		}
-		b := getBackend(t.Nodes[sa.Primary].Addr)
-		if b == nil || !b.send(seq, req) {
-			r.ctNoPrimary.Inc()
-			answer(seq, kvserve.StatusOverload, 0)
-			continue
+		if len(ans) > 0 {
+			pc.write(ans)
+		}
+		fill = copy(buf, buf[whole:fill])
+		if err != nil {
+			return
 		}
 	}
+}
 
-	for _, b := range backends {
-		b.die()
-		close(b.sendq)
-	}
-	bwg.Wait()
-	close(respCh)
-	wwg.Wait()
+// appendProxyResp appends one locally fabricated response frame.
+func appendProxyResp(b []byte, seq uint32, status byte) []byte {
+	var f [kvserve.RespSize]byte
+	kvserve.EncodeResp(&f, seq, status, 0)
+	return append(b, f[:]...)
 }
 
 // ---------------------------------------------------------------------

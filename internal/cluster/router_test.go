@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"lazyp/internal/kvserve"
+)
+
+// planTopo builds a two-node topology with every slot owned by node 0,
+// except the slot of farKey which is owned by node 1 and the slot of
+// orphanKey which has no live primary.
+func planTopo(farKey, orphanKey uint64) *Topology {
+	t := &Topology{
+		Nodes: []NodeInfo{
+			{ID: "n0", Addr: "a0", State: StateAlive},
+			{ID: "n1", Addr: "a1", State: StateAlive},
+		},
+		Slots: make([]SlotAssign, NumSlots),
+	}
+	for i := range t.Slots {
+		t.Slots[i] = SlotAssign{Primary: 0, Follower: 1, Pair: 1}
+	}
+	t.Slots[SlotOf(farKey)] = SlotAssign{Primary: 1, Follower: 0, Pair: 0}
+	t.Slots[SlotOf(orphanKey)] = SlotAssign{Primary: -1, Follower: -1, Pair: 0}
+	return t
+}
+
+func appendReq(b []byte, op byte, seq uint32, key uint64) []byte {
+	var f [kvserve.ReqSize]byte
+	kvserve.EncodeReq(&f, op, seq, key, 0)
+	return append(b, f[:]...)
+}
+
+// TestPlanChunkSegments: the router's plan pass coalesces consecutive
+// same-destination frames into one segment, routes pings and
+// primary-less slots locally (node -1), and splits at every
+// destination change.
+func TestPlanChunkSegments(t *testing.T) {
+	// Keys whose slots stay distinct under the planTopo carve-up.
+	const nearKey, farKey, orphanKey = 3, 5, 11
+	if SlotOf(farKey) == SlotOf(orphanKey) || SlotOf(nearKey) == SlotOf(farKey) ||
+		SlotOf(nearKey) == SlotOf(orphanKey) {
+		t.Fatal("test keys collide in slot space; pick different keys")
+	}
+	topo := planTopo(farKey, orphanKey)
+
+	var chunk []byte
+	chunk = appendReq(chunk, kvserve.OpPut, 0, nearKey)
+	chunk = appendReq(chunk, kvserve.OpGet, 1, nearKey)
+	chunk = appendReq(chunk, kvserve.OpPut, 2, farKey)
+	chunk = appendReq(chunk, kvserve.OpPing, 3, 0)
+	chunk = appendReq(chunk, kvserve.OpPut, 4, orphanKey)
+	chunk = appendReq(chunk, kvserve.OpPut, 5, nearKey)
+
+	segs := planChunk(chunk, topo, nil)
+	want := []proxySeg{
+		{node: 0, off: 0, end: 2 * kvserve.ReqSize},
+		{node: 1, off: 2 * kvserve.ReqSize, end: 3 * kvserve.ReqSize},
+		{node: -1, off: 3 * kvserve.ReqSize, end: 5 * kvserve.ReqSize},
+		{node: 0, off: 5 * kvserve.ReqSize, end: 6 * kvserve.ReqSize},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("planChunk produced %d segments %+v, want %d", len(segs), segs, len(want))
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+
+	// A nil topology (none pushed yet) answers everything locally.
+	if segs := planChunk(chunk, nil, nil); len(segs) != 1 || segs[0].node != -1 {
+		t.Fatalf("nil-topology plan = %+v, want one local segment", segs)
+	}
+}
+
+// TestPlanChunkZeroAlloc pins the data plane's steady state: planning
+// a chunk into a reused segment slice allocates nothing.
+func TestPlanChunkZeroAlloc(t *testing.T) {
+	const nearKey, farKey, orphanKey = 3, 5, 11
+	topo := planTopo(farKey, orphanKey)
+	var chunk []byte
+	for i := 0; i < 64; i++ {
+		key := uint64(nearKey)
+		switch i % 3 {
+		case 1:
+			key = farKey
+		case 2:
+			key = orphanKey
+		}
+		chunk = appendReq(chunk, kvserve.OpPut, uint32(i), key)
+	}
+	segs := make([]proxySeg, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		segs = planChunk(chunk, topo, segs[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("planChunk allocates %.1f times per chunk, want 0", allocs)
+	}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// BenchSnapshot wraps one wall-clock benchmark document with the
+// context the regression gate needs to read it later: when it was
+// taken, whether it was a -quick run (quick and full runs are never
+// comparable — different geometry and duration), and how fast the
+// machine that took it was (CalibOpsS). scripts/bench_gate.sh divides
+// throughput by CalibOpsS and multiplies latency by it before applying
+// its tolerance, so a snapshot taken on one machine still gates a run
+// on another — roughly: the calibration cancels exactly only on the
+// same hardware, which is why the gate's tolerance is wide.
+type BenchSnapshot struct {
+	Date      string          `json:"date"`
+	Quick     bool            `json:"quick"`
+	CalibOpsS float64         `json:"calib_ops_s"`
+	Doc       json.RawMessage `json:"doc"`
+}
+
+// BenchHistory is the on-disk shape of BENCH_serve.json and
+// BENCH_cluster.json: an append-only list of dated snapshots, newest
+// last. Git history is the long-term archive; the committed file only
+// needs enough entries for the gate (the newest quick snapshot) and
+// the trajectory tables (the newest full snapshot).
+type BenchHistory struct {
+	Benchmark string          `json:"benchmark"`
+	Snapshots []BenchSnapshot `json:"snapshots"`
+}
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
+
+// Calibrate measures single-core integer throughput with a fixed
+// mixing loop — a machine-speed scalar, not a benchmark of anything in
+// this repo. Best of three short runs, so a scheduling hiccup lowers
+// one sample instead of the result.
+func Calibrate() float64 {
+	const iters = 1 << 24
+	best := 0.0
+	for run := 0; run < 3; run++ {
+		x := uint64(0x9e3779b97f4a7c15)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			x ^= x >> 33
+			x *= 0xff51afd7ed558ccd
+			x ^= x >> 29
+		}
+		calibSink += x
+		if r := float64(iters) / time.Since(start).Seconds(); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// AppendSnapshot stamps doc as a dated snapshot and appends it to the
+// history file at path, creating the file if needed. A file in the old
+// single-document format (or otherwise unreadable as a history) starts
+// a fresh history — the previous contents live in git. The write is
+// atomic (temp file + rename) so a crash never truncates the history.
+func AppendSnapshot(path, benchmark string, quick bool, doc any) (BenchSnapshot, error) {
+	raw, err := json.MarshalIndent(doc, "    ", "  ")
+	if err != nil {
+		return BenchSnapshot{}, err
+	}
+	snap := BenchSnapshot{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Quick:     quick,
+		CalibOpsS: Calibrate(),
+		Doc:       raw,
+	}
+	hist := BenchHistory{Benchmark: benchmark}
+	if b, err := os.ReadFile(path); err == nil {
+		var h BenchHistory
+		if json.Unmarshal(b, &h) == nil && h.Benchmark == benchmark {
+			hist = h
+		}
+	}
+	hist.Snapshots = append(hist.Snapshots, snap)
+
+	out, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return snap, err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return snap, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return snap, fmt.Errorf("harness: commit snapshot: %w", err)
+	}
+	return snap, nil
+}

@@ -12,7 +12,6 @@ import (
 
 	"lazyp/internal/cluster"
 	"lazyp/internal/kvserve"
-	"lazyp/internal/lpstore"
 )
 
 // expCluster is E16: the multi-node story measured end to end. Three
@@ -33,31 +32,8 @@ func expCluster(w io.Writer, o Options) error {
 	}
 	defer os.RemoveAll(dir)
 
-	nodeCfg := func(path string) kvserve.Config {
-		c := kvserve.Config{
-			Addr: "127.0.0.1:0", Path: path, Mode: lpstore.ModeLP,
-			Shards: 2, Capacity: 1 << 15, MaxOps: 1 << 17, BatchK: 16,
-			Streams: 4, Keys: 2048, Seed: 16,
-			Mailbox: 256, BatchWait: 300 * time.Microsecond,
-			PipelineDepth: 2,
-		}
-		if o.Quick {
-			// Shrink the table but not the journal: rounds share the
-			// nodes, and the insert-only drill must not exhaust a
-			// shard's LP journal — a full journal answers StatusFull,
-			// which stalls rejoin catch-up (replays degrade forever)
-			// instead of failing loudly.
-			c.Capacity = 1 << 13
-			c.Streams, c.Keys = 2, 256
-		}
-		return c
-	}
-	ref := nodeCfg("")
-	load := kvserve.LoadOpts{
-		Conns: 2, Window: 32, Ops: 10000,
-		Mix: "a", Dist: "zipfian",
-		Streams: ref.Streams, Keys: ref.Keys, Seed: ref.Seed,
-	}
+	nodeCfg := func(path string) kvserve.Config { return clusterNodeCfg(o, path) }
+	load := clusterLoadOpts(o, nodeCfg(""))
 	if o.Quick {
 		load.Ops = 300
 	}

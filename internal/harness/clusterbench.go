@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lazyp/internal/cluster"
+	"lazyp/internal/kvserve"
+	"lazyp/internal/lpstore"
+)
+
+// clusterNodeCfg is the member geometry shared by E16 and the cluster
+// benchmark — the same knobs, so BENCH_cluster.json numbers and the
+// experiment table move together.
+func clusterNodeCfg(o Options, path string) kvserve.Config {
+	c := kvserve.Config{
+		Addr: "127.0.0.1:0", Path: path, Mode: lpstore.ModeLP,
+		Shards: 2, Capacity: 1 << 15, MaxOps: 1 << 17, BatchK: 32,
+		Streams: 4, Keys: 2048, Seed: 16,
+		Mailbox: 256, BatchWait: 300 * time.Microsecond,
+		PipelineDepth: 2,
+	}
+	if o.Quick {
+		// Shrink the table but not the journal: rounds share the
+		// nodes, and insert-heavy phases must not exhaust a shard's LP
+		// journal — a full journal answers StatusFull, which stalls
+		// replication catch-up (replays degrade forever) instead of
+		// failing loudly.
+		c.Capacity = 1 << 13
+		c.Streams, c.Keys = 2, 256
+	}
+	return c
+}
+
+// clusterLoadOpts is the offered load E16 and the cluster benchmark
+// share: few fat connections, so response flushes and replication
+// batches actually fill (see DESIGN.md §11).
+func clusterLoadOpts(o Options, ref kvserve.Config) kvserve.LoadOpts {
+	return kvserve.LoadOpts{
+		Conns: 2, Window: 128, Ops: 40000,
+		Mix: "a", Dist: "zipfian",
+		Streams: ref.Streams, Keys: ref.Keys, Seed: ref.Seed,
+	}
+}
+
+// ClusterBenchRecord is one load measurement against a topology — the
+// unit of the BENCH_cluster.json trajectory, the cluster sibling of
+// ServeBenchRecord.
+type ClusterBenchRecord struct {
+	Topology   string  `json:"topology"`
+	Ops        uint64  `json:"ops"`
+	Throughput float64 `json:"throughput_ops_s"`
+	P50us      float64 `json:"p50_us"`
+	P99us      float64 `json:"p99_us"`
+	Overloads  uint64  `json:"overloads"`
+	ConnResets uint64  `json:"conn_resets"`
+}
+
+// ClusterBenchDoc is the BENCH_cluster.json document body: the load
+// and member geometry, then one record per topology — "single" (one
+// node, direct) and "routed" (three members behind the router, every
+// put LP-ack replicated to its pair). The routed/single ratio is the
+// replication + proxy tax this trajectory exists to watch.
+type ClusterBenchDoc struct {
+	Nodes      int                  `json:"nodes"`
+	Conns      int                  `json:"conns"`
+	Window     int                  `json:"window"`
+	OpsPerConn int                  `json:"ops_per_conn"`
+	Shards     int                  `json:"shards"`
+	BatchK     int                  `json:"batch_k"`
+	ReplWindow int                  `json:"repl_window"`
+	Records    []ClusterBenchRecord `json:"records"`
+}
+
+// RunClusterBench measures the two steady-state E16 topologies (no
+// failover drill — that is correctness territory, covered by the crash
+// tests) under the shared cluster geometry. Wall-clock native: run it
+// alone, not under a simulation pool.
+func RunClusterBench(o Options) (ClusterBenchDoc, error) {
+	dir, err := os.MkdirTemp("", "lpcluster-bench-*")
+	if err != nil {
+		return ClusterBenchDoc{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	ref := clusterNodeCfg(o, "")
+	load := clusterLoadOpts(o, ref)
+	if o.Quick {
+		// Quick still needs enough ops for a stable rate: the gate
+		// compares this run against the committed snapshot, and a
+		// sub-50ms run is all warmup.
+		load.Ops = 20000
+	}
+	const replWindow = 512
+	doc := ClusterBenchDoc{
+		Nodes: 3, Conns: load.Conns, Window: load.Window, OpsPerConn: load.Ops,
+		Shards: ref.Shards, BatchK: ref.BatchK, ReplWindow: replWindow,
+	}
+
+	// Topology 1: one plain kvserve node, no router, no replication.
+	single, err := kvserve.New(clusterNodeCfg(o, filepath.Join(dir, "single.img")))
+	if err != nil {
+		return doc, fmt.Errorf("clusterbench: single: %w", err)
+	}
+	if err := single.Start(); err != nil {
+		single.Close()
+		return doc, fmt.Errorf("clusterbench: single: %w", err)
+	}
+	rep, lerr := kvserve.RunLoad(single.Addr(), load)
+	if cerr := single.Close(); cerr != nil {
+		return doc, fmt.Errorf("clusterbench: single drain: %w", cerr)
+	}
+	if lerr != nil {
+		return doc, fmt.Errorf("clusterbench: single load: %w", lerr)
+	}
+	doc.Records = append(doc.Records, ClusterBenchRecord{
+		Topology: "single", Ops: rep.Ops, Throughput: rep.Throughput,
+		P50us: rep.P50us, P99us: rep.P99us,
+		Overloads: rep.Overloads, ConnResets: rep.ConnResets,
+	})
+
+	// Topology 2: three members behind the router, LP-acked replication
+	// on every put.
+	ids := []string{"b0", "b1", "b2"}
+	nodes := make([]*cluster.Node, 0, len(ids))
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	var infos []cluster.NodeInfo
+	for _, id := range ids {
+		n, err := cluster.StartNode(cluster.NodeConfig{
+			ID:     id,
+			Server: clusterNodeCfg(o, filepath.Join(dir, id+".img")),
+			Repl:   cluster.ReplConfig{Window: replWindow},
+		})
+		if err != nil {
+			return doc, fmt.Errorf("clusterbench: node %s: %w", id, err)
+		}
+		nodes = append(nodes, n)
+		infos = append(infos, cluster.NodeInfo{
+			ID: id, Addr: n.Server().Addr(), Ctrl: "http://" + n.CtrlAddr(),
+		})
+	}
+	slack := time.Duration(1)
+	if cluster.RaceEnabled {
+		slack = 4
+	}
+	r, err := cluster.StartRouter(cluster.RouterConfig{
+		Nodes:     infos,
+		Heartbeat: 20 * time.Millisecond * slack,
+		LeaseMiss: 3,
+	})
+	if err != nil {
+		return doc, fmt.Errorf("clusterbench: router: %w", err)
+	}
+	defer r.Close()
+
+	rep, lerr = kvserve.RunLoad(r.Addr(), load)
+	if lerr != nil {
+		return doc, fmt.Errorf("clusterbench: routed load: %w", lerr)
+	}
+	doc.Records = append(doc.Records, ClusterBenchRecord{
+		Topology: "routed", Ops: rep.Ops, Throughput: rep.Throughput,
+		P50us: rep.P50us, P99us: rep.P99us,
+		Overloads: rep.Overloads, ConnResets: rep.ConnResets,
+	})
+	return doc, nil
+}

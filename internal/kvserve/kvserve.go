@@ -129,31 +129,44 @@ type Config struct {
 	TraceCap int
 
 	// Repl, when non-nil, is the cluster replication hook (LP only):
-	// the shard owner calls Forward for every journaled put, and the
-	// commit flusher calls Wait after the batch's local write set is
-	// durable — so a put is acked to the client only once both the
-	// local group commit and the follower's own group commit have
-	// completed. See internal/cluster.Replicator.
+	// the shard owner calls ForwardBatch with each sealed group-commit
+	// batch's client puts, and the commit flusher calls Wait after the
+	// batch's local write set is durable — so a put is acked to the
+	// client only once both the local group commit and the follower's
+	// own group commit have completed. See internal/cluster.Replicator.
 	Repl Replicator
 }
 
 // Replicator is the primary→follower replication hook a clustered
 // server calls on its LP put path. Implementations (internal/cluster)
-// consistent-hash the key to its follower peer and forward the put
-// over a pipelined connection.
+// consistent-hash each key to its pair peer and ship the puts over a
+// pipelined connection as OpReplBatch frames — whole group-commit
+// batches per frame, one follower ack per frame, so replication's
+// network and wakeup costs amortize exactly like LP's persist costs.
 //
-// Forward is called by the shard owner goroutine right after the put
-// is journaled locally; it must not block beyond replication-window
-// backpressure. It returns an opaque token, or 0 when the put needs no
-// forward (this node is not the key's primary, the key's slot has no
-// live follower — the put is then buffered for delta catch-up — or
-// replication is not configured for the key).
+// ForwardBatch is called by the shard owner goroutine at seal time
+// with the sealed batch's client puts (parallel keys/vals slices; the
+// open batch's forwarded copies never include OpReplPut arrivals). It
+// groups the puts by destination peer, ships each group as one frame
+// sharing one ack, and fills toks[i] with each put's wait token: all
+// puts of a group carry the same token, and a token of 0 means the
+// put needs no forward (this node is not the key's primary, the
+// key's slot has no live follower — the put is then buffered for
+// delta catch-up — or replication is not configured for the key). It
+// must not block beyond replication-window backpressure, and it is
+// called by the owner — never the flusher — because window
+// backpressure may block until a *remote* ack frees a slot, and a
+// flusher blocked on remote progress deadlocks two nodes that
+// forward to each other (each node's follower acks are produced by
+// its flusher).
 //
 // Wait is called on the commit completion path after the local write
-// set (and fsync, if priced) completed, once per nonzero token, in
-// seal order. It blocks until the forward resolved and reports
-// whether the put may be acked to the client: true when the follower
-// acked its own group commit, or when the forward degraded after the
+// set (and fsync, if priced) completed, once per nonzero token — a
+// group's shared token is waited once per put carrying it, all from
+// the shard's single completion goroutine, in seal order. It blocks
+// until the forward resolved and reports whether the put may be
+// acked to the client: true when the follower acked the group inside
+// its own group commit, or when the forward degraded after the
 // cluster revoked the follower's lease (the designed RF=1 fallback —
 // the put is buffered for rejoin catch-up). False when the forward
 // failed while the follower is still considered alive (follower
@@ -164,12 +177,13 @@ type Config struct {
 // Ready reports whether the replicator can uphold that contract at
 // all — for internal/cluster, whether a topology epoch has been
 // applied. While a configured Replicator is not ready, the server
-// rejects client puts (OpPut; forwarded OpReplPut copies and gets
-// are unaffected) with StatusOverload: a freshly (re)started member
-// acking before its first topology push would ack at RF=1 with no
-// forward and no delta charge, outside the cluster's epoch fence.
+// rejects client puts (OpPut; forwarded OpReplPut/OpReplBatch copies
+// and gets are unaffected) with StatusOverload: a freshly
+// (re)started member acking before its first topology push would ack
+// at RF=1 with no forward and no delta charge, outside the cluster's
+// epoch fence.
 type Replicator interface {
-	Forward(key, val uint64) uint64
+	ForwardBatch(keys, vals []uint64, toks []uint64)
 	Wait(tok uint64) bool
 	Ready() bool
 }
@@ -251,14 +265,26 @@ func (c Config) validate() error {
 // can hold journaled-but-unacked across its commit pipelines under
 // the effective (defaulted) geometry: per shard, the open batch being
 // filled plus every sealed batch the commit ring can hold in flight —
-// Shards × (PipelineDepth + 1) × BatchK. Every such put may hold a
-// replication forward whose Wait cannot run until its batch flushes,
-// so a clustered deployment's per-peer forward window must strictly
-// exceed this bound or shard owners can deadlock against their own
-// flushers; internal/cluster.StartNode validates exactly that.
+// Shards × (PipelineDepth + 1) × BatchK.
 func (c Config) PipelineUnacked() int {
 	c = c.withDefaults()
 	return c.Shards * (c.PipelineDepth + 1) * c.BatchK
+}
+
+// PipelineBatches returns the worst-case number of sealed-but-unacked
+// group-commit batches across the commit pipelines — Shards ×
+// (PipelineDepth + 1): per shard, the batch being sealed plus every
+// batch the commit ring can hold in flight. Each such batch forwards
+// at most one replication group (one window slot) per pair peer whose
+// Wait cannot run until the batch flushes, so a clustered
+// deployment's per-peer forward window is sized in these units and
+// must strictly exceed this bound or the shard owners' seal-time
+// ForwardBatch backpressure can deadlock them against their own
+// completion goroutines; internal/cluster.StartNode validates exactly
+// that.
+func (c Config) PipelineBatches() int {
+	c = c.withDefaults()
+	return c.Shards * (c.PipelineDepth + 1)
 }
 
 // shardOf routes a key to its shard. The multiplier differs from the

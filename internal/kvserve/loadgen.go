@@ -393,6 +393,16 @@ func (lw *loadWorker) target(addr string, now time.Time) (*lgTarget, time.Time) 
 		}
 		t.dialAttempt++
 		t.notBefore = now.Add(backoffDur(t.dialAttempt))
+		// A refused dial is the same staleness signal as a dropped
+		// connection: the routed-to node may be gone for good, and
+		// only a topology refresh can re-point the affected keys. The
+		// established-connection path (fail) already refreshes; a
+		// worker that never got that far — e.g. reconnecting after
+		// failover straight to the dead member's address — must too,
+		// or it retries the dead address until MaxRetries runs out.
+		if lw.o.Refresh != nil {
+			lw.o.Refresh()
+		}
 		return nil, t.notBefore
 	}
 	t.conn = c

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"syscall"
 
 	"lazyp/internal/memsim"
 )
@@ -42,13 +43,27 @@ func headerBytes(cfg Config, imageSize int) []byte {
 // pmemFile is the durability domain: a file holding the geometry header
 // followed by a byte-for-byte copy of the memsim image. The heap image
 // is the cache; a line is durable exactly when it has been written
-// here. All writes are positional (WriteAt), so the background
-// write-back goroutine and a shard owner can write disjoint lines
-// concurrently without coordination.
+// here. Writes land through a MAP_SHARED mapping of the image region
+// when the platform grants one (img != nil), falling back to positional
+// WriteAt. Either way disjoint lines may be written concurrently
+// without coordination — the write-back goroutine and a shard owner
+// never share a line.
+//
+// The mapping preserves the crash model. A SIGKILL'd process loses its
+// heap (the simulated cache) but not the page cache: bytes stored into
+// the shared mapping are exactly as durable as bytes pwrite()n, so
+// "persisted ⊆ stored-to-file" is unchanged. What changes is tearing
+// granularity — a kill can now land between the 8-byte stores of one
+// line instead of between whole-line pwrites. Real NVM persists with
+// 8-byte atomicity, so the mapping is the more faithful simulation;
+// LP's batch checksums are the recovery story for torn lines either
+// way. What the mapping buys is the hot path: a line persist becomes
+// ~8 stores instead of a syscall.
 type pmemFile struct {
 	f     *os.File
 	mem   *memsim.Memory
 	fsync bool
+	img   []byte // MAP_SHARED view of the image region; nil → WriteAt
 }
 
 // openPmemFile opens or creates the backing file for mem. A zero-size
@@ -80,6 +95,7 @@ func openPmemFile(path string, cfg Config, mem *memsim.Memory) (pf *pmemFile, re
 		if err = f.Truncate(int64(headerSize + mem.Size())); err != nil {
 			return nil, false, err
 		}
+		pf.mapImage()
 		return pf, false, nil
 	}
 	got := make([]byte, headerSize)
@@ -95,7 +111,19 @@ func openPmemFile(path string, cfg Config, mem *memsim.Memory) (pf *pmemFile, re
 	if st.Size() != int64(headerSize+mem.Size()) {
 		return nil, false, fmt.Errorf("kvserve: %s is %d bytes, want %d", path, st.Size(), headerSize+mem.Size())
 	}
+	pf.mapImage()
 	return pf, true, nil
+}
+
+// mapImage tries to establish the shared mapping of the image region.
+// headerSize is one page, so the offset is always aligned. Failure is
+// not an error — the WriteAt path remains correct, just slower.
+func (p *pmemFile) mapImage() {
+	img, err := syscall.Mmap(int(p.f.Fd()), headerSize, p.mem.Size(),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err == nil {
+		p.img = img
+	}
 }
 
 // writeLine durably writes the 64-byte line containing a, composed
@@ -104,6 +132,12 @@ func openPmemFile(path string, cfg Config, mem *memsim.Memory) (pf *pmemFile, re
 // owners exist).
 func (p *pmemFile) writeLine(a memsim.Addr) error {
 	la := memsim.LineOf(a)
+	if p.img != nil {
+		for i := 0; i < memsim.LineSize; i += 8 {
+			binary.LittleEndian.PutUint64(p.img[int(la)+i:], p.mem.Load64(la+memsim.Addr(i)))
+		}
+		return nil
+	}
 	var buf [memsim.LineSize]byte
 	for i := 0; i < memsim.LineSize; i += 8 {
 		binary.LittleEndian.PutUint64(buf[i:], p.mem.Load64(la+memsim.Addr(i)))
@@ -116,6 +150,10 @@ func (p *pmemFile) writeLine(a memsim.Addr) error {
 // its owner — the write-back goroutine's path, which must not read the
 // heap image itself (the owner may be mutating it).
 func (p *pmemFile) writeLineBytes(la memsim.Addr, buf *[memsim.LineSize]byte) error {
+	if p.img != nil {
+		copy(p.img[la:int(la)+memsim.LineSize], buf[:])
+		return nil
+	}
 	_, err := p.f.WriteAt(buf[:], headerSize+int64(la))
 	return err
 }
@@ -132,9 +170,15 @@ func (p *pmemFile) snapshotLine(a memsim.Addr) (la memsim.Addr, buf [memsim.Line
 // writeImage durably writes the whole heap image — the fresh-boot path
 // after preload, the file-side analogue of Memory.Persist.
 func (p *pmemFile) writeImage() error {
+	size := p.mem.Size()
+	if p.img != nil {
+		for i := 0; i < size; i += 8 {
+			binary.LittleEndian.PutUint64(p.img[i:], p.mem.Load64(memsim.Addr(i)))
+		}
+		return p.f.Sync()
+	}
 	const chunk = 1 << 16
 	buf := make([]byte, chunk)
-	size := p.mem.Size()
 	for off := 0; off < size; off += chunk {
 		n := chunk
 		if size-off < n {
@@ -154,9 +198,16 @@ func (p *pmemFile) writeImage() error {
 // durable image is synchronized too, so in-process inspection helpers
 // built on memsim see RAM == NVMM, the post-crash condition.
 func (p *pmemFile) readImage() error {
+	size := p.mem.Size()
+	if p.img != nil {
+		for i := 0; i < size; i += 8 {
+			p.mem.Store64(memsim.Addr(i), binary.LittleEndian.Uint64(p.img[i:]))
+		}
+		p.mem.Persist(0, size)
+		return nil
+	}
 	const chunk = 1 << 16
 	buf := make([]byte, chunk)
-	size := p.mem.Size()
 	for off := 0; off < size; off += chunk {
 		n := chunk
 		if size-off < n {
@@ -173,6 +224,15 @@ func (p *pmemFile) readImage() error {
 	return nil
 }
 
+// sync makes every line written so far storage-durable. fsync flushes
+// all dirty pages of the inode, including pages dirtied through the
+// shared mapping, so one path serves both write modes.
 func (p *pmemFile) sync() error { return p.f.Sync() }
 
-func (p *pmemFile) close() error { return p.f.Close() }
+func (p *pmemFile) close() error {
+	if p.img != nil {
+		syscall.Munmap(p.img)
+		p.img = nil
+	}
+	return p.f.Close()
+}

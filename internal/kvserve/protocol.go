@@ -34,9 +34,27 @@ const (
 	// amplify forever.
 	OpReplPut = 'R'
 	OpPing    = 'N'
+	// OpReplBatch is a run of replicated puts sharing one header and
+	// one ack: a standard request header whose key field carries the
+	// put count, followed by count 16-byte (key, val) pairs. Each put
+	// is applied exactly like OpReplPut (admission, journaling, group
+	// commit, never re-forwarded); the receiver answers a single
+	// response carrying the header's seq once every put in the run has
+	// settled inside its own group commit — the worst member status
+	// wins, so one StatusOK ack still means "every put in this run is
+	// LP-durable here". This is the cluster's replication amortization:
+	// one frame and one ack per forwarded batch instead of per put.
+	OpReplBatch = 'B'
 
 	ReqSize  = 1 + 4 + 8 + 8
 	RespSize = 4 + 1 + 8
+	// ReplPairSize is the size of one (key, val) pair in an OpReplBatch
+	// payload.
+	ReplPairSize = 16
+	// MaxReplBatch bounds the put count an OpReplBatch header may
+	// declare — a receiver-side allocation guard, far above any real
+	// group-commit batch.
+	MaxReplBatch = 4096
 )
 
 // Response status codes.

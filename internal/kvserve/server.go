@@ -2,6 +2,7 @@ package kvserve
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -27,51 +28,140 @@ type request struct {
 	key, val uint64
 	enq      time.Time
 	cn       *srvConn
-	// rtok is the replication token from Replicator.Forward (0 = no
-	// forward in flight); the flusher waits on it after the local
-	// write set is durable and before acking the client.
+	// rb, when non-nil, makes this request one member of an OpReplBatch
+	// run: replies aggregate into rb instead of answering the wire, and
+	// the run's single response goes out when the last member settles.
+	rb *replBatch
+	// sealHint marks the last member a run routed to this shard: the
+	// run is already an amortized batch (the primary's group commit),
+	// so the owner seals at the run boundary instead of holding the
+	// follower's copy for the BatchWait deadline — replication adds a
+	// network hop, not a second batching delay. Advisory: the owner
+	// ignores it while more work is queued (back-to-back runs coalesce
+	// into fuller batches), and the deadline stays as the safety net.
+	sealHint bool
+	// rtok is the replication token from Replicator.ForwardBatch (0 =
+	// no forward in flight); the flusher waits on it after the local
+	// write set is durable and before acking the client. Puts of one
+	// batch forwarded to the same peer share a token.
 	rtok uint64
 }
 
-// wireResp is one response queued on a connection's writer.
-type wireResp struct {
-	seq    uint32
-	status byte
-	val    uint64
+// reply answers the request: directly on the wire, or — for an
+// OpReplBatch member — into the run's aggregate, which acks once when
+// its last member settles. Every reply site must go through here.
+func (r *request) reply(status byte, val uint64) {
+	if r.rb != nil {
+		r.rb.reply(status)
+		return
+	}
+	r.cn.reply(r.seq, status, val)
+}
+
+// replBatch aggregates one OpReplBatch run's member outcomes into the
+// single response the forwarding primary waits on. Members may settle
+// from different shards' flushers concurrently; the worst status wins
+// (the codes order by severity: OK < ... < Overload < Expired < Full <
+// BadRequest < Shutdown), so the primary retries or degrades the whole
+// run on any member failure — safe, because replicated puts are
+// idempotent re-applications of values the primary already journaled.
+type replBatch struct {
+	cn        *srvConn
+	seq       uint32
+	remaining atomic.Int32
+	worst     atomic.Uint32
+}
+
+func (b *replBatch) reply(status byte) {
+	for {
+		cur := b.worst.Load()
+		if uint32(status) <= cur || b.worst.CompareAndSwap(cur, uint32(status)) {
+			break
+		}
+	}
+	if b.remaining.Add(-1) == 0 {
+		b.cn.reply(b.seq, byte(b.worst.Load()), 0)
+	}
 }
 
 // srvConn is the server side of one client connection. Two goroutines
 // serve it: a reader that decodes frames, answers gets/pings/rejects
 // inline into a batched response buffer, and routes puts to shard
-// mailboxes; and a writer that drains out (put acks arriving from shard
-// flushers). Both sink response bytes into the shared bufio.Writer
-// under wmu — frames are order-independent by protocol design, so
-// interleaving at frame granularity is fine. Owners and flushers never
-// write the socket themselves — they queue on out, and a dead
-// connection (done closed) absorbs replies.
+// mailboxes; and a writer that drains pend (put acks arriving from
+// shard flushers). Owners and flushers never write the socket
+// themselves — reply appends the encoded frame to pend under wmu and
+// pokes the writer; a dead connection (done closed) absorbs replies.
+//
+// Socket writes are serialized by smu, separate from wmu so a reply
+// append never waits out a syscall in flight. The reader's drain point
+// steals pend and hands it to the kernel *together with* its own
+// inline-response batch as one writev — acks and get responses that
+// accumulated while the client's window was in flight leave in a
+// single syscall (see flushResponses).
 type srvConn struct {
-	c    net.Conn
-	bw   *bufio.Writer
-	wmu  sync.Mutex // guards bw
-	out  chan wireResp
-	done chan struct{}
-	once sync.Once
+	c     net.Conn
+	wmu   sync.Mutex    // guards pend/spare
+	smu   sync.Mutex    // serializes socket writes
+	pend  []byte        // encoded response frames queued by owners/flushers
+	spare []byte        // recycled pend backing, nil while on loan
+	wake  chan struct{} // cap 1: pend went non-empty
+	done  chan struct{}
+	once  sync.Once
+	// iovArr backs the drain point's two-element writev gather
+	// (acks + inline batch); touched only under smu.
+	iovArr [2][]byte
 }
 
 func newSrvConn(c net.Conn) *srvConn {
 	return &srvConn{
-		c:    c,
-		bw:   bufio.NewWriterSize(c, 1<<15),
-		out:  make(chan wireResp, 256),
-		done: make(chan struct{}),
+		c:     c,
+		pend:  make([]byte, 0, 256*RespSize),
+		spare: make([]byte, 0, 256*RespSize),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
 	}
 }
 
 func (cn *srvConn) reply(seq uint32, status byte, val uint64) {
+	cn.wmu.Lock()
 	select {
-	case cn.out <- wireResp{seq, status, val}:
 	case <-cn.done:
+		cn.wmu.Unlock()
+		return
+	default:
 	}
+	cn.pend = appendResp(cn.pend, seq, status, val)
+	cn.wmu.Unlock()
+	select {
+	case cn.wake <- struct{}{}:
+	default:
+	}
+}
+
+// takePend steals the queued ack frames, leaving a recycled buffer in
+// place; returns nil when nothing is queued. Pair with putSpare.
+func (cn *srvConn) takePend() []byte {
+	cn.wmu.Lock()
+	b := cn.pend
+	if len(b) == 0 {
+		cn.wmu.Unlock()
+		return nil
+	}
+	if cn.spare != nil {
+		cn.pend, cn.spare = cn.spare[:0], nil
+	} else {
+		cn.pend = make([]byte, 0, 256*RespSize)
+	}
+	cn.wmu.Unlock()
+	return b
+}
+
+func (cn *srvConn) putSpare(b []byte) {
+	cn.wmu.Lock()
+	if cn.spare == nil {
+		cn.spare = b[:0]
+	}
+	cn.wmu.Unlock()
 }
 
 func (cn *srvConn) stop() {
@@ -217,6 +307,11 @@ type shardState struct {
 	// block anywhere on remote progress would deadlock cluster-wide.
 	replq *replQueue
 
+	// repKeys/repVals/repToks are the owner's seal-time ForwardBatch
+	// scratch (clustered LP only): the sealed batch's client puts as
+	// parallel slices, cap BatchK, reused every seal.
+	repKeys, repVals, repToks []uint64
+
 	// tabLo/tabHi bound the table's line addresses: only table lines
 	// may leak through the write-back queue (a stale journal-line
 	// snapshot could clobber a later group commit's file write; table
@@ -321,6 +416,9 @@ type Server struct {
 	ctLeaked, ctDropped                  *obs.Counter
 	ctSeqRetries                         *obs.Counter
 	getLat                               *obs.Histogram
+	// hWriteFrames observes response frames per socket write syscall —
+	// the syscall-coalescing gauge of the vectored response path.
+	hWriteFrames *obs.Histogram
 }
 
 // New builds the server state and binds it to the backing file: a
@@ -352,6 +450,7 @@ func New(cfg Config) (*Server, error) {
 	s.ctDropped = root.Counter("kvserve_leak_dropped_total")
 	s.ctSeqRetries = root.Counter("kvserve_seqlock_retries_total")
 	s.getLat = root.HistogramScaled("kvserve_get_latency_seconds", 1e-9)
+	s.hWriteFrames = root.Histogram("kvserve_writev_frames_per_syscall")
 
 	// The allocation order below is the layout contract with every
 	// prior incarnation of this config: guard line, persistence
@@ -403,6 +502,9 @@ func New(cfg Config) (*Server, error) {
 			}
 			if cfg.Repl != nil {
 				sd.replq = newReplQueue()
+				sd.repKeys = make([]uint64, 0, cfg.BatchK)
+				sd.repVals = make([]uint64, 0, cfg.BatchK)
+				sd.repToks = make([]uint64, cfg.BatchK)
 			}
 		} else {
 			sd.sh = lpstore.NewShard(s.mem, name, id, cfg.Capacity)
@@ -776,8 +878,10 @@ func (s *Server) connReader(cn *srvConn) {
 		s.mu.Unlock()
 		s.wgConns.Done()
 	}()
-	br := bufio.NewReaderSize(cn.c, 1<<15)
+	br := bufio.NewReaderSize(cn.c, 1<<16)
 	var buf [ReqSize]byte
+	var pbuf []byte  // OpReplBatch payload scratch
+	var scnt []int32 // per-shard member tally scratch
 	rb := make([]byte, 0, 512*RespSize)
 	for {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -785,6 +889,14 @@ func (s *Server) connReader(cn *srvConn) {
 		}
 		op, seq, key, val := DecodeReq(&buf)
 		switch {
+		case op == OpReplBatch:
+			// The header's key field is the put count; the pairs follow
+			// on the wire, so this must consume them even when the frame
+			// is rejected — a false return means framing is lost and the
+			// connection dies.
+			if !s.handleReplBatch(cn, br, seq, key, &pbuf, &scnt) {
+				return
+			}
 		case op == OpPing:
 			rb = appendResp(rb, seq, StatusOK, 0)
 		case (op != OpGet && op != OpPut && op != OpReplPut) || key == 0 || key == lpstore.NopKey:
@@ -834,59 +946,139 @@ func (s *Server) connReader(cn *srvConn) {
 		}
 		if len(rb) > 0 {
 			// Hand the batch to the socket when the client has nothing
-			// more buffered (it is blocked on us) or rb is full. The
-			// in-between state — responses pending, requests still
-			// arriving — keeps batching: bw absorbs full rb batches
-			// without a syscall until the drain point.
+			// more buffered (it is blocked on us) or rb grew past its
+			// flush threshold. The in-between state — responses pending,
+			// requests still arriving — keeps batching without paying a
+			// syscall until the drain point, where the flush also steals
+			// any acks the flushers queued meanwhile: both batches leave
+			// in one writev.
 			drained := br.Buffered() < ReqSize
-			if drained || len(rb)+RespSize > cap(rb) {
-				cn.wmu.Lock()
-				_, werr := cn.bw.Write(rb)
-				if werr == nil && drained {
-					werr = cn.bw.Flush()
-				}
-				cn.wmu.Unlock()
-				rb = rb[:0]
-				if werr != nil {
+			if drained || len(rb) >= 512*RespSize {
+				if !s.flushResponses(cn, rb) {
 					return
 				}
+				rb = rb[:0]
 			}
 		}
 	}
 }
 
-func writeResp(bw *bufio.Writer, buf *[RespSize]byte, r wireResp) bool {
-	EncodeResp(buf, r.seq, r.status, r.val)
-	_, err := bw.Write(buf[:])
+// flushResponses writes the reader's inline-response batch, gathering
+// it with any queued flusher acks into one vectored write. net.Buffers
+// is writev on a *net.TCPConn; elsewhere it degrades to sequential
+// writes — the plain-write fallback.
+func (s *Server) flushResponses(cn *srvConn, rb []byte) bool {
+	acks := cn.takePend()
+	cn.smu.Lock()
+	var err error
+	if acks != nil {
+		iov := net.Buffers(append(cn.iovArr[:0], acks, rb))
+		s.hWriteFrames.Observe(uint64((len(acks) + len(rb)) / RespSize))
+		_, err = iov.WriteTo(cn.c)
+	} else {
+		s.hWriteFrames.Observe(uint64(len(rb) / RespSize))
+		_, err = cn.c.Write(rb)
+	}
+	cn.smu.Unlock()
+	if acks != nil {
+		cn.putSpare(acks)
+	}
 	return err == nil
 }
 
+// handleReplBatch ingests one OpReplBatch frame: count 16-byte
+// (key, val) pairs follow the header on the wire. Members route to
+// their shards exactly like OpReplPut, sharing one aggregate that
+// answers the run's single response when its last member settles
+// (worst status wins; members may settle from different shards'
+// flushers). Returns false only on a malformed header — framing is
+// lost, so the caller drops the connection.
+func (s *Server) handleReplBatch(cn *srvConn, br *bufio.Reader, seq uint32, count uint64, pay *[]byte, scnt *[]int32) bool {
+	if count == 0 || count > MaxReplBatch {
+		return false
+	}
+	need := int(count) * ReplPairSize
+	if cap(*pay) < need {
+		*pay = make([]byte, need)
+	}
+	buf := (*pay)[:need]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return false
+	}
+	if s.draining.Load() {
+		cn.reply(seq, StatusShutdown, 0)
+		return true
+	}
+	rb := &replBatch{cn: cn, seq: seq}
+	rb.remaining.Store(int32(count))
+	now := time.Now()
+	// Tally the run's members per shard so each shard's last member can
+	// carry the seal hint (see request.sealHint).
+	if cap(*scnt) < len(s.shards) {
+		*scnt = make([]int32, len(s.shards))
+	}
+	cnt := (*scnt)[:len(s.shards)]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := 0; i < int(count); i++ {
+		if key := binary.LittleEndian.Uint64(buf[i*ReplPairSize:]); key != 0 && key != lpstore.NopKey {
+			cnt[shardOf(key, len(s.shards))]++
+		}
+	}
+	for i := 0; i < int(count); i++ {
+		key := binary.LittleEndian.Uint64(buf[i*ReplPairSize:])
+		val := binary.LittleEndian.Uint64(buf[i*ReplPairSize+8:])
+		if key == 0 || key == lpstore.NopKey {
+			rb.reply(StatusBadRequest)
+			continue
+		}
+		si := shardOf(key, len(s.shards))
+		sd := s.shards[si]
+		cnt[si]--
+		r := request{op: OpReplPut, seq: seq, key: key, val: val, enq: now, cn: cn, rb: rb, sealHint: cnt[si] == 0}
+		// A full mailbox blocks rather than bouncing the member with
+		// Overload: stalling this reader is the follower's flow control
+		// — a replication session is a dedicated connection, so TCP
+		// pushes the stall back into the primary's window budget. A
+		// per-member Overload would instead force the primary into
+		// whole-run retries that can never succeed once a run is bigger
+		// than the mailbox (a catch-up run routinely is). The owner
+		// drains the mailbox for as long as the server runs, and
+		// shutdown closes cn.done before it closes the mailbox, so the
+		// block cannot outlive the connection.
+		select {
+		case sd.mb <- r:
+			d := int64(len(sd.mb))
+			sd.obs.mbDepth.Set(d)
+			sd.obs.mbHigh.SetMax(d)
+		case <-cn.done:
+			rb.reply(StatusShutdown)
+		}
+	}
+	return true
+}
+
 // connWriter drains put acks (queued by shard flushers and owners)
-// into the shared connection writer, coalescing everything queued
-// before paying the flush.
+// onto the socket: everything queued since the last write leaves in
+// one syscall. The reader's drain point steals pend preemptively when
+// it has inline responses of its own to combine; a nil takePend here
+// just means the reader won that race.
 func (s *Server) connWriter(cn *srvConn) {
 	defer s.wgConns.Done()
-	var buf [RespSize]byte
 	for {
 		select {
-		case r := <-cn.out:
-			cn.wmu.Lock()
-			ok := writeResp(cn.bw, &buf, r)
-			for more := ok; more; {
-				select {
-				case r2 := <-cn.out:
-					if !writeResp(cn.bw, &buf, r2) {
-						ok, more = false, false
-					}
-				default:
-					more = false
-				}
+		case <-cn.wake:
+			acks := cn.takePend()
+			if acks == nil {
+				continue
 			}
-			if ok && cn.bw.Flush() != nil {
-				ok = false
-			}
-			cn.wmu.Unlock()
-			if !ok {
+			cn.smu.Lock()
+			s.hWriteFrames.Observe(uint64(len(acks) / RespSize))
+			_, err := cn.c.Write(acks)
+			cn.smu.Unlock()
+			cn.putSpare(acks)
+			if err != nil {
 				cn.stop()
 				return
 			}
@@ -945,7 +1137,7 @@ func (s *Server) handle(sd *shardState, r request) {
 	if d := s.cfg.MaxQueueDelay; d > 0 && time.Since(r.enq) > d {
 		sd.obs.rejExp.Inc()
 		s.trace(obs.EvRejectExpired, int32(sd.id), r.key, 0)
-		r.cn.reply(r.seq, StatusExpired, 0)
+		r.reply(StatusExpired, 0)
 		return
 	}
 	c := sd.ctx
@@ -956,7 +1148,7 @@ func (s *Server) handle(sd *shardState, r request) {
 		(s.cfg.Mode == lpstore.ModeLP && sd.w.Seq() >= sd.sh.MaxOps) {
 		sd.obs.rejFull.Inc()
 		s.trace(obs.EvRejectFull, int32(sd.id), r.key, 0)
-		r.cn.reply(r.seq, StatusFull, 0)
+		r.reply(StatusFull, 0)
 		return
 	}
 	s.ctPuts.Inc()
@@ -966,18 +1158,13 @@ func (s *Server) handle(sd *shardState, r request) {
 		batchBefore := sd.w.Batch()
 		sd.w.Put(c, r.key, r.val)
 		sd.occupied += int(sd.w.Inserts - insBefore)
-		if s.cfg.Repl != nil && r.op == OpPut {
-			// Forward to the key's pair peer now, so the network hop
-			// and the peer's own group commit overlap with this batch's
-			// fill and local flush; the flusher collects the ack.
-			// OpReplPut IS that forwarded copy — re-forwarding it would
-			// echo puts between pair members forever.
-			r.rtok = s.cfg.Repl.Forward(r.key, r.val)
-		}
 		sd.pending = append(sd.pending, r)
-		if sd.w.Batch() != batchBefore {
+		switch {
+		case sd.w.Batch() != batchBefore:
 			s.seal(sd, false)
-		} else {
+		case r.sealHint && len(sd.mb) == 0:
+			s.seal(sd, true)
+		default:
 			if len(sd.pending) == 1 {
 				sd.deadline = time.Now().Add(s.cfg.BatchWait)
 			}
@@ -989,18 +1176,18 @@ func (s *Server) handle(sd *shardState, r request) {
 		c.takeDirty() // everything that matters was fenced to the file
 		if err := c.takeErr(); err != nil {
 			s.failFile(err)
-			r.cn.reply(r.seq, StatusShutdown, 0)
+			r.reply(StatusShutdown, 0)
 			return
 		}
 		s.ctAcked.Inc()
 		sd.obs.putLat.Observe(uint64(time.Since(r.enq).Nanoseconds()))
-		r.cn.reply(r.seq, StatusOK, 0)
+		r.reply(StatusOK, 0)
 	case lpstore.ModeBase:
 		sd.w.Put(c, r.key, r.val)
 		sd.occupied += int(sd.w.Inserts - insBefore)
 		s.ctAcked.Inc()
 		sd.obs.putLat.Observe(uint64(time.Since(r.enq).Nanoseconds()))
-		r.cn.reply(r.seq, StatusOK, 0)
+		r.reply(StatusOK, 0)
 		s.leak(sd) // the write-back queue is base's only path to the file
 	}
 }
@@ -1025,6 +1212,9 @@ func (s *Server) seal(sd *shardState, padded bool) {
 	it.seq = sd.w.Seq()
 	it.sealed = t0
 	it.pending, sd.pending = sd.pending, it.pending[:0]
+	if sd.replq != nil {
+		s.forwardBatch(sd, it)
+	}
 
 	base := it.batch * sd.sh.BatchK
 	first := memsim.LineOf(sd.sh.Jrn.Addr(2 * base))
@@ -1041,6 +1231,39 @@ func (s *Server) seal(sd *shardState, padded bool) {
 	s.leak(sd) // table lines this batch dirtied may still drift out
 	sd.obs.pipeInflight.Add(1)
 	sd.commitCh <- it
+}
+
+// forwardBatch hands the sealed batch's client puts to the Replicator
+// as one call: the Replicator ships them to each destination pair peer
+// as a single OpReplBatch frame sharing one ack, and the network hop
+// plus the follower's own group commit overlap this batch's local
+// write set. Runs in the owner at seal time — never in the flusher:
+// ForwardBatch may block on replication-window backpressure until a
+// *remote* ack frees a slot, and a flusher blocked on remote progress
+// deadlocks two nodes that forward to each other (each node's
+// follower acks are produced by its flusher). OpReplPut arrivals are
+// the peer's forwarded copies — re-forwarding them would echo puts
+// between pair members forever, so only OpPut entries forward.
+func (s *Server) forwardBatch(sd *shardState, it *commitItem) {
+	keys, vals := sd.repKeys[:0], sd.repVals[:0]
+	for i := range it.pending {
+		if it.pending[i].op == OpPut {
+			keys = append(keys, it.pending[i].key)
+			vals = append(vals, it.pending[i].val)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	toks := sd.repToks[:len(keys)]
+	s.cfg.Repl.ForwardBatch(keys, vals, toks)
+	j := 0
+	for i := range it.pending {
+		if it.pending[i].op == OpPut {
+			it.pending[i].rtok = toks[j]
+			j++
+		}
+	}
 }
 
 // flusher drains one shard's commit pipeline in FIFO order: write the
@@ -1078,7 +1301,7 @@ func (s *Server) flushItem(sd *shardState, it *commitItem) {
 	if err != nil {
 		s.failFile(err)
 		for _, r := range it.pending {
-			r.cn.reply(r.seq, StatusShutdown, 0)
+			r.reply(StatusShutdown, 0)
 		}
 	} else {
 		s.ctBatches.Inc()
@@ -1089,7 +1312,7 @@ func (s *Server) flushItem(sd *shardState, it *commitItem) {
 		s.trace(obs.EvAckAdvance, int32(sd.id), uint64(it.seq), 0)
 		for _, r := range it.pending {
 			sd.obs.putLat.Observe(uint64(now.Sub(r.enq).Nanoseconds()))
-			r.cn.reply(r.seq, StatusOK, 0)
+			r.reply(StatusOK, 0)
 		}
 	}
 	it.pending = it.pending[:0]
@@ -1161,7 +1384,7 @@ func (s *Server) replWaiter(sd *shardState) {
 			ok := s.cfg.Repl.Wait(r.rtok)
 			if job.err == nil && !ok {
 				sd.obs.rejOver.Inc()
-				r.cn.reply(r.seq, StatusOverload, 0)
+				r.reply(StatusOverload, 0)
 				continue
 			}
 			s.replyPut(sd, r, job.err, time.Now())
@@ -1172,12 +1395,12 @@ func (s *Server) replWaiter(sd *shardState) {
 // replyPut acks (or fails) one put whose local write set settled.
 func (s *Server) replyPut(sd *shardState, r request, err error, now time.Time) {
 	if err != nil {
-		r.cn.reply(r.seq, StatusShutdown, 0)
+		r.reply(StatusShutdown, 0)
 		return
 	}
 	s.ctAcked.Add(1)
 	sd.obs.putLat.Observe(uint64(now.Sub(r.enq).Nanoseconds()))
-	r.cn.reply(r.seq, StatusOK, 0)
+	r.reply(StatusOK, 0)
 }
 
 // leak snapshots the shard's freshly dirtied table lines and offers

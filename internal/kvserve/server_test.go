@@ -394,3 +394,47 @@ func TestServeGeometryMismatch(t *testing.T) {
 		t.Fatalf("mismatched geometry accepted: %v", err)
 	}
 }
+
+// TestLoadRefreshOnDialFailure: a smart client whose routed target
+// cannot even be dialed must re-resolve the topology (Refresh) before
+// the op reissues — otherwise every retry re-dials the dead address
+// and the op dies by MaxRetries while a promoted primary is serving.
+func TestLoadRefreshOnDialFailure(t *testing.T) {
+	cfg := testCfg(t, lpstore.ModeLP)
+	s := startServer(t, cfg)
+
+	// A dead address: bind, note the port, close. Dials are refused.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	// The route pins every key to the dead address until Refresh fires,
+	// then falls back to the live server — the shape of a failover the
+	// client only learns about by re-fetching the routing table.
+	var refreshed atomic.Bool
+	rep, err := RunLoad(s.Addr(), LoadOpts{
+		Conns: 1, Window: 4, Ops: 40,
+		Streams: cfg.Streams, Keys: cfg.Keys, Seed: cfg.Seed,
+		Reconnect: true, MaxRetries: 50,
+		Route: func(uint64) string {
+			if refreshed.Load() {
+				return ""
+			}
+			return deadAddr
+		},
+		Refresh: func() { refreshed.Store(true) },
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if !refreshed.Load() {
+		t.Fatal("dial failure did not trigger a topology refresh")
+	}
+	if rep.Errors != 0 || rep.Ops != 40 {
+		t.Fatalf("load: %d errors, %d completed, want 0/40 (retries %d)",
+			rep.Errors, rep.Ops, rep.Retries)
+	}
+}

@@ -1,0 +1,217 @@
+#!/usr/bin/env bash
+# bench_gate.sh — perf-regression gate over the committed benchmark
+# snapshots (ROADMAP item 5, first slice).
+#
+# Modes:
+#   bench_gate.sh run
+#       The CI entry point. Two comparisons, both quick, both medians
+#       of BENCH_GATE_MEASURES (default 3) runs per side:
+#
+#       1. Same-window A/B at BENCH_GATE_TOL (default 15%): the
+#          baseline commit — the last commit that touched
+#          BENCH_serve.json, i.e. whoever last re-snapshotted the
+#          trajectory — is built in a scratch git worktree and its
+#          lpbench is measured interleaved with HEAD's, run for run.
+#          Shared-runner interference (co-tenant CPU steal, cache and
+#          bandwidth pressure) hits both binaries alike and cancels,
+#          which is what makes a 15% threshold meaningful at all:
+#          measured on the 1-core reference box, absolute quick-run
+#          throughput drifts ±30-50% across minutes while back-to-back
+#          A/B medians of 3 track within ~10%. A failed A/B is
+#          re-measured once — one noisy window must not fail CI, but a
+#          real slowdown fails both attempts.
+#
+#       2. Committed-snapshot backstop at BENCH_GATE_SNAP_TOL
+#          (default 40%): HEAD's medians against the quick snapshots
+#          committed in BENCH_serve.json / BENCH_cluster.json,
+#          calibration-normalized. The wide tolerance absorbs
+#          machine-state drift between snapshot day and today; what it
+#          still catches is the catastrophic regression on a PR that
+#          never re-ran the A/B baseline (e.g. the snapshot commit
+#          itself was slow). PRs that deliberately change performance
+#          re-snapshot, which also re-points the A/B baseline here.
+#
+#   bench_gate.sh compare <committed.json> <fresh.json> [tol]
+#       One comparison only (fresh.json from earlier `lpbench -quick
+#       -serveout/-clusterout` runs; with several quick snapshots per
+#       file the per-record median is used on both sides).
+#
+# A record regresses when normalized median throughput drops, or
+# normalized median p99 rises, by more than the tolerance. "Normalized"
+# means throughput/calib and p99*calib, where calib is the single-core
+# calibration rate stamped into every snapshot (harness.Calibrate); in
+# the A/B comparison both sides run in the same window on the same
+# machine, so the calibration cancels to ~1 and the comparison is
+# direct.
+#
+# Medians and one small absolute p99 slack are what keep a 0.3 s quick
+# cell gateable at all: a single quick run's p99 jumps up to 3×
+# between runs (latency-histogram bucket quantization plus tail
+# sampling) while the median of 3 stays within ~10%, and
+# sub-millisecond p99s move by a scheduler quantum without any code
+# change — hence P99_FLOOR_US: a p99 increase must clear both the
+# relative tolerance and the floor to fail. The regressions this gate
+# exists to catch (a lost seal hint reintroducing a 300 µs BatchWait
+# stall per batch; a writev path falling back to per-response writes)
+# move throughput or p99 by far more than both.
+#
+# The comparison is quick-vs-quick: full snapshots in the same history
+# feed the EXPERIMENTS.md tables, not the gate. Runs under the race
+# detector are not gated — instrumentation skews server and calibration
+# loops differently, so the numbers are meaningless; re-run without
+# -race instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL="${BENCH_GATE_TOL:-15}"
+MEASURES="${BENCH_GATE_MEASURES:-3}"
+
+compare() { # compare <baseline.json> <fresh.json> <tol-pct> [nofsync]
+  python3 - "$1" "$2" "$3" "${4:-all}" <<'PY'
+import json, sys
+
+P99_FLOOR_US = 250  # absolute slack: a scheduler quantum / histogram bucket
+
+base_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+# "nofsync" drops fsync cells: their numbers are host-disk-bound and
+# swing far more between days than any code change — only the
+# same-window A/B comparison can gate them.
+skip_fsync = sys.argv[4] == "nofsync"
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+def median(xs):
+    xs = sorted(xs)
+    n = len(xs)
+    return xs[n // 2] if n % 2 else (xs[n // 2 - 1] + xs[n // 2]) / 2
+
+def key(bench, rec):
+    if bench == "serve":
+        return f"mix={rec['mix']} fsync={str(rec['fsync']).lower()}"
+    return f"topology={rec['topology']}"
+
+def summarize(hist, bench, who):
+    """Per-record medians of calib-normalized throughput and p99 over
+    the file's quick snapshots, plus raw medians for display."""
+    snaps = [s for s in hist.get("snapshots", []) if s.get("quick")]
+    if not snaps:
+        sys.exit(f"bench_gate[{bench}]: {who}: no quick snapshots")
+    cells = {}
+    for s in snaps:
+        c = s["calib_ops_s"]
+        if c <= 0:
+            sys.exit(f"bench_gate[{bench}]: {who}: bad calibration rate")
+        for r in s["doc"]["records"]:
+            cells.setdefault(key(bench, r), []).append(
+                (r["throughput_ops_s"] / c, r["p99_us"] * c,
+                 r["throughput_ops_s"], r["p99_us"]))
+    out = {}
+    for k, v in cells.items():
+        out[k] = tuple(median([x[i] for x in v]) for i in range(4))
+    dates = f"{snaps[0]['date']}..{snaps[-1]['date']}" if len(snaps) > 1 else snaps[0]["date"]
+    return out, len(snaps), dates
+
+base_hist, fresh_hist = load(base_path), load(fresh_path)
+bench = base_hist.get("benchmark")
+if fresh_hist.get("benchmark") != bench:
+    sys.exit(f"bench_gate: benchmark mismatch: {bench} vs {fresh_hist.get('benchmark')}")
+
+base, bn, bdates = summarize(base_hist, bench, "baseline")
+fresh, fn, fdates = summarize(fresh_hist, bench, "fresh")
+print(f"bench_gate[{bench}]: baseline median of {bn} ({bdates}) vs "
+      f"fresh median of {fn} ({fdates}), tol {tol:.0f}%")
+
+fail = []
+for k, (ftp, fp99, ftp_raw, fp99_raw) in fresh.items():
+    if skip_fsync and "fsync=true" in k:
+        continue
+    if k not in base:
+        print(f"  {k:28s} NEW (no baseline record)")
+        continue
+    btp, bp99, btp_raw, bp99_raw = base[k]
+    tp_ratio = ftp / btp
+    p99_ratio = fp99 / bp99 if bp99 > 0 else 1.0
+    verdict = "ok"
+    if tp_ratio < 1 - tol / 100:
+        verdict = "FAIL throughput"
+        fail.append(k)
+    elif p99_ratio > 1 + tol / 100 and fp99_raw - bp99_raw > P99_FLOOR_US:
+        verdict = "FAIL p99"
+        fail.append(k)
+    print(f"  {k:28s} throughput {ftp_raw:>12.0f} ({tp_ratio:7.2%} of baseline)  "
+          f"p99 {fp99_raw:>8.0f}us ({p99_ratio:7.2%})  {verdict}")
+
+if fail:
+    sys.exit(f"bench_gate[{bench}]: regression >"
+             f"{tol:.0f}% in {len(fail)} record(s): {', '.join(fail)}")
+print(f"bench_gate[{bench}]: ok")
+PY
+}
+
+measure_one() { # measure_one <lpbench-binary> <outdir>
+  "$1" -quick -serveout "$2/BENCH_serve.json" -clusterout "$2/BENCH_cluster.json" >/dev/null
+}
+
+# measure_ab: MEASURES interleaved base/head passes, base first — each
+# pass appends one quick snapshot to each side's history, so the
+# comparison reads medians on both sides.
+measure_ab() {
+  rm -f "$tmp/base"/BENCH_*.json "$tmp/head"/BENCH_*.json
+  for _ in $(seq 1 "$MEASURES"); do
+    measure_one "$tmp/base/lpbench" "$tmp/base"
+    measure_one bin/lpbench "$tmp/head"
+  done
+}
+
+ab_once() {
+  measure_ab
+  compare "$tmp/base/BENCH_serve.json" "$tmp/head/BENCH_serve.json" "$TOL" &&
+    compare "$tmp/base/BENCH_cluster.json" "$tmp/head/BENCH_cluster.json" "$TOL"
+}
+
+case "${1:-}" in
+run)
+  go build -o bin/lpbench ./cmd/lpbench
+  tmp="$(mktemp -d)"
+  tmp_wt=""
+  mkdir -p "$tmp/base" "$tmp/head"
+  trap 'rm -rf "$tmp"; [ -n "$tmp_wt" ] && git worktree remove --force "$tmp_wt" 2>/dev/null; true' EXIT
+
+  base_ref="$(git log -1 --format=%H -- BENCH_serve.json || true)"
+  if [ -z "$base_ref" ]; then
+    echo "bench_gate: no commit touches BENCH_serve.json; skipping A/B" >&2
+  else
+    tmp_wt="$tmp/wt"
+    git worktree add --detach "$tmp_wt" "$base_ref" >/dev/null
+    if ! grep -q clusterout "$tmp_wt/cmd/lpbench/main.go" 2>/dev/null; then
+      # Pre-gate baseline commit: its lpbench cannot take these
+      # measurements. The snapshot backstop below still gates.
+      echo "bench_gate: baseline $base_ref predates -clusterout; skipping A/B" >&2
+    else
+      echo "bench_gate: A/B baseline $base_ref (last commit touching BENCH_serve.json)"
+      (cd "$tmp_wt" && go build -o "$tmp/base/lpbench" ./cmd/lpbench)
+      if ! ab_once; then
+        echo "bench_gate: A/B attempt 1 regressed; re-measuring once" >&2
+        ab_once
+      fi
+    fi
+  fi
+
+  # Backstop: HEAD vs the committed snapshots, wide tolerance.
+  rm -f "$tmp/head"/BENCH_*.json
+  for _ in $(seq 1 "$MEASURES"); do
+    measure_one bin/lpbench "$tmp/head"
+  done
+  compare BENCH_serve.json "$tmp/head/BENCH_serve.json" "${BENCH_GATE_SNAP_TOL:-40}" nofsync
+  compare BENCH_cluster.json "$tmp/head/BENCH_cluster.json" "${BENCH_GATE_SNAP_TOL:-40}" nofsync
+  ;;
+compare)
+  compare "$2" "$3" "${4:-$TOL}"
+  ;;
+*)
+  echo "usage: $0 run | $0 compare <committed.json> <fresh.json> [tol]" >&2
+  exit 2
+  ;;
+esac

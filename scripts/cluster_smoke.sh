@@ -81,9 +81,18 @@ echo "== mid-load scrape: ring ownership, failover counter, replication lag"
 curl -sf "http://$RCTRL/metrics" >"$DIR/router-mid.txt"
 grep -E '^cluster_slots_primary\{node="n0"\} [1-9]' "$DIR/router-mid.txt"
 grep -E '^cluster_failovers_total 0' "$DIR/router-mid.txt"
+# The zero-copy data plane must be carrying the load: proxied bytes
+# counted on the router.
+grep -E '^router_proxy_bytes_total [1-9]' "$DIR/router-mid.txt"
 curl -sf "http://${CTRL[1]}/metrics" >"$DIR/n1-mid.txt"
 grep -E '^cluster_repl_forwards_total [1-9]' "$DIR/n1-mid.txt"
 grep -E '^cluster_repl_lag_seconds_count [1-9]' "$DIR/n1-mid.txt"
+# Batched replication and writev coalescing, observed mid-load: puts
+# per OpReplBatch frame on the replication sender, frames per writev
+# on the response path — either histogram empty means the batching
+# came unwired and every put is paying the PR-7 per-frame tax again.
+grep -E '^cluster_repl_batch_puts_count [1-9]' "$DIR/n1-mid.txt"
+grep -E '^kvserve_writev_frames_per_syscall_count [1-9]' "$DIR/n1-mid.txt"
 
 echo "== SIGKILL n0 mid-load"
 kill -9 "${NODE_PID[0]}"
