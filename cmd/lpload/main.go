@@ -28,6 +28,19 @@
 //	lpload -insert -ops 5000      # unique-key inserts (crash-demo shape)
 //	lpload -addr 127.0.0.1:7400 -reconnect -dur 5s          # via lprouter
 //	lpload -topo http://127.0.0.1:7500 -reconnect -dur 5s   # smart client
+//
+// Spec-driven open-loop mode (internal/loadmodel): -spec or -builtin
+// switches from the closed-loop window driver to deterministic
+// generation of a multi-class op schedule, dispatched at its recorded
+// times and never retried — the report then carries one row per SLO
+// class. -trace-out records the generated stream as a JSONL trace;
+// -trace-in replays a recorded trace byte-for-byte instead of
+// generating; -gen-only writes the trace and exits without a server.
+//
+//	lpload -builtin bursty -rate 0.5 -dur 2s -addr 127.0.0.1:7411
+//	lpload -spec work.json -trace-out run.jsonl -addr 127.0.0.1:7411
+//	lpload -trace-in run.jsonl -addr 127.0.0.1:7411
+//	lpload -builtin steady -gen-only -trace-out steady.jsonl
 package main
 
 import (
@@ -41,6 +54,7 @@ import (
 
 	"lazyp/internal/cluster"
 	"lazyp/internal/kvserve"
+	"lazyp/internal/loadmodel"
 )
 
 // topoView is the smart client's routing state: the last fetched
@@ -108,8 +122,22 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "retries per op on overload or dead connection (0 = default 8)")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON")
 		interval   = flag.Duration("interval", 0, "emit periodic throughput/latency lines on stderr (0 = off)")
+
+		specPath    = flag.String("spec", "", "loadmodel spec file: open-loop multi-class generation instead of the closed-loop mix")
+		builtin     = flag.String("builtin", "", "built-in loadmodel spec ("+loadmodel.BuiltinNames()+") instead of -spec")
+		rate        = flag.Float64("rate", 1.0, "rate multiplier for -builtin specs")
+		traceOut    = flag.String("trace-out", "", "record the generated op stream to this JSONL trace file")
+		traceIn     = flag.String("trace-in", "", "replay a recorded trace file instead of generating")
+		genOnly     = flag.Bool("gen-only", false, "generate (and -trace-out) without contacting a server")
+		maxInflight = flag.Int("max-inflight", 0, "open-loop in-flight cap per connection (default 512)")
 	)
 	flag.Parse()
+
+	if *specPath != "" || *builtin != "" || *traceIn != "" {
+		runSpec(*addr, *specPath, *builtin, *rate, *dur, *traceOut, *traceIn,
+			*genOnly, *conns, *maxInflight, *interval, *jsonOut)
+		return
+	}
 
 	opts := kvserve.LoadOpts{
 		Conns: *conns, Window: *window, Ops: *ops,
@@ -190,4 +218,95 @@ func main() {
 	if rep.Errors > 0 || rep.Partial {
 		os.Exit(2)
 	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lpload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runSpec is the loadmodel path: resolve a trace (generate from a
+// spec, or read one back), optionally record it, then replay it
+// open-loop and report per SLO class.
+func runSpec(addr, specPath, builtin string, rate float64, dur time.Duration,
+	traceOut, traceIn string, genOnly bool, conns, maxInflight int,
+	interval time.Duration, jsonOut bool) {
+	var tr *loadmodel.Trace
+	switch {
+	case traceIn != "":
+		if specPath != "" || builtin != "" {
+			die("-trace-in replaces generation; drop -spec/-builtin")
+		}
+		t, err := loadmodel.ReadTraceFile(traceIn)
+		if err != nil {
+			die("%v", err)
+		}
+		tr = t
+	default:
+		var spec *loadmodel.Spec
+		var err error
+		if specPath != "" {
+			spec, err = loadmodel.LoadSpec(specPath)
+		} else {
+			spec, err = loadmodel.BuiltinSpec(builtin, rate, dur.String())
+		}
+		if err != nil {
+			die("%v", err)
+		}
+		ops, err := loadmodel.Generate(spec)
+		if err != nil {
+			die("%v", err)
+		}
+		tr = loadmodel.TraceOf(spec, ops)
+		fmt.Fprintf(os.Stderr, "lpload: spec %s: %d ops over %.2fs (%d clients, %d classes)\n",
+			tr.Header.Name, len(ops), float64(tr.Header.DurNs)/1e9,
+			spec.TotalClients(), len(spec.Classes))
+	}
+
+	if traceOut != "" {
+		if err := loadmodel.WriteTraceFile(traceOut, tr); err != nil {
+			die("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "lpload: trace written to %s (%d ops)\n", traceOut, len(tr.Ops))
+	}
+	if genOnly {
+		return
+	}
+
+	if err := kvserve.WaitReady(addr, 10*time.Second); err != nil {
+		die("%v", err)
+	}
+	rep, err := loadmodel.Run(addr, tr, loadmodel.RunOpts{
+		Conns: conns, MaxInflight: maxInflight,
+		Interval: interval, Progress: os.Stderr,
+	})
+	if err != nil {
+		die("%v", err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		printRunReport(rep)
+	}
+	if rep.Errors > 0 || rep.Partial {
+		os.Exit(2)
+	}
+}
+
+func printRunReport(rep *loadmodel.RunReport) {
+	fmt.Printf("spec %s: open-loop, conns %d, %.2fs\n", rep.Spec, rep.Conns, rep.ElapsedS)
+	rows := append([]loadmodel.ClassPlan{rep.Total}, rep.Classes...)
+	for i, cp := range rows {
+		name := cp.Name
+		if i == 0 {
+			name = "TOTAL"
+		}
+		fmt.Printf("  %-12s %7d ops  ok %8.0f/s  p50 %7.0fµs  p99 %7.0fµs  put-p99 %7.0fµs  rej %.3f (ov/exp/full %d/%d/%d)\n",
+			name, cp.Ops, cp.OKOpsS, cp.P50us, cp.P99us, cp.PutP99us,
+			cp.RejectRate, cp.Overloads, cp.Expired, cp.Full)
+	}
+	fmt.Printf("  notfound %d  moved %d  errors %d  stalls %d  lag-max %.0fµs (>1ms on %d ops)\n",
+		rep.NotFound, rep.Moved, rep.Errors, rep.Stalls, rep.LagMaxUs, rep.LagOps)
 }

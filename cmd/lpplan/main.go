@@ -1,0 +1,181 @@
+// Command lpplan is the SLO capacity planner: it expands a loadmodel
+// workload spec into its deterministic op stream and runs that stream
+// through a queueing model of the kvserve pipeline (per-shard owner
+// queues, group commit at BatchK/BatchWait, the flush pipeline,
+// admission control, optional replication hop), predicting per-class
+// throughput, latency percentiles, and reject rates for a given server
+// geometry — before booting a single server.
+//
+// The model runs on calibration constants from one of three sources,
+// in increasing fidelity:
+//
+//   - defaults: rough localhost numbers, order-of-magnitude only;
+//   - -bench BENCH_serve.json[,BENCH_cluster.json]: derived from the
+//     committed benchmark snapshots;
+//   - -probe addr: four short closed-loop probes against a live server
+//     (the server's geometry must match -shards/-batch/-batchwait and
+//     the spec's streams/keys/preload seed).
+//
+// Usage:
+//
+//	lpplan -builtin bursty -rate 0.5 -shards 4
+//	lpplan -spec work.json -bench BENCH_serve.json,BENCH_cluster.json -replicated
+//	lpplan -builtin steady -probe 127.0.0.1:7411 -json
+//	lpplan -builtin steady -sweep-shards 1,2,4,8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lazyp/internal/loadmodel"
+)
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lpplan: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "loadmodel spec file (JSON)")
+		builtin  = flag.String("builtin", "", "built-in spec ("+loadmodel.BuiltinNames()+") instead of -spec")
+		rate     = flag.Float64("rate", 1.0, "rate multiplier for -builtin specs")
+		dur      = flag.Duration("dur", 2*time.Second, "duration for -builtin specs")
+
+		shards    = flag.Int("shards", 4, "server shards (power of two)")
+		batch     = flag.Int("batch", 32, "group-commit batch size K")
+		mailbox   = flag.Int("mailbox", 256, "per-shard mailbox depth")
+		pipeline  = flag.Int("pipeline", 4, "commit pipeline depth")
+		batchwait = flag.Duration("batchwait", 500*time.Microsecond, "max wait before a partial batch seals")
+		maxdelay  = flag.Duration("maxdelay", 0, "per-request queue deadline (0 = none)")
+		maxops    = flag.Int("maxops", 0, "per-shard journal budget in puts (0 = unlimited)")
+		conns     = flag.Int("conns", 4, "client connections the run will use")
+		fsync     = flag.Bool("fsync", false, "model fsync-per-commit")
+		repl      = flag.Bool("replicated", false, "model the synchronous replication hop")
+
+		bench       = flag.String("bench", "", "calibrate from bench snapshots: BENCH_serve.json[,BENCH_cluster.json]")
+		probe       = flag.String("probe", "", "calibrate live against this server address")
+		sweepShards = flag.String("sweep-shards", "", "comma-separated shard counts to compare (e.g. 1,2,4,8)")
+		jsonOut     = flag.Bool("json", false, "emit the report(s) as JSON")
+	)
+	flag.Parse()
+
+	var spec *loadmodel.Spec
+	var err error
+	switch {
+	case *specPath != "" && *builtin != "":
+		die("-spec and -builtin are mutually exclusive")
+	case *specPath != "":
+		spec, err = loadmodel.LoadSpec(*specPath)
+	case *builtin != "":
+		spec, err = loadmodel.BuiltinSpec(*builtin, *rate, dur.String())
+	default:
+		die("need -spec or -builtin (have: %s)", loadmodel.BuiltinNames())
+	}
+	if err != nil {
+		die("%v", err)
+	}
+
+	cal := loadmodel.DefaultCalibration()
+	switch {
+	case *bench != "" && *probe != "":
+		die("-bench and -probe are mutually exclusive")
+	case *bench != "":
+		servePath, clusterPath, _ := strings.Cut(*bench, ",")
+		cal, err = loadmodel.CalibrateFromBench(servePath, clusterPath)
+		if err != nil {
+			die("%v", err)
+		}
+	case *probe != "":
+		cal, err = loadmodel.CalibrateLive(*probe, loadmodel.ProbeGeometry{
+			Shards: *shards, BatchK: *batch, BatchWait: *batchwait,
+			Streams: spec.Streams, Keys: spec.Keys, Seed: spec.PreloadSeed,
+		})
+		if err != nil {
+			die("%v", err)
+		}
+	}
+
+	ops, err := loadmodel.Generate(spec)
+	if err != nil {
+		die("%v", err)
+	}
+
+	cfg := loadmodel.PlanConfig{
+		Shards: *shards, BatchK: *batch, Mailbox: *mailbox,
+		PipelineDepth: *pipeline,
+		BatchWaitNs:   batchwait.Nanoseconds(), MaxDelayNs: maxdelay.Nanoseconds(),
+		MaxOpsPerShard: *maxops, Conns: *conns,
+		Fsync: *fsync, Replicated: *repl,
+		Cal: cal,
+	}
+
+	shardList := []int{*shards}
+	if *sweepShards != "" {
+		shardList = shardList[:0]
+		for _, s := range strings.Split(*sweepShards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				die("bad -sweep-shards entry %q", s)
+			}
+			shardList = append(shardList, n)
+		}
+	}
+
+	reports := make([]*loadmodel.PlanReport, 0, len(shardList))
+	for _, n := range shardList {
+		c := cfg
+		c.Shards = n
+		reports = append(reports, loadmodel.Plan(spec, ops, c))
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(reports) == 1 {
+			enc.Encode(reports[0])
+		} else {
+			enc.Encode(reports)
+		}
+		return
+	}
+
+	fmt.Printf("spec %s: %d ops over %.2fs (%.0f ops/s offered), calibration %s\n",
+		spec.Name, len(ops), float64(spec.DurationNs())/1e9, spec.OfferedOpsS(), cal.Source)
+	fmt.Printf("  get %.1fµs  put %.1fµs  flush %.1fµs  fsync %.1fµs  rtt %.1fµs  seal-lag %.1fµs  repl-hop %.1fµs\n",
+		cal.GetSvcNs/1e3, cal.PutSvcNs/1e3, cal.FlushNs/1e3,
+		cal.FsyncNs/1e3, cal.NetRTTNs/1e3, cal.SealLagNs/1e3, cal.ReplHopNs/1e3)
+	for _, rep := range reports {
+		printPlan(rep)
+	}
+}
+
+func printPlan(rep *loadmodel.PlanReport) {
+	fmt.Printf("geometry: shards %d, batch %d, mailbox %d, pipeline %d, batchwait %s, conns %d",
+		rep.Cfg.Shards, rep.Cfg.BatchK, rep.Cfg.Mailbox, rep.Cfg.PipelineDepth,
+		time.Duration(rep.Cfg.BatchWaitNs), rep.Cfg.Conns)
+	if rep.Cfg.Fsync {
+		fmt.Print(", fsync")
+	}
+	if rep.Cfg.Replicated {
+		fmt.Print(", replicated")
+	}
+	fmt.Println()
+	fmt.Printf("  utilization: put %.2f  get %.2f  flush %.2f\n", rep.PutUtil, rep.GetUtil, rep.FlushUtil)
+	rows := append([]loadmodel.ClassPlan{rep.Total}, rep.Classes...)
+	for i, cp := range rows {
+		name := cp.Name
+		if i == 0 {
+			name = "TOTAL"
+		}
+		fmt.Printf("  %-12s %7d ops  offered %8.0f/s  ok %8.0f/s  p50 %7.0fµs  p99 %7.0fµs  put-p99 %7.0fµs  rej %.3f (ov/exp/full %d/%d/%d)\n",
+			name, cp.Ops, cp.OfferedOpsS, cp.OKOpsS, cp.P50us, cp.P99us, cp.PutP99us,
+			cp.RejectRate, cp.Overloads, cp.Expired, cp.Full)
+	}
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lazyp/internal/kvserve"
+	"lazyp/internal/lpstore"
+	"lazyp/internal/workloads"
+)
+
+// TestPrimaryAuthorizationRejectsStaleClient is the regression for
+// the member-side put gate: a client holding a stale routing table
+// (or no table at all) that sends OpPut straight to a non-primary
+// member must get StatusMoved back — the member refuses outright
+// instead of accepting a put the router stopped sending it, which is
+// the write that a later orphan reclaim would silently lose.
+//
+// Two live members, no router: topologies are applied directly, which
+// IS the stale-client scenario — the client dials members by address
+// with its own (wrong) idea of who owns what.
+func TestPrimaryAuthorizationRejectsStaleClient(t *testing.T) {
+	mk := func(self string) (*Replicator, *kvserve.Server) {
+		t.Helper()
+		r := NewReplicator(ReplConfig{Self: self, Window: 8})
+		t.Cleanup(r.Close)
+		s, err := kvserve.New(kvserve.Config{
+			Path:      filepath.Join(t.TempDir(), self+".img"),
+			Mode:      lpstore.ModeLP,
+			Shards:    2,
+			Capacity:  1 << 10,
+			MaxOps:    1 << 12,
+			BatchK:    16,
+			Streams:   2,
+			Keys:      64,
+			Mailbox:   64,
+			BatchWait: 200 * time.Microsecond,
+			Repl:      r,
+		})
+		if err != nil {
+			t.Fatalf("New(%s): %v", self, err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatalf("Start(%s): %v", self, err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return r, s
+	}
+	rA, sA := mk("a")
+	rB, sB := mk("b")
+
+	// Epoch 1: every slot's primary is A with no pair (single-copy
+	// slots, as after a permanent failover) — no replication listener
+	// or forwarding needed, which isolates the authorization gate:
+	// accepts and rejects are decided by role alone.
+	topoAt := func(epoch uint64, primary int) *Topology {
+		topo := &Topology{
+			Epoch: epoch,
+			Nodes: []NodeInfo{
+				{ID: "a", Addr: "127.0.0.1:1", State: StateAlive},
+				{ID: "b", Addr: "127.0.0.1:1", State: StateAlive},
+			},
+			Slots: make([]SlotAssign, NumSlots),
+		}
+		for s := range topo.Slots {
+			topo.Slots[s] = SlotAssign{Primary: primary, Follower: -1, Pair: -1}
+		}
+		return topo
+	}
+	apply := func(topo *Topology) {
+		t.Helper()
+		if err := rA.ApplyTopology(topo); err != nil {
+			t.Fatalf("a.ApplyTopology: %v", err)
+		}
+		if err := rB.ApplyTopology(topo); err != nil {
+			t.Fatalf("b.ApplyTopology: %v", err)
+		}
+	}
+	apply(topoAt(1, 0))
+
+	dial := func(s *kvserve.Server) *kvserve.Client {
+		t.Helper()
+		cl, err := kvserve.Dial(s.Addr())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	clA, clB := dial(sA), dial(sB)
+
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = workloads.KVKey(0, i)
+	}
+
+	// The stale client writes to B, which is primary for nothing.
+	for _, key := range keys {
+		st, err := clB.Put(key, 0xb0b)
+		if err != nil {
+			t.Fatalf("put to b: %v", err)
+		}
+		if st != kvserve.StatusMoved {
+			t.Fatalf("put to non-primary b: status %s, want moved", kvserve.StatusName(st))
+		}
+	}
+	// The same keys land fine on the actual primary.
+	for _, key := range keys {
+		st, err := clA.Put(key, 0xa0a)
+		if err != nil {
+			t.Fatalf("put to a: %v", err)
+		}
+		if st != kvserve.StatusOK {
+			t.Fatalf("put to primary a: status %s, want ok", kvserve.StatusName(st))
+		}
+	}
+	// Reads are not gated: B still answers gets for its preload.
+	if _, st, err := clB.Get(keys[0]); err != nil || st != kvserve.StatusOK {
+		t.Fatalf("get on non-primary b: status %v err %v, want ok", kvserve.StatusName(st), err)
+	}
+	if sB.Stats().Moved != uint64(len(keys)) {
+		t.Fatalf("b counted %d moved rejects, want %d", sB.Stats().Moved, len(keys))
+	}
+
+	// Epoch 2 flips every slot to B: the same member now accepts, and
+	// the client still holding the epoch-1 table gets Moved from A.
+	apply(topoAt(2, 1))
+	for _, key := range keys {
+		st, err := clB.Put(key, 0xb1b)
+		if err != nil {
+			t.Fatalf("put to b after flip: %v", err)
+		}
+		if st != kvserve.StatusOK {
+			t.Fatalf("put to new primary b: status %s, want ok", kvserve.StatusName(st))
+		}
+		st, err = clA.Put(key, 0xa1a)
+		if err != nil {
+			t.Fatalf("put to a after flip: %v", err)
+		}
+		if st != kvserve.StatusMoved {
+			t.Fatalf("put to demoted a: status %s, want moved", kvserve.StatusName(st))
+		}
+	}
+}

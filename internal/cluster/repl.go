@@ -223,6 +223,13 @@ func (ps *peerState) resolvedLocked(key, stamp uint64) bool {
 type slotView struct {
 	peers []*peerState // len NumSlots
 	epoch uint64
+	// primary[s] is whether this node holds slot s's primary role at
+	// this epoch — the kvserve.PrimaryAuth bitmap. Role, not pair
+	// membership: forwarding routes by membership (see ApplyTopology),
+	// but client puts are authorized against the role so a
+	// stale-routed client is told to refresh instead of being served
+	// by the member the router stopped sending that slot to.
+	primary []bool
 }
 
 // Replicator implements kvserve.Replicator over a pushed Topology.
@@ -287,6 +294,20 @@ func (r *Replicator) Epoch() uint64 {
 // delta charge, invisibly to the router's epoch fence.
 func (r *Replicator) Ready() bool {
 	return r.view.Load() != nil
+}
+
+// IsPrimary implements kvserve.PrimaryAuth: whether this member holds
+// the key's slot primary role under its applied epoch. The server
+// consults it on every client OpPut, so a put routed by a stale table
+// is rejected StatusMoved at the member instead of being accepted by
+// a node the router stopped sending that slot to. Lock-free: one
+// atomic view load plus a bitmap index.
+func (r *Replicator) IsPrimary(key uint64) bool {
+	v := r.view.Load()
+	if v == nil {
+		return false
+	}
+	return v.primary[SlotOf(key)]
 }
 
 // ForwardBatch implements kvserve.Replicator: called by a shard owner
@@ -472,11 +493,16 @@ func (r *Replicator) ApplyTopology(t *Topology) error {
 		_, _ = r.ensureSessionLocked(r.peers[id])
 	}
 	// Swap the routing view.
-	view := &slotView{peers: make([]*peerState, NumSlots), epoch: t.Epoch}
+	view := &slotView{
+		peers:   make([]*peerState, NumSlots),
+		epoch:   t.Epoch,
+		primary: make([]bool, NumSlots),
+	}
 	for s := range t.Slots {
 		if o := other(t.Slots[s]); o >= 0 {
 			view.peers[s] = r.peers[t.Nodes[o].ID]
 		}
+		view.primary[s] = t.Slots[s].Primary == self
 	}
 	r.view.Store(view)
 	r.gEpoch.Set(int64(t.Epoch))

@@ -238,6 +238,13 @@ func Experiments() []Experiment {
 			Run:    expCluster,
 			Native: true,
 		},
+		{
+			ID:     "plan",
+			Title:  "E17 (beyond paper): capacity planner predicted vs live lpload, per SLO class",
+			Paper:  "n/a (extension): queueing model calibrated by live probes lands within the documented error band",
+			Run:    expPlan,
+			Native: true,
+		},
 	}
 }
 

@@ -188,6 +188,21 @@ type Replicator interface {
 	Ready() bool
 }
 
+// PrimaryAuth is an optional extension of Replicator: when the
+// configured Replicator also implements it, the server authorizes
+// every client put against the cluster topology and rejects puts for
+// keys this member does not own (StatusMoved) instead of relying on
+// membership-based forwarding to paper over a stale client. The check
+// covers OpPut only — OpReplPut/OpReplBatch copies are authorized by
+// the *forwarding* member's view, and refusing them here would stall
+// a lagging peer's catch-up into us mid-epoch-change. IsPrimary must
+// be safe for concurrent use from every connection reader; a member
+// with no applied topology returns false for every key (the Ready
+// gate already rejects those puts before authorization runs).
+type PrimaryAuth interface {
+	IsPrimary(key uint64) bool
+}
+
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
 		c.Addr = "127.0.0.1:0"
@@ -286,6 +301,12 @@ func (c Config) PipelineBatches() int {
 	c = c.withDefaults()
 	return c.Shards * (c.PipelineDepth + 1)
 }
+
+// ShardOf exposes the shard routing function: the capacity planner in
+// internal/loadmodel must route a generated op stream across shard
+// queues exactly the way the server will, or its per-shard load split
+// is fiction. shards must be a power of two.
+func ShardOf(key uint64, shards int) int { return shardOf(key, shards) }
 
 // shardOf routes a key to its shard. The multiplier differs from the
 // table's probe hash (lpstore mix64) only in that we take the top bits,

@@ -98,7 +98,8 @@ type LoadReport struct {
 	Retries    uint64  `json:"retries"`
 	Expired    uint64  `json:"expired"`
 	Full       uint64  `json:"full"`
-	Errors     uint64  `json:"errors"` // ops abandoned to connection-level failures
+	Moved      uint64  `json:"moved,omitempty"` // StatusMoved responses seen (stale routing)
+	Errors     uint64  `json:"errors"`          // ops abandoned to connection-level failures
 	Throughput float64 `json:"throughput_ops_s"`
 	P50us      float64 `json:"p50_us"`
 	P90us      float64 `json:"p90_us"`
@@ -190,7 +191,7 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 	var (
 		ops, acked, gets, notFound  atomic.Uint64
 		overloads, retries, expired atomic.Uint64
-		full, errs, resets          atomic.Uint64
+		full, moved, errs, resets   atomic.Uint64
 		hist                        obs.Histogram // op latency, ns
 		connDown                    atomic.Bool
 		wg                          sync.WaitGroup
@@ -219,11 +220,15 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 					cur := hist.Snapshot()
 					win := cur.Sub(prev)
 					curOps := ops.Load()
+					// Cumulative rejects by cause ride every line:
+					// bursty runs show admission control live, not
+					// just in the final report.
 					fmt.Fprintf(o.Progress,
-						"lpload: t=%.1fs ops=%d (%.0f ops/s) p50 %.0fµs p99 %.0fµs\n",
+						"lpload: t=%.1fs ops=%d (%.0f ops/s) p50 %.0fµs p99 %.0fµs rej ov/exp/full=%d/%d/%d\n",
 						time.Since(start).Seconds(), curOps,
 						float64(curOps-prevOps)/o.Interval.Seconds(),
-						float64(win.Quantile(0.50))/1e3, float64(win.Quantile(0.99))/1e3)
+						float64(win.Quantile(0.50))/1e3, float64(win.Quantile(0.99))/1e3,
+						overloads.Load(), expired.Load(), full.Load())
 					prev, prevOps = cur, curOps
 				}
 			}
@@ -249,7 +254,8 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 				end: end, mix: mix,
 				hist: &hist, ops: &ops, acked: &acked, gets: &gets,
 				notFound: &notFound, overloads: &overloads, retries: &retries,
-				expired: &expired, full: &full, errs: &errs, resets: &resets,
+				expired: &expired, full: &full, moved: &moved, errs: &errs,
+				resets: &resets,
 			}
 			if !lw.run() {
 				connDown.Store(true)
@@ -274,7 +280,7 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 		Ops:      ops.Load(), AckedPuts: acked.Load(),
 		Gets: gets.Load(), NotFound: notFound.Load(),
 		Overloads: overloads.Load(), Retries: retries.Load(),
-		Expired: expired.Load(), Full: full.Load(),
+		Expired: expired.Load(), Full: full.Load(), Moved: moved.Load(),
 		Errors:     errs.Load(),
 		ConnResets: resets.Load(),
 		Partial:    connDown.Load(),
@@ -348,7 +354,7 @@ type loadWorker struct {
 	hist                              *obs.Histogram
 	ops, acked, gets, notFound        *atomic.Uint64
 	overloads, retries, expired, full *atomic.Uint64
-	errs, resets                      *atomic.Uint64
+	moved, errs, resets               *atomic.Uint64
 
 	targets      map[string]*lgTarget
 	events       chan lgEvent
@@ -511,8 +517,20 @@ func (lw *loadWorker) handle(ev lgEvent, now time.Time) bool {
 	if sl.tgt != ev.tgt || sl.gen != ev.gen || sl.retry {
 		return true // stale response for a reissued slot
 	}
-	if ev.status == StatusOverload {
-		lw.overloads.Add(1)
+	if ev.status == StatusOverload || ev.status == StatusMoved {
+		if ev.status == StatusMoved {
+			// The member's applied topology says it no longer owns the
+			// key: this client's routing table is stale. Refresh it
+			// before the retry re-routes — the backoff then rides out
+			// the window where the new epoch hasn't reached the
+			// promoted member yet.
+			lw.moved.Add(1)
+			if lw.o.Refresh != nil {
+				lw.o.Refresh()
+			}
+		} else {
+			lw.overloads.Add(1)
+		}
 		if sl.attempt < lw.o.MaxRetries {
 			lw.retries.Add(1)
 			sl.attempt++

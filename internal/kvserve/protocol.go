@@ -78,6 +78,14 @@ const (
 	// StatusShutdown means the server is draining (or hit a backing-
 	// file write error) and took no action.
 	StatusShutdown
+	// StatusMoved rejects a client put whose key this cluster member
+	// does not own under its applied topology epoch: the client's
+	// routing table is stale and it must refresh and re-route. Ordered
+	// after StatusShutdown so the severity ranking of the pre-existing
+	// codes (used by OpReplBatch worst-status aggregation) is
+	// untouched; replication frames are exempt from the primary check,
+	// so StatusMoved never appears in a replication ack.
+	StatusMoved
 )
 
 // StatusName returns a human-readable status label.
@@ -97,6 +105,8 @@ func StatusName(st byte) string {
 		return "bad_request"
 	case StatusShutdown:
 		return "shutdown"
+	case StatusMoved:
+		return "moved"
 	}
 	return fmt.Sprintf("status(%d)", st)
 }

@@ -337,6 +337,7 @@ type shardObs struct {
 	rejOver      *obs.Counter   // kvserve_rejects_total{cause="overload"}
 	rejExp       *obs.Counter   // kvserve_rejects_total{cause="expired"}
 	rejFull      *obs.Counter   // kvserve_rejects_total{cause="full"}
+	rejMoved     *obs.Counter   // kvserve_rejects_total{cause="moved"}
 }
 
 func newShardObs(sc obs.Scope) shardObs {
@@ -356,6 +357,7 @@ func newShardObs(sc obs.Scope) shardObs {
 		rejOver:      rej("overload"),
 		rejExp:       rej("expired"),
 		rejFull:      rej("full"),
+		rejMoved:     rej("moved"),
 	}
 }
 
@@ -374,6 +376,7 @@ type Stats struct {
 	Overloads   uint64 `json:"overloads"`
 	Expired     uint64 `json:"expired"`
 	Full        uint64 `json:"full"`
+	Moved       uint64 `json:"moved"`
 	LeakedLines uint64 `json:"leaked_lines"`
 	LeakDropped uint64 `json:"leak_dropped"`
 }
@@ -408,6 +411,10 @@ type Server struct {
 	fileErr  atomic.Pointer[error]
 	closeErr error
 
+	// auth is cfg.Repl's optional PrimaryAuth extension, resolved once
+	// in New so the put hot path pays a nil check, not a type assert.
+	auth PrimaryAuth
+
 	reg *obs.Registry
 	tr  *obs.Tracer
 	// Server-wide counters (per-shard instruments live in shardObs).
@@ -431,6 +438,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}
+	s.auth, _ = cfg.Repl.(PrimaryAuth)
 	s.reg = cfg.Registry
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
@@ -689,6 +697,7 @@ func (s *Server) Stats() Stats {
 		st.Overloads += sd.obs.rejOver.Load()
 		st.Expired += sd.obs.rejExp.Load()
 		st.Full += sd.obs.rejFull.Load()
+		st.Moved += sd.obs.rejMoved.Load()
 	}
 	return st
 }
@@ -917,6 +926,19 @@ func (s *Server) connReader(cn *srvConn) {
 			}
 		default: // put
 			sd := s.shards[shardOf(key, len(s.shards))]
+			if op == OpPut && s.auth != nil && s.cfg.Repl.Ready() && !s.auth.IsPrimary(key) {
+				// Primary authorization: this member's applied epoch
+				// says the key belongs to someone else, so the client's
+				// routing table is stale. Reject with StatusMoved — the
+				// client refreshes and re-routes — instead of accepting
+				// a put the pair choreography would have to repair.
+				// Checked only once a topology is applied; before that
+				// the Ready gate below owns the rejection.
+				sd.obs.rejMoved.Inc()
+				s.trace(obs.EvRejectMoved, int32(sd.id), key, 0)
+				rb = appendResp(rb, seq, StatusMoved, 0)
+				break
+			}
 			if op == OpPut && s.cfg.Repl != nil && !s.cfg.Repl.Ready() {
 				// A clustered member with no applied topology must not
 				// ack client puts: Forward would return 0 (no view), so

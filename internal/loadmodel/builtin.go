@@ -1,0 +1,127 @@
+package loadmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Built-in specs: the validation workloads E17 and the CI smoke run.
+// All go through ParseSpec so the builtins exercise exactly the path a
+// user spec file does, and all scale: rate multiplies every class's
+// aggregate rate, dur replaces the run length (ramp knots are defined
+// inside 600ms so any dur >= 700ms stays valid).
+//
+//   - steady: a skewed-client population (zipf rate split — a few hot
+//     clients dominate) with Poisson arrivals over two SLO classes:
+//     a read-heavy interactive class and a write-heavy ingest class.
+//   - bursty: a Gamma(CV=3) bursty class whose rate ramps 0.5x→2x→0.5x
+//     (a compressed diurnal), next to a steady read-only class —
+//     admission control under the burst is the point.
+//   - mixed: a write-leaning class with heavy-tailed Weibull arrivals
+//     and an explicit 30/70 read/update split, next to an
+//     insert-carrying mix-d class — exercises the put path from a
+//     different angle than either of the above (E17 holds it out of
+//     calibration).
+func BuiltinSpec(name string, rate float64, dur string) (*Spec, error) {
+	if rate <= 0 {
+		rate = 1
+	}
+	if dur == "" {
+		dur = "2s"
+	}
+	var js string
+	switch name {
+	case "steady":
+		js = fmt.Sprintf(`{
+  "name": "steady",
+  "seed": 1,
+  "duration": "%s",
+  "streams": 4,
+  "keys": 2048,
+  "classes": [
+    {
+      "name": "interactive",
+      "clients": 12,
+      "rate_ops": %d,
+      "rate_skew": {"kind": "zipf", "theta": 1.0},
+      "arrival": {"kind": "poisson"},
+      "key_dist": {"kind": "zipfian", "theta": 0.99},
+      "mix": {"name": "b"}
+    },
+    {
+      "name": "ingest",
+      "clients": 4,
+      "rate_ops": %d,
+      "arrival": {"kind": "poisson"},
+      "key_dist": {"kind": "uniform"},
+      "mix": {"name": "a"}
+    }
+  ]
+}`, dur, int(18000*rate), int(6000*rate))
+	case "bursty":
+		js = fmt.Sprintf(`{
+  "name": "bursty",
+  "seed": 7,
+  "duration": "%s",
+  "streams": 4,
+  "keys": 2048,
+  "classes": [
+    {
+      "name": "burst",
+      "clients": 8,
+      "rate_ops": %d,
+      "rate_skew": {"kind": "zipf", "theta": 0.8},
+      "arrival": {"kind": "gamma", "cv": 3.0},
+      "key_dist": {"kind": "zipfian", "theta": 0.99},
+      "mix": {"name": "a"},
+      "ramp": [
+        {"t": "0ms", "x": 0.5},
+        {"t": "300ms", "x": 2.0},
+        {"t": "600ms", "x": 0.5}
+      ]
+    },
+    {
+      "name": "readers",
+      "clients": 4,
+      "rate_ops": %d,
+      "arrival": {"kind": "poisson"},
+      "key_dist": {"kind": "uniform"},
+      "mix": {"name": "c"}
+    }
+  ]
+}`, dur, int(14000*rate), int(8000*rate))
+	case "mixed":
+		js = fmt.Sprintf(`{
+  "name": "mixed",
+  "seed": 11,
+  "duration": "%s",
+  "streams": 4,
+  "keys": 2048,
+  "classes": [
+    {
+      "name": "writers",
+      "clients": 6,
+      "rate_ops": %d,
+      "arrival": {"kind": "weibull", "shape": 0.7},
+      "key_dist": {"kind": "zipfian", "theta": 0.9},
+      "mix": {"read_pct": 30, "update_pct": 70, "insert_pct": 0}
+    },
+    {
+      "name": "loaders",
+      "clients": 10,
+      "rate_ops": %d,
+      "rate_skew": {"kind": "zipf", "theta": 0.6},
+      "arrival": {"kind": "poisson"},
+      "key_dist": {"kind": "uniform"},
+      "mix": {"name": "d"}
+    }
+  ]
+}`, dur, int(8000*rate), int(12000*rate))
+	default:
+		return nil, fmt.Errorf("loadmodel: unknown builtin spec %q (have: %s)", name, BuiltinNames())
+	}
+	return ParseSpec([]byte(js))
+}
+
+// BuiltinNames lists the built-in spec names.
+func BuiltinNames() string { return strings.Join([]string{"steady", "bursty", "mixed"}, ", ") }

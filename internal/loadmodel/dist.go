@@ -1,0 +1,259 @@
+package loadmodel
+
+import "math"
+
+// rng is a splitmix64 stream — the same generator kvgen uses, kept
+// private here so every sampler in the package draws from one
+// deterministic, platform-independent source. All float conversions
+// use the top 53 bits, so results are bit-exact across architectures
+// (pure IEEE-754 double arithmetic, no math/rand).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// f64o returns a uniform draw in the open interval (0,1) — never 0 or
+// 1, so it is safe under log and under u^(1/k).
+func (r *rng) f64o() float64 {
+	return (float64(r.next()>>11) + 0.5) / (1 << 53)
+}
+
+// normal returns a standard normal via Marsaglia's polar method.
+func (r *rng) normal() float64 {
+	for {
+		v1 := 2*r.f64o() - 1
+		v2 := 2*r.f64o() - 1
+		s := v1*v1 + v2*v2
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return v1 * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// gammaVariate returns a draw from Gamma(shape k, scale 1) via
+// Marsaglia–Tsang; the k < 1 boost uses G(k) = G(k+1) * U^(1/k).
+func (r *rng) gammaVariate(k float64) float64 {
+	if k < 1 {
+		return r.gammaVariate(k+1) * math.Pow(r.f64o(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.f64o()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+func powF(x, y float64) float64 { return math.Pow(x, y) }
+
+// arrivalSampler produces interarrival gaps with mean 1 (unit rate);
+// the generator scales them by the client's rate through the ramp
+// time-warp.
+type arrivalSampler struct {
+	kind  string
+	shape float64 // gamma: shape k = 1/cv^2; weibull: shape k
+	scale float64 // precomputed so the mean is exactly 1
+}
+
+func newArrivalSampler(a ArrivalSpec) arrivalSampler {
+	s := arrivalSampler{kind: a.Kind}
+	switch a.Kind {
+	case "gamma":
+		s.shape = 1 / (a.CV * a.CV)
+		s.scale = 1 / s.shape // mean = shape*scale = 1
+	case "weibull":
+		s.shape = a.Shape
+		s.scale = 1 / math.Gamma(1+1/a.Shape) // mean = scale*Γ(1+1/k) = 1
+	}
+	return s
+}
+
+func (s arrivalSampler) gap(r *rng) float64 {
+	switch s.kind {
+	case "gamma":
+		return s.scale * r.gammaVariate(s.shape)
+	case "weibull":
+		return s.scale * math.Pow(-math.Log(1-r.f64o()), 1/s.shape)
+	case "fixed":
+		return 1
+	default: // poisson
+		return -math.Log(1 - r.f64o())
+	}
+}
+
+// ramp is the time-warp that turns a unit-rate arrival process into a
+// rate-modulated one: with multiplier m(t) piecewise linear between
+// knots, the cumulative intensity L(t) = ∫₀ᵗ m(u)du is piecewise
+// quadratic and analytically invertible, so the n-th arrival of a
+// client at base rate λ lands at t with L(t) = sₙ/λ, where sₙ is the
+// unit-rate cumulative sum of sampled gaps. This is exact (no
+// thinning, no discretization), which is what keeps generation
+// deterministic and O(1) per op.
+type ramp struct {
+	ts  []float64 // knot times, seconds; covers [0, dur]
+	xs  []float64 // multipliers at knots
+	cum []float64 // L at each knot
+}
+
+func newRamp(c *ClassSpec, durNs int64) *ramp {
+	tsNs, xs := rampKnots(c, durNs)
+	rp := &ramp{
+		ts:  make([]float64, len(tsNs)),
+		xs:  xs,
+		cum: make([]float64, len(tsNs)),
+	}
+	for i, t := range tsNs {
+		rp.ts[i] = float64(t) / 1e9
+	}
+	for i := 1; i < len(rp.ts); i++ {
+		dt := rp.ts[i] - rp.ts[i-1]
+		rp.cum[i] = rp.cum[i-1] + dt*(rp.xs[i-1]+rp.xs[i])/2
+	}
+	return rp
+}
+
+// total returns L(dur): the expected ops per unit base rate.
+func (rp *ramp) total() float64 { return rp.cum[len(rp.cum)-1] }
+
+// invert returns the t (seconds) with L(t) = a, or the run length + 1
+// second when a exceeds the total intensity (caller stops there).
+func (rp *ramp) invert(a float64) float64 {
+	n := len(rp.ts)
+	if a >= rp.cum[n-1] {
+		return rp.ts[n-1] + 1
+	}
+	// Find the segment holding a. Segment count is tiny (a handful of
+	// ramp knots), so a linear scan from a cached index would win
+	// nothing; binary search keeps it obviously correct.
+	lo, hi := 0, n-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if rp.cum[mid] <= a {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t0, t1 := rp.ts[lo], rp.ts[lo+1]
+	m0, m1 := rp.xs[lo], rp.xs[lo+1]
+	c0 := rp.cum[lo]
+	rem := a - c0
+	seg := t1 - t0
+	k := (m1 - m0) / seg // multiplier slope within the segment
+	// Solve (k/2)·dt² + m0·dt = rem for dt ∈ [0, seg].
+	var dt float64
+	if math.Abs(k) < 1e-12 {
+		if m0 <= 0 {
+			// Dead segment with rem > 0 can't happen (cum is flat
+			// across it, so the search lands past it), but guard.
+			return t1
+		}
+		dt = rem / m0
+	} else {
+		disc := m0*m0 + 2*k*rem
+		if disc < 0 {
+			disc = 0
+		}
+		dt = (-m0 + math.Sqrt(disc)) / k
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	if dt > seg {
+		dt = seg
+	}
+	return t0 + dt
+}
+
+// keyPicker maps uniform draws to popularity ranks over [0, keys).
+type keyPicker struct {
+	kind string
+	zipf zipfRanker
+	cdf  []float64 // empirical: cumulative masses over equal-width slices
+	keys int
+}
+
+// zipfRanker is implemented in gen.go on top of workloads.ZipfSampler
+// so the generator and kvgen share one threshold table per (n, θ).
+type zipfRanker interface {
+	Rank(k uint64) int
+}
+
+func newKeyPicker(d DistSpec, keys int, mk func(n int, theta float64) zipfRanker) *keyPicker {
+	p := &keyPicker{kind: d.Kind, keys: keys}
+	switch d.Kind {
+	case "zipfian":
+		p.zipf = mk(keys, d.Theta)
+	case "empirical":
+		p.cdf = make([]float64, len(d.Weights))
+		sum := 0.0
+		for _, w := range d.Weights {
+			sum += w
+		}
+		acc := 0.0
+		for i, w := range d.Weights {
+			acc += w / sum
+			p.cdf[i] = acc
+		}
+		p.cdf[len(p.cdf)-1] = 1 // clamp float drift
+	}
+	return p
+}
+
+// pick returns a key index in [0, keys).
+func (p *keyPicker) pick(r *rng) int {
+	switch p.kind {
+	case "zipfian":
+		rank := p.zipf.Rank(r.next() >> 11)
+		// Scramble rank -> index exactly the way kvgen does, so hot
+		// ranks scatter across the table instead of clustering.
+		return int(scramble(uint64(rank)) % uint64(p.keys))
+	case "empirical":
+		u := r.f64o()
+		lo, hi := 0, len(p.cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if p.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// Bucket lo covers an equal-width slice of the key space;
+		// uniform within it.
+		b := len(p.cdf)
+		start := p.keys * lo / b
+		end := p.keys * (lo + 1) / b
+		if end <= start {
+			end = start + 1
+		}
+		return start + int(r.next()%uint64(end-start))
+	default: // uniform
+		return int(r.next() % uint64(p.keys))
+	}
+}
+
+// scramble is splitmix64's output mix — one-shot hash of a rank.
+func scramble(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

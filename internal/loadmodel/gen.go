@@ -1,0 +1,135 @@
+package loadmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"lazyp/internal/workloads"
+)
+
+// Op is one generated operation: a put or get against the kvserve
+// key space, scheduled At nanoseconds into the run, attributed to a
+// global client index and an SLO class index (into Spec.Classes).
+type Op struct {
+	At     int64 // ns offset from run start
+	Client int32 // global client index across classes, spec order
+	Class  int32 // index into Spec.Classes
+	IsPut  bool
+	Key    uint64
+	Val    uint64 // put payload; 0 for gets
+}
+
+// maxGenOps bounds a runaway spec (rate × duration) before the slice
+// allocation does it the hard way.
+const maxGenOps = 50_000_000
+
+// Generate expands a Spec into its op stream, sorted by At with
+// per-client order preserved on ties. The stream is a pure function
+// of the spec (including Seed): same spec ⇒ byte-identical ops on any
+// machine.
+//
+// Key semantics match kvserve preload geometry: reads and updates
+// target stream tid = client % Streams with kvgen's key encoding, so
+// they hit preloaded keys; inserts allocate from per-client disjoint
+// tids above the preload range (tid = Streams + client), so spec runs
+// never collide with the preload or each other.
+func Generate(spec *Spec) ([]Op, error) {
+	expected := 0.0
+	for ci := range spec.Classes {
+		c := &spec.Classes[ci]
+		rp := newRamp(c, spec.durNs)
+		expected += c.RateOpsS * rp.total()
+	}
+	if expected > maxGenOps {
+		return nil, fmt.Errorf("loadmodel: spec expands to ~%.0f ops (cap %d); shrink rate or duration",
+			expected, maxGenOps)
+	}
+
+	ops := make([]Op, 0, int(expected)+spec.TotalClients())
+	durS := float64(spec.durNs) / 1e9
+	globalClient := 0
+	for ci := range spec.Classes {
+		c := &spec.Classes[ci]
+		rp := newRamp(c, spec.durNs)
+		weights := c.clientWeights()
+		arr := newArrivalSampler(c.Arrival)
+		picker := newKeyPicker(c.KeyDist, spec.Keys, func(n int, theta float64) zipfRanker {
+			return workloads.NewZipfSampler(n, theta)
+		})
+		for j := 0; j < c.Clients; j++ {
+			rate := c.RateOpsS * weights[j]
+			if rate <= 0 {
+				globalClient++
+				continue
+			}
+			r := &rng{s: workloads.SplitMix64(spec.Seed) ^
+				workloads.SplitMix64(uint64(ci)*0x9e3779b97f4a7c15+uint64(globalClient)+1)}
+			tid := globalClient % spec.Streams
+			insTid := spec.Streams + globalClient
+			insCount := 0
+			s := 0.0 // unit-rate cumulative arrival process
+			for {
+				s += arr.gap(r)
+				t := rp.invert(s / rate)
+				if t > durS {
+					break
+				}
+				at := int64(t * 1e9)
+				if at >= spec.durNs {
+					break
+				}
+				op := Op{At: at, Client: int32(globalClient), Class: int32(ci)}
+				p := int(r.next() % 100)
+				switch {
+				case p < c.Mix.ReadPct:
+					op.Key = workloads.KVKey(tid, picker.pick(r))
+				case p < c.Mix.ReadPct+c.Mix.UpdPct:
+					op.IsPut = true
+					op.Key = workloads.KVKey(tid, picker.pick(r))
+					op.Val = r.next()
+				default: // insert
+					op.IsPut = true
+					op.Key = workloads.KVKey(insTid, insCount)
+					op.Val = r.next()
+					insCount++
+				}
+				ops = append(ops, op)
+				if len(ops) > maxGenOps {
+					return nil, fmt.Errorf("loadmodel: op stream exceeded cap %d", maxGenOps)
+				}
+			}
+			globalClient++
+		}
+	}
+
+	// Concatenation order is class-major, client-major, time-ascending
+	// per client, so a stable sort by (At, Client) preserves each
+	// client's issue order — inserts stay monotone in their key index.
+	sort.SliceStable(ops, func(i, k int) bool {
+		if ops[i].At != ops[k].At {
+			return ops[i].At < ops[k].At
+		}
+		return ops[i].Client < ops[k].Client
+	})
+	return ops, nil
+}
+
+// CountPuts returns how many ops in the stream are puts.
+func CountPuts(ops []Op) int {
+	n := 0
+	for i := range ops {
+		if ops[i].IsPut {
+			n++
+		}
+	}
+	return n
+}
+
+// ClassOps returns per-class op counts, indexed like Spec.Classes.
+func ClassOps(ops []Op, classes int) []int {
+	n := make([]int, classes)
+	for i := range ops {
+		n[ops[i].Class]++
+	}
+	return n
+}

@@ -1,0 +1,324 @@
+package loadmodel
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"testing"
+
+	"lazyp/internal/workloads"
+)
+
+func mustSpec(t *testing.T, js string) *Spec {
+	t.Helper()
+	s, err := ParseSpec([]byte(js))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	return s
+}
+
+func mustBuiltin(t *testing.T, name string, rate float64, dur string) *Spec {
+	t.Helper()
+	s, err := BuiltinSpec(name, rate, dur)
+	if err != nil {
+		t.Fatalf("BuiltinSpec(%s): %v", name, err)
+	}
+	return s
+}
+
+func mustGen(t *testing.T, s *Spec) []Op {
+	t.Helper()
+	ops, err := Generate(s)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ops
+}
+
+func opsDigest(ops []Op) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	for i := range ops {
+		w(uint64(ops[i].At))
+		w(uint64(ops[i].Client))
+		w(uint64(ops[i].Class))
+		if ops[i].IsPut {
+			w(1)
+		} else {
+			w(0)
+		}
+		w(ops[i].Key)
+		w(ops[i].Val)
+	}
+	return h.Sum64()
+}
+
+// TestGenerateDeterministic pins the acceptance criterion: same spec +
+// seed ⇒ byte-identical op stream and trace encoding. The digest pins
+// it across machines, not just across two calls in one process — the
+// sampler stack is pure IEEE-754 arithmetic over a splitmix64 stream,
+// so the stream is a platform-independent function of the spec.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range []string{"steady", "bursty"} {
+		a := mustGen(t, mustBuiltin(t, name, 0.2, "900ms"))
+		b := mustGen(t, mustBuiltin(t, name, 0.2, "900ms"))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two generations differ", name)
+		}
+		var bufA, bufB bytes.Buffer
+		if err := WriteTrace(&bufA, TraceOf(mustBuiltin(t, name, 0.2, "900ms"), a)); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTrace(&bufB, TraceOf(mustBuiltin(t, name, 0.2, "900ms"), b)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Fatalf("%s: trace encodings differ", name)
+		}
+		t.Logf("%s: %d ops, digest %#x", name, len(a), opsDigest(a))
+	}
+}
+
+// TestGenerateStreamShape checks ordering and key-space invariants:
+// time-sorted, per-client monotone, reads confined to the preloaded
+// key space, inserts confined to per-client disjoint tids above it.
+func TestGenerateStreamShape(t *testing.T) {
+	spec := mustSpec(t, `{
+  "name": "shape",
+  "duration": "600ms",
+  "streams": 2,
+  "keys": 512,
+  "classes": [
+    {"name": "rw", "clients": 3, "rate_ops": 8000, "mix": {"name": "a"}},
+    {"name": "ins", "clients": 2, "rate_ops": 4000, "mix": {"read_pct": 50, "update_pct": 0, "insert_pct": 50}}
+  ]
+}`)
+	ops := mustGen(t, spec)
+	if len(ops) == 0 {
+		t.Fatal("no ops generated")
+	}
+	lastAt := int64(-1)
+	perClientAt := map[int32]int64{}
+	perClientIns := map[int32]uint64{}
+	for i := range ops {
+		op := &ops[i]
+		if op.At < lastAt {
+			t.Fatalf("op %d: At %d < previous %d", i, op.At, lastAt)
+		}
+		lastAt = op.At
+		if op.At < perClientAt[op.Client] {
+			t.Fatalf("op %d: client %d time went backwards", i, op.Client)
+		}
+		perClientAt[op.Client] = op.At
+		if op.At >= spec.DurationNs() {
+			t.Fatalf("op %d: At %d beyond duration %d", i, op.At, spec.DurationNs())
+		}
+		tid := int(op.Key>>40) - 1
+		idx := int(op.Key&((1<<40)-1)) - 1
+		if tid < spec.Streams {
+			// Preload key: must be the client's stream and in range.
+			if want := int(op.Client) % spec.Streams; tid != want {
+				t.Fatalf("op %d: key tid %d, want stream %d", i, tid, want)
+			}
+			if idx < 0 || idx >= spec.Keys {
+				t.Fatalf("op %d: key idx %d out of [0,%d)", i, idx, spec.Keys)
+			}
+		} else {
+			// Insert: disjoint per-client tid, monotone idx.
+			if !op.IsPut {
+				t.Fatalf("op %d: get on insert key space", i)
+			}
+			if want := spec.Streams + int(op.Client); tid != want {
+				t.Fatalf("op %d: insert tid %d, want %d", i, tid, want)
+			}
+			if uint64(idx) != perClientIns[op.Client] {
+				t.Fatalf("op %d: client %d insert idx %d, want %d", i, op.Client, idx, perClientIns[op.Client])
+			}
+			perClientIns[op.Client]++
+		}
+	}
+
+	// Offered load lands near spec: 12k ops/s × 0.6s = 7200 expected.
+	want := 0.6 * 12000
+	if f := float64(len(ops)); f < 0.85*want || f > 1.15*want {
+		t.Fatalf("generated %d ops, want ≈%.0f", len(ops), want)
+	}
+	// Mix fractions: class rw is 50/50 read/update.
+	var puts, gets int
+	for i := range ops {
+		if ops[i].Class != 0 {
+			continue
+		}
+		if ops[i].IsPut {
+			puts++
+		} else {
+			gets++
+		}
+	}
+	if frac := float64(puts) / float64(puts+gets); math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("class rw put fraction %.3f, want ≈0.5", frac)
+	}
+}
+
+// TestGenerateRampShape verifies the time-warp: a 0.5x→2x→0.5x ramp
+// must concentrate ops around the peak knot.
+func TestGenerateRampShape(t *testing.T) {
+	spec := mustSpec(t, `{
+  "name": "ramp",
+  "duration": "900ms",
+  "classes": [
+    {"name": "b", "clients": 4, "rate_ops": 20000, "mix": {"name": "c"},
+     "ramp": [{"t": "0ms", "x": 0.5}, {"t": "450ms", "x": 2.0}, {"t": "900ms", "x": 0.5}]}
+  ]
+}`)
+	ops := mustGen(t, spec)
+	buckets := make([]int, 3) // thirds of the run
+	for i := range ops {
+		b := int(ops[i].At * 3 / spec.DurationNs())
+		if b > 2 {
+			b = 2
+		}
+		buckets[b]++
+	}
+	if buckets[1] <= buckets[0] || buckets[1] <= buckets[2] {
+		t.Fatalf("middle third %v not the densest under a peaked ramp", buckets)
+	}
+	// Expected totals: mean multiplier 1.25 ⇒ 20000×0.9×1.25 = 22500.
+	want := 22500.0
+	if f := float64(len(ops)); f < 0.9*want || f > 1.1*want {
+		t.Fatalf("generated %d ops, want ≈%.0f", len(ops), want)
+	}
+}
+
+// TestArrivalBurstiness checks the interarrival CV ordering: fixed <
+// poisson < gamma(cv=3) on a single client's gaps.
+func TestArrivalBurstiness(t *testing.T) {
+	cv := func(kind, extra string) float64 {
+		spec := mustSpec(t, fmt.Sprintf(`{
+  "name": "cv",
+  "duration": "2s",
+  "classes": [
+    {"name": "x", "clients": 1, "rate_ops": 5000, "mix": {"name": "c"},
+     "arrival": {"kind": "%s"%s}}
+  ]
+}`, kind, extra))
+		ops := mustGen(t, spec)
+		if len(ops) < 1000 {
+			t.Fatalf("arrival %s: only %d ops", kind, len(ops))
+		}
+		var gaps []float64
+		for i := 1; i < len(ops); i++ {
+			gaps = append(gaps, float64(ops[i].At-ops[i-1].At))
+		}
+		var sum float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		var varsum float64
+		for _, g := range gaps {
+			varsum += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(varsum/float64(len(gaps))) / mean
+	}
+	f := cv("fixed", "")
+	p := cv("poisson", "")
+	g := cv("gamma", `, "cv": 3.0`)
+	w := cv("weibull", `, "shape": 0.5`)
+	if !(f < 0.2 && p > 0.8 && p < 1.2 && g > 2.0 && w > 1.5) {
+		t.Fatalf("CV ordering violated: fixed=%.2f poisson=%.2f gamma3=%.2f weibull0.5=%.2f", f, p, g, w)
+	}
+}
+
+// TestRateSkewSplit checks the zipf rate split: client 0 of a θ=1
+// zipf population must carry the largest share, and empirical weights
+// must be honored.
+func TestRateSkewSplit(t *testing.T) {
+	spec := mustSpec(t, `{
+  "name": "skew",
+  "duration": "1s",
+  "classes": [
+    {"name": "z", "clients": 4, "rate_ops": 12000, "mix": {"name": "c"},
+     "rate_skew": {"kind": "zipf", "theta": 1.0}},
+    {"name": "e", "clients": 2, "rate_ops": 6000, "mix": {"name": "c"},
+     "rate_skew": {"kind": "empirical", "weights": [3, 1]}}
+  ]
+}`)
+	ops := mustGen(t, spec)
+	perClient := map[int32]int{}
+	for i := range ops {
+		perClient[ops[i].Client]++
+	}
+	// zipf θ=1 over 4 clients: weights 1, 1/2, 1/3, 1/4 (norm ~0.48,
+	// 0.24, 0.16, 0.12).
+	if !(perClient[0] > perClient[1] && perClient[1] > perClient[2] && perClient[2] > perClient[3]) {
+		t.Fatalf("zipf split not monotone: %v", perClient)
+	}
+	if r := float64(perClient[0]) / float64(perClient[3]); r < 2.5 || r > 6 {
+		t.Fatalf("zipf head/tail ratio %.2f, want ≈4", r)
+	}
+	// empirical 3:1 across global clients 4 and 5.
+	if r := float64(perClient[4]) / float64(perClient[5]); r < 2.4 || r > 3.8 {
+		t.Fatalf("empirical split ratio %.2f, want ≈3", r)
+	}
+}
+
+// TestKeyDistZipfMatchesKVGen pins that the generator's zipfian key
+// picker uses the same rank sampler + scramble as kvgen, so
+// spec-driven load hits the same hot set the closed-loop harness does.
+func TestKeyDistZipfMatchesKVGen(t *testing.T) {
+	const keys = 1024
+	z := workloads.NewZipfSampler(keys, 0.99)
+	p := newKeyPicker(DistSpec{Kind: "zipfian", Theta: 0.99}, keys, func(n int, theta float64) zipfRanker {
+		return workloads.NewZipfSampler(n, theta)
+	})
+	r1 := &rng{s: 42}
+	r2 := &rng{s: 42}
+	for i := 0; i < 4096; i++ {
+		want := int(workloads.SplitMix64(uint64(z.Rank(r1.next()>>11))) % keys)
+		got := p.pick(r2)
+		if got != want {
+			t.Fatalf("draw %d: picker %d, kvgen path %d", i, got, want)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []string{
+		`{"classes": []}`,
+		`{"classes": [{"name": "", "clients": 1, "rate_ops": 1}]}`,
+		`{"classes": [{"name": "a b", "clients": 1, "rate_ops": 1}]}`,
+		`{"classes": [{"name": "x", "clients": 0, "rate_ops": 1}]}`,
+		`{"classes": [{"name": "x", "clients": 1, "rate_ops": 0}]}`,
+		`{"classes": [{"name": "x", "clients": 1, "rate_ops": 1, "mix": {"read_pct": 60, "update_pct": 60}}]}`,
+		`{"classes": [{"name": "x", "clients": 1, "rate_ops": 1, "arrival": {"kind": "gamma"}}]}`,
+		`{"classes": [{"name": "x", "clients": 2, "rate_ops": 1, "rate_skew": {"kind": "empirical", "weights": [1]}}]}`,
+		`{"duration": "2s", "classes": [{"name": "x", "clients": 1, "rate_ops": 1,
+		  "ramp": [{"t": "3s", "x": 1}]}]}`,
+		`{"classes": [{"name": "x", "clients": 2, "rate_ops": 1}, {"name": "x", "clients": 1, "rate_ops": 1}]}`,
+		`{"unknown_field": 1, "classes": [{"name": "x", "clients": 1, "rate_ops": 1}]}`,
+	}
+	for i, js := range bad {
+		if _, err := ParseSpec([]byte(js)); err == nil {
+			t.Errorf("case %d: bad spec accepted", i)
+		}
+	}
+	// Defaults fill in.
+	s := mustSpec(t, `{"classes": [{"name": "x", "clients": 1, "rate_ops": 100}]}`)
+	if s.Seed != 1 || s.Streams != 4 || s.Keys != 2048 || s.DurationNs() != int64(2e9) {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+	if s.Classes[0].Arrival.Kind != "poisson" || s.Classes[0].KeyDist.Kind != "zipfian" ||
+		s.Classes[0].Mix.ReadPct+s.Classes[0].Mix.UpdPct+s.Classes[0].Mix.InsPct != 100 {
+		t.Fatalf("class defaults wrong: %+v", s.Classes[0])
+	}
+}

@@ -1,0 +1,572 @@
+package loadmodel
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazyp/internal/kvserve"
+	"lazyp/internal/obs"
+)
+
+// RunOpts drives Run, the open-loop replayer.
+type RunOpts struct {
+	Conns       int // client connections; default 4
+	MaxInflight int // in-flight cap per connection; default 512
+
+	// Interval/Progress mirror kvserve.LoadOpts: a windowed progress
+	// line every Interval, with cumulative reject counts by cause.
+	Interval time.Duration
+	Progress io.Writer
+
+	// Registry, when non-nil, exports per-class latency histograms and
+	// reject counters (loadmodel_class_* families) through obs.
+	Registry *obs.Registry
+}
+
+// RunReport is the measured outcome of replaying a trace open-loop.
+// Per-class rows reuse ClassPlan so a prediction and a measurement
+// compare field by field.
+//
+// The per-class latencies are *service* latencies — send to response,
+// what the server plus the wire did — because that is what the planner
+// models. The coordinated-omission view (latency from each op's
+// scheduled time, which also charges client dispatch lag to the run)
+// is kept in the aggregate SchedP50us/SchedP99us, with LagMaxUs/
+// LagOps and Stalls saying how much dispatch slip and backpressure
+// produced the gap. A run where the two views diverge wildly was
+// client-bound (host timer granularity, CPU starvation) and is a poor
+// validation target; the split makes that visible instead of folding
+// host timer noise into the server's percentiles.
+type RunReport struct {
+	Spec     string      `json:"spec"`
+	Conns    int         `json:"conns"`
+	ElapsedS float64     `json:"elapsed_s"`
+	Total    ClassPlan   `json:"total"`
+	Classes  []ClassPlan `json:"classes"`
+
+	SchedP50us float64 `json:"sched_p50_us"` // from scheduled time, all classes
+	SchedP99us float64 `json:"sched_p99_us"`
+
+	NotFound uint64  `json:"not_found"`
+	Moved    uint64  `json:"moved"`
+	Errors   uint64  `json:"errors"`
+	Stalls   uint64  `json:"stalls"`     // issuer blocked on the inflight cap
+	LagMaxUs float64 `json:"lag_max_us"` // worst dispatch lag behind schedule
+	LagOps   uint64  `json:"lag_ops"`    // ops dispatched > 1ms late
+	Partial  bool    `json:"partial,omitempty"`
+}
+
+// runAcc accumulates one class's settles; shared across connection
+// goroutines, so everything is atomic.
+type runAcc struct {
+	hist     *obs.Histogram // settled-OK latency, ns
+	putHist  *obs.Histogram
+	served   atomic.Uint64
+	notFound atomic.Uint64
+	over     atomic.Uint64
+	exp      atomic.Uint64
+	full     atomic.Uint64
+	moved    atomic.Uint64
+	errs     atomic.Uint64
+}
+
+// Run replays a trace's op stream open-loop against a live server:
+// each op is dispatched at start + Op.At on connection Client % Conns
+// (a per-client token schedule, not a closed-loop window), per-class
+// latencies are measured from the actual send (service view; see
+// RunReport), and rejects are counted per cause without retrying — an
+// open-loop run measures what the server did with the offered load, it
+// does not reshape the load around the server.
+func Run(addr string, tr *Trace, o RunOpts) (*RunReport, error) {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 512
+	}
+	if o.MaxInflight > 1<<16 {
+		o.MaxInflight = 1 << 16 // seq encodes (slot, conn) in 32 bits
+	}
+	ops := tr.Ops
+	classes := tr.Header.Classes
+	if len(classes) == 0 {
+		classes = []string{"all"}
+	}
+
+	accs := make([]runAcc, len(classes))
+	for i := range accs {
+		if o.Registry != nil {
+			sc := o.Registry.Scope("class", classes[i])
+			accs[i].hist = sc.HistogramScaled("loadmodel_class_latency_seconds", 1e-9)
+			accs[i].putHist = sc.HistogramScaled("loadmodel_class_put_latency_seconds", 1e-9)
+		} else {
+			accs[i].hist = &obs.Histogram{}
+			accs[i].putHist = &obs.Histogram{}
+		}
+	}
+	var regRejects func(class int, cause string)
+	if o.Registry != nil {
+		regRejects = func(class int, cause string) {
+			o.Registry.Scope("class", classes[class]).With("cause", cause).
+				Counter("loadmodel_class_rejects_total").Inc()
+		}
+	}
+
+	perConn := make([][]int32, o.Conns)
+	for i := range ops {
+		if int(ops[i].Class) >= len(classes) {
+			return nil, fmt.Errorf("loadmodel: op %d references class %d of %d", i, ops[i].Class, len(classes))
+		}
+		c := int(ops[i].Client) % o.Conns
+		perConn[c] = append(perConn[c], int32(i))
+	}
+
+	var (
+		settled, issued, stalls, lagOps atomic.Uint64
+		lagMaxNs                        atomic.Int64
+		partial                         atomic.Bool
+		firstErr                        atomic.Pointer[error]
+	)
+	schedHist := &obs.Histogram{}
+	fail := func(err error) {
+		partial.Store(true)
+		if firstErr.Load() == nil {
+			firstErr.CompareAndSwap(nil, &err)
+		}
+	}
+
+	start := time.Now().Add(20 * time.Millisecond) // dial slack before t=0
+	deadline := start.Add(time.Duration(tr.Header.DurNs)).Add(30 * time.Second)
+
+	stopProg := make(chan struct{})
+	var progWG sync.WaitGroup
+	if o.Interval > 0 && o.Progress != nil {
+		progWG.Add(1)
+		go func() {
+			defer progWG.Done()
+			runProgress(o, accs, &settled, stopProg, start)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < o.Conns; ci++ {
+		list := perConn[ci]
+		if len(list) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci int, list []int32) {
+			defer wg.Done()
+			err := runConn(addr, ops, list, start, deadline, o, accs, regRejects, connCounters{
+				settled: &settled, issued: &issued, stalls: &stalls,
+				lagOps: &lagOps, lagMaxNs: &lagMaxNs, sched: schedHist,
+			})
+			if err != nil {
+				fail(fmt.Errorf("conn %d: %w", ci, err))
+			}
+		}(ci, list)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopProg)
+	progWG.Wait()
+
+	rep := buildRunReport(tr, classes, accs, o.Conns, elapsed.Seconds())
+	ss := schedHist.Snapshot()
+	rep.SchedP50us = float64(ss.Quantile(0.50)) / 1e3
+	rep.SchedP99us = float64(ss.Quantile(0.99)) / 1e3
+	rep.Stalls = stalls.Load()
+	rep.LagMaxUs = float64(lagMaxNs.Load()) / 1e3
+	rep.LagOps = lagOps.Load()
+	rep.Partial = partial.Load()
+	if ep := firstErr.Load(); ep != nil && rep.Total.Ops == 0 {
+		return rep, *ep
+	}
+	return rep, nil
+}
+
+type connCounters struct {
+	settled, issued, stalls, lagOps *atomic.Uint64
+	lagMaxNs                        *atomic.Int64
+	sched                           *obs.Histogram // scheduled-time latency, all classes
+}
+
+// runConn is one connection's issuer + reader pair. Sequence numbers
+// are slot indices into a fixed in-flight window; the reader frees a
+// slot per response, the issuer blocks on the free list only when the
+// window is exhausted (counted as a stall — the open loop degraded to
+// a closed one at MaxInflight).
+func runConn(addr string, ops []Op, list []int32, start, deadline time.Time,
+	o RunOpts, accs []runAcc, regRejects func(int, string), ctr connCounters) error {
+
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn.SetDeadline(deadline)
+
+	slots := make([]int32, o.MaxInflight)  // slot -> global op index
+	sendNs := make([]int64, o.MaxInflight) // slot -> send stamp (UnixNano)
+	free := make(chan int32, o.MaxInflight)
+	for i := 0; i < o.MaxInflight; i++ {
+		free <- int32(i)
+	}
+
+	readErr := make(chan error, 1)
+	var received atomic.Uint64
+	go func() {
+		readErr <- connReadLoop(conn, ops, slots, sendNs, free, accs, regRejects, start, ctr, &received)
+	}()
+
+	abort := func(err error) error {
+		conn.Close()
+		<-readErr
+		return err
+	}
+
+	bw := newFrameWriter(conn)
+	spinPace := runtime.NumCPU() > 1
+	var sent uint64
+	for _, opi := range list {
+		op := &ops[opi]
+		due := start.Add(time.Duration(op.At))
+		for {
+			d := time.Until(due)
+			if d <= 0 {
+				break
+			}
+			// About to wait: everything written so far is due now or
+			// earlier, so it must hit the wire before any idling —
+			// batching is only for ops due at the same instant. Without
+			// this, a steady sub-300µs gap would buffer up to 64 frames
+			// (several ms of offered load) before the size flush fires.
+			if bw.pending() > 0 {
+				if err := bw.flush(); err != nil {
+					return abort(err)
+				}
+				continue
+			}
+			if spinPace && d <= 300*time.Microsecond {
+				// Close the last stretch with a yield loop: finer than
+				// the sleep granularity, and the spare cores absorb it.
+				runtime.Gosched()
+			} else if spinPace {
+				time.Sleep(d - 200*time.Microsecond)
+			} else {
+				// Single CPU: a spinning issuer would steal the core
+				// from the very server (and reader) it is waiting on.
+				// Sleep the full gap and let timer overshoot show up as
+				// dispatch lag instead.
+				time.Sleep(d)
+			}
+		}
+		if lag := -time.Until(due); lag > time.Millisecond {
+			ctr.lagOps.Add(1)
+			for {
+				m := ctr.lagMaxNs.Load()
+				if int64(lag) <= m || ctr.lagMaxNs.CompareAndSwap(m, int64(lag)) {
+					break
+				}
+			}
+		}
+
+		var slot int32
+		select {
+		case slot = <-free:
+		default:
+			// Window exhausted: the open loop degrades to a closed one
+			// until a response frees a slot.
+			ctr.stalls.Add(1)
+			if err := bw.flush(); err != nil {
+				return abort(err)
+			}
+			slot = <-free
+		}
+		slots[slot] = opi
+		sendNs[slot] = time.Now().UnixNano()
+		opc := byte(kvserve.OpGet)
+		if op.IsPut {
+			opc = kvserve.OpPut
+		}
+		if err := bw.writeReq(opc, uint32(slot), op.Key, op.Val); err != nil {
+			return abort(err)
+		}
+		sent++
+		ctr.issued.Add(1)
+		if bw.pending() >= 64*kvserve.ReqSize {
+			if err := bw.flush(); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	if err := bw.flush(); err != nil {
+		return abort(err)
+	}
+
+	// Drain: wait for the reader to settle every issued op, then close
+	// the connection — the reader's resulting read error is the clean
+	// exit signal. A reader error before the drain completes is real.
+	for received.Load() < sent {
+		select {
+		case err := <-readErr:
+			if received.Load() == sent {
+				return nil
+			}
+			if err == nil {
+				err = fmt.Errorf("reader exited with %d/%d responses", received.Load(), sent)
+			}
+			return err
+		case <-time.After(2 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			conn.Close()
+			<-readErr
+			return fmt.Errorf("drain timeout: %d/%d responses", received.Load(), sent)
+		}
+	}
+	conn.Close()
+	<-readErr
+	return nil
+}
+
+func connReadLoop(conn net.Conn, ops []Op, slots []int32, sendNs []int64, free chan<- int32,
+	accs []runAcc, regRejects func(int, string), start time.Time,
+	ctr connCounters, received *atomic.Uint64) error {
+
+	br := newFrameReader(conn)
+	var frame [kvserve.RespSize]byte
+	for {
+		if err := br.readFull(frame[:]); err != nil {
+			return err
+		}
+		seq, status, _ := kvserve.DecodeResp(&frame)
+		if int(seq) >= len(slots) {
+			return fmt.Errorf("response seq %d out of window", seq)
+		}
+		opi := slots[seq]
+		op := &ops[opi]
+		a := &accs[op.Class]
+		now := time.Now()
+		lat := now.UnixNano() - sendNs[seq] // service latency
+		switch status {
+		case kvserve.StatusOK, kvserve.StatusNotFound:
+			v := uint64(lat)
+			a.hist.Observe(v)
+			if op.IsPut {
+				a.putHist.Observe(v)
+			}
+			if sched := now.Sub(start) - time.Duration(op.At); sched > 0 {
+				ctr.sched.Observe(uint64(sched))
+			} else {
+				ctr.sched.Observe(0)
+			}
+			a.served.Add(1)
+			if status == kvserve.StatusNotFound {
+				a.notFound.Add(1)
+			}
+		case kvserve.StatusOverload:
+			a.over.Add(1)
+			if regRejects != nil {
+				regRejects(int(op.Class), "overload")
+			}
+		case kvserve.StatusExpired:
+			a.exp.Add(1)
+			if regRejects != nil {
+				regRejects(int(op.Class), "expired")
+			}
+		case kvserve.StatusFull:
+			a.full.Add(1)
+			if regRejects != nil {
+				regRejects(int(op.Class), "full")
+			}
+		case kvserve.StatusMoved:
+			a.moved.Add(1)
+			if regRejects != nil {
+				regRejects(int(op.Class), "moved")
+			}
+		default:
+			a.errs.Add(1)
+		}
+		ctr.settled.Add(1)
+		received.Add(1)
+		free <- int32(seq)
+	}
+}
+
+// frameWriter batches request frames into one buffer per flush; a
+// bufio.Writer would do, but an explicit pending() keeps the issuer's
+// flush policy readable.
+type frameWriter struct {
+	w   net.Conn
+	buf []byte
+}
+
+func newFrameWriter(w net.Conn) *frameWriter {
+	return &frameWriter{w: w, buf: make([]byte, 0, 128*kvserve.ReqSize)}
+}
+
+func (fw *frameWriter) writeReq(op byte, seq uint32, key, val uint64) error {
+	var f [kvserve.ReqSize]byte
+	kvserve.EncodeReq(&f, op, seq, key, val)
+	fw.buf = append(fw.buf, f[:]...)
+	if len(fw.buf) >= cap(fw.buf) {
+		return fw.flush()
+	}
+	return nil
+}
+
+func (fw *frameWriter) pending() int { return len(fw.buf) }
+
+func (fw *frameWriter) flush() error {
+	if len(fw.buf) == 0 {
+		return nil
+	}
+	_, err := fw.w.Write(fw.buf)
+	fw.buf = fw.buf[:0]
+	return err
+}
+
+// frameReader is a buffered reader sized for response bursts.
+type frameReader struct {
+	r   net.Conn
+	buf []byte
+	n   int // valid bytes
+	off int
+}
+
+func newFrameReader(r net.Conn) *frameReader {
+	return &frameReader{r: r, buf: make([]byte, 256*kvserve.RespSize)}
+}
+
+func (fr *frameReader) readFull(p []byte) error {
+	for len(p) > 0 {
+		if fr.off == fr.n {
+			n, err := fr.r.Read(fr.buf)
+			if n == 0 && err != nil {
+				return err
+			}
+			fr.n, fr.off = n, 0
+		}
+		c := copy(p, fr.buf[fr.off:fr.n])
+		p = p[c:]
+		fr.off += c
+	}
+	return nil
+}
+
+// runProgress prints a windowed line every Interval: throughput and
+// window percentiles from the merged per-class histograms, plus the
+// cumulative reject counters by cause — live visibility into
+// admission control during bursty specs.
+func runProgress(o RunOpts, accs []runAcc, settled *atomic.Uint64, stop <-chan struct{}, start time.Time) {
+	tick := time.NewTicker(o.Interval)
+	defer tick.Stop()
+	var prev obs.HistSnapshot
+	var prevOps uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		var merged obs.Histogram
+		var over, exp, full uint64
+		for i := range accs {
+			merged.Merge(accs[i].hist)
+			over += accs[i].over.Load()
+			exp += accs[i].exp.Load()
+			full += accs[i].full.Load()
+		}
+		cur := merged.Snapshot()
+		win := cur.Sub(prev)
+		prev = cur
+		ops := settled.Load()
+		dOps := ops - prevOps
+		prevOps = ops
+		fmt.Fprintf(o.Progress,
+			"loadmodel: t=%.1fs settled=%d (%.0f ops/s) p50 %.0fµs p99 %.0fµs rej ov/exp/full=%d/%d/%d\n",
+			time.Since(start).Seconds(), ops,
+			float64(dOps)/o.Interval.Seconds(),
+			float64(win.Quantile(0.50))/1e3, float64(win.Quantile(0.99))/1e3,
+			over, exp, full)
+	}
+}
+
+func buildRunReport(tr *Trace, classes []string, accs []runAcc, conns int, elapsedS float64) *RunReport {
+	rep := &RunReport{Spec: tr.Header.Name, Conns: conns, ElapsedS: elapsedS}
+	counts := ClassOps(tr.Ops, len(classes))
+	durS := float64(tr.Header.DurNs) / 1e9
+	if durS <= 0 || elapsedS > durS {
+		durS = elapsedS
+	}
+
+	totalHist := &obs.Histogram{}
+	totalPut := &obs.Histogram{}
+	var tServed, tOver, tExp, tFull uint64
+	totalOps := 0
+	for i := range accs {
+		a := &accs[i]
+		cp := runClassPlan(classes[i], counts[i], durS, a)
+		rep.Classes = append(rep.Classes, cp)
+		totalHist.Merge(a.hist)
+		totalPut.Merge(a.putHist)
+		tServed += a.served.Load()
+		tOver += a.over.Load()
+		tExp += a.exp.Load()
+		tFull += a.full.Load()
+		totalOps += counts[i]
+		rep.NotFound += a.notFound.Load()
+		rep.Moved += a.moved.Load()
+		rep.Errors += a.errs.Load()
+	}
+	s := totalHist.Snapshot()
+	ps := totalPut.Snapshot()
+	rep.Total = ClassPlan{
+		Name:        "total",
+		Ops:         totalOps,
+		OfferedOpsS: float64(totalOps) / durS,
+		OKOpsS:      float64(tServed) / durS,
+		P50us:       float64(s.Quantile(0.50)) / 1e3,
+		P99us:       float64(s.Quantile(0.99)) / 1e3,
+		PutP99us:    float64(ps.Quantile(0.99)) / 1e3,
+		MaxUs:       float64(s.Max) / 1e3,
+		Overloads:   tOver,
+		Expired:     tExp,
+		Full:        tFull,
+	}
+	if totalOps > 0 {
+		rep.Total.RejectRate = float64(tOver+tExp+tFull) / float64(totalOps)
+	}
+	return rep
+}
+
+func runClassPlan(name string, offered int, durS float64, a *runAcc) ClassPlan {
+	s := a.hist.Snapshot()
+	ps := a.putHist.Snapshot()
+	cp := ClassPlan{
+		Name:        name,
+		Ops:         offered,
+		OfferedOpsS: float64(offered) / durS,
+		OKOpsS:      float64(a.served.Load()) / durS,
+		P50us:       float64(s.Quantile(0.50)) / 1e3,
+		P99us:       float64(s.Quantile(0.99)) / 1e3,
+		PutP99us:    float64(ps.Quantile(0.99)) / 1e3,
+		MaxUs:       float64(s.Max) / 1e3,
+		Overloads:   a.over.Load(),
+		Expired:     a.exp.Load(),
+		Full:        a.full.Load(),
+	}
+	if offered > 0 {
+		cp.RejectRate = float64(cp.Overloads+cp.Expired+cp.Full) / float64(offered)
+	}
+	return cp
+}

@@ -1,0 +1,141 @@
+package loadmodel
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lazyp/internal/kvserve"
+	"lazyp/internal/lpstore"
+	"lazyp/internal/obs"
+)
+
+func startKV(t *testing.T, spec *Spec) *kvserve.Server {
+	t.Helper()
+	s, err := kvserve.New(kvserve.Config{
+		Path:      filepath.Join(t.TempDir(), "kv.img"),
+		Mode:      lpstore.ModeLP,
+		Shards:    4,
+		Capacity:  1 << 14,
+		MaxOps:    1 << 16,
+		BatchK:    32,
+		Streams:   spec.Streams,
+		Keys:      spec.Keys,
+		Seed:      spec.PreloadSeed,
+		Mailbox:   256,
+		BatchWait: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("kvserve.New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("kvserve.Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestRunReplay drives a small generated stream open-loop against an
+// in-process kvserve and checks full settlement: every op accounted,
+// zero rejects at this load, per-class counts matching the stream.
+func TestRunReplay(t *testing.T) {
+	spec := mustBuiltin(t, "steady", 0.1, "600ms")
+	ops := mustGen(t, spec)
+	tr := TraceOf(spec, ops)
+	srv := startKV(t, spec)
+
+	reg := obs.NewRegistry()
+	rep, err := Run(srv.Addr(), tr, RunOpts{Conns: 2, Registry: reg})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Partial {
+		t.Fatal("run reported partial")
+	}
+	if rep.Total.Ops != len(ops) {
+		t.Fatalf("total ops %d, want %d", rep.Total.Ops, len(ops))
+	}
+	rej := rep.Total.Overloads + rep.Total.Expired + rep.Total.Full
+	if rej != 0 || rep.Moved != 0 || rep.Errors != 0 {
+		t.Fatalf("unexpected rejects/errors: ov/exp/full=%d moved=%d errs=%d",
+			rej, rep.Moved, rep.Errors)
+	}
+	// Reads target preloaded keys and updates overwrite them; inserts
+	// are new keys. Nothing should miss.
+	if rep.NotFound != 0 {
+		t.Fatalf("%d NotFound on a preload-matched spec", rep.NotFound)
+	}
+	want := ClassOps(ops, len(spec.Classes))
+	for i, cp := range rep.Classes {
+		if cp.Ops != want[i] {
+			t.Fatalf("class %s: %d ops, want %d", cp.Name, cp.Ops, want[i])
+		}
+		if cp.P50us <= 0 || cp.P99us < cp.P50us {
+			t.Fatalf("class %s: bad latency shape p50=%.1f p99=%.1f", cp.Name, cp.P50us, cp.P99us)
+		}
+	}
+	// Registry export exists for every class.
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	for _, name := range spec.ClassNames() {
+		if !strings.Contains(prom.String(), `loadmodel_class_latency_seconds_count{class="`+name+`"`) {
+			t.Fatalf("registry missing latency series for class %s:\n%s", name, prom.String())
+		}
+	}
+}
+
+// TestRunRejectCounting overdrives a deliberately tiny server and
+// checks rejects are counted per cause instead of erroring the run.
+func TestRunRejectCounting(t *testing.T) {
+	spec := mustSpec(t, `{
+  "name": "slam",
+  "duration": "400ms",
+  "streams": 2,
+  "keys": 128,
+  "classes": [
+    {"name": "w", "clients": 8, "rate_ops": 120000, "mix": {"read_pct": 0, "update_pct": 100, "insert_pct": 0}}
+  ]
+}`)
+	ops := mustGen(t, spec)
+	tr := TraceOf(spec, ops)
+
+	s, err := kvserve.New(kvserve.Config{
+		Path:      filepath.Join(t.TempDir(), "kv.img"),
+		Mode:      lpstore.ModeLP,
+		Shards:    1,
+		Capacity:  1 << 12,
+		MaxOps:    1 << 14,
+		BatchK:    16,
+		Streams:   spec.Streams,
+		Keys:      spec.Keys,
+		Seed:      spec.PreloadSeed,
+		Mailbox:   8,
+		BatchWait: 2 * time.Millisecond,
+		Fsync:     true,
+	})
+	if err != nil {
+		t.Fatalf("kvserve.New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("kvserve.Start: %v", err)
+	}
+	defer s.Close()
+
+	rep, err := Run(s.Addr(), tr, RunOpts{Conns: 4, MaxInflight: 64})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Total.Overloads == 0 {
+		t.Fatalf("no overloads against a mailbox-8 single shard: %+v", rep.Total)
+	}
+	if rep.Total.Ops != len(ops) {
+		t.Fatalf("accounting leak: %d settled of %d", rep.Total.Ops, len(ops))
+	}
+	if rep.Total.RejectRate <= 0 {
+		t.Fatal("reject rate not computed")
+	}
+}

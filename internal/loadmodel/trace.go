@@ -1,0 +1,204 @@
+package loadmodel
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Trace format: JSONL, one header line then one line per op. The
+// writer is hand-rolled over strconv so the encoding is canonical —
+// same ops ⇒ byte-identical file, which is what the CI determinism
+// diff pins. The reader uses encoding/json, so hand-edited but valid
+// traces still load.
+//
+//	{"v":1,"name":"x","seed":1,"dur_ns":2000000000,"streams":4,"keys":2048,"classes":["a","b"],"ops":1234}
+//	{"t":512345,"c":0,"k":0,"o":"g","key":1099511628033}
+//	{"t":513210,"c":3,"k":1,"o":"p","key":1099511628042,"val":17293822569102704642}
+//
+// t is ns from run start, c the global client, k the class index into
+// the header's classes list, o the op ("p" put, "g" get). val is
+// omitted for gets.
+
+// TraceHeader is the first line of a trace file.
+type TraceHeader struct {
+	V       int      `json:"v"`
+	Name    string   `json:"name"`
+	Seed    uint64   `json:"seed"`
+	DurNs   int64    `json:"dur_ns"`
+	Streams int      `json:"streams"`
+	Keys    int      `json:"keys"`
+	Classes []string `json:"classes"`
+	Ops     int      `json:"ops"`
+}
+
+// Trace couples a header with its op stream.
+type Trace struct {
+	Header TraceHeader
+	Ops    []Op
+}
+
+// TraceOf packages a generated stream with its spec's identity.
+func TraceOf(spec *Spec, ops []Op) *Trace {
+	return &Trace{
+		Header: TraceHeader{
+			V:       1,
+			Name:    spec.Name,
+			Seed:    spec.Seed,
+			DurNs:   spec.durNs,
+			Streams: spec.Streams,
+			Keys:    spec.Keys,
+			Classes: spec.ClassNames(),
+			Ops:     len(ops),
+		},
+		Ops: ops,
+	}
+}
+
+// WriteTrace emits the canonical encoding.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 160)
+
+	h := &tr.Header
+	buf = append(buf, `{"v":1,"name":`...)
+	// Class and spec names are validated to [A-Za-z0-9_.-], so their
+	// JSON encoding is the bare quoted string — no escaping needed —
+	// but go through strconv.Quote anyway: it is canonical for that
+	// alphabet and safe if validation ever loosens.
+	buf = strconv.AppendQuote(buf, h.Name)
+	buf = append(buf, `,"seed":`...)
+	buf = strconv.AppendUint(buf, h.Seed, 10)
+	buf = append(buf, `,"dur_ns":`...)
+	buf = strconv.AppendInt(buf, h.DurNs, 10)
+	buf = append(buf, `,"streams":`...)
+	buf = strconv.AppendInt(buf, int64(h.Streams), 10)
+	buf = append(buf, `,"keys":`...)
+	buf = strconv.AppendInt(buf, int64(h.Keys), 10)
+	buf = append(buf, `,"classes":[`...)
+	for i, name := range h.Classes {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendQuote(buf, name)
+	}
+	buf = append(buf, `],"ops":`...)
+	buf = strconv.AppendInt(buf, int64(h.Ops), 10)
+	buf = append(buf, '}', '\n')
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		buf = buf[:0]
+		buf = append(buf, `{"t":`...)
+		buf = strconv.AppendInt(buf, op.At, 10)
+		buf = append(buf, `,"c":`...)
+		buf = strconv.AppendInt(buf, int64(op.Client), 10)
+		buf = append(buf, `,"k":`...)
+		buf = strconv.AppendInt(buf, int64(op.Class), 10)
+		if op.IsPut {
+			buf = append(buf, `,"o":"p","key":`...)
+			buf = strconv.AppendUint(buf, op.Key, 10)
+			buf = append(buf, `,"val":`...)
+			buf = strconv.AppendUint(buf, op.Val, 10)
+		} else {
+			buf = append(buf, `,"o":"g","key":`...)
+			buf = strconv.AppendUint(buf, op.Key, 10)
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile writes the canonical encoding to path.
+func WriteTraceFile(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type traceLine struct {
+	T   int64  `json:"t"`
+	C   int32  `json:"c"`
+	K   int32  `json:"k"`
+	O   string `json:"o"`
+	Key uint64 `json:"key"`
+	Val uint64 `json:"val"`
+}
+
+// ReadTrace parses a trace stream.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("loadmodel: empty trace")
+	}
+	tr := &Trace{}
+	if err := json.Unmarshal(sc.Bytes(), &tr.Header); err != nil {
+		return nil, fmt.Errorf("loadmodel: trace header: %w", err)
+	}
+	if tr.Header.V != 1 {
+		return nil, fmt.Errorf("loadmodel: unsupported trace version %d", tr.Header.V)
+	}
+	if tr.Header.Ops > maxGenOps || tr.Header.Ops < 0 {
+		return nil, fmt.Errorf("loadmodel: trace claims %d ops (cap %d)", tr.Header.Ops, maxGenOps)
+	}
+	tr.Ops = make([]Op, 0, tr.Header.Ops)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ln traceLine
+		if err := json.Unmarshal(b, &ln); err != nil {
+			return nil, fmt.Errorf("loadmodel: trace line %d: %w", lineNo, err)
+		}
+		op := Op{At: ln.T, Client: ln.C, Class: ln.K, Key: ln.Key}
+		switch ln.O {
+		case "p":
+			op.IsPut = true
+			op.Val = ln.Val
+		case "g":
+		default:
+			return nil, fmt.Errorf("loadmodel: trace line %d: bad op %q", lineNo, ln.O)
+		}
+		tr.Ops = append(tr.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tr.Ops) != tr.Header.Ops {
+		return nil, fmt.Errorf("loadmodel: trace header claims %d ops, file has %d",
+			tr.Header.Ops, len(tr.Ops))
+	}
+	return tr, nil
+}
+
+// ReadTraceFile parses a trace file from disk.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

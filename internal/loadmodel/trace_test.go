@@ -1,0 +1,78 @@
+package loadmodel
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTraceRoundTrip pins the acceptance criterion: a trace
+// round-trips exactly (ops identical after write→read) and re-writing
+// the parsed trace reproduces the original bytes.
+func TestTraceRoundTrip(t *testing.T) {
+	spec := mustBuiltin(t, "bursty", 0.2, "800ms")
+	ops := mustGen(t, spec)
+	tr := TraceOf(spec, ops)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+
+	got, err := ReadTrace(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Header, tr.Header) {
+		t.Fatalf("header mismatch:\n got %+v\nwant %+v", got.Header, tr.Header)
+	}
+	if !reflect.DeepEqual(got.Ops, tr.Ops) {
+		t.Fatal("ops mismatch after round trip")
+	}
+
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("re-encoded trace not byte-identical")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	spec := mustBuiltin(t, "steady", 0.1, "500ms")
+	ops := mustGen(t, spec)
+	tr := TraceOf(spec, ops)
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := WriteTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != len(ops) || got.Header.Ops != len(ops) {
+		t.Fatalf("op count: got %d/%d, want %d", len(got.Ops), got.Header.Ops, len(ops))
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "not json\n",
+		"bad version": `{"v":2,"ops":0}` + "\n",
+		"bad op": `{"v":1,"name":"x","seed":1,"dur_ns":1,"streams":1,"keys":1,"classes":["a"],"ops":1}` + "\n" +
+			`{"t":0,"c":0,"k":0,"o":"z","key":1}` + "\n",
+		"count mismatch": `{"v":1,"name":"x","seed":1,"dur_ns":1,"streams":1,"keys":1,"classes":["a"],"ops":2}` + "\n" +
+			`{"t":0,"c":0,"k":0,"o":"g","key":1}` + "\n",
+		"absurd count": `{"v":1,"ops":999999999999}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -65,6 +65,26 @@ func (h *Histogram) Observe(v uint64) {
 	}
 }
 
+// Merge folds another histogram's samples into h, bucket-wise. Each
+// side stays internally consistent under concurrent observers, but
+// the fold is not atomic across buckets — use it for post-run
+// aggregation (per-class histograms into a total), not live scraping.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	v := o.max.Load()
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
 // HistSnapshot is a point-in-time copy of a histogram, safe to read
 // at leisure. Snapshots of a live histogram are not atomic across
 // buckets — a scrape races individual observations — but every

@@ -32,6 +32,10 @@ const (
 	EvFlush    // explicit flush instruction retired; a=line addr
 	EvFence    // persist fence drained; a=cycles stalled
 	EvROBStall // ROB head blocked on an outstanding miss; a=cycles stalled
+
+	// EvRejectMoved is appended after the simulator events so every
+	// pre-existing EventType keeps its numeric value.
+	EvRejectMoved // put rejected: key not owned at this member's epoch; a=shard
 )
 
 var evNames = [...]string{
@@ -50,6 +54,7 @@ var evNames = [...]string{
 	EvFlush:          "flush",
 	EvFence:          "fence",
 	EvROBStall:       "rob_stall",
+	EvRejectMoved:    "reject_moved",
 }
 
 func (t EventType) String() string {

@@ -77,6 +77,30 @@ func KVInitVal(seed, key uint64) uint64 {
 	return splitmix(seed ^ 0xa5a5a5a5a5a5a5a5 ^ key)
 }
 
+// SplitMix64 is the splitmix64 output function — the one hash/PRNG
+// step every deterministic workload in the repo builds on. Exported
+// for internal/loadmodel, which must scramble ranks exactly the way
+// KVGen does so spec-driven and closed-loop runs hit the same hot
+// keys.
+func SplitMix64(x uint64) uint64 { return splitmix(x) }
+
+// ZipfSampler exposes the bounded scrambled-zipfian rank sampler —
+// threshold table plus radix index, shared process-wide per (n, θ) —
+// to other packages. Rank maps a 53-bit uniform draw k (u = k/2^53)
+// to a popularity rank in [0, n); callers scramble the rank to a key
+// index themselves.
+type ZipfSampler struct{ z *zipfGen }
+
+// NewZipfSampler builds (or re-uses, via the process-wide table
+// cache) a sampler over n items with exponent theta ∈ (0, 1).
+func NewZipfSampler(n int, theta float64) *ZipfSampler {
+	return &ZipfSampler{z: newZipf(n, theta)}
+}
+
+// Rank maps a 53-bit uniform draw to its zipf rank. Safe for
+// concurrent use: the underlying table is immutable after build.
+func (s *ZipfSampler) Rank(k uint64) int { return s.z.rank53(k) }
+
 // splitmix is the splitmix64 output function.
 func splitmix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestZipfTableThetaSweep sweeps the threshold/radix fast path against
+// the Gray et al. reference arithmetic across the (θ, n) grid the
+// loadmodel specs can request — not just the kvgen default θ=0.99.
+// For each cell: a seeded 53-bit draw sample, plus the exact table
+// boundaries (thr[j] and thr[j]-1), where an off-by-one in the radix
+// scan would hide from random sampling.
+func TestZipfTableThetaSweep(t *testing.T) {
+	thetas := []float64{0.2, 0.5, 0.8, 0.9, 0.99, 0.999}
+	ns := []int{2, 7, 64, 513, 2048, 4096}
+	for _, theta := range thetas {
+		for _, n := range ns {
+			z := newZipf(n, theta)
+			if z.thr == nil && n > 1 {
+				t.Errorf("n=%d θ=%g: threshold table failed build-time validation", n, theta)
+				continue
+			}
+			slow := func(k uint64) int { return z.rankSlow(float64(k) / float64(1<<53)) }
+			s := uint64(n)*1000003 + uint64(theta*1e6)
+			for i := 0; i < 50000; i++ {
+				s = splitmix(s)
+				k := s >> 11
+				if got, want := z.rank53(k), slow(k); got != want {
+					t.Fatalf("n=%d θ=%g k=%d: table rank %d, slow rank %d", n, theta, k, got, want)
+				}
+			}
+			for j, thr := range z.thr {
+				if got, want := z.rank53(thr), slow(thr); got != want {
+					t.Fatalf("n=%d θ=%g thr[%d]=%d: table rank %d, slow rank %d", n, theta, j, thr, got, want)
+				}
+				if thr == 0 {
+					continue
+				}
+				if got, want := z.rank53(thr-1), slow(thr-1); got != want {
+					t.Fatalf("n=%d θ=%g thr[%d]-1=%d: table rank %d, slow rank %d", n, theta, j, thr-1, got, want)
+				}
+			}
+			// Extremes: first and last representable draws.
+			if got, want := z.rank53(0), slow(0); got != want {
+				t.Fatalf("n=%d θ=%g k=0: table rank %d, slow rank %d", n, theta, got, want)
+			}
+			last := uint64(1<<53) - 1
+			if got, want := z.rank53(last), slow(last); got != want {
+				t.Fatalf("n=%d θ=%g k=max: table rank %d, slow rank %d", n, theta, got, want)
+			}
+		}
+	}
+}
+
+// TestZipfTableCacheSharedAcrossGoroutines pins the process-wide table
+// cache: concurrent constructions of the same (n, θ) must all end up
+// on ONE threshold table (same backing array, not equal copies), and
+// concurrent draws through the shared table must be race-free — this
+// is the contract that lets every generator goroutine of a run, and
+// the loadmodel generator on top, share a single table per (n, θ).
+func TestZipfTableCacheSharedAcrossGoroutines(t *testing.T) {
+	const n, theta = 777, 0.95
+	const workers = 8
+	samplers := make([]*ZipfSampler, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			zs := NewZipfSampler(n, theta)
+			samplers[w] = zs
+			// Draw through the table concurrently with the other
+			// builders; -race verifies immutability after publish.
+			s := uint64(w + 1)
+			for i := 0; i < 20000; i++ {
+				s = splitmix(s)
+				if r := zs.Rank(s >> 11); r < 0 || r >= n {
+					t.Errorf("rank %d out of [0,%d)", r, n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	first := samplers[0].z.thr
+	if first == nil {
+		t.Fatal("no threshold table built")
+	}
+	for w := 1; w < workers; w++ {
+		thr := samplers[w].z.thr
+		if len(thr) != len(first) || &thr[0] != &first[0] {
+			t.Fatalf("worker %d got a different table (len %d vs %d, ptr %p vs %p): cache not shared",
+				w, len(thr), len(first), &thr[0], &first[0])
+		}
+	}
+	// A later same-key construction still reuses it.
+	if again := NewZipfSampler(n, theta).z.thr; &again[0] != &first[0] {
+		t.Fatal("fresh construction rebuilt a cached table")
+	}
+}
