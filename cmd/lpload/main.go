@@ -55,6 +55,7 @@ import (
 	"lazyp/internal/cluster"
 	"lazyp/internal/kvserve"
 	"lazyp/internal/loadmodel"
+	"lazyp/internal/obs"
 )
 
 // topoView is the smart client's routing state: the last fetched
@@ -122,6 +123,8 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "retries per op on overload or dead connection (0 = default 8)")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON")
 		interval   = flag.Duration("interval", 0, "emit periodic throughput/latency lines on stderr (0 = off)")
+		traceEvery = flag.Int("trace-every", 0, "propagate a trace ID on every Nth op per worker (0 = off)")
+		spanOut    = flag.String("span-out", "", "write the client-side span drain (client_send/client_ack JSONL) here for lptrace")
 
 		specPath    = flag.String("spec", "", "loadmodel spec file: open-loop multi-class generation instead of the closed-loop mix")
 		builtin     = flag.String("builtin", "", "built-in loadmodel spec ("+loadmodel.BuiltinNames()+") instead of -spec")
@@ -133,9 +136,17 @@ func main() {
 	)
 	flag.Parse()
 
+	var clientTr *obs.Tracer
+	if *traceEvery > 0 {
+		// Size the ring for the whole run: two events per traced op.
+		clientTr = obs.NewTracer(1 << 16)
+		clientTr.Enable(true)
+	}
+
 	if *specPath != "" || *builtin != "" || *traceIn != "" {
 		runSpec(*addr, *specPath, *builtin, *rate, *dur, *traceOut, *traceIn,
-			*genOnly, *conns, *maxInflight, *interval, *jsonOut)
+			*genOnly, *conns, *maxInflight, *interval, *jsonOut,
+			*traceEvery, clientTr, *spanOut)
 		return
 	}
 
@@ -146,6 +157,8 @@ func main() {
 		InsertOnly: *insert, MaxRetries: *maxRetries,
 		Reconnect: *reconnect,
 		Interval:  *interval, Progress: os.Stderr,
+		TraceEvery: *traceEvery,
+		Tracer:     clientTr,
 	}
 	if *ops == 0 {
 		// -dur governs only duration-bounded runs; an ops-bounded run
@@ -195,6 +208,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lpload: %v\n", err)
 		os.Exit(1)
 	}
+	drainSpans(*spanOut, clientTr)
 	if rep.Partial {
 		fmt.Fprintln(os.Stderr, "lpload: connection lost mid-run — report covers completed ops only")
 	}
@@ -228,9 +242,28 @@ func die(format string, args ...any) {
 // runSpec is the loadmodel path: resolve a trace (generate from a
 // spec, or read one back), optionally record it, then replay it
 // open-loop and report per SLO class.
+// drainSpans writes the client-side tracer ring to spanOut as JSONL
+// for lptrace; a no-op unless both the flag and the tracer are set.
+func drainSpans(spanOut string, tr *obs.Tracer) {
+	if spanOut == "" || tr == nil {
+		return
+	}
+	f, err := os.Create(spanOut)
+	if err != nil {
+		die("%v", err)
+	}
+	evs := tr.Drain(0)
+	if err := obs.WriteJSONL(f, evs); err != nil {
+		die("span-out: %v", err)
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "lpload: %d client span events written to %s\n", len(evs), spanOut)
+}
+
 func runSpec(addr, specPath, builtin string, rate float64, dur time.Duration,
 	traceOut, traceIn string, genOnly bool, conns, maxInflight int,
-	interval time.Duration, jsonOut bool) {
+	interval time.Duration, jsonOut bool,
+	traceEvery int, tracer *obs.Tracer, spanOut string) {
 	var tr *loadmodel.Trace
 	switch {
 	case traceIn != "":
@@ -279,10 +312,12 @@ func runSpec(addr, specPath, builtin string, rate float64, dur time.Duration,
 	rep, err := loadmodel.Run(addr, tr, loadmodel.RunOpts{
 		Conns: conns, MaxInflight: maxInflight,
 		Interval: interval, Progress: os.Stderr,
+		Tracer: tracer, TraceEvery: traceEvery,
 	})
 	if err != nil {
 		die("%v", err)
 	}
+	drainSpans(spanOut, tracer)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -168,6 +168,10 @@ func printPlan(rep *loadmodel.PlanReport) {
 	}
 	fmt.Println()
 	fmt.Printf("  utilization: put %.2f  get %.2f  flush %.2f\n", rep.PutUtil, rep.GetUtil, rep.FlushUtil)
+	if st := rep.Stages; st != nil {
+		fmt.Printf("  put stages:  queue %.1fµs  fill %.1fµs  flush %.1fµs  repl %.1fµs  rtt %.1fµs  (%d puts, %d batches)\n",
+			st.QueueUs, st.FillUs, st.FlushUs, st.ReplUs, st.RTTUs, st.Puts, st.Batches)
+	}
 	rows := append([]loadmodel.ClassPlan{rep.Total}, rep.Classes...)
 	for i, cp := range rows {
 		name := cp.Name

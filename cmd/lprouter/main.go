@@ -30,6 +30,7 @@ import (
 	"syscall"
 
 	"lazyp/internal/cluster"
+	"lazyp/internal/obs"
 )
 
 type nodeFlags []cluster.NodeInfo
@@ -54,6 +55,8 @@ func main() {
 		loadFac   = flag.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load cap: max slot share per node relative to fair share")
 		heartbeat = flag.Duration("heartbeat", cluster.DefaultHeartbeat, "node health probe period")
 		leaseMiss = flag.Int("lease-miss", cluster.DefaultLeaseMiss, "consecutive missed heartbeats before a node's lease expires")
+		trace     = flag.Bool("trace", false, "record router_route span events for traced frames (drain via ctrl /debug/trace)")
+		traceCap  = flag.Int("tracecap", 4096, "router span tracer ring-buffer capacity")
 	)
 	flag.Var(&nodes, "node", "cluster member as id=data-addr=ctrl-url (repeatable)")
 	flag.Parse()
@@ -66,6 +69,7 @@ func main() {
 		Addr: *addr, CtrlAddr: *ctrl, Nodes: nodes,
 		VNodes: *vnodes, LoadFactor: *loadFac,
 		Heartbeat: *heartbeat, LeaseMiss: *leaseMiss,
+		Tracer: obs.NewTracer(*traceCap),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "lprouter: "+format+"\n", args...)
 		},
@@ -73,6 +77,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lprouter: %v\n", err)
 		os.Exit(1)
+	}
+	if *trace {
+		r.Tracer().Enable(true)
 	}
 	t := r.Topology()
 	alive := 0

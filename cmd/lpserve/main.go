@@ -93,6 +93,8 @@ func main() {
 		metrics   = flag.String("metrics", "", "serve /healthz, Prometheus /metrics, and /debug/trace on this address (empty = off; required with -node-id)")
 		trace     = flag.Bool("trace", false, "enable the in-memory persistency event tracer (drain via /debug/trace?n=K)")
 		traceCap  = flag.Int("tracecap", 4096, "event tracer ring-buffer capacity")
+		traceN    = flag.Int("trace-sample", 0, "tail-sample every Nth untraced client put as a full span (0 = off; implies -trace)")
+		traceSlow = flag.Duration("trace-slow", 0, "record a slow_put event for puts acked later than this (0 = off; implies -trace)")
 		nodeID    = flag.String("node-id", "", "cluster member identity; joins a cluster, making -metrics the control plane")
 		replWin   = flag.Int("repl-window", cluster.DefaultReplWindow, "cluster: in-flight replication batches per peer")
 	)
@@ -108,13 +110,15 @@ func main() {
 		Streams: *streams, Keys: *keys, Seed: *seed,
 		Mailbox: *mailbox, BatchWait: *batchWait, MaxQueueDelay: *maxDelay,
 		Fsync: *fsync, PipelineDepth: *pipeline, TraceCap: *traceCap,
+		TraceSample: *traceN, TraceSlow: *traceSlow,
 	}
+	tron := *trace || *traceN > 0 || *traceSlow > 0
 
 	if *nodeID != "" {
 		if *metrics == "" {
 			fail("-node-id requires -metrics (the cluster control plane address)")
 		}
-		runClusterNode(*nodeID, *metrics, cfg, *replWin, *trace)
+		runClusterNode(*nodeID, *metrics, cfg, *replWin, tron)
 		return
 	}
 
@@ -145,7 +149,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if *trace {
+	if tron {
 		s.Tracer().Enable(true)
 	}
 	logRecovery(s, *path, "", *streams**keys)
@@ -179,6 +183,7 @@ func main() {
 	if mux != nil {
 		mux.Handle("/metrics", obs.MetricsHandler(s.Metrics()))
 		mux.Handle("/debug/trace", obs.TraceHandler(s.Tracer()))
+		obs.RegisterPprof(mux)
 	}
 
 	if err := s.Start(); err != nil {

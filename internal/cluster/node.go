@@ -66,6 +66,18 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	cfg.Repl.Self = cfg.ID
 	cfg.Repl.Registry = reg
+	// One tracer for both halves of the node's pipeline: server stage
+	// events and replicator stage_fwd_* events interleave in a single
+	// ring, so one /debug/trace drain yields the node's complete view
+	// of any traced put.
+	if cfg.Server.Tracer == nil {
+		cap := cfg.Server.TraceCap
+		if cap == 0 {
+			cap = 4096
+		}
+		cfg.Server.Tracer = obs.NewTracer(cap)
+	}
+	cfg.Repl.Tracer = cfg.Server.Tracer
 	// The forward window must strictly exceed the commit pipelines'
 	// unacked-batch capacity: each sealed-but-unacked batch can hold a
 	// window slot (one OpReplBatch run per destination peer) whose
@@ -98,6 +110,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	mux.Handle("/cluster/topology", http.HandlerFunc(n.handleTopology))
 	mux.Handle("/cluster/catchup", http.HandlerFunc(n.handleCatchup))
 	mux.Handle("/metrics", obs.MetricsHandler(reg))
+	obs.RegisterPprof(mux)
 	n.hsrv = &http.Server{Handler: mux}
 	go n.hsrv.Serve(ln)
 

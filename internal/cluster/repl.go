@@ -108,6 +108,11 @@ type ReplConfig struct {
 	DialTimeout time.Duration
 	// Registry receives the replication metrics (cluster_repl_*).
 	Registry *obs.Registry
+	// Tracer receives forward-path span events (stage_fwd_*) for puts
+	// carrying a trace ID. Usually the node's server tracer, so one
+	// /debug/trace drain covers both halves of the pipeline; a nil
+	// Tracer gets a private disabled one (events discarded).
+	Tracer *obs.Tracer
 }
 
 func (c ReplConfig) withDefaults() ReplConfig {
@@ -122,6 +127,9 @@ func (c ReplConfig) withDefaults() ReplConfig {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(1)
 	}
 	return c
 }
@@ -315,8 +323,10 @@ func (r *Replicator) IsPrimary(key uint64) bool {
 // The batch is partitioned by destination peer; each peer's run ships
 // as one OpReplBatch frame holding one window slot, and every put in
 // the run receives the same shared token. toks[i] = 0 when put i has
-// no forward in flight.
-func (r *Replicator) ForwardBatch(keys, vals, toks []uint64) {
+// no forward in flight. tids[i] is put i's trace ID (0 = untraced);
+// traced puts travel in the frame's trace extension and emit
+// stage_fwd_* span events here.
+func (r *Replicator) ForwardBatch(keys, vals, tids, toks []uint64) {
 	v := r.view.Load()
 	if v == nil {
 		for i := range toks {
@@ -336,7 +346,7 @@ func (r *Replicator) ForwardBatch(keys, vals, toks []uint64) {
 			toks[i] = 0
 			continue
 		}
-		r.forwardGroup(v, ps, keys, vals, toks, i)
+		r.forwardGroup(v, ps, keys, vals, tids, toks, i)
 	}
 }
 
@@ -346,9 +356,9 @@ func (r *Replicator) ForwardBatch(keys, vals, toks []uint64) {
 // into the peer's delta buffer. Stamps are taken under ps.mu at
 // enqueue/buffer time, so per key — each key has exactly one shard
 // owner issuing its forwards in order — stamp order is value order.
-func (r *Replicator) forwardGroup(v *slotView, ps *peerState, keys, vals, toks []uint64, from int) {
+func (r *Replicator) forwardGroup(v *slotView, ps *peerState, keys, vals, tids, toks []uint64, from int) {
 	if sess := ps.live.Load(); sess != nil {
-		if n, ok := sess.forwardRun(v, keys, vals, toks, from); ok {
+		if n, ok := sess.forwardRun(v, keys, vals, tids, toks, from); ok {
 			r.ctForwards.Add(uint64(n))
 			return
 		}
@@ -359,7 +369,7 @@ func (r *Replicator) forwardGroup(v *slotView, ps *peerState, keys, vals, toks [
 	ps.mu.Lock()
 	if sess := ps.live.Load(); sess != nil {
 		ps.mu.Unlock()
-		if n, ok := sess.forwardRun(v, keys, vals, toks, from); ok {
+		if n, ok := sess.forwardRun(v, keys, vals, tids, toks, from); ok {
 			r.ctForwards.Add(uint64(n))
 			return
 		}
@@ -682,8 +692,11 @@ func (r *Replicator) Close() {
 // ---------------------------------------------------------------------
 // peerSession: one pipelined forwarding connection.
 
-// replPut is one put of a forwarded run.
-type replPut struct{ key, val, stamp uint64 }
+// replPut is one put of a forwarded run. tid is the put's trace ID
+// (0 = untraced): traced puts ride the frame's trace extension and
+// emit stage_fwd_* events; delta-drain replays always carry 0 — the
+// original request's span ended when its client was answered.
+type replPut struct{ key, val, stamp, tid uint64 }
 
 // fwdSlot holds one in-flight OpReplBatch run: its puts, the encoded
 // wire frame (both backings reused across occupancies), and the shared
@@ -743,7 +756,7 @@ func newPeerSession(r *Replicator, ps *peerState, conn net.Conn, idx int) *peerS
 // run size and false when the session is down — the caller then
 // buffers the same puts instead (toks entries are left untouched on
 // failure).
-func (s *peerSession) forwardRun(v *slotView, keys, vals, toks []uint64, from int) (int, bool) {
+func (s *peerSession) forwardRun(v *slotView, keys, vals, tids, toks []uint64, from int) (int, bool) {
 	if s.down.Load() {
 		return 0, false
 	}
@@ -762,7 +775,7 @@ func (s *peerSession) forwardRun(v *slotView, keys, vals, toks []uint64, from in
 			continue
 		}
 		stamp := s.ps.stamp.Add(1)
-		sl.puts = append(sl.puts, replPut{key: keys[j], val: vals[j], stamp: stamp})
+		sl.puts = append(sl.puts, replPut{key: keys[j], val: vals[j], stamp: stamp, tid: tids[j]})
 		s.ps.noteSentLocked(keys[j], stamp)
 		toks[j] = tok
 	}
@@ -844,6 +857,9 @@ func (s *peerSession) commitRunLocked(idx uint32) bool {
 	sl.settled = false
 	sl.inflight.Store(true)
 	s.r.hBatch.Observe(uint64(len(sl.puts)))
+	if s.r.cfg.Tracer.Enabled() {
+		s.traceRun(obs.EvStageFwdEnq, sl, uint64(len(sl.puts)))
+	}
 	select {
 	case s.sendq <- idx:
 		// The buffered enqueue can win this select even after teardown
@@ -930,6 +946,19 @@ func (s *peerSession) settle(sl *fwdSlot, st byte) {
 	}
 }
 
+// traceRun records one stage_fwd_* span event per traced put of a
+// slot's run. Callers gate on the tracer's enable bit so the untraced
+// path pays nothing beyond that load.
+func (s *peerSession) traceRun(typ obs.EventType, sl *fwdSlot, b uint64) {
+	tr := s.r.cfg.Tracer
+	ts := time.Now().UnixNano()
+	for i := range sl.puts {
+		if tid := sl.puts[i].tid; tid != 0 {
+			tr.Record(typ, int32(s.idx), ts, tid, b)
+		}
+	}
+}
+
 // resolve completes a slot exactly once.
 func (s *peerSession) resolve(idx uint32, st byte) {
 	sl := &s.slots[idx]
@@ -937,18 +966,31 @@ func (s *peerSession) resolve(idx uint32, st byte) {
 		if st == replAcked {
 			s.r.hLag.Observe(uint64(time.Now().UnixNano() - sl.t0))
 		}
+		if s.r.cfg.Tracer.Enabled() {
+			s.traceRun(obs.EvStageFwdAck, sl, uint64(st))
+		}
 		sl.done <- st
 	}
 }
 
 // encodeFrame (re)builds a slot's OpReplBatch wire frame into its
 // reusable buffer: one request header whose key field carries the put
-// count and whose seq is the slot index, then the run's (key, val)
-// pairs.
+// count and whose val field the trace-entry count, the run's
+// (key, val) pairs, then one [idx:4][tid:8] trace entry per traced
+// put, ascending by pair index (kvserve.ReplTraceSize each). Runs
+// with no traced puts encode val = 0 — byte-identical to the
+// pre-trace frame. Encoding happens right before the sender's writev,
+// so this is also where traced puts get their stage_fwd_write event.
 func (s *peerSession) encodeFrame(idx uint32) []byte {
 	sl := &s.slots[idx]
+	tcount := 0
+	for i := range sl.puts {
+		if sl.puts[i].tid != 0 {
+			tcount++
+		}
+	}
 	var h [kvserve.ReqSize]byte
-	kvserve.EncodeReq(&h, kvserve.OpReplBatch, idx, uint64(len(sl.puts)), 0)
+	kvserve.EncodeReq(&h, kvserve.OpReplBatch, idx, uint64(len(sl.puts)), uint64(tcount))
 	f := append(sl.frame[:0], h[:]...)
 	var p [kvserve.ReplPairSize]byte
 	for i := range sl.puts {
@@ -956,7 +998,21 @@ func (s *peerSession) encodeFrame(idx uint32) []byte {
 		binary.LittleEndian.PutUint64(p[8:], sl.puts[i].val)
 		f = append(f, p[:]...)
 	}
+	if tcount > 0 {
+		var te [kvserve.ReplTraceSize]byte
+		for i := range sl.puts {
+			if sl.puts[i].tid == 0 {
+				continue
+			}
+			binary.LittleEndian.PutUint32(te[0:], uint32(i))
+			binary.LittleEndian.PutUint64(te[4:], sl.puts[i].tid)
+			f = append(f, te[:]...)
+		}
+	}
 	sl.frame = f
+	if s.r.cfg.Tracer.Enabled() {
+		s.traceRun(obs.EvStageFwdWrite, sl, uint64(len(f)))
+	}
 	return f
 }
 

@@ -34,13 +34,14 @@ func TestReplicatorDeltaCompaction(t *testing.T) {
 	const liveKeys, rounds = 32, 100
 	keys := make([]uint64, liveKeys)
 	vals := make([]uint64, liveKeys)
+	tids := make([]uint64, liveKeys)
 	toks := make([]uint64, liveKeys)
 	for round := 0; round < rounds; round++ {
 		for j := range keys {
 			keys[j] = uint64(j + 1)
 			vals[j] = uint64(round)<<32 | uint64(j+1)
 		}
-		r.ForwardBatch(keys, vals, toks)
+		r.ForwardBatch(keys, vals, tids, toks)
 		for j, tok := range toks {
 			if tok != 0 {
 				t.Fatalf("round %d key %#x: token %#x, want 0 (dead peer buffers at RF=1)",

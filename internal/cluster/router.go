@@ -74,6 +74,11 @@ type RouterConfig struct {
 	DialTimeout time.Duration
 	// Registry receives the router's metrics (cluster_* series).
 	Registry *obs.Registry
+	// Tracer receives router_route span events for trace-carrying
+	// frames and serves the router's /debug/trace drain. Nil gets a
+	// private disabled tracer of 4096 events; enable it (obs.Tracer.
+	// Enable) to record.
+	Tracer *obs.Tracer
 	// Logf, when non-nil, receives control-loop events (failovers,
 	// rejoins, pushes).
 	Logf func(format string, args ...any)
@@ -122,6 +127,7 @@ type Router struct {
 	conns map[net.Conn]struct{}
 
 	reg          *obs.Registry
+	tr           *obs.Tracer
 	ctRequests   *obs.Counter // cluster_router_requests_total
 	ctNoPrimary  *obs.Counter // cluster_router_noprimary_total
 	ctBackendRst *obs.Counter // cluster_router_backend_resets_total
@@ -160,6 +166,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(4096)
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -196,6 +205,7 @@ func StartRouter(cfg RouterConfig) (*Router, error) {
 		quit:      make(chan struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		reg:       cfg.Registry,
+		tr:        cfg.Tracer,
 	}
 	root := cfg.Registry.Scope()
 	r.ctRequests = root.Counter("cluster_router_requests_total")
@@ -270,6 +280,8 @@ func StartRouter(cfg RouterConfig) (*Router, error) {
 	mux.Handle("/cluster/status", http.HandlerFunc(r.handleStatus))
 	mux.Handle("/healthz", http.HandlerFunc(r.handleHealthz))
 	mux.Handle("/metrics", obs.MetricsHandler(cfg.Registry))
+	mux.Handle("/debug/trace", obs.TraceHandler(r.tr))
+	obs.RegisterPprof(mux)
 	r.hsrv = &http.Server{Handler: mux}
 	go r.hsrv.Serve(hln)
 	r.hsrv.Addr = hln.Addr().String()
@@ -301,6 +313,10 @@ func (r *Router) Topology() *Topology {
 
 // Metrics exposes the router's registry.
 func (r *Router) Metrics() *obs.Registry { return r.reg }
+
+// Tracer exposes the router's tracer (enable it to record
+// router_route span events; /debug/trace drains it).
+func (r *Router) Tracer() *obs.Tracer { return r.tr }
 
 // Close stops the proxy and the control loop. Accepted client
 // connections are closed too — an idle client must not be able to
@@ -769,17 +785,35 @@ type proxySeg struct {
 // segments, appending to segs (reused by the caller — the function
 // allocates nothing when capacity suffices). Routing parses only the
 // op and key of each header; payload bytes are never touched. A nil
-// topology plans everything local.
+// topology plans everything local. Pings and hellos are always local;
+// an OpTraceCtx prefix routes wherever its successor frame routes
+// (the caller holds a chunk-trailing prefix back, so the successor is
+// in this chunk), which keeps the pair consecutive in one segment —
+// fused on the backend's wire exactly as the client sent them.
 func planChunk(chunk []byte, t *Topology, segs []proxySeg) []proxySeg {
+	routeKey := func(off int) int {
+		key := binary.LittleEndian.Uint64(chunk[off+5:])
+		if sa := t.Slots[SlotOf(key)]; sa.Primary >= 0 {
+			return sa.Primary
+		}
+		return -1
+	}
 	for off := 0; off < len(chunk); off += kvserve.ReqSize {
 		node := -1
 		if t != nil {
-			op := chunk[off]
-			if op != kvserve.OpPing {
-				key := binary.LittleEndian.Uint64(chunk[off+5:])
-				if sa := t.Slots[SlotOf(key)]; sa.Primary >= 0 {
-					node = sa.Primary
+			switch op := chunk[off]; op {
+			case kvserve.OpPing, kvserve.OpHello:
+				// Answered locally: a hello's key field is feature bits,
+				// not a routing key, and the router grants for itself.
+			case kvserve.OpTraceCtx:
+				if nxt := off + kvserve.ReqSize; nxt < len(chunk) {
+					op2 := chunk[nxt]
+					if op2 != kvserve.OpPing && op2 != kvserve.OpHello && op2 != kvserve.OpTraceCtx {
+						node = routeKey(nxt)
+					}
 				}
+			default:
+				node = routeKey(off)
 			}
 		}
 		if n := len(segs); n > 0 && segs[n-1].node == node && segs[n-1].end == off {
@@ -852,11 +886,28 @@ func (r *Router) serveClient(c net.Conn) {
 		}
 		fill += n
 		whole := fill - fill%kvserve.ReqSize
+		// A chunk-trailing OpTraceCtx prefix is held back for the next
+		// round: its successor frame decides where it routes, and the
+		// client wrote the pair in one send, so the successor is already
+		// in flight.
+		if whole >= kvserve.ReqSize && buf[whole-kvserve.ReqSize] == kvserve.OpTraceCtx {
+			whole -= kvserve.ReqSize
+		}
 		if whole == 0 {
 			continue
 		}
 		t := r.topo.Load()
 		r.ctRequests.Add(uint64(whole / kvserve.ReqSize))
+		if r.tr.Enabled() {
+			ts := time.Now().UnixNano()
+			for off := 0; off+kvserve.ReqSize < whole; off += kvserve.ReqSize {
+				if buf[off] == kvserve.OpTraceCtx {
+					tid := binary.LittleEndian.Uint64(buf[off+5:])
+					key := binary.LittleEndian.Uint64(buf[off+kvserve.ReqSize+5:])
+					r.tr.Record(obs.EvRouterRoute, -1, ts, tid, key)
+				}
+			}
+		}
 		segs = planChunk(buf[:whole], t, segs[:0])
 		for si := range segs {
 			node := segs[si].node
@@ -890,9 +941,12 @@ func (r *Router) serveClient(c net.Conn) {
 			ans = ans[:0]
 			for _, run := range iov {
 				for off := 0; off < len(run); off += kvserve.ReqSize {
+					if run[off] == kvserve.OpTraceCtx {
+						continue // silent prefix: never answered
+					}
 					seq := binary.LittleEndian.Uint32(run[off+1:])
 					r.ctNoPrimary.Inc()
-					ans = appendProxyResp(ans, seq, kvserve.StatusOverload)
+					ans = appendProxyResp(ans, seq, kvserve.StatusOverload, 0)
 				}
 			}
 			pc.write(ans)
@@ -905,7 +959,23 @@ func (r *Router) serveClient(c net.Conn) {
 			}
 			for off := sg.off; off < sg.end; off += kvserve.ReqSize {
 				op := buf[off]
+				if op == kvserve.OpTraceCtx {
+					// A prefix whose successor answered locally: drop it
+					// silently — forwarding it anywhere would arm a trace
+					// on an unrelated frame.
+					continue
+				}
 				seq := binary.LittleEndian.Uint32(buf[off+1:])
+				if op == kvserve.OpHello && t != nil {
+					// The router is the client's protocol peer, so it
+					// answers the handshake itself: it speaks the trace
+					// extension (prefix fusion above), so it grants
+					// FeatTrace regardless of backend vintage — backends
+					// accept OpTraceCtx unconditionally.
+					feats := binary.LittleEndian.Uint64(buf[off+5:])
+					ans = appendProxyResp(ans, seq, kvserve.StatusOK, feats&kvserve.FeatTrace)
+					continue
+				}
 				st := kvserve.StatusOverload
 				if op == kvserve.OpPing && t != nil {
 					// Answered locally — readiness means "the router can
@@ -919,7 +989,7 @@ func (r *Router) serveClient(c net.Conn) {
 				} else if op != kvserve.OpPing {
 					r.ctNoPrimary.Inc()
 				}
-				ans = appendProxyResp(ans, seq, st)
+				ans = appendProxyResp(ans, seq, st, 0)
 			}
 		}
 		if len(ans) > 0 {
@@ -933,9 +1003,9 @@ func (r *Router) serveClient(c net.Conn) {
 }
 
 // appendProxyResp appends one locally fabricated response frame.
-func appendProxyResp(b []byte, seq uint32, status byte) []byte {
+func appendProxyResp(b []byte, seq uint32, status byte, val uint64) []byte {
 	var f [kvserve.RespSize]byte
-	kvserve.EncodeResp(&f, seq, status, 0)
+	kvserve.EncodeResp(&f, seq, status, val)
 	return append(b, f[:]...)
 }
 

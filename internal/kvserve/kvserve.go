@@ -127,6 +127,18 @@ type Config struct {
 	// TraceCap sizes the private tracer when Tracer is nil (default
 	// 4096 events ≈ 160 KiB).
 	TraceCap int
+	// TraceSample, when positive, makes the server mint a trace ID for
+	// every TraceSample-th client put that arrives without one (the
+	// OpTraceCtx wire extension), so its span events land in the tracer
+	// ring even when no client participates. Ignored while the tracer
+	// is disabled; 1 traces every put.
+	TraceSample int
+	// TraceSlow, when positive, records an EvSlowPut event (key +
+	// latency) for every acked put whose enqueue-to-ack latency
+	// exceeded it — the tail-capture rule: slow requests always leave a
+	// record in the ring, sampled or not. Ignored while the tracer is
+	// disabled.
+	TraceSlow time.Duration
 
 	// Repl, when non-nil, is the cluster replication hook (LP only):
 	// the shard owner calls ForwardBatch with each sealed group-commit
@@ -145,10 +157,13 @@ type Config struct {
 // network and wakeup costs amortize exactly like LP's persist costs.
 //
 // ForwardBatch is called by the shard owner goroutine at seal time
-// with the sealed batch's client puts (parallel keys/vals slices; the
-// open batch's forwarded copies never include OpReplPut arrivals). It
-// groups the puts by destination peer, ships each group as one frame
-// sharing one ack, and fills toks[i] with each put's wait token: all
+// with the sealed batch's client puts (parallel keys/vals/tids
+// slices; the open batch's forwarded copies never include OpReplPut
+// arrivals). tids[i] is put i's trace ID (0 = untraced) — a traced
+// put's ID rides the replication frame so the follower's span events
+// join the same timeline. It groups the puts by destination peer,
+// ships each group as one frame sharing one ack, and fills toks[i]
+// with each put's wait token: all
 // puts of a group carry the same token, and a token of 0 means the
 // put needs no forward (this node is not the key's primary, the
 // key's slot has no live follower — the put is then buffered for
@@ -183,7 +198,7 @@ type Config struct {
 // at RF=1 with no forward and no delta charge, outside the cluster's
 // epoch fence.
 type Replicator interface {
-	ForwardBatch(keys, vals []uint64, toks []uint64)
+	ForwardBatch(keys, vals, tids []uint64, toks []uint64)
 	Wait(tok uint64) bool
 	Ready() bool
 }

@@ -58,10 +58,23 @@ type LoadOpts struct {
 
 	// Interval, when positive, emits a windowed progress line to
 	// Progress every Interval: ops completed, window throughput, and
-	// window p50/p99 from the client-side latency histogram. Nil
-	// Progress disables the reporter regardless of Interval.
+	// window p50/p99/p999/max from the client-side latency histogram.
+	// Nil Progress disables the reporter regardless of Interval.
 	Interval time.Duration
 	Progress io.Writer
+
+	// TraceEvery, when positive, mints a client-side trace ID for
+	// every TraceEvery-th issued op (1 = every op) and ships it ahead
+	// of the op as an OpTraceCtx prefix — on connections whose OpHello
+	// handshake granted FeatTrace; against a pre-trace server the ID
+	// stays client-local. Traced ops record client_send/client_ack
+	// span events into Tracer.
+	TraceEvery int
+	// Tracer receives the client-side span events of traced ops; it
+	// must be Enabled() to record. Nil (or disabled) drops the client
+	// events while trace IDs still travel, so server-side stages are
+	// stamped regardless.
+	Tracer *obs.Tracer
 
 	// OnSend fires before an op's first send; OnAck fires when a put
 	// is acked StatusOK. Both may be nil; both may be called from many
@@ -224,10 +237,11 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 					// bursty runs show admission control live, not
 					// just in the final report.
 					fmt.Fprintf(o.Progress,
-						"lpload: t=%.1fs ops=%d (%.0f ops/s) p50 %.0fµs p99 %.0fµs rej ov/exp/full=%d/%d/%d\n",
+						"lpload: t=%.1fs ops=%d (%.0f ops/s) p50 %.0fµs p99 %.0fµs p999 %.0fµs max %.0fµs rej ov/exp/full=%d/%d/%d\n",
 						time.Since(start).Seconds(), curOps,
 						float64(curOps-prevOps)/o.Interval.Seconds(),
 						float64(win.Quantile(0.50))/1e3, float64(win.Quantile(0.99))/1e3,
+						float64(win.Quantile(0.999))/1e3, float64(win.Max)/1e3,
 						overloads.Load(), expired.Load(), full.Load())
 					prev, prevOps = cur, curOps
 				}
@@ -311,6 +325,7 @@ func RunLoad(addr string, o LoadOpts) (LoadReport, error) {
 type lgSlot struct {
 	op        byte
 	key, val  uint64
+	tid       uint64 // trace ID (0 = untraced); survives retries
 	t0        time.Time
 	attempt   int
 	notBefore time.Time
@@ -319,23 +334,31 @@ type lgSlot struct {
 	gen       uint32
 }
 
-// lgEvent is a reader→main-loop message: a response for slot (≥0), or
-// a connection failure (slot == -1) for (tgt, gen).
+// lgEvent is a reader→main-loop message: a response for slot (≥0), a
+// connection failure (slot == -1), or a hello answer (slot == -2,
+// granted feature bits in val) for (tgt, gen).
 type lgEvent struct {
 	slot   int
 	status byte
+	val    uint64
 	tgt    *lgTarget
 	gen    uint32
 }
 
+// helloSeq is the sentinel sequence number of the per-connection
+// OpHello frame — outside the slot space, so the reader routes its
+// response to the handshake instead of a slot.
+const helloSeq = ^uint32(0)
+
 // lgTarget is one worker's connection to one backend address.
 type lgTarget struct {
-	addr  string
-	conn  net.Conn
-	bw    *bufio.Writer
-	gen   uint32 // bumped per dial; stamps slots and events
-	up    bool
-	dirty bool // has unflushed frames
+	addr    string
+	conn    net.Conn
+	bw      *bufio.Writer
+	gen     uint32 // bumped per dial; stamps slots and events
+	up      bool
+	dirty   bool // has unflushed frames
+	traceOK bool // this connection's hello granted FeatTrace
 
 	dialAttempt int
 	notBefore   time.Time // redial backoff deadline
@@ -365,6 +388,11 @@ type loadWorker struct {
 	wire         int // slots actually on a connection
 	issued       int
 	firstDialErr error
+
+	// tidBase/tidSeq mint this worker's client-side trace IDs: wall-
+	// derived high bits ORed with the worker index, so IDs are unique
+	// across workers, runs, and the server's own tail-sampled mints.
+	tidBase, tidSeq uint64
 }
 
 // route returns the backend address for key.
@@ -415,8 +443,18 @@ func (lw *loadWorker) target(addr string, now time.Time) (*lgTarget, time.Time) 
 	t.bw = bufio.NewWriterSize(c, 1<<15)
 	t.gen++
 	t.up = true
+	t.traceOK = false
 	t.dialAttempt = 0
 	t.st.dials.Add(1)
+	if lw.o.TraceEvery > 0 {
+		// Negotiate the trace extension before any op leaves on this
+		// connection. Ops issued before the grant arrives simply go
+		// unprefixed — their trace IDs stay client-local.
+		var hf [ReqSize]byte
+		EncodeReq(&hf, OpHello, helloSeq, FeatTrace, 0)
+		_, _ = t.bw.Write(hf[:])
+		t.dirty = true
+	}
 	gen := t.gen
 	go func() {
 		br := bufio.NewReaderSize(c, 1<<15)
@@ -426,7 +464,11 @@ func (lw *loadWorker) target(addr string, now time.Time) (*lgTarget, time.Time) 
 				lw.events <- lgEvent{slot: -1, tgt: t, gen: gen}
 				return
 			}
-			seq, status, _ := DecodeResp(&rbuf)
+			seq, status, val := DecodeResp(&rbuf)
+			if seq == helloSeq {
+				lw.events <- lgEvent{slot: -2, status: status, val: val, tgt: t, gen: gen}
+				continue
+			}
 			if int(seq) >= lw.o.Window {
 				lw.events <- lgEvent{slot: -1, tgt: t, gen: gen}
 				return
@@ -478,7 +520,11 @@ func (lw *loadWorker) fail(t *lgTarget, gen uint32, now time.Time) {
 func (lw *loadWorker) complete(id int, status byte) {
 	sl := &lw.slots[id]
 	lw.ops.Add(1)
-	lw.hist.Observe(uint64(time.Since(sl.t0).Nanoseconds()))
+	now := time.Now()
+	lw.hist.Observe(uint64(now.Sub(sl.t0).Nanoseconds()))
+	if sl.tid != 0 && lw.o.Tracer != nil && lw.o.Tracer.Enabled() {
+		lw.o.Tracer.Record(obs.EvClientAck, int32(lw.w), now.UnixNano(), sl.tid, uint64(status))
+	}
 	sl.tgt.st.ops.Add(1)
 	switch {
 	case sl.op == OpGet:
@@ -508,6 +554,15 @@ func (lw *loadWorker) complete(id int, status byte) {
 // handle processes one event. Reports false when the worker must die
 // (connection failure without Reconnect).
 func (lw *loadWorker) handle(ev lgEvent, now time.Time) bool {
+	if ev.slot == -2 {
+		// Hello answer: a grant enables the trace prefix for frames sent
+		// on this connection generation from here on. A StatusBadRequest
+		// (pre-hello server) leaves the extension off.
+		if ev.tgt.up && ev.tgt.gen == ev.gen && ev.status == StatusOK {
+			ev.tgt.traceOK = ev.val&FeatTrace != 0
+		}
+		return true
+	}
 	if ev.slot < 0 {
 		live := ev.tgt.up && ev.tgt.gen == ev.gen
 		lw.fail(ev.tgt, ev.gen, now)
@@ -608,11 +663,20 @@ func (lw *loadWorker) send(id int, now time.Time) bool {
 	sl.retry = false
 	sl.tgt = t
 	sl.gen = t.gen
-	var f [ReqSize]byte
-	EncodeReq(&f, sl.op, uint32(id), sl.key, sl.val)
+	// A traced slot goes out as [OpTraceCtx prefix][op frame], written
+	// in one call so the pair crosses the router as a contiguous unit.
+	// Skipped when the target never granted FeatTrace (old server).
+	var f [2 * ReqSize]byte
+	n := 0
+	if sl.tid != 0 && t.traceOK {
+		EncodeReq((*[ReqSize]byte)(f[:ReqSize]), OpTraceCtx, uint32(id), sl.tid, 0)
+		n = ReqSize
+	}
+	EncodeReq((*[ReqSize]byte)(f[n:n+ReqSize]), sl.op, uint32(id), sl.key, sl.val)
+	n += ReqSize
 	lw.wire++
 	t.dirty = true
-	if _, err := t.bw.Write(f[:]); err != nil {
+	if _, err := t.bw.Write(f[:n]); err != nil {
 		live := t.up
 		lw.fail(t, t.gen, now)
 		if !lw.o.Reconnect && live {
@@ -636,6 +700,7 @@ func (lw *loadWorker) run() bool {
 		lw.avail[i] = i
 	}
 	lw.retryQ = make([]int, 0, o.Window)
+	lw.tidBase = uint64(time.Now().UnixNano())<<12 | uint64(lw.w&0xfff)
 
 	var gen *workloads.KVGen
 	if !o.InsertOnly {
@@ -690,6 +755,14 @@ loop:
 					sl.op, sl.key, sl.val = OpGet, kv.Key, 0
 				} else {
 					sl.op, sl.key, sl.val = OpPut, kv.Key, kv.Val
+				}
+			}
+			sl.tid = 0
+			if o.TraceEvery > 0 && lw.issued%o.TraceEvery == 0 {
+				lw.tidSeq++
+				sl.tid = lw.tidBase + lw.tidSeq
+				if o.Tracer != nil && o.Tracer.Enabled() {
+					o.Tracer.Record(obs.EvClientSend, int32(lw.w), now.UnixNano(), sl.tid, sl.key)
 				}
 			}
 			lw.issued++

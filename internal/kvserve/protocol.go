@@ -45,12 +45,37 @@ const (
 	// LP-durable here". This is the cluster's replication amortization:
 	// one frame and one ack per forwarded batch instead of per put.
 	OpReplBatch = 'B'
+	// OpHello is the per-connection capability handshake: the key field
+	// carries the feature bits the client wants, the response's val the
+	// bits the server grants. A client that never sends it gets exactly
+	// the pre-hello protocol — old clients stay wire-compatible byte
+	// for byte — and a new client talking to an implementation that
+	// predates the opcode reads StatusBadRequest and simply keeps its
+	// optional features off.
+	OpHello = 'H'
+	// OpTraceCtx is the trace-context extension negotiated by OpHello's
+	// FeatTrace bit: a standard request frame whose key field carries a
+	// trace ID, attached to the NEXT frame on the same connection. It is
+	// a silent prefix — the server consumes it without answering, so
+	// framing, sequence-number flow, and response counts are untouched
+	// for every other frame. The router forwards a prefix fused to its
+	// successor so the pair lands on the same backend.
+	OpTraceCtx = 'T'
+
+	// FeatTrace is the OpHello feature bit for OpTraceCtx support.
+	FeatTrace = uint64(1)
 
 	ReqSize  = 1 + 4 + 8 + 8
 	RespSize = 4 + 1 + 8
 	// ReplPairSize is the size of one (key, val) pair in an OpReplBatch
 	// payload.
 	ReplPairSize = 16
+	// ReplTraceSize is the size of one [idx:4][tid:8] trace entry in an
+	// OpReplBatch trace extension: the header's val field counts these
+	// entries, which follow the pairs on the wire ascending by idx and
+	// tag pair idx with trace ID tid. A header val of 0 — what every
+	// pre-trace primary sends — is the extension absent.
+	ReplTraceSize = 12
 	// MaxReplBatch bounds the put count an OpReplBatch header may
 	// declare — a receiver-side allocation guard, far above any real
 	// group-commit batch.
@@ -267,6 +292,57 @@ func (cl *Client) fail(err error) {
 func (cl *Client) Put(key, val uint64) (byte, error) {
 	ch, err := cl.start(OpPut, key, val)
 	if err != nil {
+		return 0, err
+	}
+	r := <-ch
+	return r.Status, r.Err
+}
+
+// Hello negotiates optional protocol features for this connection and
+// returns the granted bits. A server (or proxy) that predates OpHello
+// answers StatusBadRequest, which comes back as granted == 0 — the
+// caller keeps its optional features off and proceeds.
+func (cl *Client) Hello(features uint64) (uint64, error) {
+	ch, err := cl.start(OpHello, features, 0)
+	if err != nil {
+		return 0, err
+	}
+	r := <-ch
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	if r.Status != StatusOK {
+		return 0, nil
+	}
+	return r.Val & features, nil
+}
+
+// PutTraced writes key=val carrying trace ID tid: an OpTraceCtx prefix
+// and the put leave in one socket write so no other frame can slip
+// between them. Call only after Hello granted FeatTrace.
+func (cl *Client) PutTraced(tid, key, val uint64) (byte, error) {
+	ch := make(chan Response, 1)
+	cl.mu.Lock()
+	if cl.err != nil {
+		err := cl.err
+		cl.mu.Unlock()
+		return 0, err
+	}
+	cl.seq++
+	seq := cl.seq
+	cl.pend[seq] = ch
+	cl.mu.Unlock()
+
+	var buf [2 * ReqSize]byte
+	EncodeReq((*[ReqSize]byte)(buf[0:ReqSize]), OpTraceCtx, seq, tid, 0)
+	EncodeReq((*[ReqSize]byte)(buf[ReqSize:]), OpPut, seq, key, val)
+	cl.wmu.Lock()
+	_, err := cl.c.Write(buf[:])
+	cl.wmu.Unlock()
+	if err != nil {
+		cl.mu.Lock()
+		delete(cl.pend, seq)
+		cl.mu.Unlock()
 		return 0, err
 	}
 	r := <-ch

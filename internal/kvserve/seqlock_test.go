@@ -152,6 +152,31 @@ func TestServeZeroAlloc(t *testing.T) {
 		t.Errorf("put path allocates %.1f times per batch of %d, want 0", puts, cfg.BatchK)
 	}
 
+	// Tracing armed but not firing must not change the contract: the
+	// tracer is enabled and tail-sampling configured, but these
+	// requests carry no trace ID, so every Record call (and its
+	// argument construction) stays behind a tid==0 gate. This is the
+	// configuration a production server runs in between sampled
+	// requests — the ≤2% overhead budget starts at zero allocations.
+	s.tr.Enable(true)
+	s.cfg.TraceSample = 1 << 30
+	armedGets := testing.AllocsPerRun(1000, func() {
+		rb, _, _ = s.appendGet(rb[:0], 7, key)
+	})
+	if armedGets != 0 {
+		t.Errorf("get path with tracer armed allocates %.1f times per op, want 0", armedGets)
+	}
+	armedPuts := testing.AllocsPerRun(50, func() {
+		for j := 0; j < cfg.BatchK; j++ {
+			seq++
+			s.handle(sd, request{op: OpPut, seq: seq, key: sd.baseline[j][0], val: uint64(seq), enq: enq, cn: cn})
+		}
+	})
+	if armedPuts != 0 {
+		t.Errorf("put path with tracer armed allocates %.1f times per batch of %d, want 0", armedPuts, cfg.BatchK)
+	}
+	s.tr.Enable(false)
+
 	close(sd.commitCh)
 	s.wgFlush.Wait()
 	if err := s.Close(); err != nil {

@@ -45,6 +45,12 @@ type request struct {
 	// write set is durable and before acking the client. Puts of one
 	// batch forwarded to the same peer share a token.
 	rtok uint64
+	// tid is the request's trace ID (0 = untraced): client-minted via
+	// the OpTraceCtx wire extension, server-minted by TraceSample, or
+	// carried over an OpReplBatch trace entry from the forwarding
+	// primary. A nonzero tid makes every pipeline stage record a span
+	// event; the field travels by value, so tracing never allocates.
+	tid uint64
 }
 
 // reply answers the request: directly on the wire, or — for an
@@ -208,6 +214,7 @@ type replJob struct {
 	pending []request
 	err     error
 	sealed  time.Time
+	flushed time.Time // local write set durable (repl stage epoch)
 	batch   int
 	seq     int
 }
@@ -283,6 +290,7 @@ type shardState struct {
 	mb        chan request
 	pending   []request // LP: puts awaiting their batch's seal
 	deadline  time.Time // LP: when the open batch force-seals
+	openAt    time.Time // LP: when the open batch's first put arrived (fill stage epoch)
 	occupied  int       // architectural slot occupancy (watermark)
 	highWater int
 	baseline  [][2]uint64 // preloaded pairs, recovery's replay base
@@ -307,10 +315,10 @@ type shardState struct {
 	// block anywhere on remote progress would deadlock cluster-wide.
 	replq *replQueue
 
-	// repKeys/repVals/repToks are the owner's seal-time ForwardBatch
-	// scratch (clustered LP only): the sealed batch's client puts as
-	// parallel slices, cap BatchK, reused every seal.
-	repKeys, repVals, repToks []uint64
+	// repKeys/repVals/repTids/repToks are the owner's seal-time
+	// ForwardBatch scratch (clustered LP only): the sealed batch's
+	// client puts as parallel slices, cap BatchK, reused every seal.
+	repKeys, repVals, repTids, repToks []uint64
 
 	// tabLo/tabHi bound the table's line addresses: only table lines
 	// may leak through the write-back queue (a stale journal-line
@@ -426,6 +434,20 @@ type Server struct {
 	// hWriteFrames observes response frames per socket write syscall —
 	// the syscall-coalescing gauge of the vectored response path.
 	hWriteFrames *obs.Histogram
+	// Stage-latency attribution: kvserve_stage_seconds{stage=...}, one
+	// histogram per pipeline stage a put crosses. Always on (Observe is
+	// an atomic bucket increment); the per-put cost is bounded by the
+	// clocks the pipeline already reads.
+	stQueue *obs.Histogram // mailbox enqueue → owner dequeue
+	stFill  *obs.Histogram // batch open → seal (per batch)
+	stFlush *obs.Histogram // seal → write set durable (per batch)
+	stRepl  *obs.Histogram // local durable → follower tokens resolved (per job)
+	// Tail sampling: tidBase+tidCtr mint server-side trace IDs for
+	// every cfg.TraceSample'th otherwise-untraced client put; slowNs is
+	// cfg.TraceSlow in nanoseconds (0 = off).
+	tidBase uint64
+	tidCtr  atomic.Uint64
+	slowNs  int64
 }
 
 // New builds the server state and binds it to the backing file: a
@@ -459,6 +481,17 @@ func New(cfg Config) (*Server, error) {
 	s.ctSeqRetries = root.Counter("kvserve_seqlock_retries_total")
 	s.getLat = root.HistogramScaled("kvserve_get_latency_seconds", 1e-9)
 	s.hWriteFrames = root.Histogram("kvserve_writev_frames_per_syscall")
+	stage := func(name string) *obs.Histogram {
+		return root.With("stage", name).HistogramScaled("kvserve_stage_seconds", 1e-9)
+	}
+	s.stQueue = stage("queue")
+	s.stFill = stage("fill")
+	s.stFlush = stage("flush")
+	s.stRepl = stage("repl")
+	// High bits wall-derived so IDs from distinct server incarnations
+	// (and from clients, which mint small sequential IDs) don't collide.
+	s.tidBase = uint64(time.Now().UnixNano()) << 20
+	s.slowNs = cfg.TraceSlow.Nanoseconds()
 
 	// The allocation order below is the layout contract with every
 	// prior incarnation of this config: guard line, persistence
@@ -512,6 +545,7 @@ func New(cfg Config) (*Server, error) {
 				sd.replq = newReplQueue()
 				sd.repKeys = make([]uint64, 0, cfg.BatchK)
 				sd.repVals = make([]uint64, 0, cfg.BatchK)
+				sd.repTids = make([]uint64, 0, cfg.BatchK)
 				sd.repToks = make([]uint64, cfg.BatchK)
 			}
 		} else {
@@ -892,20 +926,37 @@ func (s *Server) connReader(cn *srvConn) {
 	var pbuf []byte  // OpReplBatch payload scratch
 	var scnt []int32 // per-shard member tally scratch
 	rb := make([]byte, 0, 512*RespSize)
+	// nextTid is the trace context armed by an OpTraceCtx prefix frame:
+	// it applies to exactly the next frame on the connection, then
+	// clears, so a lost successor can't mislabel an unrelated op.
+	var nextTid uint64
 	for {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return
 		}
 		op, seq, key, val := DecodeReq(&buf)
+		tid := nextTid
+		nextTid = 0
 		switch {
 		case op == OpReplBatch:
 			// The header's key field is the put count; the pairs follow
 			// on the wire, so this must consume them even when the frame
 			// is rejected — a false return means framing is lost and the
-			// connection dies.
-			if !s.handleReplBatch(cn, br, seq, key, &pbuf, &scnt) {
+			// connection dies. The val field is the trace-entry count of
+			// the frame's trace extension (0 from pre-trace primaries).
+			if !s.handleReplBatch(cn, br, seq, key, val, &pbuf, &scnt) {
 				return
 			}
+		case op == OpTraceCtx:
+			// Silent prefix: arm the trace ID for the next frame. No
+			// response, so pre-handshake senders would desync their
+			// sequence space — which is why clients only send it after
+			// OpHello grants FeatTrace.
+			nextTid = key
+		case op == OpHello:
+			// Capability handshake: grant the intersection of what the
+			// client asked for and what we speak.
+			rb = appendResp(rb, seq, StatusOK, key&FeatTrace)
 		case op == OpPing:
 			rb = appendResp(rb, seq, StatusOK, 0)
 		case (op != OpGet && op != OpPut && op != OpReplPut) || key == 0 || key == lpstore.NopKey:
@@ -913,9 +964,15 @@ func (s *Server) connReader(cn *srvConn) {
 		case s.draining.Load():
 			rb = appendResp(rb, seq, StatusShutdown, 0)
 		case op == OpGet:
+			if tid != 0 {
+				s.trace(obs.EvStageEnq, -1, tid, key)
+			}
 			var hit bool
 			var retr uint64
 			rb, hit, retr = s.appendGet(rb, seq, key)
+			if tid != 0 {
+				s.trace(obs.EvStageReply, -1, tid, key)
+			}
 			gets++
 			retries += retr
 			if !hit {
@@ -954,9 +1011,20 @@ func (s *Server) connReader(cn *srvConn) {
 				rb = appendResp(rb, seq, StatusOverload, 0)
 				break
 			}
-			r := request{op: op, seq: seq, key: key, val: val, enq: time.Now(), cn: cn}
+			if tid == 0 && s.cfg.TraceSample > 0 && s.tr.Enabled() {
+				// Server-side tail sampling: mint a trace ID for every
+				// TraceSample'th client put that arrived untraced, so
+				// stage spans exist even with trace-unaware clients.
+				if n := s.tidCtr.Add(1); n%uint64(s.cfg.TraceSample) == 0 {
+					tid = s.tidBase + n
+				}
+			}
+			r := request{op: op, seq: seq, key: key, val: val, enq: time.Now(), cn: cn, tid: tid}
 			select {
 			case sd.mb <- r:
+				if tid != 0 {
+					s.trace(obs.EvStageEnq, int32(sd.id), tid, key)
+				}
 				d := int64(len(sd.mb))
 				sd.obs.mbDepth.Set(d)
 				sd.obs.mbHigh.SetMax(d)
@@ -1009,17 +1077,20 @@ func (s *Server) flushResponses(cn *srvConn, rb []byte) bool {
 }
 
 // handleReplBatch ingests one OpReplBatch frame: count 16-byte
-// (key, val) pairs follow the header on the wire. Members route to
-// their shards exactly like OpReplPut, sharing one aggregate that
-// answers the run's single response when its last member settles
-// (worst status wins; members may settle from different shards'
-// flushers). Returns false only on a malformed header — framing is
-// lost, so the caller drops the connection.
-func (s *Server) handleReplBatch(cn *srvConn, br *bufio.Reader, seq uint32, count uint64, pay *[]byte, scnt *[]int32) bool {
-	if count == 0 || count > MaxReplBatch {
+// (key, val) pairs follow the header on the wire, then tcount 12-byte
+// [idx:4][tid:8] trace entries (the header's val field; 0 from
+// pre-trace primaries) tagging pair idx with a trace ID, ascending by
+// idx. Members route to their shards exactly like OpReplPut, sharing
+// one aggregate that answers the run's single response when its last
+// member settles (worst status wins; members may settle from
+// different shards' flushers). Returns false only on a malformed
+// header — framing is lost, so the caller drops the connection.
+func (s *Server) handleReplBatch(cn *srvConn, br *bufio.Reader, seq uint32, count, tcount uint64, pay *[]byte, scnt *[]int32) bool {
+	if count == 0 || count > MaxReplBatch || tcount > count {
 		return false
 	}
-	need := int(count) * ReplPairSize
+	pairBytes := int(count) * ReplPairSize
+	need := pairBytes + int(tcount)*ReplTraceSize
 	if cap(*pay) < need {
 		*pay = make([]byte, need)
 	}
@@ -1027,6 +1098,8 @@ func (s *Server) handleReplBatch(cn *srvConn, br *bufio.Reader, seq uint32, coun
 	if _, err := io.ReadFull(br, buf); err != nil {
 		return false
 	}
+	tr := buf[pairBytes:]
+	buf = buf[:pairBytes]
 	if s.draining.Load() {
 		cn.reply(seq, StatusShutdown, 0)
 		return true
@@ -1048,9 +1121,18 @@ func (s *Server) handleReplBatch(cn *srvConn, br *bufio.Reader, seq uint32, coun
 			cnt[shardOf(key, len(s.shards))]++
 		}
 	}
+	ti := 0 // cursor into the idx-ascending trace entries
 	for i := 0; i < int(count); i++ {
 		key := binary.LittleEndian.Uint64(buf[i*ReplPairSize:])
 		val := binary.LittleEndian.Uint64(buf[i*ReplPairSize+8:])
+		var tid uint64
+		for ti < int(tcount) && binary.LittleEndian.Uint32(tr[ti*ReplTraceSize:]) < uint32(i) {
+			ti++
+		}
+		if ti < int(tcount) && binary.LittleEndian.Uint32(tr[ti*ReplTraceSize:]) == uint32(i) {
+			tid = binary.LittleEndian.Uint64(tr[ti*ReplTraceSize+4:])
+			ti++
+		}
 		if key == 0 || key == lpstore.NopKey {
 			rb.reply(StatusBadRequest)
 			continue
@@ -1058,7 +1140,10 @@ func (s *Server) handleReplBatch(cn *srvConn, br *bufio.Reader, seq uint32, coun
 		si := shardOf(key, len(s.shards))
 		sd := s.shards[si]
 		cnt[si]--
-		r := request{op: OpReplPut, seq: seq, key: key, val: val, enq: now, cn: cn, rb: rb, sealHint: cnt[si] == 0}
+		r := request{op: OpReplPut, seq: seq, key: key, val: val, enq: now, cn: cn, rb: rb, sealHint: cnt[si] == 0, tid: tid}
+		if tid != 0 {
+			s.trace(obs.EvStageEnq, int32(si), tid, key)
+		}
 		// A full mailbox blocks rather than bouncing the member with
 		// Overload: stalling this reader is the follower's flow control
 		// — a replication session is a dedicated connection, so TCP
@@ -1156,7 +1241,13 @@ func (s *Server) owner(sd *shardState) {
 
 func (s *Server) handle(sd *shardState, r request) {
 	sd.obs.mbDepth.Set(int64(len(sd.mb)))
-	if d := s.cfg.MaxQueueDelay; d > 0 && time.Since(r.enq) > d {
+	now := time.Now()
+	wait := now.Sub(r.enq)
+	s.stQueue.Observe(uint64(wait.Nanoseconds()))
+	if r.tid != 0 {
+		s.trace(obs.EvStageDeq, int32(sd.id), r.tid, uint64(wait.Nanoseconds()))
+	}
+	if d := s.cfg.MaxQueueDelay; d > 0 && wait > d {
 		sd.obs.rejExp.Inc()
 		s.trace(obs.EvRejectExpired, int32(sd.id), r.key, 0)
 		r.reply(StatusExpired, 0)
@@ -1181,6 +1272,9 @@ func (s *Server) handle(sd *shardState, r request) {
 		sd.w.Put(c, r.key, r.val)
 		sd.occupied += int(sd.w.Inserts - insBefore)
 		sd.pending = append(sd.pending, r)
+		if len(sd.pending) == 1 {
+			sd.openAt = now // fill-stage epoch, whatever seals the batch
+		}
 		switch {
 		case sd.w.Batch() != batchBefore:
 			s.seal(sd, false)
@@ -1188,7 +1282,7 @@ func (s *Server) handle(sd *shardState, r request) {
 			s.seal(sd, true)
 		default:
 			if len(sd.pending) == 1 {
-				sd.deadline = time.Now().Add(s.cfg.BatchWait)
+				sd.deadline = now.Add(s.cfg.BatchWait)
 			}
 			s.leak(sd)
 		}
@@ -1234,6 +1328,17 @@ func (s *Server) seal(sd *shardState, padded bool) {
 	it.seq = sd.w.Seq()
 	it.sealed = t0
 	it.pending, sd.pending = sd.pending, it.pending[:0]
+	if len(it.pending) > 0 && !sd.openAt.IsZero() {
+		s.stFill.Observe(uint64(t0.Sub(sd.openAt).Nanoseconds()))
+	}
+	if s.tr.Enabled() {
+		ts := t0.UnixNano()
+		for i := range it.pending {
+			if tid := it.pending[i].tid; tid != 0 {
+				s.tr.Record(obs.EvStageSeal, int32(sd.id), ts, tid, uint64(it.batch))
+			}
+		}
+	}
 	if sd.replq != nil {
 		s.forwardBatch(sd, it)
 	}
@@ -1267,18 +1372,19 @@ func (s *Server) seal(sd *shardState, padded bool) {
 // the peer's forwarded copies — re-forwarding them would echo puts
 // between pair members forever, so only OpPut entries forward.
 func (s *Server) forwardBatch(sd *shardState, it *commitItem) {
-	keys, vals := sd.repKeys[:0], sd.repVals[:0]
+	keys, vals, tids := sd.repKeys[:0], sd.repVals[:0], sd.repTids[:0]
 	for i := range it.pending {
 		if it.pending[i].op == OpPut {
 			keys = append(keys, it.pending[i].key)
 			vals = append(vals, it.pending[i].val)
+			tids = append(tids, it.pending[i].tid)
 		}
 	}
 	if len(keys) == 0 {
 		return
 	}
 	toks := sd.repToks[:len(keys)]
-	s.cfg.Repl.ForwardBatch(keys, vals, toks)
+	s.cfg.Repl.ForwardBatch(keys, vals, tids, toks)
 	j := 0
 	for i := range it.pending {
 		if it.pending[i].op == OpPut {
@@ -1330,10 +1436,23 @@ func (s *Server) flushItem(sd *shardState, it *commitItem) {
 		s.ctAcked.Add(uint64(len(it.pending)))
 		sd.obs.batchFill.Observe(uint64(len(it.pending)))
 		sd.obs.commitLat.Observe(uint64(now.Sub(it.sealed).Nanoseconds()))
+		s.stFlush.Observe(uint64(now.Sub(it.sealed).Nanoseconds()))
 		s.trace(obs.EvBatchCommit, int32(sd.id), uint64(it.batch), uint64(len(it.pending)))
 		s.trace(obs.EvAckAdvance, int32(sd.id), uint64(it.seq), 0)
+		tron := s.tr.Enabled()
+		ts := now.UnixNano()
 		for _, r := range it.pending {
-			sd.obs.putLat.Observe(uint64(now.Sub(r.enq).Nanoseconds()))
+			lat := uint64(now.Sub(r.enq).Nanoseconds())
+			sd.obs.putLat.Observe(lat)
+			if tron {
+				if r.tid != 0 {
+					s.tr.Record(obs.EvStageFlush, int32(sd.id), ts, r.tid, uint64(it.batch))
+					s.tr.Record(obs.EvStageReply, int32(sd.id), ts, r.tid, lat)
+				}
+				if s.slowNs > 0 && int64(lat) > s.slowNs {
+					s.tr.Record(obs.EvSlowPut, int32(sd.id), ts, r.key, lat)
+				}
+			}
 			r.reply(StatusOK, 0)
 		}
 	}
@@ -1359,8 +1478,17 @@ func (s *Server) flushItemRepl(sd *shardState, it *commitItem, err error) {
 		s.ctBatches.Inc()
 		sd.obs.batchFill.Observe(uint64(len(it.pending)))
 		sd.obs.commitLat.Observe(uint64(now.Sub(it.sealed).Nanoseconds()))
+		s.stFlush.Observe(uint64(now.Sub(it.sealed).Nanoseconds()))
 		s.trace(obs.EvBatchCommit, int32(sd.id), uint64(it.batch), uint64(len(it.pending)))
 		s.trace(obs.EvAckAdvance, int32(sd.id), uint64(it.seq), 0)
+		if s.tr.Enabled() {
+			ts := now.UnixNano()
+			for i := range it.pending {
+				if tid := it.pending[i].tid; tid != 0 {
+					s.tr.Record(obs.EvStageFlush, int32(sd.id), ts, tid, uint64(it.batch))
+				}
+			}
+		}
 	}
 	var toks []request
 	for _, r := range it.pending {
@@ -1376,7 +1504,7 @@ func (s *Server) flushItemRepl(sd *shardState, it *commitItem, err error) {
 		// Non-blocking by construction (replq is unbounded); a send
 		// that could block here would reintroduce the cross-node
 		// flusher deadlock this split exists to prevent.
-		sd.replq.push(replJob{pending: toks, err: err})
+		sd.replq.push(replJob{pending: toks, err: err, flushed: now})
 	}
 }
 
@@ -1404,12 +1532,24 @@ func (s *Server) replWaiter(sd *shardState) {
 		}
 		for _, r := range job.pending {
 			ok := s.cfg.Repl.Wait(r.rtok)
+			if r.tid != 0 {
+				var b uint64
+				if ok {
+					b = 1
+				}
+				s.trace(obs.EvStageReplAck, int32(sd.id), r.tid, b)
+			}
 			if job.err == nil && !ok {
 				sd.obs.rejOver.Inc()
 				r.reply(StatusOverload, 0)
 				continue
 			}
 			s.replyPut(sd, r, job.err, time.Now())
+		}
+		if job.err == nil && !job.flushed.IsZero() {
+			// Per-job repl stage: local write set durable → every
+			// follower token of the batch resolved.
+			s.stRepl.Observe(uint64(time.Since(job.flushed).Nanoseconds()))
 		}
 	}
 }
@@ -1421,7 +1561,17 @@ func (s *Server) replyPut(sd *shardState, r request, err error, now time.Time) {
 		return
 	}
 	s.ctAcked.Add(1)
-	sd.obs.putLat.Observe(uint64(now.Sub(r.enq).Nanoseconds()))
+	lat := uint64(now.Sub(r.enq).Nanoseconds())
+	sd.obs.putLat.Observe(lat)
+	if s.tr.Enabled() {
+		ts := now.UnixNano()
+		if r.tid != 0 {
+			s.tr.Record(obs.EvStageReply, int32(sd.id), ts, r.tid, lat)
+		}
+		if s.slowNs > 0 && int64(lat) > s.slowNs {
+			s.tr.Record(obs.EvSlowPut, int32(sd.id), ts, r.key, lat)
+		}
+	}
 	r.reply(StatusOK, 0)
 }
 

@@ -381,6 +381,31 @@ type PlanReport struct {
 	PutUtil   float64     `json:"put_util"`   // offered put load / put capacity
 	GetUtil   float64     `json:"get_util"`   // offered get load / get capacity
 	FlushUtil float64     `json:"flush_util"` // per-shard flusher occupancy
+	Stages    *StagePlan  `json:"stages,omitempty"`
+}
+
+// StagePlan is the DES's stage-level latency attribution for the put
+// path, mean microseconds per stage. It is the plan-side counterpart
+// of the server's kvserve_stage_seconds histograms: `lptrace -vs-plan`
+// diffs a measured trace breakdown against these to show where the
+// model and the machine disagree.
+type StagePlan struct {
+	// Puts is how many dispatched puts the queue mean averages over;
+	// Batches how many sealed batches back the fill/flush means.
+	Puts    int `json:"puts"`
+	Batches int `json:"batches"`
+	// QueueUs: mailbox enqueue → owner dequeue, per put.
+	QueueUs float64 `json:"queue_us"`
+	// FillUs: batch open (first put lands) → seal, per batch.
+	FillUs float64 `json:"fill_us"`
+	// FlushUs: seal → write set durable, per batch, including time
+	// queued behind earlier batches in the flush pipeline.
+	FlushUs float64 `json:"flush_us"`
+	// ReplUs: replication ack hop per batch (the model's constant;
+	// zero when not replicated).
+	ReplUs float64 `json:"repl_us"`
+	// RTTUs: fixed client<->server network round trip.
+	RTTUs float64 `json:"rtt_us"`
 }
 
 // classAcc accumulates per-class settle results through the DES.
@@ -443,18 +468,29 @@ func Plan(spec *Spec, ops []Op, cfg PlanConfig) *PlanReport {
 		q    []int32
 		busy bool
 	}
+	type simBatch struct {
+		ops    []int32
+		sealAt int64 // flush-stage epoch: queueing behind the ring counts
+	}
 	type simShard struct {
 		q        []qput
 		busy     bool
 		stalled  bool // owner wants to seal; pipeline ring full
 		open     []int32
+		openAt   int64 // when the open batch got its first put (fill stage)
 		epoch    int64 // open-batch identity for seal timers
 		inflight int   // sealed, not yet flushed
-		flushQ   [][]int32
-		flushing []int32
+		flushQ   []simBatch
+		flushing simBatch
 		fbusy    bool
 		journal  int
 	}
+
+	// Stage attribution accumulators (see StagePlan).
+	var (
+		queueSumNs, fillSumNs, flushSumNs int64
+		queuePuts, sealedBatches          int
+	)
 
 	conns := make([]simConn, cfg.Conns)
 	shards := make([]simShard, cfg.Shards)
@@ -487,7 +523,9 @@ func Plan(spec *Spec, ops []Op, cfg PlanConfig) *PlanReport {
 	}
 	doSeal = func(now int64, si int32) {
 		sh := &shards[si]
-		sh.flushQ = append(sh.flushQ, sh.open)
+		fillSumNs += now - sh.openAt
+		sealedBatches++
+		sh.flushQ = append(sh.flushQ, simBatch{ops: sh.open, sealAt: now})
 		sh.open = nil
 		sh.epoch++
 		sh.inflight++
@@ -507,6 +545,8 @@ func Plan(spec *Spec, ops []Op, cfg PlanConfig) *PlanReport {
 				accs[ops[p.op].Class].exp++
 				continue
 			}
+			queueSumNs += now - p.enq
+			queuePuts++
 			sh.busy = true
 			push(now+putNs, evOwnerDone, si, int64(p.op))
 			return
@@ -560,6 +600,7 @@ func Plan(spec *Spec, ops []Op, cfg PlanConfig) *PlanReport {
 			sh.busy = false
 			sh.open = append(sh.open, int32(e.b))
 			if len(sh.open) == 1 {
+				sh.openAt = now
 				push(now+sealNs, evSeal, si, sh.epoch)
 			}
 			if len(sh.open) >= cfg.BatchK {
@@ -587,10 +628,11 @@ func Plan(spec *Spec, ops []Op, cfg PlanConfig) *PlanReport {
 		case evFlushDone:
 			si := e.a
 			sh := &shards[si]
-			for _, opi := range sh.flushing {
+			flushSumNs += now - sh.flushing.sealAt
+			for _, opi := range sh.flushing.ops {
 				settleOK(&ops[opi], now+replNs)
 			}
-			sh.flushing = nil
+			sh.flushing = simBatch{}
 			sh.fbusy = false
 			sh.inflight--
 			startFlush(now, si)
@@ -601,7 +643,22 @@ func Plan(spec *Spec, ops []Op, cfg PlanConfig) *PlanReport {
 		}
 	}
 
-	return buildReport(spec, ops, cfg, accs)
+	rep := buildReport(spec, ops, cfg, accs)
+	st := &StagePlan{
+		Puts:    queuePuts,
+		Batches: sealedBatches,
+		ReplUs:  float64(replNs) / 1e3,
+		RTTUs:   float64(rttNs) / 1e3,
+	}
+	if queuePuts > 0 {
+		st.QueueUs = float64(queueSumNs) / float64(queuePuts) / 1e3
+	}
+	if sealedBatches > 0 {
+		st.FillUs = float64(fillSumNs) / float64(sealedBatches) / 1e3
+		st.FlushUs = float64(flushSumNs) / float64(sealedBatches) / 1e3
+	}
+	rep.Stages = st
+	return rep
 }
 
 func buildReport(spec *Spec, ops []Op, cfg PlanConfig, accs []classAcc) *PlanReport {

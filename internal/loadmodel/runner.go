@@ -26,6 +26,15 @@ type RunOpts struct {
 	// Registry, when non-nil, exports per-class latency histograms and
 	// reject counters (loadmodel_class_* families) through obs.
 	Registry *obs.Registry
+
+	// Tracer/TraceEvery mirror kvserve.LoadOpts: every TraceEvery-th
+	// issued op per connection mints a client trace ID, records
+	// client_send/client_ack span events into Tracer, and — once the
+	// connection's OpHello grants FeatTrace — ships the ID ahead of
+	// the op as an OpTraceCtx prefix, so an open-loop replay feeds
+	// lptrace the same cross-node timelines a closed-loop run does.
+	Tracer     *obs.Tracer
+	TraceEvery int
 }
 
 // RunReport is the measured outcome of replaying a trace open-loop.
@@ -162,7 +171,7 @@ func Run(addr string, tr *Trace, o RunOpts) (*RunReport, error) {
 		wg.Add(1)
 		go func(ci int, list []int32) {
 			defer wg.Done()
-			err := runConn(addr, ops, list, start, deadline, o, accs, regRejects, connCounters{
+			err := runConn(ci, addr, ops, list, start, deadline, o, accs, regRejects, connCounters{
 				settled: &settled, issued: &issued, stalls: &stalls,
 				lagOps: &lagOps, lagMaxNs: &lagMaxNs, sched: schedHist,
 			})
@@ -201,7 +210,7 @@ type connCounters struct {
 // slot per response, the issuer blocks on the free list only when the
 // window is exhausted (counted as a stall — the open loop degraded to
 // a closed one at MaxInflight).
-func runConn(addr string, ops []Op, list []int32, start, deadline time.Time,
+func runConn(ci int, addr string, ops []Op, list []int32, start, deadline time.Time,
 	o RunOpts, accs []runAcc, regRejects func(int, string), ctr connCounters) error {
 
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
@@ -214,8 +223,26 @@ func runConn(addr string, ops []Op, list []int32, start, deadline time.Time,
 	}
 	conn.SetDeadline(deadline)
 
+	// Trace negotiation happens synchronously before the reader starts,
+	// so the hello response never collides with the slot space.
+	traceOK := false
+	if o.TraceEvery > 0 {
+		var hf [kvserve.ReqSize]byte
+		kvserve.EncodeReq(&hf, kvserve.OpHello, 0, kvserve.FeatTrace, 0)
+		if _, err := conn.Write(hf[:]); err != nil {
+			return err
+		}
+		var rf [kvserve.RespSize]byte
+		if _, err := io.ReadFull(conn, rf[:]); err != nil {
+			return err
+		}
+		_, _, val := kvserve.DecodeResp(&rf)
+		traceOK = val&kvserve.FeatTrace != 0
+	}
+
 	slots := make([]int32, o.MaxInflight)  // slot -> global op index
 	sendNs := make([]int64, o.MaxInflight) // slot -> send stamp (UnixNano)
+	tids := make([]uint64, o.MaxInflight)  // slot -> trace ID (0 = untraced)
 	free := make(chan int32, o.MaxInflight)
 	for i := 0; i < o.MaxInflight; i++ {
 		free <- int32(i)
@@ -224,7 +251,7 @@ func runConn(addr string, ops []Op, list []int32, start, deadline time.Time,
 	readErr := make(chan error, 1)
 	var received atomic.Uint64
 	go func() {
-		readErr <- connReadLoop(conn, ops, slots, sendNs, free, accs, regRejects, start, ctr, &received)
+		readErr <- connReadLoop(ci, conn, ops, slots, sendNs, tids, free, accs, regRejects, start, o.Tracer, ctr, &received)
 	}()
 
 	abort := func(err error) error {
@@ -235,6 +262,10 @@ func runConn(addr string, ops []Op, list []int32, start, deadline time.Time,
 
 	bw := newFrameWriter(conn)
 	spinPace := runtime.NumCPU() > 1
+	// Wall-clock high bits + connection index keep IDs unique across
+	// connections and runs, same scheme as the closed-loop loadgen.
+	tidBase := uint64(time.Now().UnixNano())<<12 | uint64(ci&0xfff)
+	var tidSeq uint64
 	var sent uint64
 	for _, opi := range list {
 		op := &ops[opi]
@@ -293,6 +324,24 @@ func runConn(addr string, ops []Op, list []int32, start, deadline time.Time,
 		}
 		slots[slot] = opi
 		sendNs[slot] = time.Now().UnixNano()
+		tids[slot] = 0
+		if o.TraceEvery > 0 && sent%uint64(o.TraceEvery) == 0 {
+			tidSeq++
+			tid := tidBase + tidSeq
+			tids[slot] = tid
+			if o.Tracer != nil && o.Tracer.Enabled() {
+				o.Tracer.Record(obs.EvClientSend, int32(ci), sendNs[slot], tid, op.Key)
+			}
+			if traceOK {
+				// The prefix frame rides the same buffer as its op, so
+				// the pair can never be split by a flush boundary the
+				// server would see as two writes mid-decode (the stream
+				// decoder handles that too — this just keeps them close).
+				if err := bw.writeReq(kvserve.OpTraceCtx, uint32(slot), tid, 0); err != nil {
+					return abort(err)
+				}
+			}
+		}
 		opc := byte(kvserve.OpGet)
 		if op.IsPut {
 			opc = kvserve.OpPut
@@ -338,9 +387,9 @@ func runConn(addr string, ops []Op, list []int32, start, deadline time.Time,
 	return nil
 }
 
-func connReadLoop(conn net.Conn, ops []Op, slots []int32, sendNs []int64, free chan<- int32,
-	accs []runAcc, regRejects func(int, string), start time.Time,
-	ctr connCounters, received *atomic.Uint64) error {
+func connReadLoop(ci int, conn net.Conn, ops []Op, slots []int32, sendNs []int64, tids []uint64,
+	free chan<- int32, accs []runAcc, regRejects func(int, string), start time.Time,
+	tracer *obs.Tracer, ctr connCounters, received *atomic.Uint64) error {
 
 	br := newFrameReader(conn)
 	var frame [kvserve.RespSize]byte
@@ -357,6 +406,12 @@ func connReadLoop(conn net.Conn, ops []Op, slots []int32, sendNs []int64, free c
 		a := &accs[op.Class]
 		now := time.Now()
 		lat := now.UnixNano() - sendNs[seq] // service latency
+		if tid := tids[seq]; tid != 0 {
+			tids[seq] = 0
+			if tracer != nil && tracer.Enabled() {
+				tracer.Record(obs.EvClientAck, int32(ci), now.UnixNano(), tid, uint64(status))
+			}
+		}
 		switch status {
 		case kvserve.StatusOK, kvserve.StatusNotFound:
 			v := uint64(lat)
@@ -493,10 +548,11 @@ func runProgress(o RunOpts, accs []runAcc, settled *atomic.Uint64, stop <-chan s
 		dOps := ops - prevOps
 		prevOps = ops
 		fmt.Fprintf(o.Progress,
-			"loadmodel: t=%.1fs settled=%d (%.0f ops/s) p50 %.0fµs p99 %.0fµs rej ov/exp/full=%d/%d/%d\n",
+			"loadmodel: t=%.1fs settled=%d (%.0f ops/s) p50 %.0fµs p99 %.0fµs p999 %.0fµs max %.0fµs rej ov/exp/full=%d/%d/%d\n",
 			time.Since(start).Seconds(), ops,
 			float64(dOps)/o.Interval.Seconds(),
 			float64(win.Quantile(0.50))/1e3, float64(win.Quantile(0.99))/1e3,
+			float64(win.Quantile(0.999))/1e3, float64(win.Max)/1e3,
 			over, exp, full)
 	}
 }

@@ -139,3 +139,46 @@ func TestRunRejectCounting(t *testing.T) {
 		t.Fatal("reject rate not computed")
 	}
 }
+
+// TestRunTracePropagation: the open-loop replayer must negotiate the
+// trace extension and thread client-minted trace IDs through to the
+// server, so a spec-driven run (the lpplan validation workload) feeds
+// lptrace the same timelines a closed-loop run does — client_send and
+// client_ack from the replayer's tracer joining stage events from the
+// server's, on the same IDs.
+func TestRunTracePropagation(t *testing.T) {
+	spec := mustBuiltin(t, "steady", 0.1, "400ms")
+	ops := mustGen(t, spec)
+	tr := TraceOf(spec, ops)
+	srv := startKV(t, spec)
+	srv.Tracer().Enable(true)
+
+	clientTr := obs.NewTracer(1 << 14)
+	clientTr.Enable(true)
+	rep, err := Run(srv.Addr(), tr, RunOpts{
+		Conns: 2, Tracer: clientTr, TraceEvery: 4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Partial || rep.Errors > 0 {
+		t.Fatalf("run degraded: partial=%v errors=%d", rep.Partial, rep.Errors)
+	}
+
+	timelines := obs.AssembleTimelines(map[string][]obs.Event{
+		"client": clientTr.Drain(0),
+		"n0":     srv.Tracer().Drain(0),
+	})
+	full := 0
+	for i := range timelines {
+		tl := &timelines[i]
+		if tl.Has(obs.EvClientSend) && tl.Has(obs.EvClientAck) &&
+			tl.Has(obs.EvStageEnq) && tl.Has(obs.EvStageReply) {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no open-loop timeline joined client and server spans (%d timelines)", len(timelines))
+	}
+	t.Logf("%d/%d open-loop timelines carry client + server stage spans", full, len(timelines))
+}

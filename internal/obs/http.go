@@ -2,6 +2,7 @@ package obs
 
 import (
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 )
 
@@ -32,4 +33,16 @@ func TraceHandler(t *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = WriteJSONL(w, t.Drain(n))
 	})
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux at
+// /debug/pprof/, explicitly rather than via http.DefaultServeMux so
+// the debug surface exists only on muxes that asked for it (the
+// -metrics/-ctrl listeners; never the data plane).
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -1,0 +1,122 @@
+package obs
+
+import "sort"
+
+// Span assembly: merging JSONL trace drains from several processes
+// (client, router, cluster nodes) into per-request timelines keyed by
+// trace ID. The events themselves are the ordinary Tracer ring events;
+// what makes one a span event is its type (IsSpanEvent) and the trace
+// ID it carries in A. Assembly is offline tooling — lptrace and tests
+// — so it allocates freely; nothing here runs on a serve hot path.
+
+// IsSpanEvent reports whether t is a request-scoped span event whose A
+// field is a trace ID.
+func IsSpanEvent(t EventType) bool {
+	return t >= EvClientSend && t <= EvStageFwdAck
+}
+
+// SpanEvent is one span event tagged with the name of the drain it
+// came from ("client", "router", "n0", ...).
+type SpanEvent struct {
+	Node string
+	Event
+}
+
+// Timeline is every span event observed for one trace ID, across all
+// merged drains, sorted by wall-clock TS (ties broken by drain name
+// then ring seq, so assembly is deterministic for a fixed input set).
+type Timeline struct {
+	Trace  uint64
+	Events []SpanEvent
+}
+
+// Nodes returns the distinct drain names contributing to the
+// timeline, in first-appearance order.
+func (tl *Timeline) Nodes() []string {
+	var out []string
+	for _, e := range tl.Events {
+		seen := false
+		for _, n := range out {
+			if n == e.Node {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, e.Node)
+		}
+	}
+	return out
+}
+
+// Has reports whether any event of type t is present.
+func (tl *Timeline) Has(t EventType) bool {
+	for _, e := range tl.Events {
+		if e.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// First returns the earliest event of type t, if any.
+func (tl *Timeline) First(t EventType) (SpanEvent, bool) {
+	for _, e := range tl.Events {
+		if e.Type == t {
+			return e, true
+		}
+	}
+	return SpanEvent{}, false
+}
+
+// CrossNode reports whether the timeline spans at least two drains.
+func (tl *Timeline) CrossNode() bool { return len(tl.Nodes()) >= 2 }
+
+// Stage returns the elapsed nanoseconds between the first `from` and
+// the first `to` event (false when either is missing or the clocks
+// disagree on ordering). Cross-drain stages assume the drains share a
+// clock — true for a single host, approximate otherwise.
+func (tl *Timeline) Stage(from, to EventType) (int64, bool) {
+	a, okA := tl.First(from)
+	b, okB := tl.First(to)
+	if !okA || !okB || b.TS < a.TS {
+		return 0, false
+	}
+	return b.TS - a.TS, true
+}
+
+// AssembleTimelines merges named drains into per-trace timelines,
+// sorted by each timeline's earliest timestamp. Non-span events and
+// span events with a zero trace ID are ignored.
+func AssembleTimelines(drains map[string][]Event) []Timeline {
+	byTrace := map[uint64][]SpanEvent{}
+	for node, evs := range drains {
+		for _, e := range evs {
+			if !IsSpanEvent(e.Type) || e.A == 0 {
+				continue
+			}
+			byTrace[e.A] = append(byTrace[e.A], SpanEvent{Node: node, Event: e})
+		}
+	}
+	out := make([]Timeline, 0, len(byTrace))
+	for id, evs := range byTrace {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].TS != evs[j].TS {
+				return evs[i].TS < evs[j].TS
+			}
+			if evs[i].Node != evs[j].Node {
+				return evs[i].Node < evs[j].Node
+			}
+			return evs[i].Seq < evs[j].Seq
+		})
+		out = append(out, Timeline{Trace: id, Events: evs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Events[0].TS, out[j].Events[0].TS
+		if ti != tj {
+			return ti < tj
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -36,6 +38,25 @@ const (
 	// EvRejectMoved is appended after the simulator events so every
 	// pre-existing EventType keeps its numeric value.
 	EvRejectMoved // put rejected: key not owned at this member's epoch; a=shard
+
+	// Request-scoped span events. Every span event carries the
+	// request's trace ID in A, so a drain from any process can be
+	// merged with drains from its peers by trace ID alone. New types
+	// append here, after everything older, for the same reason
+	// EvRejectMoved sits where it does.
+	EvClientSend    // client issued a traced op; a=traceID, b=key
+	EvClientAck     // client saw the final response; a=traceID, b=latency ns
+	EvRouterRoute   // router routed a traced frame; a=traceID, b=backend index
+	EvStageEnq      // request admitted to a shard mailbox; a=traceID, b=key
+	EvStageDeq      // shard owner dequeued the request; a=traceID, b=queue wait ns
+	EvStageSeal     // containing group-commit batch sealed; a=traceID, b=batch index
+	EvStageFlush    // batch write set durable (fsync included); a=traceID, b=batch index
+	EvStageReplAck  // replication wait resolved on the primary; a=traceID, b=1 acked / 0 degraded
+	EvStageReply    // response enqueued toward the client; a=traceID, b=status
+	EvStageFwdEnq   // replication forward committed to a session slot; a=traceID
+	EvStageFwdWrite // replication frame hit the wire; a=traceID
+	EvStageFwdAck   // follower ack resolved the forward; a=traceID, b=1 acked / 0 degraded
+	EvSlowPut       // tail sample: put latency over threshold; a=key, b=latency ns
 )
 
 var evNames = [...]string{
@@ -55,6 +76,19 @@ var evNames = [...]string{
 	EvFence:          "fence",
 	EvROBStall:       "rob_stall",
 	EvRejectMoved:    "reject_moved",
+	EvClientSend:     "client_send",
+	EvClientAck:      "client_ack",
+	EvRouterRoute:    "router_route",
+	EvStageEnq:       "stage_enq",
+	EvStageDeq:       "stage_deq",
+	EvStageSeal:      "stage_seal",
+	EvStageFlush:     "stage_flush",
+	EvStageReplAck:   "stage_repl_ack",
+	EvStageReply:     "stage_reply",
+	EvStageFwdEnq:    "stage_fwd_enq",
+	EvStageFwdWrite:  "stage_fwd_write",
+	EvStageFwdAck:    "stage_fwd_ack",
+	EvSlowPut:        "slow_put",
 }
 
 func (t EventType) String() string {
@@ -190,4 +224,46 @@ func WriteJSONL(w io.Writer, events []Event) error {
 		}
 	}
 	return nil
+}
+
+// typeByName inverts evNames once, for drain parsing.
+var typeByName = func() map[string]EventType {
+	m := make(map[string]EventType, len(evNames))
+	for i, n := range evNames {
+		m[n] = EventType(i)
+	}
+	return m
+}()
+
+// ReadJSONL parses a WriteJSONL drain back into events. Lines whose
+// type is unknown to this build are kept with EvNone so cross-version
+// merges degrade instead of failing; malformed JSON is an error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec struct {
+			Seq  uint64 `json:"seq"`
+			Type string `json:"type"`
+			Src  int32  `json:"src"`
+			TS   int64  `json:"ts"`
+			A    uint64 `json:"a"`
+			B    uint64 `json:"b"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, Event{
+			Seq: rec.Seq, TS: rec.TS, Type: typeByName[rec.Type],
+			Src: rec.Src, A: rec.A, B: rec.B,
+		})
+	}
+	return out, sc.Err()
 }

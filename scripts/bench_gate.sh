@@ -154,6 +154,40 @@ measure_one() { # measure_one <lpbench-binary> <outdir>
   "$1" -quick -serveout "$2/BENCH_serve.json" -clusterout "$2/BENCH_cluster.json" >/dev/null
 }
 
+# On a gate failure, leave a 5s CPU profile of HEAD's server under
+# load next to the repo (CI uploads it as an artifact): the regression
+# report then carries the profile that explains it. lpbench boots and
+# tears down its servers internally, so the profile comes from a
+# fresh lpserve driven by lpload while /debug/pprof/profile samples.
+PROFILE_OUT="${BENCH_GATE_PROFILE:-bench_gate_cpu.pb.gz}"
+
+capture_profile() {
+  echo "bench_gate: capturing 5s CPU profile of HEAD under load -> $PROFILE_OUT" >&2
+  go build -o bin/lpserve ./cmd/lpserve
+  go build -o bin/lpload ./cmd/lpload
+  local pdir spid lpid
+  pdir="$(mktemp -d)"
+  bin/lpserve -path "$pdir/kv.img" -addr 127.0.0.1:7471 -metrics 127.0.0.1:9471 \
+    2>"$pdir/serve.log" &
+  spid=$!
+  for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:9471/healthz" 2>/dev/null | grep -q serving; then break; fi
+    sleep 0.1
+  done
+  bin/lpload -addr 127.0.0.1:7471 -conns 2 -window 32 -dur 7s >/dev/null 2>&1 &
+  lpid=$!
+  curl -sf -o "$PROFILE_OUT" "http://127.0.0.1:9471/debug/pprof/profile?seconds=5" ||
+    echo "bench_gate: profile capture failed (gate verdict unaffected)" >&2
+  kill "$lpid" "$spid" 2>/dev/null || true
+  wait "$lpid" "$spid" 2>/dev/null || true
+  rm -rf "$pdir"
+}
+
+fail_gate() {
+  capture_profile
+  exit 1
+}
+
 # measure_ab: MEASURES interleaved base/head passes, base first — each
 # pass appends one quick snapshot to each side's history, so the
 # comparison reads medians on both sides.
@@ -194,7 +228,7 @@ run)
       (cd "$tmp_wt" && go build -o "$tmp/base/lpbench" ./cmd/lpbench)
       if ! ab_once; then
         echo "bench_gate: A/B attempt 1 regressed; re-measuring once" >&2
-        ab_once
+        ab_once || fail_gate
       fi
     fi
   fi
@@ -204,8 +238,8 @@ run)
   for _ in $(seq 1 "$MEASURES"); do
     measure_one bin/lpbench "$tmp/head"
   done
-  compare BENCH_serve.json "$tmp/head/BENCH_serve.json" "${BENCH_GATE_SNAP_TOL:-40}" nofsync
-  compare BENCH_cluster.json "$tmp/head/BENCH_cluster.json" "${BENCH_GATE_SNAP_TOL:-40}" nofsync
+  compare BENCH_serve.json "$tmp/head/BENCH_serve.json" "${BENCH_GATE_SNAP_TOL:-40}" nofsync || fail_gate
+  compare BENCH_cluster.json "$tmp/head/BENCH_cluster.json" "${BENCH_GATE_SNAP_TOL:-40}" nofsync || fail_gate
   ;;
 compare)
   compare "$2" "$3" "${4:-$TOL}"

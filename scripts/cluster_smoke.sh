@@ -24,6 +24,7 @@ echo "== build"
 go build -o "$BIN/lpserve" ./cmd/lpserve
 go build -o "$BIN/lprouter" ./cmd/lprouter
 go build -o "$BIN/lpload" ./cmd/lpload
+go build -o "$BIN/lptrace" ./cmd/lptrace
 
 # Geometry shared by every boot of an image, including recover-verify:
 # capacity sized so the insert-only load stays under the admission
@@ -38,6 +39,7 @@ start_node() { # idx
     local i=$1
     "$BIN/lpserve" -node-id "n$i" -path "$DIR/n$i.img" \
         -addr "${DATA[$i]}" -metrics "${CTRL[$i]}" "${GEO[@]}" \
+        -trace -tracecap 65536 \
         2>"$DIR/n$i.log" &
     NODE_PID[$i]=$!
     PIDS+=($!)
@@ -63,6 +65,7 @@ echo "== boot router"
 RADDR=127.0.0.1:7420
 RCTRL=127.0.0.1:9420
 "$BIN/lprouter" -addr "$RADDR" -ctrl "$RCTRL" -heartbeat 50ms -lease-miss 3 \
+    -trace -tracecap 65536 \
     -node "n0=${DATA[0]}=http://${CTRL[0]}" \
     -node "n1=${DATA[1]}=http://${CTRL[1]}" \
     -node "n2=${DATA[2]}=http://${CTRL[2]}" \
@@ -70,9 +73,11 @@ RCTRL=127.0.0.1:9420
 PIDS+=($!)
 wait_http "http://$RCTRL/healthz" '"serving"' 15 "router readiness"
 
-echo "== load through the router (insert-only, reconnect on failover)"
+echo "== load through the router (insert-only, reconnect on failover, every 50th op traced)"
 "$BIN/lpload" -addr "$RADDR" -conns 2 -window 16 -ops 30000 \
-    -insert -reconnect -max-retries 200 -json >"$DIR/load.json" &
+    -insert -reconnect -max-retries 200 \
+    -trace-every 50 -span-out "$DIR/client.trace.jsonl" \
+    -json >"$DIR/load.json" &
 LOAD_PID=$!
 PIDS+=($!)
 
@@ -93,6 +98,17 @@ grep -E '^cluster_repl_lag_seconds_count [1-9]' "$DIR/n1-mid.txt"
 # came unwired and every put is paying the PR-7 per-frame tax again.
 grep -E '^cluster_repl_batch_puts_count [1-9]' "$DIR/n1-mid.txt"
 grep -E '^kvserve_writev_frames_per_syscall_count [1-9]' "$DIR/n1-mid.txt"
+# Per-stage latency attribution must be flowing on every node.
+grep -E '^kvserve_stage_seconds_count\{stage="flush"\} [1-9]' "$DIR/n1-mid.txt"
+
+echo "== mid-load span drains from all three nodes and the router"
+for i in 0 1 2; do
+    curl -sf "http://${CTRL[$i]}/debug/trace" >"$DIR/n$i.trace.jsonl"
+done
+curl -sf "http://$RCTRL/debug/trace" >"$DIR/router.trace.jsonl"
+for i in 0 1 2; do
+    test -s "$DIR/n$i.trace.jsonl" || { echo "FAIL: n$i mid-load trace drain is empty" >&2; exit 1; }
+done
 
 echo "== SIGKILL n0 mid-load"
 kill -9 "${NODE_PID[0]}"
@@ -129,6 +145,33 @@ assert not r.get("partial"), "load gave up mid-run"
 print(f"load OK: {r['ops']} ops, {r['acked_puts']} acked, "
       f"{r['retries']} retries, {r.get('conn_resets', 0)} resets "
       f"through a SIGKILL failover")
+EOF
+
+echo "== final span drains, lptrace timeline assembly"
+# The drain is destructive, so the post-load pass appends whatever
+# arrived after the mid-load drain; JSONL concatenates trivially.
+for i in 0 1 2; do
+    curl -sf "http://${CTRL[$i]}/debug/trace" >>"$DIR/n$i.trace.jsonl" || true
+done
+curl -sf "http://$RCTRL/debug/trace" >>"$DIR/router.trace.jsonl" || true
+"$BIN/lptrace" -n 3 \
+    "client=$DIR/client.trace.jsonl" "router=$DIR/router.trace.jsonl" \
+    "n0=$DIR/n0.trace.jsonl" "n1=$DIR/n1.trace.jsonl" "n2=$DIR/n2.trace.jsonl"
+"$BIN/lptrace" -json -cross-only \
+    "client=$DIR/client.trace.jsonl" "router=$DIR/router.trace.jsonl" \
+    "n0=$DIR/n0.trace.jsonl" "n1=$DIR/n1.trace.jsonl" "n2=$DIR/n2.trace.jsonl" \
+    >"$DIR/timelines.json"
+python3 - "$DIR/timelines.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["cross_node"] >= 1, "no cross-node timelines assembled"
+full = [t for t in d["timelines"]
+        if t["cross_node"]
+        and {"client_send", "stage_enq", "stage_repl_ack"} <=
+            {e["type"] for e in t["events"]}]
+assert full, "no cross-node put timeline carries a replication-ack stage"
+print(f"lptrace OK: {len(d['timelines'])} cross-node timelines, "
+      f"{len(full)} with a replication-ack stage")
 EOF
 
 echo "== hard-kill everything, then hold every image to recovery"
